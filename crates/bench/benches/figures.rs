@@ -1,0 +1,101 @@
+//! Criterion benchmarks: one group per figure/table of the paper.
+//!
+//! Each group measures the wall-clock cost of simulating a representative
+//! workload on every system that figure compares (reduced scale), so
+//! `cargo bench` both regenerates the comparisons and tracks the
+//! simulator's own performance.  The full seven-workload sweeps are
+//! produced by the `fig5`..`fig8` and `table4` binaries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsm_bench::presets::{self, ExperimentScale, SystemSet};
+use dsm_core::{ClusterSimulator, MachineConfig};
+use splash_workloads::{by_name, WorkloadConfig};
+
+/// Benchmark every system of `set` on one representative workload.
+fn bench_system_set(c: &mut Criterion, group_name: &str, set: &SystemSet, workload: &str) {
+    let machine = MachineConfig::PAPER;
+    let trace = by_name(workload)
+        .expect("known workload")
+        .generate(&WorkloadConfig::reduced());
+    let mut group = c.benchmark_group(group_name);
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    // Baseline first, then every compared system.
+    let mut systems = vec![set.baseline.clone()];
+    systems.extend(set.systems.iter().cloned());
+    for system in systems {
+        let sim = ClusterSimulator::new(machine, system.clone());
+        group.bench_with_input(
+            BenchmarkId::new(workload, &system.name),
+            &trace,
+            |b, trace| b.iter(|| sim.run(trace)),
+        );
+    }
+    group.finish();
+}
+
+fn fig5(c: &mut Criterion) {
+    bench_system_set(
+        c,
+        "figure5_base_comparison",
+        &presets::figure5(ExperimentScale::Reduced),
+        "ocean",
+    );
+}
+
+fn fig6(c: &mut Criterion) {
+    bench_system_set(
+        c,
+        "figure6_slow_page_ops",
+        &presets::figure6(ExperimentScale::Reduced),
+        "lu",
+    );
+}
+
+fn fig7(c: &mut Criterion) {
+    bench_system_set(
+        c,
+        "figure7_long_latency",
+        &presets::figure7(ExperimentScale::Reduced),
+        "ocean",
+    );
+}
+
+fn fig8(c: &mut Criterion) {
+    bench_system_set(
+        c,
+        "figure8_hybrid",
+        &presets::figure8(ExperimentScale::Reduced),
+        "lu",
+    );
+}
+
+fn table4(c: &mut Criterion) {
+    bench_system_set(
+        c,
+        "table4_page_operations",
+        &presets::table4(ExperimentScale::Reduced),
+        "raytrace",
+    );
+}
+
+/// Microbenchmark of trace generation itself (Table 2 workloads).
+fn trace_generation(c: &mut Criterion) {
+    let cfg = WorkloadConfig::reduced();
+    let mut group = c.benchmark_group("trace_generation");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for name in ["lu", "ocean", "radix"] {
+        group.bench_function(name, |b| {
+            let w = by_name(name).expect("known workload");
+            b.iter(|| w.generate(&cfg))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig5, fig6, fig7, fig8, table4, trace_generation);
+criterion_main!(benches);

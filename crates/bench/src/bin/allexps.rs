@@ -1,0 +1,34 @@
+//! Runs every experiment (Figures 5-8, Tables 1-4) at the selected scale and
+//! prints each report in sequence.  This is the binary EXPERIMENTS.md's
+//! measured numbers are generated from.
+
+use dsm_bench::{presets, report, runner, Options};
+
+fn main() {
+    let opts = Options::from_env();
+    let names = opts.workload_names();
+
+    println!("== Table 2 ==");
+    print!("{}", report::format_table2());
+    println!("\n== Table 3 ==");
+    print!("{}", report::format_table3());
+
+    for (label, set) in [
+        ("Figure 5", presets::figure5(opts.scale)),
+        ("Figure 6", presets::figure6(opts.scale)),
+        ("Figure 7", presets::figure7(opts.scale)),
+        ("Figure 8", presets::figure8(opts.scale)),
+    ] {
+        println!("\n== {label} ==");
+        let result = runner::run_experiment(&set, &names, opts.scale, opts.threads);
+        print!("{}", report::format_normalized_table(&result));
+        if opts.csv {
+            print!("{}", report::to_csv(&result));
+        }
+    }
+
+    println!("\n== Table 4 ==");
+    let set = presets::table4(opts.scale);
+    let result = runner::run_experiment(&set, &names, opts.scale, opts.threads);
+    print!("{}", report::format_table4(&result));
+}

@@ -1,0 +1,14 @@
+//! Regenerates Figure 5: base performance comparison of CC-NUMA, Rep, Mig,
+//! MigRep, R-NUMA and R-NUMA-Inf, normalized against perfect CC-NUMA.
+
+use dsm_bench::{presets, report, runner, Options};
+
+fn main() {
+    let opts = Options::from_env();
+    let set = presets::figure5(opts.scale);
+    let result = runner::run_experiment(&set, &opts.workload_names(), opts.scale, opts.threads);
+    print!("{}", report::format_normalized_table(&result));
+    if opts.csv {
+        print!("{}", report::to_csv(&result));
+    }
+}

@@ -1,0 +1,13 @@
+//! Regenerates Fig6 (see dsm_bench::presets::fig6 for the system set).
+
+use dsm_bench::{presets, report, runner, Options};
+
+fn main() {
+    let opts = Options::from_env();
+    let set = presets::figure6(opts.scale);
+    let result = runner::run_experiment(&set, &opts.workload_names(), opts.scale, opts.threads);
+    print!("{}", report::format_normalized_table(&result));
+    if opts.csv {
+        print!("{}", report::to_csv(&result));
+    }
+}

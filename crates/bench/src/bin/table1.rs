@@ -1,0 +1,38 @@
+//! Prints Table 1: the qualitative opportunity/overhead comparison of page
+//! replication, page migration and R-NUMA, backed by measured per-node page
+//! operation counts from a reduced-scale run of two representative
+//! workloads (lu: replication-friendly; ocean: neither).
+
+use dsm_bench::{presets, runner, Options};
+
+fn main() {
+    let opts = Options::from_env();
+    println!("# Table 1: capacity/conflict miss reduction opportunity and overhead");
+    println!(
+        "{:<18} {:<14} {:<26} {:<14} {:<10} {}",
+        "mechanism", "read-only", "read/write (low degree)", "(high degree)", "overhead", "frequency"
+    );
+    println!("{:<18} {:<14} {:<26} {:<14} {:<10} {}", "page replication", "yes", "no", "no", "high", "low");
+    println!("{:<18} {:<14} {:<26} {:<14} {:<10} {}", "page migration", "no", "yes", "no", "high", "low");
+    println!("{:<18} {:<14} {:<26} {:<14} {:<10} {}", "R-NUMA", "yes", "yes", "yes", "low", "much higher");
+    println!();
+    println!("# measured per-node page-operation counts supporting the frequency column");
+    let workloads = ["lu", "ocean"];
+    let set = presets::table4(opts.scale);
+    let result = runner::run_experiment(&set, &workloads, opts.scale, opts.threads);
+    let migrep = result.system_index("MigRep").expect("preset has MigRep");
+    let rnuma = result.system_index("R-NUMA").expect("preset has R-NUMA");
+    println!(
+        "{:<10} {:>22} {:>22} {:>26}",
+        "workload", "migrations/node", "replications/node", "R-NUMA relocations/node"
+    );
+    for w in &result.per_workload {
+        println!(
+            "{:<10} {:>22.1} {:>22.1} {:>26.1}",
+            w.workload,
+            w.results[migrep].per_node_migrations(),
+            w.results[migrep].per_node_replications(),
+            w.results[rnuma].per_node_relocations()
+        );
+    }
+}

@@ -1,0 +1,7 @@
+//! Prints Table 2: the applications and their input parameters, both the
+//! paper's originals and the reduced inputs this reproduction runs by
+//! default.
+
+fn main() {
+    print!("{}", dsm_bench::report::format_table2());
+}

@@ -1,0 +1,118 @@
+//! Minimal command-line parsing shared by the experiment binaries.
+//!
+//! Every binary accepts:
+//!
+//! * `--paper`            — run the paper's Table 2 problem sizes (slow);
+//! * `--workloads a,b,c`  — restrict to a subset of the seven workloads;
+//! * `--threads N`        — number of simulation worker threads;
+//! * `--csv`              — also print results as CSV for plotting.
+
+use crate::presets::ExperimentScale;
+use crate::runner::default_threads;
+
+/// Parsed command-line options.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Problem/parameter scale.
+    pub scale: ExperimentScale,
+    /// Workloads to run.
+    pub workloads: Vec<String>,
+    /// Worker threads.
+    pub threads: usize,
+    /// Emit CSV in addition to the formatted table.
+    pub csv: bool,
+}
+
+impl Options {
+    /// Parse from an iterator of arguments (excluding the program name).
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Options, String> {
+        let mut opts = Options {
+            scale: ExperimentScale::Reduced,
+            workloads: splash_workloads::names()
+                .into_iter()
+                .map(str::to_string)
+                .collect(),
+            threads: default_threads(),
+            csv: false,
+        };
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--paper" => opts.scale = ExperimentScale::Paper,
+                "--csv" => opts.csv = true,
+                "--threads" => {
+                    let v = iter.next().ok_or("--threads needs a value")?;
+                    opts.threads = v.parse().map_err(|_| format!("bad thread count {v}"))?;
+                }
+                "--workloads" => {
+                    let v = iter.next().ok_or("--workloads needs a value")?;
+                    opts.workloads = v.split(',').map(|s| s.trim().to_string()).collect();
+                    for w in &opts.workloads {
+                        if splash_workloads::by_name(w).is_none() {
+                            return Err(format!("unknown workload {w}"));
+                        }
+                    }
+                }
+                "--help" | "-h" => {
+                    return Err(
+                        "usage: <binary> [--paper] [--workloads a,b,c] [--threads N] [--csv]"
+                            .to_string(),
+                    )
+                }
+                other => return Err(format!("unknown argument {other}")),
+            }
+        }
+        Ok(opts)
+    }
+
+    /// Parse from the process arguments, exiting with a message on error.
+    pub fn from_env() -> Options {
+        match Options::parse(std::env::args().skip(1)) {
+            Ok(o) => o,
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Workload names as `&str` slices.
+    pub fn workload_names(&self) -> Vec<&str> {
+        self.workloads.iter().map(String::as_str).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Options, String> {
+        Options::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_cover_all_workloads_at_reduced_scale() {
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.scale, ExperimentScale::Reduced);
+        assert_eq!(o.workloads.len(), 7);
+        assert!(!o.csv);
+        assert!(o.threads >= 1);
+    }
+
+    #[test]
+    fn flags_are_recognized() {
+        let o = parse(&["--paper", "--csv", "--threads", "3", "--workloads", "lu,radix"]).unwrap();
+        assert_eq!(o.scale, ExperimentScale::Paper);
+        assert!(o.csv);
+        assert_eq!(o.threads, 3);
+        assert_eq!(o.workloads, vec!["lu", "radix"]);
+    }
+
+    #[test]
+    fn bad_input_is_rejected() {
+        assert!(parse(&["--workloads", "linpack"]).is_err());
+        assert!(parse(&["--threads", "x"]).is_err());
+        assert!(parse(&["--bogus"]).is_err());
+        assert!(parse(&["--help"]).is_err());
+    }
+}

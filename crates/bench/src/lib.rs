@@ -1,0 +1,19 @@
+//! `dsm-bench` — the experiment harness that regenerates every table and
+//! figure of the paper's evaluation (Section 6).
+//!
+//! Each figure/table has a dedicated binary (`fig5`, `fig6`, `fig7`, `fig8`,
+//! `table1` … `table4`) plus `allexps`, which runs everything.  All binaries
+//! accept `--paper` to run the original Table 2 problem sizes (much slower);
+//! the default is the reduced scale described in DESIGN.md, with the page
+//! cache and policy thresholds scaled by the same factor as the working
+//! sets so that the capacity relationships of the paper are preserved.
+
+pub mod cli;
+pub mod presets;
+pub mod report;
+pub mod runner;
+
+pub use cli::Options;
+pub use presets::{ExperimentScale, SystemSet};
+pub use report::{format_normalized_table, format_table4, normalized_rows};
+pub use runner::{run_experiment, ExperimentResult, WorkloadResult};

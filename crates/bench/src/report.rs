@@ -1,0 +1,228 @@
+//! Text rendering of experiment results in the shape of the paper's
+//! figures and tables.
+
+use crate::runner::ExperimentResult;
+
+/// Rows of (workload, normalized execution time per system) suitable for a
+/// bar chart like Figures 5-8.
+pub fn normalized_rows(result: &ExperimentResult) -> Vec<(String, Vec<f64>)> {
+    result
+        .per_workload
+        .iter()
+        .map(|w| {
+            let values = (0..result.system_names.len())
+                .map(|i| w.normalized(i))
+                .collect();
+            (w.workload.clone(), values)
+        })
+        .collect()
+}
+
+/// Format a normalized-execution-time table (one row per workload, one
+/// column per system), plus a mean row — the textual equivalent of the
+/// paper's bar charts.
+pub fn format_normalized_table(result: &ExperimentResult) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# {}\n", result.experiment));
+    out.push_str("# normalized execution time (perfect CC-NUMA = 1.00)\n");
+    out.push_str(&format!("{:<12}", "benchmark"));
+    for name in &result.system_names {
+        out.push_str(&format!(" {:>18}", name));
+    }
+    out.push('\n');
+    for (workload, values) in normalized_rows(result) {
+        out.push_str(&format!("{workload:<12}"));
+        for v in values {
+            out.push_str(&format!(" {v:>18.2}"));
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!("{:<12}", "mean"));
+    for i in 0..result.system_names.len() {
+        out.push_str(&format!(" {:>18.2}", result.mean_normalized(i)));
+    }
+    out.push('\n');
+    out
+}
+
+/// Format the Table 4 analogue: per-node page operations and misses for
+/// CC-NUMA, CC-NUMA+MigRep and R-NUMA.
+///
+/// Expects the experiment produced by [`crate::presets::table4`] (systems
+/// CC-NUMA, MigRep, R-NUMA in that order).
+pub fn format_table4(result: &ExperimentResult) -> String {
+    let migrep = result
+        .system_index("MigRep")
+        .expect("table4 preset includes MigRep");
+    let ccnuma = result
+        .system_index("CC-NUMA")
+        .expect("table4 preset includes CC-NUMA");
+    let rnuma = result
+        .system_index("R-NUMA")
+        .expect("table4 preset includes R-NUMA");
+
+    let mut out = String::new();
+    out.push_str("# Table 4: per-node page operations and remote misses\n");
+    out.push_str(&format!(
+        "{:<12} {:>10} {:>12} {:>12} | {:>22} {:>22} {:>22}\n",
+        "benchmark",
+        "migrations",
+        "replications",
+        "relocations",
+        "CC-NUMA misses(cap)",
+        "MigRep misses(cap)",
+        "R-NUMA misses(cap)"
+    ));
+    for w in &result.per_workload {
+        let mig = w.results[migrep].per_node_migrations();
+        let rep = w.results[migrep].per_node_replications();
+        let reloc = w.results[rnuma].per_node_relocations();
+        let fmt_misses = |i: usize| {
+            format!(
+                "{:.1}k ({:.1}k)",
+                w.results[i].per_node_remote_misses() / 1_000.0,
+                w.results[i].per_node_remote_capacity_misses() / 1_000.0
+            )
+        };
+        out.push_str(&format!(
+            "{:<12} {:>10.0} {:>12.0} {:>12.0} | {:>22} {:>22} {:>22}\n",
+            w.workload,
+            mig,
+            rep,
+            reloc,
+            fmt_misses(ccnuma),
+            fmt_misses(migrep),
+            fmt_misses(rnuma),
+        ));
+    }
+    out
+}
+
+/// Format Table 2: the workload catalog with paper and reduced inputs.
+pub fn format_table2() -> String {
+    let mut out = String::new();
+    out.push_str("# Table 2: applications and input parameters\n");
+    out.push_str(&format!(
+        "{:<10} {:<42} {:<28} {}\n",
+        "name", "problem", "paper input", "reduced input"
+    ));
+    for w in splash_workloads::catalog() {
+        out.push_str(&format!(
+            "{:<10} {:<42} {:<28} {}\n",
+            w.name(),
+            w.description(),
+            w.paper_input(),
+            w.reduced_input()
+        ));
+    }
+    out
+}
+
+/// Format Table 3: the cost model, base and slow variants.
+pub fn format_table3() -> String {
+    use dsm_core::CostModel;
+    let b = CostModel::base();
+    let s = CostModel::slow();
+    let mut out = String::new();
+    out.push_str("# Table 3: system cost assumptions (processor cycles)\n");
+    out.push_str(&format!("{:<44} {:>10} {:>10}\n", "operation", "base", "slow"));
+    let mut row = |name: &str, base: u64, slow: u64| {
+        out.push_str(&format!("{name:<44} {base:>10} {slow:>10}\n"));
+    };
+    row("network latency", b.network_latency.raw(), s.network_latency.raw());
+    row("local miss latency", b.local_miss.raw(), s.local_miss.raw());
+    row(
+        "round-trip remote miss latency",
+        b.remote_miss.raw(),
+        s.remote_miss.raw(),
+    );
+    row("soft trap", b.soft_trap.raw(), s.soft_trap.raw());
+    row("TLB shootdown", b.tlb_shootdown.raw(), s.tlb_shootdown.raw());
+    row(
+        "page allocation/replacement/relocation (min)",
+        b.page_alloc_min.raw(),
+        s.page_alloc_min.raw(),
+    );
+    row(
+        "page allocation/replacement/relocation (max)",
+        b.page_alloc_max.raw(),
+        s.page_alloc_max.raw(),
+    );
+    row(
+        "page invalidation and data gathering (min)",
+        b.page_gather_min.raw(),
+        s.page_gather_min.raw(),
+    );
+    row(
+        "page invalidation and data gathering (max)",
+        b.page_gather_max.raw(),
+        s.page_gather_max.raw(),
+    );
+    row("page copying (min)", b.page_copy_min.raw(), s.page_copy_min.raw());
+    row("page copying (max)", b.page_copy_max.raw(), s.page_copy_max.raw());
+    out
+}
+
+/// Render results as CSV (one line per workload x system) for plotting.
+pub fn to_csv(result: &ExperimentResult) -> String {
+    let mut out = String::from("workload,system,normalized_time,remote_misses_per_node,capacity_misses_per_node,migrations,replications,relocations\n");
+    for w in &result.per_workload {
+        for (i, name) in result.system_names.iter().enumerate() {
+            let r = &w.results[i];
+            out.push_str(&format!(
+                "{},{},{:.4},{:.1},{:.1},{:.1},{:.1},{:.1}\n",
+                w.workload,
+                name,
+                w.normalized(i),
+                r.per_node_remote_misses(),
+                r.per_node_remote_capacity_misses(),
+                r.per_node_migrations(),
+                r.per_node_replications(),
+                r.per_node_relocations(),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::{table4, ExperimentScale};
+    use crate::runner::run_experiment;
+
+    fn small_result() -> ExperimentResult {
+        run_experiment(
+            &table4(ExperimentScale::Reduced),
+            &["ocean"],
+            ExperimentScale::Reduced,
+            4,
+        )
+    }
+
+    #[test]
+    fn tables_render_every_workload_and_system() {
+        let result = small_result();
+        let table = format_normalized_table(&result);
+        assert!(table.contains("ocean"));
+        assert!(table.contains("CC-NUMA"));
+        assert!(table.contains("R-NUMA"));
+        assert!(table.contains("mean"));
+
+        let t4 = format_table4(&result);
+        assert!(t4.contains("ocean"));
+        assert!(t4.contains("migrations"));
+
+        let csv = to_csv(&result);
+        assert_eq!(csv.lines().count(), 1 + result.system_names.len());
+        assert!(csv.starts_with("workload,system"));
+    }
+
+    #[test]
+    fn normalized_rows_match_table_dimensions() {
+        let result = small_result();
+        let rows = normalized_rows(&result);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].1.len(), result.system_names.len());
+    }
+}

@@ -1,0 +1,173 @@
+//! Runs a set of systems over a set of workloads, in parallel across
+//! independent (workload, system) pairs.
+
+use crate::presets::{ExperimentScale, SystemSet};
+use dsm_core::{ClusterSimulator, MachineConfig, SimResult, SystemConfig};
+use splash_workloads::{by_name, WorkloadConfig};
+
+/// All results for one workload within an experiment.
+#[derive(Debug, Clone)]
+pub struct WorkloadResult {
+    /// Workload name (Table 2 row).
+    pub workload: String,
+    /// Result of the baseline (perfect CC-NUMA) run.
+    pub baseline: SimResult,
+    /// Results of the compared systems, in `SystemSet::systems` order.
+    pub results: Vec<SimResult>,
+}
+
+impl WorkloadResult {
+    /// Normalized execution time of system `i` (vs the baseline).
+    pub fn normalized(&self, i: usize) -> f64 {
+        self.results[i].normalized_against(&self.baseline)
+    }
+}
+
+/// The complete outcome of one experiment (figure/table).
+#[derive(Debug, Clone)]
+pub struct ExperimentResult {
+    /// Experiment name.
+    pub experiment: String,
+    /// System names, in column order.
+    pub system_names: Vec<String>,
+    /// One entry per workload, in the order requested.
+    pub per_workload: Vec<WorkloadResult>,
+}
+
+impl ExperimentResult {
+    /// Average normalized execution time of system `i` across workloads.
+    pub fn mean_normalized(&self, i: usize) -> f64 {
+        if self.per_workload.is_empty() {
+            return 0.0;
+        }
+        self.per_workload
+            .iter()
+            .map(|w| w.normalized(i))
+            .sum::<f64>()
+            / self.per_workload.len() as f64
+    }
+
+    /// Index of a system by name.
+    pub fn system_index(&self, name: &str) -> Option<usize> {
+        self.system_names.iter().position(|n| n == name)
+    }
+}
+
+/// Run one experiment: every system of `set` (plus its baseline) on every
+/// workload in `workloads`.
+///
+/// Independent simulations are distributed over `threads` worker threads
+/// with crossbeam's scoped threads (simulations share nothing mutable).
+pub fn run_experiment(
+    set: &SystemSet,
+    workloads: &[&str],
+    scale: ExperimentScale,
+    threads: usize,
+) -> ExperimentResult {
+    let machine = MachineConfig::PAPER;
+    let wl_cfg = WorkloadConfig::at_scale(scale.workload_scale());
+
+    // Generate every trace once, up front.
+    let traces: Vec<_> = workloads
+        .iter()
+        .map(|name| {
+            by_name(name)
+                .unwrap_or_else(|| panic!("unknown workload {name}"))
+                .generate(&wl_cfg)
+        })
+        .collect();
+
+    // Build the full list of (workload index, system) jobs; system index 0
+    // is the baseline.
+    let mut all_systems: Vec<SystemConfig> = Vec::with_capacity(set.systems.len() + 1);
+    all_systems.push(set.baseline.clone());
+    all_systems.extend(set.systems.iter().cloned());
+
+    let jobs: Vec<(usize, usize)> = (0..traces.len())
+        .flat_map(|w| (0..all_systems.len()).map(move |s| (w, s)))
+        .collect();
+
+    let threads = threads.max(1);
+    let results: Vec<Vec<Option<SimResult>>> = {
+        let table = std::sync::Mutex::new(vec![vec![None; all_systems.len()]; traces.len()]);
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        crossbeam::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|_| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= jobs.len() {
+                        break;
+                    }
+                    let (w, s) = jobs[i];
+                    let sim = ClusterSimulator::new(machine, all_systems[s].clone());
+                    let result = sim.run(&traces[w]);
+                    table.lock().expect("result table poisoned")[w][s] = Some(result);
+                });
+            }
+        })
+        .expect("simulation worker panicked");
+        table.into_inner().expect("result table poisoned")
+    };
+
+    let per_workload = results
+        .into_iter()
+        .zip(traces.iter())
+        .map(|(mut row, trace)| {
+            let baseline = row[0].take().expect("baseline result missing");
+            let results = row
+                .into_iter()
+                .skip(1)
+                .map(|r| r.expect("system result missing"))
+                .collect();
+            WorkloadResult {
+                workload: trace.name.clone(),
+                baseline,
+                results,
+            }
+        })
+        .collect();
+
+    ExperimentResult {
+        experiment: set.experiment.to_string(),
+        system_names: set.systems.iter().map(|s| s.name.clone()).collect(),
+        per_workload,
+    }
+}
+
+/// Number of worker threads to use by default: one per CPU, capped at the
+/// number of independent simulations a typical figure runs.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn runs_a_small_experiment_end_to_end() {
+        let set = presets::table4(ExperimentScale::Reduced);
+        let result = run_experiment(&set, &["ocean"], ExperimentScale::Reduced, 4);
+        assert_eq!(result.system_names.len(), 3);
+        assert_eq!(result.per_workload.len(), 1);
+        let wl = &result.per_workload[0];
+        assert_eq!(wl.workload, "ocean");
+        // Perfect CC-NUMA is the fastest (or tied): every normalized time is
+        // at least ~1.
+        for i in 0..result.system_names.len() {
+            assert!(
+                wl.normalized(i) >= 0.99,
+                "{} finished faster than perfect CC-NUMA: {}",
+                result.system_names[i],
+                wl.normalized(i)
+            );
+        }
+        assert!(result.mean_normalized(0) >= 0.99);
+        assert_eq!(result.system_index("CC-NUMA"), Some(0));
+        assert_eq!(result.system_index("nope"), None);
+    }
+}

@@ -1,0 +1,307 @@
+//! Machine and system configuration: which of the paper's systems to build.
+//!
+//! A *machine* configuration fixes the cluster topology and the processor
+//! caches (identical for every system compared in a figure).  A *system*
+//! configuration selects the caching/page-operation technique under study:
+//! plain CC-NUMA (finite or perfect block cache), CC-NUMA with page
+//! migration and/or replication, R-NUMA with a finite or infinite page
+//! cache, or the R-NUMA+MigRep hybrid of Section 6.4.
+
+use crate::cost::{CostModel, Thresholds};
+use dsm_protocol::{BlockCacheConfig, PageCacheConfig};
+use mem_trace::Topology;
+use smp_node::CacheConfig;
+
+/// Hardware common to every system in a comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MachineConfig {
+    /// Cluster topology (nodes x processors per node).
+    pub topology: Topology,
+    /// Per-processor data cache.
+    pub l1: CacheConfig,
+}
+
+impl MachineConfig {
+    /// The paper's machine: 8 nodes x 4 processors, 16-KB direct-mapped L1s.
+    pub const PAPER: MachineConfig = MachineConfig {
+        topology: Topology::PAPER,
+        l1: CacheConfig::PAPER_L1,
+    };
+
+    /// A small machine for unit tests (2 nodes x 2 processors, 4-KB L1s).
+    pub fn tiny() -> Self {
+        MachineConfig {
+            topology: Topology::new(2, 2),
+            l1: CacheConfig {
+                size_bytes: 4 * 1024,
+                block_bytes: mem_trace::BLOCK_SIZE,
+            },
+        }
+    }
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        Self::PAPER
+    }
+}
+
+/// Page migration/replication policy switches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MigRepConfig {
+    /// Enable page migration.
+    pub migration: bool,
+    /// Enable page replication.
+    pub replication: bool,
+}
+
+impl MigRepConfig {
+    /// Both migration and replication (the paper's "MigRep").
+    pub const BOTH: MigRepConfig = MigRepConfig {
+        migration: true,
+        replication: true,
+    };
+    /// Migration only ("Mig").
+    pub const MIGRATION_ONLY: MigRepConfig = MigRepConfig {
+        migration: true,
+        replication: false,
+    };
+    /// Replication only ("Rep").
+    pub const REPLICATION_ONLY: MigRepConfig = MigRepConfig {
+        migration: false,
+        replication: true,
+    };
+}
+
+/// A complete system configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemConfig {
+    /// Display name used in reports ("CC-NUMA", "R-NUMA", ...).
+    pub name: String,
+    /// The SRAM block cache of the cluster device, if the system has one.
+    /// R-NUMA systems omit it (the page cache subsumes it).
+    pub block_cache: Option<BlockCacheConfig>,
+    /// The S-COMA page cache, if the system supports fine-grain memory
+    /// caching (R-NUMA variants only).
+    pub page_cache: Option<PageCacheConfig>,
+    /// Page migration/replication support, if enabled.
+    pub migrep: Option<MigRepConfig>,
+    /// Cost model (Table 3 base or the slow variant).
+    pub costs: CostModel,
+    /// Policy thresholds.
+    pub thresholds: Thresholds,
+}
+
+impl SystemConfig {
+    /// Base CC-NUMA with the paper's 64-KB block cache.
+    pub fn cc_numa() -> Self {
+        SystemConfig {
+            name: "CC-NUMA".to_string(),
+            block_cache: Some(BlockCacheConfig::PAPER),
+            page_cache: None,
+            migrep: None,
+            costs: CostModel::base(),
+            thresholds: Thresholds::paper_fast(),
+        }
+    }
+
+    /// Perfect CC-NUMA: an infinite block cache.  Every figure in the paper
+    /// is normalized against this system.
+    pub fn perfect_cc_numa() -> Self {
+        SystemConfig {
+            name: "Perfect-CC-NUMA".to_string(),
+            block_cache: Some(BlockCacheConfig::Infinite),
+            ..Self::cc_numa()
+        }
+    }
+
+    /// CC-NUMA with page replication only ("Rep").
+    pub fn cc_numa_rep() -> Self {
+        SystemConfig {
+            name: "Rep".to_string(),
+            migrep: Some(MigRepConfig::REPLICATION_ONLY),
+            ..Self::cc_numa()
+        }
+    }
+
+    /// CC-NUMA with page migration only ("Mig").
+    pub fn cc_numa_mig() -> Self {
+        SystemConfig {
+            name: "Mig".to_string(),
+            migrep: Some(MigRepConfig::MIGRATION_ONLY),
+            ..Self::cc_numa()
+        }
+    }
+
+    /// CC-NUMA with both page migration and replication ("MigRep").
+    pub fn cc_numa_migrep() -> Self {
+        SystemConfig {
+            name: "MigRep".to_string(),
+            migrep: Some(MigRepConfig::BOTH),
+            ..Self::cc_numa()
+        }
+    }
+
+    /// R-NUMA with the given page cache (no block cache).
+    pub fn r_numa_with(page_cache: PageCacheConfig) -> Self {
+        SystemConfig {
+            name: "R-NUMA".to_string(),
+            block_cache: None,
+            page_cache: Some(page_cache),
+            migrep: None,
+            costs: CostModel::base(),
+            thresholds: Thresholds::paper_fast(),
+        }
+    }
+
+    /// R-NUMA with the paper's base 2.4-MB page cache.
+    pub fn r_numa() -> Self {
+        Self::r_numa_with(PageCacheConfig::PAPER)
+    }
+
+    /// R-NUMA with an infinite page cache ("R-NUMA-Inf").
+    pub fn r_numa_inf() -> Self {
+        SystemConfig {
+            name: "R-NUMA-Inf".to_string(),
+            ..Self::r_numa_with(PageCacheConfig::Infinite)
+        }
+    }
+
+    /// R-NUMA with half the base page cache ("R-NUMA-1/2", Section 6.4).
+    pub fn r_numa_half() -> Self {
+        SystemConfig {
+            name: "R-NUMA-1/2".to_string(),
+            ..Self::r_numa_with(PageCacheConfig::PAPER_HALF)
+        }
+    }
+
+    /// The R-NUMA+MigRep hybrid of Section 6.4: R-NUMA with half the page
+    /// cache, page migration/replication enabled, and relocation delayed
+    /// until a page has seen `relocation_delay` misses.
+    pub fn r_numa_migrep(page_cache: PageCacheConfig, relocation_delay: u64) -> Self {
+        SystemConfig {
+            name: "R-NUMA-1/2+MigRep".to_string(),
+            block_cache: None,
+            page_cache: Some(page_cache),
+            migrep: Some(MigRepConfig::BOTH),
+            costs: CostModel::base(),
+            thresholds: Thresholds::paper_fast().with_relocation_delay(relocation_delay),
+        }
+    }
+
+    /// Replace the cost model (e.g. [`CostModel::slow`]).
+    pub fn with_costs(mut self, costs: CostModel) -> Self {
+        self.costs = costs;
+        self
+    }
+
+    /// Replace the thresholds.
+    pub fn with_thresholds(mut self, thresholds: Thresholds) -> Self {
+        self.thresholds = thresholds;
+        self
+    }
+
+    /// Rename the configuration (for reporting variants).
+    pub fn named(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// `true` if this system performs fine-grain memory caching (has a page
+    /// cache).
+    pub fn is_rnuma(&self) -> bool {
+        self.page_cache.is_some()
+    }
+
+    /// `true` if this system performs page migration and/or replication.
+    pub fn has_migrep(&self) -> bool {
+        self.migrep.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cc_numa_variants_share_the_block_cache() {
+        for cfg in [
+            SystemConfig::cc_numa(),
+            SystemConfig::cc_numa_rep(),
+            SystemConfig::cc_numa_mig(),
+            SystemConfig::cc_numa_migrep(),
+        ] {
+            assert_eq!(cfg.block_cache, Some(BlockCacheConfig::PAPER));
+            assert!(cfg.page_cache.is_none());
+            assert!(!cfg.is_rnuma());
+        }
+        assert!(!SystemConfig::cc_numa().has_migrep());
+        assert!(SystemConfig::cc_numa_migrep().has_migrep());
+        assert_eq!(
+            SystemConfig::cc_numa_rep().migrep,
+            Some(MigRepConfig::REPLICATION_ONLY)
+        );
+        assert_eq!(
+            SystemConfig::cc_numa_mig().migrep,
+            Some(MigRepConfig::MIGRATION_ONLY)
+        );
+    }
+
+    #[test]
+    fn perfect_cc_numa_has_infinite_block_cache() {
+        let cfg = SystemConfig::perfect_cc_numa();
+        assert_eq!(cfg.block_cache, Some(BlockCacheConfig::Infinite));
+    }
+
+    #[test]
+    fn r_numa_variants_have_no_block_cache() {
+        for cfg in [
+            SystemConfig::r_numa(),
+            SystemConfig::r_numa_inf(),
+            SystemConfig::r_numa_half(),
+        ] {
+            assert!(cfg.block_cache.is_none());
+            assert!(cfg.is_rnuma());
+            assert!(!cfg.has_migrep());
+        }
+        assert_eq!(
+            SystemConfig::r_numa().page_cache,
+            Some(PageCacheConfig::PAPER)
+        );
+        assert_eq!(
+            SystemConfig::r_numa_half().page_cache,
+            Some(PageCacheConfig::PAPER_HALF)
+        );
+        assert_eq!(
+            SystemConfig::r_numa_inf().page_cache,
+            Some(PageCacheConfig::Infinite)
+        );
+    }
+
+    #[test]
+    fn hybrid_has_both_mechanisms_and_a_delay() {
+        let cfg = SystemConfig::r_numa_migrep(PageCacheConfig::PAPER_HALF, 32_000);
+        assert!(cfg.is_rnuma());
+        assert!(cfg.has_migrep());
+        assert_eq!(cfg.thresholds.rnuma_relocation_delay, 32_000);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let cfg = SystemConfig::cc_numa_migrep()
+            .with_costs(CostModel::slow())
+            .with_thresholds(Thresholds::paper_slow())
+            .named("MigRep-Slow");
+        assert_eq!(cfg.name, "MigRep-Slow");
+        assert_eq!(cfg.costs, CostModel::slow());
+        assert_eq!(cfg.thresholds.migrep_threshold, 1200);
+    }
+
+    #[test]
+    fn machine_configs() {
+        assert_eq!(MachineConfig::PAPER.topology.total_procs(), 32);
+        assert_eq!(MachineConfig::PAPER.l1.size_bytes, 16 * 1024);
+        let tiny = MachineConfig::tiny();
+        assert_eq!(tiny.topology.total_procs(), 4);
+    }
+}

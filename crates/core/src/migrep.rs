@@ -1,0 +1,359 @@
+//! The page migration/replication engine (CC-NUMA+MigRep, Section 3.1).
+//!
+//! The home node of every page keeps per-node read- and write-miss counters
+//! for the page.  On every cache-fill request it increments the requester's
+//! counter and checks two conditions:
+//!
+//! * **replication** — the page has seen no write misses and the requesting
+//!   node's read-miss count exceeds the threshold: the requester receives a
+//!   read-only replica;
+//! * **migration** — the requesting node's miss count exceeds the current
+//!   home's miss count by at least the threshold: the page migrates to the
+//!   requester.
+//!
+//! Counters are reset periodically (the paper uses a 32000-miss interval) so
+//! that decisions reflect recent behaviour.  A write to a replicated page
+//! anywhere in the cluster forces the page back to a single read-write copy
+//! and invalidates every replica.
+
+use crate::config::MigRepConfig;
+use crate::cost::Thresholds;
+use mem_trace::{NodeId, PageId};
+use std::collections::HashMap;
+
+/// A page operation requested by the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageOp {
+    /// Replicate `page` read-only onto `to`.
+    Replicate {
+        /// Page to replicate.
+        page: PageId,
+        /// Node receiving the replica.
+        to: NodeId,
+    },
+    /// Migrate `page` from its current home to `to`.
+    Migrate {
+        /// Page to migrate.
+        page: PageId,
+        /// The new home node.
+        to: NodeId,
+    },
+}
+
+#[derive(Debug, Clone, Default)]
+struct PageCounters {
+    /// Read misses per *remote* requesting node (the home node's cluster
+    /// device counts requests it receives from other nodes).
+    reads: HashMap<NodeId, u64>,
+    /// Write misses per *remote* requesting node.
+    writes: HashMap<NodeId, u64>,
+    /// Misses by the home node itself (observed on its own memory bus);
+    /// used only for the migration comparison against remote requesters.
+    home_misses: u64,
+    /// Misses to this page since its counters were last reset.
+    since_reset: u64,
+}
+
+impl PageCounters {
+    fn total_of(&self, node: NodeId) -> u64 {
+        self.reads.get(&node).copied().unwrap_or(0) + self.writes.get(&node).copied().unwrap_or(0)
+    }
+
+    fn total_writes(&self) -> u64 {
+        self.writes.values().sum()
+    }
+
+}
+
+/// The migration/replication policy engine.
+#[derive(Debug, Clone)]
+pub struct MigRepEngine {
+    cfg: MigRepConfig,
+    threshold: u64,
+    reset_interval: u64,
+    counters: HashMap<PageId, PageCounters>,
+    /// Per-page bitmask of nodes holding read-only replicas.
+    replicas: HashMap<PageId, u64>,
+    migrations: u64,
+    replications: u64,
+    switches_to_rw: u64,
+}
+
+impl MigRepEngine {
+    /// Create an engine with the given policy switches and thresholds.
+    pub fn new(cfg: MigRepConfig, thresholds: Thresholds) -> Self {
+        MigRepEngine {
+            cfg,
+            threshold: thresholds.migrep_threshold,
+            reset_interval: thresholds.migrep_reset_interval,
+            counters: HashMap::new(),
+            replicas: HashMap::new(),
+            migrations: 0,
+            replications: 0,
+            switches_to_rw: 0,
+        }
+    }
+
+    /// Record a miss to `page` (currently homed on `home`) issued by
+    /// `requester`, and return the page operation the policy wants to
+    /// perform, if any.  The caller is responsible for actually carrying it
+    /// out (and for then calling [`MigRepEngine::note_migrated`] /
+    /// [`MigRepEngine::note_replicated`]).
+    pub fn record_miss(
+        &mut self,
+        page: PageId,
+        home: NodeId,
+        requester: NodeId,
+        is_write: bool,
+    ) -> Option<PageOp> {
+        let threshold = self.threshold;
+        let reset_interval = self.reset_interval;
+        let already_replica = self
+            .replicas
+            .get(&page)
+            .map(|mask| mask & (1u64 << requester.index()) != 0)
+            .unwrap_or(false);
+        let page_replicated = self.replicas.get(&page).map(|m| *m != 0).unwrap_or(false);
+        let counters = self.counters.entry(page).or_default();
+        counters.since_reset += 1;
+        if requester == home {
+            counters.home_misses += 1;
+        } else if is_write {
+            *counters.writes.entry(requester).or_insert(0) += 1;
+        } else {
+            *counters.reads.entry(requester).or_insert(0) += 1;
+        }
+
+        let mut decision = None;
+        if requester != home {
+            // Replication: read-only page, frequent remote reader.
+            if self.cfg.replication
+                && !is_write
+                && !already_replica
+                && counters.total_writes() == 0
+                && counters.reads.get(&requester).copied().unwrap_or(0) >= threshold
+            {
+                decision = Some(PageOp::Replicate {
+                    page,
+                    to: requester,
+                });
+            }
+
+            // Migration: requester misses far more than the home does.
+            // Replicated (read-shared) pages are never migration candidates.
+            if decision.is_none()
+                && self.cfg.migration
+                && !page_replicated
+                && counters.total_of(requester) >= counters.home_misses + threshold
+            {
+                decision = Some(PageOp::Migrate {
+                    page,
+                    to: requester,
+                });
+            }
+        }
+
+        // Periodic reset (the paper resets the miss counters at a preset
+        // interval) so that decisions reflect recent behaviour only.
+        if counters.since_reset >= reset_interval {
+            *counters = PageCounters::default();
+        }
+        decision
+    }
+
+    /// `true` if `page` currently has at least one replica.
+    pub fn is_replicated(&self, page: PageId) -> bool {
+        self.replicas.get(&page).map(|m| *m != 0).unwrap_or(false)
+    }
+
+    /// `true` if `node` holds a replica of `page`.
+    pub fn holds_replica(&self, page: PageId, node: NodeId) -> bool {
+        self.replicas
+            .get(&page)
+            .map(|m| m & (1u64 << node.index()) != 0)
+            .unwrap_or(false)
+    }
+
+    /// Nodes holding replicas of `page`.
+    pub fn replica_holders(&self, page: PageId) -> Vec<NodeId> {
+        match self.replicas.get(&page) {
+            Some(mask) => (0..64)
+                .filter(|i| mask & (1u64 << i) != 0)
+                .map(|i| NodeId(i as u16))
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Record that a replica of `page` was installed on `node`.
+    pub fn note_replicated(&mut self, page: PageId, node: NodeId) {
+        *self.replicas.entry(page).or_insert(0) |= 1u64 << node.index();
+        self.replications += 1;
+    }
+
+    /// Record that `page` migrated; its counters restart from zero.
+    pub fn note_migrated(&mut self, page: PageId) {
+        self.counters.remove(&page);
+        self.migrations += 1;
+    }
+
+    /// A write hit a replicated page: every replica must be invalidated and
+    /// the page switched back to a single read-write copy.  Returns the
+    /// nodes whose replicas were dropped.
+    pub fn switch_to_read_write(&mut self, page: PageId) -> Vec<NodeId> {
+        let holders = self.replica_holders(page);
+        if !holders.is_empty() {
+            self.replicas.remove(&page);
+            self.switches_to_rw += 1;
+            // The sharing pattern changed; restart the page's counters.
+            self.counters.remove(&page);
+        }
+        holders
+    }
+
+    /// `(migrations, replications, switches back to read-write)`.
+    pub fn counts(&self) -> (u64, u64, u64) {
+        (self.migrations, self.replications, self.switches_to_rw)
+    }
+
+    /// The policy configuration.
+    pub fn config(&self) -> MigRepConfig {
+        self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn thresholds(t: u64, reset: u64) -> Thresholds {
+        Thresholds {
+            migrep_threshold: t,
+            migrep_reset_interval: reset,
+            rnuma_threshold: 32,
+            rnuma_relocation_delay: 0,
+        }
+    }
+
+    const PAGE: PageId = PageId(7);
+    const HOME: NodeId = NodeId(0);
+    const REMOTE: NodeId = NodeId(3);
+
+    #[test]
+    fn replication_triggers_after_threshold_reads() {
+        let mut e = MigRepEngine::new(MigRepConfig::BOTH, thresholds(4, 1_000));
+        for _ in 0..3 {
+            assert_eq!(e.record_miss(PAGE, HOME, REMOTE, false), None);
+        }
+        assert_eq!(
+            e.record_miss(PAGE, HOME, REMOTE, false),
+            Some(PageOp::Replicate {
+                page: PAGE,
+                to: REMOTE
+            })
+        );
+        e.note_replicated(PAGE, REMOTE);
+        assert!(e.is_replicated(PAGE));
+        assert!(e.holds_replica(PAGE, REMOTE));
+        assert_eq!(e.counts(), (0, 1, 0));
+        // Once replicated, further reads do not re-trigger replication.
+        assert_eq!(e.record_miss(PAGE, HOME, REMOTE, false), None);
+    }
+
+    #[test]
+    fn write_misses_block_replication() {
+        let mut e = MigRepEngine::new(MigRepConfig::REPLICATION_ONLY, thresholds(3, 1_000));
+        e.record_miss(PAGE, HOME, REMOTE, true);
+        for _ in 0..10 {
+            assert_eq!(e.record_miss(PAGE, HOME, REMOTE, false), None);
+        }
+    }
+
+    #[test]
+    fn migration_triggers_when_requester_outpaces_home() {
+        let mut e = MigRepEngine::new(MigRepConfig::MIGRATION_ONLY, thresholds(5, 1_000));
+        // Requester misses repeatedly; home never misses.
+        let mut decision = None;
+        for _ in 0..5 {
+            decision = e.record_miss(PAGE, HOME, REMOTE, true);
+        }
+        assert_eq!(
+            decision,
+            Some(PageOp::Migrate {
+                page: PAGE,
+                to: REMOTE
+            })
+        );
+        e.note_migrated(PAGE);
+        assert_eq!(e.counts().0, 1);
+    }
+
+    #[test]
+    fn home_activity_suppresses_migration() {
+        let mut e = MigRepEngine::new(MigRepConfig::MIGRATION_ONLY, thresholds(5, 1_000));
+        for _ in 0..20 {
+            // Home node itself also misses (local misses recorded with
+            // requester == home).
+            e.record_miss(PAGE, HOME, HOME, false);
+            assert_eq!(e.record_miss(PAGE, HOME, REMOTE, false), None);
+        }
+    }
+
+    #[test]
+    fn replication_preferred_over_migration_for_read_only_pages() {
+        let mut e = MigRepEngine::new(MigRepConfig::BOTH, thresholds(2, 1_000));
+        e.record_miss(PAGE, HOME, REMOTE, false);
+        let d = e.record_miss(PAGE, HOME, REMOTE, false);
+        assert_eq!(
+            d,
+            Some(PageOp::Replicate {
+                page: PAGE,
+                to: REMOTE
+            })
+        );
+    }
+
+    #[test]
+    fn counters_reset_after_interval() {
+        let mut e = MigRepEngine::new(MigRepConfig::MIGRATION_ONLY, thresholds(10, 8));
+        // 8 misses -> counters reset before reaching the threshold of 10, so
+        // no migration ever fires even after many misses.
+        for _ in 0..100 {
+            assert_eq!(e.record_miss(PAGE, HOME, REMOTE, true), None);
+        }
+    }
+
+    #[test]
+    fn switch_to_read_write_drops_all_replicas() {
+        let mut e = MigRepEngine::new(MigRepConfig::BOTH, thresholds(1, 1_000));
+        e.note_replicated(PAGE, NodeId(1));
+        e.note_replicated(PAGE, NodeId(4));
+        let dropped = e.switch_to_read_write(PAGE);
+        assert_eq!(dropped, vec![NodeId(1), NodeId(4)]);
+        assert!(!e.is_replicated(PAGE));
+        assert_eq!(e.counts().2, 1);
+        // Idempotent.
+        assert!(e.switch_to_read_write(PAGE).is_empty());
+    }
+
+    #[test]
+    fn local_misses_never_trigger_page_ops() {
+        let mut e = MigRepEngine::new(MigRepConfig::BOTH, thresholds(1, 1_000));
+        for _ in 0..50 {
+            assert_eq!(e.record_miss(PAGE, HOME, HOME, false), None);
+        }
+    }
+
+    #[test]
+    fn disabled_engine_never_decides() {
+        let off = MigRepConfig {
+            migration: false,
+            replication: false,
+        };
+        let mut e = MigRepEngine::new(off, thresholds(1, 1_000));
+        for _ in 0..10 {
+            assert_eq!(e.record_miss(PAGE, HOME, REMOTE, false), None);
+            assert_eq!(e.record_miss(PAGE, HOME, REMOTE, true), None);
+        }
+    }
+}

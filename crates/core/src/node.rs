@@ -1,0 +1,110 @@
+//! Per-node and per-processor runtime state used by the cluster simulator.
+
+use crate::config::SystemConfig;
+use crate::stats::NodeStats;
+use dsm_protocol::{BlockCache, PageCache};
+use mem_trace::PageId;
+use sim_engine::Cycles;
+use smp_node::{CacheConfig, DataCache, MemoryBus, MissClassifier, PageTable};
+
+/// Runtime state of one processor.
+#[derive(Debug, Clone)]
+pub struct ProcState {
+    /// The processor's private data cache.
+    pub cache: DataCache,
+    /// Miss-classification history.
+    pub classifier: MissClassifier,
+    /// Index of the next trace event to execute.
+    pub cursor: usize,
+    /// The processor's local clock.
+    pub time: Cycles,
+    /// `true` once the processor has drained its trace.
+    pub done: bool,
+    /// What the processor is currently blocked on, if anything.
+    pub waiting: Waiting,
+}
+
+/// Blocking state of a processor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Waiting {
+    /// Runnable.
+    None,
+    /// Arrived at a barrier and waiting for the rest of the cluster.
+    Barrier(u32),
+    /// Waiting to acquire a lock.
+    Lock(u32),
+}
+
+impl ProcState {
+    /// Fresh processor state with an empty cache.
+    pub fn new(l1: CacheConfig) -> Self {
+        ProcState {
+            cache: DataCache::new(l1),
+            classifier: MissClassifier::new(),
+            cursor: 0,
+            time: Cycles::ZERO,
+            done: false,
+            waiting: Waiting::None,
+        }
+    }
+}
+
+/// Runtime state of one cluster node.
+pub struct NodeState {
+    /// The cluster device's SRAM block cache, if this system has one.
+    pub block_cache: Option<BlockCache>,
+    /// The S-COMA page cache, if this system supports fine-grain memory
+    /// caching.
+    pub page_cache: Option<PageCache>,
+    /// The node's page table.
+    pub page_table: PageTable,
+    /// The node's memory bus.
+    pub bus: MemoryBus,
+    /// Counters reported at the end of the run.
+    pub stats: NodeStats,
+}
+
+impl NodeState {
+    /// Build the per-node hardware prescribed by `system`.
+    pub fn new(node_index: usize, system: &SystemConfig) -> Self {
+        NodeState {
+            block_cache: system.block_cache.map(BlockCache::new),
+            page_cache: system.page_cache.map(PageCache::new),
+            page_table: PageTable::new(),
+            bus: MemoryBus::new(node_index),
+            stats: NodeStats::default(),
+        }
+    }
+
+    /// `true` if this node has relocated `page` into its page cache.
+    pub fn page_in_page_cache(&self, page: PageId) -> bool {
+        self.page_cache
+            .as_ref()
+            .map(|pc| pc.contains_page(page))
+            .unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{MachineConfig, SystemConfig};
+
+    #[test]
+    fn node_state_builds_hardware_per_system() {
+        let machine = MachineConfig::tiny();
+        let cc = NodeState::new(0, &SystemConfig::cc_numa());
+        assert!(cc.block_cache.is_some());
+        assert!(cc.page_cache.is_none());
+
+        let rn = NodeState::new(0, &SystemConfig::r_numa());
+        assert!(rn.block_cache.is_none());
+        assert!(rn.page_cache.is_some());
+        assert!(!rn.page_in_page_cache(PageId(0)));
+
+        let proc = ProcState::new(machine.l1);
+        assert_eq!(proc.time, Cycles::ZERO);
+        assert!(!proc.done);
+        assert_eq!(proc.waiting, Waiting::None);
+    }
+}

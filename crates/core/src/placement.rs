@@ -1,0 +1,128 @@
+//! First-touch page placement and home-node tracking.
+//!
+//! All systems in the paper start from the same "first-touch" placement
+//! policy: at the start of the parallel phase, the first node to request a
+//! page becomes its home.  Page migration later *changes* the home; this
+//! module is the single source of truth for "where does page P live right
+//! now".
+
+use mem_trace::{NodeId, PageId};
+use std::collections::HashMap;
+
+/// Tracks the home node of every shared page.
+#[derive(Debug, Clone, Default)]
+pub struct PagePlacement {
+    homes: HashMap<PageId, NodeId>,
+    first_touches: u64,
+    migrations: u64,
+}
+
+impl PagePlacement {
+    /// An empty placement (no page has been touched yet).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The home of `page`, if it has been placed.
+    pub fn home_of(&self, page: PageId) -> Option<NodeId> {
+        self.homes.get(&page).copied()
+    }
+
+    /// `true` if `page` has been placed.
+    pub fn is_placed(&self, page: PageId) -> bool {
+        self.homes.contains_key(&page)
+    }
+
+    /// Place `page` on first touch by `node`; returns the page's home (the
+    /// toucher if this really was the first touch, the existing home
+    /// otherwise).
+    pub fn first_touch(&mut self, page: PageId, node: NodeId) -> NodeId {
+        match self.homes.get(&page) {
+            Some(home) => *home,
+            None => {
+                self.homes.insert(page, node);
+                self.first_touches += 1;
+                node
+            }
+        }
+    }
+
+    /// Migrate `page` to a new home.  Returns the previous home.
+    ///
+    /// # Panics
+    /// Panics if the page has never been placed (migration of an untouched
+    /// page is a policy bug).
+    pub fn migrate(&mut self, page: PageId, new_home: NodeId) -> NodeId {
+        let old = self
+            .homes
+            .insert(page, new_home)
+            .expect("migrating a page that was never placed");
+        self.migrations += 1;
+        old
+    }
+
+    /// Number of pages placed so far.
+    pub fn pages_placed(&self) -> usize {
+        self.homes.len()
+    }
+
+    /// Number of pages currently homed on `node`.
+    pub fn pages_homed_on(&self, node: NodeId) -> usize {
+        self.homes.values().filter(|h| **h == node).count()
+    }
+
+    /// `(first touches, migrations)` performed so far.
+    pub fn counters(&self) -> (u64, u64) {
+        (self.first_touches, self.migrations)
+    }
+
+    /// Iterate over all placements.
+    pub fn iter(&self) -> impl Iterator<Item = (PageId, NodeId)> + '_ {
+        self.homes.iter().map(|(p, n)| (*p, *n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_touch_assigns_home_once() {
+        let mut p = PagePlacement::new();
+        assert!(!p.is_placed(PageId(1)));
+        assert_eq!(p.first_touch(PageId(1), NodeId(3)), NodeId(3));
+        // Second toucher does not steal the page.
+        assert_eq!(p.first_touch(PageId(1), NodeId(5)), NodeId(3));
+        assert_eq!(p.home_of(PageId(1)), Some(NodeId(3)));
+        assert_eq!(p.counters(), (1, 0));
+    }
+
+    #[test]
+    fn migration_changes_home() {
+        let mut p = PagePlacement::new();
+        p.first_touch(PageId(2), NodeId(0));
+        let old = p.migrate(PageId(2), NodeId(6));
+        assert_eq!(old, NodeId(0));
+        assert_eq!(p.home_of(PageId(2)), Some(NodeId(6)));
+        assert_eq!(p.counters(), (1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "never placed")]
+    fn migrating_unplaced_page_panics() {
+        PagePlacement::new().migrate(PageId(9), NodeId(0));
+    }
+
+    #[test]
+    fn per_node_page_counts() {
+        let mut p = PagePlacement::new();
+        p.first_touch(PageId(0), NodeId(0));
+        p.first_touch(PageId(1), NodeId(0));
+        p.first_touch(PageId(2), NodeId(1));
+        assert_eq!(p.pages_placed(), 3);
+        assert_eq!(p.pages_homed_on(NodeId(0)), 2);
+        assert_eq!(p.pages_homed_on(NodeId(1)), 1);
+        assert_eq!(p.pages_homed_on(NodeId(7)), 0);
+        assert_eq!(p.iter().count(), 3);
+    }
+}

@@ -1,0 +1,1390 @@
+//! The cluster simulator: drives per-processor traces through the full
+//! memory system of the configured DSM system.
+//!
+//! The simulator is trace-driven with per-processor virtual time.  It always
+//! advances the processor with the smallest local clock, so shared-memory
+//! accesses from different processors interleave in global time order;
+//! coherence state changes are applied at that point and the latency of each
+//! access (Table 3 costs plus bus / network-interface queueing) is charged
+//! to the issuing processor.  Barriers and locks couple the processors'
+//! clocks exactly as the PARMACS synchronization of the original SPLASH-2
+//! programs would.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use dsm_protocol::block_cache::BlockState;
+use dsm_protocol::directory::{DataSource, Directory, DirectoryState};
+use dsm_protocol::page_cache::AllocOutcome;
+use dsm_protocol::{Interconnect, MsgKind};
+use mem_trace::{
+    AccessKind, BlockId, MemRef, NodeId, PageId, ProcId, ProgramTrace, TraceEvent, BLOCKS_PER_PAGE,
+};
+use sim_engine::{Cycles, EventQueue};
+use smp_node::cache::{CacheOutcome, LineState, Victim};
+use smp_node::classify::MissClass;
+use smp_node::page_table::{PageMapping, PageMode, PageProtection};
+use smp_node::BusTransaction;
+
+use crate::config::{MachineConfig, SystemConfig};
+use crate::migrep::{MigRepEngine, PageOp};
+use crate::node::{NodeState, ProcState, Waiting};
+use crate::placement::PagePlacement;
+use crate::rnuma::RNumaEngine;
+use crate::stats::SimResult;
+
+/// Simulates one system configuration on one machine configuration.
+#[derive(Debug, Clone)]
+pub struct ClusterSimulator {
+    machine: MachineConfig,
+    system: SystemConfig,
+}
+
+impl ClusterSimulator {
+    /// Create a simulator.
+    pub fn new(machine: MachineConfig, system: SystemConfig) -> Self {
+        ClusterSimulator { machine, system }
+    }
+
+    /// The system configuration being simulated.
+    pub fn system(&self) -> &SystemConfig {
+        &self.system
+    }
+
+    /// The machine configuration being simulated.
+    pub fn machine(&self) -> &MachineConfig {
+        &self.machine
+    }
+
+    /// Run `trace` to completion and return the collected result.
+    ///
+    /// # Panics
+    /// Panics if the trace is malformed or was generated for a different
+    /// number of processors than this machine has.
+    pub fn run(&self, trace: &ProgramTrace) -> SimResult {
+        assert_eq!(
+            trace.topology.total_procs(),
+            self.machine.topology.total_procs(),
+            "trace generated for a different machine"
+        );
+        trace
+            .validate()
+            .unwrap_or_else(|e| panic!("malformed trace {}: {e:?}", trace.name));
+        let mut run = RunState::new(&self.machine, &self.system);
+        run.execute(trace)
+    }
+}
+
+#[derive(Debug, Default)]
+struct LockState {
+    held_by: Option<u16>,
+    waiters: VecDeque<u16>,
+}
+
+struct RunState<'a> {
+    machine: &'a MachineConfig,
+    system: &'a SystemConfig,
+    procs: Vec<ProcState>,
+    nodes: Vec<NodeState>,
+    placement: PagePlacement,
+    directory: Directory,
+    network: Interconnect,
+    migrep: Option<MigRepEngine>,
+    rnuma: Option<RNumaEngine>,
+    locks: HashMap<u32, LockState>,
+    barrier_waiting: Vec<u16>,
+    accesses: u64,
+    barriers_done: u64,
+}
+
+impl<'a> RunState<'a> {
+    fn new(machine: &'a MachineConfig, system: &'a SystemConfig) -> Self {
+        let total_procs = machine.topology.total_procs();
+        let nodes = (0..machine.topology.nodes as usize)
+            .map(|i| NodeState::new(i, system))
+            .collect();
+        RunState {
+            machine,
+            system,
+            procs: (0..total_procs).map(|_| ProcState::new(machine.l1)).collect(),
+            nodes,
+            placement: PagePlacement::new(),
+            directory: Directory::new(),
+            network: Interconnect::new(
+                machine.topology.nodes as usize,
+                system.costs.network_latency,
+            ),
+            migrep: system
+                .migrep
+                .map(|cfg| MigRepEngine::new(cfg, system.thresholds)),
+            rnuma: system
+                .page_cache
+                .map(|_| RNumaEngine::new(system.thresholds)),
+            locks: HashMap::new(),
+            barrier_waiting: Vec::new(),
+            accesses: 0,
+            barriers_done: 0,
+        }
+    }
+
+    fn barrier_cost(&self) -> Cycles {
+        self.system.costs.remote_miss * 2
+    }
+
+    fn lock_cost(&self) -> Cycles {
+        self.system.costs.remote_miss
+    }
+
+    fn execute(&mut self, trace: &ProgramTrace) -> SimResult {
+        let mut queue: EventQueue<u16> = EventQueue::with_capacity(self.procs.len());
+        for p in 0..self.procs.len() {
+            if !trace.per_proc[p].is_empty() {
+                queue.push(Cycles::ZERO, p as u16);
+            } else {
+                self.procs[p].done = true;
+            }
+        }
+
+        while let Some((_, p)) = queue.pop() {
+            let pid = p as usize;
+            let events = &trace.per_proc[pid];
+            if self.procs[pid].cursor >= events.len() {
+                self.procs[pid].done = true;
+                continue;
+            }
+            let ev = events[self.procs[pid].cursor];
+            match ev {
+                TraceEvent::Compute(c) => {
+                    self.procs[pid].cursor += 1;
+                    self.procs[pid].time += Cycles::new(u64::from(c));
+                    self.reschedule(pid, &mut queue, events.len());
+                }
+                TraceEvent::Access(m) => {
+                    self.procs[pid].cursor += 1;
+                    let now = self.procs[pid].time;
+                    let latency = self.service_access(pid, m, now);
+                    self.procs[pid].time += latency;
+                    self.accesses += 1;
+                    let nidx = self
+                        .machine
+                        .topology
+                        .node_of(ProcId(pid as u16))
+                        .index();
+                    self.nodes[nidx].stats.memory_stall_cycles += latency;
+                    self.reschedule(pid, &mut queue, events.len());
+                }
+                TraceEvent::Barrier(id) => {
+                    self.procs[pid].cursor += 1;
+                    self.procs[pid].waiting = Waiting::Barrier(id);
+                    self.barrier_waiting.push(p);
+                    if self.barrier_waiting.len() == self.procs.len() {
+                        let release = self
+                            .barrier_waiting
+                            .iter()
+                            .map(|&q| self.procs[q as usize].time)
+                            .max()
+                            .unwrap_or(Cycles::ZERO)
+                            + self.barrier_cost();
+                        let waiting = std::mem::take(&mut self.barrier_waiting);
+                        for q in waiting {
+                            let qi = q as usize;
+                            self.procs[qi].time = release;
+                            self.procs[qi].waiting = Waiting::None;
+                            if self.procs[qi].cursor < trace.per_proc[qi].len() {
+                                queue.push(release, q);
+                            } else {
+                                self.procs[qi].done = true;
+                            }
+                        }
+                        self.barriers_done += 1;
+                    }
+                }
+                TraceEvent::Lock(id) => {
+                    self.procs[pid].cursor += 1;
+                    let acquire_now = {
+                        let lock = self.locks.entry(id).or_default();
+                        if lock.held_by.is_none() {
+                            lock.held_by = Some(p);
+                            true
+                        } else {
+                            lock.waiters.push_back(p);
+                            false
+                        }
+                    };
+                    if acquire_now {
+                        let cost = self.lock_cost();
+                        self.procs[pid].time += cost;
+                        if self.procs[pid].cursor < events.len() {
+                            queue.push(self.procs[pid].time, p);
+                        } else {
+                            self.procs[pid].done = true;
+                        }
+                    } else {
+                        self.procs[pid].waiting = Waiting::Lock(id);
+                    }
+                }
+                TraceEvent::Unlock(id) => {
+                    self.procs[pid].cursor += 1;
+                    let release_time = self.procs[pid].time;
+                    let next = {
+                        let lock = self.locks.entry(id).or_default();
+                        lock.held_by = None;
+                        lock.waiters.pop_front()
+                    };
+                    if let Some(w) = next {
+                        let wi = w as usize;
+                        let cost = self.lock_cost();
+                        self.locks.get_mut(&id).expect("lock exists").held_by = Some(w);
+                        self.procs[wi].time = self.procs[wi].time.max(release_time) + cost;
+                        self.procs[wi].waiting = Waiting::None;
+                        if self.procs[wi].cursor < trace.per_proc[wi].len() {
+                            queue.push(self.procs[wi].time, w);
+                        } else {
+                            self.procs[wi].done = true;
+                        }
+                    }
+                    self.reschedule(pid, &mut queue, events.len());
+                }
+            }
+        }
+
+        self.finish(trace)
+    }
+
+    /// Re-enqueue a runnable processor, or mark it finished once its trace
+    /// is drained.
+    fn reschedule(&mut self, pid: usize, queue: &mut EventQueue<u16>, total_events: usize) {
+        if self.procs[pid].waiting != Waiting::None {
+            return;
+        }
+        if self.procs[pid].cursor < total_events {
+            queue.push(self.procs[pid].time, pid as u16);
+        } else {
+            self.procs[pid].done = true;
+        }
+    }
+
+    fn finish(&mut self, trace: &ProgramTrace) -> SimResult {
+        let execution_time = self
+            .procs
+            .iter()
+            .map(|p| p.time)
+            .max()
+            .unwrap_or(Cycles::ZERO);
+        // Fold per-processor miss classifications into the node stats.
+        for (i, proc) in self.procs.iter().enumerate() {
+            let nidx = self.machine.topology.node_of(ProcId(i as u16)).index();
+            let (cold, coherence, capacity) = proc.classifier.counts();
+            let stats = &mut self.nodes[nidx].stats;
+            stats.cold_misses += cold;
+            stats.coherence_misses += coherence;
+            stats.capacity_conflict_misses += capacity;
+        }
+        SimResult {
+            system: self.system.name.clone(),
+            workload: trace.name.clone(),
+            execution_time,
+            per_node: self.nodes.iter().map(|n| n.stats.clone()).collect(),
+            traffic: self.network.traffic().clone(),
+            accesses: self.accesses,
+            barriers: self.barriers_done,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Memory access path
+    // ------------------------------------------------------------------
+
+    fn service_access(&mut self, pid: usize, m: MemRef, now: Cycles) -> Cycles {
+        let proc_id = ProcId(pid as u16);
+        let node_id = self.machine.topology.node_of(proc_id);
+        let nidx = node_id.index();
+        let page = m.page();
+        let block = m.block();
+        let is_write = m.kind.is_write();
+        let costs = self.system.costs;
+        let mut latency = Cycles::ZERO;
+
+        // --- page mapping (soft page fault on first reference) ----------
+        let mut mapping = match self.nodes[nidx].page_table.lookup(page) {
+            Some(mp) => mp,
+            None => {
+                let home = self.placement.first_touch(page, node_id);
+                latency += costs.soft_trap;
+                let replica = self
+                    .migrep
+                    .as_ref()
+                    .map(|e| e.holds_replica(page, node_id))
+                    .unwrap_or(false);
+                let mp = if replica {
+                    PageMapping::replica(home)
+                } else if home == node_id {
+                    PageMapping::new(PageMode::LocalHome, home)
+                } else {
+                    PageMapping::new(PageMode::RemoteCcNuma, home)
+                };
+                self.nodes[nidx].page_table.map(page, mp);
+                mp
+            }
+        };
+
+        // --- write to a read-only replica: protection fault -------------
+        if is_write && mapping.protection == PageProtection::ReadOnly {
+            latency += costs.soft_trap;
+            latency += self.switch_page_to_read_write(page, nidx, node_id, now + latency);
+            mapping = self
+                .nodes[nidx]
+                .page_table
+                .lookup(page)
+                .expect("page remapped after switch to read-write");
+        }
+
+        // --- processor cache ---------------------------------------------
+        let outcome = self.procs[pid].cache.access(block, m.kind);
+        match outcome {
+            CacheOutcome::Hit => {
+                self.nodes[nidx].stats.l1_hits += 1;
+                if is_write {
+                    self.invalidate_block_in_sibling_procs(nidx, pid, block);
+                }
+                latency + costs.cache_hit
+            }
+            CacheOutcome::UpgradeMiss => {
+                latency += self.service_upgrade(nidx, node_id, page, block, mapping, now + latency);
+                // A page operation triggered by the upgrade (e.g. a
+                // migration flush) may have dropped the line; refill it.
+                if self.procs[pid].cache.state_of(block).is_valid() {
+                    self.procs[pid].cache.upgrade(block);
+                } else {
+                    self.procs[pid].cache.fill(block, LineState::Modified);
+                    self.procs[pid].classifier.record_fill(block);
+                }
+                self.invalidate_block_in_sibling_procs(nidx, pid, block);
+                latency
+            }
+            CacheOutcome::Miss { victim } => {
+                if let Some(v) = victim {
+                    self.handle_l1_victim(pid, nidx, node_id, v, now);
+                }
+                let class = self.procs[pid].classifier.classify_miss(block);
+                latency +=
+                    self.service_data_miss(nidx, node_id, page, block, m.kind, class, mapping, now + latency);
+                let fill_state = if is_write {
+                    LineState::Modified
+                } else {
+                    LineState::Shared
+                };
+                self.procs[pid].cache.fill(block, fill_state);
+                self.procs[pid].classifier.record_fill(block);
+                if is_write {
+                    self.invalidate_block_in_sibling_procs(nidx, pid, block);
+                }
+                latency
+            }
+        }
+    }
+
+    /// Write hit on a line held shared: obtain exclusive ownership.
+    fn service_upgrade(
+        &mut self,
+        nidx: usize,
+        node_id: NodeId,
+        page: PageId,
+        block: BlockId,
+        mapping: PageMapping,
+        now: Cycles,
+    ) -> Cycles {
+        let costs = self.system.costs;
+        let home = self.placement.home_of(page).unwrap_or(node_id);
+        let reply = self.directory.handle_write(block, node_id);
+        let mut remote_invalidations = false;
+        for victim_node in &reply.invalidate {
+            if *victim_node != node_id {
+                remote_invalidations = true;
+                self.invalidate_block_on_node(victim_node.index(), block);
+            }
+        }
+
+        let remote_page = home != node_id && mapping.mode != PageMode::Replica;
+        let latency = if remote_page {
+            // Ownership is granted by the (remote) home directory.
+            let t = self.network.round_trip(
+                node_id,
+                home,
+                now,
+                MsgKind::WriteRequest,
+                MsgKind::WriteReply,
+                Cycles::ZERO,
+            );
+            self.nodes[nidx].stats.remote_misses += 1;
+            // Ownership requests reach the home node and are counted by its
+            // migration/replication hardware.
+            let decision = if mapping.mode == PageMode::RemoteCcNuma {
+                self.migrep
+                    .as_mut()
+                    .and_then(|engine| engine.record_miss(page, home, node_id, true))
+            } else {
+                None
+            };
+            if let Some(op) = decision {
+                let extra = self.perform_page_op(op, now);
+                return costs.remote_miss.max(t - now) + extra;
+            }
+            costs.remote_miss.max(t - now)
+        } else {
+            let t = self.nodes[nidx].bus.issue(now, BusTransaction::Upgrade);
+            if remote_invalidations {
+                costs.remote_miss.max(t - now)
+            } else {
+                (t - now).max(BusTransaction::Upgrade.cpu_cycles())
+            }
+        };
+
+        // The written block becomes dirty wherever the node keeps it.
+        match mapping.mode {
+            PageMode::RemoteCcNuma => {
+                if let Some(bc) = self.nodes[nidx].block_cache.as_mut() {
+                    bc.mark_dirty(block);
+                }
+            }
+            PageMode::SComa => {
+                if let Some(pc) = self.nodes[nidx].page_cache.as_mut() {
+                    pc.mark_dirty(block);
+                }
+            }
+            _ => {}
+        }
+        latency
+    }
+
+    /// Data miss in the processor cache: find the block, charging the right
+    /// latency for the page's current mapping.
+    #[allow(clippy::too_many_arguments)]
+    fn service_data_miss(
+        &mut self,
+        nidx: usize,
+        node_id: NodeId,
+        page: PageId,
+        block: BlockId,
+        kind: AccessKind,
+        class: MissClass,
+        mapping: PageMapping,
+        now: Cycles,
+    ) -> Cycles {
+        let costs = self.system.costs;
+        let is_write = kind.is_write();
+        let home = self.placement.home_of(page).unwrap_or(node_id);
+        if let Some(engine) = self.rnuma.as_mut() {
+            engine.record_page_miss(page);
+        }
+
+        match mapping.mode {
+            PageMode::LocalHome | PageMode::Replica => {
+                // Data lives in local memory unless a remote node owns it dirty.
+                let entry = self.directory.entry(block);
+                let remote_owner = match entry.state {
+                    DirectoryState::Modified => entry
+                        .sharer_nodes()
+                        .first()
+                        .copied()
+                        .filter(|o| *o != node_id),
+                    _ => None,
+                };
+                if is_write {
+                    let reply = self.directory.handle_write(block, node_id);
+                    for victim in &reply.invalidate {
+                        if *victim != node_id {
+                            self.invalidate_block_on_node(victim.index(), block);
+                        }
+                    }
+                } else {
+                    self.directory.handle_read(block, node_id);
+                    if let Some(owner) = remote_owner {
+                        self.downgrade_block_on_node(owner.index(), block);
+                    }
+                }
+
+                let latency = if let Some(owner) = remote_owner {
+                    let t = self.network.round_trip(
+                        node_id,
+                        owner,
+                        now,
+                        MsgKind::OwnerForward,
+                        if is_write {
+                            MsgKind::WriteReply
+                        } else {
+                            MsgKind::ReadReply
+                        },
+                        Cycles::ZERO,
+                    );
+                    self.count_remote_miss(nidx, class);
+                    costs.dirty_remote_miss().max(t - now)
+                } else {
+                    let t = self.nodes[nidx].bus.issue(now, BusTransaction::BlockFill);
+                    self.nodes[nidx].stats.local_misses += 1;
+                    costs.local_miss.max(t - now)
+                };
+
+                if mapping.mode == PageMode::LocalHome {
+                    if let Some(engine) = self.migrep.as_mut() {
+                        // Local misses are counted so that the home-vs-requester
+                        // comparison in the migration policy sees them.
+                        let _ = engine.record_miss(page, home, node_id, is_write);
+                    }
+                }
+                latency
+            }
+
+            PageMode::SComa => {
+                let present = self
+                    .nodes[nidx]
+                    .page_cache
+                    .as_mut()
+                    .expect("S-COMA mapping without a page cache")
+                    .lookup_block(block);
+                if present {
+                    if is_write {
+                        let reply = self.directory.handle_write(block, node_id);
+                        let mut remote_invalidations = false;
+                        for victim in &reply.invalidate {
+                            if *victim != node_id {
+                                remote_invalidations = true;
+                                self.invalidate_block_on_node(victim.index(), block);
+                            }
+                        }
+                        self.nodes[nidx]
+                            .page_cache
+                            .as_mut()
+                            .expect("checked above")
+                            .mark_dirty(block);
+                        if remote_invalidations {
+                            self.count_remote_miss(nidx, class);
+                            costs.remote_miss
+                        } else {
+                            let t = self.nodes[nidx].bus.issue(now, BusTransaction::BlockFill);
+                            self.nodes[nidx].stats.local_misses += 1;
+                            costs.local_miss.max(t - now)
+                        }
+                    } else {
+                        let t = self.nodes[nidx].bus.issue(now, BusTransaction::BlockFill);
+                        self.nodes[nidx].stats.local_misses += 1;
+                        costs.local_miss.max(t - now)
+                    }
+                } else {
+                    // Fine-grain miss in the page cache: fetch from the home
+                    // and install the block locally.
+                    let latency = self.remote_fetch(nidx, node_id, home, block, is_write, class, now);
+                    self.nodes[nidx]
+                        .page_cache
+                        .as_mut()
+                        .expect("checked above")
+                        .install_block(block, is_write);
+                    latency
+                }
+            }
+
+            PageMode::RemoteCcNuma => {
+                let block_cache_hit = self
+                    .nodes[nidx]
+                    .block_cache
+                    .as_mut()
+                    .map(|bc| bc.lookup(block).is_some())
+                    .unwrap_or(false);
+
+                if block_cache_hit {
+                    if is_write {
+                        let reply = self.directory.handle_write(block, node_id);
+                        let mut remote_invalidations = false;
+                        for victim in &reply.invalidate {
+                            if *victim != node_id {
+                                remote_invalidations = true;
+                                self.invalidate_block_on_node(victim.index(), block);
+                            }
+                        }
+                        if let Some(bc) = self.nodes[nidx].block_cache.as_mut() {
+                            bc.mark_dirty(block);
+                        }
+                        if remote_invalidations {
+                            self.count_remote_miss(nidx, class);
+                            costs.remote_miss
+                        } else {
+                            let t = self.nodes[nidx].bus.issue(now, BusTransaction::BlockFill);
+                            self.nodes[nidx].stats.local_misses += 1;
+                            costs.local_miss.max(t - now)
+                        }
+                    } else {
+                        let t = self.nodes[nidx].bus.issue(now, BusTransaction::BlockFill);
+                        self.nodes[nidx].stats.local_misses += 1;
+                        costs.local_miss.max(t - now)
+                    }
+                } else {
+                    let mut latency =
+                        self.remote_fetch(nidx, node_id, home, block, is_write, class, now);
+                    // Install in the block cache (CC-NUMA family only).
+                    let victim = self.nodes[nidx].block_cache.as_mut().and_then(|bc| {
+                        bc.fill(
+                            block,
+                            if is_write {
+                                BlockState::Dirty
+                            } else {
+                                BlockState::Clean
+                            },
+                        )
+                    });
+                    if let Some((victim_block, victim_state)) = victim {
+                        self.handle_block_cache_victim(nidx, node_id, victim_block, victim_state, now);
+                    }
+                    latency += self.policy_after_home_miss(
+                        page, home, node_id, nidx, is_write, class, now + latency,
+                    );
+                    latency
+                }
+            }
+        }
+    }
+
+    /// A fetch that must reach the home node (or the dirty owner) across the
+    /// network.
+    #[allow(clippy::too_many_arguments)]
+    fn remote_fetch(
+        &mut self,
+        nidx: usize,
+        node_id: NodeId,
+        home: NodeId,
+        block: BlockId,
+        is_write: bool,
+        class: MissClass,
+        now: Cycles,
+    ) -> Cycles {
+        let costs = self.system.costs;
+        if home == node_id {
+            // The page migrated here since it was mapped; the fetch is local.
+            if is_write {
+                let reply = self.directory.handle_write(block, node_id);
+                for victim in &reply.invalidate {
+                    if *victim != node_id {
+                        self.invalidate_block_on_node(victim.index(), block);
+                    }
+                }
+            } else {
+                self.directory.handle_read(block, node_id);
+            }
+            let t = self.nodes[nidx].bus.issue(now, BusTransaction::BlockFill);
+            self.nodes[nidx].stats.local_misses += 1;
+            return costs.local_miss.max(t - now);
+        }
+
+        let mut base = costs.remote_miss;
+        if is_write {
+            let reply = self.directory.handle_write(block, node_id);
+            if let DataSource::Owner(owner) = reply.source {
+                if owner != node_id && owner != home {
+                    base = costs.dirty_remote_miss();
+                }
+            }
+            for victim in &reply.invalidate {
+                if *victim != node_id {
+                    self.invalidate_block_on_node(victim.index(), block);
+                }
+            }
+        } else {
+            let reply = self.directory.handle_read(block, node_id);
+            if let DataSource::Owner(owner) = reply.source {
+                if owner != node_id {
+                    if owner != home {
+                        base = costs.dirty_remote_miss();
+                    }
+                    self.downgrade_block_on_node(owner.index(), block);
+                }
+            }
+        }
+
+        let (req, rep) = if is_write {
+            (MsgKind::WriteRequest, MsgKind::WriteReply)
+        } else {
+            (MsgKind::ReadRequest, MsgKind::ReadReply)
+        };
+        let t = self
+            .network
+            .round_trip(node_id, home, now, req, rep, Cycles::ZERO);
+        self.count_remote_miss(nidx, class);
+        base.max(t - now)
+    }
+
+    fn count_remote_miss(&mut self, nidx: usize, class: MissClass) {
+        self.nodes[nidx].stats.remote_misses += 1;
+        if class == MissClass::CapacityConflict {
+            self.nodes[nidx].stats.remote_capacity_misses += 1;
+        }
+    }
+
+    /// Policy hooks that fire when a miss actually reached the page's home
+    /// node: the home's migration/replication counters and the requesting
+    /// node's R-NUMA refetch counters.
+    #[allow(clippy::too_many_arguments)]
+    fn policy_after_home_miss(
+        &mut self,
+        page: PageId,
+        home: NodeId,
+        node_id: NodeId,
+        nidx: usize,
+        is_write: bool,
+        class: MissClass,
+        now: Cycles,
+    ) -> Cycles {
+        let mut extra = Cycles::ZERO;
+        let decision = self
+            .migrep
+            .as_mut()
+            .and_then(|engine| engine.record_miss(page, home, node_id, is_write));
+        if let Some(op) = decision {
+            extra += self.perform_page_op(op, now);
+        }
+
+        if self.system.page_cache.is_some() && class == MissClass::CapacityConflict {
+            let relocate = self
+                .rnuma
+                .as_mut()
+                .map(|engine| engine.record_refetch(node_id, page))
+                .unwrap_or(false);
+            if relocate {
+                extra += self.relocate_page(page, nidx, node_id, now + extra);
+            }
+        }
+        extra
+    }
+
+    fn perform_page_op(&mut self, op: PageOp, now: Cycles) -> Cycles {
+        match op {
+            PageOp::Replicate { page, to } => self.replicate_page(page, to, now),
+            PageOp::Migrate { page, to } => self.migrate_page(page, to, now),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Page operations
+    // ------------------------------------------------------------------
+
+    fn replicate_page(&mut self, page: PageId, to: NodeId, now: Cycles) -> Cycles {
+        let costs = self.system.costs;
+        let home = match self.placement.home_of(page) {
+            Some(h) if h != to => h,
+            _ => return Cycles::ZERO,
+        };
+        // Request + full page of data from the home.
+        let mut t = self.network.send(to, home, now, MsgKind::PageControl);
+        for _ in 0..BLOCKS_PER_PAGE {
+            t = self.network.send(home, to, t, MsgKind::PageDataBlock);
+        }
+        let latency = (costs.soft_trap + costs.page_copy_cost(BLOCKS_PER_PAGE as u32)).max(t - now);
+
+        if let Some(engine) = self.migrep.as_mut() {
+            engine.note_replicated(page, to);
+        }
+        let to_idx = to.index();
+        self.nodes[to_idx].page_table.map(page, PageMapping::replica(home));
+        self.nodes[to_idx].stats.replications += 1;
+        self.nodes[to_idx].stats.page_op_cycles += latency;
+        latency
+    }
+
+    fn migrate_page(&mut self, page: PageId, to: NodeId, now: Cycles) -> Cycles {
+        let costs = self.system.costs;
+        if self
+            .migrep
+            .as_ref()
+            .map(|e| e.is_replicated(page))
+            .unwrap_or(false)
+        {
+            // Replicated pages are read-shared; migrating them would be a
+            // policy error (the paper's engines prefer replication).
+            return Cycles::ZERO;
+        }
+        let old_home = match self.placement.home_of(page) {
+            Some(h) if h != to => h,
+            _ => return Cycles::ZERO,
+        };
+
+        // Gather: invalidate and flush every cached copy of the page.
+        let flushed = self.directory.purge_page(page);
+        let mut blocks_cached = 0u32;
+        let mut nodes_touched: HashSet<usize> = HashSet::new();
+        for (block, holders) in &flushed {
+            blocks_cached += 1;
+            for holder in holders {
+                nodes_touched.insert(holder.index());
+                self.invalidate_block_on_node(holder.index(), *block);
+            }
+        }
+
+        // Control messages to every cacher, then the page moves to its new
+        // home.
+        let mut t = now;
+        for n in &nodes_touched {
+            t = self
+                .network
+                .send(old_home, NodeId(*n as u16), t, MsgKind::PageControl);
+        }
+        for _ in 0..BLOCKS_PER_PAGE {
+            t = self.network.send(old_home, to, t, MsgKind::PageDataBlock);
+        }
+
+        let gather = costs.page_gather_cost(blocks_cached);
+        let copy = costs.page_copy_cost(BLOCKS_PER_PAGE as u32);
+        let shootdowns = costs.tlb_shootdown * (nodes_touched.len() as u64 + 1);
+        let latency = (costs.soft_trap + gather + copy + shootdowns).max(t - now);
+
+        self.placement.migrate(page, to);
+        if let Some(engine) = self.migrep.as_mut() {
+            engine.note_migrated(page);
+        }
+
+        // Update every node's view of the page.
+        for (idx, node) in self.nodes.iter_mut().enumerate() {
+            let here = NodeId(idx as u16);
+            if let Some(mp) = node.page_table.lookup(page) {
+                node.page_table.set_home(page, to);
+                if here == to {
+                    if mp.mode == PageMode::SComa {
+                        if let Some(pc) = node.page_cache.as_mut() {
+                            pc.deallocate(page);
+                        }
+                    }
+                    node.page_table.set_mode(page, PageMode::LocalHome);
+                    node.page_table.set_protection(page, PageProtection::ReadWrite);
+                } else if mp.mode == PageMode::LocalHome {
+                    node.page_table.set_mode(page, PageMode::RemoteCcNuma);
+                }
+            } else if here == to {
+                node.page_table
+                    .map(page, PageMapping::new(PageMode::LocalHome, to));
+            }
+        }
+
+        let to_idx = to.index();
+        self.nodes[to_idx].stats.migrations += 1;
+        self.nodes[to_idx].stats.page_op_cycles += latency;
+        latency
+    }
+
+    fn switch_page_to_read_write(
+        &mut self,
+        page: PageId,
+        writer_nidx: usize,
+        writer_node: NodeId,
+        now: Cycles,
+    ) -> Cycles {
+        let costs = self.system.costs;
+        let home = self.placement.home_of(page).unwrap_or(writer_node);
+        let holders = self
+            .migrep
+            .as_mut()
+            .map(|e| e.switch_to_read_write(page))
+            .unwrap_or_default();
+
+        let mut flushed_blocks = 0u32;
+        let mut t = self.network.send(writer_node, home, now, MsgKind::PageControl);
+        for holder in &holders {
+            t = self.network.send(home, *holder, t, MsgKind::PageControl);
+            flushed_blocks += self.flush_page_on_node(holder.index(), page);
+            let mode = if *holder == home {
+                PageMode::LocalHome
+            } else {
+                PageMode::RemoteCcNuma
+            };
+            self.nodes[holder.index()]
+                .page_table
+                .map(page, PageMapping::new(mode, home));
+        }
+        // The writer's own mapping reverts to a normal read-write mapping
+        // even if (defensively) it was not registered as a replica holder.
+        let writer_mode = if writer_node == home {
+            PageMode::LocalHome
+        } else {
+            PageMode::RemoteCcNuma
+        };
+        self.nodes[writer_nidx]
+            .page_table
+            .map(page, PageMapping::new(writer_mode, home));
+
+        let latency = (costs.page_gather_cost(flushed_blocks)
+            + costs.tlb_shootdown * (holders.len() as u64).max(1))
+        .max(t - now);
+        self.nodes[writer_nidx].stats.switches_to_rw += 1;
+        self.nodes[writer_nidx].stats.page_op_cycles += latency;
+        latency
+    }
+
+    fn relocate_page(&mut self, page: PageId, nidx: usize, node_id: NodeId, now: Cycles) -> Cycles {
+        let costs = self.system.costs;
+        // Flush the node's cached blocks of the page; they will be refetched
+        // on demand into the page cache.
+        let flushed = self.flush_page_on_node(nidx, page);
+        for block in page.blocks() {
+            self.directory.handle_eviction(block, node_id);
+        }
+
+        let mut extra = Cycles::ZERO;
+        let outcome = self
+            .nodes[nidx]
+            .page_cache
+            .as_mut()
+            .expect("relocation without a page cache")
+            .allocate(page);
+        if let AllocOutcome::Replaced {
+            victim,
+            victim_blocks,
+            victim_dirty,
+        } = outcome
+        {
+            let victim_home = self.placement.home_of(victim).unwrap_or(node_id);
+            let victim_mode = if victim_home == node_id {
+                PageMode::LocalHome
+            } else {
+                PageMode::RemoteCcNuma
+            };
+            self.nodes[nidx]
+                .page_table
+                .map(victim, PageMapping::new(victim_mode, victim_home));
+            let victim_l1 = self.flush_page_on_node(nidx, victim);
+            let mut t = now;
+            for _ in 0..victim_dirty {
+                t = self
+                    .network
+                    .send(node_id, victim_home, t, MsgKind::WriteBack);
+            }
+            for block in victim.blocks() {
+                self.directory.handle_eviction(block, node_id);
+            }
+            extra += costs.page_alloc_cost(victim_blocks + victim_l1).max(t - now);
+            self.nodes[nidx].stats.page_cache_replacements += 1;
+        }
+
+        let home = self.placement.home_of(page).unwrap_or(node_id);
+        self.nodes[nidx]
+            .page_table
+            .map(page, PageMapping::new(PageMode::SComa, home));
+        if let Some(engine) = self.rnuma.as_mut() {
+            engine.note_relocated(node_id, page);
+        }
+
+        let latency = costs.soft_trap + costs.tlb_shootdown + costs.page_alloc_cost(flushed) + extra;
+        self.nodes[nidx].stats.relocations += 1;
+        self.nodes[nidx].stats.page_op_cycles += latency;
+        latency
+    }
+
+    // ------------------------------------------------------------------
+    // Coherence helpers
+    // ------------------------------------------------------------------
+
+    /// Invalidate `block` everywhere on a node (processor caches, block
+    /// cache, page cache).
+    fn invalidate_block_on_node(&mut self, nidx: usize, block: BlockId) {
+        let topo = self.machine.topology;
+        for proc in topo.procs_of(NodeId(nidx as u16)) {
+            let p = &mut self.procs[proc.index()];
+            if p.cache.invalidate(block).is_valid() {
+                p.classifier.record_invalidation(block);
+            }
+        }
+        if let Some(bc) = self.nodes[nidx].block_cache.as_mut() {
+            bc.invalidate(block);
+        }
+        if let Some(pc) = self.nodes[nidx].page_cache.as_mut() {
+            pc.invalidate_block(block);
+        }
+    }
+
+    /// Downgrade `block` to a shared state everywhere on a node.
+    fn downgrade_block_on_node(&mut self, nidx: usize, block: BlockId) {
+        let topo = self.machine.topology;
+        for proc in topo.procs_of(NodeId(nidx as u16)) {
+            self.procs[proc.index()].cache.downgrade(block);
+        }
+    }
+
+    /// Intra-node coherence: a write by one processor invalidates the copies
+    /// held by its siblings on the same node.
+    fn invalidate_block_in_sibling_procs(&mut self, nidx: usize, writer_pid: usize, block: BlockId) {
+        let topo = self.machine.topology;
+        for proc in topo.procs_of(NodeId(nidx as u16)) {
+            if proc.index() == writer_pid {
+                continue;
+            }
+            let p = &mut self.procs[proc.index()];
+            if p.cache.invalidate(block).is_valid() {
+                p.classifier.record_invalidation(block);
+            }
+        }
+    }
+
+    /// Drop every cached block of `page` on a node (page flush).  Departures
+    /// are recorded as evictions so the subsequent refetches are classified
+    /// capacity/conflict, as the paper does for relocation-induced refetches.
+    fn flush_page_on_node(&mut self, nidx: usize, page: PageId) -> u32 {
+        let topo = self.machine.topology;
+        let mut flushed = 0u32;
+        for proc in topo.procs_of(NodeId(nidx as u16)) {
+            let p = &mut self.procs[proc.index()];
+            let resident: Vec<BlockId> = p
+                .cache
+                .resident_blocks()
+                .filter(|(b, _)| b.page() == page)
+                .map(|(b, _)| b)
+                .collect();
+            for block in resident {
+                p.cache.invalidate(block);
+                p.classifier.record_eviction(block);
+                flushed += 1;
+            }
+        }
+        if let Some(bc) = self.nodes[nidx].block_cache.as_mut() {
+            flushed += bc.flush_page(page).len() as u32;
+        }
+        flushed
+    }
+
+    fn handle_l1_victim(&mut self, pid: usize, nidx: usize, node_id: NodeId, victim: Victim, now: Cycles) {
+        self.procs[pid].classifier.record_eviction(victim.block);
+        if !victim.state.is_dirty() {
+            return;
+        }
+        self.nodes[nidx].bus.issue(now, BusTransaction::WriteBack);
+        let vpage = victim.block.page();
+        let mode = self.nodes[nidx].page_table.lookup(vpage).map(|m| m.mode);
+        match mode {
+            Some(PageMode::RemoteCcNuma) => {
+                let written_back_locally = self
+                    .nodes[nidx]
+                    .block_cache
+                    .as_mut()
+                    .map(|bc| bc.mark_dirty(victim.block))
+                    .unwrap_or(false);
+                if !written_back_locally {
+                    // No block cache (or not present): the dirty block goes
+                    // straight back to its home.
+                    let home = self.placement.home_of(vpage).unwrap_or(node_id);
+                    self.network.send(node_id, home, now, MsgKind::WriteBack);
+                    self.directory.handle_eviction(victim.block, node_id);
+                }
+            }
+            Some(PageMode::SComa) => {
+                if let Some(pc) = self.nodes[nidx].page_cache.as_mut() {
+                    pc.mark_dirty(victim.block);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn handle_block_cache_victim(
+        &mut self,
+        nidx: usize,
+        node_id: NodeId,
+        victim_block: BlockId,
+        victim_state: BlockState,
+        now: Cycles,
+    ) {
+        // Inclusion: the processor caches may not keep a block the block
+        // cache no longer holds.
+        let topo = self.machine.topology;
+        for proc in topo.procs_of(NodeId(nidx as u16)) {
+            let p = &mut self.procs[proc.index()];
+            if p.cache.invalidate(victim_block).is_valid() {
+                p.classifier.record_eviction(victim_block);
+            }
+        }
+        let vpage = victim_block.page();
+        let home = self.placement.home_of(vpage).unwrap_or(node_id);
+        if victim_state == BlockState::Dirty {
+            self.network.send(node_id, home, now, MsgKind::WriteBack);
+        }
+        self.directory.handle_eviction(victim_block, node_id);
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{MachineConfig, SystemConfig};
+    use dsm_protocol::PageCacheConfig;
+    use mem_trace::{GlobalAddr, TraceBuilder, PAGE_SIZE};
+
+    /// A stride that maps two blocks to the same line of both the processor
+    /// cache and the node's (4x larger) block cache, so the conflict stream
+    /// is visible to the home node in every system.
+    fn conflict_stride(machine: &MachineConfig) -> u64 {
+        machine.l1.size_bytes * machine.topology.procs_per_node as u64
+    }
+
+    /// Two conflicting remote blocks read in a loop by one processor of
+    /// node 1; both pages are first touched (homed) on node 0.
+    fn conflict_loop_trace(machine: &MachineConfig, iterations: usize) -> ProgramTrace {
+        let mut b = TraceBuilder::new("conflict-loop", machine.topology);
+        let stride = conflict_stride(machine);
+        b.write(ProcId(0), GlobalAddr(0));
+        b.write(ProcId(0), GlobalAddr(stride));
+        b.barrier_all();
+        let reader = ProcId(machine.topology.procs_per_node); // first proc of node 1
+        for _ in 0..iterations {
+            b.read(reader, GlobalAddr(0));
+            b.read(reader, GlobalAddr(stride));
+        }
+        b.barrier_all();
+        b.build()
+    }
+
+    /// A page written once by node 0 and then read over and over by every
+    /// other node: the classic replication candidate.
+    fn read_shared_trace(machine: &MachineConfig, iterations: usize) -> ProgramTrace {
+        let mut b = TraceBuilder::new("read-shared", machine.topology);
+        let stride = conflict_stride(machine);
+        b.write(ProcId(0), GlobalAddr(0));
+        b.write(ProcId(0), GlobalAddr(stride));
+        b.barrier_all();
+        for _ in 0..iterations {
+            for node in machine.topology.node_ids().skip(1) {
+                let reader = machine.topology.procs_of(node).next().unwrap();
+                b.read(reader, GlobalAddr(0));
+                b.read(reader, GlobalAddr(stride));
+            }
+        }
+        b.barrier_all();
+        b.build()
+    }
+
+    /// A page first touched by node 0 but afterwards used exclusively (and
+    /// heavily, read-write) by node 1: the classic migration candidate.
+    fn migration_trace(machine: &MachineConfig, iterations: usize) -> ProgramTrace {
+        let mut b = TraceBuilder::new("migration", machine.topology);
+        let stride = conflict_stride(machine);
+        b.read(ProcId(0), GlobalAddr(0));
+        b.read(ProcId(0), GlobalAddr(stride));
+        b.barrier_all();
+        let user = ProcId(machine.topology.procs_per_node);
+        for i in 0..iterations {
+            let addr = GlobalAddr((i as u64 % 2) * stride);
+            if i % 3 == 0 {
+                b.write(user, addr);
+            } else {
+                b.read(user, addr);
+            }
+            // Keep the two conflicting lines alternating so misses recur.
+            b.read(user, GlobalAddr(((i as u64 + 1) % 2) * stride));
+        }
+        b.barrier_all();
+        b.build()
+    }
+
+    fn scaled_thresholds() -> crate::cost::Thresholds {
+        crate::cost::Thresholds::paper_fast().scaled_down(16)
+    }
+
+    #[test]
+    fn perfect_cc_numa_is_never_slower_than_cc_numa() {
+        let machine = MachineConfig::PAPER;
+        let trace = conflict_loop_trace(&machine, 500);
+        let perfect = ClusterSimulator::new(machine, SystemConfig::perfect_cc_numa()).run(&trace);
+        let base = ClusterSimulator::new(machine, SystemConfig::cc_numa()).run(&trace);
+        assert!(perfect.execution_time <= base.execution_time);
+        assert!(perfect.total_remote_misses() <= base.total_remote_misses());
+        // The conflicting blocks thrash the finite block cache but fit the
+        // infinite one.
+        assert!(base.total_remote_misses() > 500);
+        assert!(perfect.total_remote_misses() < 10);
+    }
+
+    #[test]
+    fn r_numa_relocates_hot_conflicting_pages() {
+        let machine = MachineConfig::PAPER;
+        let trace = conflict_loop_trace(&machine, 500);
+        let base = ClusterSimulator::new(machine, SystemConfig::cc_numa()).run(&trace);
+        let rnuma = ClusterSimulator::new(machine, SystemConfig::r_numa()).run(&trace);
+        assert!(rnuma.per_node_relocations() > 0.0, "expected relocations");
+        assert!(rnuma.total_remote_misses() < base.total_remote_misses());
+        assert!(rnuma.execution_time < base.execution_time);
+    }
+
+    #[test]
+    fn replication_converts_read_shared_remote_misses_to_local() {
+        let machine = MachineConfig::PAPER;
+        let trace = read_shared_trace(&machine, 400);
+        let thresholds = scaled_thresholds();
+        let base = ClusterSimulator::new(machine, SystemConfig::cc_numa()).run(&trace);
+        let rep = ClusterSimulator::new(
+            machine,
+            SystemConfig::cc_numa_rep().with_thresholds(thresholds),
+        )
+        .run(&trace);
+        let total_replications: u64 = rep.per_node.iter().map(|n| n.replications).sum();
+        assert!(total_replications > 0, "expected pages to be replicated");
+        assert!(rep.total_remote_misses() < base.total_remote_misses());
+        assert!(rep.execution_time <= base.execution_time);
+    }
+
+    #[test]
+    fn migration_moves_page_to_its_dominant_user() {
+        let machine = MachineConfig::PAPER;
+        let trace = migration_trace(&machine, 600);
+        let thresholds = scaled_thresholds();
+        let base = ClusterSimulator::new(machine, SystemConfig::cc_numa()).run(&trace);
+        let mig = ClusterSimulator::new(
+            machine,
+            SystemConfig::cc_numa_mig().with_thresholds(thresholds),
+        )
+        .run(&trace);
+        let total_migrations: u64 = mig.per_node.iter().map(|n| n.migrations).sum();
+        assert!(total_migrations > 0, "expected pages to migrate");
+        // The migrated pages' misses become local on node 1.
+        assert!(mig.total_remote_misses() < base.total_remote_misses());
+    }
+
+    #[test]
+    fn write_to_replicated_page_switches_it_back_to_read_write() {
+        let machine = MachineConfig::PAPER;
+        let mut b = TraceBuilder::new("rw-switch", machine.topology);
+        let stride = conflict_stride(&machine);
+        b.write(ProcId(0), GlobalAddr(0));
+        b.write(ProcId(0), GlobalAddr(stride));
+        b.barrier_all();
+        let reader = ProcId(machine.topology.procs_per_node);
+        for _ in 0..200 {
+            b.read(reader, GlobalAddr(0));
+            b.read(reader, GlobalAddr(stride));
+        }
+        b.barrier_all();
+        // Now the reader writes the replicated page.
+        b.write(reader, GlobalAddr(0));
+        b.barrier_all();
+        let trace = b.build();
+
+        let rep = ClusterSimulator::new(
+            machine,
+            SystemConfig::cc_numa_rep().with_thresholds(scaled_thresholds()),
+        )
+        .run(&trace);
+        let replications: u64 = rep.per_node.iter().map(|n| n.replications).sum();
+        let switches: u64 = rep.per_node.iter().map(|n| n.switches_to_rw).sum();
+        assert!(replications > 0);
+        assert_eq!(switches, 1, "the single write should force one switch");
+    }
+
+    #[test]
+    fn finite_page_cache_replaces_pages_under_pressure() {
+        let machine = MachineConfig::PAPER;
+        // Touch many distinct remote pages repeatedly with a 4-frame page
+        // cache: replacements are inevitable.
+        let mut b = TraceBuilder::new("pressure", machine.topology);
+        let pages = 16u64;
+        for p in 0..pages {
+            b.write(ProcId(0), GlobalAddr(p * PAGE_SIZE));
+        }
+        b.barrier_all();
+        let reader = ProcId(machine.topology.procs_per_node);
+        for round in 0..200u64 {
+            let p = round % pages;
+            b.read(reader, GlobalAddr(p * PAGE_SIZE));
+            // A second line in the same L1 set to force conflict evictions.
+            b.read(
+                reader,
+                GlobalAddr(p * PAGE_SIZE + machine.l1.size_bytes),
+            );
+        }
+        b.barrier_all();
+        let trace = b.build();
+
+        let tiny_cache = SystemConfig::r_numa_with(PageCacheConfig::Finite {
+            size_bytes: 4 * PAGE_SIZE,
+        })
+        .with_thresholds(crate::cost::Thresholds {
+            rnuma_threshold: 2,
+            ..crate::cost::Thresholds::paper_fast()
+        });
+        let result = ClusterSimulator::new(machine, tiny_cache).run(&trace);
+        assert!(result.per_node_relocations() > 0.0);
+        assert!(
+            result.total_page_cache_replacements() > 0,
+            "a 4-frame cache cycling over 32 hot pages must replace"
+        );
+
+        // With an infinite page cache the same workload never replaces.
+        let inf = ClusterSimulator::new(
+            machine,
+            SystemConfig::r_numa_inf().with_thresholds(crate::cost::Thresholds {
+                rnuma_threshold: 2,
+                ..crate::cost::Thresholds::paper_fast()
+            }),
+        )
+        .run(&trace);
+        assert_eq!(inf.total_page_cache_replacements(), 0);
+        assert!(inf.execution_time <= result.execution_time);
+    }
+
+    #[test]
+    fn barriers_synchronize_processor_clocks() {
+        let machine = MachineConfig::tiny();
+        let mut b = TraceBuilder::new("barrier", machine.topology);
+        // Processor 0 computes for a long time; everyone then meets at a
+        // barrier and does one more access.
+        b.compute(ProcId(0), 1_000_000);
+        b.barrier_all();
+        for p in machine.topology.proc_ids() {
+            b.read(p, GlobalAddr(0));
+        }
+        let trace = b.build();
+        let result = ClusterSimulator::new(machine, SystemConfig::cc_numa()).run(&trace);
+        assert!(result.execution_time.raw() >= 1_000_000);
+        assert_eq!(result.barriers, 1);
+    }
+
+    #[test]
+    fn locks_serialize_critical_sections() {
+        let machine = MachineConfig::tiny();
+        let mut b = TraceBuilder::new("locks", machine.topology);
+        for p in machine.topology.proc_ids() {
+            b.lock(p, 1);
+            b.write(p, GlobalAddr(0));
+            b.compute(p, 10_000);
+            b.unlock(p, 1);
+        }
+        let trace = b.build();
+        let result = ClusterSimulator::new(machine, SystemConfig::cc_numa()).run(&trace);
+        // Four critical sections of 10k cycles each must serialize.
+        assert!(result.execution_time.raw() >= 40_000);
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let machine = MachineConfig::PAPER;
+        let trace = read_shared_trace(&machine, 50);
+        let sys = SystemConfig::cc_numa_migrep().with_thresholds(scaled_thresholds());
+        let a = ClusterSimulator::new(machine, sys.clone()).run(&trace);
+        let b = ClusterSimulator::new(machine, sys).run(&trace);
+        assert_eq!(a.execution_time, b.execution_time);
+        assert_eq!(a.total_remote_misses(), b.total_remote_misses());
+        assert_eq!(a.total_page_operations(), b.total_page_operations());
+    }
+
+    #[test]
+    fn accesses_and_stats_are_accounted() {
+        let machine = MachineConfig::tiny();
+        let mut b = TraceBuilder::new("count", machine.topology);
+        b.read(ProcId(0), GlobalAddr(0));
+        b.write(ProcId(1), GlobalAddr(PAGE_SIZE));
+        b.compute(ProcId(2), 77);
+        let trace = b.build();
+        let r = ClusterSimulator::new(machine, SystemConfig::cc_numa()).run(&trace);
+        assert_eq!(r.accesses, 2);
+        let total_misses: u64 = r.per_node.iter().map(|n| n.total_misses()).sum();
+        assert_eq!(total_misses, 2, "both cold misses are counted");
+    }
+
+    #[test]
+    #[should_panic(expected = "different machine")]
+    fn trace_for_wrong_machine_is_rejected() {
+        let machine = MachineConfig::PAPER;
+        let trace = TraceBuilder::new("small", mem_trace::Topology::new(1, 1)).build();
+        ClusterSimulator::new(machine, SystemConfig::cc_numa()).run(&trace);
+    }
+}

@@ -1,0 +1,332 @@
+//! The per-node SRAM block cache (cluster cache) of CC-NUMA.
+//!
+//! The CC-NUMA cluster device holds recently referenced *remote* blocks in a
+//! small, fast SRAM cache.  The paper sizes it to the sum of the node's
+//! processor caches (4 x 16 KB = 64 KB) so that it can maintain inclusion
+//! with them, and evaluates a *perfect* CC-NUMA with an infinite block cache
+//! as the normalization baseline.  Both variants are provided here.
+
+use mem_trace::{BlockId, PageId};
+use std::collections::HashMap;
+
+/// State of a block held in the block cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BlockState {
+    /// Clean copy; home memory is up to date.
+    Clean,
+    /// Dirty copy; must be written back to the home on eviction or flush.
+    Dirty,
+}
+
+/// Block-cache sizing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockCacheConfig {
+    /// Direct-mapped cache of the given capacity in bytes.
+    Finite {
+        /// Capacity in bytes.
+        size_bytes: u64,
+    },
+    /// Unbounded cache: models the paper's "perfect CC-NUMA".
+    Infinite,
+}
+
+impl BlockCacheConfig {
+    /// The paper's base 64-KByte block cache (4 processors x 16 KB).
+    pub const PAPER: BlockCacheConfig = BlockCacheConfig::Finite {
+        size_bytes: 64 * 1024,
+    };
+
+    /// Number of lines for a finite configuration.
+    pub fn lines(&self) -> Option<usize> {
+        match self {
+            BlockCacheConfig::Finite { size_bytes } => {
+                Some((size_bytes / mem_trace::BLOCK_SIZE) as usize)
+            }
+            BlockCacheConfig::Infinite => None,
+        }
+    }
+}
+
+enum Storage {
+    Finite {
+        tags: Vec<Option<BlockId>>,
+        states: Vec<BlockState>,
+    },
+    Infinite {
+        blocks: HashMap<BlockId, BlockState>,
+    },
+}
+
+/// A per-node block cache for remote data.
+pub struct BlockCache {
+    config: BlockCacheConfig,
+    storage: Storage,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl BlockCache {
+    /// Create an empty block cache.
+    ///
+    /// # Panics
+    /// Panics if a finite configuration has zero lines.
+    pub fn new(config: BlockCacheConfig) -> Self {
+        let storage = match config {
+            BlockCacheConfig::Finite { size_bytes } => {
+                let lines = (size_bytes / mem_trace::BLOCK_SIZE) as usize;
+                assert!(lines > 0, "block cache must have at least one line");
+                Storage::Finite {
+                    tags: vec![None; lines],
+                    states: vec![BlockState::Clean; lines],
+                }
+            }
+            BlockCacheConfig::Infinite => Storage::Infinite {
+                blocks: HashMap::new(),
+            },
+        };
+        BlockCache {
+            config,
+            storage,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// The configuration this cache was built with.
+    pub fn config(&self) -> BlockCacheConfig {
+        self.config
+    }
+
+    /// `true` if `block` is present.
+    pub fn contains(&self, block: BlockId) -> bool {
+        self.state_of(block).is_some()
+    }
+
+    /// Present state of `block`, if cached.
+    pub fn state_of(&self, block: BlockId) -> Option<BlockState> {
+        match &self.storage {
+            Storage::Finite { tags, states } => {
+                let idx = (block.0 % tags.len() as u64) as usize;
+                if tags[idx] == Some(block) {
+                    Some(states[idx])
+                } else {
+                    None
+                }
+            }
+            Storage::Infinite { blocks } => blocks.get(&block).copied(),
+        }
+    }
+
+    /// Look up `block`, recording a hit or miss.
+    pub fn lookup(&mut self, block: BlockId) -> Option<BlockState> {
+        let state = self.state_of(block);
+        if state.is_some() {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
+        state
+    }
+
+    /// Install `block`; returns the displaced victim `(block, state)` if the
+    /// line was occupied by a different block.
+    pub fn fill(&mut self, block: BlockId, state: BlockState) -> Option<(BlockId, BlockState)> {
+        match &mut self.storage {
+            Storage::Finite { tags, states } => {
+                let idx = (block.0 % tags.len() as u64) as usize;
+                let victim = match tags[idx] {
+                    Some(old) if old != block => {
+                        self.evictions += 1;
+                        Some((old, states[idx]))
+                    }
+                    _ => None,
+                };
+                tags[idx] = Some(block);
+                states[idx] = state;
+                victim
+            }
+            Storage::Infinite { blocks } => {
+                blocks.insert(block, state);
+                None
+            }
+        }
+    }
+
+    /// Mark a resident block dirty (a processor on this node wrote it).
+    /// Returns `false` if the block is not resident.
+    pub fn mark_dirty(&mut self, block: BlockId) -> bool {
+        match &mut self.storage {
+            Storage::Finite { tags, states } => {
+                let idx = (block.0 % tags.len() as u64) as usize;
+                if tags[idx] == Some(block) {
+                    states[idx] = BlockState::Dirty;
+                    true
+                } else {
+                    false
+                }
+            }
+            Storage::Infinite { blocks } => match blocks.get_mut(&block) {
+                Some(s) => {
+                    *s = BlockState::Dirty;
+                    true
+                }
+                None => false,
+            },
+        }
+    }
+
+    /// Remove `block` (remote invalidation); returns its state if present.
+    pub fn invalidate(&mut self, block: BlockId) -> Option<BlockState> {
+        match &mut self.storage {
+            Storage::Finite { tags, states } => {
+                let idx = (block.0 % tags.len() as u64) as usize;
+                if tags[idx] == Some(block) {
+                    tags[idx] = None;
+                    Some(states[idx])
+                } else {
+                    None
+                }
+            }
+            Storage::Infinite { blocks } => blocks.remove(&block),
+        }
+    }
+
+    /// Remove every resident block belonging to `page` (page flush), and
+    /// return them with their states.
+    pub fn flush_page(&mut self, page: PageId) -> Vec<(BlockId, BlockState)> {
+        let mut flushed = Vec::new();
+        match &mut self.storage {
+            Storage::Finite { tags, states } => {
+                for idx in 0..tags.len() {
+                    if let Some(b) = tags[idx] {
+                        if b.page() == page {
+                            flushed.push((b, states[idx]));
+                            tags[idx] = None;
+                        }
+                    }
+                }
+            }
+            Storage::Infinite { blocks } => {
+                let victims: Vec<BlockId> = blocks
+                    .keys()
+                    .copied()
+                    .filter(|b| b.page() == page)
+                    .collect();
+                for b in victims {
+                    let s = blocks.remove(&b).expect("just enumerated");
+                    flushed.push((b, s));
+                }
+            }
+        }
+        flushed
+    }
+
+    /// Number of resident blocks.
+    pub fn resident(&self) -> usize {
+        match &self.storage {
+            Storage::Finite { tags, .. } => tags.iter().filter(|t| t.is_some()).count(),
+            Storage::Infinite { blocks } => blocks.len(),
+        }
+    }
+
+    /// `(hits, misses, evictions)`.
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (self.hits, self.misses, self.evictions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mem_trace::BLOCKS_PER_PAGE;
+
+    fn tiny() -> BlockCache {
+        BlockCache::new(BlockCacheConfig::Finite {
+            size_bytes: 4 * mem_trace::BLOCK_SIZE,
+        })
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut c = tiny();
+        assert_eq!(c.lookup(BlockId(1)), None);
+        c.fill(BlockId(1), BlockState::Clean);
+        assert_eq!(c.lookup(BlockId(1)), Some(BlockState::Clean));
+        assert_eq!(c.counters(), (1, 1, 0));
+    }
+
+    #[test]
+    fn conflict_evicts_previous_block() {
+        let mut c = tiny(); // 4 lines: blocks 1 and 5 conflict
+        c.fill(BlockId(1), BlockState::Dirty);
+        let victim = c.fill(BlockId(5), BlockState::Clean);
+        assert_eq!(victim, Some((BlockId(1), BlockState::Dirty)));
+        assert!(!c.contains(BlockId(1)));
+        assert!(c.contains(BlockId(5)));
+        assert_eq!(c.counters().2, 1);
+    }
+
+    #[test]
+    fn refill_of_same_block_is_not_an_eviction() {
+        let mut c = tiny();
+        c.fill(BlockId(2), BlockState::Clean);
+        assert_eq!(c.fill(BlockId(2), BlockState::Dirty), None);
+        assert_eq!(c.state_of(BlockId(2)), Some(BlockState::Dirty));
+    }
+
+    #[test]
+    fn mark_dirty_and_invalidate() {
+        let mut c = tiny();
+        c.fill(BlockId(3), BlockState::Clean);
+        assert!(c.mark_dirty(BlockId(3)));
+        assert_eq!(c.invalidate(BlockId(3)), Some(BlockState::Dirty));
+        assert_eq!(c.invalidate(BlockId(3)), None);
+        assert!(!c.mark_dirty(BlockId(3)));
+    }
+
+    #[test]
+    fn infinite_cache_never_evicts() {
+        let mut c = BlockCache::new(BlockCacheConfig::Infinite);
+        for i in 0..10_000u64 {
+            assert_eq!(c.fill(BlockId(i), BlockState::Clean), None);
+        }
+        assert_eq!(c.resident(), 10_000);
+        assert!(c.contains(BlockId(0)));
+        assert!(c.contains(BlockId(9_999)));
+        assert_eq!(c.counters().2, 0);
+    }
+
+    #[test]
+    fn flush_page_removes_only_that_page() {
+        let mut c = BlockCache::new(BlockCacheConfig::Infinite);
+        let page = PageId(2);
+        for b in page.blocks() {
+            c.fill(b, BlockState::Clean);
+        }
+        let other = PageId(3).first_block();
+        c.fill(other, BlockState::Dirty);
+        let flushed = c.flush_page(page);
+        assert_eq!(flushed.len(), BLOCKS_PER_PAGE as usize);
+        assert!(c.contains(other));
+        assert_eq!(c.resident(), 1);
+    }
+
+    #[test]
+    fn flush_page_on_finite_cache() {
+        let mut c = BlockCache::new(BlockCacheConfig::PAPER);
+        let page = PageId(0);
+        c.fill(page.first_block(), BlockState::Dirty);
+        c.fill(BlockId(page.first_block().0 + 1), BlockState::Clean);
+        let flushed = c.flush_page(page);
+        assert_eq!(flushed.len(), 2);
+        assert_eq!(c.resident(), 0);
+    }
+
+    #[test]
+    fn paper_config_lines() {
+        assert_eq!(BlockCacheConfig::PAPER.lines(), Some(1024));
+        assert_eq!(BlockCacheConfig::Infinite.lines(), None);
+    }
+}

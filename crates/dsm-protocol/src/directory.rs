@@ -1,0 +1,378 @@
+//! The block directory of the DSM write-invalidate protocol.
+//!
+//! Coherence between cluster nodes is maintained at cache-block granularity
+//! with a full-bit-vector directory: for every block of shared memory the
+//! directory records whether the block is uncached, shared by a set of
+//! nodes, or modified (owned) by exactly one node.  Within a node the
+//! snoopy MOESI protocol keeps the four processor caches consistent; the
+//! directory only sees *nodes*.
+
+use mem_trace::{BlockId, NodeId, PageId};
+use std::collections::HashMap;
+
+/// Directory state of a block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DirectoryState {
+    /// No node caches the block; memory at the home is up to date.
+    Uncached,
+    /// One or more nodes hold read-only copies; memory is up to date.
+    Shared,
+    /// Exactly one node holds a (potentially dirty) exclusive copy.
+    Modified,
+}
+
+/// A directory entry: state plus sharer bit-vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DirectoryEntry {
+    /// Coherence state.
+    pub state: DirectoryState,
+    /// Bit-vector of nodes holding a copy (bit `n` = node `n`).
+    pub sharers: u64,
+}
+
+impl DirectoryEntry {
+    const fn uncached() -> Self {
+        DirectoryEntry {
+            state: DirectoryState::Uncached,
+            sharers: 0,
+        }
+    }
+
+    /// Nodes currently holding a copy.
+    pub fn sharer_nodes(&self) -> Vec<NodeId> {
+        (0..64)
+            .filter(|i| self.sharers & (1u64 << i) != 0)
+            .map(|i| NodeId(i as u16))
+            .collect()
+    }
+
+    /// Number of nodes currently holding a copy.
+    pub fn sharer_count(&self) -> u32 {
+        self.sharers.count_ones()
+    }
+
+    /// `true` if `node` holds a copy.
+    pub fn is_sharer(&self, node: NodeId) -> bool {
+        self.sharers & (1u64 << node.index()) != 0
+    }
+}
+
+/// Where the data for a read/write reply comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataSource {
+    /// Home memory supplies the block.
+    HomeMemory,
+    /// The current owner node forwards the (dirty) block.
+    Owner(NodeId),
+}
+
+/// Outcome of a read request at the directory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadReply {
+    /// Where the data comes from.
+    pub source: DataSource,
+    /// `true` if the requesting node already had a copy registered (an
+    /// inclusion refresh rather than a new sharer).
+    pub already_sharer: bool,
+}
+
+/// Outcome of a write (read-exclusive / upgrade) request at the directory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WriteReply {
+    /// Where the data comes from (`HomeMemory` if the requester only needs
+    /// ownership, or already held the only copy).
+    pub source: DataSource,
+    /// Nodes whose copies must be invalidated (never contains the
+    /// requester).
+    pub invalidate: Vec<NodeId>,
+}
+
+/// Full-map directory covering every block of shared memory.
+///
+/// Entries are materialized lazily: blocks never referenced remotely stay in
+/// the implicit `Uncached` state and consume no memory.
+#[derive(Debug, Clone, Default)]
+pub struct Directory {
+    entries: HashMap<BlockId, DirectoryEntry>,
+    read_requests: u64,
+    write_requests: u64,
+    invalidations_sent: u64,
+    forwards: u64,
+}
+
+impl Directory {
+    /// An empty directory (all blocks uncached).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current entry for `block` (implicitly `Uncached`).
+    pub fn entry(&self, block: BlockId) -> DirectoryEntry {
+        self.entries
+            .get(&block)
+            .copied()
+            .unwrap_or(DirectoryEntry::uncached())
+    }
+
+    /// Handle a read request for `block` by `requester`.
+    pub fn handle_read(&mut self, block: BlockId, requester: NodeId) -> ReadReply {
+        self.read_requests += 1;
+        let entry = self.entries.entry(block).or_insert(DirectoryEntry::uncached());
+        let already_sharer = entry.sharers & (1u64 << requester.index()) != 0;
+        let reply = match entry.state {
+            DirectoryState::Uncached | DirectoryState::Shared => ReadReply {
+                source: DataSource::HomeMemory,
+                already_sharer,
+            },
+            DirectoryState::Modified => {
+                let owner_bit = entry.sharers;
+                let owner = NodeId(owner_bit.trailing_zeros() as u16);
+                if owner == requester {
+                    // Requester already owns it (e.g. re-registration after a
+                    // block-cache refresh); no transition needed.
+                    ReadReply {
+                        source: DataSource::HomeMemory,
+                        already_sharer: true,
+                    }
+                } else {
+                    self.forwards += 1;
+                    ReadReply {
+                        source: DataSource::Owner(owner),
+                        already_sharer,
+                    }
+                }
+            }
+        };
+        // After a read the block is shared by the previous holders plus the
+        // requester, and memory is (or will be) up to date.
+        entry.sharers |= 1u64 << requester.index();
+        entry.state = if entry.sharers.count_ones() >= 1 {
+            DirectoryState::Shared
+        } else {
+            DirectoryState::Uncached
+        };
+        reply
+    }
+
+    /// Handle a write (read-exclusive) request for `block` by `requester`.
+    pub fn handle_write(&mut self, block: BlockId, requester: NodeId) -> WriteReply {
+        self.write_requests += 1;
+        let entry = self.entries.entry(block).or_insert(DirectoryEntry::uncached());
+        let requester_bit = 1u64 << requester.index();
+        let reply = match entry.state {
+            DirectoryState::Uncached => WriteReply {
+                source: DataSource::HomeMemory,
+                invalidate: Vec::new(),
+            },
+            DirectoryState::Shared => {
+                let others: Vec<NodeId> = (0..64)
+                    .filter(|i| entry.sharers & (1u64 << i) != 0 && *i != requester.index())
+                    .map(|i| NodeId(i as u16))
+                    .collect();
+                self.invalidations_sent += others.len() as u64;
+                WriteReply {
+                    source: DataSource::HomeMemory,
+                    invalidate: others,
+                }
+            }
+            DirectoryState::Modified => {
+                let owner = NodeId(entry.sharers.trailing_zeros() as u16);
+                if owner == requester {
+                    WriteReply {
+                        source: DataSource::HomeMemory,
+                        invalidate: Vec::new(),
+                    }
+                } else {
+                    self.forwards += 1;
+                    self.invalidations_sent += 1;
+                    WriteReply {
+                        source: DataSource::Owner(owner),
+                        invalidate: vec![owner],
+                    }
+                }
+            }
+        };
+        entry.state = DirectoryState::Modified;
+        entry.sharers = requester_bit;
+        reply
+    }
+
+    /// A node silently dropped (evicted) its copy of `block`; if it held the
+    /// block modified the caller is responsible for the write-back traffic.
+    pub fn handle_eviction(&mut self, block: BlockId, node: NodeId) {
+        if let Some(entry) = self.entries.get_mut(&block) {
+            entry.sharers &= !(1u64 << node.index());
+            if entry.sharers == 0 {
+                entry.state = DirectoryState::Uncached;
+            } else if entry.state == DirectoryState::Modified {
+                // The owner evicted; remaining copies (if any) are clean
+                // shared copies.
+                entry.state = DirectoryState::Shared;
+            }
+        }
+    }
+
+    /// Invalidate every cached copy of every block of `page` (page flush for
+    /// migration/replication-related operations).  Returns, per block, the
+    /// list of nodes that held a copy.
+    pub fn purge_page(&mut self, page: PageId) -> Vec<(BlockId, Vec<NodeId>)> {
+        let mut flushed = Vec::new();
+        for block in page.blocks() {
+            if let Some(entry) = self.entries.get_mut(&block) {
+                if entry.sharers != 0 {
+                    flushed.push((block, entry.sharer_nodes()));
+                }
+                *entry = DirectoryEntry::uncached();
+            }
+        }
+        flushed
+    }
+
+    /// Number of blocks with a materialized (ever-referenced) entry.
+    pub fn tracked_blocks(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `(read requests, write requests, invalidations sent, forwards)`.
+    pub fn counters(&self) -> (u64, u64, u64, u64) {
+        (
+            self.read_requests,
+            self.write_requests,
+            self.invalidations_sent,
+            self.forwards,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const B: BlockId = BlockId(42);
+
+    #[test]
+    fn read_of_uncached_block_comes_from_memory() {
+        let mut dir = Directory::new();
+        let r = dir.handle_read(B, NodeId(2));
+        assert_eq!(r.source, DataSource::HomeMemory);
+        assert!(!r.already_sharer);
+        let e = dir.entry(B);
+        assert_eq!(e.state, DirectoryState::Shared);
+        assert!(e.is_sharer(NodeId(2)));
+        assert_eq!(e.sharer_count(), 1);
+    }
+
+    #[test]
+    fn multiple_readers_accumulate_sharers() {
+        let mut dir = Directory::new();
+        dir.handle_read(B, NodeId(0));
+        dir.handle_read(B, NodeId(3));
+        let r = dir.handle_read(B, NodeId(0));
+        assert!(r.already_sharer);
+        let e = dir.entry(B);
+        assert_eq!(e.sharer_count(), 2);
+        assert_eq!(e.sharer_nodes(), vec![NodeId(0), NodeId(3)]);
+    }
+
+    #[test]
+    fn write_invalidates_other_sharers() {
+        let mut dir = Directory::new();
+        dir.handle_read(B, NodeId(0));
+        dir.handle_read(B, NodeId(1));
+        dir.handle_read(B, NodeId(2));
+        let w = dir.handle_write(B, NodeId(1));
+        assert_eq!(w.source, DataSource::HomeMemory);
+        assert_eq!(w.invalidate, vec![NodeId(0), NodeId(2)]);
+        let e = dir.entry(B);
+        assert_eq!(e.state, DirectoryState::Modified);
+        assert_eq!(e.sharer_nodes(), vec![NodeId(1)]);
+    }
+
+    #[test]
+    fn read_of_modified_block_forwards_from_owner() {
+        let mut dir = Directory::new();
+        dir.handle_write(B, NodeId(5));
+        let r = dir.handle_read(B, NodeId(1));
+        assert_eq!(r.source, DataSource::Owner(NodeId(5)));
+        let e = dir.entry(B);
+        assert_eq!(e.state, DirectoryState::Shared);
+        assert_eq!(e.sharer_nodes(), vec![NodeId(1), NodeId(5)]);
+    }
+
+    #[test]
+    fn write_to_block_owned_elsewhere_transfers_ownership() {
+        let mut dir = Directory::new();
+        dir.handle_write(B, NodeId(0));
+        let w = dir.handle_write(B, NodeId(7));
+        assert_eq!(w.source, DataSource::Owner(NodeId(0)));
+        assert_eq!(w.invalidate, vec![NodeId(0)]);
+        let e = dir.entry(B);
+        assert_eq!(e.state, DirectoryState::Modified);
+        assert_eq!(e.sharer_nodes(), vec![NodeId(7)]);
+    }
+
+    #[test]
+    fn owner_rewrite_needs_no_invalidations() {
+        let mut dir = Directory::new();
+        dir.handle_write(B, NodeId(4));
+        let w = dir.handle_write(B, NodeId(4));
+        assert!(w.invalidate.is_empty());
+        assert_eq!(w.source, DataSource::HomeMemory);
+    }
+
+    #[test]
+    fn owner_reread_is_not_a_forward() {
+        let mut dir = Directory::new();
+        dir.handle_write(B, NodeId(4));
+        let r = dir.handle_read(B, NodeId(4));
+        assert_eq!(r.source, DataSource::HomeMemory);
+        assert!(r.already_sharer);
+        assert_eq!(dir.counters().3, 0, "no forward should be counted");
+    }
+
+    #[test]
+    fn eviction_removes_sharer_and_degrades_state() {
+        let mut dir = Directory::new();
+        dir.handle_write(B, NodeId(2));
+        dir.handle_eviction(B, NodeId(2));
+        assert_eq!(dir.entry(B).state, DirectoryState::Uncached);
+        assert_eq!(dir.entry(B).sharer_count(), 0);
+
+        dir.handle_read(B, NodeId(0));
+        dir.handle_read(B, NodeId(1));
+        dir.handle_eviction(B, NodeId(0));
+        let e = dir.entry(B);
+        assert_eq!(e.state, DirectoryState::Shared);
+        assert_eq!(e.sharer_nodes(), vec![NodeId(1)]);
+    }
+
+    #[test]
+    fn purge_page_clears_every_block_of_that_page() {
+        let mut dir = Directory::new();
+        let page = PageId(3);
+        let blocks: Vec<BlockId> = page.blocks().collect();
+        dir.handle_read(blocks[0], NodeId(1));
+        dir.handle_write(blocks[5], NodeId(2));
+        // A block of a different page must be untouched.
+        let other = PageId(4).first_block();
+        dir.handle_read(other, NodeId(6));
+
+        let flushed = dir.purge_page(page);
+        assert_eq!(flushed.len(), 2);
+        assert_eq!(dir.entry(blocks[0]).state, DirectoryState::Uncached);
+        assert_eq!(dir.entry(blocks[5]).state, DirectoryState::Uncached);
+        assert_eq!(dir.entry(other).state, DirectoryState::Shared);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut dir = Directory::new();
+        dir.handle_read(B, NodeId(0));
+        dir.handle_read(B, NodeId(1));
+        dir.handle_write(B, NodeId(2));
+        let (reads, writes, invals, _forwards) = dir.counters();
+        assert_eq!(reads, 2);
+        assert_eq!(writes, 1);
+        assert_eq!(invals, 2);
+    }
+}

@@ -1,0 +1,21 @@
+//! Directory-based DSM coherence mechanisms: the cluster-device hardware
+//! shared by every system the paper studies.
+//!
+//! The crate provides the *mechanisms* of the DSM cluster device in Figure 2
+//! of the paper — the block directory, the SRAM block cache, the S-COMA
+//! page cache with fine-grain tags, the interconnect with per-node network
+//! interfaces — while the *policies* that distinguish CC-NUMA,
+//! CC-NUMA+MigRep and R-NUMA (miss counters, thresholds, page operations)
+//! live in the `dsm-core` crate.
+
+pub mod block_cache;
+pub mod directory;
+pub mod msg;
+pub mod network;
+pub mod page_cache;
+
+pub use block_cache::{BlockCache, BlockCacheConfig, BlockState};
+pub use directory::{Directory, DirectoryEntry, DirectoryState, ReadReply, WriteReply};
+pub use msg::{MsgKind, TrafficStats};
+pub use network::Interconnect;
+pub use page_cache::{PageCache, PageCacheConfig};

@@ -1,0 +1,210 @@
+//! Point-to-point interconnect with per-node network-interface contention.
+//!
+//! The paper assumes "a point-to-point network with a constant latency of 80
+//! cycles but model[s] contention at the network interfaces accurately".  We
+//! do the same: every message pays the constant wire latency, plus occupancy
+//! at the sender's and receiver's network interfaces (NIs), which are FIFO
+//! resources.  Intra-node transfers bypass the network entirely.
+
+use crate::msg::{MsgKind, TrafficStats};
+use mem_trace::NodeId;
+use sim_engine::{Cycles, Resource};
+
+/// Cycles of NI occupancy per message header.
+const NI_HEADER_OCCUPANCY: u64 = 4;
+/// Additional cycles of NI occupancy when a message carries a data block.
+const NI_DATA_OCCUPANCY: u64 = 8;
+
+/// The cluster interconnect.
+#[derive(Debug, Clone)]
+pub struct Interconnect {
+    latency: Cycles,
+    send_ni: Vec<Resource>,
+    recv_ni: Vec<Resource>,
+    traffic: TrafficStats,
+}
+
+impl Interconnect {
+    /// The paper's base network latency (80 processor cycles).
+    pub const PAPER_LATENCY: Cycles = Cycles(80);
+
+    /// Create an interconnect for `nodes` nodes with the given one-way wire
+    /// latency.
+    pub fn new(nodes: usize, latency: Cycles) -> Self {
+        assert!(nodes > 0, "interconnect needs at least one node");
+        Interconnect {
+            latency,
+            send_ni: (0..nodes)
+                .map(|i| Resource::new(format!("ni-tx[{i}]")))
+                .collect(),
+            recv_ni: (0..nodes)
+                .map(|i| Resource::new(format!("ni-rx[{i}]")))
+                .collect(),
+            traffic: TrafficStats::new(),
+        }
+    }
+
+    /// The configured one-way latency.
+    pub fn latency(&self) -> Cycles {
+        self.latency
+    }
+
+    /// Number of nodes attached.
+    pub fn nodes(&self) -> usize {
+        self.send_ni.len()
+    }
+
+    fn occupancy(kind: MsgKind) -> Cycles {
+        if kind.carries_data() {
+            Cycles::new(NI_HEADER_OCCUPANCY + NI_DATA_OCCUPANCY)
+        } else {
+            Cycles::new(NI_HEADER_OCCUPANCY)
+        }
+    }
+
+    /// Send a message of `kind` from `src` to `dst` at time `now`; returns
+    /// the time the message is fully received at `dst`.
+    ///
+    /// Messages between a node and itself (possible when a "remote" page has
+    /// actually been migrated home) skip the network and return `now`.
+    pub fn send(&mut self, src: NodeId, dst: NodeId, now: Cycles, kind: MsgKind) -> Cycles {
+        if src == dst {
+            return now;
+        }
+        self.traffic.record(kind);
+        let occupancy = Self::occupancy(kind);
+        let injected = self.send_ni[src.index()].acquire(now, occupancy).finish;
+        let arrived_at_ni = injected + self.latency;
+        self.recv_ni[dst.index()].acquire(arrived_at_ni, occupancy).finish
+    }
+
+    /// Round trip of a request of `req` kind answered by a `reply` kind,
+    /// plus `service` cycles of processing at the remote end.  Returns the
+    /// completion time back at `src`.
+    pub fn round_trip(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        now: Cycles,
+        req: MsgKind,
+        reply: MsgKind,
+        service: Cycles,
+    ) -> Cycles {
+        if src == dst {
+            return now + service;
+        }
+        let request_arrival = self.send(src, dst, now, req);
+        let reply_start = request_arrival + service;
+        self.send(dst, src, reply_start, reply)
+    }
+
+    /// Traffic counters accumulated so far.
+    pub fn traffic(&self) -> &TrafficStats {
+        &self.traffic
+    }
+
+    /// Total queueing delay across all NIs (a congestion indicator).
+    pub fn total_ni_queue_delay(&self) -> Cycles {
+        let tx: u64 = self.send_ni.iter().map(|r| r.stats().queued.raw()).sum();
+        let rx: u64 = self.recv_ni.iter().map(|r| r.stats().queued.raw()).sum();
+        Cycles::new(tx + rx)
+    }
+
+    /// Reset occupancy and traffic counters between runs.
+    pub fn reset(&mut self) {
+        for r in self.send_ni.iter_mut().chain(self.recv_ni.iter_mut()) {
+            r.reset();
+        }
+        self.traffic = TrafficStats::new();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_latency_plus_ni_occupancy() {
+        let mut net = Interconnect::new(4, Interconnect::PAPER_LATENCY);
+        let t = net.send(NodeId(0), NodeId(1), Cycles::new(0), MsgKind::ReadRequest);
+        // 4 (tx NI) + 80 (wire) + 4 (rx NI) = 88.
+        assert_eq!(t, Cycles::new(88));
+    }
+
+    #[test]
+    fn data_messages_occupy_longer() {
+        let mut net = Interconnect::new(2, Cycles::new(80));
+        let t = net.send(NodeId(0), NodeId(1), Cycles::new(0), MsgKind::ReadReply);
+        // 12 + 80 + 12 = 104.
+        assert_eq!(t, Cycles::new(104));
+    }
+
+    #[test]
+    fn same_node_transfers_are_free() {
+        let mut net = Interconnect::new(2, Cycles::new(80));
+        let t = net.send(NodeId(1), NodeId(1), Cycles::new(55), MsgKind::ReadReply);
+        assert_eq!(t, Cycles::new(55));
+        assert_eq!(net.traffic().total_messages(), 0);
+    }
+
+    #[test]
+    fn round_trip_includes_service_time() {
+        let mut net = Interconnect::new(2, Cycles::new(80));
+        let t = net.round_trip(
+            NodeId(0),
+            NodeId(1),
+            Cycles::new(0),
+            MsgKind::ReadRequest,
+            MsgKind::ReadReply,
+            Cycles::new(50),
+        );
+        // 88 out + 50 service + 104 back = 242.
+        assert_eq!(t, Cycles::new(242));
+        assert_eq!(net.traffic().total_messages(), 2);
+    }
+
+    #[test]
+    fn local_round_trip_only_pays_service() {
+        let mut net = Interconnect::new(2, Cycles::new(80));
+        let t = net.round_trip(
+            NodeId(0),
+            NodeId(0),
+            Cycles::new(10),
+            MsgKind::ReadRequest,
+            MsgKind::ReadReply,
+            Cycles::new(50),
+        );
+        assert_eq!(t, Cycles::new(60));
+    }
+
+    #[test]
+    fn ni_contention_queues_messages() {
+        let mut net = Interconnect::new(2, Cycles::new(80));
+        let t1 = net.send(NodeId(0), NodeId(1), Cycles::new(0), MsgKind::ReadReply);
+        let t2 = net.send(NodeId(0), NodeId(1), Cycles::new(0), MsgKind::ReadReply);
+        assert_eq!(t1, Cycles::new(104));
+        // The second message waits 12 cycles for the sender NI.
+        assert_eq!(t2, Cycles::new(116));
+        assert!(net.total_ni_queue_delay() > Cycles::ZERO);
+    }
+
+    #[test]
+    fn traffic_is_recorded_per_kind() {
+        let mut net = Interconnect::new(3, Cycles::new(80));
+        net.send(NodeId(0), NodeId(1), Cycles::new(0), MsgKind::Invalidation);
+        net.send(NodeId(1), NodeId(0), Cycles::new(0), MsgKind::InvalidationAck);
+        assert_eq!(net.traffic().messages_of(MsgKind::Invalidation), 1);
+        assert_eq!(net.traffic().messages_of(MsgKind::InvalidationAck), 1);
+    }
+
+    #[test]
+    fn reset_clears_traffic_and_occupancy() {
+        let mut net = Interconnect::new(2, Cycles::new(80));
+        net.send(NodeId(0), NodeId(1), Cycles::new(0), MsgKind::ReadReply);
+        net.reset();
+        assert_eq!(net.traffic().total_messages(), 0);
+        assert_eq!(net.total_ni_queue_delay(), Cycles::ZERO);
+        let t = net.send(NodeId(0), NodeId(1), Cycles::new(0), MsgKind::ReadReply);
+        assert_eq!(t, Cycles::new(104));
+    }
+}

@@ -1,0 +1,411 @@
+//! The S-COMA page cache used by R-NUMA.
+//!
+//! R-NUMA relocates pages that suffer frequent capacity/conflict misses into
+//! a region of the node's main memory managed as a *page cache*: page
+//! frames are allocated locally, coherence is still maintained at block
+//! granularity through per-block *fine-grain tags*, and a reverse
+//! translation table maps local frames back to global addresses.  Practical
+//! implementations bound the page cache to a fraction of memory (the paper's
+//! base system uses 2.4 MB per node, 40x the block cache); the limit is what
+//! creates the replacement traffic studied in Figures 5-8.
+//!
+//! This module models the frames, fine-grain tags, LRU replacement and the
+//! occupancy counters.  The relocation *policy* (refetch counters and
+//! thresholds) lives in `dsm-core`.
+
+use mem_trace::{BlockId, PageId, BLOCKS_PER_PAGE, PAGE_SIZE};
+use std::collections::HashMap;
+
+/// Page-cache sizing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageCacheConfig {
+    /// At most this many bytes of main memory are usable as page frames.
+    Finite {
+        /// Capacity in bytes (rounded down to whole pages).
+        size_bytes: u64,
+    },
+    /// Unbounded page cache (the paper's R-NUMA-Inf).
+    Infinite,
+}
+
+impl PageCacheConfig {
+    /// The paper's base 2.4-MByte page cache (40x the 64-KB block cache).
+    pub const PAPER: PageCacheConfig = PageCacheConfig::Finite {
+        size_bytes: 2_457_600,
+    };
+
+    /// The paper's halved page cache used in Section 6.4 (1.2 MB).
+    pub const PAPER_HALF: PageCacheConfig = PageCacheConfig::Finite {
+        size_bytes: 1_228_800,
+    };
+
+    /// Capacity in page frames (`None` for infinite).
+    pub fn frames(&self) -> Option<usize> {
+        match self {
+            PageCacheConfig::Finite { size_bytes } => Some((size_bytes / PAGE_SIZE) as usize),
+            PageCacheConfig::Infinite => None,
+        }
+    }
+}
+
+/// One allocated page frame: which blocks are present and which are dirty.
+#[derive(Debug, Clone)]
+struct Frame {
+    present: u64,
+    dirty: u64,
+    last_use: u64,
+}
+
+/// Result of asking for a frame for a page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocOutcome {
+    /// The page already has a frame.
+    AlreadyPresent,
+    /// A free frame was assigned.
+    Allocated,
+    /// The cache is full; the returned page was chosen (LRU) as the victim
+    /// and has been deallocated to make room.  Its dirty-block count is
+    /// returned so the caller can charge the flush traffic.
+    Replaced {
+        /// The evicted page.
+        victim: PageId,
+        /// How many blocks of the victim were present.
+        victim_blocks: u32,
+        /// How many of those blocks were dirty (must be written back home).
+        victim_dirty: u32,
+    },
+}
+
+/// A node's S-COMA page cache.
+#[derive(Debug, Clone)]
+pub struct PageCache {
+    config: PageCacheConfig,
+    frames: HashMap<PageId, Frame>,
+    clock: u64,
+    allocations: u64,
+    replacements: u64,
+    blocks_installed: u64,
+    block_hits: u64,
+    block_misses: u64,
+}
+
+impl PageCache {
+    /// Create an empty page cache.
+    ///
+    /// # Panics
+    /// Panics if a finite configuration holds zero frames.
+    pub fn new(config: PageCacheConfig) -> Self {
+        if let Some(frames) = config.frames() {
+            assert!(frames > 0, "page cache must hold at least one frame");
+        }
+        PageCache {
+            config,
+            frames: HashMap::new(),
+            clock: 0,
+            allocations: 0,
+            replacements: 0,
+            blocks_installed: 0,
+            block_hits: 0,
+            block_misses: 0,
+        }
+    }
+
+    /// The configuration this cache was built with.
+    pub fn config(&self) -> PageCacheConfig {
+        self.config
+    }
+
+    /// Number of frames currently allocated.
+    pub fn allocated_frames(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Capacity in frames (`None` if infinite).
+    pub fn capacity_frames(&self) -> Option<usize> {
+        self.config.frames()
+    }
+
+    /// `true` if `page` has a frame.
+    pub fn contains_page(&self, page: PageId) -> bool {
+        self.frames.contains_key(&page)
+    }
+
+    /// `true` if `block` is present in its page's frame.
+    pub fn block_present(&self, block: BlockId) -> bool {
+        self.frames
+            .get(&block.page())
+            .map(|f| f.present & (1u64 << block.index_in_page()) != 0)
+            .unwrap_or(false)
+    }
+
+    /// Allocate a frame for `page`, replacing the LRU page if necessary.
+    pub fn allocate(&mut self, page: PageId) -> AllocOutcome {
+        self.clock += 1;
+        if let Some(frame) = self.frames.get_mut(&page) {
+            frame.last_use = self.clock;
+            return AllocOutcome::AlreadyPresent;
+        }
+        let outcome = match self.capacity_frames() {
+            Some(cap) if self.frames.len() >= cap => {
+                let victim = self
+                    .frames
+                    .iter()
+                    .min_by_key(|(p, f)| (f.last_use, p.0))
+                    .map(|(p, _)| *p)
+                    .expect("cache is full, so non-empty");
+                let frame = self.frames.remove(&victim).expect("victim present");
+                self.replacements += 1;
+                AllocOutcome::Replaced {
+                    victim,
+                    victim_blocks: frame.present.count_ones(),
+                    victim_dirty: frame.dirty.count_ones(),
+                }
+            }
+            _ => AllocOutcome::Allocated,
+        };
+        self.allocations += 1;
+        self.frames.insert(
+            page,
+            Frame {
+                present: 0,
+                dirty: 0,
+                last_use: self.clock,
+            },
+        );
+        outcome
+    }
+
+    /// Explicitly deallocate `page` (e.g. migration of a relocated page).
+    /// Returns `(blocks present, dirty blocks)` if it was allocated.
+    pub fn deallocate(&mut self, page: PageId) -> Option<(u32, u32)> {
+        self.frames
+            .remove(&page)
+            .map(|f| (f.present.count_ones(), f.dirty.count_ones()))
+    }
+
+    /// Look up `block`; records a hit or a (fine-grain) miss.  A miss means
+    /// the enclosing page has a frame but this block has not been fetched
+    /// yet, or the page has no frame at all.
+    pub fn lookup_block(&mut self, block: BlockId) -> bool {
+        self.clock += 1;
+        let hit = match self.frames.get_mut(&block.page()) {
+            Some(frame) => {
+                frame.last_use = self.clock;
+                frame.present & (1u64 << block.index_in_page()) != 0
+            }
+            None => false,
+        };
+        if hit {
+            self.block_hits += 1;
+        } else {
+            self.block_misses += 1;
+        }
+        hit
+    }
+
+    /// Install a fetched block into its page's frame.  Returns `false` (and
+    /// does nothing) if the page has no frame.
+    pub fn install_block(&mut self, block: BlockId, dirty: bool) -> bool {
+        match self.frames.get_mut(&block.page()) {
+            Some(frame) => {
+                frame.present |= 1u64 << block.index_in_page();
+                if dirty {
+                    frame.dirty |= 1u64 << block.index_in_page();
+                }
+                self.blocks_installed += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Mark a present block dirty (a local processor wrote it). Returns
+    /// `false` if the block is not present.
+    pub fn mark_dirty(&mut self, block: BlockId) -> bool {
+        match self.frames.get_mut(&block.page()) {
+            Some(frame) if frame.present & (1u64 << block.index_in_page()) != 0 => {
+                frame.dirty |= 1u64 << block.index_in_page();
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Invalidate a block (remote write). Returns `true` if it was present.
+    pub fn invalidate_block(&mut self, block: BlockId) -> bool {
+        match self.frames.get_mut(&block.page()) {
+            Some(frame) => {
+                let bit = 1u64 << block.index_in_page();
+                let was_present = frame.present & bit != 0;
+                frame.present &= !bit;
+                frame.dirty &= !bit;
+                was_present
+            }
+            None => false,
+        }
+    }
+
+    /// Number of blocks present in `page`'s frame (0 if not allocated).
+    pub fn blocks_present(&self, page: PageId) -> u32 {
+        self.frames
+            .get(&page)
+            .map(|f| f.present.count_ones())
+            .unwrap_or(0)
+    }
+
+    /// Fragmentation of an allocated page frame: fraction of the frame's
+    /// blocks that are *absent* (0.0 = fully populated). Returns `None` if
+    /// the page has no frame.
+    pub fn fragmentation(&self, page: PageId) -> Option<f64> {
+        self.frames.get(&page).map(|f| {
+            1.0 - f.present.count_ones() as f64 / BLOCKS_PER_PAGE as f64
+        })
+    }
+
+    /// `(allocations, replacements, blocks installed, block hits, block misses)`.
+    pub fn counters(&self) -> (u64, u64, u64, u64, u64) {
+        (
+            self.allocations,
+            self.replacements,
+            self.blocks_installed,
+            self.block_hits,
+            self.block_misses,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_frame_cache() -> PageCache {
+        PageCache::new(PageCacheConfig::Finite {
+            size_bytes: 2 * PAGE_SIZE,
+        })
+    }
+
+    #[test]
+    fn paper_configs_hold_expected_frames() {
+        assert_eq!(PageCacheConfig::PAPER.frames(), Some(600));
+        assert_eq!(PageCacheConfig::PAPER_HALF.frames(), Some(300));
+        assert_eq!(PageCacheConfig::Infinite.frames(), None);
+    }
+
+    #[test]
+    fn allocate_and_install_blocks() {
+        let mut pc = two_frame_cache();
+        let page = PageId(7);
+        assert_eq!(pc.allocate(page), AllocOutcome::Allocated);
+        assert_eq!(pc.allocate(page), AllocOutcome::AlreadyPresent);
+        let b = page.first_block();
+        assert!(!pc.lookup_block(b));
+        assert!(pc.install_block(b, false));
+        assert!(pc.lookup_block(b));
+        assert_eq!(pc.blocks_present(page), 1);
+        assert!(pc.block_present(b));
+    }
+
+    #[test]
+    fn install_into_unallocated_page_fails() {
+        let mut pc = two_frame_cache();
+        assert!(!pc.install_block(PageId(3).first_block(), false));
+    }
+
+    #[test]
+    fn lru_replacement_when_full() {
+        let mut pc = two_frame_cache();
+        pc.allocate(PageId(1));
+        pc.allocate(PageId(2));
+        // Touch page 1 so page 2 becomes LRU.
+        pc.lookup_block(PageId(1).first_block());
+        match pc.allocate(PageId(3)) {
+            AllocOutcome::Replaced { victim, .. } => assert_eq!(victim, PageId(2)),
+            other => panic!("expected replacement, got {other:?}"),
+        }
+        assert!(pc.contains_page(PageId(1)));
+        assert!(pc.contains_page(PageId(3)));
+        assert!(!pc.contains_page(PageId(2)));
+        assert_eq!(pc.counters().1, 1);
+    }
+
+    #[test]
+    fn replacement_reports_victim_contents() {
+        let mut pc = two_frame_cache();
+        pc.allocate(PageId(1));
+        let b0 = PageId(1).first_block();
+        let b1 = BlockId(b0.0 + 1);
+        pc.install_block(b0, true);
+        pc.install_block(b1, false);
+        pc.allocate(PageId(2));
+        // Make page 1 LRU (page 2 was touched more recently by allocation).
+        match pc.allocate(PageId(9)) {
+            AllocOutcome::Replaced {
+                victim,
+                victim_blocks,
+                victim_dirty,
+            } => {
+                assert_eq!(victim, PageId(1));
+                assert_eq!(victim_blocks, 2);
+                assert_eq!(victim_dirty, 1);
+            }
+            other => panic!("expected replacement, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn infinite_cache_never_replaces() {
+        let mut pc = PageCache::new(PageCacheConfig::Infinite);
+        for i in 0..5_000 {
+            assert_ne!(
+                std::mem::discriminant(&pc.allocate(PageId(i))),
+                std::mem::discriminant(&AllocOutcome::Replaced {
+                    victim: PageId(0),
+                    victim_blocks: 0,
+                    victim_dirty: 0
+                })
+            );
+        }
+        assert_eq!(pc.allocated_frames(), 5_000);
+        assert_eq!(pc.counters().1, 0);
+    }
+
+    #[test]
+    fn dirty_tracking_and_invalidation() {
+        let mut pc = two_frame_cache();
+        let page = PageId(4);
+        let b = page.first_block();
+        pc.allocate(page);
+        pc.install_block(b, false);
+        assert!(pc.mark_dirty(b));
+        assert!(pc.invalidate_block(b));
+        assert!(!pc.block_present(b));
+        assert!(!pc.mark_dirty(b), "absent block cannot be dirtied");
+        assert!(!pc.invalidate_block(b));
+    }
+
+    #[test]
+    fn deallocate_returns_contents() {
+        let mut pc = two_frame_cache();
+        let page = PageId(5);
+        pc.allocate(page);
+        pc.install_block(page.first_block(), true);
+        assert_eq!(pc.deallocate(page), Some((1, 1)));
+        assert_eq!(pc.deallocate(page), None);
+    }
+
+    #[test]
+    fn fragmentation_measures_absent_blocks() {
+        let mut pc = PageCache::new(PageCacheConfig::Infinite);
+        let page = PageId(6);
+        assert_eq!(pc.fragmentation(page), None);
+        pc.allocate(page);
+        assert_eq!(pc.fragmentation(page), Some(1.0));
+        for (i, b) in page.blocks().enumerate() {
+            if i < 32 {
+                pc.install_block(b, false);
+            }
+        }
+        let frag = pc.fragmentation(page).unwrap();
+        assert!((frag - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,31 @@
+//! Shared-memory address-space model and reference traces.
+//!
+//! The reproduced paper drives its simulated DSM cluster with the memory
+//! references of SPLASH-2 applications.  In this reproduction the workloads
+//! (crate `splash-workloads`) are re-implemented as *trace generators*: each
+//! produces, for every simulated processor, a sequence of [`TraceEvent`]s —
+//! shared-memory reads and writes, interleaved compute delays, and
+//! barrier/lock synchronization — over a single global address space.
+//!
+//! This crate defines:
+//!
+//! * the address vocabulary ([`GlobalAddr`], [`BlockId`], [`PageId`]) and the
+//!   cluster topology ([`Topology`], [`NodeId`], [`ProcId`]),
+//! * the trace representation ([`TraceEvent`], [`ProgramTrace`]) and its
+//!   validation / summary statistics,
+//! * a shared-segment allocator ([`layout::AddressSpace`]) and a per-processor
+//!   [`builder::TraceBuilder`] that workloads use to emit well-formed traces.
+
+pub mod access;
+pub mod addr;
+pub mod builder;
+pub mod layout;
+pub mod trace;
+
+pub use access::{AccessKind, MemRef, TraceEvent};
+pub use addr::{
+    BlockId, GlobalAddr, NodeId, PageId, ProcId, Topology, BLOCKS_PER_PAGE, BLOCK_SIZE, PAGE_SIZE,
+};
+pub use builder::TraceBuilder;
+pub use layout::{AddressSpace, Segment};
+pub use trace::{ProgramTrace, TraceStats};

@@ -1,0 +1,324 @@
+//! Whole-program traces and their validation.
+
+use crate::access::{AccessKind, TraceEvent};
+use crate::addr::{PageId, ProcId, Topology};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// The complete set of per-processor traces for one workload run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProgramTrace {
+    /// Workload name (Table 2 row, e.g. `"lu"`).
+    pub name: String,
+    /// Cluster topology the trace was generated for.
+    pub topology: Topology,
+    /// One event stream per processor, indexed by `ProcId::index()`.
+    pub per_proc: Vec<Vec<TraceEvent>>,
+}
+
+/// Errors found by [`ProgramTrace::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// The number of per-processor streams does not match the topology.
+    ProcCountMismatch {
+        /// Streams present.
+        streams: usize,
+        /// Processors the topology requires.
+        expected: usize,
+    },
+    /// Processors disagree on the sequence of barrier ids.
+    BarrierMismatch {
+        /// First processor compared.
+        proc_a: ProcId,
+        /// Second processor compared.
+        proc_b: ProcId,
+    },
+    /// A lock release without a matching acquire (or vice versa) on one
+    /// processor.
+    UnbalancedLock {
+        /// The offending processor.
+        proc: ProcId,
+        /// The lock id involved.
+        lock: u32,
+    },
+}
+
+/// Summary statistics of a trace, used by tests and the experiment harness
+/// to sanity-check workload shape (read/write mix, footprint, sharing).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Total shared-memory accesses across all processors.
+    pub accesses: u64,
+    /// Total reads.
+    pub reads: u64,
+    /// Total writes.
+    pub writes: u64,
+    /// Total compute cycles across all processors.
+    pub compute_cycles: u64,
+    /// Number of barrier events per processor (identical across processors
+    /// for a valid trace).
+    pub barriers: u64,
+    /// Number of distinct pages touched by any processor.
+    pub footprint_pages: u64,
+    /// Number of distinct pages touched by more than one *node*.
+    pub node_shared_pages: u64,
+    /// Number of distinct pages written by at least one processor.
+    pub written_pages: u64,
+}
+
+impl TraceStats {
+    /// Fraction of accesses that are writes (0 if no accesses).
+    pub fn write_fraction(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.writes as f64 / self.accesses as f64
+        }
+    }
+}
+
+impl ProgramTrace {
+    /// Create a trace; `per_proc.len()` must equal `topology.total_procs()`.
+    pub fn new(name: impl Into<String>, topology: Topology, per_proc: Vec<Vec<TraceEvent>>) -> Self {
+        ProgramTrace {
+            name: name.into(),
+            topology,
+            per_proc,
+        }
+    }
+
+    /// Total number of events across all processors.
+    pub fn total_events(&self) -> usize {
+        self.per_proc.iter().map(Vec::len).sum()
+    }
+
+    /// The event stream of one processor.
+    pub fn events_of(&self, proc: ProcId) -> &[TraceEvent] {
+        &self.per_proc[proc.index()]
+    }
+
+    /// Check structural well-formedness: correct processor count, matching
+    /// barrier sequences, balanced locks.
+    pub fn validate(&self) -> Result<(), TraceError> {
+        let expected = self.topology.total_procs();
+        if self.per_proc.len() != expected {
+            return Err(TraceError::ProcCountMismatch {
+                streams: self.per_proc.len(),
+                expected,
+            });
+        }
+
+        // All processors must observe the same ordered sequence of barriers.
+        let barrier_seq = |events: &[TraceEvent]| -> Vec<u32> {
+            events
+                .iter()
+                .filter_map(|e| match e {
+                    TraceEvent::Barrier(id) => Some(*id),
+                    _ => None,
+                })
+                .collect()
+        };
+        let reference = barrier_seq(&self.per_proc[0]);
+        for (i, events) in self.per_proc.iter().enumerate().skip(1) {
+            if barrier_seq(events) != reference {
+                return Err(TraceError::BarrierMismatch {
+                    proc_a: ProcId(0),
+                    proc_b: ProcId(i as u16),
+                });
+            }
+        }
+
+        // Locks must be acquired before released and not left held... a held
+        // lock at the end of the trace is tolerated (some SPLASH kernels end
+        // inside a critical section guard), but a release without a matching
+        // acquire is always a bug in the generator.
+        for (i, events) in self.per_proc.iter().enumerate() {
+            let mut held: Vec<u32> = Vec::new();
+            for e in events {
+                match e {
+                    TraceEvent::Lock(id) => held.push(*id),
+                    TraceEvent::Unlock(id) => {
+                        match held.iter().rposition(|h| h == id) {
+                            Some(pos) => {
+                                held.remove(pos);
+                            }
+                            None => {
+                                return Err(TraceError::UnbalancedLock {
+                                    proc: ProcId(i as u16),
+                                    lock: *id,
+                                })
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Compute summary statistics.
+    pub fn stats(&self) -> TraceStats {
+        let mut stats = TraceStats::default();
+        let mut pages: BTreeSet<PageId> = BTreeSet::new();
+        let mut written: BTreeSet<PageId> = BTreeSet::new();
+        // page -> set of nodes that touched it, encoded as a small bitmask.
+        let mut page_nodes: std::collections::BTreeMap<PageId, u64> = Default::default();
+
+        for (i, events) in self.per_proc.iter().enumerate() {
+            let node = self.topology.node_of(ProcId(i as u16));
+            for e in events {
+                match e {
+                    TraceEvent::Access(m) => {
+                        stats.accesses += 1;
+                        match m.kind {
+                            AccessKind::Read => stats.reads += 1,
+                            AccessKind::Write => {
+                                stats.writes += 1;
+                                written.insert(m.page());
+                            }
+                        }
+                        pages.insert(m.page());
+                        *page_nodes.entry(m.page()).or_insert(0) |= 1u64 << node.index().min(63);
+                    }
+                    TraceEvent::Compute(c) => stats.compute_cycles += *c as u64,
+                    TraceEvent::Barrier(_) => {
+                        if i == 0 {
+                            stats.barriers += 1;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        stats.footprint_pages = pages.len() as u64;
+        stats.written_pages = written.len() as u64;
+        stats.node_shared_pages = page_nodes
+            .values()
+            .filter(|mask| mask.count_ones() > 1)
+            .count() as u64;
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::{GlobalAddr, PAGE_SIZE};
+
+    fn two_proc_topology() -> Topology {
+        Topology::new(2, 1)
+    }
+
+    #[test]
+    fn validate_accepts_well_formed_trace() {
+        let t = ProgramTrace::new(
+            "toy",
+            two_proc_topology(),
+            vec![
+                vec![
+                    TraceEvent::read(GlobalAddr(0)),
+                    TraceEvent::Barrier(0),
+                    TraceEvent::Lock(1),
+                    TraceEvent::write(GlobalAddr(64)),
+                    TraceEvent::Unlock(1),
+                    TraceEvent::Barrier(1),
+                ],
+                vec![
+                    TraceEvent::Compute(100),
+                    TraceEvent::Barrier(0),
+                    TraceEvent::Barrier(1),
+                ],
+            ],
+        );
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_wrong_proc_count() {
+        let t = ProgramTrace::new("toy", two_proc_topology(), vec![vec![]]);
+        assert_eq!(
+            t.validate(),
+            Err(TraceError::ProcCountMismatch {
+                streams: 1,
+                expected: 2
+            })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_mismatched_barriers() {
+        let t = ProgramTrace::new(
+            "toy",
+            two_proc_topology(),
+            vec![
+                vec![TraceEvent::Barrier(0), TraceEvent::Barrier(1)],
+                vec![TraceEvent::Barrier(0)],
+            ],
+        );
+        assert!(matches!(
+            t.validate(),
+            Err(TraceError::BarrierMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_unlock_without_lock() {
+        let t = ProgramTrace::new(
+            "toy",
+            two_proc_topology(),
+            vec![vec![TraceEvent::Unlock(3)], vec![]],
+        );
+        assert_eq!(
+            t.validate(),
+            Err(TraceError::UnbalancedLock {
+                proc: ProcId(0),
+                lock: 3
+            })
+        );
+    }
+
+    #[test]
+    fn stats_count_accesses_and_pages() {
+        let t = ProgramTrace::new(
+            "toy",
+            two_proc_topology(),
+            vec![
+                vec![
+                    TraceEvent::read(GlobalAddr(0)),
+                    TraceEvent::write(GlobalAddr(8)),
+                    TraceEvent::Compute(50),
+                    TraceEvent::Barrier(0),
+                ],
+                vec![
+                    TraceEvent::read(GlobalAddr(PAGE_SIZE)),
+                    TraceEvent::read(GlobalAddr(0)),
+                    TraceEvent::Barrier(0),
+                ],
+            ],
+        );
+        let s = t.stats();
+        assert_eq!(s.accesses, 4);
+        assert_eq!(s.reads, 3);
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.compute_cycles, 50);
+        assert_eq!(s.barriers, 1);
+        assert_eq!(s.footprint_pages, 2);
+        assert_eq!(s.written_pages, 1);
+        // Page 0 is touched by both nodes (procs 0 and 1 are on different
+        // nodes in this 2x1 topology).
+        assert_eq!(s.node_shared_pages, 1);
+        assert!((s.write_fraction() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_events_and_events_of() {
+        let t = ProgramTrace::new(
+            "toy",
+            two_proc_topology(),
+            vec![vec![TraceEvent::Compute(1)], vec![TraceEvent::Compute(2), TraceEvent::Compute(3)]],
+        );
+        assert_eq!(t.total_events(), 3);
+        assert_eq!(t.events_of(ProcId(1)).len(), 2);
+    }
+}

@@ -1,0 +1,169 @@
+//! A stable min-heap event queue keyed by [`Cycles`].
+//!
+//! The cluster simulator keeps one logical "next event" per processor and
+//! always advances the processor with the smallest local clock.  Ties are
+//! broken by insertion order so that simulations are fully deterministic
+//! regardless of heap internals.
+
+use crate::cycles::Cycles;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+#[derive(Debug, Clone)]
+struct Entry<T> {
+    time: Cycles,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the smallest time pops first,
+        // and break ties by insertion sequence (earlier first).
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic min-priority queue of timestamped events.
+#[derive(Debug, Clone)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Entry<T>>,
+    next_seq: u64,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Create an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Create an empty queue with pre-allocated capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            next_seq: 0,
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedule `payload` at `time`.
+    pub fn push(&mut self, time: Cycles, payload: T) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, payload });
+    }
+
+    /// Timestamp of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<Cycles> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Remove and return the earliest pending event `(time, payload)`.
+    pub fn pop(&mut self) -> Option<(Cycles, T)> {
+        self.heap.pop().map(|e| (e.time, e.payload))
+    }
+
+    /// Drain every event in time order.
+    pub fn drain_ordered(&mut self) -> Vec<(Cycles, T)> {
+        let mut out = Vec::with_capacity(self.heap.len());
+        while let Some(ev) = self.pop() {
+            out.push(ev);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(Cycles::new(30), "c");
+        q.push(Cycles::new(10), "a");
+        q.push(Cycles::new(20), "b");
+        assert_eq!(q.pop(), Some((Cycles::new(10), "a")));
+        assert_eq!(q.pop(), Some((Cycles::new(20), "b")));
+        assert_eq!(q.pop(), Some((Cycles::new(30), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..16u32 {
+            q.push(Cycles::new(5), i);
+        }
+        let order: Vec<u32> = q.drain_ordered().into_iter().map(|(_, v)| v).collect();
+        assert_eq!(order, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_time_matches_next_pop() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(Cycles::new(42), ());
+        q.push(Cycles::new(7), ());
+        assert_eq!(q.peek_time(), Some(Cycles::new(7)));
+        q.pop();
+        assert_eq!(q.peek_time(), Some(Cycles::new(42)));
+    }
+
+    #[test]
+    fn len_and_is_empty() {
+        let mut q = EventQueue::with_capacity(4);
+        assert!(q.is_empty());
+        q.push(Cycles::ZERO, 1);
+        q.push(Cycles::ZERO, 2);
+        assert_eq!(q.len(), 2);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_ordered() {
+        let mut q = EventQueue::new();
+        q.push(Cycles::new(10), 10);
+        q.push(Cycles::new(5), 5);
+        assert_eq!(q.pop(), Some((Cycles::new(5), 5)));
+        q.push(Cycles::new(1), 1);
+        q.push(Cycles::new(20), 20);
+        assert_eq!(q.pop(), Some((Cycles::new(1), 1)));
+        assert_eq!(q.pop(), Some((Cycles::new(10), 10)));
+        assert_eq!(q.pop(), Some((Cycles::new(20), 20)));
+    }
+}

@@ -1,0 +1,31 @@
+//! Discrete-time simulation primitives shared by every crate in the
+//! `dsm-repro` workspace.
+//!
+//! The workspace reproduces the simulation study of Lai & Falsafi
+//! (SPAA 2000), which compares page migration/replication against
+//! fine-grain memory caching (R-NUMA) on a cluster of SMP nodes.  All the
+//! higher-level crates (node model, DSM protocol, the systems under study)
+//! express timing in terms of the small vocabulary defined here:
+//!
+//! * [`Cycles`] — processor clock cycles, the unit of every cost in the
+//!   paper's Table 3.
+//! * [`Resource`] — a FIFO-served shared resource (memory bus, network
+//!   interface) that adds queueing delay when contended.
+//! * [`EventQueue`] — a stable min-heap used by the cluster simulator to
+//!   interleave per-processor traces in global time order.
+//! * [`rng::SplitMix64`] / [`rng::Xoshiro256`] — small deterministic PRNGs
+//!   so that every simulation is exactly reproducible from a seed.
+//! * [`stats`] — online summary statistics and histograms used by the
+//!   experiment harness.
+
+pub mod cycles;
+pub mod event;
+pub mod resource;
+pub mod rng;
+pub mod stats;
+
+pub use cycles::Cycles;
+pub use event::EventQueue;
+pub use resource::{Resource, ResourceStats};
+pub use rng::{SplitMix64, Xoshiro256};
+pub use stats::{Histogram, OnlineStats};

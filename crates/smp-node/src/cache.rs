@@ -1,0 +1,423 @@
+//! Direct-mapped per-processor data cache with MOESI-style line states.
+//!
+//! The paper assumes 16-KByte direct-mapped processor caches (sized to hold
+//! the primary working set of the scaled-down SPLASH-2 inputs) with 64-byte
+//! blocks.  The cache is modeled at block granularity: we track, for every
+//! cache index, which block currently resides there and in which coherence
+//! state.  The snoopy MOESI protocol inside the node is expressed through
+//! the state transitions the enclosing simulator requests
+//! ([`DataCache::invalidate`], [`DataCache::downgrade`]).
+
+use mem_trace::{AccessKind, BlockId};
+
+/// MOESI coherence states of a cache line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LineState {
+    /// Line holds no valid block.
+    Invalid,
+    /// Clean, possibly shared with other caches.
+    Shared,
+    /// Clean and exclusive to this cache.
+    Exclusive,
+    /// Dirty and exclusive to this cache.
+    Modified,
+    /// Dirty but shared (this cache is responsible for the data).
+    Owned,
+}
+
+impl LineState {
+    /// `true` if the line holds data the memory below does not have.
+    pub fn is_dirty(self) -> bool {
+        matches!(self, LineState::Modified | LineState::Owned)
+    }
+
+    /// `true` if the line may be read without a bus transaction.
+    pub fn is_valid(self) -> bool {
+        !matches!(self, LineState::Invalid)
+    }
+
+    /// `true` if the line may be written without a bus transaction.
+    pub fn is_writable(self) -> bool {
+        matches!(self, LineState::Modified | LineState::Exclusive)
+    }
+}
+
+/// Configuration of a direct-mapped cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Block (line) size in bytes.
+    pub block_bytes: u64,
+}
+
+impl CacheConfig {
+    /// The paper's 16-KByte direct-mapped processor cache with 64-byte
+    /// blocks.
+    pub const PAPER_L1: CacheConfig = CacheConfig {
+        size_bytes: 16 * 1024,
+        block_bytes: mem_trace::BLOCK_SIZE,
+    };
+
+    /// Number of lines (sets) in the cache.
+    pub fn lines(&self) -> usize {
+        (self.size_bytes / self.block_bytes) as usize
+    }
+}
+
+/// A block evicted to make room for a fill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Victim {
+    /// The evicted block.
+    pub block: BlockId,
+    /// Its state at eviction time (dirty victims must be written back).
+    pub state: LineState,
+}
+
+/// Result of presenting an access to the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// The access hit and completed without a bus transaction.
+    Hit,
+    /// A write hit a line held in `Shared`/`Owned`; an upgrade (invalidation
+    /// of other copies) is required but no data transfer.
+    UpgradeMiss,
+    /// The block is not present; a fill is required.  `victim` is the block
+    /// that will be displaced by the fill, if any.
+    Miss {
+        /// Block displaced by the incoming fill, if the target line was
+        /// occupied by a different block.
+        victim: Option<Victim>,
+    },
+}
+
+/// A direct-mapped data cache.
+#[derive(Debug, Clone)]
+pub struct DataCache {
+    config: CacheConfig,
+    tags: Vec<Option<BlockId>>,
+    states: Vec<LineState>,
+    /// Monotonic counters for reporting.
+    hits: u64,
+    misses: u64,
+    upgrades: u64,
+    evictions: u64,
+    invalidations_received: u64,
+}
+
+impl DataCache {
+    /// Create an empty cache.
+    ///
+    /// # Panics
+    /// Panics if the configuration is degenerate (zero lines or a block size
+    /// that does not divide the capacity).
+    pub fn new(config: CacheConfig) -> Self {
+        assert!(config.block_bytes > 0, "block size must be non-zero");
+        assert!(
+            config.size_bytes % config.block_bytes == 0,
+            "capacity must be a multiple of the block size"
+        );
+        let lines = config.lines();
+        assert!(lines > 0, "cache must have at least one line");
+        DataCache {
+            config,
+            tags: vec![None; lines],
+            states: vec![LineState::Invalid; lines],
+            hits: 0,
+            misses: 0,
+            upgrades: 0,
+            evictions: 0,
+            invalidations_received: 0,
+        }
+    }
+
+    /// The cache's configuration.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    #[inline]
+    fn index_of(&self, block: BlockId) -> usize {
+        (block.0 % self.tags.len() as u64) as usize
+    }
+
+    /// Current state of `block` (Invalid if not resident).
+    pub fn state_of(&self, block: BlockId) -> LineState {
+        let idx = self.index_of(block);
+        if self.tags[idx] == Some(block) {
+            self.states[idx]
+        } else {
+            LineState::Invalid
+        }
+    }
+
+    /// `true` if `block` is resident in any valid state.
+    pub fn contains(&self, block: BlockId) -> bool {
+        self.state_of(block).is_valid()
+    }
+
+    /// Probe the cache with an access *without* changing its contents.
+    /// Returns what [`DataCache::access`] would report.
+    pub fn probe(&self, block: BlockId, kind: AccessKind) -> CacheOutcome {
+        let idx = self.index_of(block);
+        let resident = self.tags[idx] == Some(block);
+        if resident {
+            let state = self.states[idx];
+            match kind {
+                AccessKind::Read => CacheOutcome::Hit,
+                AccessKind::Write if state.is_writable() => CacheOutcome::Hit,
+                AccessKind::Write => CacheOutcome::UpgradeMiss,
+            }
+        } else {
+            let victim = match self.tags[idx] {
+                Some(old) if self.states[idx].is_valid() => Some(Victim {
+                    block: old,
+                    state: self.states[idx],
+                }),
+                _ => None,
+            };
+            CacheOutcome::Miss { victim }
+        }
+    }
+
+    /// Present an access to the cache and update hit/miss statistics.
+    ///
+    /// On a hit the state is updated in place (a write hit on an
+    /// `Exclusive` line silently becomes `Modified`).  On a miss or upgrade
+    /// the cache contents are *not* changed; the caller performs the bus /
+    /// DSM transaction and then calls [`DataCache::fill`] (or
+    /// [`DataCache::upgrade`]) with the resulting state.
+    pub fn access(&mut self, block: BlockId, kind: AccessKind) -> CacheOutcome {
+        let outcome = self.probe(block, kind);
+        match outcome {
+            CacheOutcome::Hit => {
+                self.hits += 1;
+                if kind.is_write() {
+                    let idx = self.index_of(block);
+                    self.states[idx] = LineState::Modified;
+                }
+            }
+            CacheOutcome::UpgradeMiss => {
+                self.upgrades += 1;
+            }
+            CacheOutcome::Miss { .. } => {
+                self.misses += 1;
+            }
+        }
+        outcome
+    }
+
+    /// Install `block` in state `state`, evicting whatever occupied its line.
+    /// Returns the victim, if one was displaced.
+    pub fn fill(&mut self, block: BlockId, state: LineState) -> Option<Victim> {
+        assert!(state.is_valid(), "cannot fill a line into Invalid state");
+        let idx = self.index_of(block);
+        let victim = match self.tags[idx] {
+            Some(old) if old != block && self.states[idx].is_valid() => {
+                self.evictions += 1;
+                Some(Victim {
+                    block: old,
+                    state: self.states[idx],
+                })
+            }
+            _ => None,
+        };
+        self.tags[idx] = Some(block);
+        self.states[idx] = state;
+        victim
+    }
+
+    /// Complete a write-upgrade of a resident `Shared`/`Owned` line.
+    pub fn upgrade(&mut self, block: BlockId) {
+        let idx = self.index_of(block);
+        debug_assert_eq!(self.tags[idx], Some(block), "upgrade of a non-resident block");
+        self.states[idx] = LineState::Modified;
+    }
+
+    /// Invalidate `block` if resident (remote write or page flush).  Returns
+    /// the state it held.
+    pub fn invalidate(&mut self, block: BlockId) -> LineState {
+        let idx = self.index_of(block);
+        if self.tags[idx] == Some(block) && self.states[idx].is_valid() {
+            let old = self.states[idx];
+            self.states[idx] = LineState::Invalid;
+            self.tags[idx] = None;
+            self.invalidations_received += 1;
+            old
+        } else {
+            LineState::Invalid
+        }
+    }
+
+    /// Downgrade `block` to `Shared`/`Owned` in response to a remote read.
+    /// Returns the previous state.
+    pub fn downgrade(&mut self, block: BlockId) -> LineState {
+        let idx = self.index_of(block);
+        if self.tags[idx] == Some(block) && self.states[idx].is_valid() {
+            let old = self.states[idx];
+            self.states[idx] = match old {
+                LineState::Modified | LineState::Owned => LineState::Owned,
+                _ => LineState::Shared,
+            };
+            old
+        } else {
+            LineState::Invalid
+        }
+    }
+
+    /// Iterate over resident blocks (used for page flushes).
+    pub fn resident_blocks(&self) -> impl Iterator<Item = (BlockId, LineState)> + '_ {
+        self.tags
+            .iter()
+            .zip(self.states.iter())
+            .filter_map(|(tag, state)| match (tag, state) {
+                (Some(b), s) if s.is_valid() => Some((*b, *s)),
+                _ => None,
+            })
+    }
+
+    /// (hits, misses, upgrades, evictions, invalidations received).
+    pub fn counters(&self) -> (u64, u64, u64, u64, u64) {
+        (
+            self.hits,
+            self.misses,
+            self.upgrades,
+            self.evictions,
+            self.invalidations_received,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cache() -> DataCache {
+        // 4 lines of 64 bytes.
+        DataCache::new(CacheConfig {
+            size_bytes: 256,
+            block_bytes: 64,
+        })
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = small_cache();
+        let b = BlockId(10);
+        assert_eq!(c.access(b, AccessKind::Read), CacheOutcome::Miss { victim: None });
+        c.fill(b, LineState::Shared);
+        assert_eq!(c.access(b, AccessKind::Read), CacheOutcome::Hit);
+        assert_eq!(c.state_of(b), LineState::Shared);
+    }
+
+    #[test]
+    fn write_hit_on_exclusive_silently_becomes_modified() {
+        let mut c = small_cache();
+        let b = BlockId(3);
+        c.fill(b, LineState::Exclusive);
+        assert_eq!(c.access(b, AccessKind::Write), CacheOutcome::Hit);
+        assert_eq!(c.state_of(b), LineState::Modified);
+    }
+
+    #[test]
+    fn write_to_shared_requires_upgrade() {
+        let mut c = small_cache();
+        let b = BlockId(3);
+        c.fill(b, LineState::Shared);
+        assert_eq!(c.access(b, AccessKind::Write), CacheOutcome::UpgradeMiss);
+        c.upgrade(b);
+        assert_eq!(c.state_of(b), LineState::Modified);
+        assert_eq!(c.access(b, AccessKind::Write), CacheOutcome::Hit);
+    }
+
+    #[test]
+    fn conflicting_blocks_evict_each_other() {
+        let mut c = small_cache(); // 4 lines => blocks 0 and 4 conflict
+        let a = BlockId(0);
+        let b = BlockId(4);
+        c.fill(a, LineState::Modified);
+        match c.access(b, AccessKind::Read) {
+            CacheOutcome::Miss { victim: Some(v) } => {
+                assert_eq!(v.block, a);
+                assert_eq!(v.state, LineState::Modified);
+                assert!(v.state.is_dirty());
+            }
+            other => panic!("expected conflict miss with victim, got {other:?}"),
+        }
+        let victim = c.fill(b, LineState::Shared).expect("fill displaces victim");
+        assert_eq!(victim.block, a);
+        assert!(!c.contains(a));
+        assert!(c.contains(b));
+    }
+
+    #[test]
+    fn invalidate_and_downgrade() {
+        let mut c = small_cache();
+        let b = BlockId(7);
+        c.fill(b, LineState::Modified);
+        assert_eq!(c.downgrade(b), LineState::Modified);
+        assert_eq!(c.state_of(b), LineState::Owned);
+        assert_eq!(c.invalidate(b), LineState::Owned);
+        assert_eq!(c.state_of(b), LineState::Invalid);
+        // Invalidating again is a no-op.
+        assert_eq!(c.invalidate(b), LineState::Invalid);
+    }
+
+    #[test]
+    fn downgrade_of_exclusive_gives_shared() {
+        let mut c = small_cache();
+        let b = BlockId(9);
+        c.fill(b, LineState::Exclusive);
+        assert_eq!(c.downgrade(b), LineState::Exclusive);
+        assert_eq!(c.state_of(b), LineState::Shared);
+    }
+
+    #[test]
+    fn resident_blocks_lists_valid_lines_only() {
+        let mut c = small_cache();
+        c.fill(BlockId(0), LineState::Shared);
+        c.fill(BlockId(1), LineState::Modified);
+        c.invalidate(BlockId(0));
+        let resident: Vec<_> = c.resident_blocks().collect();
+        assert_eq!(resident, vec![(BlockId(1), LineState::Modified)]);
+    }
+
+    #[test]
+    fn counters_track_activity() {
+        let mut c = small_cache();
+        let b = BlockId(2);
+        c.access(b, AccessKind::Read); // miss
+        c.fill(b, LineState::Shared);
+        c.access(b, AccessKind::Read); // hit
+        c.access(b, AccessKind::Write); // upgrade
+        c.upgrade(b);
+        c.invalidate(b);
+        let (hits, misses, upgrades, _evictions, invals) = c.counters();
+        assert_eq!((hits, misses, upgrades, invals), (1, 1, 1, 1));
+    }
+
+    #[test]
+    fn probe_does_not_modify() {
+        let mut c = small_cache();
+        let b = BlockId(5);
+        assert_eq!(c.probe(b, AccessKind::Read), CacheOutcome::Miss { victim: None });
+        assert_eq!(c.counters().1, 0, "probe must not count as a miss");
+        c.fill(b, LineState::Shared);
+        assert_eq!(c.probe(b, AccessKind::Write), CacheOutcome::UpgradeMiss);
+        assert_eq!(c.state_of(b), LineState::Shared);
+    }
+
+    #[test]
+    fn paper_l1_has_256_lines() {
+        assert_eq!(CacheConfig::PAPER_L1.lines(), 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of the block size")]
+    fn misaligned_capacity_rejected() {
+        DataCache::new(CacheConfig {
+            size_bytes: 100,
+            block_bytes: 64,
+        });
+    }
+}

@@ -1,0 +1,20 @@
+//! SMP node model: per-processor data caches, miss classification, the
+//! node's split-transaction memory bus, and the node's page table / TLB.
+//!
+//! In the reproduced paper every cluster node is a 4-way SMP: four 600 MHz
+//! processors with 16-KByte direct-mapped data caches, kept coherent by a
+//! snoopy MOESI protocol over a 100 MHz split-transaction bus.  Remote data
+//! is accessed through the node's DSM cluster device (crate `dsm-protocol`),
+//! and the page-granularity mechanisms under study (first-touch placement,
+//! migration/replication, R-NUMA relocation) manipulate the node's page
+//! table, which this crate also models.
+
+pub mod bus;
+pub mod cache;
+pub mod classify;
+pub mod page_table;
+
+pub use bus::{BusTransaction, MemoryBus};
+pub use cache::{CacheConfig, CacheOutcome, DataCache, LineState, Victim};
+pub use classify::{MissClass, MissClassifier};
+pub use page_table::{PageMapping, PageMode, PageProtection, PageTable};

@@ -1,0 +1,259 @@
+//! Per-node page table and page-mapping modes.
+//!
+//! Every node maps global shared pages into its local physical address
+//! space.  How a page is mapped determines where a processor-cache miss on
+//! that page is serviced:
+//!
+//! * [`PageMode::LocalHome`] — the page's home is this node; misses go to
+//!   local memory.
+//! * [`PageMode::RemoteCcNuma`] — the page lives on another node; misses go
+//!   through the cluster device (block cache, then the DSM protocol).
+//! * [`PageMode::SComa`] — R-NUMA relocated the page into this node's
+//!   S-COMA page cache; misses are serviced from local memory if the block
+//!   is present in the page cache, otherwise fetched from the home node and
+//!   installed.
+//! * [`PageMode::Replica`] — page replication installed a read-only copy in
+//!   local memory; reads are local, writes fault and force the page back to
+//!   a single read-write home.
+//!
+//! All page-mode transitions (first-touch, migration, replication, R-NUMA
+//! relocation, replica invalidation) go through this table, so it is also
+//! the natural place to count mapping operations and TLB shootdowns.
+
+use mem_trace::{NodeId, PageId};
+use std::collections::HashMap;
+
+/// How a page is currently mapped on a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PageMode {
+    /// The page's home memory is on this node.
+    LocalHome,
+    /// The page is remote and cached block-by-block through CC-NUMA.
+    RemoteCcNuma,
+    /// The page has been relocated into this node's S-COMA page cache.
+    SComa,
+    /// This node holds a read-only replica of the page.
+    Replica,
+}
+
+/// Page access protection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PageProtection {
+    /// Reads and writes allowed.
+    ReadWrite,
+    /// Writes fault (used for replicated pages).
+    ReadOnly,
+}
+
+/// A node's view of one page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageMapping {
+    /// Mapping mode.
+    pub mode: PageMode,
+    /// Access protection.
+    pub protection: PageProtection,
+    /// The page's current home node (kept up to date across migrations).
+    pub home: NodeId,
+}
+
+impl PageMapping {
+    /// A read-write mapping in the given mode with the given home.
+    pub fn new(mode: PageMode, home: NodeId) -> Self {
+        PageMapping {
+            mode,
+            protection: PageProtection::ReadWrite,
+            home,
+        }
+    }
+
+    /// A read-only replica mapping.
+    pub fn replica(home: NodeId) -> Self {
+        PageMapping {
+            mode: PageMode::Replica,
+            protection: PageProtection::ReadOnly,
+            home,
+        }
+    }
+}
+
+/// Per-node page table.
+#[derive(Debug, Clone, Default)]
+pub struct PageTable {
+    entries: HashMap<PageId, PageMapping>,
+    map_operations: u64,
+    unmap_operations: u64,
+    tlb_shootdowns: u64,
+}
+
+impl PageTable {
+    /// An empty page table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current mapping of `page`, if mapped.
+    pub fn lookup(&self, page: PageId) -> Option<PageMapping> {
+        self.entries.get(&page).copied()
+    }
+
+    /// `true` if `page` is mapped.
+    pub fn is_mapped(&self, page: PageId) -> bool {
+        self.entries.contains_key(&page)
+    }
+
+    /// Install (or replace) the mapping of `page`.
+    pub fn map(&mut self, page: PageId, mapping: PageMapping) {
+        self.map_operations += 1;
+        self.entries.insert(page, mapping);
+    }
+
+    /// Remove the mapping of `page`; returns the old mapping.  Counts a TLB
+    /// shootdown on this node.
+    pub fn unmap(&mut self, page: PageId) -> Option<PageMapping> {
+        let old = self.entries.remove(&page);
+        if old.is_some() {
+            self.unmap_operations += 1;
+            self.tlb_shootdowns += 1;
+        }
+        old
+    }
+
+    /// Change only the mode of an existing mapping; returns `false` if the
+    /// page was not mapped.
+    pub fn set_mode(&mut self, page: PageId, mode: PageMode) -> bool {
+        match self.entries.get_mut(&page) {
+            Some(m) => {
+                m.mode = mode;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Change only the protection of an existing mapping; returns `false` if
+    /// the page was not mapped.
+    pub fn set_protection(&mut self, page: PageId, protection: PageProtection) -> bool {
+        match self.entries.get_mut(&page) {
+            Some(m) => {
+                m.protection = protection;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Update the recorded home node of `page` (after a migration elsewhere
+    /// in the cluster); returns `false` if the page was not mapped here.
+    pub fn set_home(&mut self, page: PageId, home: NodeId) -> bool {
+        match self.entries.get_mut(&page) {
+            Some(m) => {
+                m.home = home;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Number of pages currently mapped in `mode`.
+    pub fn count_in_mode(&self, mode: PageMode) -> usize {
+        self.entries.values().filter(|m| m.mode == mode).count()
+    }
+
+    /// Iterate over all mapped pages.
+    pub fn iter(&self) -> impl Iterator<Item = (PageId, PageMapping)> + '_ {
+        self.entries.iter().map(|(p, m)| (*p, *m))
+    }
+
+    /// Number of mapped pages.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if no pages are mapped.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// `(map operations, unmap operations, TLB shootdowns)` counters.
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (self.map_operations, self.unmap_operations, self.tlb_shootdowns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_lookup_unmap() {
+        let mut pt = PageTable::new();
+        let p = PageId(5);
+        assert!(!pt.is_mapped(p));
+        pt.map(p, PageMapping::new(PageMode::RemoteCcNuma, NodeId(3)));
+        let m = pt.lookup(p).unwrap();
+        assert_eq!(m.mode, PageMode::RemoteCcNuma);
+        assert_eq!(m.home, NodeId(3));
+        assert_eq!(m.protection, PageProtection::ReadWrite);
+        let old = pt.unmap(p).unwrap();
+        assert_eq!(old.mode, PageMode::RemoteCcNuma);
+        assert!(!pt.is_mapped(p));
+        assert_eq!(pt.counters(), (1, 1, 1));
+    }
+
+    #[test]
+    fn unmap_of_unmapped_page_is_noop() {
+        let mut pt = PageTable::new();
+        assert!(pt.unmap(PageId(1)).is_none());
+        assert_eq!(pt.counters(), (0, 0, 0));
+    }
+
+    #[test]
+    fn replica_mapping_is_read_only() {
+        let m = PageMapping::replica(NodeId(0));
+        assert_eq!(m.mode, PageMode::Replica);
+        assert_eq!(m.protection, PageProtection::ReadOnly);
+    }
+
+    #[test]
+    fn mode_and_protection_transitions() {
+        let mut pt = PageTable::new();
+        let p = PageId(9);
+        pt.map(p, PageMapping::new(PageMode::RemoteCcNuma, NodeId(1)));
+        assert!(pt.set_mode(p, PageMode::SComa));
+        assert_eq!(pt.lookup(p).unwrap().mode, PageMode::SComa);
+        assert!(pt.set_protection(p, PageProtection::ReadOnly));
+        assert_eq!(pt.lookup(p).unwrap().protection, PageProtection::ReadOnly);
+        assert!(pt.set_home(p, NodeId(7)));
+        assert_eq!(pt.lookup(p).unwrap().home, NodeId(7));
+        assert!(!pt.set_mode(PageId(1000), PageMode::SComa));
+        assert!(!pt.set_protection(PageId(1000), PageProtection::ReadOnly));
+        assert!(!pt.set_home(PageId(1000), NodeId(0)));
+    }
+
+    #[test]
+    fn count_in_mode_and_iteration() {
+        let mut pt = PageTable::new();
+        pt.map(PageId(0), PageMapping::new(PageMode::LocalHome, NodeId(0)));
+        pt.map(PageId(1), PageMapping::new(PageMode::SComa, NodeId(2)));
+        pt.map(PageId(2), PageMapping::new(PageMode::SComa, NodeId(3)));
+        pt.map(PageId(3), PageMapping::replica(NodeId(1)));
+        assert_eq!(pt.count_in_mode(PageMode::SComa), 2);
+        assert_eq!(pt.count_in_mode(PageMode::LocalHome), 1);
+        assert_eq!(pt.count_in_mode(PageMode::Replica), 1);
+        assert_eq!(pt.count_in_mode(PageMode::RemoteCcNuma), 0);
+        assert_eq!(pt.iter().count(), 4);
+        assert_eq!(pt.len(), 4);
+        assert!(!pt.is_empty());
+    }
+
+    #[test]
+    fn remapping_replaces_previous_entry() {
+        let mut pt = PageTable::new();
+        let p = PageId(4);
+        pt.map(p, PageMapping::new(PageMode::RemoteCcNuma, NodeId(1)));
+        pt.map(p, PageMapping::new(PageMode::SComa, NodeId(1)));
+        assert_eq!(pt.len(), 1);
+        assert_eq!(pt.lookup(p).unwrap().mode, PageMode::SComa);
+        assert_eq!(pt.counters().0, 2);
+    }
+}

@@ -1,0 +1,190 @@
+//! `barnes` — Barnes-Hut hierarchical N-body simulation (SPLASH-2 Barnes).
+//!
+//! Each timestep builds an octree over the bodies (small, write-shared,
+//! lock-protected), computes forces by walking the tree — the upper tree
+//! cells are read by *every* processor, making their pages replication
+//! candidates — and finally updates each processor's own bodies.  Body
+//! pages are read by several other processors during force computation
+//! (high read-write sharing degree), which is why page migration alone
+//! cannot remove their capacity misses and, as the paper observes, can even
+//! hurt by migrating read-mostly pages back and forth.
+
+use crate::config::{Scale, WorkloadConfig};
+use crate::util::owned_range;
+use crate::Workload;
+use mem_trace::{AddressSpace, ProcId, ProgramTrace, TraceBuilder};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Barnes-Hut N-body simulation.
+pub struct Barnes;
+
+struct BarnesParams {
+    bodies: u64,
+    timesteps: u64,
+    /// Tree cells (interior nodes of the octree), roughly bodies / 2.
+    cells: u64,
+    /// Cells visited per force evaluation.
+    cells_per_walk: u64,
+    /// Other bodies read per force evaluation.
+    neighbors_per_body: u64,
+}
+
+impl BarnesParams {
+    fn for_scale(scale: Scale) -> Self {
+        match scale {
+            Scale::Reduced => BarnesParams {
+                bodies: 2048,
+                timesteps: 6,
+                cells: 1024,
+                cells_per_walk: 12,
+                neighbors_per_body: 6,
+            },
+            Scale::Paper => BarnesParams {
+                bodies: 16 * 1024,
+                timesteps: 4,
+                cells: 8 * 1024,
+                cells_per_walk: 16,
+                neighbors_per_body: 8,
+            },
+        }
+    }
+}
+
+impl Workload for Barnes {
+    fn name(&self) -> &'static str {
+        "barnes"
+    }
+
+    fn description(&self) -> &'static str {
+        "Barnes-Hut N-body simulation"
+    }
+
+    fn paper_input(&self) -> &'static str {
+        "16K particles"
+    }
+
+    fn reduced_input(&self) -> &'static str {
+        "2K particles"
+    }
+
+    fn generate(&self, cfg: &WorkloadConfig) -> ProgramTrace {
+        let params = BarnesParams::for_scale(cfg.scale);
+        let procs = cfg.topology.total_procs();
+
+        let mut space = AddressSpace::new();
+        // One body per cache line (positions, velocities, mass).
+        let bodies = space.alloc("bodies", params.bodies, 64);
+        // Tree cells are two cache lines (children pointers + multipole).
+        let cells = space.alloc("cells", params.cells, 128);
+
+        let mut b = TraceBuilder::new("barnes", cfg.topology).with_think_cycles(cfg.think_cycles);
+        let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0xba53);
+
+        // Initialization: owners write their own bodies.
+        for p in 0..procs {
+            let proc = ProcId(p as u16);
+            for i in owned_range(params.bodies as usize, cfg.topology, proc) {
+                b.write(proc, bodies.elem(i as u64));
+            }
+        }
+        b.barrier_all();
+
+        for _step in 0..params.timesteps {
+            // Phase 1: tree build.  Every processor inserts its bodies,
+            // writing a root-to-leaf path of cells under a per-subtree lock.
+            // The upper cells (small indices) are touched by everyone.
+            for p in 0..procs {
+                let proc = ProcId(p as u16);
+                let range = owned_range(params.bodies as usize, cfg.topology, proc);
+                for i in range.step_by(8) {
+                    let lock_id = (i as u32 % 8) + 1;
+                    b.lock(proc, lock_id);
+                    // Path from the root: geometrically distributed indices.
+                    let mut idx = 0u64;
+                    for depth in 0..4u64 {
+                        b.read(proc, cells.elem(idx));
+                        b.write(proc, cells.elem(idx));
+                        let fanout = 1 + rng.gen_range(0..4u64);
+                        idx = (idx * 4 + fanout + depth) % params.cells;
+                    }
+                    b.unlock(proc, lock_id);
+                }
+            }
+            b.barrier_all();
+
+            // Phase 2: force computation.  Each body's owner walks the upper
+            // tree (read-shared cells) and reads a sample of other bodies,
+            // then writes its own body's accelerations.
+            for p in 0..procs {
+                let proc = ProcId(p as u16);
+                for i in owned_range(params.bodies as usize, cfg.topology, proc) {
+                    for w in 0..params.cells_per_walk {
+                        // Walks are heavily biased towards the top of the
+                        // tree, which is what makes those pages read-shared
+                        // by all nodes.
+                        let cell = if w < 4 {
+                            w
+                        } else {
+                            rng.gen_range(0..params.cells)
+                        };
+                        b.read(proc, cells.elem(cell));
+                    }
+                    for _ in 0..params.neighbors_per_body {
+                        let other = rng.gen_range(0..params.bodies);
+                        b.read(proc, bodies.elem(other));
+                    }
+                    b.write(proc, bodies.elem(i as u64));
+                }
+            }
+            b.barrier_all();
+
+            // Phase 3: position update — private to each owner.
+            for p in 0..procs {
+                let proc = ProcId(p as u16);
+                for i in owned_range(params.bodies as usize, cfg.topology, proc) {
+                    b.read(proc, bodies.elem(i as u64));
+                    b.write(proc, bodies.elem(i as u64));
+                }
+            }
+            b.barrier_all();
+        }
+
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_is_valid_and_read_mostly() {
+        let cfg = WorkloadConfig::reduced();
+        let trace = Barnes.generate(&cfg);
+        assert!(trace.validate().is_ok());
+        let stats = trace.stats();
+        assert!(stats.reads > 2 * stats.writes);
+        assert!(stats.barriers >= 1 + 3 * BarnesParams::for_scale(Scale::Reduced).timesteps);
+    }
+
+    #[test]
+    fn tree_cells_are_shared_by_all_nodes() {
+        let cfg = WorkloadConfig::reduced();
+        let stats = Barnes.generate(&cfg).stats();
+        // Bodies + cells are both shared: a large fraction of the footprint
+        // is touched by more than one node.
+        assert!(stats.node_shared_pages * 3 > stats.footprint_pages);
+    }
+
+    #[test]
+    fn uses_locks_for_tree_construction() {
+        let cfg = WorkloadConfig::reduced();
+        let trace = Barnes.generate(&cfg);
+        let has_locks = trace
+            .per_proc
+            .iter()
+            .any(|events| events.iter().any(|e| matches!(e, mem_trace::TraceEvent::Lock(_))));
+        assert!(has_locks);
+    }
+}

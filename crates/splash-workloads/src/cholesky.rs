@@ -1,0 +1,169 @@
+//! `cholesky` — blocked sparse Cholesky factorization (SPLASH-2 Cholesky,
+//! tk16.O input).
+//!
+//! Supernodes (groups of adjacent columns with identical sparsity) are
+//! processed from a shared task queue.  Completing a supernode updates a set
+//! of later columns determined by the sparsity pattern.  Two properties the
+//! paper's analysis depends on:
+//!
+//! * the matrix is initialised by processor 0 and the dynamic task queue
+//!   destroys any stable page-to-processor affinity, so page operations of
+//!   any kind (migration, replication, relocation) rarely pay off — the
+//!   *kernel has little reuse of the pages it touches*;
+//! * R-NUMA still relocates aggressively (the refetch counters fire on the
+//!   streaming updates), and every relocation's flush-and-refetch shows up
+//!   as extra misses — which is why cholesky is one of the two applications
+//!   where R-NUMA's relocation overhead lands on the critical path.
+
+use crate::config::{Scale, WorkloadConfig};
+use crate::Workload;
+use mem_trace::{AddressSpace, ProcId, ProgramTrace, TraceBuilder};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Blocked sparse Cholesky factorization.
+pub struct Cholesky;
+
+struct CholeskyParams {
+    /// Number of supernodes in the (synthetic) elimination tree.
+    supernodes: u64,
+    /// Cache lines per supernode panel.
+    lines_per_supernode: u64,
+    /// Columns updated per completed supernode.
+    updates_per_supernode: u64,
+    /// Cache lines touched per column update.
+    lines_per_update: u64,
+}
+
+impl CholeskyParams {
+    fn for_scale(scale: Scale) -> Self {
+        match scale {
+            Scale::Reduced => CholeskyParams {
+                supernodes: 384,
+                lines_per_supernode: 48,
+                updates_per_supernode: 6,
+                lines_per_update: 16,
+            },
+            Scale::Paper => CholeskyParams {
+                supernodes: 2048,
+                lines_per_supernode: 64,
+                updates_per_supernode: 8,
+                lines_per_update: 24,
+            },
+        }
+    }
+}
+
+impl Workload for Cholesky {
+    fn name(&self) -> &'static str {
+        "cholesky"
+    }
+
+    fn description(&self) -> &'static str {
+        "Blocked sparse Cholesky factorization"
+    }
+
+    fn paper_input(&self) -> &'static str {
+        "tk16.O"
+    }
+
+    fn reduced_input(&self) -> &'static str {
+        "synthetic tk16-like matrix, 384 supernodes"
+    }
+
+    fn generate(&self, cfg: &WorkloadConfig) -> ProgramTrace {
+        let params = CholeskyParams::for_scale(cfg.scale);
+        let procs = cfg.topology.total_procs();
+
+        let mut space = AddressSpace::new();
+        let panels = space.alloc(
+            "panels",
+            params.supernodes * params.lines_per_supernode,
+            64,
+        );
+        let queue = space.alloc("task_queue", 64, 64);
+
+        let mut b = TraceBuilder::new("cholesky", cfg.topology).with_think_cycles(cfg.think_cycles);
+        let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0xc401);
+
+        let panel_line =
+            |sn: u64, line: u64| panels.elem(sn * params.lines_per_supernode + line);
+
+        // Processor 0 loads the sparse matrix: every panel page is homed on
+        // node 0 by first-touch.
+        for sn in 0..params.supernodes {
+            for line in 0..params.lines_per_supernode {
+                b.write(ProcId(0), panel_line(sn, line));
+            }
+        }
+        b.barrier_all();
+
+        // Task-queue driven factorization.  Tasks are dealt round-robin to
+        // emulate self-scheduling; each dequeue goes through the queue lock.
+        for sn in 0..params.supernodes {
+            let p = ProcId((sn % procs as u64) as u16);
+            // Dequeue.
+            b.lock(p, 0);
+            b.read(p, queue.elem(0));
+            b.write(p, queue.elem(0));
+            b.unlock(p, 0);
+
+            // Factor the supernode panel: read-modify-write every line once
+            // (streaming, no reuse).
+            for line in 0..params.lines_per_supernode {
+                b.read(p, panel_line(sn, line));
+                b.write(p, panel_line(sn, line));
+            }
+
+            // Update later columns selected by the (synthetic) sparsity
+            // pattern: reads of this panel, scattered writes into later
+            // panels.
+            for _ in 0..params.updates_per_supernode {
+                if sn + 1 >= params.supernodes {
+                    break;
+                }
+                let target = sn + 1 + rng.gen_range(0..(params.supernodes - sn - 1)).min(64);
+                for line in 0..params.lines_per_update {
+                    let src = rng.gen_range(0..params.lines_per_supernode);
+                    b.read(p, panel_line(sn, src));
+                    b.read(p, panel_line(target, line));
+                    b.write(p, panel_line(target, line));
+                }
+            }
+        }
+        b.barrier_all();
+
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_is_valid_with_task_queue_locking() {
+        let cfg = WorkloadConfig::reduced();
+        let trace = Cholesky.generate(&cfg);
+        assert!(trace.validate().is_ok());
+        let locks = trace
+            .per_proc
+            .iter()
+            .flat_map(|e| e.iter())
+            .filter(|e| matches!(e, mem_trace::TraceEvent::Lock(_)))
+            .count() as u64;
+        assert_eq!(locks, CholeskyParams::for_scale(Scale::Reduced).supernodes);
+    }
+
+    #[test]
+    fn panels_are_shared_because_of_dynamic_scheduling() {
+        let stats = Cholesky.generate(&WorkloadConfig::reduced()).stats();
+        assert!(stats.node_shared_pages * 2 > stats.footprint_pages);
+    }
+
+    #[test]
+    fn writes_are_substantial() {
+        let stats = Cholesky.generate(&WorkloadConfig::reduced()).stats();
+        assert!(stats.write_fraction() > 0.3);
+    }
+}

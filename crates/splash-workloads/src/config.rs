@@ -1,0 +1,108 @@
+//! Workload configuration: topology, problem scale and seed.
+
+use mem_trace::Topology;
+
+/// Problem-size scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scale {
+    /// Reduced inputs (default): a figure regenerates in seconds while the
+    /// intrinsic sharing behaviour of each application is preserved.
+    Reduced,
+    /// The paper's Table 2 inputs.  Trace generation and simulation take
+    /// substantially longer.
+    Paper,
+}
+
+/// Parameters common to every workload generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkloadConfig {
+    /// Cluster topology (determines the number of worker processors).
+    pub topology: Topology,
+    /// Problem-size scale.
+    pub scale: Scale,
+    /// Seed for the deterministic generators.
+    pub seed: u64,
+    /// Compute cycles inserted before every shared access, abstracting the
+    /// private-data and ALU work between shared references.
+    pub think_cycles: u32,
+}
+
+impl WorkloadConfig {
+    /// Reduced-scale configuration on the paper's 8x4 cluster.
+    pub fn reduced() -> Self {
+        WorkloadConfig {
+            topology: Topology::PAPER,
+            scale: Scale::Reduced,
+            seed: 0xD5_1A_1A_2000,
+            think_cycles: 4,
+        }
+    }
+
+    /// Paper-scale (Table 2) configuration on the paper's 8x4 cluster.
+    pub fn paper() -> Self {
+        WorkloadConfig {
+            scale: Scale::Paper,
+            ..Self::reduced()
+        }
+    }
+
+    /// A very small configuration for unit tests: reduced scale, fewer
+    /// emitted accesses, still the full 8x4 cluster.
+    pub fn reduced_for_tests() -> Self {
+        Self::reduced()
+    }
+
+    /// Replace the topology.
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    /// Replace the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Pick `reduced` or `paper` by flag.
+    pub fn at_scale(scale: Scale) -> Self {
+        match scale {
+            Scale::Reduced => Self::reduced(),
+            Scale::Paper => Self::paper(),
+        }
+    }
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        Self::reduced()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_reduced_on_the_paper_cluster() {
+        let cfg = WorkloadConfig::default();
+        assert_eq!(cfg.scale, Scale::Reduced);
+        assert_eq!(cfg.topology, Topology::PAPER);
+        assert_eq!(cfg, WorkloadConfig::reduced());
+    }
+
+    #[test]
+    fn builders() {
+        let cfg = WorkloadConfig::paper()
+            .with_topology(Topology::new(2, 2))
+            .with_seed(7);
+        assert_eq!(cfg.scale, Scale::Paper);
+        assert_eq!(cfg.topology.total_procs(), 4);
+        assert_eq!(cfg.seed, 7);
+        assert_eq!(WorkloadConfig::at_scale(Scale::Paper).scale, Scale::Paper);
+        assert_eq!(
+            WorkloadConfig::at_scale(Scale::Reduced).scale,
+            Scale::Reduced
+        );
+    }
+}

@@ -1,0 +1,177 @@
+//! `fmm` — adaptive Fast Multipole Method N-body simulation (SPLASH-2 FMM).
+//!
+//! Space is decomposed into boxes; each box carries multipole and local
+//! expansions.  Work is partitioned spatially, so a box's interaction list
+//! consists almost entirely of boxes owned by the same or a neighbouring
+//! processor — the read-write sharing degree of a box page is low and
+//! *static*.  Because the whole box array is initialised by processor 0
+//! (as the sequential setup phase of the original program does), first-touch
+//! homes every box page on node 0; during the compute phase each page has a
+//! single dominant remote user, which is exactly the situation page
+//! *migration* exploits (the paper reports 54 migrations and essentially no
+//! replications per node for fmm).
+
+use crate::config::{Scale, WorkloadConfig};
+use crate::util::owned_range;
+use crate::Workload;
+use mem_trace::{AddressSpace, ProcId, ProgramTrace, TraceBuilder};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Fast Multipole Method N-body simulation.
+pub struct Fmm;
+
+struct FmmParams {
+    /// Number of spatial boxes.
+    boxes: u64,
+    /// Cache lines of expansion data per box.
+    lines_per_box: u64,
+    /// Timesteps.
+    timesteps: u64,
+    /// Interaction-list length per box.
+    interactions: u64,
+}
+
+impl FmmParams {
+    fn for_scale(scale: Scale) -> Self {
+        match scale {
+            Scale::Reduced => FmmParams {
+                boxes: 512,
+                lines_per_box: 20,
+                timesteps: 10,
+                interactions: 16,
+            },
+            Scale::Paper => FmmParams {
+                boxes: 4096,
+                lines_per_box: 20,
+                timesteps: 5,
+                interactions: 27,
+            },
+        }
+    }
+}
+
+impl Workload for Fmm {
+    fn name(&self) -> &'static str {
+        "fmm"
+    }
+
+    fn description(&self) -> &'static str {
+        "Fast Multipole N-body simulation"
+    }
+
+    fn paper_input(&self) -> &'static str {
+        "16K particles"
+    }
+
+    fn reduced_input(&self) -> &'static str {
+        "2K particles (512 boxes)"
+    }
+
+    fn generate(&self, cfg: &WorkloadConfig) -> ProgramTrace {
+        let params = FmmParams::for_scale(cfg.scale);
+        let procs = cfg.topology.total_procs();
+
+        let mut space = AddressSpace::new();
+        let boxes = space.alloc("boxes", params.boxes * params.lines_per_box, 64);
+
+        let mut b = TraceBuilder::new("fmm", cfg.topology).with_think_cycles(cfg.think_cycles);
+        let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0xf33);
+
+        let line_of = |box_id: u64, line: u64| boxes.elem(box_id * params.lines_per_box + line);
+
+        // Sequential setup: processor 0 initialises every box, so every box
+        // page is first-touch homed on node 0.
+        for box_id in 0..params.boxes {
+            for line in 0..params.lines_per_box {
+                b.write(ProcId(0), line_of(box_id, line));
+            }
+        }
+        b.barrier_all();
+
+        for _step in 0..params.timesteps {
+            // Upward + interaction + downward passes, collapsed into one
+            // phase per box: read the interaction list (spatial neighbours,
+            // i.e. mostly boxes of the same owner), update own expansions.
+            for p in 0..procs {
+                let proc = ProcId(p as u16);
+                let owned = owned_range(params.boxes as usize, cfg.topology, proc);
+                let owned_len = owned.len() as u64;
+                for box_id in owned.clone() {
+                    let box_id = box_id as u64;
+                    for i in 0..params.interactions {
+                        // 80% of the interaction list stays within the
+                        // processor's own spatial region, the rest spills to
+                        // the neighbouring region.
+                        let neighbor = if rng.gen_range(0..10) < 8 || owned_len == 0 {
+                            owned.start as u64 + rng.gen_range(0..owned_len.max(1))
+                        } else {
+                            (box_id + params.boxes + i - params.interactions / 2) % params.boxes
+                        };
+                        b.read(proc, line_of(neighbor, rng.gen_range(0..params.lines_per_box)));
+                    }
+                    for line in 0..params.lines_per_box / 2 {
+                        b.read(proc, line_of(box_id, line));
+                        b.write(proc, line_of(box_id, line));
+                    }
+                }
+            }
+            b.barrier_all();
+        }
+
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mem_trace::{PageId, TraceEvent};
+    use std::collections::HashMap;
+
+    #[test]
+    fn trace_is_valid() {
+        let cfg = WorkloadConfig::reduced();
+        let trace = Fmm.generate(&cfg);
+        assert!(trace.validate().is_ok());
+        let stats = trace.stats();
+        assert!(stats.reads > stats.writes);
+    }
+
+    #[test]
+    fn box_pages_have_a_single_dominant_remote_user() {
+        // For a sample of pages, the processor that touches the page most
+        // after the setup phase should account for the overwhelming majority
+        // of its accesses — the property migration exploits.
+        let cfg = WorkloadConfig::reduced();
+        let trace = Fmm.generate(&cfg);
+        let mut per_page: HashMap<PageId, HashMap<usize, u64>> = HashMap::new();
+        for (p, events) in trace.per_proc.iter().enumerate() {
+            if p == 0 {
+                continue; // skip the initialising processor
+            }
+            for e in events {
+                if let TraceEvent::Access(m) = e {
+                    *per_page.entry(m.page()).or_default().entry(p).or_insert(0) += 1;
+                }
+            }
+        }
+        let mut dominated = 0usize;
+        let mut total = 0usize;
+        for (_page, counts) in per_page.iter() {
+            let sum: u64 = counts.values().sum();
+            let max = counts.values().copied().max().unwrap_or(0);
+            if sum >= 50 {
+                total += 1;
+                if max * 10 >= sum * 7 {
+                    dominated += 1;
+                }
+            }
+        }
+        assert!(total > 0);
+        assert!(
+            dominated * 10 >= total * 6,
+            "only {dominated}/{total} pages are dominated by one user"
+        );
+    }
+}

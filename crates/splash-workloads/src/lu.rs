@@ -1,0 +1,221 @@
+//! `lu` — blocked dense LU factorization (SPLASH-2 LU, non-contiguous
+//! blocks).
+//!
+//! The matrix is factored in `B x B` blocks.  At elimination step `k` the
+//! owner of the diagonal block factors it, the owners of the perimeter
+//! blocks (block row and block column `k`) update them against the diagonal
+//! block, and every interior block `(i, j)` with `i, j > k` is updated by
+//! its owner against the perimeter blocks `(i, k)` and `(k, j)`.
+//!
+//! The sharing property the paper's analysis relies on: at every step the
+//! perimeter blocks are *read by many nodes* (every interior-block owner in
+//! the same block row/column) while being written only by their single
+//! owner during the preceding phase — separated by barriers.  This is the
+//! per-iteration "read phase" that makes `lu` the one application in the
+//! study that benefits substantially from page replication.  Interior
+//! blocks, in contrast, are read-write private to their owner, so their
+//! capacity misses are only removed by R-NUMA's page cache.
+//!
+//! Blocks are assigned to processors in a 2-D scatter, as in SPLASH-2.
+
+use crate::config::{Scale, WorkloadConfig};
+use crate::Workload;
+use mem_trace::{AddressSpace, ProcId, ProgramTrace, Segment, TraceBuilder, BLOCK_SIZE};
+
+/// Blocked dense LU factorization.
+pub struct Lu;
+
+/// Elements (doubles) per cache line.
+const DOUBLES_PER_LINE: u64 = BLOCK_SIZE / 8;
+
+struct LuParams {
+    /// Matrix dimension (elements).
+    n: u64,
+    /// Block dimension (elements).
+    block: u64,
+}
+
+impl LuParams {
+    fn for_scale(scale: Scale) -> Self {
+        match scale {
+            Scale::Reduced => LuParams { n: 192, block: 16 },
+            Scale::Paper => LuParams { n: 512, block: 16 },
+        }
+    }
+
+    fn blocks_per_dim(&self) -> u64 {
+        self.n / self.block
+    }
+}
+
+impl Workload for Lu {
+    fn name(&self) -> &'static str {
+        "lu"
+    }
+
+    fn description(&self) -> &'static str {
+        "Blocked dense LU factorization"
+    }
+
+    fn paper_input(&self) -> &'static str {
+        "512x512 matrix, 16x16 blocks"
+    }
+
+    fn reduced_input(&self) -> &'static str {
+        "192x192 matrix, 16x16 blocks"
+    }
+
+    fn generate(&self, cfg: &WorkloadConfig) -> ProgramTrace {
+        let params = LuParams::for_scale(cfg.scale);
+        let nb = params.blocks_per_dim();
+        let total_procs = cfg.topology.total_procs() as u64;
+
+        let mut space = AddressSpace::new();
+        let matrix = space.alloc("matrix", params.n * params.n, 8);
+
+        let mut b = TraceBuilder::new("lu", cfg.topology).with_think_cycles(cfg.think_cycles);
+
+        // 2-D scatter assignment of blocks to processors (SPLASH-2 LU).
+        let owner = |bi: u64, bj: u64| -> ProcId {
+            ProcId(((bi * nb + bj) % total_procs) as u16)
+        };
+
+        // Initialization: every owner touches (writes) its own blocks so the
+        // first-touch policy places pages at their owners.
+        for bi in 0..nb {
+            for bj in 0..nb {
+                let p = owner(bi, bj);
+                touch_block(&mut b, p, &matrix, &params, bi, bj, true);
+            }
+        }
+        b.barrier_all();
+
+        for k in 0..nb {
+            // Phase 1: factor the diagonal block.
+            let diag_owner = owner(k, k);
+            touch_block(&mut b, diag_owner, &matrix, &params, k, k, true);
+            b.barrier_all();
+
+            // Phase 2: perimeter blocks read the diagonal block and update
+            // themselves.
+            for i in (k + 1)..nb {
+                let p = owner(i, k);
+                read_block(&mut b, p, &matrix, &params, k, k);
+                touch_block(&mut b, p, &matrix, &params, i, k, true);
+
+                let q = owner(k, i);
+                read_block(&mut b, q, &matrix, &params, k, k);
+                touch_block(&mut b, q, &matrix, &params, k, i, true);
+            }
+            b.barrier_all();
+
+            // Phase 3: interior blocks read the two perimeter blocks — the
+            // read-shared phase — and update themselves.
+            for i in (k + 1)..nb {
+                for j in (k + 1)..nb {
+                    let p = owner(i, j);
+                    read_block(&mut b, p, &matrix, &params, i, k);
+                    read_block(&mut b, p, &matrix, &params, k, j);
+                    touch_block(&mut b, p, &matrix, &params, i, j, true);
+                }
+            }
+            b.barrier_all();
+        }
+
+        b.build()
+    }
+}
+
+/// Read every cache line of block `(bi, bj)`.
+fn read_block(
+    b: &mut TraceBuilder,
+    p: ProcId,
+    matrix: &Segment,
+    params: &LuParams,
+    bi: u64,
+    bj: u64,
+) {
+    for_each_line(matrix, params, bi, bj, |addr| b.read(p, addr));
+}
+
+/// Read-modify-write every cache line of block `(bi, bj)` (`write` selects
+/// whether the writes are emitted; reads always are).
+fn touch_block(
+    b: &mut TraceBuilder,
+    p: ProcId,
+    matrix: &Segment,
+    params: &LuParams,
+    bi: u64,
+    bj: u64,
+    write: bool,
+) {
+    for_each_line(matrix, params, bi, bj, |addr| {
+        b.read(p, addr);
+        if write {
+            b.write(p, addr);
+        }
+    });
+}
+
+/// Visit the first address of every cache line of block `(bi, bj)` of the
+/// row-major `n x n` matrix.
+fn for_each_line<F: FnMut(mem_trace::GlobalAddr)>(
+    matrix: &Segment,
+    params: &LuParams,
+    bi: u64,
+    bj: u64,
+    mut f: F,
+) {
+    let row0 = bi * params.block;
+    let col0 = bj * params.block;
+    for r in 0..params.block {
+        let mut c = 0;
+        while c < params.block {
+            f(matrix.elem2(row0 + r, col0 + c, params.n));
+            c += DOUBLES_PER_LINE;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mem_trace::Topology;
+
+    #[test]
+    fn reduced_trace_is_valid_and_has_a_read_phase() {
+        let cfg = WorkloadConfig::reduced();
+        let trace = Lu.generate(&cfg);
+        assert!(trace.validate().is_ok());
+        let stats = trace.stats();
+        // Reads dominate: the interior update reads two blocks for every
+        // block it writes.
+        assert!(stats.reads > stats.writes);
+        // Barriers separate every phase of every elimination step.
+        assert!(stats.barriers as u64 >= 3 * LuParams::for_scale(Scale::Reduced).blocks_per_dim());
+        // The matrix is shared across nodes.
+        assert!(stats.node_shared_pages > 4);
+    }
+
+    #[test]
+    fn paper_scale_is_larger() {
+        let small = Lu.generate(&WorkloadConfig::reduced().with_topology(Topology::new(2, 2)));
+        // Only compare footprints (generating the full paper-size trace is
+        // slow); the paper matrix is several times larger.
+        let params_small = LuParams::for_scale(Scale::Reduced);
+        let params_big = LuParams::for_scale(Scale::Paper);
+        assert!(params_big.n * params_big.n >= 4 * params_small.n * params_small.n);
+        assert!(small.stats().footprint_pages >= params_small.n * params_small.n * 8 / 4096);
+    }
+
+    #[test]
+    fn blocks_are_scattered_across_processors() {
+        let cfg = WorkloadConfig::reduced();
+        let trace = Lu.generate(&cfg);
+        // Every processor must issue some accesses.
+        for (i, events) in trace.per_proc.iter().enumerate() {
+            let accesses = events.iter().filter(|e| e.is_access()).count();
+            assert!(accesses > 0, "processor {i} issues no accesses");
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! `ocean` — red/black Gauss-Seidel style stencil relaxation over a square
+//! ocean grid (the time-consuming kernel of SPLASH-2 Ocean).
+//!
+//! The grid is partitioned into contiguous bands of rows, one per processor.
+//! On every sweep a processor reads the five-point stencil around each of
+//! its grid points and writes the point.  The only inter-node communication
+//! is at partition boundaries, so the read-write sharing degree of any page
+//! is at most two — and, critically for the paper, the sharers are *stable*:
+//! there is no single dominant remote user to migrate a boundary page to and
+//! no read-only page to replicate.  This is why ocean shows only a handful
+//! of page migrations and no replications in Table 4, while R-NUMA can still
+//! absorb the capacity misses on each node's own (large) band.
+
+use crate::config::{Scale, WorkloadConfig};
+use crate::util::chunk_ranges;
+use crate::Workload;
+use mem_trace::{AddressSpace, ProcId, ProgramTrace, TraceBuilder};
+
+/// Ocean simulation (stencil relaxation kernel).
+pub struct Ocean;
+
+struct OceanParams {
+    /// Grid dimension (points per side).
+    n: u64,
+    /// Relaxation sweeps.
+    sweeps: u64,
+}
+
+impl OceanParams {
+    fn for_scale(scale: Scale) -> Self {
+        match scale {
+            // The grid itself matches the paper (130x130 is already small);
+            // the reduced preset only trims the number of relaxation sweeps.
+            Scale::Reduced => OceanParams { n: 130, sweeps: 8 },
+            Scale::Paper => OceanParams { n: 130, sweeps: 12 },
+        }
+    }
+}
+
+impl Workload for Ocean {
+    fn name(&self) -> &'static str {
+        "ocean"
+    }
+
+    fn description(&self) -> &'static str {
+        "Ocean simulation (stencil relaxation)"
+    }
+
+    fn paper_input(&self) -> &'static str {
+        "130x130 ocean"
+    }
+
+    fn reduced_input(&self) -> &'static str {
+        "130x130 ocean, 8 sweeps"
+    }
+
+    fn generate(&self, cfg: &WorkloadConfig) -> ProgramTrace {
+        let params = OceanParams::for_scale(cfg.scale);
+        let n = params.n;
+        let procs = cfg.topology.total_procs();
+
+        let mut space = AddressSpace::new();
+        // Two grids: the solution grid (read/written in place) and the
+        // right-hand side (read-only after initialization), mirroring the
+        // multigrid arrays of the original program.
+        let grid = space.alloc("grid", n * n, 8);
+        let rhs = space.alloc("rhs", n * n, 8);
+
+        let mut b = TraceBuilder::new("ocean", cfg.topology).with_think_cycles(cfg.think_cycles);
+        let bands = chunk_ranges(n as usize, procs);
+
+        // Initialization: every processor writes its own band of both grids
+        // so first-touch places the pages on the owner's node.
+        for (p, band) in bands.iter().enumerate() {
+            let proc = ProcId(p as u16);
+            for row in band.clone() {
+                let mut col = 0u64;
+                while col < n {
+                    b.write(proc, grid.elem2(row as u64, col, n));
+                    b.write(proc, rhs.elem2(row as u64, col, n));
+                    col += 8; // one cache line of doubles
+                }
+            }
+        }
+        b.barrier_all();
+
+        for _sweep in 0..params.sweeps {
+            for (p, band) in bands.iter().enumerate() {
+                let proc = ProcId(p as u16);
+                for row in band.clone() {
+                    let row = row as u64;
+                    if row == 0 || row == n - 1 {
+                        continue; // fixed boundary
+                    }
+                    let mut col = 8u64;
+                    while col < n - 1 {
+                        // Five-point stencil at line granularity: the north
+                        // and south neighbours live in adjacent rows (the
+                        // first/last rows of a band are remote), east/west
+                        // are in the same cache line.
+                        b.read(proc, grid.elem2(row - 1, col, n));
+                        b.read(proc, grid.elem2(row + 1, col, n));
+                        b.read(proc, grid.elem2(row, col, n));
+                        b.read(proc, rhs.elem2(row, col, n));
+                        b.write(proc, grid.elem2(row, col, n));
+                        col += 8;
+                    }
+                }
+            }
+            b.barrier_all();
+        }
+
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_is_valid_with_boundary_sharing_only() {
+        let cfg = WorkloadConfig::reduced();
+        let trace = Ocean.generate(&cfg);
+        assert!(trace.validate().is_ok());
+        let stats = trace.stats();
+        // Sharing exists (band boundaries) but most pages are private to one
+        // node: the shared fraction must be well under half.
+        assert!(stats.node_shared_pages > 0);
+        assert!(
+            (stats.node_shared_pages as f64) < 0.5 * stats.footprint_pages as f64,
+            "ocean should be mostly node-private ({} of {} pages shared)",
+            stats.node_shared_pages,
+            stats.footprint_pages
+        );
+    }
+
+    #[test]
+    fn one_barrier_per_sweep_plus_initialization() {
+        let cfg = WorkloadConfig::reduced();
+        let trace = Ocean.generate(&cfg);
+        let params = OceanParams::for_scale(Scale::Reduced);
+        assert_eq!(trace.stats().barriers, params.sweeps + 1);
+    }
+
+    #[test]
+    fn writes_are_a_substantial_fraction() {
+        let stats = Ocean.generate(&WorkloadConfig::reduced()).stats();
+        let wf = stats.write_fraction();
+        assert!(wf > 0.15 && wf < 0.5, "write fraction {wf}");
+    }
+}

@@ -1,0 +1,186 @@
+//! `radix` — parallel integer radix sort (SPLASH-2 Radix).
+//!
+//! Each pass over one digit has three phases: every processor builds a local
+//! histogram of its own contiguous chunk of keys, the histograms are
+//! combined into global rank offsets, and finally every key is *permuted*
+//! into a destination array at a position computed from the global ranks.
+//! The permutation writes are scattered over the whole destination array, so
+//! every node writes pages homed on every other node with no single dominant
+//! user — the paper finds essentially no opportunity for migration or
+//! replication (1 migration, 0 replications per node) while R-NUMA relocates
+//! aggressively (1714 relocations per node) and is ultimately limited by the
+//! page cache capacity because the streaming working set of source plus
+//! destination keys exceeds it.
+
+use crate::config::{Scale, WorkloadConfig};
+use crate::util::owned_range;
+use crate::Workload;
+use mem_trace::{AddressSpace, ProcId, ProgramTrace, TraceBuilder};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Parallel integer radix sort.
+pub struct Radix;
+
+struct RadixParams {
+    /// Number of keys.
+    keys: u64,
+    /// Sorting passes (digits) simulated.
+    passes: u64,
+    /// Radix (buckets per digit).
+    radix: u64,
+}
+
+impl RadixParams {
+    fn for_scale(scale: Scale) -> Self {
+        match scale {
+            Scale::Reduced => RadixParams {
+                keys: 128 * 1024,
+                passes: 2,
+                radix: 1024,
+            },
+            Scale::Paper => RadixParams {
+                keys: 1024 * 1024,
+                passes: 2,
+                radix: 1024,
+            },
+        }
+    }
+}
+
+/// Keys per cache line (4-byte integers).
+const KEYS_PER_LINE: u64 = 16;
+
+impl Workload for Radix {
+    fn name(&self) -> &'static str {
+        "radix"
+    }
+
+    fn description(&self) -> &'static str {
+        "Integer radix sort"
+    }
+
+    fn paper_input(&self) -> &'static str {
+        "1M integers, radix 1024"
+    }
+
+    fn reduced_input(&self) -> &'static str {
+        "128K integers, radix 1024"
+    }
+
+    fn generate(&self, cfg: &WorkloadConfig) -> ProgramTrace {
+        let params = RadixParams::for_scale(cfg.scale);
+        let procs = cfg.topology.total_procs();
+
+        let mut space = AddressSpace::new();
+        let src = space.alloc("keys_src", params.keys, 4);
+        let dst = space.alloc("keys_dst", params.keys, 4);
+        let histograms = space.alloc("histograms", params.radix * procs as u64, 4);
+
+        let mut b = TraceBuilder::new("radix", cfg.topology).with_think_cycles(cfg.think_cycles);
+        let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x5ad1);
+
+        // Initialization: each processor writes its own chunk of the source
+        // array (first-touch places it locally).
+        for p in 0..procs {
+            let proc = ProcId(p as u16);
+            let range = owned_range(params.keys as usize, cfg.topology, proc);
+            let mut k = range.start as u64;
+            while k < range.end as u64 {
+                b.write(proc, src.elem(k));
+                k += KEYS_PER_LINE;
+            }
+        }
+        b.barrier_all();
+
+        for pass in 0..params.passes {
+            // Phase 1: local histogram — stream through the owned chunk of
+            // the (current) source array and update the processor's own
+            // histogram bins.
+            for p in 0..procs {
+                let proc = ProcId(p as u16);
+                let range = owned_range(params.keys as usize, cfg.topology, proc);
+                let hist_base = params.radix * p as u64;
+                let mut k = range.start as u64;
+                while k < range.end as u64 {
+                    b.read(proc, src.elem(k));
+                    let bin = rng.gen_range(0..params.radix);
+                    b.write(proc, histograms.elem(hist_base + bin));
+                    k += KEYS_PER_LINE;
+                }
+            }
+            b.barrier_all();
+
+            // Phase 2: global rank computation — every processor reads every
+            // other processor's histogram (small, read-shared).
+            for p in 0..procs {
+                let proc = ProcId(p as u16);
+                for other in 0..procs {
+                    let base = params.radix * other as u64;
+                    let mut bin = 0u64;
+                    while bin < params.radix {
+                        b.read(proc, histograms.elem(base + bin));
+                        bin += KEYS_PER_LINE;
+                    }
+                }
+            }
+            b.barrier_all();
+
+            // Phase 3: permutation — read own keys, write them to scattered
+            // positions of the destination array (all-to-all traffic).
+            for p in 0..procs {
+                let proc = ProcId(p as u16);
+                let range = owned_range(params.keys as usize, cfg.topology, proc);
+                let mut k = range.start as u64;
+                while k < range.end as u64 {
+                    b.read(proc, src.elem(k));
+                    // One permuted write per key in this line; destinations
+                    // are uniformly scattered, as radix-sort ranks are.
+                    for _ in 0..4 {
+                        let dest = rng.gen_range(0..params.keys);
+                        b.write(proc, dst.elem(dest));
+                    }
+                    k += KEYS_PER_LINE;
+                }
+            }
+            b.barrier_all();
+            let _ = pass;
+        }
+
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_is_valid_and_write_heavy() {
+        let cfg = WorkloadConfig::reduced();
+        let trace = Radix.generate(&cfg);
+        assert!(trace.validate().is_ok());
+        let stats = trace.stats();
+        // The permutation phase makes radix unusually write-heavy.
+        assert!(stats.write_fraction() > 0.3, "write fraction {}", stats.write_fraction());
+    }
+
+    #[test]
+    fn destination_pages_are_shared_by_many_nodes() {
+        let cfg = WorkloadConfig::reduced();
+        let stats = Radix.generate(&cfg).stats();
+        // Scattered permutation writes touch most pages from many nodes.
+        assert!(stats.node_shared_pages * 2 > stats.footprint_pages);
+    }
+
+    #[test]
+    fn footprint_scales_with_key_count() {
+        let reduced = RadixParams::for_scale(Scale::Reduced);
+        let paper = RadixParams::for_scale(Scale::Paper);
+        assert_eq!(paper.keys, 8 * reduced.keys);
+        let stats = Radix.generate(&WorkloadConfig::reduced()).stats();
+        // Source + destination arrays: 2 * 128K * 4 bytes = 1 MB = 256 pages,
+        // plus histograms.
+        assert!(stats.footprint_pages >= 256);
+    }
+}

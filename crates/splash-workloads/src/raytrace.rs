@@ -1,0 +1,170 @@
+//! `raytrace` — 3-D scene rendering by ray tracing (SPLASH-2 Raytrace, car
+//! scene).
+//!
+//! The scene database (geometry plus the hierarchical uniform grid used to
+//! accelerate intersection tests) is built once and then *read* by every
+//! processor while tracing rays; rays are distributed through a work queue.
+//! The upper levels of the acceleration structure are touched by every ray
+//! and are therefore natural replication candidates, while the bulk of the
+//! scene is sampled irregularly so the processor caches thrash — R-NUMA
+//! relocates those pages in large numbers (1059 per node in Table 4), but,
+//! as the paper notes, the remaining misses are largely off the critical
+//! path because rays are independent and plentiful.
+
+use crate::config::{Scale, WorkloadConfig};
+use crate::util::owned_range;
+use crate::Workload;
+use mem_trace::{AddressSpace, ProcId, ProgramTrace, TraceBuilder};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Ray-traced rendering of a 3-D scene.
+pub struct Raytrace;
+
+struct RaytraceParams {
+    /// Cache lines of scene data (geometry + grid).
+    scene_lines: u64,
+    /// Cache lines of "hot" acceleration-structure data (top grid levels).
+    hot_lines: u64,
+    /// Rays traced in total.
+    rays: u64,
+    /// Scene lines read per ray.
+    reads_per_ray: u64,
+}
+
+impl RaytraceParams {
+    fn for_scale(scale: Scale) -> Self {
+        match scale {
+            Scale::Reduced => RaytraceParams {
+                scene_lines: 12 * 1024, // 768 KB of scene data
+                hot_lines: 256,
+                rays: 24 * 1024,
+                reads_per_ray: 20,
+            },
+            Scale::Paper => RaytraceParams {
+                scene_lines: 64 * 1024, // 4 MB ("car")
+                hot_lines: 512,
+                rays: 64 * 1024,
+                reads_per_ray: 28,
+            },
+        }
+    }
+}
+
+impl Workload for Raytrace {
+    fn name(&self) -> &'static str {
+        "raytrace"
+    }
+
+    fn description(&self) -> &'static str {
+        "3-D scene rendering using ray-tracing"
+    }
+
+    fn paper_input(&self) -> &'static str {
+        "car"
+    }
+
+    fn reduced_input(&self) -> &'static str {
+        "car (reduced: 768 KB scene, 24K rays)"
+    }
+
+    fn generate(&self, cfg: &WorkloadConfig) -> ProgramTrace {
+        let params = RaytraceParams::for_scale(cfg.scale);
+        let procs = cfg.topology.total_procs();
+
+        let mut space = AddressSpace::new();
+        let scene = space.alloc("scene", params.scene_lines, 64);
+        let framebuffer = space.alloc("framebuffer", params.rays, 4);
+        let queue = space.alloc("ray_queue", 16, 64);
+
+        let mut b = TraceBuilder::new("raytrace", cfg.topology).with_think_cycles(cfg.think_cycles);
+        let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x4a11);
+
+        // Processor 0 builds the scene database; its pages are homed on
+        // node 0 and never written again.
+        for line in 0..params.scene_lines {
+            b.write(ProcId(0), scene.elem(line));
+        }
+        b.barrier_all();
+
+        // Each processor traces an equal share of rays, dequeuing bundles of
+        // rays from the shared work queue.
+        let rays_per_bundle = 32u64;
+        for p in 0..procs {
+            let proc = ProcId(p as u16);
+            let range = owned_range(params.rays as usize, cfg.topology, proc);
+            for (count, ray) in range.clone().enumerate() {
+                if count as u64 % rays_per_bundle == 0 {
+                    b.lock(proc, 0);
+                    b.read(proc, queue.elem(0));
+                    b.write(proc, queue.elem(0));
+                    b.unlock(proc, 0);
+                }
+                // Walk the acceleration structure: the first few reads hit
+                // the hot top levels, the rest sample the scene irregularly.
+                for step in 0..params.reads_per_ray {
+                    let line = if step < 6 {
+                        rng.gen_range(0..params.hot_lines)
+                    } else {
+                        rng.gen_range(0..params.scene_lines)
+                    };
+                    b.read(proc, scene.elem(line));
+                }
+                // Write the pixel (private to this processor's band).
+                b.write(proc, framebuffer.elem(ray as u64));
+            }
+        }
+        b.barrier_all();
+
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_is_valid_and_overwhelmingly_read_only() {
+        let cfg = WorkloadConfig::reduced();
+        let trace = Raytrace.generate(&cfg);
+        assert!(trace.validate().is_ok());
+        let stats = trace.stats();
+        assert!(stats.write_fraction() < 0.2, "write fraction {}", stats.write_fraction());
+    }
+
+    #[test]
+    fn scene_pages_are_read_by_every_node() {
+        let stats = Raytrace.generate(&WorkloadConfig::reduced()).stats();
+        // The scene dominates the footprint and is shared.
+        assert!(stats.node_shared_pages * 2 > stats.footprint_pages);
+    }
+
+    #[test]
+    fn scene_written_only_during_setup() {
+        let cfg = WorkloadConfig::reduced();
+        let trace = Raytrace.generate(&cfg);
+        // After the first barrier no processor writes scene pages (pages of
+        // the first allocated segment).
+        let params = RaytraceParams::for_scale(Scale::Reduced);
+        let scene_pages = params.scene_lines * 64 / mem_trace::PAGE_SIZE;
+        for events in &trace.per_proc {
+            let mut past_barrier = false;
+            for e in events {
+                match e {
+                    mem_trace::TraceEvent::Barrier(0) => past_barrier = true,
+                    mem_trace::TraceEvent::Access(m)
+                        if past_barrier && m.kind.is_write() =>
+                    {
+                        assert!(
+                            m.page().0 >= scene_pages,
+                            "scene page {:?} written after setup",
+                            m.page()
+                        );
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Shared helpers for the workload generators.
+
+use mem_trace::{ProcId, Topology};
+
+/// Split `0..n` into `parts` contiguous ranges, as evenly as possible.
+pub fn chunk_ranges(n: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+    assert!(parts > 0);
+    let base = n / parts;
+    let extra = n % parts;
+    let mut ranges = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let len = base + usize::from(i < extra);
+        ranges.push(start..start + len);
+        start += len;
+    }
+    ranges
+}
+
+/// The range of items owned by `proc` when `n` items are block-distributed
+/// over all processors.
+pub fn owned_range(n: usize, topology: Topology, proc: ProcId) -> std::ops::Range<usize> {
+    chunk_ranges(n, topology.total_procs())[proc.index()].clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_cover_everything_without_overlap() {
+        for (n, parts) in [(10, 3), (32, 32), (7, 8), (100, 1)] {
+            let ranges = chunk_ranges(n, parts);
+            assert_eq!(ranges.len(), parts);
+            let mut covered = 0;
+            let mut expected_start = 0;
+            for r in &ranges {
+                assert_eq!(r.start, expected_start);
+                expected_start = r.end;
+                covered += r.len();
+            }
+            assert_eq!(covered, n);
+        }
+    }
+
+    #[test]
+    fn chunks_are_balanced() {
+        let ranges = chunk_ranges(10, 3);
+        let lens: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+        assert_eq!(lens, vec![4, 3, 3]);
+    }
+
+    #[test]
+    fn owned_range_respects_topology() {
+        let topo = Topology::new(2, 2);
+        assert_eq!(owned_range(8, topo, ProcId(0)), 0..2);
+        assert_eq!(owned_range(8, topo, ProcId(3)), 6..8);
+    }
+}

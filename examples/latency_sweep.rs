@@ -1,0 +1,47 @@
+//! Network-latency sensitivity sweep (the axis behind Figure 7).
+//!
+//! DSM clusters span a wide range of remote-to-local latency ratios — from
+//! tightly integrated machines (ratio ~4) to commodity-interconnect
+//! clusters (ratio 16+).  This example sweeps the remote-latency multiplier
+//! for one workload and shows how quickly plain CC-NUMA falls behind while
+//! R-NUMA stays close to the perfect-CC-NUMA bound.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example latency_sweep
+//! ```
+
+use dsm_repro::prelude::*;
+
+fn main() {
+    let machine = MachineConfig::PAPER;
+    let workload = by_name("raytrace").expect("raytrace is in the catalog");
+    let trace = workload.generate(&WorkloadConfig::reduced());
+
+    println!(
+        "{:>18} {:>14} {:>10} {:>10} {:>10}",
+        "remote multiplier", "remote:local", "CC-NUMA", "MigRep", "R-NUMA"
+    );
+    for factor in [1u64, 2, 4, 8] {
+        let costs = CostModel::base().with_remote_latency_factor(factor);
+        let baseline = ClusterSimulator::new(
+            machine,
+            SystemConfig::perfect_cc_numa().with_costs(costs),
+        )
+        .run(&trace);
+        let normalized = |config: SystemConfig| {
+            ClusterSimulator::new(machine, config.with_costs(costs))
+                .run(&trace)
+                .normalized_against(&baseline)
+        };
+        println!(
+            "{:>18} {:>14.1} {:>10.2} {:>10.2} {:>10.2}",
+            format!("{factor}x"),
+            costs.remote_to_local_ratio(),
+            normalized(SystemConfig::cc_numa()),
+            normalized(SystemConfig::cc_numa_migrep()),
+            normalized(SystemConfig::r_numa()),
+        );
+    }
+}

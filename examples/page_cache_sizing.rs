@@ -1,0 +1,59 @@
+//! Page-cache sizing study (the question behind Section 6.4 of the paper):
+//! how much S-COMA page cache does R-NUMA need before it stops losing
+//! performance to replacements?
+//!
+//! Sweeps the per-node page-cache size from 64 KB to infinite for `radix`,
+//! the workload with the largest streaming working set, and prints the
+//! normalized execution time and replacement count at each point.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example page_cache_sizing
+//! ```
+
+use dsm_protocol::PageCacheConfig;
+use dsm_repro::prelude::*;
+
+fn main() {
+    let machine = MachineConfig::PAPER;
+    let workload = by_name("radix").expect("radix is in the catalog");
+    let trace = workload.generate(&WorkloadConfig::reduced());
+
+    let baseline = ClusterSimulator::new(machine, SystemConfig::perfect_cc_numa()).run(&trace);
+    let cc_numa = ClusterSimulator::new(machine, SystemConfig::cc_numa()).run(&trace);
+    println!(
+        "radix on CC-NUMA: {:.2}x perfect CC-NUMA ({} remote misses)\n",
+        cc_numa.normalized_against(&baseline),
+        cc_numa.total_remote_misses()
+    );
+
+    println!(
+        "{:>14} {:>12} {:>14} {:>14} {:>12}",
+        "page cache", "vs perfect", "remote misses", "relocations", "replacements"
+    );
+    let sizes_kb = [64u64, 256, 512, 1024, 2400, 4800];
+    for kb in sizes_kb {
+        let config = SystemConfig::r_numa_with(PageCacheConfig::Finite {
+            size_bytes: kb * 1024,
+        });
+        let result = ClusterSimulator::new(machine, config).run(&trace);
+        println!(
+            "{:>11} KB {:>12.2} {:>14} {:>14} {:>12}",
+            kb,
+            result.normalized_against(&baseline),
+            result.total_remote_misses(),
+            result.total_page_operations(),
+            result.total_page_cache_replacements()
+        );
+    }
+    let inf = ClusterSimulator::new(machine, SystemConfig::r_numa_inf()).run(&trace);
+    println!(
+        "{:>14} {:>12.2} {:>14} {:>14} {:>12}",
+        "infinite",
+        inf.normalized_against(&baseline),
+        inf.total_remote_misses(),
+        inf.total_page_operations(),
+        inf.total_page_cache_replacements()
+    );
+}

@@ -1,0 +1,61 @@
+//! Quickstart: simulate one SPLASH-2-like workload on the three systems the
+//! paper spends most of its time on — CC-NUMA, CC-NUMA+MigRep and R-NUMA —
+//! and print the headline numbers.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use dsm_repro::prelude::*;
+
+fn main() {
+    // 1. Generate a shared-memory reference trace for the paper's 8x4
+    //    cluster.  `lu` is the blocked dense LU factorization of Table 2.
+    let workload = by_name("lu").expect("lu is in the catalog");
+    let trace = workload.generate(&WorkloadConfig::reduced());
+    let stats = trace.stats();
+    println!(
+        "workload: {} ({} accesses, {} pages, {:.0}% writes)",
+        trace.name,
+        stats.accesses,
+        stats.footprint_pages,
+        stats.write_fraction() * 100.0
+    );
+
+    // 2. Pick the systems to compare.  Perfect CC-NUMA (infinite block
+    //    cache) is the baseline the paper normalizes against.
+    let machine = MachineConfig::PAPER;
+    let baseline = ClusterSimulator::new(machine, SystemConfig::perfect_cc_numa()).run(&trace);
+    let systems = [
+        SystemConfig::cc_numa(),
+        SystemConfig::cc_numa_migrep(),
+        SystemConfig::r_numa(),
+    ];
+
+    // 3. Run and report.
+    println!(
+        "\n{:<12} {:>12} {:>10} {:>14} {:>10}",
+        "system", "exec cycles", "vs perfect", "remote misses", "page ops"
+    );
+    println!(
+        "{:<12} {:>12} {:>10.2} {:>14} {:>10}",
+        baseline.system,
+        baseline.execution_time.raw(),
+        1.0,
+        baseline.total_remote_misses(),
+        baseline.total_page_operations()
+    );
+    for system in systems {
+        let result = ClusterSimulator::new(machine, system).run(&trace);
+        println!(
+            "{:<12} {:>12} {:>10.2} {:>14} {:>10}",
+            result.system,
+            result.execution_time.raw(),
+            result.normalized_against(&baseline),
+            result.total_remote_misses(),
+            result.total_page_operations()
+        );
+    }
+}

@@ -1,0 +1,52 @@
+//! `dsm-repro` — facade crate for the reproduction of
+//! *"Comparing the Effectiveness of Fine-Grain Memory Caching against Page
+//! Migration/Replication in Reducing Traffic in DSM Clusters"*
+//! (Lai & Falsafi, SPAA 2000).
+//!
+//! This crate simply re-exports the workspace members so that examples,
+//! integration tests and downstream users can depend on a single crate:
+//!
+//! * [`sim`] — discrete-time simulation primitives (cycles, queueing
+//!   resources, deterministic RNG, statistics);
+//! * [`trace`] — the global address-space model and shared-memory reference
+//!   traces;
+//! * [`node`] — the SMP node model (processor caches, miss classification,
+//!   memory bus, page tables);
+//! * [`protocol`] — DSM coherence mechanisms (directory, block cache,
+//!   S-COMA page cache, interconnect);
+//! * [`core`] — the systems under study (CC-NUMA, CC-NUMA+MigRep, R-NUMA,
+//!   R-NUMA+MigRep) and the cluster simulator;
+//! * [`workloads`] — the seven SPLASH-2-like workload generators (Table 2).
+//!
+//! See `examples/quickstart.rs` for a five-minute tour, and the `dsm-bench`
+//! crate for the binaries that regenerate every table and figure of the
+//! paper.
+
+pub use dsm_core as core;
+pub use dsm_protocol as protocol;
+pub use mem_trace as trace;
+pub use sim_engine as sim;
+pub use smp_node as node;
+pub use splash_workloads as workloads;
+
+/// Convenience re-exports of the types most programs need.
+pub mod prelude {
+    pub use dsm_core::{
+        ClusterSimulator, CostModel, MachineConfig, MigRepConfig, SimResult, SystemConfig,
+        Thresholds,
+    };
+    pub use mem_trace::{GlobalAddr, ProcId, ProgramTrace, Topology, TraceBuilder};
+    pub use splash_workloads::{by_name, catalog, Scale, Workload, WorkloadConfig};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_are_wired_up() {
+        use crate::prelude::*;
+        let cfg = SystemConfig::cc_numa();
+        assert_eq!(cfg.name, "CC-NUMA");
+        assert_eq!(Topology::PAPER.total_procs(), 32);
+        assert_eq!(catalog().len(), 7);
+    }
+}

@@ -1,0 +1,195 @@
+//! Cross-crate integration tests: run real workloads end-to-end on every
+//! system and assert the qualitative relationships the paper's conclusions
+//! rest on.
+
+use dsm_repro::prelude::*;
+
+fn run(system: SystemConfig, trace: &ProgramTrace) -> SimResult {
+    ClusterSimulator::new(MachineConfig::PAPER, system).run(trace)
+}
+
+/// Thresholds tuned for the reduced workload sizes (mirrors the bench
+/// presets without depending on the bench crate).
+fn reduced_thresholds() -> Thresholds {
+    Thresholds {
+        migrep_threshold: 250,
+        migrep_reset_interval: 8_000,
+        rnuma_threshold: 8,
+        rnuma_relocation_delay: 0,
+    }
+}
+
+#[test]
+fn perfect_cc_numa_lower_bounds_every_system_on_every_workload() {
+    for workload in catalog() {
+        let trace = workload.generate(&WorkloadConfig::reduced());
+        let baseline = run(SystemConfig::perfect_cc_numa(), &trace);
+        for config in [
+            SystemConfig::cc_numa(),
+            SystemConfig::cc_numa_migrep().with_thresholds(reduced_thresholds()),
+            SystemConfig::r_numa().with_thresholds(reduced_thresholds()),
+        ] {
+            let result = run(config, &trace);
+            assert!(
+                result.normalized_against(&baseline) >= 0.99,
+                "{} ran faster than perfect CC-NUMA on {} ({:.3})",
+                result.system,
+                workload.name(),
+                result.normalized_against(&baseline)
+            );
+        }
+    }
+}
+
+#[test]
+fn r_numa_infinite_page_cache_never_loses_to_the_finite_one() {
+    for name in ["raytrace", "radix", "barnes"] {
+        let workload = by_name(name).unwrap();
+        let trace = workload.generate(&WorkloadConfig::reduced());
+        let finite = run(
+            SystemConfig::r_numa().with_thresholds(reduced_thresholds()),
+            &trace,
+        );
+        let infinite = run(
+            SystemConfig::r_numa_inf().with_thresholds(reduced_thresholds()),
+            &trace,
+        );
+        assert!(
+            infinite.execution_time <= finite.execution_time,
+            "{name}: infinite page cache slower than finite"
+        );
+        assert_eq!(infinite.total_page_cache_replacements(), 0);
+    }
+}
+
+#[test]
+fn r_numa_reduces_capacity_conflict_remote_misses_on_thrashing_workloads() {
+    for name in ["raytrace", "barnes", "lu"] {
+        let workload = by_name(name).unwrap();
+        let trace = workload.generate(&WorkloadConfig::reduced());
+        let cc = run(SystemConfig::cc_numa(), &trace);
+        let rn = run(
+            SystemConfig::r_numa_inf().with_thresholds(reduced_thresholds()),
+            &trace,
+        );
+        assert!(
+            rn.total_remote_capacity_misses() < cc.total_remote_capacity_misses(),
+            "{name}: R-NUMA-Inf did not reduce capacity/conflict remote misses \
+             ({} vs {})",
+            rn.total_remote_capacity_misses(),
+            cc.total_remote_capacity_misses()
+        );
+        assert!(rn.total_page_operations() > 0, "{name}: no relocations");
+    }
+}
+
+#[test]
+fn replication_triggers_on_the_read_shared_scene_of_raytrace() {
+    let trace = by_name("raytrace").unwrap().generate(&WorkloadConfig::reduced());
+    let rep = run(
+        SystemConfig::cc_numa_rep().with_thresholds(reduced_thresholds()),
+        &trace,
+    );
+    let cc = run(SystemConfig::cc_numa(), &trace);
+    let replications: u64 = rep.per_node.iter().map(|n| n.replications).sum();
+    assert!(replications > 0, "no replications on raytrace");
+    assert!(
+        rep.total_remote_misses() < cc.total_remote_misses(),
+        "replication did not remove remote misses"
+    );
+}
+
+#[test]
+fn migration_triggers_on_fmm_boxes_owned_by_a_single_remote_node() {
+    let trace = by_name("fmm").unwrap().generate(&WorkloadConfig::reduced());
+    let mig = run(
+        SystemConfig::cc_numa_mig().with_thresholds(reduced_thresholds()),
+        &trace,
+    );
+    let cc = run(SystemConfig::cc_numa(), &trace);
+    let migrations: u64 = mig.per_node.iter().map(|n| n.migrations).sum();
+    assert!(migrations > 0, "no migrations on fmm");
+    assert!(
+        mig.total_remote_misses() < cc.total_remote_misses(),
+        "migration did not remove remote misses"
+    );
+}
+
+#[test]
+fn slow_page_operations_hurt_r_numa_more_than_migrep() {
+    // Figure 6's conclusion: R-NUMA performs many more page operations, so a
+    // ten-fold increase in page-operation cost costs it more.
+    let trace = by_name("raytrace").unwrap().generate(&WorkloadConfig::reduced());
+    let baseline = run(SystemConfig::perfect_cc_numa(), &trace);
+    let t = reduced_thresholds();
+
+    let migrep_fast = run(SystemConfig::cc_numa_migrep().with_thresholds(t), &trace);
+    let migrep_slow = run(
+        SystemConfig::cc_numa_migrep()
+            .with_costs(CostModel::slow())
+            .with_thresholds(t),
+        &trace,
+    );
+    let rnuma_fast = run(SystemConfig::r_numa().with_thresholds(t), &trace);
+    let rnuma_slow = run(
+        SystemConfig::r_numa()
+            .with_costs(CostModel::slow())
+            .with_thresholds(t),
+        &trace,
+    );
+
+    let migrep_penalty = migrep_slow.normalized_against(&baseline)
+        - migrep_fast.normalized_against(&baseline);
+    let rnuma_penalty =
+        rnuma_slow.normalized_against(&baseline) - rnuma_fast.normalized_against(&baseline);
+    assert!(
+        rnuma_penalty >= migrep_penalty,
+        "R-NUMA should be at least as sensitive to slow page operations \
+         (R-NUMA penalty {rnuma_penalty:.3}, MigRep penalty {migrep_penalty:.3})"
+    );
+}
+
+#[test]
+fn longer_network_latency_amplifies_cc_numa_degradation() {
+    // Figure 7: with a 4x longer remote path, CC-NUMA's normalized execution
+    // time gets worse while R-NUMA stays closer to perfect CC-NUMA.
+    let trace = by_name("raytrace").unwrap().generate(&WorkloadConfig::reduced());
+    let far = CostModel::base().with_remote_latency_factor(4);
+
+    let base_perfect = run(SystemConfig::perfect_cc_numa(), &trace);
+    let base_cc = run(SystemConfig::cc_numa(), &trace);
+    let far_perfect = run(SystemConfig::perfect_cc_numa().with_costs(far), &trace);
+    let far_cc = run(SystemConfig::cc_numa().with_costs(far), &trace);
+    let far_rnuma = run(
+        SystemConfig::r_numa().with_thresholds(reduced_thresholds()).with_costs(far),
+        &trace,
+    );
+
+    let base_ratio = base_cc.normalized_against(&base_perfect);
+    let far_ratio = far_cc.normalized_against(&far_perfect);
+    assert!(
+        far_ratio > base_ratio,
+        "CC-NUMA should degrade more at 4x latency ({far_ratio:.2} vs {base_ratio:.2})"
+    );
+    assert!(
+        far_rnuma.normalized_against(&far_perfect) < far_ratio,
+        "R-NUMA should beat CC-NUMA at long latencies"
+    );
+}
+
+#[test]
+fn table4_style_counters_are_consistent() {
+    let trace = by_name("barnes").unwrap().generate(&WorkloadConfig::reduced());
+    let result = run(
+        SystemConfig::r_numa().with_thresholds(reduced_thresholds()),
+        &trace,
+    );
+    // Capacity/conflict remote misses are a subset of remote misses.
+    assert!(result.total_remote_capacity_misses() <= result.total_remote_misses());
+    // Per-node averages are consistent with totals.
+    let avg = result.per_node_remote_misses();
+    assert!((avg * result.per_node.len() as f64 - result.total_remote_misses() as f64).abs() < 1.0);
+    // The run actually simulated the whole trace.
+    assert_eq!(result.accesses, trace.stats().accesses);
+    assert_eq!(result.barriers as u64, trace.stats().barriers);
+}

@@ -1,0 +1,143 @@
+//! Property-based tests (proptest) over the core data structures and the
+//! simulator's invariants.
+
+use dsm_repro::prelude::*;
+use dsm_repro::protocol::{BlockCache, BlockCacheConfig, BlockState, Directory, PageCache, PageCacheConfig};
+use mem_trace::{BlockId, GlobalAddr, NodeId, PageId, BLOCK_SIZE, PAGE_SIZE};
+use proptest::prelude::*;
+use smp_node::{CacheConfig, DataCache, LineState};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Address decomposition round-trips for arbitrary addresses.
+    #[test]
+    fn address_decomposition_is_consistent(raw in 0u64..u64::MAX / 2) {
+        let addr = GlobalAddr(raw);
+        let block = addr.block();
+        let page = addr.page();
+        prop_assert_eq!(block.page(), page);
+        prop_assert!(block.base_addr().0 <= raw);
+        prop_assert!(raw - block.base_addr().0 < BLOCK_SIZE);
+        prop_assert!(page.base_addr().0 <= raw);
+        prop_assert!(raw - page.base_addr().0 < PAGE_SIZE);
+        prop_assert!(page.contains(block));
+    }
+
+    /// A direct-mapped cache never holds two blocks in the same set and a
+    /// fill always makes the block resident.
+    #[test]
+    fn data_cache_fill_makes_resident(blocks in prop::collection::vec(0u64..4096, 1..200)) {
+        let mut cache = DataCache::new(CacheConfig { size_bytes: 4 * 1024, block_bytes: 64 });
+        for &b in &blocks {
+            let block = BlockId(b);
+            cache.fill(block, LineState::Shared);
+            prop_assert!(cache.contains(block));
+        }
+        // Residency never exceeds the number of lines.
+        prop_assert!(cache.resident_blocks().count() <= cache.config().lines());
+    }
+
+    /// The block cache's resident count never exceeds its capacity and
+    /// flushing a page removes exactly that page's blocks.
+    #[test]
+    fn block_cache_respects_capacity(blocks in prop::collection::vec(0u64..10_000, 1..300)) {
+        let mut bc = BlockCache::new(BlockCacheConfig::Finite { size_bytes: 16 * 1024 });
+        let lines = BlockCacheConfig::Finite { size_bytes: 16 * 1024 }.lines().unwrap();
+        for &b in &blocks {
+            bc.fill(BlockId(b), BlockState::Clean);
+            prop_assert!(bc.resident() <= lines);
+        }
+        let page = PageId(3);
+        let flushed = bc.flush_page(page);
+        for (block, _) in &flushed {
+            prop_assert_eq!(block.page(), page);
+            prop_assert!(!bc.contains(*block));
+        }
+    }
+
+    /// The page cache never exceeds its frame budget, whatever the
+    /// allocation sequence.
+    #[test]
+    fn page_cache_never_exceeds_capacity(pages in prop::collection::vec(0u64..500, 1..300)) {
+        let frames = 8usize;
+        let mut pc = PageCache::new(PageCacheConfig::Finite {
+            size_bytes: frames as u64 * PAGE_SIZE,
+        });
+        for &p in &pages {
+            pc.allocate(PageId(p));
+            prop_assert!(pc.allocated_frames() <= frames);
+        }
+    }
+
+    /// Directory invariant: after any sequence of reads/writes/evictions a
+    /// block in the Modified state has exactly one sharer, and Uncached
+    /// blocks have none.
+    #[test]
+    fn directory_sharer_counts_match_state(
+        ops in prop::collection::vec((0u8..3, 0u64..32, 0u16..8), 1..300)
+    ) {
+        let mut dir = Directory::new();
+        for (op, block, node) in ops {
+            let block = BlockId(block);
+            let node = NodeId(node);
+            match op {
+                0 => { dir.handle_read(block, node); }
+                1 => { dir.handle_write(block, node); }
+                _ => { dir.handle_eviction(block, node); }
+            }
+            let entry = dir.entry(block);
+            match entry.state {
+                dsm_repro::protocol::DirectoryState::Uncached =>
+                    prop_assert_eq!(entry.sharer_count(), 0),
+                dsm_repro::protocol::DirectoryState::Modified =>
+                    prop_assert_eq!(entry.sharer_count(), 1),
+                dsm_repro::protocol::DirectoryState::Shared =>
+                    prop_assert!(entry.sharer_count() >= 1),
+            }
+        }
+    }
+
+    /// Simulator invariant: for any small random trace, execution time is
+    /// positive, monotone in the number of accesses, and deterministic.
+    #[test]
+    fn simulator_is_deterministic_on_random_traces(
+        accesses in prop::collection::vec((0u16..8, 0u64..64, prop::bool::ANY), 1..120)
+    ) {
+        let machine = MachineConfig::tiny();
+        let mut builder = TraceBuilder::new("proptest", machine.topology);
+        for (proc, line, is_write) in &accesses {
+            let proc = ProcId(*proc % machine.topology.total_procs() as u16);
+            let addr = GlobalAddr(line * BLOCK_SIZE);
+            if *is_write {
+                builder.write(proc, addr);
+            } else {
+                builder.read(proc, addr);
+            }
+        }
+        builder.barrier_all();
+        let trace = builder.build();
+        prop_assert!(trace.validate().is_ok());
+
+        let sim = ClusterSimulator::new(machine, SystemConfig::cc_numa());
+        let a = sim.run(&trace);
+        let b = sim.run(&trace);
+        prop_assert_eq!(a.execution_time, b.execution_time);
+        prop_assert_eq!(a.total_remote_misses(), b.total_remote_misses());
+        prop_assert!(a.execution_time.raw() > 0);
+        prop_assert_eq!(a.accesses, accesses.len() as u64);
+    }
+
+    /// Workload generation is deterministic in the seed and always produces
+    /// a valid trace, for every workload and any seed.
+    #[test]
+    fn workload_generation_is_seed_deterministic(seed in any::<u64>(), idx in 0usize..7) {
+        let workload = &catalog()[idx];
+        // Use a tiny topology to keep the proptest cases fast.
+        let cfg = WorkloadConfig::reduced().with_seed(seed).with_topology(Topology::new(2, 2));
+        let a = workload.generate(&cfg);
+        let b = workload.generate(&cfg);
+        prop_assert!(a.validate().is_ok());
+        prop_assert_eq!(a.stats(), b.stats());
+    }
+}
