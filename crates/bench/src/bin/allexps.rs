@@ -2,11 +2,11 @@
 //! prints each report in sequence.  This is the binary EXPERIMENTS.md's
 //! measured numbers are generated from.
 
-use dsm_bench::{presets, report, runner, Options};
+use dsm_bench::{presets, report, Experiment, Options};
+use dsm_core::MachineConfig;
 
 fn main() {
     let opts = Options::from_env();
-    let names = opts.workload_names();
 
     println!("== Table 2 ==");
     print!("{}", report::format_table2());
@@ -20,7 +20,10 @@ fn main() {
         ("Figure 8", presets::figure8(opts.scale)),
     ] {
         println!("\n== {label} ==");
-        let result = runner::run_experiment(&set, &names, opts.scale, opts.threads);
+        let result = Experiment::new(MachineConfig::PAPER)
+            .systems(set)
+            .options(&opts)
+            .run();
         print!("{}", report::format_normalized_table(&result));
         if opts.csv {
             print!("{}", report::to_csv(&result));
@@ -28,7 +31,9 @@ fn main() {
     }
 
     println!("\n== Table 4 ==");
-    let set = presets::table4(opts.scale);
-    let result = runner::run_experiment(&set, &names, opts.scale, opts.threads);
+    let result = Experiment::new(MachineConfig::PAPER)
+        .systems(presets::table4(opts.scale))
+        .options(&opts)
+        .run();
     print!("{}", report::format_table4(&result));
 }

@@ -1,12 +1,14 @@
 //! Regenerates Figure 5: base performance comparison of CC-NUMA, Rep, Mig,
 //! MigRep, R-NUMA and R-NUMA-Inf, normalized against perfect CC-NUMA.
-
-use dsm_bench::{presets, report, runner, Options};
+use dsm_bench::{presets, report, Experiment, Options};
+use dsm_core::MachineConfig;
 
 fn main() {
     let opts = Options::from_env();
-    let set = presets::figure5(opts.scale);
-    let result = runner::run_experiment(&set, &opts.workload_names(), opts.scale, opts.threads);
+    let result = Experiment::new(MachineConfig::PAPER)
+        .systems(presets::figure5(opts.scale))
+        .options(&opts)
+        .run();
     print!("{}", report::format_normalized_table(&result));
     if opts.csv {
         print!("{}", report::to_csv(&result));

@@ -1,11 +1,14 @@
-//! Regenerates Fig7 (see dsm_bench::presets::fig7 for the system set).
-
-use dsm_bench::{presets, report, runner, Options};
+//! Regenerates Figure 7: sensitivity to network latency (remote path
+//! stretched 4x).
+use dsm_bench::{presets, report, Experiment, Options};
+use dsm_core::MachineConfig;
 
 fn main() {
     let opts = Options::from_env();
-    let set = presets::figure7(opts.scale);
-    let result = runner::run_experiment(&set, &opts.workload_names(), opts.scale, opts.threads);
+    let result = Experiment::new(MachineConfig::PAPER)
+        .systems(presets::figure7(opts.scale))
+        .options(&opts)
+        .run();
     print!("{}", report::format_normalized_table(&result));
     if opts.csv {
         print!("{}", report::to_csv(&result));

@@ -1,11 +1,13 @@
-//! Regenerates Fig8 (see dsm_bench::presets::fig8 for the system set).
-
-use dsm_bench::{presets, report, runner, Options};
+//! Regenerates Figure 8: the R-NUMA+MigRep hybrid of Section 6.4.
+use dsm_bench::{presets, report, Experiment, Options};
+use dsm_core::MachineConfig;
 
 fn main() {
     let opts = Options::from_env();
-    let set = presets::figure8(opts.scale);
-    let result = runner::run_experiment(&set, &opts.workload_names(), opts.scale, opts.threads);
+    let result = Experiment::new(MachineConfig::PAPER)
+        .systems(presets::figure8(opts.scale))
+        .options(&opts)
+        .run();
     print!("{}", report::format_normalized_table(&result));
     if opts.csv {
         print!("{}", report::to_csv(&result));

@@ -3,23 +3,36 @@
 //! operation counts from a reduced-scale run of two representative
 //! workloads (lu: replication-friendly; ocean: neither).
 
-use dsm_bench::{presets, runner, Options};
+use dsm_bench::{presets, Experiment, Options};
+use dsm_core::MachineConfig;
 
 fn main() {
     let opts = Options::from_env();
     println!("# Table 1: capacity/conflict miss reduction opportunity and overhead");
     println!(
-        "{:<18} {:<14} {:<26} {:<14} {:<10} {}",
-        "mechanism", "read-only", "read/write (low degree)", "(high degree)", "overhead", "frequency"
+        "{:<18} {:<14} {:<26} {:<14} {:<10} frequency",
+        "mechanism", "read-only", "read/write (low degree)", "(high degree)", "overhead"
     );
-    println!("{:<18} {:<14} {:<26} {:<14} {:<10} {}", "page replication", "yes", "no", "no", "high", "low");
-    println!("{:<18} {:<14} {:<26} {:<14} {:<10} {}", "page migration", "no", "yes", "no", "high", "low");
-    println!("{:<18} {:<14} {:<26} {:<14} {:<10} {}", "R-NUMA", "yes", "yes", "yes", "low", "much higher");
+    println!(
+        "{:<18} {:<14} {:<26} {:<14} {:<10} low",
+        "page replication", "yes", "no", "no", "high"
+    );
+    println!(
+        "{:<18} {:<14} {:<26} {:<14} {:<10} low",
+        "page migration", "no", "yes", "no", "high"
+    );
+    println!(
+        "{:<18} {:<14} {:<26} {:<14} {:<10} much higher",
+        "R-NUMA", "yes", "yes", "yes", "low"
+    );
     println!();
     println!("# measured per-node page-operation counts supporting the frequency column");
-    let workloads = ["lu", "ocean"];
-    let set = presets::table4(opts.scale);
-    let result = runner::run_experiment(&set, &workloads, opts.scale, opts.threads);
+    let result = Experiment::new(MachineConfig::PAPER)
+        .systems(presets::table4(opts.scale))
+        .workloads(["lu", "ocean"])
+        .scale(opts.scale)
+        .threads(opts.threads)
+        .run();
     let migrep = result.system_index("MigRep").expect("preset has MigRep");
     let rnuma = result.system_index("R-NUMA").expect("preset has R-NUMA");
     println!(

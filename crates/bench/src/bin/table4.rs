@@ -1,13 +1,15 @@
 //! Regenerates Table 4: per-node page operations (migrations, replications,
 //! R-NUMA relocations) and remote-miss breakdowns for CC-NUMA,
 //! CC-NUMA+MigRep and R-NUMA.
-
-use dsm_bench::{presets, report, runner, Options};
+use dsm_bench::{presets, report, Experiment, Options};
+use dsm_core::MachineConfig;
 
 fn main() {
     let opts = Options::from_env();
-    let set = presets::table4(opts.scale);
-    let result = runner::run_experiment(&set, &opts.workload_names(), opts.scale, opts.threads);
+    let result = Experiment::new(MachineConfig::PAPER)
+        .systems(presets::table4(opts.scale))
+        .options(&opts)
+        .run();
     print!("{}", report::format_table4(&result));
     if opts.csv {
         print!("{}", report::to_csv(&result));

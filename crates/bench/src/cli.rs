@@ -5,10 +5,55 @@
 //! * `--paper`            — run the paper's Table 2 problem sizes (slow);
 //! * `--workloads a,b,c`  — restrict to a subset of the seven workloads;
 //! * `--threads N`        — number of simulation worker threads;
-//! * `--csv`              — also print results as CSV for plotting.
+//! * `--csv`              — also print results as CSV for plotting;
+//! * `--help` / `-h`      — print usage and exit.
 
 use crate::presets::ExperimentScale;
 use crate::runner::default_threads;
+
+/// Usage text printed by `--help` and appended to flag errors.
+pub const USAGE: &str = "\
+usage: <binary> [OPTIONS]
+
+options:
+  --paper              run the paper's Table 2 problem sizes (much slower);
+                       the default is the reduced scale
+  --workloads a,b,c    restrict to a comma-separated subset of the seven
+                       workloads (barnes, cholesky, fmm, lu, ocean, radix,
+                       raytrace)
+  --threads N          number of simulation worker threads
+  --csv                also print results as CSV for plotting
+  -h, --help           print this help and exit";
+
+/// Why parsing stopped without producing [`Options`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// `--help`/`-h` was given; print [`USAGE`] and exit successfully.
+    Help,
+    /// A flag was not recognized; the offending flag is named.
+    UnknownFlag(String),
+    /// A flag's value was missing or malformed.
+    BadValue(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Help => f.write_str(USAGE),
+            CliError::UnknownFlag(flag) => {
+                write!(
+                    f,
+                    "unknown flag `{flag}` (run with --help for the flag list)"
+                )
+            }
+            CliError::BadValue(msg) => {
+                write!(f, "{msg} (run with --help for the flag list)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
 
 /// Parsed command-line options.
 #[derive(Debug, Clone)]
@@ -25,7 +70,7 @@ pub struct Options {
 
 impl Options {
     /// Parse from an iterator of arguments (excluding the program name).
-    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Options, String> {
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Options, CliError> {
         let mut opts = Options {
             scale: ExperimentScale::Reduced,
             workloads: splash_workloads::names()
@@ -36,41 +81,53 @@ impl Options {
             csv: false,
         };
         let mut iter = args.into_iter();
+        // A flag's value must not itself look like a flag — catches
+        // `--threads --csv` naming the flag instead of misparsing.
+        let value_of = |iter: &mut I::IntoIter, flag: &str| -> Result<String, CliError> {
+            match iter.next() {
+                Some(v) if !v.starts_with('-') => Ok(v),
+                _ => Err(CliError::BadValue(format!("flag `{flag}` needs a value"))),
+            }
+        };
         while let Some(arg) = iter.next() {
             match arg.as_str() {
                 "--paper" => opts.scale = ExperimentScale::Paper,
                 "--csv" => opts.csv = true,
                 "--threads" => {
-                    let v = iter.next().ok_or("--threads needs a value")?;
-                    opts.threads = v.parse().map_err(|_| format!("bad thread count {v}"))?;
+                    let v = value_of(&mut iter, "--threads")?;
+                    opts.threads = v.parse().map_err(|_| {
+                        CliError::BadValue(format!("bad value `{v}` for `--threads`"))
+                    })?;
                 }
                 "--workloads" => {
-                    let v = iter.next().ok_or("--workloads needs a value")?;
+                    let v = value_of(&mut iter, "--workloads")?;
                     opts.workloads = v.split(',').map(|s| s.trim().to_string()).collect();
                     for w in &opts.workloads {
                         if splash_workloads::by_name(w).is_none() {
-                            return Err(format!("unknown workload {w}"));
+                            return Err(CliError::BadValue(format!(
+                                "unknown workload `{w}` for `--workloads`"
+                            )));
                         }
                     }
                 }
-                "--help" | "-h" => {
-                    return Err(
-                        "usage: <binary> [--paper] [--workloads a,b,c] [--threads N] [--csv]"
-                            .to_string(),
-                    )
-                }
-                other => return Err(format!("unknown argument {other}")),
+                "--help" | "-h" => return Err(CliError::Help),
+                other => return Err(CliError::UnknownFlag(other.to_string())),
             }
         }
         Ok(opts)
     }
 
-    /// Parse from the process arguments, exiting with a message on error.
+    /// Parse from the process arguments.  `--help` prints usage and exits
+    /// with status 0; any error is printed and exits with status 2.
     pub fn from_env() -> Options {
         match Options::parse(std::env::args().skip(1)) {
             Ok(o) => o,
-            Err(msg) => {
-                eprintln!("{msg}");
+            Err(CliError::Help) => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            Err(err) => {
+                eprintln!("error: {err}");
                 std::process::exit(2);
             }
         }
@@ -86,7 +143,7 @@ impl Options {
 mod tests {
     use super::*;
 
-    fn parse(args: &[&str]) -> Result<Options, String> {
+    fn parse(args: &[&str]) -> Result<Options, CliError> {
         Options::parse(args.iter().map(|s| s.to_string()))
     }
 
@@ -101,7 +158,15 @@ mod tests {
 
     #[test]
     fn flags_are_recognized() {
-        let o = parse(&["--paper", "--csv", "--threads", "3", "--workloads", "lu,radix"]).unwrap();
+        let o = parse(&[
+            "--paper",
+            "--csv",
+            "--threads",
+            "3",
+            "--workloads",
+            "lu,radix",
+        ])
+        .unwrap();
         assert_eq!(o.scale, ExperimentScale::Paper);
         assert!(o.csv);
         assert_eq!(o.threads, 3);
@@ -109,10 +174,43 @@ mod tests {
     }
 
     #[test]
-    fn bad_input_is_rejected() {
-        assert!(parse(&["--workloads", "linpack"]).is_err());
-        assert!(parse(&["--threads", "x"]).is_err());
-        assert!(parse(&["--bogus"]).is_err());
-        assert!(parse(&["--help"]).is_err());
+    fn help_is_not_an_error_exit() {
+        assert!(matches!(parse(&["--help"]), Err(CliError::Help)));
+        assert!(matches!(parse(&["-h"]), Err(CliError::Help)));
+        assert!(CliError::Help.to_string().contains("--workloads"));
+    }
+
+    #[test]
+    fn unknown_flags_are_named() {
+        match parse(&["--bogus"]) {
+            Err(CliError::UnknownFlag(flag)) => {
+                assert_eq!(flag, "--bogus");
+                let msg = CliError::UnknownFlag(flag).to_string();
+                assert!(msg.contains("--bogus"), "{msg}");
+                assert!(msg.contains("--help"), "{msg}");
+            }
+            other => panic!("expected UnknownFlag, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_values_name_the_flag() {
+        let err = parse(&["--workloads", "linpack"]).unwrap_err();
+        assert!(err.to_string().contains("linpack"));
+        assert!(err.to_string().contains("--workloads"));
+
+        let err = parse(&["--threads", "x"]).unwrap_err();
+        assert!(err.to_string().contains("--threads"));
+    }
+
+    #[test]
+    fn missing_values_do_not_swallow_the_next_flag() {
+        let err = parse(&["--threads", "--csv"]).unwrap_err();
+        assert_eq!(
+            err,
+            CliError::BadValue("flag `--threads` needs a value".to_string())
+        );
+        let err = parse(&["--workloads"]).unwrap_err();
+        assert!(err.to_string().contains("--workloads"));
     }
 }

@@ -1,0 +1,287 @@
+//! The `Experiment` builder: one figure/table = one experiment.
+//!
+//! An experiment is a machine, a [`SystemSet`] (baseline + compared
+//! systems), a set of workloads and a parameter scale.  [`Experiment::run`]
+//! simulates every (workload, system) pair — in parallel across worker
+//! threads, since independent simulations share nothing mutable — and
+//! returns the same [`ExperimentResult`] the report formatters consume:
+//!
+//! ```no_run
+//! use dsm_bench::{presets, Experiment, ExperimentScale};
+//! use dsm_core::MachineConfig;
+//!
+//! let result = Experiment::new(MachineConfig::PAPER)
+//!     .systems(presets::figure5(ExperimentScale::Reduced))
+//!     .workloads(["lu", "ocean"])
+//!     .threads(8)
+//!     .run();
+//! println!("{}", dsm_bench::report::format_normalized_table(&result));
+//! ```
+//!
+//! Custom traces (instead of named Table 2 workloads) are supplied with
+//! [`Experiment::traces`], which makes the harness usable for ad-hoc
+//! sharing-pattern studies (see `examples/custom_workload.rs`).
+
+use crate::cli::Options;
+use crate::presets::{ExperimentScale, SystemSet};
+use crate::runner::{default_threads, ExperimentResult, WorkloadResult};
+use dsm_core::{ClusterSimulator, MachineConfig, SimResult, SystemConfig};
+use mem_trace::ProgramTrace;
+use splash_workloads::{by_name, WorkloadConfig};
+
+/// Where an experiment's traces come from.
+#[derive(Debug, Clone)]
+enum WorkloadSource {
+    /// Named Table 2 workloads, generated at the experiment's scale.
+    Named(Vec<String>),
+    /// Pre-built traces supplied by the caller.
+    Traces(Vec<ProgramTrace>),
+}
+
+/// Builder for one experiment run.  See the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    machine: MachineConfig,
+    systems: Option<SystemSet>,
+    source: WorkloadSource,
+    scale: ExperimentScale,
+    threads: usize,
+}
+
+impl Experiment {
+    /// Start an experiment on `machine`.  Defaults: all seven Table 2
+    /// workloads, reduced scale, one worker thread per CPU.
+    pub fn new(machine: MachineConfig) -> Self {
+        Experiment {
+            machine,
+            systems: None,
+            source: WorkloadSource::Named(
+                splash_workloads::names()
+                    .into_iter()
+                    .map(str::to_string)
+                    .collect(),
+            ),
+            scale: ExperimentScale::Reduced,
+            threads: default_threads(),
+        }
+    }
+
+    /// The systems to compare (baseline + compared systems, in plot order).
+    /// Required before [`Experiment::run`].
+    pub fn systems(mut self, set: SystemSet) -> Self {
+        self.systems = Some(set);
+        self
+    }
+
+    /// Restrict to the given Table 2 workloads.
+    ///
+    /// # Panics
+    /// Panics on a name not in the catalog.
+    pub fn workloads<I, S>(mut self, workloads: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let names: Vec<String> = workloads.into_iter().map(Into::into).collect();
+        for name in &names {
+            assert!(by_name(name).is_some(), "unknown workload {name}");
+        }
+        self.source = WorkloadSource::Named(names);
+        self
+    }
+
+    /// Run on pre-built traces instead of named workloads (the traces must
+    /// match the experiment's machine topology).
+    pub fn traces(mut self, traces: Vec<ProgramTrace>) -> Self {
+        self.source = WorkloadSource::Traces(traces);
+        self
+    }
+
+    /// Problem/parameter scale for named workloads.
+    pub fn scale(mut self, scale: ExperimentScale) -> Self {
+        self.scale = scale;
+        self
+    }
+
+    /// Number of simulation worker threads (at least 1).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Apply parsed command-line options: workloads, scale and threads.
+    pub fn options(self, opts: &Options) -> Self {
+        self.workloads(opts.workload_names())
+            .scale(opts.scale)
+            .threads(opts.threads)
+    }
+
+    /// Run every (workload, system) pair and collect the results.
+    ///
+    /// # Panics
+    /// Panics if [`Experiment::systems`] was not called, if a worker thread
+    /// panics, or if a trace does not match the machine.
+    pub fn run(self) -> ExperimentResult {
+        let set = self
+            .systems
+            .expect("Experiment::systems(..) must be called before run()");
+        let traces = match self.source {
+            WorkloadSource::Named(names) => {
+                let cfg = WorkloadConfig::at_scale(self.scale.workload_scale());
+                names
+                    .iter()
+                    .map(|name| {
+                        by_name(name)
+                            .unwrap_or_else(|| panic!("unknown workload {name}"))
+                            .generate(&cfg)
+                    })
+                    .collect::<Vec<_>>()
+            }
+            WorkloadSource::Traces(traces) => traces,
+        };
+
+        // The full job list; system index 0 is the baseline.
+        let mut all_systems: Vec<SystemConfig> = Vec::with_capacity(set.systems.len() + 1);
+        all_systems.push(set.baseline.clone());
+        all_systems.extend(set.systems.iter().cloned());
+        let jobs: Vec<(usize, usize)> = (0..traces.len())
+            .flat_map(|w| (0..all_systems.len()).map(move |s| (w, s)))
+            .collect();
+
+        let machine = self.machine;
+        let results: Vec<Vec<Option<SimResult>>> = {
+            let table = std::sync::Mutex::new(vec![vec![None; all_systems.len()]; traces.len()]);
+            let next = std::sync::atomic::AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..self.threads {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= jobs.len() {
+                            break;
+                        }
+                        let (w, s) = jobs[i];
+                        let sim = ClusterSimulator::new(machine, all_systems[s].clone());
+                        let result = sim.run(&traces[w]);
+                        table.lock().expect("result table poisoned")[w][s] = Some(result);
+                    });
+                }
+            });
+            table.into_inner().expect("result table poisoned")
+        };
+
+        let per_workload = results
+            .into_iter()
+            .zip(traces.iter())
+            .map(|(mut row, trace)| {
+                let baseline = row[0].take().expect("baseline result missing");
+                let results = row
+                    .into_iter()
+                    .skip(1)
+                    .map(|r| r.expect("system result missing"))
+                    .collect();
+                WorkloadResult {
+                    workload: trace.name.clone(),
+                    baseline,
+                    results,
+                }
+            })
+            .collect();
+
+        ExperimentResult {
+            experiment: set.experiment.to_string(),
+            system_names: set.systems.iter().map(|s| s.name.clone()).collect(),
+            per_workload,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+    use dsm_core::{System, Thresholds};
+    use mem_trace::{GlobalAddr, ProcId, TraceBuilder};
+
+    #[test]
+    fn runs_a_named_workload_experiment() {
+        let result = Experiment::new(MachineConfig::PAPER)
+            .systems(presets::table4(ExperimentScale::Reduced))
+            .workloads(["ocean"])
+            .threads(4)
+            .run();
+        assert_eq!(result.per_workload.len(), 1);
+        assert_eq!(result.per_workload[0].workload, "ocean");
+        assert_eq!(result.system_names.len(), 3);
+    }
+
+    #[test]
+    fn runs_on_custom_traces() {
+        let machine = MachineConfig::PAPER;
+        let mut b = TraceBuilder::new("custom", machine.topology);
+        b.write(ProcId(0), GlobalAddr(0));
+        b.barrier_all();
+        for _ in 0..100 {
+            b.read(ProcId(4), GlobalAddr(0));
+        }
+        let result = Experiment::new(machine)
+            .systems(SystemSet {
+                experiment: "custom-trace smoke test",
+                baseline: System::perfect_cc_numa().build(),
+                systems: vec![System::cc_numa().build()],
+            })
+            .traces(vec![b.build()])
+            .threads(2)
+            .run();
+        assert_eq!(result.per_workload.len(), 1);
+        assert_eq!(result.per_workload[0].workload, "custom");
+        assert!(result.per_workload[0].normalized(0) >= 0.99);
+    }
+
+    #[test]
+    fn experiment_is_deterministic_across_thread_counts() {
+        let set = || SystemSet {
+            experiment: "determinism",
+            baseline: System::perfect_cc_numa().build(),
+            systems: vec![
+                System::cc_numa().build(),
+                System::r_numa()
+                    .with(Thresholds {
+                        rnuma_threshold: 8,
+                        ..Thresholds::paper_fast()
+                    })
+                    .build(),
+            ],
+        };
+        let a = Experiment::new(MachineConfig::PAPER)
+            .systems(set())
+            .workloads(["ocean"])
+            .threads(1)
+            .run();
+        let b = Experiment::new(MachineConfig::PAPER)
+            .systems(set())
+            .workloads(["ocean"])
+            .threads(8)
+            .run();
+        for (wa, wb) in a.per_workload.iter().zip(&b.per_workload) {
+            assert_eq!(wa.baseline.execution_time, wb.baseline.execution_time);
+            for (ra, rb) in wa.results.iter().zip(&wb.results) {
+                assert_eq!(ra.execution_time, rb.execution_time);
+                assert_eq!(ra.total_remote_misses(), rb.total_remote_misses());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown workload linpack")]
+    fn unknown_workloads_are_rejected_up_front() {
+        let _ = Experiment::new(MachineConfig::PAPER).workloads(["linpack"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "Experiment::systems")]
+    fn running_without_systems_panics() {
+        let _ = Experiment::new(MachineConfig::PAPER)
+            .workloads(["ocean"])
+            .run();
+    }
+}

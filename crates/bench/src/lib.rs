@@ -4,16 +4,33 @@
 //! Each figure/table has a dedicated binary (`fig5`, `fig6`, `fig7`, `fig8`,
 //! `table1` … `table4`) plus `allexps`, which runs everything.  All binaries
 //! accept `--paper` to run the original Table 2 problem sizes (much slower);
-//! the default is the reduced scale described in DESIGN.md, with the page
-//! cache and policy thresholds scaled by the same factor as the working
-//! sets so that the capacity relationships of the paper are preserved.
+//! the default is the reduced scale, with the page cache and policy
+//! thresholds scaled by the same factor as the working sets so that the
+//! capacity relationships of the paper are preserved.
+//!
+//! Programmatic use goes through the [`Experiment`] builder:
+//!
+//! ```no_run
+//! use dsm_bench::{presets, Experiment, ExperimentScale};
+//! use dsm_core::MachineConfig;
+//!
+//! let result = Experiment::new(MachineConfig::PAPER)
+//!     .systems(presets::figure5(ExperimentScale::Reduced))
+//!     .workloads(["lu"])
+//!     .run();
+//! print!("{}", dsm_bench::report::format_normalized_table(&result));
+//! ```
 
 pub mod cli;
+pub mod experiment;
 pub mod presets;
 pub mod report;
 pub mod runner;
 
-pub use cli::Options;
+pub use cli::{CliError, Options};
+pub use experiment::Experiment;
 pub use presets::{ExperimentScale, SystemSet};
 pub use report::{format_normalized_table, format_table4, normalized_rows};
-pub use runner::{run_experiment, ExperimentResult, WorkloadResult};
+#[allow(deprecated)]
+pub use runner::run_experiment;
+pub use runner::{ExperimentResult, WorkloadResult};

@@ -9,7 +9,7 @@
 //! paper's conclusions depend on (e.g. radix's working set still exceeds the
 //! page cache; lu's read phase still crosses the replication threshold).
 
-use dsm_core::{CostModel, SystemConfig, Thresholds};
+use dsm_core::{CostModel, MigRep, PageCaching, System, SystemConfig, Thresholds};
 use dsm_protocol::PageCacheConfig;
 use splash_workloads::Scale;
 
@@ -119,7 +119,11 @@ pub struct SystemSet {
 }
 
 fn r_numa_at(scale: ExperimentScale) -> SystemConfig {
-    SystemConfig::r_numa_with(scale.page_cache()).with_thresholds(scale.thresholds_fast())
+    System::r_numa()
+        .with(PageCaching::config(scale.page_cache()))
+        .with(scale.thresholds_fast())
+        .named("R-NUMA")
+        .build()
 }
 
 /// Figure 5: CC-NUMA, Rep, Mig, MigRep, R-NUMA, R-NUMA-Inf vs perfect
@@ -128,14 +132,23 @@ pub fn figure5(scale: ExperimentScale) -> SystemSet {
     let t = scale.thresholds_fast();
     SystemSet {
         experiment: "Figure 5: base performance comparison",
-        baseline: SystemConfig::perfect_cc_numa(),
+        baseline: System::perfect_cc_numa().build(),
         systems: vec![
-            SystemConfig::cc_numa(),
-            SystemConfig::cc_numa_rep().with_thresholds(t),
-            SystemConfig::cc_numa_mig().with_thresholds(t),
-            SystemConfig::cc_numa_migrep().with_thresholds(t),
+            System::cc_numa().build(),
+            System::cc_numa()
+                .with(MigRep::replication_only())
+                .with(t)
+                .build(),
+            System::cc_numa()
+                .with(MigRep::migration_only())
+                .with(t)
+                .build(),
+            System::cc_numa().with(MigRep::both()).with(t).build(),
             r_numa_at(scale),
-            SystemConfig::r_numa_inf().with_thresholds(t),
+            System::r_numa()
+                .with(PageCaching::infinite())
+                .with(t)
+                .build(),
         ],
     }
 }
@@ -145,10 +158,10 @@ pub fn table4(scale: ExperimentScale) -> SystemSet {
     let t = scale.thresholds_fast();
     SystemSet {
         experiment: "Table 4: page operations and miss breakdown",
-        baseline: SystemConfig::perfect_cc_numa(),
+        baseline: System::perfect_cc_numa().build(),
         systems: vec![
-            SystemConfig::cc_numa(),
-            SystemConfig::cc_numa_migrep().with_thresholds(t),
+            System::cc_numa().build(),
+            System::cc_numa().with(MigRep::both()).with(t).build(),
             r_numa_at(scale),
         ],
     }
@@ -160,20 +173,26 @@ pub fn figure6(scale: ExperimentScale) -> SystemSet {
     let slow = scale.thresholds_slow();
     SystemSet {
         experiment: "Figure 6: sensitivity to page operation overhead",
-        baseline: SystemConfig::perfect_cc_numa(),
+        baseline: System::perfect_cc_numa().build(),
         systems: vec![
-            SystemConfig::cc_numa_migrep()
-                .with_thresholds(fast)
-                .named("MigRep-Fast"),
-            SystemConfig::cc_numa_migrep()
-                .with_costs(CostModel::slow())
-                .with_thresholds(slow)
-                .named("MigRep-Slow"),
+            System::cc_numa()
+                .with(MigRep::both())
+                .with(fast)
+                .named("MigRep-Fast")
+                .build(),
+            System::cc_numa()
+                .with(MigRep::both())
+                .with(CostModel::slow())
+                .with(slow)
+                .named("MigRep-Slow")
+                .build(),
             r_numa_at(scale).named("R-NUMA-Fast"),
-            SystemConfig::r_numa_with(scale.page_cache())
-                .with_costs(CostModel::slow())
-                .with_thresholds(slow)
-                .named("R-NUMA-Slow"),
+            System::r_numa()
+                .with(PageCaching::config(scale.page_cache()))
+                .with(CostModel::slow())
+                .with(slow)
+                .named("R-NUMA-Slow")
+                .build(),
         ],
     }
 }
@@ -184,10 +203,14 @@ pub fn figure7(scale: ExperimentScale) -> SystemSet {
     let far = CostModel::base().with_remote_latency_factor(4);
     SystemSet {
         experiment: "Figure 7: sensitivity to network latency (4x)",
-        baseline: SystemConfig::perfect_cc_numa().with_costs(far),
+        baseline: System::perfect_cc_numa().with(far).build(),
         systems: vec![
-            SystemConfig::cc_numa().with_costs(far),
-            SystemConfig::cc_numa_migrep().with_costs(far).with_thresholds(t),
+            System::cc_numa().with(far).build(),
+            System::cc_numa()
+                .with(MigRep::both())
+                .with(far)
+                .with(t)
+                .build(),
             r_numa_at(scale).with_costs(far),
         ],
     }
@@ -198,18 +221,21 @@ pub fn figure8(scale: ExperimentScale) -> SystemSet {
     let t = scale.thresholds_fast();
     SystemSet {
         experiment: "Figure 8: R-NUMA+MigRep hybrid",
-        baseline: SystemConfig::perfect_cc_numa(),
+        baseline: System::perfect_cc_numa().build(),
         systems: vec![
-            SystemConfig::cc_numa_migrep().with_thresholds(t),
-            SystemConfig::r_numa_with(scale.page_cache_half())
-                .with_thresholds(t)
-                .named("R-NUMA-1/2"),
-            SystemConfig::r_numa_migrep(scale.page_cache_half(), scale.relocation_delay())
-                .with_thresholds(
-                    scale
-                        .thresholds_fast()
-                        .with_relocation_delay(scale.relocation_delay()),
-                ),
+            System::cc_numa().with(MigRep::both()).with(t).build(),
+            System::r_numa()
+                .with(PageCaching::config(scale.page_cache_half()))
+                .with(t)
+                .named("R-NUMA-1/2")
+                .build(),
+            System::r_numa()
+                .with(PageCaching::config(scale.page_cache_half()))
+                .with(MigRep::both())
+                .with(t)
+                .relocation_delay(scale.relocation_delay())
+                .named("R-NUMA-1/2+MigRep")
+                .build(),
             r_numa_at(scale),
         ],
     }
@@ -246,7 +272,10 @@ mod tests {
     fn reduced_scale_shrinks_page_cache_and_thresholds() {
         let s = ExperimentScale::Reduced;
         let frames = s.page_cache().frames().unwrap();
-        assert!(frames < 600, "reduced page cache must be smaller than the paper's");
+        assert!(
+            frames < 600,
+            "reduced page cache must be smaller than the paper's"
+        );
         assert!(frames >= 600 / REDUCED_FACTOR as usize);
         assert!(s.page_cache_half().frames().unwrap() * 2 == frames);
         assert!(s.thresholds_fast().migrep_threshold < Thresholds::paper_fast().migrep_threshold);

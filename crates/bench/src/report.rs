@@ -125,11 +125,18 @@ pub fn format_table3() -> String {
     let s = CostModel::slow();
     let mut out = String::new();
     out.push_str("# Table 3: system cost assumptions (processor cycles)\n");
-    out.push_str(&format!("{:<44} {:>10} {:>10}\n", "operation", "base", "slow"));
+    out.push_str(&format!(
+        "{:<44} {:>10} {:>10}\n",
+        "operation", "base", "slow"
+    ));
     let mut row = |name: &str, base: u64, slow: u64| {
         out.push_str(&format!("{name:<44} {base:>10} {slow:>10}\n"));
     };
-    row("network latency", b.network_latency.raw(), s.network_latency.raw());
+    row(
+        "network latency",
+        b.network_latency.raw(),
+        s.network_latency.raw(),
+    );
     row("local miss latency", b.local_miss.raw(), s.local_miss.raw());
     row(
         "round-trip remote miss latency",
@@ -137,7 +144,11 @@ pub fn format_table3() -> String {
         s.remote_miss.raw(),
     );
     row("soft trap", b.soft_trap.raw(), s.soft_trap.raw());
-    row("TLB shootdown", b.tlb_shootdown.raw(), s.tlb_shootdown.raw());
+    row(
+        "TLB shootdown",
+        b.tlb_shootdown.raw(),
+        s.tlb_shootdown.raw(),
+    );
     row(
         "page allocation/replacement/relocation (min)",
         b.page_alloc_min.raw(),
@@ -158,8 +169,16 @@ pub fn format_table3() -> String {
         b.page_gather_max.raw(),
         s.page_gather_max.raw(),
     );
-    row("page copying (min)", b.page_copy_min.raw(), s.page_copy_min.raw());
-    row("page copying (max)", b.page_copy_max.raw(), s.page_copy_max.raw());
+    row(
+        "page copying (min)",
+        b.page_copy_min.raw(),
+        s.page_copy_min.raw(),
+    );
+    row(
+        "page copying (max)",
+        b.page_copy_max.raw(),
+        s.page_copy_max.raw(),
+    );
     out
 }
 
@@ -188,16 +207,16 @@ pub fn to_csv(result: &ExperimentResult) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::experiment::Experiment;
     use crate::presets::{table4, ExperimentScale};
-    use crate::runner::run_experiment;
+    use dsm_core::MachineConfig;
 
     fn small_result() -> ExperimentResult {
-        run_experiment(
-            &table4(ExperimentScale::Reduced),
-            &["ocean"],
-            ExperimentScale::Reduced,
-            4,
-        )
+        Experiment::new(MachineConfig::PAPER)
+            .systems(table4(ExperimentScale::Reduced))
+            .workloads(["ocean"])
+            .threads(4)
+            .run()
     }
 
     #[test]

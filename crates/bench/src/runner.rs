@@ -1,9 +1,12 @@
-//! Runs a set of systems over a set of workloads, in parallel across
-//! independent (workload, system) pairs.
+//! Experiment result types and the legacy free-function runner.
+//!
+//! The scheduling logic lives in [`crate::experiment::Experiment`];
+//! [`run_experiment`] survives as a deprecated shim so old callers (and the
+//! old-vs-new parity tests) keep working.
 
+use crate::experiment::Experiment;
 use crate::presets::{ExperimentScale, SystemSet};
-use dsm_core::{ClusterSimulator, MachineConfig, SimResult, SystemConfig};
-use splash_workloads::{by_name, WorkloadConfig};
+use dsm_core::{MachineConfig, SimResult};
 
 /// All results for one workload within an experiment.
 #[derive(Debug, Clone)]
@@ -53,85 +56,24 @@ impl ExperimentResult {
     }
 }
 
-/// Run one experiment: every system of `set` (plus its baseline) on every
-/// workload in `workloads`.
-///
-/// Independent simulations are distributed over `threads` worker threads
-/// with crossbeam's scoped threads (simulations share nothing mutable).
+/// Run one experiment on the paper's machine: every system of `set` (plus
+/// its baseline) on every workload in `workloads`.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Experiment::new(machine).systems(set).workloads(..).scale(..).threads(n).run()`"
+)]
 pub fn run_experiment(
     set: &SystemSet,
     workloads: &[&str],
     scale: ExperimentScale,
     threads: usize,
 ) -> ExperimentResult {
-    let machine = MachineConfig::PAPER;
-    let wl_cfg = WorkloadConfig::at_scale(scale.workload_scale());
-
-    // Generate every trace once, up front.
-    let traces: Vec<_> = workloads
-        .iter()
-        .map(|name| {
-            by_name(name)
-                .unwrap_or_else(|| panic!("unknown workload {name}"))
-                .generate(&wl_cfg)
-        })
-        .collect();
-
-    // Build the full list of (workload index, system) jobs; system index 0
-    // is the baseline.
-    let mut all_systems: Vec<SystemConfig> = Vec::with_capacity(set.systems.len() + 1);
-    all_systems.push(set.baseline.clone());
-    all_systems.extend(set.systems.iter().cloned());
-
-    let jobs: Vec<(usize, usize)> = (0..traces.len())
-        .flat_map(|w| (0..all_systems.len()).map(move |s| (w, s)))
-        .collect();
-
-    let threads = threads.max(1);
-    let results: Vec<Vec<Option<SimResult>>> = {
-        let table = std::sync::Mutex::new(vec![vec![None; all_systems.len()]; traces.len()]);
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        crossbeam::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|_| loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= jobs.len() {
-                        break;
-                    }
-                    let (w, s) = jobs[i];
-                    let sim = ClusterSimulator::new(machine, all_systems[s].clone());
-                    let result = sim.run(&traces[w]);
-                    table.lock().expect("result table poisoned")[w][s] = Some(result);
-                });
-            }
-        })
-        .expect("simulation worker panicked");
-        table.into_inner().expect("result table poisoned")
-    };
-
-    let per_workload = results
-        .into_iter()
-        .zip(traces.iter())
-        .map(|(mut row, trace)| {
-            let baseline = row[0].take().expect("baseline result missing");
-            let results = row
-                .into_iter()
-                .skip(1)
-                .map(|r| r.expect("system result missing"))
-                .collect();
-            WorkloadResult {
-                workload: trace.name.clone(),
-                baseline,
-                results,
-            }
-        })
-        .collect();
-
-    ExperimentResult {
-        experiment: set.experiment.to_string(),
-        system_names: set.systems.iter().map(|s| s.name.clone()).collect(),
-        per_workload,
-    }
+    Experiment::new(MachineConfig::PAPER)
+        .systems(set.clone())
+        .workloads(workloads.iter().copied())
+        .scale(scale)
+        .threads(threads)
+        .run()
 }
 
 /// Number of worker threads to use by default: one per CPU, capped at the
@@ -147,11 +89,18 @@ pub fn default_threads() -> usize {
 mod tests {
     use super::*;
     use crate::presets;
+    use crate::presets::ExperimentScale;
+    use dsm_core::MachineConfig;
 
     #[test]
     fn runs_a_small_experiment_end_to_end() {
         let set = presets::table4(ExperimentScale::Reduced);
-        let result = run_experiment(&set, &["ocean"], ExperimentScale::Reduced, 4);
+        let result = Experiment::new(MachineConfig::PAPER)
+            .systems(set)
+            .workloads(["ocean"])
+            .scale(ExperimentScale::Reduced)
+            .threads(4)
+            .run();
         assert_eq!(result.system_names.len(), 3);
         assert_eq!(result.per_workload.len(), 1);
         let wl = &result.per_workload[0];
@@ -169,5 +118,24 @@ mod tests {
         assert!(result.mean_normalized(0) >= 0.99);
         assert_eq!(result.system_index("CC-NUMA"), Some(0));
         assert_eq!(result.system_index("nope"), None);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_run_experiment_matches_the_builder() {
+        let set = presets::table4(ExperimentScale::Reduced);
+        let old = run_experiment(&set, &["ocean"], ExperimentScale::Reduced, 4);
+        let new = Experiment::new(MachineConfig::PAPER)
+            .systems(set)
+            .workloads(["ocean"])
+            .scale(ExperimentScale::Reduced)
+            .threads(4)
+            .run();
+        assert_eq!(old.system_names, new.system_names);
+        assert_eq!(old.per_workload.len(), new.per_workload.len());
+        for (a, b) in old.per_workload.iter().zip(&new.per_workload) {
+            assert_eq!(a.baseline, b.baseline);
+            assert_eq!(a.results, b.results);
+        }
     }
 }

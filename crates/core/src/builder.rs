@@ -1,0 +1,434 @@
+//! Composable construction of [`SystemConfig`]s.
+//!
+//! The paper's systems are one base machine plus features: a block cache
+//! *or* a page cache, optional page migration/replication, a cost model and
+//! policy thresholds.  [`System`] provides the three base configurations and
+//! [`SystemBuilder`] composes features onto them:
+//!
+//! ```
+//! use dsm_core::{CostModel, MigRep, PageCaching, System, Thresholds};
+//!
+//! // The paper's CC-NUMA+MigRep with slow page operations (Figure 6).
+//! let migrep_slow = System::cc_numa()
+//!     .with(MigRep::both())
+//!     .with(CostModel::slow())
+//!     .with(Thresholds::paper_slow())
+//!     .named("MigRep-Slow")
+//!     .build();
+//! assert_eq!(migrep_slow.name, "MigRep-Slow");
+//!
+//! // The Section 6.4 hybrid: R-NUMA with half the page cache plus MigRep,
+//! // relocation delayed by 32000 misses.
+//! let hybrid = System::r_numa()
+//!     .with(PageCaching::half())
+//!     .with(MigRep::both())
+//!     .relocation_delay(32_000)
+//!     .build();
+//! assert_eq!(hybrid.name, "R-NUMA-1/2+MigRep");
+//! ```
+//!
+//! When no explicit name is given, [`SystemBuilder::build`] derives the
+//! paper's name for the composition ("CC-NUMA", "Rep", "Mig", "MigRep",
+//! "R-NUMA", "R-NUMA-Inf", "R-NUMA-1/2", "R-NUMA-1/2+MigRep", ...).
+//!
+//! Third-party [`RelocationPolicy`](crate::policy::RelocationPolicy)
+//! implementations are attached with [`SystemBuilder::policy`]; see the
+//! [`policy`](crate::policy) module documentation for a worked example.
+
+use crate::config::{MigRepConfig, SystemConfig};
+use crate::cost::{CostModel, Thresholds};
+use crate::policy::{PolicyFactory, RelocationPolicy};
+use dsm_protocol::{BlockCacheConfig, PageCacheConfig};
+
+/// Entry points for building the paper's system families.
+#[derive(Debug, Clone, Copy)]
+pub struct System;
+
+impl System {
+    /// CC-NUMA: the paper's 64-KB SRAM block cache, no page cache.
+    pub fn cc_numa() -> SystemBuilder {
+        SystemBuilder {
+            block_cache: Some(BlockCacheConfig::PAPER),
+            ..SystemBuilder::empty()
+        }
+    }
+
+    /// Perfect CC-NUMA: an infinite block cache.  Every figure in the paper
+    /// is normalized against this system.
+    pub fn perfect_cc_numa() -> SystemBuilder {
+        SystemBuilder {
+            block_cache: Some(BlockCacheConfig::Infinite),
+            ..SystemBuilder::empty()
+        }
+    }
+
+    /// R-NUMA: the paper's 2.4-MB S-COMA page cache, no block cache.
+    pub fn r_numa() -> SystemBuilder {
+        SystemBuilder {
+            page_cache: Some(PageCacheConfig::PAPER),
+            ..SystemBuilder::empty()
+        }
+    }
+
+    /// A bare system with neither a block cache nor a page cache; compose
+    /// everything explicitly.
+    pub fn custom() -> SystemBuilder {
+        SystemBuilder::empty()
+    }
+}
+
+/// Builder accumulating the pieces of a [`SystemConfig`].
+#[derive(Debug, Clone)]
+pub struct SystemBuilder {
+    name: Option<String>,
+    block_cache: Option<BlockCacheConfig>,
+    page_cache: Option<PageCacheConfig>,
+    migrep: Option<MigRepConfig>,
+    costs: CostModel,
+    thresholds: Thresholds,
+    extra_policies: Vec<PolicyFactory>,
+}
+
+impl SystemBuilder {
+    fn empty() -> Self {
+        SystemBuilder {
+            name: None,
+            block_cache: None,
+            page_cache: None,
+            migrep: None,
+            costs: CostModel::base(),
+            thresholds: Thresholds::paper_fast(),
+            extra_policies: Vec::new(),
+        }
+    }
+
+    /// Apply a feature ([`MigRep`], [`PageCaching`], [`BlockCaching`],
+    /// [`CostModel`], [`Thresholds`]).
+    pub fn with<F: SystemFeature>(self, feature: F) -> Self {
+        feature.apply(self)
+    }
+
+    /// Override the display name (otherwise derived from the composition).
+    pub fn named(mut self, name: impl Into<String>) -> Self {
+        self.name = Some(name.into());
+        self
+    }
+
+    /// Delay R-NUMA relocation until a page has seen this many misses (the
+    /// Section 6.4 hybrid uses 32000).
+    pub fn relocation_delay(mut self, delay: u64) -> Self {
+        self.thresholds = self.thresholds.with_relocation_delay(delay);
+        self
+    }
+
+    /// Attach a third-party [`RelocationPolicy`], constructed fresh for
+    /// every simulation run.  Extra policies run after the built-in MigRep /
+    /// R-NUMA engines, in registration order.
+    pub fn policy(
+        mut self,
+        factory: impl Fn() -> Box<dyn RelocationPolicy> + Send + Sync + 'static,
+    ) -> Self {
+        self.extra_policies.push(PolicyFactory::new(factory));
+        self
+    }
+
+    /// The paper's name for this composition.
+    fn derived_name(&self) -> String {
+        if let Some(pc) = self.page_cache {
+            let base = match pc {
+                PageCacheConfig::Infinite => "R-NUMA-Inf",
+                pc if pc == PageCacheConfig::PAPER_HALF => "R-NUMA-1/2",
+                _ => "R-NUMA",
+            };
+            match self.migrep {
+                Some(_) => format!("{base}+MigRep"),
+                None => base.to_string(),
+            }
+        } else {
+            match self.migrep {
+                Some(MigRepConfig {
+                    migration: true,
+                    replication: true,
+                }) => "MigRep".to_string(),
+                Some(MigRepConfig {
+                    migration: true,
+                    replication: false,
+                }) => "Mig".to_string(),
+                Some(MigRepConfig {
+                    migration: false,
+                    replication: true,
+                }) => "Rep".to_string(),
+                _ => {
+                    if self.block_cache == Some(BlockCacheConfig::Infinite) {
+                        "Perfect-CC-NUMA".to_string()
+                    } else {
+                        "CC-NUMA".to_string()
+                    }
+                }
+            }
+        }
+    }
+
+    /// Finalize the configuration.
+    pub fn build(self) -> SystemConfig {
+        let name = match &self.name {
+            Some(n) => n.clone(),
+            None => self.derived_name(),
+        };
+        SystemConfig {
+            name,
+            block_cache: self.block_cache,
+            page_cache: self.page_cache,
+            migrep: self.migrep,
+            costs: self.costs,
+            thresholds: self.thresholds,
+            extra_policies: self.extra_policies,
+        }
+    }
+}
+
+/// A composable system feature; see [`SystemBuilder::with`].
+pub trait SystemFeature {
+    /// Fold this feature into the builder.
+    fn apply(self, builder: SystemBuilder) -> SystemBuilder;
+}
+
+/// Page migration/replication support (the home-node MigRep engine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MigRep(MigRepConfig);
+
+impl MigRep {
+    /// Both migration and replication (the paper's "MigRep").
+    pub fn both() -> Self {
+        MigRep(MigRepConfig::BOTH)
+    }
+
+    /// Migration only ("Mig").
+    pub fn migration_only() -> Self {
+        MigRep(MigRepConfig::MIGRATION_ONLY)
+    }
+
+    /// Replication only ("Rep").
+    pub fn replication_only() -> Self {
+        MigRep(MigRepConfig::REPLICATION_ONLY)
+    }
+
+    /// An explicit configuration.
+    pub fn config(cfg: MigRepConfig) -> Self {
+        MigRep(cfg)
+    }
+}
+
+impl SystemFeature for MigRep {
+    fn apply(self, mut builder: SystemBuilder) -> SystemBuilder {
+        builder.migrep = Some(self.0);
+        builder
+    }
+}
+
+/// Fine-grain memory caching: the S-COMA page cache (R-NUMA family).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageCaching(Option<PageCacheConfig>);
+
+impl PageCaching {
+    /// The paper's base 2.4-MB page cache.
+    pub fn paper() -> Self {
+        PageCaching(Some(PageCacheConfig::PAPER))
+    }
+
+    /// The paper's halved 1.2-MB page cache (Section 6.4).
+    pub fn half() -> Self {
+        PageCaching(Some(PageCacheConfig::PAPER_HALF))
+    }
+
+    /// An unbounded page cache ("R-NUMA-Inf").
+    pub fn infinite() -> Self {
+        PageCaching(Some(PageCacheConfig::Infinite))
+    }
+
+    /// A finite page cache of the given size.
+    pub fn bytes(size_bytes: u64) -> Self {
+        PageCaching(Some(PageCacheConfig::Finite { size_bytes }))
+    }
+
+    /// An explicit configuration.
+    pub fn config(cfg: PageCacheConfig) -> Self {
+        PageCaching(Some(cfg))
+    }
+
+    /// Remove the page cache.
+    pub fn none() -> Self {
+        PageCaching(None)
+    }
+}
+
+impl SystemFeature for PageCaching {
+    fn apply(self, mut builder: SystemBuilder) -> SystemBuilder {
+        builder.page_cache = self.0;
+        builder
+    }
+}
+
+/// The cluster device's SRAM block cache (CC-NUMA family).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockCaching(Option<BlockCacheConfig>);
+
+impl BlockCaching {
+    /// The paper's 64-KB block cache.
+    pub fn paper() -> Self {
+        BlockCaching(Some(BlockCacheConfig::PAPER))
+    }
+
+    /// An infinite block cache ("Perfect-CC-NUMA").
+    pub fn infinite() -> Self {
+        BlockCaching(Some(BlockCacheConfig::Infinite))
+    }
+
+    /// A finite block cache of the given size.
+    pub fn bytes(size_bytes: u64) -> Self {
+        BlockCaching(Some(BlockCacheConfig::Finite { size_bytes }))
+    }
+
+    /// Remove the block cache (R-NUMA systems: the page cache subsumes it).
+    pub fn none() -> Self {
+        BlockCaching(None)
+    }
+}
+
+impl SystemFeature for BlockCaching {
+    fn apply(self, mut builder: SystemBuilder) -> SystemBuilder {
+        builder.block_cache = self.0;
+        builder
+    }
+}
+
+impl SystemFeature for CostModel {
+    fn apply(self, mut builder: SystemBuilder) -> SystemBuilder {
+        builder.costs = self;
+        builder
+    }
+}
+
+impl SystemFeature for Thresholds {
+    fn apply(self, mut builder: SystemBuilder) -> SystemBuilder {
+        builder.thresholds = self;
+        builder
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_builders_match_the_paper_systems() {
+        let cc = System::cc_numa().build();
+        assert_eq!(cc.name, "CC-NUMA");
+        assert_eq!(cc.block_cache, Some(BlockCacheConfig::PAPER));
+        assert!(cc.page_cache.is_none());
+        assert!(cc.migrep.is_none());
+
+        let perfect = System::perfect_cc_numa().build();
+        assert_eq!(perfect.name, "Perfect-CC-NUMA");
+        assert_eq!(perfect.block_cache, Some(BlockCacheConfig::Infinite));
+
+        let rn = System::r_numa().build();
+        assert_eq!(rn.name, "R-NUMA");
+        assert!(rn.block_cache.is_none());
+        assert_eq!(rn.page_cache, Some(PageCacheConfig::PAPER));
+    }
+
+    #[test]
+    fn derived_names_cover_the_paper_compositions() {
+        assert_eq!(
+            System::cc_numa().with(MigRep::both()).build().name,
+            "MigRep"
+        );
+        assert_eq!(
+            System::cc_numa()
+                .with(MigRep::migration_only())
+                .build()
+                .name,
+            "Mig"
+        );
+        assert_eq!(
+            System::cc_numa()
+                .with(MigRep::replication_only())
+                .build()
+                .name,
+            "Rep"
+        );
+        assert_eq!(
+            System::r_numa().with(PageCaching::infinite()).build().name,
+            "R-NUMA-Inf"
+        );
+        assert_eq!(
+            System::r_numa().with(PageCaching::half()).build().name,
+            "R-NUMA-1/2"
+        );
+        assert_eq!(
+            System::r_numa()
+                .with(PageCaching::half())
+                .with(MigRep::both())
+                .build()
+                .name,
+            "R-NUMA-1/2+MigRep"
+        );
+    }
+
+    #[test]
+    fn named_overrides_the_derived_name() {
+        let cfg = System::cc_numa()
+            .with(MigRep::both())
+            .named("MigRep-Slow")
+            .build();
+        assert_eq!(cfg.name, "MigRep-Slow");
+    }
+
+    #[test]
+    fn cost_model_and_thresholds_compose_as_features() {
+        let cfg = System::cc_numa()
+            .with(MigRep::both())
+            .with(CostModel::slow())
+            .with(Thresholds::paper_slow())
+            .build();
+        assert_eq!(cfg.costs, CostModel::slow());
+        assert_eq!(cfg.thresholds.migrep_threshold, 1200);
+    }
+
+    #[test]
+    fn relocation_delay_composes_onto_current_thresholds() {
+        let cfg = System::r_numa()
+            .with(MigRep::both())
+            .with(Thresholds::paper_slow())
+            .relocation_delay(16_000)
+            .build();
+        assert_eq!(cfg.thresholds.migrep_threshold, 1200);
+        assert_eq!(cfg.thresholds.rnuma_relocation_delay, 16_000);
+    }
+
+    #[test]
+    fn custom_base_is_bare() {
+        let cfg = System::custom().build();
+        assert!(cfg.block_cache.is_none());
+        assert!(cfg.page_cache.is_none());
+        assert_eq!(cfg.name, "CC-NUMA");
+
+        let sized = System::custom()
+            .with(BlockCaching::bytes(128 * 1024))
+            .with(PageCaching::bytes(64 * 1024))
+            .named("exotic")
+            .build();
+        assert!(sized.block_cache.is_some());
+        assert!(sized.page_cache.is_some());
+        assert_eq!(sized.name, "exotic");
+    }
+
+    #[test]
+    fn feature_removal_works() {
+        let cfg = System::r_numa().with(PageCaching::none()).build();
+        assert!(cfg.page_cache.is_none());
+        let cfg = System::cc_numa().with(BlockCaching::none()).build();
+        assert!(cfg.block_cache.is_none());
+    }
+}

@@ -7,7 +7,9 @@
 //! migration and/or replication, R-NUMA with a finite or infinite page
 //! cache, or the R-NUMA+MigRep hybrid of Section 6.4.
 
+use crate::builder::{MigRep, PageCaching, System};
 use crate::cost::{CostModel, Thresholds};
+use crate::policy::PolicyFactory;
 use dsm_protocol::{BlockCacheConfig, PageCacheConfig};
 use mem_trace::Topology;
 use smp_node::CacheConfig;
@@ -74,6 +76,10 @@ impl MigRepConfig {
 }
 
 /// A complete system configuration.
+///
+/// Built with the [`System`] / [`SystemBuilder`](crate::SystemBuilder)
+/// API; the inherent constructors below are deprecated shims kept so that
+/// old-vs-new parity can be proven test-for-test.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SystemConfig {
     /// Display name used in reports ("CC-NUMA", "R-NUMA", ...).
@@ -90,103 +96,103 @@ pub struct SystemConfig {
     pub costs: CostModel,
     /// Policy thresholds.
     pub thresholds: Thresholds,
+    /// Third-party relocation policies registered through
+    /// [`SystemBuilder::policy`](crate::SystemBuilder::policy), instantiated
+    /// fresh for every simulation run.
+    pub extra_policies: Vec<PolicyFactory>,
 }
 
 impl SystemConfig {
     /// Base CC-NUMA with the paper's 64-KB block cache.
+    #[deprecated(since = "0.1.0", note = "use `System::cc_numa().build()`")]
     pub fn cc_numa() -> Self {
-        SystemConfig {
-            name: "CC-NUMA".to_string(),
-            block_cache: Some(BlockCacheConfig::PAPER),
-            page_cache: None,
-            migrep: None,
-            costs: CostModel::base(),
-            thresholds: Thresholds::paper_fast(),
-        }
+        System::cc_numa().build()
     }
 
     /// Perfect CC-NUMA: an infinite block cache.  Every figure in the paper
     /// is normalized against this system.
+    #[deprecated(since = "0.1.0", note = "use `System::perfect_cc_numa().build()`")]
     pub fn perfect_cc_numa() -> Self {
-        SystemConfig {
-            name: "Perfect-CC-NUMA".to_string(),
-            block_cache: Some(BlockCacheConfig::Infinite),
-            ..Self::cc_numa()
-        }
+        System::perfect_cc_numa().build()
     }
 
     /// CC-NUMA with page replication only ("Rep").
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `System::cc_numa().with(MigRep::replication_only()).build()`"
+    )]
     pub fn cc_numa_rep() -> Self {
-        SystemConfig {
-            name: "Rep".to_string(),
-            migrep: Some(MigRepConfig::REPLICATION_ONLY),
-            ..Self::cc_numa()
-        }
+        System::cc_numa().with(MigRep::replication_only()).build()
     }
 
     /// CC-NUMA with page migration only ("Mig").
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `System::cc_numa().with(MigRep::migration_only()).build()`"
+    )]
     pub fn cc_numa_mig() -> Self {
-        SystemConfig {
-            name: "Mig".to_string(),
-            migrep: Some(MigRepConfig::MIGRATION_ONLY),
-            ..Self::cc_numa()
-        }
+        System::cc_numa().with(MigRep::migration_only()).build()
     }
 
     /// CC-NUMA with both page migration and replication ("MigRep").
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `System::cc_numa().with(MigRep::both()).build()`"
+    )]
     pub fn cc_numa_migrep() -> Self {
-        SystemConfig {
-            name: "MigRep".to_string(),
-            migrep: Some(MigRepConfig::BOTH),
-            ..Self::cc_numa()
-        }
+        System::cc_numa().with(MigRep::both()).build()
     }
 
     /// R-NUMA with the given page cache (no block cache).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `System::r_numa().with(PageCaching::config(..)).build()`"
+    )]
     pub fn r_numa_with(page_cache: PageCacheConfig) -> Self {
-        SystemConfig {
-            name: "R-NUMA".to_string(),
-            block_cache: None,
-            page_cache: Some(page_cache),
-            migrep: None,
-            costs: CostModel::base(),
-            thresholds: Thresholds::paper_fast(),
-        }
+        System::r_numa()
+            .with(PageCaching::config(page_cache))
+            .named("R-NUMA")
+            .build()
     }
 
     /// R-NUMA with the paper's base 2.4-MB page cache.
+    #[deprecated(since = "0.1.0", note = "use `System::r_numa().build()`")]
     pub fn r_numa() -> Self {
-        Self::r_numa_with(PageCacheConfig::PAPER)
+        System::r_numa().build()
     }
 
     /// R-NUMA with an infinite page cache ("R-NUMA-Inf").
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `System::r_numa().with(PageCaching::infinite()).build()`"
+    )]
     pub fn r_numa_inf() -> Self {
-        SystemConfig {
-            name: "R-NUMA-Inf".to_string(),
-            ..Self::r_numa_with(PageCacheConfig::Infinite)
-        }
+        System::r_numa().with(PageCaching::infinite()).build()
     }
 
     /// R-NUMA with half the base page cache ("R-NUMA-1/2", Section 6.4).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `System::r_numa().with(PageCaching::half()).build()`"
+    )]
     pub fn r_numa_half() -> Self {
-        SystemConfig {
-            name: "R-NUMA-1/2".to_string(),
-            ..Self::r_numa_with(PageCacheConfig::PAPER_HALF)
-        }
+        System::r_numa().with(PageCaching::half()).build()
     }
 
     /// The R-NUMA+MigRep hybrid of Section 6.4: R-NUMA with half the page
     /// cache, page migration/replication enabled, and relocation delayed
     /// until a page has seen `relocation_delay` misses.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `System::r_numa().with(PageCaching::half()).with(MigRep::both()).relocation_delay(..).build()`"
+    )]
     pub fn r_numa_migrep(page_cache: PageCacheConfig, relocation_delay: u64) -> Self {
-        SystemConfig {
-            name: "R-NUMA-1/2+MigRep".to_string(),
-            block_cache: None,
-            page_cache: Some(page_cache),
-            migrep: Some(MigRepConfig::BOTH),
-            costs: CostModel::base(),
-            thresholds: Thresholds::paper_fast().with_relocation_delay(relocation_delay),
-        }
+        System::r_numa()
+            .with(PageCaching::config(page_cache))
+            .with(MigRep::both())
+            .relocation_delay(relocation_delay)
+            .named("R-NUMA-1/2+MigRep")
+            .build()
     }
 
     /// Replace the cost model (e.g. [`CostModel::slow`]).
@@ -220,8 +226,38 @@ impl SystemConfig {
 }
 
 #[cfg(test)]
+// The deprecated constructors are exercised deliberately: they are the
+// compatibility shims whose behaviour the builder must reproduce.
+#[allow(deprecated)]
 mod tests {
     use super::*;
+    use crate::builder::PageCaching;
+
+    #[test]
+    fn shims_reproduce_the_builder_output() {
+        assert_eq!(SystemConfig::cc_numa(), System::cc_numa().build());
+        assert_eq!(
+            SystemConfig::perfect_cc_numa(),
+            System::perfect_cc_numa().build()
+        );
+        assert_eq!(
+            SystemConfig::cc_numa_migrep(),
+            System::cc_numa().with(MigRep::both()).build()
+        );
+        assert_eq!(SystemConfig::r_numa(), System::r_numa().build());
+        assert_eq!(
+            SystemConfig::r_numa_half(),
+            System::r_numa().with(PageCaching::half()).build()
+        );
+        assert_eq!(
+            SystemConfig::r_numa_migrep(PageCacheConfig::PAPER_HALF, 32_000),
+            System::r_numa()
+                .with(PageCaching::half())
+                .with(MigRep::both())
+                .relocation_delay(32_000)
+                .build()
+        );
+    }
 
     #[test]
     fn cc_numa_variants_share_the_block_cache() {

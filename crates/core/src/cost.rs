@@ -218,8 +218,14 @@ mod tests {
         assert_eq!(c.soft_trap, Cycles::from_micros(50.0));
         assert_eq!(c.tlb_shootdown, Cycles::from_micros(5.0));
         // 10 us (6000 cycles) of additional page copy cost.
-        assert_eq!(c.page_copy_min, CostModel::base().page_copy_min + Cycles::new(6000));
-        assert_eq!(c.page_copy_max, CostModel::base().page_copy_max + Cycles::new(6000));
+        assert_eq!(
+            c.page_copy_min,
+            CostModel::base().page_copy_min + Cycles::new(6000)
+        );
+        assert_eq!(
+            c.page_copy_max,
+            CostModel::base().page_copy_max + Cycles::new(6000)
+        );
         // Block-level latencies unchanged.
         assert_eq!(c.remote_miss, CostModel::base().remote_miss);
     }

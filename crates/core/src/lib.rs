@@ -17,10 +17,16 @@
 //!   threshold, relocates the page into a local S-COMA page cache so that
 //!   further misses are satisfied from local memory at block granularity.
 //!
+//! Each technique is a [`RelocationPolicy`] implementation; the simulator
+//! core is policy-agnostic and drives whatever stack of policies the system
+//! configuration prescribes.  Systems are composed with the [`System`]
+//! builder; see the [`policy`] module for how to plug in a third-party
+//! policy.
+//!
 //! # Quick start
 //!
 //! ```
-//! use dsm_core::{ClusterSimulator, MachineConfig, SystemConfig};
+//! use dsm_core::{ClusterSimulator, MachineConfig, System};
 //! use mem_trace::{GlobalAddr, ProcId, TraceBuilder};
 //!
 //! // A toy trace: processor 4 (node 1) repeatedly reads two blocks that are
@@ -39,25 +45,29 @@
 //! b.barrier_all();
 //! let trace = b.build();
 //!
-//! let base = ClusterSimulator::new(machine, SystemConfig::cc_numa()).run(&trace);
-//! let rnuma = ClusterSimulator::new(machine, SystemConfig::r_numa()).run(&trace);
+//! let base = ClusterSimulator::new(machine, System::cc_numa().build()).run(&trace);
+//! let rnuma = ClusterSimulator::new(machine, System::r_numa().build()).run(&trace);
 //! assert!(rnuma.execution_time < base.execution_time);
 //! assert!(rnuma.total_remote_misses() < base.total_remote_misses());
 //! ```
 
+pub mod builder;
 pub mod config;
 pub mod cost;
 pub mod migrep;
 pub mod node;
 pub mod placement;
+pub mod policy;
 pub mod rnuma;
 pub mod simulator;
 pub mod stats;
 
+pub use builder::{BlockCaching, MigRep, PageCaching, System, SystemBuilder, SystemFeature};
 pub use config::{MachineConfig, MigRepConfig, SystemConfig};
 pub use cost::{CostModel, Thresholds};
-pub use migrep::{MigRepEngine, PageOp};
+pub use migrep::MigRepEngine;
 pub use placement::PagePlacement;
+pub use policy::{PageOp, PolicyFactory, PolicyStats, RelocationPolicy};
 pub use rnuma::RNumaEngine;
 pub use simulator::ClusterSimulator;
 pub use stats::{NodeStats, SimResult};

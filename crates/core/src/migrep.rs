@@ -18,27 +18,12 @@
 
 use crate::config::MigRepConfig;
 use crate::cost::Thresholds;
+use crate::policy::{PolicyStats, RelocationPolicy};
 use mem_trace::{NodeId, PageId};
+use smp_node::page_table::PageMapping;
 use std::collections::HashMap;
 
-/// A page operation requested by the engine.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum PageOp {
-    /// Replicate `page` read-only onto `to`.
-    Replicate {
-        /// Page to replicate.
-        page: PageId,
-        /// Node receiving the replica.
-        to: NodeId,
-    },
-    /// Migrate `page` from its current home to `to`.
-    Migrate {
-        /// Page to migrate.
-        page: PageId,
-        /// The new home node.
-        to: NodeId,
-    },
-}
+pub use crate::policy::PageOp;
 
 #[derive(Debug, Clone, Default)]
 struct PageCounters {
@@ -62,7 +47,6 @@ impl PageCounters {
     fn total_writes(&self) -> u64 {
         self.writes.values().sum()
     }
-
 }
 
 /// The migration/replication policy engine.
@@ -74,6 +58,8 @@ pub struct MigRepEngine {
     counters: HashMap<PageId, PageCounters>,
     /// Per-page bitmask of nodes holding read-only replicas.
     replicas: HashMap<PageId, u64>,
+    /// Operations decided but not yet drained by the simulator.
+    pending: Vec<PageOp>,
     migrations: u64,
     replications: u64,
     switches_to_rw: u64,
@@ -88,6 +74,7 @@ impl MigRepEngine {
             reset_interval: thresholds.migrep_reset_interval,
             counters: HashMap::new(),
             replicas: HashMap::new(),
+            pending: Vec::new(),
             migrations: 0,
             replications: 0,
             switches_to_rw: 0,
@@ -219,6 +206,62 @@ impl MigRepEngine {
     /// The policy configuration.
     pub fn config(&self) -> MigRepConfig {
         self.cfg
+    }
+}
+
+impl RelocationPolicy for MigRepEngine {
+    fn name(&self) -> &'static str {
+        match (self.cfg.migration, self.cfg.replication) {
+            (true, true) => "MigRep",
+            (true, false) => "Mig",
+            (false, true) => "Rep",
+            (false, false) => "MigRep-off",
+        }
+    }
+
+    /// Nodes holding a replica map faulting pages as replicas instead of
+    /// remote CC-NUMA pages.
+    fn classify_page(&self, page: PageId, node: NodeId, home: NodeId) -> Option<PageMapping> {
+        if self.holds_replica(page, node) {
+            Some(PageMapping::replica(home))
+        } else {
+            None
+        }
+    }
+
+    fn on_remote_miss(&mut self, page: PageId, home: NodeId, requester: NodeId, is_write: bool) {
+        if let Some(op) = self.record_miss(page, home, requester, is_write) {
+            self.pending.push(op);
+        }
+    }
+
+    fn drain_ops(&mut self) -> Vec<PageOp> {
+        std::mem::take(&mut self.pending)
+    }
+
+    fn on_write_to_read_only(&mut self, page: PageId) -> Vec<NodeId> {
+        self.switch_to_read_write(page)
+    }
+
+    fn page_is_replicated(&self, page: PageId) -> bool {
+        self.is_replicated(page)
+    }
+
+    fn note_op_performed(&mut self, op: &PageOp) {
+        match *op {
+            PageOp::Replicate { page, to } => self.note_replicated(page, to),
+            PageOp::Migrate { page, .. } => self.note_migrated(page),
+            PageOp::Relocate { .. } => {}
+        }
+    }
+
+    fn stats(&self) -> PolicyStats {
+        PolicyStats {
+            migrations: self.migrations,
+            replications: self.replications,
+            relocations: 0,
+            switches_to_rw: self.switches_to_rw,
+        }
     }
 }
 

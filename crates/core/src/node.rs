@@ -88,16 +88,17 @@ impl NodeState {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::{MachineConfig, SystemConfig};
+    use crate::builder::System;
+    use crate::config::MachineConfig;
 
     #[test]
     fn node_state_builds_hardware_per_system() {
         let machine = MachineConfig::tiny();
-        let cc = NodeState::new(0, &SystemConfig::cc_numa());
+        let cc = NodeState::new(0, &System::cc_numa().build());
         assert!(cc.block_cache.is_some());
         assert!(cc.page_cache.is_none());
 
-        let rn = NodeState::new(0, &SystemConfig::r_numa());
+        let rn = NodeState::new(0, &System::r_numa().build());
         assert!(rn.block_cache.is_none());
         assert!(rn.page_cache.is_some());
         assert!(!rn.page_in_page_cache(PageId(0)));

@@ -1,0 +1,331 @@
+//! The pluggable page-relocation policy interface.
+//!
+//! The paper's four systems are one machine with different page-relocation
+//! policies bolted on: plain CC-NUMA runs no policy, CC-NUMA+MigRep runs the
+//! home-node migration/replication engine, R-NUMA runs the per-node reactive
+//! relocation engine, and the Section 6.4 hybrid runs both at once.  The
+//! [`RelocationPolicy`] trait captures the full surface through which those
+//! engines observe and steer the simulated memory system, so the simulator
+//! core is policy-agnostic: it drives a `Vec<Box<dyn RelocationPolicy>>` and
+//! never branches on which concrete engines are installed.
+//!
+//! # Writing a third-party policy
+//!
+//! A policy is an ordinary struct implementing [`RelocationPolicy`].  Every
+//! hook has a no-op default, so a policy only implements the events it cares
+//! about.  The contract:
+//!
+//! 1. **Observation hooks** ([`RelocationPolicy::on_miss`],
+//!    [`RelocationPolicy::on_remote_miss`], [`RelocationPolicy::on_refetch`])
+//!    fire as the simulator services accesses.  They must only update the
+//!    policy's internal counters and (optionally) enqueue [`PageOp`]s.
+//! 2. **[`RelocationPolicy::drain_ops`]** returns the operations the policy
+//!    wants performed.  The simulator drains after every home-counted miss
+//!    ([`RelocationPolicy::on_remote_miss`] /
+//!    [`RelocationPolicy::on_refetch`] call sites); operations enqueued
+//!    from [`RelocationPolicy::on_miss`] are collected at the next such
+//!    drain point, which for a remote miss is later in servicing the same
+//!    access.  Drained operations are performed at once, their latency is
+//!    charged to the faulting processor, and each completed operation is
+//!    reported back through [`RelocationPolicy::note_op_performed`] (to
+//!    *every* installed policy, so policies can observe each other's
+//!    operations).  An operation that cannot apply — relocating on a system
+//!    with no page cache, migrating a page already homed on the target —
+//!    is skipped without latency and without a completion notification.
+//! 3. **Query hooks** ([`RelocationPolicy::classify_page`],
+//!    [`RelocationPolicy::page_is_replicated`],
+//!    [`RelocationPolicy::on_write_to_read_only`]) let the simulator ask
+//!    about policy-owned page state (replica sets) when it maps pages or
+//!    services protection faults.
+//!
+//! Policies must be deterministic: the simulator is single-threaded per run
+//! and results are compared bit-for-bit across runs.
+//!
+//! ```
+//! use dsm_core::policy::{PageOp, PolicyStats, RelocationPolicy};
+//! use dsm_core::{ClusterSimulator, MachineConfig, System};
+//! use mem_trace::{NodeId, PageId};
+//!
+//! /// A toy policy: migrate every page to node 0 on its 64th home miss.
+//! #[derive(Debug, Default)]
+//! struct DrainToNodeZero {
+//!     misses: std::collections::HashMap<PageId, u64>,
+//!     pending: Vec<PageOp>,
+//!     migrations: u64,
+//! }
+//!
+//! impl RelocationPolicy for DrainToNodeZero {
+//!     fn name(&self) -> &'static str {
+//!         "drain-to-node-0"
+//!     }
+//!
+//!     fn on_remote_miss(&mut self, page: PageId, home: NodeId, _req: NodeId, _w: bool) {
+//!         let count = self.misses.entry(page).or_insert(0);
+//!         *count += 1;
+//!         if *count == 64 && home != NodeId(0) {
+//!             self.pending.push(PageOp::Migrate { page, to: NodeId(0) });
+//!         }
+//!     }
+//!
+//!     fn drain_ops(&mut self) -> Vec<PageOp> {
+//!         std::mem::take(&mut self.pending)
+//!     }
+//!
+//!     fn note_op_performed(&mut self, op: &PageOp) {
+//!         if let PageOp::Migrate { .. } = op {
+//!             self.migrations += 1;
+//!         }
+//!     }
+//!
+//!     fn stats(&self) -> PolicyStats {
+//!         PolicyStats {
+//!             migrations: self.migrations,
+//!             ..PolicyStats::default()
+//!         }
+//!     }
+//! }
+//!
+//! // Policies are registered as factories so each simulation run gets a
+//! // fresh instance.
+//! let system = System::cc_numa()
+//!     .policy(|| Box::new(DrainToNodeZero::default()))
+//!     .named("CC-NUMA+drain")
+//!     .build();
+//! let _sim = ClusterSimulator::new(MachineConfig::PAPER, system);
+//! ```
+
+use crate::config::SystemConfig;
+use crate::migrep::MigRepEngine;
+use crate::rnuma::RNumaEngine;
+use mem_trace::{NodeId, PageId};
+use smp_node::classify::MissClass;
+use smp_node::page_table::PageMapping;
+
+/// A page operation requested by a relocation policy.
+///
+/// The simulator carries these out (moving data, rewriting page tables,
+/// charging Table 3 latencies) and then reports completion back to every
+/// installed policy via [`RelocationPolicy::note_op_performed`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageOp {
+    /// Replicate `page` read-only onto `to`.
+    Replicate {
+        /// Page to replicate.
+        page: PageId,
+        /// Node receiving the replica.
+        to: NodeId,
+    },
+    /// Migrate `page` from its current home to `to`.
+    Migrate {
+        /// Page to migrate.
+        page: PageId,
+        /// The new home node.
+        to: NodeId,
+    },
+    /// Relocate `page` into `to`'s S-COMA page cache (R-NUMA).  Ignored on
+    /// systems whose nodes have no page cache.
+    Relocate {
+        /// Page to relocate.
+        page: PageId,
+        /// Node whose page cache receives the page.
+        to: NodeId,
+    },
+}
+
+/// Counters a policy exposes for reporting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PolicyStats {
+    /// Pages migrated at this policy's request.
+    pub migrations: u64,
+    /// Read-only replicas installed at this policy's request.
+    pub replications: u64,
+    /// Pages relocated into a page cache at this policy's request.
+    pub relocations: u64,
+    /// Replicated pages switched back to a single read-write copy.
+    pub switches_to_rw: u64,
+}
+
+impl PolicyStats {
+    /// Total page operations of any kind.
+    pub fn page_operations(&self) -> u64 {
+        self.migrations + self.replications + self.relocations
+    }
+}
+
+/// The interface between the cluster simulator and a page-relocation policy.
+///
+/// See the [module documentation](self) for the hook contract and an example
+/// third-party policy.
+pub trait RelocationPolicy: std::fmt::Debug + Send {
+    /// Short display name ("MigRep", "R-NUMA", ...).
+    fn name(&self) -> &'static str;
+
+    /// A node takes a soft page fault on its first reference to `page`
+    /// (currently homed on `home`): does this policy want a non-default
+    /// mapping installed?  The first policy returning `Some` wins; `None`
+    /// from every policy yields the plain CC-NUMA mapping (local-home or
+    /// remote).
+    fn classify_page(&self, page: PageId, node: NodeId, home: NodeId) -> Option<PageMapping> {
+        let _ = (page, node, home);
+        None
+    }
+
+    /// Any processor-cache data miss to `page`, before it is serviced.
+    fn on_miss(&mut self, page: PageId) {
+        let _ = page;
+    }
+
+    /// A miss to `page` was counted by the home node's hardware: `requester`
+    /// missed on a page homed on `home`.  `requester == home` for misses by
+    /// the home node itself (observed on its own memory bus).
+    fn on_remote_miss(&mut self, page: PageId, home: NodeId, requester: NodeId, is_write: bool) {
+        let _ = (page, home, requester, is_write);
+    }
+
+    /// `node` fetched a block of remote page `page` again after having
+    /// evicted it (`class` is the miss classification of the refetch).
+    fn on_refetch(&mut self, node: NodeId, page: PageId, class: MissClass) {
+        let _ = (node, page, class);
+    }
+
+    /// Page operations the policy wants performed now, in order.  The
+    /// simulator performs them immediately after the observation hook that
+    /// produced them; operations must not be left pending across events.
+    fn drain_ops(&mut self) -> Vec<PageOp> {
+        Vec::new()
+    }
+
+    /// A write hit a read-only page: the policy must drop whatever replica
+    /// bookkeeping it holds for `page` and return the nodes whose replicas
+    /// have to be invalidated and remapped.
+    fn on_write_to_read_only(&mut self, page: PageId) -> Vec<NodeId> {
+        let _ = page;
+        Vec::new()
+    }
+
+    /// `true` if this policy currently holds read-only replicas of `page`
+    /// (replicated pages are never migration candidates).
+    fn page_is_replicated(&self, page: PageId) -> bool {
+        let _ = page;
+        false
+    }
+
+    /// A page operation (requested by *any* policy) completed.
+    fn note_op_performed(&mut self, op: &PageOp) {
+        let _ = op;
+    }
+
+    /// The policy's own operation counters — an introspection surface for
+    /// policy authors (unit tests, debugging).  Reported results come from
+    /// the per-node [`NodeStats`](crate::NodeStats) the simulator maintains,
+    /// not from this hook.
+    fn stats(&self) -> PolicyStats {
+        PolicyStats::default()
+    }
+}
+
+/// A cloneable constructor for a boxed policy.
+///
+/// [`SystemConfig`] values are cloned freely (one clone per simulation run,
+/// possibly across worker threads), while a running policy is stateful and
+/// unique to its run — so configurations carry policy *factories* and each
+/// [`ClusterSimulator::run`](crate::ClusterSimulator::run) instantiates a
+/// fresh stack.
+#[derive(Clone)]
+pub struct PolicyFactory(std::sync::Arc<dyn Fn() -> Box<dyn RelocationPolicy> + Send + Sync>);
+
+impl PolicyFactory {
+    /// Wrap a constructor closure.
+    pub fn new(f: impl Fn() -> Box<dyn RelocationPolicy> + Send + Sync + 'static) -> Self {
+        PolicyFactory(std::sync::Arc::new(f))
+    }
+
+    /// Construct a fresh policy instance.
+    pub fn instantiate(&self) -> Box<dyn RelocationPolicy> {
+        (self.0)()
+    }
+}
+
+impl std::fmt::Debug for PolicyFactory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PolicyFactory({})", self.instantiate().name())
+    }
+}
+
+impl PartialEq for PolicyFactory {
+    fn eq(&self, other: &Self) -> bool {
+        std::sync::Arc::ptr_eq(&self.0, &other.0)
+    }
+}
+
+/// Build the policy stack a [`SystemConfig`] prescribes: the home-node
+/// migration/replication engine if `migrep` is configured, then the per-node
+/// reactive relocation engine if the system has a page cache, then any
+/// extra policies installed through
+/// [`SystemBuilder::policy`](crate::builder::SystemBuilder::policy).
+///
+/// The order matters and mirrors the paper: on each event the home node's
+/// MigRep hardware decides first, then the requester's R-NUMA counters.
+pub fn policies_for(system: &SystemConfig) -> Vec<Box<dyn RelocationPolicy>> {
+    let mut policies: Vec<Box<dyn RelocationPolicy>> = Vec::new();
+    if let Some(cfg) = system.migrep {
+        policies.push(Box::new(MigRepEngine::new(cfg, system.thresholds)));
+    }
+    if system.page_cache.is_some() {
+        policies.push(Box::new(RNumaEngine::new(system.thresholds)));
+    }
+    for extra in &system.extra_policies {
+        policies.push(extra.instantiate());
+    }
+    policies
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{MigRep, System};
+
+    #[test]
+    fn policy_stack_matches_system_config() {
+        let none = policies_for(&System::cc_numa().build());
+        assert!(none.is_empty());
+
+        let migrep = policies_for(&System::cc_numa().with(MigRep::both()).build());
+        assert_eq!(migrep.len(), 1);
+        assert_eq!(migrep[0].name(), "MigRep");
+
+        let rnuma = policies_for(&System::r_numa().build());
+        assert_eq!(rnuma.len(), 1);
+        assert_eq!(rnuma[0].name(), "R-NUMA");
+
+        let hybrid = policies_for(&System::r_numa().with(MigRep::both()).build());
+        assert_eq!(hybrid.len(), 2);
+        assert_eq!(hybrid[0].name(), "MigRep");
+        assert_eq!(hybrid[1].name(), "R-NUMA");
+    }
+
+    #[test]
+    fn default_hooks_are_inert() {
+        #[derive(Debug)]
+        struct Inert;
+        impl RelocationPolicy for Inert {
+            fn name(&self) -> &'static str {
+                "inert"
+            }
+        }
+        let mut p = Inert;
+        assert!(p.classify_page(PageId(1), NodeId(0), NodeId(1)).is_none());
+        p.on_miss(PageId(1));
+        p.on_remote_miss(PageId(1), NodeId(0), NodeId(1), false);
+        p.on_refetch(NodeId(1), PageId(1), MissClass::CapacityConflict);
+        assert!(p.drain_ops().is_empty());
+        assert!(p.on_write_to_read_only(PageId(1)).is_empty());
+        assert!(!p.page_is_replicated(PageId(1)));
+        p.note_op_performed(&PageOp::Migrate {
+            page: PageId(1),
+            to: NodeId(0),
+        });
+        assert_eq!(p.stats(), PolicyStats::default());
+        assert_eq!(p.stats().page_operations(), 0);
+    }
+}

@@ -13,7 +13,9 @@
 //! migration/replication counters a chance to observe un-perturbed traffic.
 
 use crate::cost::Thresholds;
+use crate::policy::{PageOp, PolicyStats, RelocationPolicy};
 use mem_trace::{NodeId, PageId};
+use smp_node::classify::MissClass;
 use std::collections::HashMap;
 
 /// The per-node reactive relocation policy.
@@ -25,6 +27,8 @@ pub struct RNumaEngine {
     refetch: HashMap<(NodeId, PageId), u64>,
     /// Total misses observed per page (all nodes), for the hybrid's delay.
     page_misses: HashMap<PageId, u64>,
+    /// Relocations decided but not yet drained by the simulator.
+    pending: Vec<PageOp>,
     relocations: u64,
 }
 
@@ -36,6 +40,7 @@ impl RNumaEngine {
             relocation_delay: thresholds.rnuma_relocation_delay,
             refetch: HashMap::new(),
             page_misses: HashMap::new(),
+            pending: Vec::new(),
             relocations: 0,
         }
     }
@@ -85,6 +90,43 @@ impl RNumaEngine {
     /// The relocation threshold.
     pub fn threshold(&self) -> u64 {
         self.threshold
+    }
+}
+
+impl RelocationPolicy for RNumaEngine {
+    fn name(&self) -> &'static str {
+        "R-NUMA"
+    }
+
+    /// Every data miss feeds the hybrid's relocation-delay window.
+    fn on_miss(&mut self, page: PageId) {
+        self.record_page_miss(page);
+    }
+
+    /// Capacity/conflict refetches drive the relocation decision; other
+    /// miss classes are ignored (cold and coherence misses would recur in
+    /// the page cache just the same).
+    fn on_refetch(&mut self, node: NodeId, page: PageId, class: MissClass) {
+        if class == MissClass::CapacityConflict && self.record_refetch(node, page) {
+            self.pending.push(PageOp::Relocate { page, to: node });
+        }
+    }
+
+    fn drain_ops(&mut self) -> Vec<PageOp> {
+        std::mem::take(&mut self.pending)
+    }
+
+    fn note_op_performed(&mut self, op: &PageOp) {
+        if let PageOp::Relocate { page, to } = *op {
+            self.note_relocated(to, page);
+        }
+    }
+
+    fn stats(&self) -> PolicyStats {
+        PolicyStats {
+            relocations: self.relocations,
+            ..PolicyStats::default()
+        }
     }
 }
 

@@ -10,7 +10,7 @@
 //! clocks exactly as the PARMACS synchronization of the original SPLASH-2
 //! programs would.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeSet, HashMap, VecDeque};
 
 use dsm_protocol::block_cache::BlockState;
 use dsm_protocol::directory::{DataSource, Directory, DirectoryState};
@@ -26,10 +26,9 @@ use smp_node::page_table::{PageMapping, PageMode, PageProtection};
 use smp_node::BusTransaction;
 
 use crate::config::{MachineConfig, SystemConfig};
-use crate::migrep::{MigRepEngine, PageOp};
 use crate::node::{NodeState, ProcState, Waiting};
 use crate::placement::PagePlacement;
-use crate::rnuma::RNumaEngine;
+use crate::policy::{policies_for, PageOp, RelocationPolicy};
 use crate::stats::SimResult;
 
 /// Simulates one system configuration on one machine configuration.
@@ -88,8 +87,11 @@ struct RunState<'a> {
     placement: PagePlacement,
     directory: Directory,
     network: Interconnect,
-    migrep: Option<MigRepEngine>,
-    rnuma: Option<RNumaEngine>,
+    /// The page-relocation policy stack prescribed by the system
+    /// configuration (MigRep engine, R-NUMA engine, third-party policies).
+    /// The simulator drives these through the [`RelocationPolicy`] hooks and
+    /// never branches on which concrete policies are installed.
+    policies: Vec<Box<dyn RelocationPolicy>>,
     locks: HashMap<u32, LockState>,
     barrier_waiting: Vec<u16>,
     accesses: u64,
@@ -105,7 +107,9 @@ impl<'a> RunState<'a> {
         RunState {
             machine,
             system,
-            procs: (0..total_procs).map(|_| ProcState::new(machine.l1)).collect(),
+            procs: (0..total_procs)
+                .map(|_| ProcState::new(machine.l1))
+                .collect(),
             nodes,
             placement: PagePlacement::new(),
             directory: Directory::new(),
@@ -113,12 +117,7 @@ impl<'a> RunState<'a> {
                 machine.topology.nodes as usize,
                 system.costs.network_latency,
             ),
-            migrep: system
-                .migrep
-                .map(|cfg| MigRepEngine::new(cfg, system.thresholds)),
-            rnuma: system
-                .page_cache
-                .map(|_| RNumaEngine::new(system.thresholds)),
+            policies: policies_for(system),
             locks: HashMap::new(),
             barrier_waiting: Vec::new(),
             accesses: 0,
@@ -164,11 +163,7 @@ impl<'a> RunState<'a> {
                     let latency = self.service_access(pid, m, now);
                     self.procs[pid].time += latency;
                     self.accesses += 1;
-                    let nidx = self
-                        .machine
-                        .topology
-                        .node_of(ProcId(pid as u16))
-                        .index();
+                    let nidx = self.machine.topology.node_of(ProcId(pid as u16)).index();
                     self.nodes[nidx].stats.memory_stall_cycles += latency;
                     self.reschedule(pid, &mut queue, events.len());
                 }
@@ -310,18 +305,20 @@ impl<'a> RunState<'a> {
             None => {
                 let home = self.placement.first_touch(page, node_id);
                 latency += costs.soft_trap;
-                let replica = self
-                    .migrep
-                    .as_ref()
-                    .map(|e| e.holds_replica(page, node_id))
-                    .unwrap_or(false);
-                let mp = if replica {
-                    PageMapping::replica(home)
-                } else if home == node_id {
-                    PageMapping::new(PageMode::LocalHome, home)
-                } else {
-                    PageMapping::new(PageMode::RemoteCcNuma, home)
-                };
+                // A policy may want a non-default mapping (e.g. MigRep maps
+                // pages this node holds replicas of as replicas); otherwise
+                // the page gets the plain CC-NUMA mapping.
+                let mp = self
+                    .policies
+                    .iter()
+                    .find_map(|p| p.classify_page(page, node_id, home))
+                    .unwrap_or_else(|| {
+                        if home == node_id {
+                            PageMapping::new(PageMode::LocalHome, home)
+                        } else {
+                            PageMapping::new(PageMode::RemoteCcNuma, home)
+                        }
+                    });
                 self.nodes[nidx].page_table.map(page, mp);
                 mp
             }
@@ -331,8 +328,7 @@ impl<'a> RunState<'a> {
         if is_write && mapping.protection == PageProtection::ReadOnly {
             latency += costs.soft_trap;
             latency += self.switch_page_to_read_write(page, nidx, node_id, now + latency);
-            mapping = self
-                .nodes[nidx]
+            mapping = self.nodes[nidx]
                 .page_table
                 .lookup(page)
                 .expect("page remapped after switch to read-write");
@@ -366,8 +362,16 @@ impl<'a> RunState<'a> {
                     self.handle_l1_victim(pid, nidx, node_id, v, now);
                 }
                 let class = self.procs[pid].classifier.classify_miss(block);
-                latency +=
-                    self.service_data_miss(nidx, node_id, page, block, m.kind, class, mapping, now + latency);
+                latency += self.service_data_miss(
+                    nidx,
+                    node_id,
+                    page,
+                    block,
+                    m.kind,
+                    class,
+                    mapping,
+                    now + latency,
+                );
                 let fill_state = if is_write {
                     LineState::Modified
                 } else {
@@ -417,16 +421,17 @@ impl<'a> RunState<'a> {
             );
             self.nodes[nidx].stats.remote_misses += 1;
             // Ownership requests reach the home node and are counted by its
-            // migration/replication hardware.
-            let decision = if mapping.mode == PageMode::RemoteCcNuma {
-                self.migrep
-                    .as_mut()
-                    .and_then(|engine| engine.record_miss(page, home, node_id, true))
+            // relocation policies.
+            let ops = if mapping.mode == PageMode::RemoteCcNuma {
+                self.record_home_miss(page, home, node_id, true)
             } else {
-                None
+                Vec::new()
             };
-            if let Some(op) = decision {
-                let extra = self.perform_page_op(op, now);
+            if !ops.is_empty() {
+                let mut extra = Cycles::ZERO;
+                for op in ops {
+                    extra += self.perform_page_op(op, now + extra);
+                }
                 return costs.remote_miss.max(t - now) + extra;
             }
             costs.remote_miss.max(t - now)
@@ -473,8 +478,8 @@ impl<'a> RunState<'a> {
         let costs = self.system.costs;
         let is_write = kind.is_write();
         let home = self.placement.home_of(page).unwrap_or(node_id);
-        if let Some(engine) = self.rnuma.as_mut() {
-            engine.record_page_miss(page);
+        for policy in &mut self.policies {
+            policy.on_miss(page);
         }
 
         match mapping.mode {
@@ -524,19 +529,23 @@ impl<'a> RunState<'a> {
                     costs.local_miss.max(t - now)
                 };
 
+                let mut latency = latency;
                 if mapping.mode == PageMode::LocalHome {
-                    if let Some(engine) = self.migrep.as_mut() {
-                        // Local misses are counted so that the home-vs-requester
-                        // comparison in the migration policy sees them.
-                        let _ = engine.record_miss(page, home, node_id, is_write);
+                    // Local misses are counted so that the home-vs-requester
+                    // comparison in the migration policy sees them.  The
+                    // built-in engines never decide on home-local misses, but
+                    // a third-party policy may; its operations are honoured
+                    // here like anywhere else.
+                    let ops = self.record_home_miss(page, home, node_id, is_write);
+                    for op in ops {
+                        latency += self.perform_page_op(op, now + latency);
                     }
                 }
                 latency
             }
 
             PageMode::SComa => {
-                let present = self
-                    .nodes[nidx]
+                let present = self.nodes[nidx]
                     .page_cache
                     .as_mut()
                     .expect("S-COMA mapping without a page cache")
@@ -572,7 +581,8 @@ impl<'a> RunState<'a> {
                 } else {
                     // Fine-grain miss in the page cache: fetch from the home
                     // and install the block locally.
-                    let latency = self.remote_fetch(nidx, node_id, home, block, is_write, class, now);
+                    let latency =
+                        self.remote_fetch(nidx, node_id, home, block, is_write, class, now);
                     self.nodes[nidx]
                         .page_cache
                         .as_mut()
@@ -583,8 +593,7 @@ impl<'a> RunState<'a> {
             }
 
             PageMode::RemoteCcNuma => {
-                let block_cache_hit = self
-                    .nodes[nidx]
+                let block_cache_hit = self.nodes[nidx]
                     .block_cache
                     .as_mut()
                     .map(|bc| bc.lookup(block).is_some())
@@ -631,10 +640,21 @@ impl<'a> RunState<'a> {
                         )
                     });
                     if let Some((victim_block, victim_state)) = victim {
-                        self.handle_block_cache_victim(nidx, node_id, victim_block, victim_state, now);
+                        self.handle_block_cache_victim(
+                            nidx,
+                            node_id,
+                            victim_block,
+                            victim_state,
+                            now,
+                        );
                     }
                     latency += self.policy_after_home_miss(
-                        page, home, node_id, nidx, is_write, class, now + latency,
+                        page,
+                        home,
+                        node_id,
+                        is_write,
+                        class,
+                        now + latency,
                     );
                     latency
                 }
@@ -718,45 +738,60 @@ impl<'a> RunState<'a> {
     }
 
     /// Policy hooks that fire when a miss actually reached the page's home
-    /// node: the home's migration/replication counters and the requesting
-    /// node's R-NUMA refetch counters.
-    #[allow(clippy::too_many_arguments)]
+    /// node: every policy observes the home-counted miss and the requesting
+    /// node's refetch, and the operations they request are performed in
+    /// policy order, each charged at the time the previous one completed.
     fn policy_after_home_miss(
         &mut self,
         page: PageId,
         home: NodeId,
         node_id: NodeId,
-        nidx: usize,
         is_write: bool,
         class: MissClass,
         now: Cycles,
     ) -> Cycles {
-        let mut extra = Cycles::ZERO;
-        let decision = self
-            .migrep
-            .as_mut()
-            .and_then(|engine| engine.record_miss(page, home, node_id, is_write));
-        if let Some(op) = decision {
-            extra += self.perform_page_op(op, now);
+        let mut ops = Vec::new();
+        for policy in &mut self.policies {
+            policy.on_remote_miss(page, home, node_id, is_write);
+            policy.on_refetch(node_id, page, class);
+            ops.extend(policy.drain_ops());
         }
-
-        if self.system.page_cache.is_some() && class == MissClass::CapacityConflict {
-            let relocate = self
-                .rnuma
-                .as_mut()
-                .map(|engine| engine.record_refetch(node_id, page))
-                .unwrap_or(false);
-            if relocate {
-                extra += self.relocate_page(page, nidx, node_id, now + extra);
-            }
+        let mut extra = Cycles::ZERO;
+        for op in ops {
+            extra += self.perform_page_op(op, now + extra);
         }
         extra
+    }
+
+    /// Let every policy count a miss that reached `page`'s home node, and
+    /// collect the page operations they want performed in response.
+    fn record_home_miss(
+        &mut self,
+        page: PageId,
+        home: NodeId,
+        requester: NodeId,
+        is_write: bool,
+    ) -> Vec<PageOp> {
+        let mut ops = Vec::new();
+        for policy in &mut self.policies {
+            policy.on_remote_miss(page, home, requester, is_write);
+            ops.extend(policy.drain_ops());
+        }
+        ops
+    }
+
+    /// Report a completed page operation to every policy.
+    fn notify_op_performed(&mut self, op: &PageOp) {
+        for policy in &mut self.policies {
+            policy.note_op_performed(op);
+        }
     }
 
     fn perform_page_op(&mut self, op: PageOp, now: Cycles) -> Cycles {
         match op {
             PageOp::Replicate { page, to } => self.replicate_page(page, to, now),
             PageOp::Migrate { page, to } => self.migrate_page(page, to, now),
+            PageOp::Relocate { page, to } => self.relocate_page(page, to, now),
         }
     }
 
@@ -777,11 +812,11 @@ impl<'a> RunState<'a> {
         }
         let latency = (costs.soft_trap + costs.page_copy_cost(BLOCKS_PER_PAGE as u32)).max(t - now);
 
-        if let Some(engine) = self.migrep.as_mut() {
-            engine.note_replicated(page, to);
-        }
+        self.notify_op_performed(&PageOp::Replicate { page, to });
         let to_idx = to.index();
-        self.nodes[to_idx].page_table.map(page, PageMapping::replica(home));
+        self.nodes[to_idx]
+            .page_table
+            .map(page, PageMapping::replica(home));
         self.nodes[to_idx].stats.replications += 1;
         self.nodes[to_idx].stats.page_op_cycles += latency;
         latency
@@ -789,12 +824,7 @@ impl<'a> RunState<'a> {
 
     fn migrate_page(&mut self, page: PageId, to: NodeId, now: Cycles) -> Cycles {
         let costs = self.system.costs;
-        if self
-            .migrep
-            .as_ref()
-            .map(|e| e.is_replicated(page))
-            .unwrap_or(false)
-        {
+        if self.policies.iter().any(|p| p.page_is_replicated(page)) {
             // Replicated pages are read-shared; migrating them would be a
             // policy error (the paper's engines prefer replication).
             return Cycles::ZERO;
@@ -805,9 +835,12 @@ impl<'a> RunState<'a> {
         };
 
         // Gather: invalidate and flush every cached copy of the page.
+        // `nodes_touched` is ordered so the control messages below go out in
+        // a deterministic node order (a HashSet here made MigRep runs differ
+        // run-to-run through network-interface queueing).
         let flushed = self.directory.purge_page(page);
         let mut blocks_cached = 0u32;
-        let mut nodes_touched: HashSet<usize> = HashSet::new();
+        let mut nodes_touched: BTreeSet<usize> = BTreeSet::new();
         for (block, holders) in &flushed {
             blocks_cached += 1;
             for holder in holders {
@@ -834,9 +867,7 @@ impl<'a> RunState<'a> {
         let latency = (costs.soft_trap + gather + copy + shootdowns).max(t - now);
 
         self.placement.migrate(page, to);
-        if let Some(engine) = self.migrep.as_mut() {
-            engine.note_migrated(page);
-        }
+        self.notify_op_performed(&PageOp::Migrate { page, to });
 
         // Update every node's view of the page.
         for (idx, node) in self.nodes.iter_mut().enumerate() {
@@ -850,7 +881,8 @@ impl<'a> RunState<'a> {
                         }
                     }
                     node.page_table.set_mode(page, PageMode::LocalHome);
-                    node.page_table.set_protection(page, PageProtection::ReadWrite);
+                    node.page_table
+                        .set_protection(page, PageProtection::ReadWrite);
                 } else if mp.mode == PageMode::LocalHome {
                     node.page_table.set_mode(page, PageMode::RemoteCcNuma);
                 }
@@ -875,14 +907,16 @@ impl<'a> RunState<'a> {
     ) -> Cycles {
         let costs = self.system.costs;
         let home = self.placement.home_of(page).unwrap_or(writer_node);
-        let holders = self
-            .migrep
-            .as_mut()
-            .map(|e| e.switch_to_read_write(page))
-            .unwrap_or_default();
+        let holders: Vec<NodeId> = self
+            .policies
+            .iter_mut()
+            .flat_map(|p| p.on_write_to_read_only(page))
+            .collect();
 
         let mut flushed_blocks = 0u32;
-        let mut t = self.network.send(writer_node, home, now, MsgKind::PageControl);
+        let mut t = self
+            .network
+            .send(writer_node, home, now, MsgKind::PageControl);
         for holder in &holders {
             t = self.network.send(home, *holder, t, MsgKind::PageControl);
             flushed_blocks += self.flush_page_on_node(holder.index(), page);
@@ -914,9 +948,17 @@ impl<'a> RunState<'a> {
         latency
     }
 
-    fn relocate_page(&mut self, page: PageId, nidx: usize, node_id: NodeId, now: Cycles) -> Cycles {
+    fn relocate_page(&mut self, page: PageId, node_id: NodeId, now: Cycles) -> Cycles {
         let costs = self.system.costs;
+        let nidx = node_id.index();
         // Flush the node's cached blocks of the page; they will be refetched
+        // A policy may request relocation on a system whose nodes have no
+        // S-COMA page cache (e.g. a third-party policy attached to a
+        // CC-NUMA base); there is nowhere to relocate to, so the operation
+        // is ignored rather than performed.
+        if self.nodes[nidx].page_cache.is_none() {
+            return Cycles::ZERO;
+        }
         // on demand into the page cache.
         let flushed = self.flush_page_on_node(nidx, page);
         for block in page.blocks() {
@@ -924,8 +966,7 @@ impl<'a> RunState<'a> {
         }
 
         let mut extra = Cycles::ZERO;
-        let outcome = self
-            .nodes[nidx]
+        let outcome = self.nodes[nidx]
             .page_cache
             .as_mut()
             .expect("relocation without a page cache")
@@ -955,7 +996,9 @@ impl<'a> RunState<'a> {
             for block in victim.blocks() {
                 self.directory.handle_eviction(block, node_id);
             }
-            extra += costs.page_alloc_cost(victim_blocks + victim_l1).max(t - now);
+            extra += costs
+                .page_alloc_cost(victim_blocks + victim_l1)
+                .max(t - now);
             self.nodes[nidx].stats.page_cache_replacements += 1;
         }
 
@@ -963,11 +1006,10 @@ impl<'a> RunState<'a> {
         self.nodes[nidx]
             .page_table
             .map(page, PageMapping::new(PageMode::SComa, home));
-        if let Some(engine) = self.rnuma.as_mut() {
-            engine.note_relocated(node_id, page);
-        }
+        self.notify_op_performed(&PageOp::Relocate { page, to: node_id });
 
-        let latency = costs.soft_trap + costs.tlb_shootdown + costs.page_alloc_cost(flushed) + extra;
+        let latency =
+            costs.soft_trap + costs.tlb_shootdown + costs.page_alloc_cost(flushed) + extra;
         self.nodes[nidx].stats.relocations += 1;
         self.nodes[nidx].stats.page_op_cycles += latency;
         latency
@@ -1005,7 +1047,12 @@ impl<'a> RunState<'a> {
 
     /// Intra-node coherence: a write by one processor invalidates the copies
     /// held by its siblings on the same node.
-    fn invalidate_block_in_sibling_procs(&mut self, nidx: usize, writer_pid: usize, block: BlockId) {
+    fn invalidate_block_in_sibling_procs(
+        &mut self,
+        nidx: usize,
+        writer_pid: usize,
+        block: BlockId,
+    ) {
         let topo = self.machine.topology;
         for proc in topo.procs_of(NodeId(nidx as u16)) {
             if proc.index() == writer_pid {
@@ -1044,7 +1091,14 @@ impl<'a> RunState<'a> {
         flushed
     }
 
-    fn handle_l1_victim(&mut self, pid: usize, nidx: usize, node_id: NodeId, victim: Victim, now: Cycles) {
+    fn handle_l1_victim(
+        &mut self,
+        pid: usize,
+        nidx: usize,
+        node_id: NodeId,
+        victim: Victim,
+        now: Cycles,
+    ) {
         self.procs[pid].classifier.record_eviction(victim.block);
         if !victim.state.is_dirty() {
             return;
@@ -1054,8 +1108,7 @@ impl<'a> RunState<'a> {
         let mode = self.nodes[nidx].page_table.lookup(vpage).map(|m| m.mode);
         match mode {
             Some(PageMode::RemoteCcNuma) => {
-                let written_back_locally = self
-                    .nodes[nidx]
+                let written_back_locally = self.nodes[nidx]
                     .block_cache
                     .as_mut()
                     .map(|bc| bc.mark_dirty(victim.block))
@@ -1103,12 +1156,11 @@ impl<'a> RunState<'a> {
     }
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::{MachineConfig, SystemConfig};
-    use dsm_protocol::PageCacheConfig;
+    use crate::builder::{MigRep, PageCaching, System};
+    use crate::config::MachineConfig;
     use mem_trace::{GlobalAddr, TraceBuilder, PAGE_SIZE};
 
     /// A stride that maps two blocks to the same line of both the processor
@@ -1185,8 +1237,8 @@ mod tests {
     fn perfect_cc_numa_is_never_slower_than_cc_numa() {
         let machine = MachineConfig::PAPER;
         let trace = conflict_loop_trace(&machine, 500);
-        let perfect = ClusterSimulator::new(machine, SystemConfig::perfect_cc_numa()).run(&trace);
-        let base = ClusterSimulator::new(machine, SystemConfig::cc_numa()).run(&trace);
+        let perfect = ClusterSimulator::new(machine, System::perfect_cc_numa().build()).run(&trace);
+        let base = ClusterSimulator::new(machine, System::cc_numa().build()).run(&trace);
         assert!(perfect.execution_time <= base.execution_time);
         assert!(perfect.total_remote_misses() <= base.total_remote_misses());
         // The conflicting blocks thrash the finite block cache but fit the
@@ -1199,8 +1251,8 @@ mod tests {
     fn r_numa_relocates_hot_conflicting_pages() {
         let machine = MachineConfig::PAPER;
         let trace = conflict_loop_trace(&machine, 500);
-        let base = ClusterSimulator::new(machine, SystemConfig::cc_numa()).run(&trace);
-        let rnuma = ClusterSimulator::new(machine, SystemConfig::r_numa()).run(&trace);
+        let base = ClusterSimulator::new(machine, System::cc_numa().build()).run(&trace);
+        let rnuma = ClusterSimulator::new(machine, System::r_numa().build()).run(&trace);
         assert!(rnuma.per_node_relocations() > 0.0, "expected relocations");
         assert!(rnuma.total_remote_misses() < base.total_remote_misses());
         assert!(rnuma.execution_time < base.execution_time);
@@ -1211,10 +1263,13 @@ mod tests {
         let machine = MachineConfig::PAPER;
         let trace = read_shared_trace(&machine, 400);
         let thresholds = scaled_thresholds();
-        let base = ClusterSimulator::new(machine, SystemConfig::cc_numa()).run(&trace);
+        let base = ClusterSimulator::new(machine, System::cc_numa().build()).run(&trace);
         let rep = ClusterSimulator::new(
             machine,
-            SystemConfig::cc_numa_rep().with_thresholds(thresholds),
+            System::cc_numa()
+                .with(MigRep::replication_only())
+                .with(thresholds)
+                .build(),
         )
         .run(&trace);
         let total_replications: u64 = rep.per_node.iter().map(|n| n.replications).sum();
@@ -1228,10 +1283,13 @@ mod tests {
         let machine = MachineConfig::PAPER;
         let trace = migration_trace(&machine, 600);
         let thresholds = scaled_thresholds();
-        let base = ClusterSimulator::new(machine, SystemConfig::cc_numa()).run(&trace);
+        let base = ClusterSimulator::new(machine, System::cc_numa().build()).run(&trace);
         let mig = ClusterSimulator::new(
             machine,
-            SystemConfig::cc_numa_mig().with_thresholds(thresholds),
+            System::cc_numa()
+                .with(MigRep::migration_only())
+                .with(thresholds)
+                .build(),
         )
         .run(&trace);
         let total_migrations: u64 = mig.per_node.iter().map(|n| n.migrations).sum();
@@ -1261,7 +1319,10 @@ mod tests {
 
         let rep = ClusterSimulator::new(
             machine,
-            SystemConfig::cc_numa_rep().with_thresholds(scaled_thresholds()),
+            System::cc_numa()
+                .with(MigRep::replication_only())
+                .with(scaled_thresholds())
+                .build(),
         )
         .run(&trace);
         let replications: u64 = rep.per_node.iter().map(|n| n.replications).sum();
@@ -1286,22 +1347,18 @@ mod tests {
             let p = round % pages;
             b.read(reader, GlobalAddr(p * PAGE_SIZE));
             // A second line in the same L1 set to force conflict evictions.
-            b.read(
-                reader,
-                GlobalAddr(p * PAGE_SIZE + machine.l1.size_bytes),
-            );
+            b.read(reader, GlobalAddr(p * PAGE_SIZE + machine.l1.size_bytes));
         }
         b.barrier_all();
         let trace = b.build();
 
-        let tiny_cache = SystemConfig::r_numa_with(PageCacheConfig::Finite {
-            size_bytes: 4 * PAGE_SIZE,
-        })
-        .with_thresholds(crate::cost::Thresholds {
-            rnuma_threshold: 2,
-            ..crate::cost::Thresholds::paper_fast()
-        });
-        let result = ClusterSimulator::new(machine, tiny_cache).run(&trace);
+        let tiny_cache = System::r_numa()
+            .with(PageCaching::bytes(4 * PAGE_SIZE))
+            .with(crate::cost::Thresholds {
+                rnuma_threshold: 2,
+                ..crate::cost::Thresholds::paper_fast()
+            });
+        let result = ClusterSimulator::new(machine, tiny_cache.build()).run(&trace);
         assert!(result.per_node_relocations() > 0.0);
         assert!(
             result.total_page_cache_replacements() > 0,
@@ -1311,10 +1368,13 @@ mod tests {
         // With an infinite page cache the same workload never replaces.
         let inf = ClusterSimulator::new(
             machine,
-            SystemConfig::r_numa_inf().with_thresholds(crate::cost::Thresholds {
-                rnuma_threshold: 2,
-                ..crate::cost::Thresholds::paper_fast()
-            }),
+            System::r_numa()
+                .with(PageCaching::infinite())
+                .with(crate::cost::Thresholds {
+                    rnuma_threshold: 2,
+                    ..crate::cost::Thresholds::paper_fast()
+                })
+                .build(),
         )
         .run(&trace);
         assert_eq!(inf.total_page_cache_replacements(), 0);
@@ -1333,7 +1393,7 @@ mod tests {
             b.read(p, GlobalAddr(0));
         }
         let trace = b.build();
-        let result = ClusterSimulator::new(machine, SystemConfig::cc_numa()).run(&trace);
+        let result = ClusterSimulator::new(machine, System::cc_numa().build()).run(&trace);
         assert!(result.execution_time.raw() >= 1_000_000);
         assert_eq!(result.barriers, 1);
     }
@@ -1349,7 +1409,7 @@ mod tests {
             b.unlock(p, 1);
         }
         let trace = b.build();
-        let result = ClusterSimulator::new(machine, SystemConfig::cc_numa()).run(&trace);
+        let result = ClusterSimulator::new(machine, System::cc_numa().build()).run(&trace);
         // Four critical sections of 10k cycles each must serialize.
         assert!(result.execution_time.raw() >= 40_000);
     }
@@ -1358,12 +1418,56 @@ mod tests {
     fn simulation_is_deterministic() {
         let machine = MachineConfig::PAPER;
         let trace = read_shared_trace(&machine, 50);
-        let sys = SystemConfig::cc_numa_migrep().with_thresholds(scaled_thresholds());
+        let sys = System::cc_numa()
+            .with(MigRep::both())
+            .with(scaled_thresholds())
+            .build();
         let a = ClusterSimulator::new(machine, sys.clone()).run(&trace);
         let b = ClusterSimulator::new(machine, sys).run(&trace);
         assert_eq!(a.execution_time, b.execution_time);
         assert_eq!(a.total_remote_misses(), b.total_remote_misses());
         assert_eq!(a.total_page_operations(), b.total_page_operations());
+    }
+
+    /// Regression test: page migration gathers cached copies from a set of
+    /// nodes, and the order of the control messages must be deterministic
+    /// (an unordered set here once made MigRep runs differ bit-for-bit
+    /// through network-interface queueing).
+    #[test]
+    fn migration_heavy_simulation_is_deterministic() {
+        let machine = MachineConfig::PAPER;
+        let mut b = TraceBuilder::new("migration-det", machine.topology);
+        let stride = conflict_stride(&machine);
+        // Every node caches both pages, so the migration gather touches many
+        // nodes; then node 1 dominates with a write-heavy mix (upgrade
+        // misses reach the home and feed its migration counters).
+        for p in machine.topology.proc_ids() {
+            b.read(p, GlobalAddr(0));
+            b.read(p, GlobalAddr(stride));
+        }
+        b.barrier_all();
+        let user = ProcId(machine.topology.procs_per_node);
+        for i in 0..600u64 {
+            let addr = GlobalAddr((i % 2) * stride);
+            if i % 3 == 0 {
+                b.write(user, addr);
+            } else {
+                b.read(user, addr);
+            }
+            b.read(user, GlobalAddr(((i + 1) % 2) * stride));
+        }
+        b.barrier_all();
+        let trace = b.build();
+
+        let sys = System::cc_numa()
+            .with(MigRep::migration_only())
+            .with(scaled_thresholds())
+            .build();
+        let a = ClusterSimulator::new(machine, sys.clone()).run(&trace);
+        let c = ClusterSimulator::new(machine, sys).run(&trace);
+        let migrations: u64 = a.per_node.iter().map(|n| n.migrations).sum();
+        assert!(migrations > 0, "expected migrations in this trace");
+        assert_eq!(a, c, "migration path must be bit-deterministic");
     }
 
     #[test]
@@ -1374,10 +1478,101 @@ mod tests {
         b.write(ProcId(1), GlobalAddr(PAGE_SIZE));
         b.compute(ProcId(2), 77);
         let trace = b.build();
-        let r = ClusterSimulator::new(machine, SystemConfig::cc_numa()).run(&trace);
+        let r = ClusterSimulator::new(machine, System::cc_numa().build()).run(&trace);
         assert_eq!(r.accesses, 2);
         let total_misses: u64 = r.per_node.iter().map(|n| n.total_misses()).sum();
         assert_eq!(total_misses, 2, "both cold misses are counted");
+    }
+
+    /// Third-party policies plug into the same operation pipeline as the
+    /// built-in engines: their drained operations are performed and charged.
+    #[test]
+    fn third_party_policy_drives_page_ops() {
+        #[derive(Debug, Default)]
+        struct MigrateToRequester {
+            counts: std::collections::HashMap<(PageId, NodeId), u64>,
+            pending: Vec<PageOp>,
+        }
+        impl RelocationPolicy for MigrateToRequester {
+            fn name(&self) -> &'static str {
+                "migrate-to-requester"
+            }
+            fn on_remote_miss(
+                &mut self,
+                page: PageId,
+                home: NodeId,
+                requester: NodeId,
+                _is_write: bool,
+            ) {
+                if requester == home {
+                    return;
+                }
+                let c = self.counts.entry((page, requester)).or_insert(0);
+                *c += 1;
+                if *c == 20 {
+                    self.pending.push(PageOp::Migrate {
+                        page,
+                        to: requester,
+                    });
+                }
+            }
+            fn drain_ops(&mut self) -> Vec<PageOp> {
+                std::mem::take(&mut self.pending)
+            }
+        }
+
+        let machine = MachineConfig::PAPER;
+        let trace = conflict_loop_trace(&machine, 500);
+        let base = ClusterSimulator::new(machine, System::cc_numa().build()).run(&trace);
+        let sys = System::cc_numa()
+            .policy(|| Box::<MigrateToRequester>::default())
+            .named("CC-NUMA+custom")
+            .build();
+        let custom = ClusterSimulator::new(machine, sys).run(&trace);
+        let migrations: u64 = custom.per_node.iter().map(|n| n.migrations).sum();
+        assert!(
+            migrations > 0,
+            "custom policy's migrations were not performed"
+        );
+        assert!(custom.total_remote_misses() < base.total_remote_misses());
+    }
+
+    /// A policy asking to relocate on a system whose nodes have no page
+    /// cache is ignored, not a panic.
+    #[test]
+    fn relocate_without_page_cache_is_ignored_not_fatal() {
+        #[derive(Debug, Default)]
+        struct RelocateEverything {
+            pending: Vec<PageOp>,
+        }
+        impl RelocationPolicy for RelocateEverything {
+            fn name(&self) -> &'static str {
+                "relocate-everything"
+            }
+            fn on_remote_miss(
+                &mut self,
+                page: PageId,
+                _home: NodeId,
+                requester: NodeId,
+                _is_write: bool,
+            ) {
+                self.pending.push(PageOp::Relocate {
+                    page,
+                    to: requester,
+                });
+            }
+            fn drain_ops(&mut self) -> Vec<PageOp> {
+                std::mem::take(&mut self.pending)
+            }
+        }
+
+        let machine = MachineConfig::PAPER;
+        let trace = conflict_loop_trace(&machine, 50);
+        let sys = System::cc_numa()
+            .policy(|| Box::<RelocateEverything>::default())
+            .build();
+        let r = ClusterSimulator::new(machine, sys).run(&trace);
+        assert_eq!(r.per_node.iter().map(|n| n.relocations).sum::<u64>(), 0);
     }
 
     #[test]
@@ -1385,6 +1580,6 @@ mod tests {
     fn trace_for_wrong_machine_is_rejected() {
         let machine = MachineConfig::PAPER;
         let trace = TraceBuilder::new("small", mem_trace::Topology::new(1, 1)).build();
-        ClusterSimulator::new(machine, SystemConfig::cc_numa()).run(&trace);
+        ClusterSimulator::new(machine, System::cc_numa().build()).run(&trace);
     }
 }

@@ -10,7 +10,7 @@ use serde::{Deserialize, Serialize};
 use sim_engine::Cycles;
 
 /// Per-node counters accumulated during a run.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct NodeStats {
     /// Processor-cache hits on this node.
     pub l1_hits: u64,
@@ -57,7 +57,11 @@ impl NodeStats {
 }
 
 /// The complete result of simulating one workload on one system.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// `SimResult` implements `Eq`: simulation is deterministic, so two runs of
+/// the same (machine, system, trace) triple must compare bit-identical —
+/// the old-vs-new API parity tests rely on this.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SimResult {
     /// System name (e.g. "CC-NUMA", "MigRep", "R-NUMA").
     pub system: String,

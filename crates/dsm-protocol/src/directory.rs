@@ -117,7 +117,10 @@ impl Directory {
     /// Handle a read request for `block` by `requester`.
     pub fn handle_read(&mut self, block: BlockId, requester: NodeId) -> ReadReply {
         self.read_requests += 1;
-        let entry = self.entries.entry(block).or_insert(DirectoryEntry::uncached());
+        let entry = self
+            .entries
+            .entry(block)
+            .or_insert(DirectoryEntry::uncached());
         let already_sharer = entry.sharers & (1u64 << requester.index()) != 0;
         let reply = match entry.state {
             DirectoryState::Uncached | DirectoryState::Shared => ReadReply {
@@ -157,7 +160,10 @@ impl Directory {
     /// Handle a write (read-exclusive) request for `block` by `requester`.
     pub fn handle_write(&mut self, block: BlockId, requester: NodeId) -> WriteReply {
         self.write_requests += 1;
-        let entry = self.entries.entry(block).or_insert(DirectoryEntry::uncached());
+        let entry = self
+            .entries
+            .entry(block)
+            .or_insert(DirectoryEntry::uncached());
         let requester_bit = 1u64 << requester.index();
         let reply = match entry.state {
             DirectoryState::Uncached => WriteReply {

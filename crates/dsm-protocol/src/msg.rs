@@ -88,7 +88,7 @@ impl MsgKind {
 }
 
 /// Per-kind message and byte counters.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TrafficStats {
     messages: [u64; 10],
     bytes: [u64; 10],

@@ -75,7 +75,9 @@ impl Interconnect {
         let occupancy = Self::occupancy(kind);
         let injected = self.send_ni[src.index()].acquire(now, occupancy).finish;
         let arrived_at_ni = injected + self.latency;
-        self.recv_ni[dst.index()].acquire(arrived_at_ni, occupancy).finish
+        self.recv_ni[dst.index()]
+            .acquire(arrived_at_ni, occupancy)
+            .finish
     }
 
     /// Round trip of a request of `req` kind answered by a `reply` kind,
@@ -192,7 +194,12 @@ mod tests {
     fn traffic_is_recorded_per_kind() {
         let mut net = Interconnect::new(3, Cycles::new(80));
         net.send(NodeId(0), NodeId(1), Cycles::new(0), MsgKind::Invalidation);
-        net.send(NodeId(1), NodeId(0), Cycles::new(0), MsgKind::InvalidationAck);
+        net.send(
+            NodeId(1),
+            NodeId(0),
+            Cycles::new(0),
+            MsgKind::InvalidationAck,
+        );
         assert_eq!(net.traffic().messages_of(MsgKind::Invalidation), 1);
         assert_eq!(net.traffic().messages_of(MsgKind::InvalidationAck), 1);
     }

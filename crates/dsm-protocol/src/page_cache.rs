@@ -257,9 +257,9 @@ impl PageCache {
     /// blocks that are *absent* (0.0 = fully populated). Returns `None` if
     /// the page has no frame.
     pub fn fragmentation(&self, page: PageId) -> Option<f64> {
-        self.frames.get(&page).map(|f| {
-            1.0 - f.present.count_ones() as f64 / BLOCKS_PER_PAGE as f64
-        })
+        self.frames
+            .get(&page)
+            .map(|f| 1.0 - f.present.count_ones() as f64 / BLOCKS_PER_PAGE as f64)
     }
 
     /// `(allocations, replacements, blocks installed, block hits, block misses)`.

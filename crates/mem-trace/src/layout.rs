@@ -161,7 +161,12 @@ mod tests {
         let b = space.alloc("b", 5000, 8); // spans multiple pages
         let c = space.alloc("c", 1, 1);
         for seg in [&a, &b, &c] {
-            assert_eq!(seg.base.0 % PAGE_SIZE, 0, "segment {} not aligned", seg.name);
+            assert_eq!(
+                seg.base.0 % PAGE_SIZE,
+                0,
+                "segment {} not aligned",
+                seg.name
+            );
         }
         assert!(a.base.0 + a.pages() * PAGE_SIZE <= b.base.0);
         assert!(b.base.0 + b.pages() * PAGE_SIZE <= c.base.0);

@@ -79,7 +79,11 @@ impl TraceStats {
 
 impl ProgramTrace {
     /// Create a trace; `per_proc.len()` must equal `topology.total_procs()`.
-    pub fn new(name: impl Into<String>, topology: Topology, per_proc: Vec<Vec<TraceEvent>>) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        topology: Topology,
+        per_proc: Vec<Vec<TraceEvent>>,
+    ) -> Self {
         ProgramTrace {
             name: name.into(),
             topology,
@@ -137,19 +141,17 @@ impl ProgramTrace {
             for e in events {
                 match e {
                     TraceEvent::Lock(id) => held.push(*id),
-                    TraceEvent::Unlock(id) => {
-                        match held.iter().rposition(|h| h == id) {
-                            Some(pos) => {
-                                held.remove(pos);
-                            }
-                            None => {
-                                return Err(TraceError::UnbalancedLock {
-                                    proc: ProcId(i as u16),
-                                    lock: *id,
-                                })
-                            }
+                    TraceEvent::Unlock(id) => match held.iter().rposition(|h| h == id) {
+                        Some(pos) => {
+                            held.remove(pos);
                         }
-                    }
+                        None => {
+                            return Err(TraceError::UnbalancedLock {
+                                proc: ProcId(i as u16),
+                                lock: *id,
+                            })
+                        }
+                    },
                     _ => {}
                 }
             }
@@ -182,10 +184,8 @@ impl ProgramTrace {
                         *page_nodes.entry(m.page()).or_insert(0) |= 1u64 << node.index().min(63);
                     }
                     TraceEvent::Compute(c) => stats.compute_cycles += *c as u64,
-                    TraceEvent::Barrier(_) => {
-                        if i == 0 {
-                            stats.barriers += 1;
-                        }
+                    TraceEvent::Barrier(_) if i == 0 => {
+                        stats.barriers += 1;
                     }
                     _ => {}
                 }
@@ -316,7 +316,10 @@ mod tests {
         let t = ProgramTrace::new(
             "toy",
             two_proc_topology(),
-            vec![vec![TraceEvent::Compute(1)], vec![TraceEvent::Compute(2), TraceEvent::Compute(3)]],
+            vec![
+                vec![TraceEvent::Compute(1)],
+                vec![TraceEvent::Compute(2), TraceEvent::Compute(3)],
+            ],
         );
         assert_eq!(t.total_events(), 3);
         assert_eq!(t.events_of(ProcId(1)).len(), 2);

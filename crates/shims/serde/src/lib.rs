@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde`'s derive macros.
+//!
+//! The build environment has no registry access, so this proc-macro crate
+//! satisfies `use serde::{Deserialize, Serialize}` and the corresponding
+//! `#[derive(...)]` attributes by expanding to nothing.  No serialization
+//! code exists in the workspace yet; the derives on config/stats types only
+//! declare intent for future wire formats.  See `crates/shims/README.md`.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -57,22 +57,14 @@ impl Xoshiro256 {
     pub fn new(seed: u64) -> Self {
         let mut sm = SplitMix64::new(seed);
         Xoshiro256 {
-            s: [
-                sm.next_u64(),
-                sm.next_u64(),
-                sm.next_u64(),
-                sm.next_u64(),
-            ],
+            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
         }
     }
 
     /// Next 64-bit value.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
-        let result = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];

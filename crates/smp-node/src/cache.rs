@@ -114,7 +114,7 @@ impl DataCache {
     pub fn new(config: CacheConfig) -> Self {
         assert!(config.block_bytes > 0, "block size must be non-zero");
         assert!(
-            config.size_bytes % config.block_bytes == 0,
+            config.size_bytes.is_multiple_of(config.block_bytes),
             "capacity must be a multiple of the block size"
         );
         let lines = config.lines();
@@ -230,7 +230,11 @@ impl DataCache {
     /// Complete a write-upgrade of a resident `Shared`/`Owned` line.
     pub fn upgrade(&mut self, block: BlockId) {
         let idx = self.index_of(block);
-        debug_assert_eq!(self.tags[idx], Some(block), "upgrade of a non-resident block");
+        debug_assert_eq!(
+            self.tags[idx],
+            Some(block),
+            "upgrade of a non-resident block"
+        );
         self.states[idx] = LineState::Modified;
     }
 
@@ -304,7 +308,10 @@ mod tests {
     fn cold_miss_then_hit() {
         let mut c = small_cache();
         let b = BlockId(10);
-        assert_eq!(c.access(b, AccessKind::Read), CacheOutcome::Miss { victim: None });
+        assert_eq!(
+            c.access(b, AccessKind::Read),
+            CacheOutcome::Miss { victim: None }
+        );
         c.fill(b, LineState::Shared);
         assert_eq!(c.access(b, AccessKind::Read), CacheOutcome::Hit);
         assert_eq!(c.state_of(b), LineState::Shared);
@@ -400,7 +407,10 @@ mod tests {
     fn probe_does_not_modify() {
         let mut c = small_cache();
         let b = BlockId(5);
-        assert_eq!(c.probe(b, AccessKind::Read), CacheOutcome::Miss { victim: None });
+        assert_eq!(
+            c.probe(b, AccessKind::Read),
+            CacheOutcome::Miss { victim: None }
+        );
         assert_eq!(c.counters().1, 0, "probe must not count as a miss");
         c.fill(b, LineState::Shared);
         assert_eq!(c.probe(b, AccessKind::Write), CacheOutcome::UpgradeMiss);

@@ -176,7 +176,11 @@ impl PageTable {
 
     /// `(map operations, unmap operations, TLB shootdowns)` counters.
     pub fn counters(&self) -> (u64, u64, u64) {
-        (self.map_operations, self.unmap_operations, self.tlb_shootdowns)
+        (
+            self.map_operations,
+            self.unmap_operations,
+            self.tlb_shootdowns,
+        )
     }
 }
 

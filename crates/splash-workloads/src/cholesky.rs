@@ -76,18 +76,13 @@ impl Workload for Cholesky {
         let procs = cfg.topology.total_procs();
 
         let mut space = AddressSpace::new();
-        let panels = space.alloc(
-            "panels",
-            params.supernodes * params.lines_per_supernode,
-            64,
-        );
+        let panels = space.alloc("panels", params.supernodes * params.lines_per_supernode, 64);
         let queue = space.alloc("task_queue", 64, 64);
 
         let mut b = TraceBuilder::new("cholesky", cfg.topology).with_think_cycles(cfg.think_cycles);
         let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0xc401);
 
-        let panel_line =
-            |sn: u64, line: u64| panels.elem(sn * params.lines_per_supernode + line);
+        let panel_line = |sn: u64, line: u64| panels.elem(sn * params.lines_per_supernode + line);
 
         // Processor 0 loads the sparse matrix: every panel page is homed on
         // node 0 by first-touch.

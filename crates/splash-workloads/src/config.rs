@@ -33,7 +33,7 @@ impl WorkloadConfig {
         WorkloadConfig {
             topology: Topology::PAPER,
             scale: Scale::Reduced,
-            seed: 0xD5_1A_1A_2000,
+            seed: 0x00D5_1A1A_2000,
             think_cycles: 4,
         }
     }

@@ -108,7 +108,10 @@ impl Workload for Fmm {
                         } else {
                             (box_id + params.boxes + i - params.interactions / 2) % params.boxes
                         };
-                        b.read(proc, line_of(neighbor, rng.gen_range(0..params.lines_per_box)));
+                        b.read(
+                            proc,
+                            line_of(neighbor, rng.gen_range(0..params.lines_per_box)),
+                        );
                     }
                     for line in 0..params.lines_per_box / 2 {
                         b.read(proc, line_of(box_id, line));

@@ -76,9 +76,7 @@ impl Workload for Lu {
         let mut b = TraceBuilder::new("lu", cfg.topology).with_think_cycles(cfg.think_cycles);
 
         // 2-D scatter assignment of blocks to processors (SPLASH-2 LU).
-        let owner = |bi: u64, bj: u64| -> ProcId {
-            ProcId(((bi * nb + bj) % total_procs) as u16)
-        };
+        let owner = |bi: u64, bj: u64| -> ProcId { ProcId(((bi * nb + bj) % total_procs) as u16) };
 
         // Initialization: every owner touches (writes) its own blocks so the
         // first-touch policy places pages at their owners.
@@ -192,7 +190,7 @@ mod tests {
         // block it writes.
         assert!(stats.reads > stats.writes);
         // Barriers separate every phase of every elimination step.
-        assert!(stats.barriers as u64 >= 3 * LuParams::for_scale(Scale::Reduced).blocks_per_dim());
+        assert!(stats.barriers >= 3 * LuParams::for_scale(Scale::Reduced).blocks_per_dim());
         // The matrix is shared across nodes.
         assert!(stats.node_shared_pages > 4);
     }

@@ -162,7 +162,11 @@ mod tests {
         assert!(trace.validate().is_ok());
         let stats = trace.stats();
         // The permutation phase makes radix unusually write-heavy.
-        assert!(stats.write_fraction() > 0.3, "write fraction {}", stats.write_fraction());
+        assert!(
+            stats.write_fraction() > 0.3,
+            "write fraction {}",
+            stats.write_fraction()
+        );
     }
 
     #[test]

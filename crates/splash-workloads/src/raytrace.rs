@@ -94,7 +94,7 @@ impl Workload for Raytrace {
             let proc = ProcId(p as u16);
             let range = owned_range(params.rays as usize, cfg.topology, proc);
             for (count, ray) in range.clone().enumerate() {
-                if count as u64 % rays_per_bundle == 0 {
+                if (count as u64).is_multiple_of(rays_per_bundle) {
                     b.lock(proc, 0);
                     b.read(proc, queue.elem(0));
                     b.write(proc, queue.elem(0));
@@ -130,7 +130,11 @@ mod tests {
         let trace = Raytrace.generate(&cfg);
         assert!(trace.validate().is_ok());
         let stats = trace.stats();
-        assert!(stats.write_fraction() < 0.2, "write fraction {}", stats.write_fraction());
+        assert!(
+            stats.write_fraction() < 0.2,
+            "write fraction {}",
+            stats.write_fraction()
+        );
     }
 
     #[test]
@@ -153,9 +157,7 @@ mod tests {
             for e in events {
                 match e {
                     mem_trace::TraceEvent::Barrier(0) => past_barrier = true,
-                    mem_trace::TraceEvent::Access(m)
-                        if past_barrier && m.kind.is_write() =>
-                    {
+                    mem_trace::TraceEvent::Access(m) if past_barrier && m.kind.is_write() => {
                         assert!(
                             m.page().0 >= scene_pages,
                             "scene page {:?} written after setup",

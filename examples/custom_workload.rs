@@ -34,7 +34,7 @@ fn main() {
     b.barrier_all();
     for round in 0..6u64 {
         for line in 0..buffer.elements() {
-            let consumer = ProcId((topology.procs_per_node + (line % 4) as u16) as u16);
+            let consumer = ProcId(topology.procs_per_node + (line % 4) as u16);
             if round % 3 == 2 {
                 b.write(consumer, buffer.elem(line));
             } else {
@@ -55,21 +55,34 @@ fn main() {
         rnuma_relocation_delay: 0,
     };
 
-    let baseline = ClusterSimulator::new(machine, SystemConfig::perfect_cc_numa()).run(&trace);
+    // Compose the contenders and run the custom trace through the harness.
+    let set = SystemSet {
+        experiment: "producer/consumer: migration vs fine-grain caching",
+        baseline: System::perfect_cc_numa().build(),
+        systems: vec![
+            System::cc_numa().build(),
+            System::cc_numa()
+                .with(MigRep::migration_only())
+                .with(thresholds)
+                .build(),
+            System::r_numa().with(thresholds).build(),
+        ],
+    };
+    let result = Experiment::new(machine)
+        .systems(set)
+        .traces(vec![trace])
+        .run();
+
+    let wl = &result.per_workload[0];
     println!(
         "{:<12} {:>10} {:>14} {:>12} {:>12}",
         "system", "vs perfect", "remote misses", "migrations", "relocations"
     );
-    for system in [
-        SystemConfig::cc_numa(),
-        SystemConfig::cc_numa_mig().with_thresholds(thresholds),
-        SystemConfig::r_numa().with_thresholds(thresholds),
-    ] {
-        let r = ClusterSimulator::new(machine, system).run(&trace);
+    for (i, r) in wl.results.iter().enumerate() {
         println!(
             "{:<12} {:>10.2} {:>14} {:>12} {:>12}",
             r.system,
-            r.normalized_against(&baseline),
+            wl.normalized(i),
             r.total_remote_misses(),
             r.per_node.iter().map(|n| n.migrations).sum::<u64>(),
             r.per_node.iter().map(|n| n.relocations).sum::<u64>(),

@@ -24,24 +24,31 @@ fn main() {
         "remote multiplier", "remote:local", "CC-NUMA", "MigRep", "R-NUMA"
     );
     for factor in [1u64, 2, 4, 8] {
+        // One experiment per sweep point: the same three systems, with the
+        // remote path stretched by `factor` (baseline included, so the
+        // normalization is against perfect CC-NUMA *at this latency*).
         let costs = CostModel::base().with_remote_latency_factor(factor);
-        let baseline = ClusterSimulator::new(
-            machine,
-            SystemConfig::perfect_cc_numa().with_costs(costs),
-        )
-        .run(&trace);
-        let normalized = |config: SystemConfig| {
-            ClusterSimulator::new(machine, config.with_costs(costs))
-                .run(&trace)
-                .normalized_against(&baseline)
+        let set = SystemSet {
+            experiment: "latency sweep",
+            baseline: System::perfect_cc_numa().with(costs).build(),
+            systems: vec![
+                System::cc_numa().with(costs).build(),
+                System::cc_numa().with(MigRep::both()).with(costs).build(),
+                System::r_numa().with(costs).build(),
+            ],
         };
+        let result = Experiment::new(machine)
+            .systems(set)
+            .traces(vec![trace.clone()])
+            .run();
+        let wl = &result.per_workload[0];
         println!(
             "{:>18} {:>14.1} {:>10.2} {:>10.2} {:>10.2}",
             format!("{factor}x"),
             costs.remote_to_local_ratio(),
-            normalized(SystemConfig::cc_numa()),
-            normalized(SystemConfig::cc_numa_migrep()),
-            normalized(SystemConfig::r_numa()),
+            wl.normalized(0),
+            wl.normalized(1),
+            wl.normalized(2),
         );
     }
 }

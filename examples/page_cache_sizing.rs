@@ -12,48 +12,57 @@
 //! cargo run --release --example page_cache_sizing
 //! ```
 
-use dsm_protocol::PageCacheConfig;
 use dsm_repro::prelude::*;
 
 fn main() {
     let machine = MachineConfig::PAPER;
-    let workload = by_name("radix").expect("radix is in the catalog");
-    let trace = workload.generate(&WorkloadConfig::reduced());
+    let sizes_kb = [64u64, 256, 512, 1024, 2400, 4800];
 
-    let baseline = ClusterSimulator::new(machine, SystemConfig::perfect_cc_numa()).run(&trace);
-    let cc_numa = ClusterSimulator::new(machine, SystemConfig::cc_numa()).run(&trace);
+    // One experiment: CC-NUMA for reference, then every page-cache size.
+    // The whole sweep runs in parallel across worker threads.
+    let mut systems = vec![System::cc_numa().build()];
+    systems.extend(sizes_kb.iter().map(|kb| {
+        System::r_numa()
+            .with(PageCaching::bytes(kb * 1024))
+            .named(format!("R-NUMA-{kb}KB"))
+            .build()
+    }));
+    systems.push(System::r_numa().with(PageCaching::infinite()).build());
+
+    let result = Experiment::new(machine)
+        .systems(SystemSet {
+            experiment: "page-cache sizing",
+            baseline: System::perfect_cc_numa().build(),
+            systems,
+        })
+        .workloads(["radix"])
+        .run();
+
+    let wl = &result.per_workload[0];
     println!(
         "radix on CC-NUMA: {:.2}x perfect CC-NUMA ({} remote misses)\n",
-        cc_numa.normalized_against(&baseline),
-        cc_numa.total_remote_misses()
+        wl.normalized(0),
+        wl.results[0].total_remote_misses()
     );
 
     println!(
         "{:>14} {:>12} {:>14} {:>14} {:>12}",
         "page cache", "vs perfect", "remote misses", "relocations", "replacements"
     );
-    let sizes_kb = [64u64, 256, 512, 1024, 2400, 4800];
-    for kb in sizes_kb {
-        let config = SystemConfig::r_numa_with(PageCacheConfig::Finite {
-            size_bytes: kb * 1024,
-        });
-        let result = ClusterSimulator::new(machine, config).run(&trace);
+    for (i, label) in sizes_kb
+        .iter()
+        .map(|kb| format!("{kb} KB"))
+        .chain(["infinite".to_string()])
+        .enumerate()
+    {
+        let r = &wl.results[i + 1]; // skip the CC-NUMA reference column
         println!(
-            "{:>11} KB {:>12.2} {:>14} {:>14} {:>12}",
-            kb,
-            result.normalized_against(&baseline),
-            result.total_remote_misses(),
-            result.total_page_operations(),
-            result.total_page_cache_replacements()
+            "{:>14} {:>12.2} {:>14} {:>14} {:>12}",
+            label,
+            wl.normalized(i + 1),
+            r.total_remote_misses(),
+            r.total_page_operations(),
+            r.total_page_cache_replacements()
         );
     }
-    let inf = ClusterSimulator::new(machine, SystemConfig::r_numa_inf()).run(&trace);
-    println!(
-        "{:>14} {:>12.2} {:>14} {:>14} {:>12}",
-        "infinite",
-        inf.normalized_against(&baseline),
-        inf.total_remote_misses(),
-        inf.total_page_operations(),
-        inf.total_page_cache_replacements()
-    );
 }

@@ -24,38 +24,47 @@ fn main() {
         stats.write_fraction() * 100.0
     );
 
-    // 2. Pick the systems to compare.  Perfect CC-NUMA (infinite block
-    //    cache) is the baseline the paper normalizes against.
-    let machine = MachineConfig::PAPER;
-    let baseline = ClusterSimulator::new(machine, SystemConfig::perfect_cc_numa()).run(&trace);
-    let systems = [
-        SystemConfig::cc_numa(),
-        SystemConfig::cc_numa_migrep(),
-        SystemConfig::r_numa(),
-    ];
+    // 2. Compose the systems to compare with the `System` builder.  Perfect
+    //    CC-NUMA (infinite block cache) is the baseline the paper
+    //    normalizes against.
+    let set = SystemSet {
+        experiment: "quickstart",
+        baseline: System::perfect_cc_numa().build(),
+        systems: vec![
+            System::cc_numa().build(),
+            System::cc_numa().with(MigRep::both()).build(),
+            System::r_numa().build(),
+        ],
+    };
 
-    // 3. Run and report.
+    // 3. Run every (workload, system) pair through the experiment harness.
+    let result = Experiment::new(MachineConfig::PAPER)
+        .systems(set)
+        .traces(vec![trace])
+        .run();
+
+    // 4. Report.
+    let wl = &result.per_workload[0];
     println!(
         "\n{:<12} {:>12} {:>10} {:>14} {:>10}",
         "system", "exec cycles", "vs perfect", "remote misses", "page ops"
     );
     println!(
         "{:<12} {:>12} {:>10.2} {:>14} {:>10}",
-        baseline.system,
-        baseline.execution_time.raw(),
+        wl.baseline.system,
+        wl.baseline.execution_time.raw(),
         1.0,
-        baseline.total_remote_misses(),
-        baseline.total_page_operations()
+        wl.baseline.total_remote_misses(),
+        wl.baseline.total_page_operations()
     );
-    for system in systems {
-        let result = ClusterSimulator::new(machine, system).run(&trace);
+    for (i, r) in wl.results.iter().enumerate() {
         println!(
             "{:<12} {:>12} {:>10.2} {:>14} {:>10}",
-            result.system,
-            result.execution_time.raw(),
-            result.normalized_against(&baseline),
-            result.total_remote_misses(),
-            result.total_page_operations()
+            r.system,
+            r.execution_time.raw(),
+            wl.normalized(i),
+            r.total_remote_misses(),
+            r.total_page_operations()
         );
     }
 }

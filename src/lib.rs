@@ -15,13 +15,16 @@
 //! * [`protocol`] — DSM coherence mechanisms (directory, block cache,
 //!   S-COMA page cache, interconnect);
 //! * [`core`] — the systems under study (CC-NUMA, CC-NUMA+MigRep, R-NUMA,
-//!   R-NUMA+MigRep) and the cluster simulator;
-//! * [`workloads`] — the seven SPLASH-2-like workload generators (Table 2).
+//!   R-NUMA+MigRep), the [`RelocationPolicy`](core::RelocationPolicy) trait
+//!   they implement, the [`System`](core::System) builder that composes
+//!   them, and the cluster simulator;
+//! * [`workloads`] — the seven SPLASH-2-like workload generators (Table 2);
+//! * [`bench`] — the [`Experiment`](bench::Experiment) harness and the
+//!   presets/report formatters behind every figure and table.
 //!
-//! See `examples/quickstart.rs` for a five-minute tour, and the `dsm-bench`
-//! crate for the binaries that regenerate every table and figure of the
-//! paper.
+//! See `examples/quickstart.rs` for a five-minute tour.
 
+pub use dsm_bench as bench;
 pub use dsm_core as core;
 pub use dsm_protocol as protocol;
 pub use mem_trace as trace;
@@ -31,9 +34,11 @@ pub use splash_workloads as workloads;
 
 /// Convenience re-exports of the types most programs need.
 pub mod prelude {
+    pub use dsm_bench::{Experiment, ExperimentScale, SystemSet};
     pub use dsm_core::{
-        ClusterSimulator, CostModel, MachineConfig, MigRepConfig, SimResult, SystemConfig,
-        Thresholds,
+        BlockCaching, ClusterSimulator, CostModel, MachineConfig, MigRep, MigRepConfig,
+        PageCaching, PageOp, PolicyStats, RelocationPolicy, SimResult, System, SystemBuilder,
+        SystemConfig, SystemFeature, Thresholds,
     };
     pub use mem_trace::{GlobalAddr, ProcId, ProgramTrace, Topology, TraceBuilder};
     pub use splash_workloads::{by_name, catalog, Scale, Workload, WorkloadConfig};
@@ -44,7 +49,7 @@ mod tests {
     #[test]
     fn facade_reexports_are_wired_up() {
         use crate::prelude::*;
-        let cfg = SystemConfig::cc_numa();
+        let cfg = System::cc_numa().build();
         assert_eq!(cfg.name, "CC-NUMA");
         assert_eq!(Topology::PAPER.total_procs(), 32);
         assert_eq!(catalog().len(), 7);

@@ -1,0 +1,125 @@
+//! Old-vs-new API parity: the deprecated `SystemConfig` constructors and the
+//! legacy `run_experiment` free function must produce **bit-identical**
+//! `SimResult`s to the `System` builder / `Experiment` builder path.
+//!
+//! Simulation is deterministic (no wall clock, no OS randomness), so
+//! equality here is exact: execution time, every per-node counter and the
+//! full interconnect traffic matrix.  This is the proof that the
+//! `RelocationPolicy` refactor of the simulator core preserved the paper's
+//! systems exactly.
+
+// Exercising the deprecated shims is this test's entire purpose.
+#![allow(deprecated)]
+
+use dsm_repro::bench::{run_experiment, Experiment, ExperimentScale, SystemSet};
+use dsm_repro::prelude::*;
+use dsm_repro::protocol::PageCacheConfig;
+
+/// Thresholds small enough for the reduced trace to exercise migration,
+/// replication and relocation (so the parity check covers the policy paths,
+/// not just the plain cache hierarchy).
+fn thresholds() -> Thresholds {
+    Thresholds {
+        migrep_threshold: 250,
+        migrep_reset_interval: 8_000,
+        rnuma_threshold: 8,
+        rnuma_relocation_delay: 0,
+    }
+}
+
+fn run(system: SystemConfig, trace: &ProgramTrace) -> SimResult {
+    ClusterSimulator::new(MachineConfig::PAPER, system).run(trace)
+}
+
+/// The old constructor and the new builder expression for each of the
+/// paper's systems (plus the perfect baseline and the Section 6.4 hybrid).
+fn old_and_new_pairs() -> Vec<(SystemConfig, SystemConfig)> {
+    let t = thresholds();
+    vec![
+        (
+            SystemConfig::perfect_cc_numa(),
+            System::perfect_cc_numa().build(),
+        ),
+        (SystemConfig::cc_numa(), System::cc_numa().build()),
+        (
+            SystemConfig::cc_numa_migrep().with_thresholds(t),
+            System::cc_numa().with(MigRep::both()).with(t).build(),
+        ),
+        (
+            SystemConfig::r_numa().with_thresholds(t),
+            System::r_numa().with(t).build(),
+        ),
+        (
+            SystemConfig::r_numa_migrep(PageCacheConfig::PAPER_HALF, 2_000)
+                .with_thresholds(t.with_relocation_delay(2_000)),
+            System::r_numa()
+                .with(PageCaching::half())
+                .with(MigRep::both())
+                .with(t)
+                .relocation_delay(2_000)
+                .named("R-NUMA-1/2+MigRep")
+                .build(),
+        ),
+    ]
+}
+
+#[test]
+fn old_constructors_and_builder_yield_identical_configs() {
+    for (old, new) in old_and_new_pairs() {
+        assert_eq!(old, new, "config mismatch for {}", old.name);
+    }
+}
+
+#[test]
+fn old_and_new_apis_produce_bit_identical_results() {
+    // One reduced workload with enough sharing to trigger every mechanism.
+    let trace = by_name("lu")
+        .expect("lu is in the catalog")
+        .generate(&WorkloadConfig::reduced());
+
+    for (old, new) in old_and_new_pairs() {
+        let name = old.name.clone();
+        let a = run(old, &trace);
+        let b = run(new, &trace);
+        // `SimResult` is `Eq`: this compares execution time, every per-node
+        // counter and the full traffic matrix.
+        assert_eq!(a, b, "SimResult diverged for {name}");
+        // The policy paths were actually exercised for the policy systems.
+        if name.contains("MigRep") || name.contains("R-NUMA") {
+            assert!(
+                a.total_page_operations() > 0,
+                "{name}: no page operations — parity test lost its teeth"
+            );
+        }
+    }
+}
+
+#[test]
+fn legacy_run_experiment_matches_the_experiment_builder() {
+    let t = thresholds();
+    let set = SystemSet {
+        experiment: "parity",
+        baseline: System::perfect_cc_numa().build(),
+        systems: vec![
+            System::cc_numa().build(),
+            System::cc_numa().with(MigRep::both()).with(t).build(),
+            System::r_numa().with(t).build(),
+        ],
+    };
+
+    let old = run_experiment(&set, &["lu"], ExperimentScale::Reduced, 4);
+    let new = Experiment::new(MachineConfig::PAPER)
+        .systems(set)
+        .workloads(["lu"])
+        .scale(ExperimentScale::Reduced)
+        .threads(4)
+        .run();
+
+    assert_eq!(old.system_names, new.system_names);
+    assert_eq!(old.per_workload.len(), new.per_workload.len());
+    for (a, b) in old.per_workload.iter().zip(&new.per_workload) {
+        assert_eq!(a.workload, b.workload);
+        assert_eq!(a.baseline, b.baseline);
+        assert_eq!(a.results, b.results);
+    }
+}

@@ -23,11 +23,14 @@ fn reduced_thresholds() -> Thresholds {
 fn perfect_cc_numa_lower_bounds_every_system_on_every_workload() {
     for workload in catalog() {
         let trace = workload.generate(&WorkloadConfig::reduced());
-        let baseline = run(SystemConfig::perfect_cc_numa(), &trace);
+        let baseline = run(System::perfect_cc_numa().build(), &trace);
         for config in [
-            SystemConfig::cc_numa(),
-            SystemConfig::cc_numa_migrep().with_thresholds(reduced_thresholds()),
-            SystemConfig::r_numa().with_thresholds(reduced_thresholds()),
+            System::cc_numa().build(),
+            System::cc_numa()
+                .with(MigRep::both())
+                .with(reduced_thresholds())
+                .build(),
+            System::r_numa().with(reduced_thresholds()).build(),
         ] {
             let result = run(config, &trace);
             assert!(
@@ -46,12 +49,12 @@ fn r_numa_infinite_page_cache_never_loses_to_the_finite_one() {
     for name in ["raytrace", "radix", "barnes"] {
         let workload = by_name(name).unwrap();
         let trace = workload.generate(&WorkloadConfig::reduced());
-        let finite = run(
-            SystemConfig::r_numa().with_thresholds(reduced_thresholds()),
-            &trace,
-        );
+        let finite = run(System::r_numa().with(reduced_thresholds()).build(), &trace);
         let infinite = run(
-            SystemConfig::r_numa_inf().with_thresholds(reduced_thresholds()),
+            System::r_numa()
+                .with(PageCaching::infinite())
+                .with(reduced_thresholds())
+                .build(),
             &trace,
         );
         assert!(
@@ -67,9 +70,12 @@ fn r_numa_reduces_capacity_conflict_remote_misses_on_thrashing_workloads() {
     for name in ["raytrace", "barnes", "lu"] {
         let workload = by_name(name).unwrap();
         let trace = workload.generate(&WorkloadConfig::reduced());
-        let cc = run(SystemConfig::cc_numa(), &trace);
+        let cc = run(System::cc_numa().build(), &trace);
         let rn = run(
-            SystemConfig::r_numa_inf().with_thresholds(reduced_thresholds()),
+            System::r_numa()
+                .with(PageCaching::infinite())
+                .with(reduced_thresholds())
+                .build(),
             &trace,
         );
         assert!(
@@ -85,12 +91,17 @@ fn r_numa_reduces_capacity_conflict_remote_misses_on_thrashing_workloads() {
 
 #[test]
 fn replication_triggers_on_the_read_shared_scene_of_raytrace() {
-    let trace = by_name("raytrace").unwrap().generate(&WorkloadConfig::reduced());
+    let trace = by_name("raytrace")
+        .unwrap()
+        .generate(&WorkloadConfig::reduced());
     let rep = run(
-        SystemConfig::cc_numa_rep().with_thresholds(reduced_thresholds()),
+        System::cc_numa()
+            .with(MigRep::replication_only())
+            .with(reduced_thresholds())
+            .build(),
         &trace,
     );
-    let cc = run(SystemConfig::cc_numa(), &trace);
+    let cc = run(System::cc_numa().build(), &trace);
     let replications: u64 = rep.per_node.iter().map(|n| n.replications).sum();
     assert!(replications > 0, "no replications on raytrace");
     assert!(
@@ -103,10 +114,13 @@ fn replication_triggers_on_the_read_shared_scene_of_raytrace() {
 fn migration_triggers_on_fmm_boxes_owned_by_a_single_remote_node() {
     let trace = by_name("fmm").unwrap().generate(&WorkloadConfig::reduced());
     let mig = run(
-        SystemConfig::cc_numa_mig().with_thresholds(reduced_thresholds()),
+        System::cc_numa()
+            .with(MigRep::migration_only())
+            .with(reduced_thresholds())
+            .build(),
         &trace,
     );
-    let cc = run(SystemConfig::cc_numa(), &trace);
+    let cc = run(System::cc_numa().build(), &trace);
     let migrations: u64 = mig.per_node.iter().map(|n| n.migrations).sum();
     assert!(migrations > 0, "no migrations on fmm");
     assert!(
@@ -119,27 +133,32 @@ fn migration_triggers_on_fmm_boxes_owned_by_a_single_remote_node() {
 fn slow_page_operations_hurt_r_numa_more_than_migrep() {
     // Figure 6's conclusion: R-NUMA performs many more page operations, so a
     // ten-fold increase in page-operation cost costs it more.
-    let trace = by_name("raytrace").unwrap().generate(&WorkloadConfig::reduced());
-    let baseline = run(SystemConfig::perfect_cc_numa(), &trace);
+    let trace = by_name("raytrace")
+        .unwrap()
+        .generate(&WorkloadConfig::reduced());
+    let baseline = run(System::perfect_cc_numa().build(), &trace);
     let t = reduced_thresholds();
 
-    let migrep_fast = run(SystemConfig::cc_numa_migrep().with_thresholds(t), &trace);
-    let migrep_slow = run(
-        SystemConfig::cc_numa_migrep()
-            .with_costs(CostModel::slow())
-            .with_thresholds(t),
+    let migrep_fast = run(
+        System::cc_numa().with(MigRep::both()).with(t).build(),
         &trace,
     );
-    let rnuma_fast = run(SystemConfig::r_numa().with_thresholds(t), &trace);
+    let migrep_slow = run(
+        System::cc_numa()
+            .with(MigRep::both())
+            .with(CostModel::slow())
+            .with(t)
+            .build(),
+        &trace,
+    );
+    let rnuma_fast = run(System::r_numa().with(t).build(), &trace);
     let rnuma_slow = run(
-        SystemConfig::r_numa()
-            .with_costs(CostModel::slow())
-            .with_thresholds(t),
+        System::r_numa().with(CostModel::slow()).with(t).build(),
         &trace,
     );
 
-    let migrep_penalty = migrep_slow.normalized_against(&baseline)
-        - migrep_fast.normalized_against(&baseline);
+    let migrep_penalty =
+        migrep_slow.normalized_against(&baseline) - migrep_fast.normalized_against(&baseline);
     let rnuma_penalty =
         rnuma_slow.normalized_against(&baseline) - rnuma_fast.normalized_against(&baseline);
     assert!(
@@ -153,15 +172,20 @@ fn slow_page_operations_hurt_r_numa_more_than_migrep() {
 fn longer_network_latency_amplifies_cc_numa_degradation() {
     // Figure 7: with a 4x longer remote path, CC-NUMA's normalized execution
     // time gets worse while R-NUMA stays closer to perfect CC-NUMA.
-    let trace = by_name("raytrace").unwrap().generate(&WorkloadConfig::reduced());
+    let trace = by_name("raytrace")
+        .unwrap()
+        .generate(&WorkloadConfig::reduced());
     let far = CostModel::base().with_remote_latency_factor(4);
 
-    let base_perfect = run(SystemConfig::perfect_cc_numa(), &trace);
-    let base_cc = run(SystemConfig::cc_numa(), &trace);
-    let far_perfect = run(SystemConfig::perfect_cc_numa().with_costs(far), &trace);
-    let far_cc = run(SystemConfig::cc_numa().with_costs(far), &trace);
+    let base_perfect = run(System::perfect_cc_numa().build(), &trace);
+    let base_cc = run(System::cc_numa().build(), &trace);
+    let far_perfect = run(System::perfect_cc_numa().with(far).build(), &trace);
+    let far_cc = run(System::cc_numa().with(far).build(), &trace);
     let far_rnuma = run(
-        SystemConfig::r_numa().with_thresholds(reduced_thresholds()).with_costs(far),
+        System::r_numa()
+            .with(reduced_thresholds())
+            .with(far)
+            .build(),
         &trace,
     );
 
@@ -179,11 +203,10 @@ fn longer_network_latency_amplifies_cc_numa_degradation() {
 
 #[test]
 fn table4_style_counters_are_consistent() {
-    let trace = by_name("barnes").unwrap().generate(&WorkloadConfig::reduced());
-    let result = run(
-        SystemConfig::r_numa().with_thresholds(reduced_thresholds()),
-        &trace,
-    );
+    let trace = by_name("barnes")
+        .unwrap()
+        .generate(&WorkloadConfig::reduced());
+    let result = run(System::r_numa().with(reduced_thresholds()).build(), &trace);
     // Capacity/conflict remote misses are a subset of remote misses.
     assert!(result.total_remote_capacity_misses() <= result.total_remote_misses());
     // Per-node averages are consistent with totals.

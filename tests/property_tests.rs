@@ -1,115 +1,165 @@
-//! Property-based tests (proptest) over the core data structures and the
-//! simulator's invariants.
+//! Property-style tests over the core data structures and the simulator's
+//! invariants.
+//!
+//! The original proptest version of this file is preserved in spirit: each
+//! test runs the same invariant over 64 pseudo-random cases.  Cases are
+//! generated with the repository's own deterministic `SplitMix64` (the
+//! `proptest` crate is unavailable in the offline build environment), so
+//! failures reproduce exactly from the fixed seed.
 
 use dsm_repro::prelude::*;
-use dsm_repro::protocol::{BlockCache, BlockCacheConfig, BlockState, Directory, PageCache, PageCacheConfig};
+use dsm_repro::protocol::{
+    BlockCache, BlockCacheConfig, BlockState, Directory, DirectoryState, PageCache, PageCacheConfig,
+};
+use dsm_repro::sim::SplitMix64;
 use mem_trace::{BlockId, GlobalAddr, NodeId, PageId, BLOCK_SIZE, PAGE_SIZE};
-use proptest::prelude::*;
 use smp_node::{CacheConfig, DataCache, LineState};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: u64 = 64;
 
-    /// Address decomposition round-trips for arbitrary addresses.
-    #[test]
-    fn address_decomposition_is_consistent(raw in 0u64..u64::MAX / 2) {
+/// A fresh generator per (test, case) pair so tests stay order-independent.
+fn rng_for(test: &str, case: u64) -> SplitMix64 {
+    let tag: u64 = test.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3)
+    });
+    SplitMix64::new(tag ^ (case.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+}
+
+/// `len` values uniform below `bound`, with `len` itself in `1..=max_len`.
+fn random_vec(rng: &mut SplitMix64, max_len: u64, bound: u64) -> Vec<u64> {
+    let len = 1 + rng.next_below(max_len);
+    (0..len).map(|_| rng.next_below(bound)).collect()
+}
+
+/// Address decomposition round-trips for arbitrary addresses.
+#[test]
+fn address_decomposition_is_consistent() {
+    for case in 0..CASES {
+        let mut rng = rng_for("addr", case);
+        let raw = rng.next_below(u64::MAX / 2);
         let addr = GlobalAddr(raw);
         let block = addr.block();
         let page = addr.page();
-        prop_assert_eq!(block.page(), page);
-        prop_assert!(block.base_addr().0 <= raw);
-        prop_assert!(raw - block.base_addr().0 < BLOCK_SIZE);
-        prop_assert!(page.base_addr().0 <= raw);
-        prop_assert!(raw - page.base_addr().0 < PAGE_SIZE);
-        prop_assert!(page.contains(block));
+        assert_eq!(block.page(), page);
+        assert!(block.base_addr().0 <= raw);
+        assert!(raw - block.base_addr().0 < BLOCK_SIZE);
+        assert!(page.base_addr().0 <= raw);
+        assert!(raw - page.base_addr().0 < PAGE_SIZE);
+        assert!(page.contains(block));
     }
+}
 
-    /// A direct-mapped cache never holds two blocks in the same set and a
-    /// fill always makes the block resident.
-    #[test]
-    fn data_cache_fill_makes_resident(blocks in prop::collection::vec(0u64..4096, 1..200)) {
-        let mut cache = DataCache::new(CacheConfig { size_bytes: 4 * 1024, block_bytes: 64 });
+/// A direct-mapped cache never holds two blocks in the same set and a fill
+/// always makes the block resident.
+#[test]
+fn data_cache_fill_makes_resident() {
+    for case in 0..CASES {
+        let mut rng = rng_for("data-cache", case);
+        let blocks = random_vec(&mut rng, 200, 4096);
+        let mut cache = DataCache::new(CacheConfig {
+            size_bytes: 4 * 1024,
+            block_bytes: 64,
+        });
         for &b in &blocks {
             let block = BlockId(b);
             cache.fill(block, LineState::Shared);
-            prop_assert!(cache.contains(block));
+            assert!(cache.contains(block));
         }
         // Residency never exceeds the number of lines.
-        prop_assert!(cache.resident_blocks().count() <= cache.config().lines());
+        assert!(cache.resident_blocks().count() <= cache.config().lines());
     }
+}
 
-    /// The block cache's resident count never exceeds its capacity and
-    /// flushing a page removes exactly that page's blocks.
-    #[test]
-    fn block_cache_respects_capacity(blocks in prop::collection::vec(0u64..10_000, 1..300)) {
-        let mut bc = BlockCache::new(BlockCacheConfig::Finite { size_bytes: 16 * 1024 });
-        let lines = BlockCacheConfig::Finite { size_bytes: 16 * 1024 }.lines().unwrap();
+/// The block cache's resident count never exceeds its capacity and flushing
+/// a page removes exactly that page's blocks.
+#[test]
+fn block_cache_respects_capacity() {
+    for case in 0..CASES {
+        let mut rng = rng_for("block-cache", case);
+        let blocks = random_vec(&mut rng, 300, 10_000);
+        let cfg = BlockCacheConfig::Finite {
+            size_bytes: 16 * 1024,
+        };
+        let mut bc = BlockCache::new(cfg);
+        let lines = cfg.lines().unwrap();
         for &b in &blocks {
             bc.fill(BlockId(b), BlockState::Clean);
-            prop_assert!(bc.resident() <= lines);
+            assert!(bc.resident() <= lines);
         }
         let page = PageId(3);
         let flushed = bc.flush_page(page);
         for (block, _) in &flushed {
-            prop_assert_eq!(block.page(), page);
-            prop_assert!(!bc.contains(*block));
+            assert_eq!(block.page(), page);
+            assert!(!bc.contains(*block));
         }
     }
+}
 
-    /// The page cache never exceeds its frame budget, whatever the
-    /// allocation sequence.
-    #[test]
-    fn page_cache_never_exceeds_capacity(pages in prop::collection::vec(0u64..500, 1..300)) {
+/// The page cache never exceeds its frame budget, whatever the allocation
+/// sequence.
+#[test]
+fn page_cache_never_exceeds_capacity() {
+    for case in 0..CASES {
+        let mut rng = rng_for("page-cache", case);
+        let pages = random_vec(&mut rng, 300, 500);
         let frames = 8usize;
         let mut pc = PageCache::new(PageCacheConfig::Finite {
             size_bytes: frames as u64 * PAGE_SIZE,
         });
         for &p in &pages {
             pc.allocate(PageId(p));
-            prop_assert!(pc.allocated_frames() <= frames);
+            assert!(pc.allocated_frames() <= frames);
         }
     }
+}
 
-    /// Directory invariant: after any sequence of reads/writes/evictions a
-    /// block in the Modified state has exactly one sharer, and Uncached
-    /// blocks have none.
-    #[test]
-    fn directory_sharer_counts_match_state(
-        ops in prop::collection::vec((0u8..3, 0u64..32, 0u16..8), 1..300)
-    ) {
+/// Directory invariant: after any sequence of reads/writes/evictions a block
+/// in the Modified state has exactly one sharer, and Uncached blocks have
+/// none.
+#[test]
+fn directory_sharer_counts_match_state() {
+    for case in 0..CASES {
+        let mut rng = rng_for("directory", case);
+        let ops = 1 + rng.next_below(300);
         let mut dir = Directory::new();
-        for (op, block, node) in ops {
-            let block = BlockId(block);
-            let node = NodeId(node);
+        for _ in 0..ops {
+            let op = rng.next_below(3);
+            let block = BlockId(rng.next_below(32));
+            let node = NodeId(rng.next_below(8) as u16);
             match op {
-                0 => { dir.handle_read(block, node); }
-                1 => { dir.handle_write(block, node); }
-                _ => { dir.handle_eviction(block, node); }
+                0 => {
+                    dir.handle_read(block, node);
+                }
+                1 => {
+                    dir.handle_write(block, node);
+                }
+                _ => {
+                    dir.handle_eviction(block, node);
+                }
             }
             let entry = dir.entry(block);
             match entry.state {
-                dsm_repro::protocol::DirectoryState::Uncached =>
-                    prop_assert_eq!(entry.sharer_count(), 0),
-                dsm_repro::protocol::DirectoryState::Modified =>
-                    prop_assert_eq!(entry.sharer_count(), 1),
-                dsm_repro::protocol::DirectoryState::Shared =>
-                    prop_assert!(entry.sharer_count() >= 1),
+                DirectoryState::Uncached => assert_eq!(entry.sharer_count(), 0),
+                DirectoryState::Modified => assert_eq!(entry.sharer_count(), 1),
+                DirectoryState::Shared => assert!(entry.sharer_count() >= 1),
             }
         }
     }
+}
 
-    /// Simulator invariant: for any small random trace, execution time is
-    /// positive, monotone in the number of accesses, and deterministic.
-    #[test]
-    fn simulator_is_deterministic_on_random_traces(
-        accesses in prop::collection::vec((0u16..8, 0u64..64, prop::bool::ANY), 1..120)
-    ) {
+/// Simulator invariant: for any small random trace, execution time is
+/// positive and deterministic across runs.
+#[test]
+fn simulator_is_deterministic_on_random_traces() {
+    for case in 0..CASES {
+        let mut rng = rng_for("simulator", case);
         let machine = MachineConfig::tiny();
+        let n_accesses = 1 + rng.next_below(120);
         let mut builder = TraceBuilder::new("proptest", machine.topology);
-        for (proc, line, is_write) in &accesses {
-            let proc = ProcId(*proc % machine.topology.total_procs() as u16);
-            let addr = GlobalAddr(line * BLOCK_SIZE);
-            if *is_write {
+        for _ in 0..n_accesses {
+            let proc = ProcId(rng.next_below(machine.topology.total_procs() as u64) as u16);
+            let addr = GlobalAddr(rng.next_below(64) * BLOCK_SIZE);
+            if rng.next_below(2) == 1 {
                 builder.write(proc, addr);
             } else {
                 builder.read(proc, addr);
@@ -117,27 +167,33 @@ proptest! {
         }
         builder.barrier_all();
         let trace = builder.build();
-        prop_assert!(trace.validate().is_ok());
+        assert!(trace.validate().is_ok());
 
-        let sim = ClusterSimulator::new(machine, SystemConfig::cc_numa());
+        let sim = ClusterSimulator::new(machine, System::cc_numa().build());
         let a = sim.run(&trace);
         let b = sim.run(&trace);
-        prop_assert_eq!(a.execution_time, b.execution_time);
-        prop_assert_eq!(a.total_remote_misses(), b.total_remote_misses());
-        prop_assert!(a.execution_time.raw() > 0);
-        prop_assert_eq!(a.accesses, accesses.len() as u64);
+        assert_eq!(a.execution_time, b.execution_time);
+        assert_eq!(a.total_remote_misses(), b.total_remote_misses());
+        assert!(a.execution_time.raw() > 0);
+        assert_eq!(a.accesses, n_accesses);
     }
+}
 
-    /// Workload generation is deterministic in the seed and always produces
-    /// a valid trace, for every workload and any seed.
-    #[test]
-    fn workload_generation_is_seed_deterministic(seed in any::<u64>(), idx in 0usize..7) {
-        let workload = &catalog()[idx];
-        // Use a tiny topology to keep the proptest cases fast.
-        let cfg = WorkloadConfig::reduced().with_seed(seed).with_topology(Topology::new(2, 2));
+/// Workload generation is deterministic in the seed and always produces a
+/// valid trace, for every workload and any seed.
+#[test]
+fn workload_generation_is_seed_deterministic() {
+    for case in 0..CASES {
+        let mut rng = rng_for("workloads", case);
+        let seed = rng.next_u64();
+        let workload = &catalog()[rng.next_below(7) as usize];
+        // Use a tiny topology to keep the cases fast.
+        let cfg = WorkloadConfig::reduced()
+            .with_seed(seed)
+            .with_topology(Topology::new(2, 2));
         let a = workload.generate(&cfg);
         let b = workload.generate(&cfg);
-        prop_assert!(a.validate().is_ok());
-        prop_assert_eq!(a.stats(), b.stats());
+        assert!(a.validate().is_ok());
+        assert_eq!(a.stats(), b.stats());
     }
 }
