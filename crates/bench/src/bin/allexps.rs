@@ -7,12 +7,16 @@ use dsm_core::MachineConfig;
 
 fn main() {
     let opts = Options::from_env();
+    if opts.handle_record() {
+        return;
+    }
 
     println!("== Table 2 ==");
     print!("{}", report::format_table2());
     println!("\n== Table 3 ==");
     print!("{}", report::format_table3());
 
+    let mut all_results = Vec::new();
     for (label, set) in [
         ("Figure 5", presets::figure5(opts.scale)),
         ("Figure 6", presets::figure6(opts.scale)),
@@ -28,6 +32,7 @@ fn main() {
         if opts.csv {
             print!("{}", report::to_csv(&result));
         }
+        all_results.push(result);
     }
 
     println!("\n== Table 4 ==");
@@ -36,4 +41,9 @@ fn main() {
         .options(&opts)
         .run();
     print!("{}", report::format_table4(&result));
+    all_results.push(result);
+
+    if let Some(path) = &opts.out {
+        report::write_json_all(path, &all_results).expect("write --out JSON");
+    }
 }

@@ -4,6 +4,9 @@ use dsm_core::MachineConfig;
 
 fn main() {
     let opts = Options::from_env();
+    if opts.handle_record() {
+        return;
+    }
     let result = Experiment::new(MachineConfig::PAPER)
         .systems(presets::figure8(opts.scale))
         .options(&opts)
@@ -11,5 +14,8 @@ fn main() {
     print!("{}", report::format_normalized_table(&result));
     if opts.csv {
         print!("{}", report::to_csv(&result));
+    }
+    if let Some(path) = &opts.out {
+        report::write_json(path, &result).expect("write --out JSON");
     }
 }

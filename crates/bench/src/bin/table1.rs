@@ -3,11 +3,14 @@
 //! operation counts from a reduced-scale run of two representative
 //! workloads (lu: replication-friendly; ocean: neither).
 
-use dsm_bench::{presets, Experiment, Options};
+use dsm_bench::{presets, report, Experiment, Options};
 use dsm_core::MachineConfig;
 
 fn main() {
     let opts = Options::from_env();
+    if opts.handle_record() {
+        return;
+    }
     println!("# Table 1: capacity/conflict miss reduction opportunity and overhead");
     println!(
         "{:<18} {:<14} {:<26} {:<14} {:<10} frequency",
@@ -47,5 +50,8 @@ fn main() {
             w.results[migrep].per_node_replications(),
             w.results[rnuma].per_node_relocations()
         );
+    }
+    if let Some(path) = &opts.out {
+        report::write_json(path, &result).expect("write --out JSON");
     }
 }

@@ -6,6 +6,9 @@ use dsm_core::MachineConfig;
 
 fn main() {
     let opts = Options::from_env();
+    if opts.handle_record() {
+        return;
+    }
     let result = Experiment::new(MachineConfig::PAPER)
         .systems(presets::table4(opts.scale))
         .options(&opts)
@@ -13,5 +16,8 @@ fn main() {
     print!("{}", report::format_table4(&result));
     if opts.csv {
         print!("{}", report::to_csv(&result));
+    }
+    if let Some(path) = &opts.out {
+        report::write_json(path, &result).expect("write --out JSON");
     }
 }

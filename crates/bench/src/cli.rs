@@ -6,7 +6,12 @@
 //! * `--workloads a,b,c`  — restrict to a subset of the seven workloads;
 //! * `--threads N`        — number of simulation worker threads;
 //! * `--csv`              — also print results as CSV for plotting;
+//! * `--out FILE`         — also write results as machine-readable JSON;
+//! * `--record FILE`      — stream one workload's trace to FILE and exit;
+//! * `--replay FILE`      — run the experiment on a recorded trace file;
 //! * `--help` / `-h`      — print usage and exit.
+
+use std::path::PathBuf;
 
 use crate::presets::ExperimentScale;
 use crate::runner::default_threads;
@@ -23,6 +28,12 @@ options:
                        raytrace)
   --threads N          number of simulation worker threads
   --csv                also print results as CSV for plotting
+  --out FILE           also write results as JSON to FILE
+  --record FILE        stream the selected workload's trace to FILE and
+                       exit without simulating (needs exactly one
+                       --workloads entry)
+  --replay FILE        run the experiment on a recorded trace file instead
+                       of generating a workload
   -h, --help           print this help and exit";
 
 /// Why parsing stopped without producing [`Options`].
@@ -66,6 +77,12 @@ pub struct Options {
     pub threads: usize,
     /// Emit CSV in addition to the formatted table.
     pub csv: bool,
+    /// Also write results as JSON to this file.
+    pub out: Option<PathBuf>,
+    /// Record the selected workload's trace to this file and exit.
+    pub record: Option<PathBuf>,
+    /// Replay a recorded trace file instead of generating workloads.
+    pub replay: Option<PathBuf>,
 }
 
 impl Options {
@@ -79,6 +96,9 @@ impl Options {
                 .collect(),
             threads: default_threads(),
             csv: false,
+            out: None,
+            record: None,
+            replay: None,
         };
         let mut iter = args.into_iter();
         // A flag's value must not itself look like a flag — catches
@@ -89,6 +109,7 @@ impl Options {
                 _ => Err(CliError::BadValue(format!("flag `{flag}` needs a value"))),
             }
         };
+        let mut workloads_selected = false;
         while let Some(arg) = iter.next() {
             match arg.as_str() {
                 "--paper" => opts.scale = ExperimentScale::Paper,
@@ -100,6 +121,7 @@ impl Options {
                     })?;
                 }
                 "--workloads" => {
+                    workloads_selected = true;
                     let v = value_of(&mut iter, "--workloads")?;
                     opts.workloads = v.split(',').map(|s| s.trim().to_string()).collect();
                     for w in &opts.workloads {
@@ -110,9 +132,31 @@ impl Options {
                         }
                     }
                 }
+                "--out" => {
+                    opts.out = Some(PathBuf::from(value_of(&mut iter, "--out")?));
+                }
+                "--record" => {
+                    opts.record = Some(PathBuf::from(value_of(&mut iter, "--record")?));
+                }
+                "--replay" => {
+                    opts.replay = Some(PathBuf::from(value_of(&mut iter, "--replay")?));
+                }
                 "--help" | "-h" => return Err(CliError::Help),
                 other => return Err(CliError::UnknownFlag(other.to_string())),
             }
+        }
+        // A replay file *is* the workload; silently ignoring a --workloads
+        // selection (or recording while replaying) would mislead.
+        if opts.replay.is_some() && workloads_selected {
+            return Err(CliError::BadValue(
+                "`--replay` runs the recorded trace and cannot be combined with `--workloads`"
+                    .to_string(),
+            ));
+        }
+        if opts.replay.is_some() && opts.record.is_some() {
+            return Err(CliError::BadValue(
+                "`--record` and `--replay` cannot be combined".to_string(),
+            ));
         }
         Ok(opts)
     }
@@ -136,6 +180,44 @@ impl Options {
     /// Workload names as `&str` slices.
     pub fn workload_names(&self) -> Vec<&str> {
         self.workloads.iter().map(String::as_str).collect()
+    }
+
+    /// Handle `--record FILE` if present: stream the selected workload's
+    /// trace to the file (never materializing it) and report what was
+    /// written.  Returns `true` when recording happened — the binary should
+    /// exit without running an experiment.
+    ///
+    /// Exits with status 2 when the selection is not exactly one workload or
+    /// the file cannot be written.
+    pub fn handle_record(&self) -> bool {
+        let Some(path) = &self.record else {
+            return false;
+        };
+        if self.workloads.len() != 1 {
+            eprintln!(
+                "error: --record needs exactly one workload; \
+                 pick it with --workloads NAME"
+            );
+            std::process::exit(2);
+        }
+        let name = &self.workloads[0];
+        let workload = splash_workloads::by_name(name).expect("workloads are validated by parse");
+        let cfg = splash_workloads::WorkloadConfig::at_scale(self.scale.workload_scale());
+        let mut stream = splash_workloads::stream(workload, cfg);
+        if let Err(e) = mem_trace::record_to_file(&mut stream, path) {
+            eprintln!("error: recording {name} to {}: {e}", path.display());
+            std::process::exit(2);
+        }
+        use mem_trace::TraceSource;
+        let stats = stream.stats_so_far();
+        println!(
+            "recorded {name} ({} accesses, {} barriers, {} pages) to {}",
+            stats.accesses,
+            stats.barriers,
+            stats.footprint_pages,
+            path.display()
+        );
+        true
     }
 }
 
@@ -171,6 +253,35 @@ mod tests {
         assert!(o.csv);
         assert_eq!(o.threads, 3);
         assert_eq!(o.workloads, vec!["lu", "radix"]);
+        assert_eq!(o.out, None);
+        assert_eq!(o.record, None);
+        assert_eq!(o.replay, None);
+    }
+
+    #[test]
+    fn file_flags_take_paths() {
+        let o = parse(&["--out", "results.json"]).unwrap();
+        assert_eq!(o.out, Some(std::path::PathBuf::from("results.json")));
+        let o = parse(&["--record", "lu.trc", "--workloads", "lu"]).unwrap();
+        assert_eq!(o.record, Some(std::path::PathBuf::from("lu.trc")));
+        let o = parse(&["--replay", "lu.trc"]).unwrap();
+        assert_eq!(o.replay, Some(std::path::PathBuf::from("lu.trc")));
+        // Each needs a value.
+        assert!(parse(&["--out"]).is_err());
+        assert!(parse(&["--record", "--csv"]).is_err());
+        assert!(parse(&["--replay"]).is_err());
+        // No record requested: handle_record is a no-op.
+        assert!(!parse(&[]).unwrap().handle_record());
+    }
+
+    #[test]
+    fn replay_rejects_conflicting_selections() {
+        let err = parse(&["--replay", "x.trc", "--workloads", "lu"]).unwrap_err();
+        assert!(err.to_string().contains("--workloads"), "{err}");
+        let err = parse(&["--workloads", "lu", "--replay", "x.trc"]).unwrap_err();
+        assert!(err.to_string().contains("--replay"), "{err}");
+        let err = parse(&["--replay", "x.trc", "--record", "y.trc"]).unwrap_err();
+        assert!(err.to_string().contains("--record"), "{err}");
     }
 
     #[test]

@@ -18,24 +18,35 @@
 //! println!("{}", dsm_bench::report::format_normalized_table(&result));
 //! ```
 //!
+//! Named workloads are **streamed**: every (workload, system) job
+//! instantiates a fresh deterministic [`mem_trace::TraceSource`] whose
+//! generator runs on its own thread and is consumed as the simulation
+//! advances, so peak memory is bounded by the pipeline's channel — not by
+//! the trace size, and not by how many workloads the experiment covers.
+//!
 //! Custom traces (instead of named Table 2 workloads) are supplied with
 //! [`Experiment::traces`], which makes the harness usable for ad-hoc
-//! sharing-pattern studies (see `examples/custom_workload.rs`).
+//! sharing-pattern studies (see `examples/custom_workload.rs`); recorded
+//! trace files replay through [`Experiment::replay`].
+
+use std::path::PathBuf;
 
 use crate::cli::Options;
 use crate::presets::{ExperimentScale, SystemSet};
 use crate::runner::{default_threads, ExperimentResult, WorkloadResult};
 use dsm_core::{ClusterSimulator, MachineConfig, SimResult, SystemConfig};
-use mem_trace::ProgramTrace;
+use mem_trace::{ProgramTrace, ReplaySource};
 use splash_workloads::{by_name, WorkloadConfig};
 
 /// Where an experiment's traces come from.
 #[derive(Debug, Clone)]
 enum WorkloadSource {
-    /// Named Table 2 workloads, generated at the experiment's scale.
+    /// Named Table 2 workloads, stream-generated at the experiment's scale.
     Named(Vec<String>),
     /// Pre-built traces supplied by the caller.
     Traces(Vec<ProgramTrace>),
+    /// Recorded trace files, replayed with bounded memory.
+    Replay(Vec<PathBuf>),
 }
 
 /// Builder for one experiment run.  See the [module docs](self).
@@ -97,6 +108,18 @@ impl Experiment {
         self
     }
 
+    /// Replay a recorded trace file (see [`mem_trace::replay`]) instead of
+    /// generating a workload; each job re-opens the file and streams it, so
+    /// memory stays bounded.  Call repeatedly to replay several files.
+    pub fn replay(mut self, path: impl Into<PathBuf>) -> Self {
+        let path = path.into();
+        match &mut self.source {
+            WorkloadSource::Replay(paths) => paths.push(path),
+            _ => self.source = WorkloadSource::Replay(vec![path]),
+        }
+        self
+    }
+
     /// Problem/parameter scale for named workloads.
     pub fn scale(mut self, scale: ExperimentScale) -> Self {
         self.scale = scale;
@@ -109,59 +132,93 @@ impl Experiment {
         self
     }
 
-    /// Apply parsed command-line options: workloads, scale and threads.
+    /// Apply parsed command-line options: workloads (or a replay file),
+    /// scale and threads.
     pub fn options(self, opts: &Options) -> Self {
-        self.workloads(opts.workload_names())
-            .scale(opts.scale)
-            .threads(opts.threads)
+        let exp = match &opts.replay {
+            Some(path) => self.replay(path.clone()),
+            None => self.workloads(opts.workload_names()),
+        };
+        exp.scale(opts.scale).threads(opts.threads)
     }
 
     /// Run every (workload, system) pair and collect the results.
     ///
+    /// Each job instantiates its own fresh trace source — a streaming
+    /// generator for named workloads, a cursor for caller-supplied traces, a
+    /// re-opened file for replays — so simulations proceed independently and
+    /// peak memory does not scale with the trace size or workload count.
+    ///
     /// # Panics
     /// Panics if [`Experiment::systems`] was not called, if a worker thread
-    /// panics, or if a trace does not match the machine.
+    /// panics, if a replay file cannot be opened, or if a trace does not
+    /// match the machine.
     pub fn run(self) -> ExperimentResult {
         let set = self
             .systems
             .expect("Experiment::systems(..) must be called before run()");
-        let traces = match self.source {
-            WorkloadSource::Named(names) => {
-                let cfg = WorkloadConfig::at_scale(self.scale.workload_scale());
-                names
-                    .iter()
-                    .map(|name| {
-                        by_name(name)
-                            .unwrap_or_else(|| panic!("unknown workload {name}"))
-                            .generate(&cfg)
-                    })
-                    .collect::<Vec<_>>()
-            }
-            WorkloadSource::Traces(traces) => traces,
+        let source = self.source;
+        let cfg = WorkloadConfig::at_scale(self.scale.workload_scale());
+        // Workload display names, resolved up front (for replays this reads
+        // just the file header).
+        let workload_names: Vec<String> = match &source {
+            WorkloadSource::Named(names) => names.clone(),
+            WorkloadSource::Traces(traces) => traces.iter().map(|t| t.name.clone()).collect(),
+            WorkloadSource::Replay(paths) => paths
+                .iter()
+                .map(|p| {
+                    use mem_trace::TraceSource;
+                    ReplaySource::open(p)
+                        .unwrap_or_else(|e| panic!("cannot open replay file {p:?}: {e}"))
+                        .name()
+                        .to_string()
+                })
+                .collect(),
         };
 
         // The full job list; system index 0 is the baseline.
         let mut all_systems: Vec<SystemConfig> = Vec::with_capacity(set.systems.len() + 1);
         all_systems.push(set.baseline.clone());
         all_systems.extend(set.systems.iter().cloned());
-        let jobs: Vec<(usize, usize)> = (0..traces.len())
+        let jobs: Vec<(usize, usize)> = (0..workload_names.len())
             .flat_map(|w| (0..all_systems.len()).map(move |s| (w, s)))
             .collect();
+        // More workers than jobs would only spawn idle threads.
+        let threads = self.threads.min(jobs.len()).max(1);
 
         let machine = self.machine;
         let results: Vec<Vec<Option<SimResult>>> = {
-            let table = std::sync::Mutex::new(vec![vec![None; all_systems.len()]; traces.len()]);
+            let table =
+                std::sync::Mutex::new(vec![vec![None; all_systems.len()]; workload_names.len()]);
             let next = std::sync::atomic::AtomicUsize::new(0);
+            let source = &source;
+            let run_job = move |w: usize, s: usize| -> SimResult {
+                let sim = ClusterSimulator::new(machine, all_systems[s].clone());
+                match source {
+                    WorkloadSource::Named(names) => {
+                        let workload = by_name(&names[w])
+                            .unwrap_or_else(|| panic!("unknown workload {}", names[w]));
+                        let mut stream = splash_workloads::stream(workload, cfg);
+                        sim.run_source(&mut stream)
+                    }
+                    WorkloadSource::Traces(traces) => sim.run(&traces[w]),
+                    WorkloadSource::Replay(paths) => {
+                        let mut replay = ReplaySource::open(&paths[w]).unwrap_or_else(|e| {
+                            panic!("cannot open replay file {:?}: {e}", paths[w])
+                        });
+                        sim.run_source(&mut replay)
+                    }
+                }
+            };
             std::thread::scope(|scope| {
-                for _ in 0..self.threads {
+                for _ in 0..threads {
                     scope.spawn(|| loop {
                         let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                         if i >= jobs.len() {
                             break;
                         }
                         let (w, s) = jobs[i];
-                        let sim = ClusterSimulator::new(machine, all_systems[s].clone());
-                        let result = sim.run(&traces[w]);
+                        let result = run_job(w, s);
                         table.lock().expect("result table poisoned")[w][s] = Some(result);
                     });
                 }
@@ -171,8 +228,8 @@ impl Experiment {
 
         let per_workload = results
             .into_iter()
-            .zip(traces.iter())
-            .map(|(mut row, trace)| {
+            .zip(workload_names)
+            .map(|(mut row, workload)| {
                 let baseline = row[0].take().expect("baseline result missing");
                 let results = row
                     .into_iter()
@@ -180,7 +237,7 @@ impl Experiment {
                     .map(|r| r.expect("system result missing"))
                     .collect();
                 WorkloadResult {
-                    workload: trace.name.clone(),
+                    workload,
                     baseline,
                     results,
                 }
@@ -269,6 +326,90 @@ mod tests {
                 assert_eq!(ra.total_remote_misses(), rb.total_remote_misses());
             }
         }
+    }
+
+    #[test]
+    fn streamed_named_workloads_match_materialized_traces() {
+        // The named path streams each job; feeding the same workload as a
+        // pre-materialized trace must give bit-identical results.
+        let set = || SystemSet {
+            experiment: "stream parity",
+            baseline: System::perfect_cc_numa().build(),
+            systems: vec![System::cc_numa().build()],
+        };
+        let streamed = Experiment::new(MachineConfig::PAPER)
+            .systems(set())
+            .workloads(["ocean"])
+            .threads(2)
+            .run();
+        let trace = splash_workloads::by_name("ocean")
+            .unwrap()
+            .generate(&WorkloadConfig::reduced());
+        let materialized = Experiment::new(MachineConfig::PAPER)
+            .systems(set())
+            .traces(vec![trace])
+            .threads(2)
+            .run();
+        assert_eq!(streamed.per_workload.len(), materialized.per_workload.len());
+        assert_eq!(
+            streamed.per_workload[0].baseline,
+            materialized.per_workload[0].baseline
+        );
+        assert_eq!(
+            streamed.per_workload[0].results,
+            materialized.per_workload[0].results
+        );
+    }
+
+    #[test]
+    fn replayed_trace_file_matches_the_generated_workload() {
+        use mem_trace::record_to_file;
+        let cfg = WorkloadConfig::reduced();
+        let path = std::env::temp_dir().join("dsm-repro-experiment-replay.trc");
+        let mut stream = splash_workloads::stream(by_name("ocean").unwrap(), cfg);
+        record_to_file(&mut stream, &path).unwrap();
+
+        let set = || SystemSet {
+            experiment: "replay parity",
+            baseline: System::perfect_cc_numa().build(),
+            systems: vec![System::cc_numa().build()],
+        };
+        let replayed = Experiment::new(MachineConfig::PAPER)
+            .systems(set())
+            .replay(&path)
+            .threads(2)
+            .run();
+        let generated = Experiment::new(MachineConfig::PAPER)
+            .systems(set())
+            .workloads(["ocean"])
+            .threads(2)
+            .run();
+        assert_eq!(replayed.per_workload[0].workload, "ocean");
+        assert_eq!(
+            replayed.per_workload[0].baseline,
+            generated.per_workload[0].baseline
+        );
+        assert_eq!(
+            replayed.per_workload[0].results,
+            generated.per_workload[0].results
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn thread_count_is_capped_at_the_job_count() {
+        // A 1-workload, 2-system experiment has 3 jobs; asking for 64
+        // threads must still work (and not spawn 61 idle workers).
+        let result = Experiment::new(MachineConfig::PAPER)
+            .systems(SystemSet {
+                experiment: "cap",
+                baseline: System::perfect_cc_numa().build(),
+                systems: vec![System::cc_numa().build()],
+            })
+            .workloads(["ocean"])
+            .threads(64)
+            .run();
+        assert_eq!(result.per_workload.len(), 1);
     }
 
     #[test]

@@ -30,7 +30,7 @@ pub mod runner;
 pub use cli::{CliError, Options};
 pub use experiment::Experiment;
 pub use presets::{ExperimentScale, SystemSet};
-pub use report::{format_normalized_table, format_table4, normalized_rows};
+pub use report::{format_normalized_table, format_table4, normalized_rows, to_json, write_json};
 #[allow(deprecated)]
 pub use runner::run_experiment;
 pub use runner::{ExperimentResult, WorkloadResult};

@@ -1,7 +1,11 @@
 //! Text rendering of experiment results in the shape of the paper's
-//! figures and tables.
+//! figures and tables, plus machine-readable JSON for the perf trajectory
+//! (`--out FILE`, conventionally `BENCH_*.json`).
 
 use crate::runner::ExperimentResult;
+use dsm_core::SimResult;
+use std::io;
+use std::path::Path;
 
 /// Rows of (workload, normalized execution time per system) suitable for a
 /// bar chart like Figures 5-8.
@@ -204,6 +208,104 @@ pub fn to_csv(result: &ExperimentResult) -> String {
     out
 }
 
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn sim_result_json(r: &SimResult, baseline: Option<&SimResult>) -> String {
+    let normalized = baseline
+        .map(|b| format!(",\"normalized_time\":{:.6}", r.normalized_against(b)))
+        .unwrap_or_default();
+    format!(
+        concat!(
+            "{{\"system\":\"{}\",\"execution_time\":{},\"accesses\":{},\"barriers\":{},",
+            "\"remote_misses\":{},\"remote_capacity_misses\":{},",
+            "\"migrations_per_node\":{:.1},\"replications_per_node\":{:.1},",
+            "\"relocations_per_node\":{:.1},\"page_cache_replacements\":{},",
+            "\"network_messages\":{},\"network_bytes\":{}{}}}"
+        ),
+        json_escape(&r.system),
+        r.execution_time.raw(),
+        r.accesses,
+        r.barriers,
+        r.total_remote_misses(),
+        r.total_remote_capacity_misses(),
+        r.per_node_migrations(),
+        r.per_node_replications(),
+        r.per_node_relocations(),
+        r.total_page_cache_replacements(),
+        r.traffic.total_messages(),
+        r.traffic.total_bytes(),
+        normalized,
+    )
+}
+
+/// Render one experiment result as a JSON object (systems, per-workload
+/// baseline and per-system metrics, normalized execution times).
+pub fn to_json(result: &ExperimentResult) -> String {
+    let systems = result
+        .system_names
+        .iter()
+        .map(|n| format!("\"{}\"", json_escape(n)))
+        .collect::<Vec<_>>()
+        .join(",");
+    let workloads = result
+        .per_workload
+        .iter()
+        .map(|w| {
+            let rows = w
+                .results
+                .iter()
+                .map(|r| sim_result_json(r, Some(&w.baseline)))
+                .collect::<Vec<_>>()
+                .join(",");
+            format!(
+                "{{\"workload\":\"{}\",\"baseline\":{},\"results\":[{}]}}",
+                json_escape(&w.workload),
+                sim_result_json(&w.baseline, None),
+                rows
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    let means = (0..result.system_names.len())
+        .map(|i| format!("{:.6}", result.mean_normalized(i)))
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        concat!(
+            "{{\"experiment\":\"{}\",\"systems\":[{}],",
+            "\"mean_normalized_time\":[{}],\"workloads\":[{}]}}"
+        ),
+        json_escape(&result.experiment),
+        systems,
+        means,
+        workloads
+    )
+}
+
+/// Write one experiment result as a JSON object to `path`.
+pub fn write_json(path: &Path, result: &ExperimentResult) -> io::Result<()> {
+    std::fs::write(path, to_json(result) + "\n")
+}
+
+/// Write several experiment results as a JSON array to `path` (used by
+/// `allexps --out`).
+pub fn write_json_all(path: &Path, results: &[ExperimentResult]) -> io::Result<()> {
+    let body = results.iter().map(to_json).collect::<Vec<_>>().join(",");
+    std::fs::write(path, format!("[{body}]\n"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -235,6 +337,29 @@ mod tests {
         let csv = to_csv(&result);
         assert_eq!(csv.lines().count(), 1 + result.system_names.len());
         assert!(csv.starts_with("workload,system"));
+    }
+
+    #[test]
+    fn json_output_covers_workloads_and_systems() {
+        let result = small_result();
+        let json = to_json(&result);
+        assert!(json.contains("\"experiment\""));
+        assert!(json.contains("\"workload\":\"ocean\""));
+        assert!(json.contains("\"system\":\"R-NUMA\""));
+        assert!(json.contains("\"normalized_time\""));
+        assert!(json.contains("\"execution_time\""));
+        // Balanced braces/brackets (cheap well-formedness check with no JSON
+        // parser in the offline environment).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(json_escape("a\"b\\c\n").contains("\\\""));
+
+        let path = std::env::temp_dir().join("dsm-repro-report-test.json");
+        write_json(&path, &result).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap().trim(), json);
+        write_json_all(&path, &[result.clone(), result]).unwrap();
+        assert!(std::fs::read_to_string(&path).unwrap().starts_with('['));
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

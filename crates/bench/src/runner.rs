@@ -76,13 +76,15 @@ pub fn run_experiment(
         .run()
 }
 
-/// Number of worker threads to use by default: one per CPU, capped at the
-/// number of independent simulations a typical figure runs.
+/// Number of worker threads to use by default: one per CPU.
+///
+/// No hard cap: [`Experiment::run`] clamps the worker count to the
+/// experiment's actual job count, so large machines use every core a figure
+/// can keep busy instead of idling past an arbitrary ceiling.
 pub fn default_threads() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4)
-        .min(16)
 }
 
 #[cfg(test)]

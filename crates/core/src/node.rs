@@ -14,8 +14,6 @@ pub struct ProcState {
     pub cache: DataCache,
     /// Miss-classification history.
     pub classifier: MissClassifier,
-    /// Index of the next trace event to execute.
-    pub cursor: usize,
     /// The processor's local clock.
     pub time: Cycles,
     /// `true` once the processor has drained its trace.
@@ -41,7 +39,6 @@ impl ProcState {
         ProcState {
             cache: DataCache::new(l1),
             classifier: MissClassifier::new(),
-            cursor: 0,
             time: Cycles::ZERO,
             done: false,
             waiting: Waiting::None,

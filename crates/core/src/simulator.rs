@@ -9,6 +9,13 @@
 //! to the issuing processor.  Barriers and locks couple the processors'
 //! clocks exactly as the PARMACS synchronization of the original SPLASH-2
 //! programs would.
+//!
+//! Traces are consumed through the pull-based [`TraceSource`] abstraction:
+//! the simulator never indexes into a materialized event vector, it only
+//! asks a source for one processor's next event.  A materialized
+//! [`ProgramTrace`] is just one such source ([`ProgramTrace::source`]); the
+//! same run can instead be fed by a streaming generator or a recorded trace
+//! file with bounded memory ([`ClusterSimulator::run_source`]).
 
 use std::collections::{BTreeSet, HashMap, VecDeque};
 
@@ -17,7 +24,8 @@ use dsm_protocol::directory::{DataSource, Directory, DirectoryState};
 use dsm_protocol::page_cache::AllocOutcome;
 use dsm_protocol::{Interconnect, MsgKind};
 use mem_trace::{
-    AccessKind, BlockId, MemRef, NodeId, PageId, ProcId, ProgramTrace, TraceEvent, BLOCKS_PER_PAGE,
+    AccessKind, BlockId, MemRef, NodeId, PageId, ProcId, ProgramTrace, TraceError, TraceEvent,
+    TraceSource, BLOCKS_PER_PAGE,
 };
 use sim_engine::{Cycles, EventQueue};
 use smp_node::cache::{CacheOutcome, LineState, Victim};
@@ -58,18 +66,52 @@ impl ClusterSimulator {
     ///
     /// # Panics
     /// Panics if the trace is malformed or was generated for a different
-    /// number of processors than this machine has.
+    /// number of processors than this machine has.  Use
+    /// [`ClusterSimulator::try_run`] for the fallible equivalent.
     pub fn run(&self, trace: &ProgramTrace) -> SimResult {
         assert_eq!(
             trace.topology.total_procs(),
             self.machine.topology.total_procs(),
             "trace generated for a different machine"
         );
-        trace
-            .validate()
-            .unwrap_or_else(|e| panic!("malformed trace {}: {e:?}", trace.name));
+        self.try_run(trace)
+            .unwrap_or_else(|e| panic!("malformed trace {}: {e:?}", trace.name))
+    }
+
+    /// Run `trace` to completion, reporting malformed traces (wrong
+    /// processor count, mismatched barriers, unbalanced locks) as an error
+    /// instead of panicking.
+    pub fn try_run(&self, trace: &ProgramTrace) -> Result<SimResult, TraceError> {
+        trace.validate()?;
+        self.try_run_source(&mut trace.source())
+    }
+
+    /// Run a streaming [`TraceSource`] to completion.
+    ///
+    /// # Panics
+    /// Panics if the stream is malformed.  Use
+    /// [`ClusterSimulator::try_run_source`] for the fallible equivalent.
+    pub fn run_source(&self, source: &mut dyn TraceSource) -> SimResult {
+        let name = source.name().to_string();
+        self.try_run_source(source)
+            .unwrap_or_else(|e| panic!("malformed trace {name}: {e:?}"))
+    }
+
+    /// Run a streaming [`TraceSource`] to completion.
+    ///
+    /// A stream cannot be validated up front the way a materialized trace
+    /// can, so structural errors are detected as they are reached: a barrier
+    /// episode whose arrivals disagree on the barrier id, a lock release by
+    /// a processor that does not hold the lock, or streams that end while
+    /// processors are still blocked.
+    pub fn try_run_source(&self, source: &mut dyn TraceSource) -> Result<SimResult, TraceError> {
+        let streams = source.topology().total_procs();
+        let expected = self.machine.topology.total_procs();
+        if streams != expected {
+            return Err(TraceError::ProcCountMismatch { streams, expected });
+        }
         let mut run = RunState::new(&self.machine, &self.system);
-        run.execute(trace)
+        run.execute(source)
     }
 }
 
@@ -133,10 +175,11 @@ impl<'a> RunState<'a> {
         self.system.costs.remote_miss
     }
 
-    fn execute(&mut self, trace: &ProgramTrace) -> SimResult {
+    fn execute(&mut self, source: &mut dyn TraceSource) -> Result<SimResult, TraceError> {
+        let workload = source.name().to_string();
         let mut queue: EventQueue<u16> = EventQueue::with_capacity(self.procs.len());
         for p in 0..self.procs.len() {
-            if !trace.per_proc[p].is_empty() {
+            if !source.exhausted(ProcId(p as u16)) {
                 queue.push(Cycles::ZERO, p as u16);
             } else {
                 self.procs[p].done = true;
@@ -145,33 +188,41 @@ impl<'a> RunState<'a> {
 
         while let Some((_, p)) = queue.pop() {
             let pid = p as usize;
-            let events = &trace.per_proc[pid];
-            if self.procs[pid].cursor >= events.len() {
+            let Some(ev) = source.next_event(ProcId(p)) else {
                 self.procs[pid].done = true;
                 continue;
-            }
-            let ev = events[self.procs[pid].cursor];
+            };
             match ev {
                 TraceEvent::Compute(c) => {
-                    self.procs[pid].cursor += 1;
                     self.procs[pid].time += Cycles::new(u64::from(c));
-                    self.reschedule(pid, &mut queue, events.len());
+                    self.reschedule(pid, &mut queue, source);
                 }
                 TraceEvent::Access(m) => {
-                    self.procs[pid].cursor += 1;
                     let now = self.procs[pid].time;
                     let latency = self.service_access(pid, m, now);
                     self.procs[pid].time += latency;
                     self.accesses += 1;
                     let nidx = self.machine.topology.node_of(ProcId(pid as u16)).index();
                     self.nodes[nidx].stats.memory_stall_cycles += latency;
-                    self.reschedule(pid, &mut queue, events.len());
+                    self.reschedule(pid, &mut queue, source);
                 }
                 TraceEvent::Barrier(id) => {
-                    self.procs[pid].cursor += 1;
                     self.procs[pid].waiting = Waiting::Barrier(id);
                     self.barrier_waiting.push(p);
                     if self.barrier_waiting.len() == self.procs.len() {
+                        // Every arrival must name the same barrier: a stream
+                        // cannot be checked up front, so check the episode
+                        // (all arrivals, not just the ones after the first).
+                        if let Some(&other) = self
+                            .barrier_waiting
+                            .iter()
+                            .find(|&&q| self.procs[q as usize].waiting != Waiting::Barrier(id))
+                        {
+                            return Err(TraceError::BarrierMismatch {
+                                proc_a: ProcId(p),
+                                proc_b: ProcId(other),
+                            });
+                        }
                         let release = self
                             .barrier_waiting
                             .iter()
@@ -184,7 +235,7 @@ impl<'a> RunState<'a> {
                             let qi = q as usize;
                             self.procs[qi].time = release;
                             self.procs[qi].waiting = Waiting::None;
-                            if self.procs[qi].cursor < trace.per_proc[qi].len() {
+                            if !source.exhausted(ProcId(q)) {
                                 queue.push(release, q);
                             } else {
                                 self.procs[qi].done = true;
@@ -194,7 +245,6 @@ impl<'a> RunState<'a> {
                     }
                 }
                 TraceEvent::Lock(id) => {
-                    self.procs[pid].cursor += 1;
                     let acquire_now = {
                         let lock = self.locks.entry(id).or_default();
                         if lock.held_by.is_none() {
@@ -208,7 +258,7 @@ impl<'a> RunState<'a> {
                     if acquire_now {
                         let cost = self.lock_cost();
                         self.procs[pid].time += cost;
-                        if self.procs[pid].cursor < events.len() {
+                        if !source.exhausted(ProcId(p)) {
                             queue.push(self.procs[pid].time, p);
                         } else {
                             self.procs[pid].done = true;
@@ -218,10 +268,15 @@ impl<'a> RunState<'a> {
                     }
                 }
                 TraceEvent::Unlock(id) => {
-                    self.procs[pid].cursor += 1;
                     let release_time = self.procs[pid].time;
                     let next = {
                         let lock = self.locks.entry(id).or_default();
+                        if lock.held_by != Some(p) {
+                            return Err(TraceError::UnbalancedLock {
+                                proc: ProcId(p),
+                                lock: id,
+                            });
+                        }
                         lock.held_by = None;
                         lock.waiters.pop_front()
                     };
@@ -231,34 +286,51 @@ impl<'a> RunState<'a> {
                         self.locks.get_mut(&id).expect("lock exists").held_by = Some(w);
                         self.procs[wi].time = self.procs[wi].time.max(release_time) + cost;
                         self.procs[wi].waiting = Waiting::None;
-                        if self.procs[wi].cursor < trace.per_proc[wi].len() {
+                        if !source.exhausted(ProcId(w)) {
                             queue.push(self.procs[wi].time, w);
                         } else {
                             self.procs[wi].done = true;
                         }
                     }
-                    self.reschedule(pid, &mut queue, events.len());
+                    self.reschedule(pid, &mut queue, source);
                 }
             }
         }
 
-        self.finish(trace)
+        // The queue ran dry: every processor must have drained its stream.
+        // Anything still blocked means the streams desynchronized (e.g. one
+        // stream ended while others wait at a barrier it never reached).
+        let blocked = self
+            .procs
+            .iter()
+            .filter(|p| p.waiting != Waiting::None)
+            .count();
+        if blocked > 0 {
+            return Err(TraceError::Deadlock { blocked });
+        }
+
+        Ok(self.finish(&workload))
     }
 
     /// Re-enqueue a runnable processor, or mark it finished once its trace
     /// is drained.
-    fn reschedule(&mut self, pid: usize, queue: &mut EventQueue<u16>, total_events: usize) {
+    fn reschedule(
+        &mut self,
+        pid: usize,
+        queue: &mut EventQueue<u16>,
+        source: &mut dyn TraceSource,
+    ) {
         if self.procs[pid].waiting != Waiting::None {
             return;
         }
-        if self.procs[pid].cursor < total_events {
+        if !source.exhausted(ProcId(pid as u16)) {
             queue.push(self.procs[pid].time, pid as u16);
         } else {
             self.procs[pid].done = true;
         }
     }
 
-    fn finish(&mut self, trace: &ProgramTrace) -> SimResult {
+    fn finish(&mut self, workload: &str) -> SimResult {
         let execution_time = self
             .procs
             .iter()
@@ -276,7 +348,7 @@ impl<'a> RunState<'a> {
         }
         SimResult {
             system: self.system.name.clone(),
-            workload: trace.name.clone(),
+            workload: workload.to_string(),
             execution_time,
             per_node: self.nodes.iter().map(|n| n.stats.clone()).collect(),
             traffic: self.network.traffic().clone(),
@@ -1581,5 +1653,94 @@ mod tests {
         let machine = MachineConfig::PAPER;
         let trace = TraceBuilder::new("small", mem_trace::Topology::new(1, 1)).build();
         ClusterSimulator::new(machine, System::cc_numa().build()).run(&trace);
+    }
+
+    #[test]
+    fn try_run_reports_errors_instead_of_panicking() {
+        let machine = MachineConfig::tiny();
+        let sim = ClusterSimulator::new(machine, System::cc_numa().build());
+
+        // Wrong processor count.
+        let trace = TraceBuilder::new("small", mem_trace::Topology::new(1, 1)).build();
+        assert_eq!(
+            sim.try_run(&trace),
+            Err(TraceError::ProcCountMismatch {
+                streams: 1,
+                expected: 4
+            })
+        );
+
+        // Unbalanced lock.
+        let mut b = TraceBuilder::new("bad-lock", machine.topology);
+        b.unlock(ProcId(0), 3);
+        assert!(matches!(
+            sim.try_run(&b.build()),
+            Err(TraceError::UnbalancedLock {
+                proc: ProcId(0),
+                lock: 3
+            })
+        ));
+
+        // A well-formed trace still runs and matches the panicking shim.
+        let mut b = TraceBuilder::new("good", machine.topology);
+        b.write(ProcId(0), GlobalAddr(0));
+        b.barrier_all();
+        b.read(ProcId(2), GlobalAddr(0));
+        let trace = b.build();
+        let ok = sim.try_run(&trace).expect("valid trace");
+        assert_eq!(ok, sim.run(&trace));
+    }
+
+    #[test]
+    fn run_source_on_a_cursor_matches_run_on_the_trace() {
+        let machine = MachineConfig::PAPER;
+        let trace = read_shared_trace(&machine, 50);
+        let sys = System::cc_numa()
+            .with(MigRep::both())
+            .with(scaled_thresholds())
+            .build();
+        let sim = ClusterSimulator::new(machine, sys);
+        let materialized = sim.run(&trace);
+        let streamed = sim.run_source(&mut trace.source());
+        assert_eq!(materialized, streamed);
+    }
+
+    #[test]
+    fn streamed_barrier_mismatch_is_detected_mid_run() {
+        // Per-proc streams whose barrier ids disagree: the up-front validate
+        // would catch this; the streaming path must catch it at the episode
+        // no matter which arrival carries the divergent id — including the
+        // first arrival (a regression here once let a divergent first
+        // arrival slip through unchecked).
+        let machine = MachineConfig::tiny();
+        let topo = machine.topology;
+        let sim = ClusterSimulator::new(machine, System::cc_numa().build());
+        for divergent in 0..topo.total_procs() {
+            let mut per_proc = vec![vec![TraceEvent::Barrier(0)]; topo.total_procs()];
+            per_proc[divergent][0] = TraceEvent::Barrier(7);
+            let trace = ProgramTrace::new("mismatch", topo, per_proc);
+            assert!(
+                matches!(
+                    sim.try_run_source(&mut trace.source()),
+                    Err(TraceError::BarrierMismatch { .. })
+                ),
+                "divergent barrier on proc {divergent} not detected"
+            );
+        }
+    }
+
+    #[test]
+    fn streamed_desync_ends_in_a_deadlock_error() {
+        // Processor 0 never reaches the barrier the rest wait at.
+        let machine = MachineConfig::tiny();
+        let topo = machine.topology;
+        let mut per_proc = vec![vec![TraceEvent::Barrier(0)]; topo.total_procs()];
+        per_proc[0] = vec![TraceEvent::Compute(5)];
+        let trace = ProgramTrace::new("desync", topo, per_proc);
+        let sim = ClusterSimulator::new(machine, System::cc_numa().build());
+        assert_eq!(
+            sim.try_run_source(&mut trace.source()),
+            Err(TraceError::Deadlock { blocked: 3 })
+        );
     }
 }

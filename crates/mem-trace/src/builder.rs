@@ -1,35 +1,75 @@
-//! Convenience builder for emitting well-formed per-processor traces.
+//! Convenience builders for emitting well-formed per-processor traces.
 //!
-//! Workload generators create one [`TraceBuilder`] and emit events through
-//! the per-processor handles it exposes.  The builder keeps barrier ids
-//! consistent across processors and applies a configurable "compute cost per
-//! access" so that generators only have to describe *which* shared locations
-//! each processor touches.
+//! Workload generators describe *which* shared locations each processor
+//! touches; the emission machinery here keeps barrier ids consistent across
+//! processors and applies a configurable "compute cost per access" so that
+//! generators stay declarative.
+//!
+//! Two layers:
+//!
+//! * [`TraceWriter`] emits events into any [`EventSink`] — a set of
+//!   in-memory vectors, a bounded channel feeding a running simulation
+//!   ([`crate::source::ThreadedSource`]), or a trace file recorder.  This is
+//!   what the streaming trace pipeline is built on: the same generator code
+//!   produces the same event sequences no matter where they go.
+//! * [`TraceBuilder`] is the classic materializing front-end: a
+//!   `TraceWriter` over per-processor vectors plus [`TraceBuilder::build`]
+//!   returning a [`ProgramTrace`].
 
 use crate::access::TraceEvent;
 use crate::addr::{GlobalAddr, ProcId, Topology};
 use crate::trace::ProgramTrace;
 
-/// Builds a [`ProgramTrace`] incrementally.
+/// Receives the events a workload generator emits, in program order.
+///
+/// Implementations decide what "program order" becomes: `Vec<Vec<TraceEvent>>`
+/// materializes per-processor vectors, the channel sink behind
+/// [`crate::source::ThreadedSource`] forwards events to a consumer as they
+/// are produced, and the recorder in [`crate::replay`] writes them to disk.
+pub trait EventSink {
+    /// Accept one event emitted by `proc`.
+    fn event(&mut self, proc: ProcId, ev: TraceEvent);
+}
+
+/// The materializing sink: one vector of events per processor, indexed by
+/// `ProcId::index()`.
+impl EventSink for Vec<Vec<TraceEvent>> {
+    fn event(&mut self, proc: ProcId, ev: TraceEvent) {
+        self[proc.index()].push(ev);
+    }
+}
+
+impl<S: EventSink + ?Sized> EventSink for &mut S {
+    fn event(&mut self, proc: ProcId, ev: TraceEvent) {
+        (**self).event(proc, ev);
+    }
+}
+
+/// Emits well-formed per-processor trace events into an [`EventSink`].
+///
+/// This is the generator-facing half of [`TraceBuilder`], generic over where
+/// the events go so the seven workload generators can produce either a
+/// materialized [`ProgramTrace`] or a bounded-memory stream from the same
+/// code path.
 #[derive(Debug, Clone)]
-pub struct TraceBuilder {
-    name: String,
+pub struct TraceWriter<S: EventSink> {
     topology: Topology,
-    per_proc: Vec<Vec<TraceEvent>>,
+    sink: S,
     next_barrier: u32,
+    emitted: Vec<usize>,
     /// Compute cycles automatically inserted before every access, modelling
     /// the non-shared work between shared references.
     pub think_cycles: u32,
 }
 
-impl TraceBuilder {
-    /// Start building a trace for `topology`.
-    pub fn new(name: impl Into<String>, topology: Topology) -> Self {
-        TraceBuilder {
-            name: name.into(),
+impl<S: EventSink> TraceWriter<S> {
+    /// Start writing a trace for `topology` into `sink`.
+    pub fn new(topology: Topology, sink: S) -> Self {
+        TraceWriter {
             topology,
-            per_proc: vec![Vec::new(); topology.total_procs()],
+            sink,
             next_barrier: 0,
+            emitted: vec![0; topology.total_procs()],
             think_cycles: 0,
         }
     }
@@ -48,38 +88,38 @@ impl TraceBuilder {
     /// Emit a shared-memory read by `proc`.
     pub fn read(&mut self, proc: ProcId, addr: GlobalAddr) {
         self.pre_access(proc);
-        self.per_proc[proc.index()].push(TraceEvent::read(addr));
+        self.emit(proc, TraceEvent::read(addr));
     }
 
     /// Emit a shared-memory write by `proc`.
     pub fn write(&mut self, proc: ProcId, addr: GlobalAddr) {
         self.pre_access(proc);
-        self.per_proc[proc.index()].push(TraceEvent::write(addr));
+        self.emit(proc, TraceEvent::write(addr));
     }
 
     /// Emit an explicit compute delay on `proc`.
     pub fn compute(&mut self, proc: ProcId, cycles: u32) {
         if cycles > 0 {
-            self.per_proc[proc.index()].push(TraceEvent::Compute(cycles));
+            self.emit(proc, TraceEvent::Compute(cycles));
         }
     }
 
     /// Emit a lock acquire on `proc`.
     pub fn lock(&mut self, proc: ProcId, lock: u32) {
-        self.per_proc[proc.index()].push(TraceEvent::Lock(lock));
+        self.emit(proc, TraceEvent::Lock(lock));
     }
 
     /// Emit a lock release on `proc`.
     pub fn unlock(&mut self, proc: ProcId, lock: u32) {
-        self.per_proc[proc.index()].push(TraceEvent::Unlock(lock));
+        self.emit(proc, TraceEvent::Unlock(lock));
     }
 
     /// Emit a global barrier: every processor gets the same fresh barrier id.
     pub fn barrier_all(&mut self) {
         let id = self.next_barrier;
         self.next_barrier += 1;
-        for events in &mut self.per_proc {
-            events.push(TraceEvent::Barrier(id));
+        for p in 0..self.topology.total_procs() {
+            self.emit(ProcId(p as u16), TraceEvent::Barrier(id));
         }
     }
 
@@ -90,18 +130,97 @@ impl TraceBuilder {
 
     /// Number of events emitted by `proc` so far.
     pub fn events_emitted(&self, proc: ProcId) -> usize {
-        self.per_proc[proc.index()].len()
+        self.emitted[proc.index()]
     }
 
-    /// Finish and return the assembled trace.
-    pub fn build(self) -> ProgramTrace {
-        ProgramTrace::new(self.name, self.topology, self.per_proc)
+    /// Finish writing and recover the sink.
+    pub fn into_sink(self) -> S {
+        self.sink
+    }
+
+    fn emit(&mut self, proc: ProcId, ev: TraceEvent) {
+        self.emitted[proc.index()] += 1;
+        self.sink.event(proc, ev);
     }
 
     fn pre_access(&mut self, proc: ProcId) {
         if self.think_cycles > 0 {
-            self.per_proc[proc.index()].push(TraceEvent::Compute(self.think_cycles));
+            self.emit(proc, TraceEvent::Compute(self.think_cycles));
         }
+    }
+}
+
+/// Builds a [`ProgramTrace`] incrementally (the in-memory sink).
+#[derive(Debug, Clone)]
+pub struct TraceBuilder {
+    name: String,
+    writer: TraceWriter<Vec<Vec<TraceEvent>>>,
+}
+
+impl TraceBuilder {
+    /// Start building a trace for `topology`.
+    pub fn new(name: impl Into<String>, topology: Topology) -> Self {
+        TraceBuilder {
+            name: name.into(),
+            writer: TraceWriter::new(topology, vec![Vec::new(); topology.total_procs()]),
+        }
+    }
+
+    /// Set the implicit compute delay inserted before each access.
+    pub fn with_think_cycles(mut self, cycles: u32) -> Self {
+        self.writer.think_cycles = cycles;
+        self
+    }
+
+    /// The topology this trace targets.
+    pub fn topology(&self) -> Topology {
+        self.writer.topology()
+    }
+
+    /// Emit a shared-memory read by `proc`.
+    pub fn read(&mut self, proc: ProcId, addr: GlobalAddr) {
+        self.writer.read(proc, addr);
+    }
+
+    /// Emit a shared-memory write by `proc`.
+    pub fn write(&mut self, proc: ProcId, addr: GlobalAddr) {
+        self.writer.write(proc, addr);
+    }
+
+    /// Emit an explicit compute delay on `proc`.
+    pub fn compute(&mut self, proc: ProcId, cycles: u32) {
+        self.writer.compute(proc, cycles);
+    }
+
+    /// Emit a lock acquire on `proc`.
+    pub fn lock(&mut self, proc: ProcId, lock: u32) {
+        self.writer.lock(proc, lock);
+    }
+
+    /// Emit a lock release on `proc`.
+    pub fn unlock(&mut self, proc: ProcId, lock: u32) {
+        self.writer.unlock(proc, lock);
+    }
+
+    /// Emit a global barrier: every processor gets the same fresh barrier id.
+    pub fn barrier_all(&mut self) {
+        self.writer.barrier_all();
+    }
+
+    /// Number of barriers emitted so far.
+    pub fn barriers_emitted(&self) -> u32 {
+        self.writer.barriers_emitted()
+    }
+
+    /// Number of events emitted by `proc` so far.
+    pub fn events_emitted(&self, proc: ProcId) -> usize {
+        self.writer.events_emitted(proc)
+    }
+
+    /// Finish and return the assembled trace.
+    pub fn build(self) -> ProgramTrace {
+        let topology = self.writer.topology();
+        ProgramTrace::new(self.name, topology, self.writer.into_sink())
     }
 }
 
@@ -171,5 +290,26 @@ mod tests {
         b.unlock(ProcId(0), 9);
         b.barrier_all();
         assert!(b.build().validate().is_ok());
+    }
+
+    #[test]
+    fn writer_into_dyn_sink_matches_builder() {
+        let topo = Topology::new(2, 1);
+        let mut direct = TraceBuilder::new("t", topo).with_think_cycles(3);
+        direct.read(ProcId(0), GlobalAddr(0));
+        direct.barrier_all();
+        direct.write(ProcId(1), GlobalAddr(64));
+        let direct = direct.build();
+
+        let mut vecs: Vec<Vec<TraceEvent>> = vec![Vec::new(); topo.total_procs()];
+        {
+            let sink: &mut dyn EventSink = &mut vecs;
+            let mut w = TraceWriter::new(topo, sink).with_think_cycles(3);
+            w.read(ProcId(0), GlobalAddr(0));
+            w.barrier_all();
+            w.write(ProcId(1), GlobalAddr(64));
+            assert_eq!(w.events_emitted(ProcId(1)), 3); // barrier + think + write
+        }
+        assert_eq!(direct.per_proc, vecs);
     }
 }

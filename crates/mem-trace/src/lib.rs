@@ -13,19 +13,29 @@
 //!   cluster topology ([`Topology`], [`NodeId`], [`ProcId`]),
 //! * the trace representation ([`TraceEvent`], [`ProgramTrace`]) and its
 //!   validation / summary statistics,
+//! * the pull-based [`source::TraceSource`] abstraction the simulator
+//!   drives, with materialized ([`source::TraceCursor`]), streamed
+//!   ([`source::ThreadedSource`]) and file-replayed
+//!   ([`replay::ReplaySource`]) implementations,
+//! * a seekless binary record/replay format ([`replay`]),
 //! * a shared-segment allocator ([`layout::AddressSpace`]) and a per-processor
-//!   [`builder::TraceBuilder`] that workloads use to emit well-formed traces.
+//!   [`builder::TraceBuilder`] / [`builder::TraceWriter`] that workloads use
+//!   to emit well-formed traces into any [`builder::EventSink`].
 
 pub mod access;
 pub mod addr;
 pub mod builder;
 pub mod layout;
+pub mod replay;
+pub mod source;
 pub mod trace;
 
 pub use access::{AccessKind, MemRef, TraceEvent};
 pub use addr::{
     BlockId, GlobalAddr, NodeId, PageId, ProcId, Topology, BLOCKS_PER_PAGE, BLOCK_SIZE, PAGE_SIZE,
 };
-pub use builder::TraceBuilder;
+pub use builder::{EventSink, TraceBuilder, TraceWriter};
 pub use layout::{AddressSpace, Segment};
-pub use trace::{ProgramTrace, TraceStats};
+pub use replay::{record, record_to_file, ReplaySource};
+pub use source::{ThreadedSource, TraceCursor, TraceSource};
+pub use trace::{ProgramTrace, StatsAccumulator, TraceError, TraceStats};

@@ -3,7 +3,7 @@
 use crate::access::{AccessKind, TraceEvent};
 use crate::addr::{PageId, ProcId, Topology};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// The complete set of per-processor traces for one workload run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -16,7 +16,9 @@ pub struct ProgramTrace {
     pub per_proc: Vec<Vec<TraceEvent>>,
 }
 
-/// Errors found by [`ProgramTrace::validate`].
+/// Errors found by [`ProgramTrace::validate`] or detected mid-flight while
+/// a simulator drains a streaming [`crate::source::TraceSource`] (where
+/// whole-trace validation is impossible by construction).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TraceError {
     /// The number of per-processor streams does not match the topology.
@@ -41,7 +43,39 @@ pub enum TraceError {
         /// The lock id involved.
         lock: u32,
     },
+    /// The trace ended with processors still blocked on a barrier or lock
+    /// (only detectable mid-run when the trace is streamed: some processor's
+    /// stream ran dry while others were waiting on it).
+    Deadlock {
+        /// Number of processors left blocked.
+        blocked: usize,
+    },
 }
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::ProcCountMismatch { streams, expected } => write!(
+                f,
+                "trace has {streams} per-processor streams but the topology requires {expected}"
+            ),
+            TraceError::BarrierMismatch { proc_a, proc_b } => write!(
+                f,
+                "processors {proc_a} and {proc_b} disagree on the barrier sequence"
+            ),
+            TraceError::UnbalancedLock { proc, lock } => write!(
+                f,
+                "processor {proc} releases lock {lock} without holding it"
+            ),
+            TraceError::Deadlock { blocked } => write!(
+                f,
+                "trace ended with {blocked} processor(s) still blocked on a barrier or lock"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
 
 /// Summary statistics of a trace, used by tests and the experiment harness
 /// to sanity-check workload shape (read/write mix, footprint, sharing).
@@ -160,40 +194,81 @@ impl ProgramTrace {
     }
 
     /// Compute summary statistics.
+    ///
+    /// This drives the same [`StatsAccumulator`] the streaming sources feed
+    /// incrementally, so batch and streamed statistics agree by
+    /// construction.
     pub fn stats(&self) -> TraceStats {
-        let mut stats = TraceStats::default();
-        let mut pages: BTreeSet<PageId> = BTreeSet::new();
-        let mut written: BTreeSet<PageId> = BTreeSet::new();
-        // page -> set of nodes that touched it, encoded as a small bitmask.
-        let mut page_nodes: std::collections::BTreeMap<PageId, u64> = Default::default();
-
+        let mut acc = StatsAccumulator::new(self.topology);
         for (i, events) in self.per_proc.iter().enumerate() {
-            let node = self.topology.node_of(ProcId(i as u16));
             for e in events {
-                match e {
-                    TraceEvent::Access(m) => {
-                        stats.accesses += 1;
-                        match m.kind {
-                            AccessKind::Read => stats.reads += 1,
-                            AccessKind::Write => {
-                                stats.writes += 1;
-                                written.insert(m.page());
-                            }
-                        }
-                        pages.insert(m.page());
-                        *page_nodes.entry(m.page()).or_insert(0) |= 1u64 << node.index().min(63);
-                    }
-                    TraceEvent::Compute(c) => stats.compute_cycles += *c as u64,
-                    TraceEvent::Barrier(_) if i == 0 => {
-                        stats.barriers += 1;
-                    }
-                    _ => {}
-                }
+                acc.observe(ProcId(i as u16), e);
             }
         }
-        stats.footprint_pages = pages.len() as u64;
-        stats.written_pages = written.len() as u64;
-        stats.node_shared_pages = page_nodes
+        acc.snapshot()
+    }
+}
+
+/// Incrementally accumulates [`TraceStats`] one event at a time.
+///
+/// [`ProgramTrace::stats`] folds a materialized trace through this; the
+/// streaming sources in [`crate::source`] feed it as events flow past, so a
+/// fully drained stream reports exactly the statistics the batch path would.
+#[derive(Debug, Clone)]
+pub struct StatsAccumulator {
+    topology: Topology,
+    stats: TraceStats,
+    pages: BTreeSet<PageId>,
+    written: BTreeSet<PageId>,
+    /// page -> set of nodes that touched it, encoded as a small bitmask.
+    page_nodes: BTreeMap<PageId, u64>,
+}
+
+impl StatsAccumulator {
+    /// An empty accumulator for a trace over `topology`.
+    pub fn new(topology: Topology) -> Self {
+        StatsAccumulator {
+            topology,
+            stats: TraceStats::default(),
+            pages: BTreeSet::new(),
+            written: BTreeSet::new(),
+            page_nodes: BTreeMap::new(),
+        }
+    }
+
+    /// Fold one event of `proc`'s stream into the statistics.
+    ///
+    /// Events of one processor must be fed in stream order; interleaving
+    /// across processors is irrelevant.  Barriers are counted on processor 0
+    /// only (they appear once per processor in a valid trace).
+    pub fn observe(&mut self, proc: ProcId, ev: &TraceEvent) {
+        match ev {
+            TraceEvent::Access(m) => {
+                self.stats.accesses += 1;
+                match m.kind {
+                    AccessKind::Read => self.stats.reads += 1,
+                    AccessKind::Write => {
+                        self.stats.writes += 1;
+                        self.written.insert(m.page());
+                    }
+                }
+                self.pages.insert(m.page());
+                let node = self.topology.node_of(proc);
+                *self.page_nodes.entry(m.page()).or_insert(0) |= 1u64 << node.index().min(63);
+            }
+            TraceEvent::Compute(c) => self.stats.compute_cycles += u64::from(*c),
+            TraceEvent::Barrier(_) if proc.index() == 0 => self.stats.barriers += 1,
+            _ => {}
+        }
+    }
+
+    /// The statistics over everything observed so far.
+    pub fn snapshot(&self) -> TraceStats {
+        let mut stats = self.stats.clone();
+        stats.footprint_pages = self.pages.len() as u64;
+        stats.written_pages = self.written.len() as u64;
+        stats.node_shared_pages = self
+            .page_nodes
             .values()
             .filter(|mask| mask.count_ones() > 1)
             .count() as u64;
@@ -309,6 +384,57 @@ mod tests {
         // nodes in this 2x1 topology).
         assert_eq!(s.node_shared_pages, 1);
         assert!((s.write_fraction() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn incremental_stats_match_batch_stats() {
+        let t = ProgramTrace::new(
+            "toy",
+            two_proc_topology(),
+            vec![
+                vec![
+                    TraceEvent::read(GlobalAddr(0)),
+                    TraceEvent::write(GlobalAddr(8)),
+                    TraceEvent::Compute(50),
+                    TraceEvent::Barrier(0),
+                ],
+                vec![
+                    TraceEvent::read(GlobalAddr(PAGE_SIZE)),
+                    TraceEvent::read(GlobalAddr(0)),
+                    TraceEvent::Barrier(0),
+                ],
+            ],
+        );
+        // Feed the accumulator in a different (interleaved) order than the
+        // batch path walks: per-proc order is all that matters.
+        let mut acc = StatsAccumulator::new(t.topology);
+        let mut cursors = [0usize; 2];
+        loop {
+            let mut progressed = false;
+            for (p, cursor) in cursors.iter_mut().enumerate() {
+                if let Some(ev) = t.per_proc[p].get(*cursor) {
+                    acc.observe(ProcId(p as u16), ev);
+                    *cursor += 1;
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        assert_eq!(acc.snapshot(), t.stats());
+    }
+
+    #[test]
+    fn trace_errors_display() {
+        let e = TraceError::UnbalancedLock {
+            proc: ProcId(3),
+            lock: 9,
+        };
+        assert!(e.to_string().contains("lock 9"));
+        assert!(TraceError::Deadlock { blocked: 2 }
+            .to_string()
+            .contains("2"));
     }
 
     #[test]

@@ -12,7 +12,7 @@
 use crate::config::{Scale, WorkloadConfig};
 use crate::util::owned_range;
 use crate::Workload;
-use mem_trace::{AddressSpace, ProcId, ProgramTrace, TraceBuilder};
+use mem_trace::{AddressSpace, EventSink, ProcId, TraceWriter};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -68,7 +68,7 @@ impl Workload for Barnes {
         "2K particles"
     }
 
-    fn generate(&self, cfg: &WorkloadConfig) -> ProgramTrace {
+    fn emit(&self, cfg: &WorkloadConfig, sink: &mut dyn EventSink) {
         let params = BarnesParams::for_scale(cfg.scale);
         let procs = cfg.topology.total_procs();
 
@@ -78,7 +78,7 @@ impl Workload for Barnes {
         // Tree cells are two cache lines (children pointers + multipole).
         let cells = space.alloc("cells", params.cells, 128);
 
-        let mut b = TraceBuilder::new("barnes", cfg.topology).with_think_cycles(cfg.think_cycles);
+        let mut b = TraceWriter::new(cfg.topology, sink).with_think_cycles(cfg.think_cycles);
         let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0xba53);
 
         // Initialization: owners write their own bodies.
@@ -149,8 +149,6 @@ impl Workload for Barnes {
             }
             b.barrier_all();
         }
-
-        b.build()
     }
 }
 

@@ -17,7 +17,7 @@
 
 use crate::config::{Scale, WorkloadConfig};
 use crate::Workload;
-use mem_trace::{AddressSpace, ProcId, ProgramTrace, TraceBuilder};
+use mem_trace::{AddressSpace, EventSink, ProcId, TraceWriter};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -71,7 +71,7 @@ impl Workload for Cholesky {
         "synthetic tk16-like matrix, 384 supernodes"
     }
 
-    fn generate(&self, cfg: &WorkloadConfig) -> ProgramTrace {
+    fn emit(&self, cfg: &WorkloadConfig, sink: &mut dyn EventSink) {
         let params = CholeskyParams::for_scale(cfg.scale);
         let procs = cfg.topology.total_procs();
 
@@ -79,7 +79,7 @@ impl Workload for Cholesky {
         let panels = space.alloc("panels", params.supernodes * params.lines_per_supernode, 64);
         let queue = space.alloc("task_queue", 64, 64);
 
-        let mut b = TraceBuilder::new("cholesky", cfg.topology).with_think_cycles(cfg.think_cycles);
+        let mut b = TraceWriter::new(cfg.topology, sink).with_think_cycles(cfg.think_cycles);
         let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0xc401);
 
         let panel_line = |sn: u64, line: u64| panels.elem(sn * params.lines_per_supernode + line);
@@ -127,8 +127,6 @@ impl Workload for Cholesky {
             }
         }
         b.barrier_all();
-
-        b.build()
     }
 }
 

@@ -14,7 +14,7 @@
 use crate::config::{Scale, WorkloadConfig};
 use crate::util::owned_range;
 use crate::Workload;
-use mem_trace::{AddressSpace, ProcId, ProgramTrace, TraceBuilder};
+use mem_trace::{AddressSpace, EventSink, ProcId, TraceWriter};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -68,14 +68,14 @@ impl Workload for Fmm {
         "2K particles (512 boxes)"
     }
 
-    fn generate(&self, cfg: &WorkloadConfig) -> ProgramTrace {
+    fn emit(&self, cfg: &WorkloadConfig, sink: &mut dyn EventSink) {
         let params = FmmParams::for_scale(cfg.scale);
         let procs = cfg.topology.total_procs();
 
         let mut space = AddressSpace::new();
         let boxes = space.alloc("boxes", params.boxes * params.lines_per_box, 64);
 
-        let mut b = TraceBuilder::new("fmm", cfg.topology).with_think_cycles(cfg.think_cycles);
+        let mut b = TraceWriter::new(cfg.topology, sink).with_think_cycles(cfg.think_cycles);
         let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0xf33);
 
         let line_of = |box_id: u64, line: u64| boxes.elem(box_id * params.lines_per_box + line);
@@ -121,8 +121,6 @@ impl Workload for Fmm {
             }
             b.barrier_all();
         }
-
-        b.build()
     }
 }
 

@@ -34,9 +34,15 @@ mod util;
 
 pub use config::{Scale, WorkloadConfig};
 
-use mem_trace::ProgramTrace;
+use mem_trace::{EventSink, ProgramTrace, ThreadedSource, TraceEvent};
 
 /// A workload that can generate a shared-memory reference trace.
+///
+/// Generators are *producers*: [`Workload::emit`] pushes the trace, event by
+/// event in program order, into any [`EventSink`].  The same emission drives
+/// both the materializing [`Workload::generate`] (full [`ProgramTrace`] in
+/// memory) and the bounded-memory [`stream`] pipeline, so the two are
+/// bit-identical by construction.
 pub trait Workload: Send + Sync {
     /// Table 2 name (lowercase).
     fn name(&self) -> &'static str;
@@ -46,8 +52,23 @@ pub trait Workload: Send + Sync {
     fn paper_input(&self) -> &'static str;
     /// The reduced input parameters used by default in this reproduction.
     fn reduced_input(&self) -> &'static str;
-    /// Generate the trace.
-    fn generate(&self, cfg: &WorkloadConfig) -> ProgramTrace;
+    /// Emit the trace into `sink`, event by event in program order.
+    fn emit(&self, cfg: &WorkloadConfig, sink: &mut dyn EventSink);
+    /// Generate the whole trace in memory.
+    fn generate(&self, cfg: &WorkloadConfig) -> ProgramTrace {
+        let mut per_proc: Vec<Vec<TraceEvent>> = vec![Vec::new(); cfg.topology.total_procs()];
+        self.emit(cfg, &mut per_proc);
+        ProgramTrace::new(self.name(), cfg.topology, per_proc)
+    }
+}
+
+/// Stream `workload`'s trace instead of materializing it: generation runs on
+/// its own thread and the returned [`ThreadedSource`] yields the exact event
+/// sequences [`Workload::generate`] would store, with memory bounded by the
+/// pipeline's channel instead of the trace size.
+pub fn stream(workload: Box<dyn Workload>, cfg: WorkloadConfig) -> ThreadedSource {
+    let name = workload.name();
+    ThreadedSource::spawn(name, cfg.topology, move |sink| workload.emit(&cfg, sink))
 }
 
 /// All seven workloads in Table 2 order.
@@ -123,6 +144,35 @@ mod tests {
             let a = w.generate(&cfg).stats();
             let b = w.generate(&cfg).stats();
             assert_eq!(a, b, "{} generation not deterministic", w.name());
+        }
+    }
+
+    #[test]
+    fn streamed_events_match_materialized_generation() {
+        use mem_trace::TraceSource;
+        let cfg = WorkloadConfig::reduced_for_tests();
+        for w in catalog() {
+            let trace = w.generate(&cfg);
+            let mut src = stream(by_name(w.name()).unwrap(), cfg);
+            assert_eq!(src.name(), w.name());
+            for p in cfg.topology.proc_ids() {
+                let mut got = Vec::with_capacity(trace.per_proc[p.index()].len());
+                while let Some(ev) = src.next_event(p) {
+                    got.push(ev);
+                }
+                assert_eq!(
+                    got,
+                    trace.per_proc[p.index()],
+                    "{} stream diverged for {p:?}",
+                    w.name()
+                );
+            }
+            assert_eq!(
+                src.stats_so_far(),
+                trace.stats(),
+                "{} incremental stats diverged from batch stats",
+                w.name()
+            );
         }
     }
 

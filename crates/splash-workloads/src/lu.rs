@@ -20,7 +20,7 @@
 
 use crate::config::{Scale, WorkloadConfig};
 use crate::Workload;
-use mem_trace::{AddressSpace, ProcId, ProgramTrace, Segment, TraceBuilder, BLOCK_SIZE};
+use mem_trace::{AddressSpace, EventSink, ProcId, Segment, TraceWriter, BLOCK_SIZE};
 
 /// Blocked dense LU factorization.
 pub struct Lu;
@@ -65,7 +65,7 @@ impl Workload for Lu {
         "192x192 matrix, 16x16 blocks"
     }
 
-    fn generate(&self, cfg: &WorkloadConfig) -> ProgramTrace {
+    fn emit(&self, cfg: &WorkloadConfig, sink: &mut dyn EventSink) {
         let params = LuParams::for_scale(cfg.scale);
         let nb = params.blocks_per_dim();
         let total_procs = cfg.topology.total_procs() as u64;
@@ -73,7 +73,7 @@ impl Workload for Lu {
         let mut space = AddressSpace::new();
         let matrix = space.alloc("matrix", params.n * params.n, 8);
 
-        let mut b = TraceBuilder::new("lu", cfg.topology).with_think_cycles(cfg.think_cycles);
+        let mut b = TraceWriter::new(cfg.topology, sink).with_think_cycles(cfg.think_cycles);
 
         // 2-D scatter assignment of blocks to processors (SPLASH-2 LU).
         let owner = |bi: u64, bj: u64| -> ProcId { ProcId(((bi * nb + bj) % total_procs) as u16) };
@@ -119,14 +119,12 @@ impl Workload for Lu {
             }
             b.barrier_all();
         }
-
-        b.build()
     }
 }
 
 /// Read every cache line of block `(bi, bj)`.
 fn read_block(
-    b: &mut TraceBuilder,
+    b: &mut TraceWriter<&mut dyn EventSink>,
     p: ProcId,
     matrix: &Segment,
     params: &LuParams,
@@ -139,7 +137,7 @@ fn read_block(
 /// Read-modify-write every cache line of block `(bi, bj)` (`write` selects
 /// whether the writes are emitted; reads always are).
 fn touch_block(
-    b: &mut TraceBuilder,
+    b: &mut TraceWriter<&mut dyn EventSink>,
     p: ProcId,
     matrix: &Segment,
     params: &LuParams,

@@ -14,7 +14,7 @@
 use crate::config::{Scale, WorkloadConfig};
 use crate::util::chunk_ranges;
 use crate::Workload;
-use mem_trace::{AddressSpace, ProcId, ProgramTrace, TraceBuilder};
+use mem_trace::{AddressSpace, EventSink, ProcId, TraceWriter};
 
 /// Ocean simulation (stencil relaxation kernel).
 pub struct Ocean;
@@ -54,7 +54,7 @@ impl Workload for Ocean {
         "130x130 ocean, 8 sweeps"
     }
 
-    fn generate(&self, cfg: &WorkloadConfig) -> ProgramTrace {
+    fn emit(&self, cfg: &WorkloadConfig, sink: &mut dyn EventSink) {
         let params = OceanParams::for_scale(cfg.scale);
         let n = params.n;
         let procs = cfg.topology.total_procs();
@@ -66,7 +66,7 @@ impl Workload for Ocean {
         let grid = space.alloc("grid", n * n, 8);
         let rhs = space.alloc("rhs", n * n, 8);
 
-        let mut b = TraceBuilder::new("ocean", cfg.topology).with_think_cycles(cfg.think_cycles);
+        let mut b = TraceWriter::new(cfg.topology, sink).with_think_cycles(cfg.think_cycles);
         let bands = chunk_ranges(n as usize, procs);
 
         // Initialization: every processor writes its own band of both grids
@@ -109,8 +109,6 @@ impl Workload for Ocean {
             }
             b.barrier_all();
         }
-
-        b.build()
     }
 }
 

@@ -15,7 +15,7 @@
 use crate::config::{Scale, WorkloadConfig};
 use crate::util::owned_range;
 use crate::Workload;
-use mem_trace::{AddressSpace, ProcId, ProgramTrace, TraceBuilder};
+use mem_trace::{AddressSpace, EventSink, ProcId, TraceWriter};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -68,7 +68,7 @@ impl Workload for Radix {
         "128K integers, radix 1024"
     }
 
-    fn generate(&self, cfg: &WorkloadConfig) -> ProgramTrace {
+    fn emit(&self, cfg: &WorkloadConfig, sink: &mut dyn EventSink) {
         let params = RadixParams::for_scale(cfg.scale);
         let procs = cfg.topology.total_procs();
 
@@ -77,7 +77,7 @@ impl Workload for Radix {
         let dst = space.alloc("keys_dst", params.keys, 4);
         let histograms = space.alloc("histograms", params.radix * procs as u64, 4);
 
-        let mut b = TraceBuilder::new("radix", cfg.topology).with_think_cycles(cfg.think_cycles);
+        let mut b = TraceWriter::new(cfg.topology, sink).with_think_cycles(cfg.think_cycles);
         let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x5ad1);
 
         // Initialization: each processor writes its own chunk of the source
@@ -146,8 +146,6 @@ impl Workload for Radix {
             b.barrier_all();
             let _ = pass;
         }
-
-        b.build()
     }
 }
 

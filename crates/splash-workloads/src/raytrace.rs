@@ -14,7 +14,7 @@
 use crate::config::{Scale, WorkloadConfig};
 use crate::util::owned_range;
 use crate::Workload;
-use mem_trace::{AddressSpace, ProcId, ProgramTrace, TraceBuilder};
+use mem_trace::{AddressSpace, EventSink, ProcId, TraceWriter};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -68,7 +68,7 @@ impl Workload for Raytrace {
         "car (reduced: 768 KB scene, 24K rays)"
     }
 
-    fn generate(&self, cfg: &WorkloadConfig) -> ProgramTrace {
+    fn emit(&self, cfg: &WorkloadConfig, sink: &mut dyn EventSink) {
         let params = RaytraceParams::for_scale(cfg.scale);
         let procs = cfg.topology.total_procs();
 
@@ -77,7 +77,7 @@ impl Workload for Raytrace {
         let framebuffer = space.alloc("framebuffer", params.rays, 4);
         let queue = space.alloc("ray_queue", 16, 64);
 
-        let mut b = TraceBuilder::new("raytrace", cfg.topology).with_think_cycles(cfg.think_cycles);
+        let mut b = TraceWriter::new(cfg.topology, sink).with_think_cycles(cfg.think_cycles);
         let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x4a11);
 
         // Processor 0 builds the scene database; its pages are homed on
@@ -115,8 +115,6 @@ impl Workload for Raytrace {
             }
         }
         b.barrier_all();
-
-        b.build()
     }
 }
 

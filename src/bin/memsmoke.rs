@@ -1,0 +1,83 @@
+//! Bounded-memory smoke binary: runs one workload simulation either through
+//! the streaming trace pipeline or by materializing the whole trace first.
+//!
+//! The CI bounded-memory job (and `tests/streaming.rs`) runs this under a
+//! `ulimit -v` address-space ceiling sized so that the streamed path
+//! completes while the materialized path aborts on allocation — the
+//! executable proof that streaming keeps peak memory flat at paper scale.
+//!
+//! ```text
+//! memsmoke [--materialize] [--paper] [--workload NAME] [--system cc-numa|r-numa]
+//! ```
+
+use dsm_repro::prelude::*;
+
+fn main() {
+    let mut materialize = false;
+    let mut scale = Scale::Paper;
+    let mut workload = String::from("radix");
+    let mut system = String::from("cc-numa");
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--materialize" => materialize = true,
+            "--stream" => materialize = false,
+            "--paper" => scale = Scale::Paper,
+            "--reduced" => scale = Scale::Reduced,
+            "--workload" => {
+                workload = args
+                    .next()
+                    .unwrap_or_else(|| usage("--workload needs a value"))
+            }
+            "--system" => {
+                system = args
+                    .next()
+                    .unwrap_or_else(|| usage("--system needs a value"))
+            }
+            "-h" | "--help" => {
+                println!(
+                    "usage: memsmoke [--materialize|--stream] [--paper|--reduced] \
+                     [--workload NAME] [--system cc-numa|r-numa]"
+                );
+                return;
+            }
+            other => usage(&format!("unknown flag `{other}`")),
+        }
+    }
+
+    let wl = by_name(&workload).unwrap_or_else(|| usage(&format!("unknown workload {workload}")));
+    let cfg = WorkloadConfig::at_scale(scale);
+    let sys = match system.as_str() {
+        "cc-numa" => System::cc_numa().build(),
+        "r-numa" => System::r_numa().build(),
+        other => usage(&format!("unknown system {other}")),
+    };
+    let sim = ClusterSimulator::new(MachineConfig::PAPER, sys);
+
+    let result = if materialize {
+        let trace = wl.generate(&cfg);
+        sim.run(&trace)
+    } else {
+        let mut source = stream(wl, cfg);
+        sim.run_source(&mut source)
+    };
+    println!(
+        "mode={} workload={} system={} accesses={} barriers={} execution_time={}",
+        if materialize {
+            "materialized"
+        } else {
+            "streamed"
+        },
+        result.workload,
+        result.system,
+        result.accesses,
+        result.barriers,
+        result.execution_time.raw()
+    );
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}

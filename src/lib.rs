@@ -40,8 +40,11 @@ pub mod prelude {
         PageCaching, PageOp, PolicyStats, RelocationPolicy, SimResult, System, SystemBuilder,
         SystemConfig, SystemFeature, Thresholds,
     };
-    pub use mem_trace::{GlobalAddr, ProcId, ProgramTrace, Topology, TraceBuilder};
-    pub use splash_workloads::{by_name, catalog, Scale, Workload, WorkloadConfig};
+    pub use mem_trace::{
+        GlobalAddr, ProcId, ProgramTrace, ReplaySource, ThreadedSource, Topology, TraceBuilder,
+        TraceError, TraceSource,
+    };
+    pub use splash_workloads::{by_name, catalog, stream, Scale, Workload, WorkloadConfig};
 }
 
 #[cfg(test)]

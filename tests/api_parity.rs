@@ -94,6 +94,79 @@ fn old_and_new_apis_produce_bit_identical_results() {
     }
 }
 
+/// The tentpole proof for the streaming trace pipeline: for **every** Table 2
+/// workload, driving the simulator from a streaming generator
+/// (`run_source` + `splash_workloads::stream`) produces a `SimResult`
+/// bit-identical to materializing the whole trace first (`run`).  The system
+/// under test is the Section 6.4 hybrid so the parity covers relocation,
+/// migration and replication paths, not just the cache hierarchy.
+#[test]
+fn streamed_and_materialized_runs_are_bit_identical_for_all_workloads() {
+    let sys = System::r_numa()
+        .with(PageCaching::half())
+        .with(MigRep::both())
+        .with(thresholds())
+        .build();
+    let sim = ClusterSimulator::new(MachineConfig::PAPER, sys);
+    let cfg = WorkloadConfig::reduced();
+    for w in catalog() {
+        let trace = w.generate(&cfg);
+        let materialized = sim.run(&trace);
+        let mut source = stream(by_name(w.name()).expect("catalog name"), cfg);
+        let streamed = sim.run_source(&mut source);
+        assert_eq!(
+            materialized,
+            streamed,
+            "streamed SimResult diverged from materialized for {}",
+            w.name()
+        );
+    }
+}
+
+/// Scale half of the streaming proof: a paper-scale radix simulation
+/// completes inside an 80 MB address-space ceiling when streamed, while the
+/// materialized path aborts under the same ceiling trying to hold the trace.
+#[test]
+fn paper_scale_radix_streams_inside_a_ceiling_the_materialized_path_exceeds() {
+    const CEILING_KB: u64 = 80 * 1024;
+    let bin = env!("CARGO_BIN_EXE_memsmoke");
+    let run = |mode: &str| {
+        std::process::Command::new("sh")
+            .arg("-c")
+            .arg(format!(
+                "ulimit -v {CEILING_KB} && exec '{bin}' {mode} --paper --workload radix"
+            ))
+            // glibc otherwise reserves a 64 MB address-space arena per
+            // contended thread on a timing-dependent whim, which is most of
+            // the ceiling; one arena makes the footprint deterministic.
+            .env("MALLOC_ARENA_MAX", "1")
+            .output()
+            .expect("spawn memsmoke under ulimit")
+    };
+
+    let streamed = run("--stream");
+    let stdout = String::from_utf8_lossy(&streamed.stdout);
+    assert!(
+        streamed.status.success() && stdout.contains("mode=streamed"),
+        "streamed paper-scale radix failed under the {CEILING_KB} KB ceiling: {stdout}\n{}",
+        String::from_utf8_lossy(&streamed.stderr)
+    );
+
+    let materialized = run("--materialize");
+    assert!(
+        !materialized.status.success(),
+        "materialized paper-scale radix unexpectedly fit the {CEILING_KB} KB ceiling \
+         — the streaming pipeline's memory advantage regressed"
+    );
+    // It must have died *on allocation*, not on some unrelated defect of the
+    // materialized mode — otherwise this proves nothing about memory.
+    let mat_err = String::from_utf8_lossy(&materialized.stderr);
+    assert!(
+        mat_err.contains("memory allocation"),
+        "materialized run failed for a non-memory reason under the ceiling: {mat_err}"
+    );
+}
+
 #[test]
 fn legacy_run_experiment_matches_the_experiment_builder() {
     let t = thresholds();

@@ -1,0 +1,101 @@
+//! Streaming trace pipeline integration: incremental statistics, the
+//! record/replay format end-to-end through the simulator and the experiment
+//! harness, and the fallible `try_run` surface.
+
+use dsm_repro::bench::{Experiment, SystemSet};
+use dsm_repro::prelude::*;
+
+/// Satellite requirement: incremental `TraceStats` accumulated while a
+/// stream is drained must equal batch `ProgramTrace::stats()` for all seven
+/// workloads at `Reduced` scale.
+#[test]
+fn streamed_stats_equal_batch_stats_for_all_workloads() {
+    let cfg = WorkloadConfig::reduced();
+    for w in catalog() {
+        let batch = w.generate(&cfg).stats();
+        let mut source = stream(by_name(w.name()).expect("catalog name"), cfg);
+        for p in cfg.topology.proc_ids() {
+            while source.next_event(p).is_some() {}
+        }
+        assert_eq!(
+            source.stats_so_far(),
+            batch,
+            "incremental stats diverged from batch stats for {}",
+            w.name()
+        );
+    }
+}
+
+/// Record a workload to a trace file, replay it through the simulator and
+/// the experiment harness: every result must be bit-identical to the
+/// generated workload's.
+#[test]
+fn recorded_traces_replay_bit_identically() {
+    let cfg = WorkloadConfig::reduced();
+    let path = std::env::temp_dir().join("dsm-repro-streaming-ocean.trc");
+    let mut source = stream(by_name("ocean").unwrap(), cfg);
+    dsm_repro::trace::record_to_file(&mut source, &path).expect("record ocean");
+    // Recording drained the stream completely: stats match the batch path.
+    assert_eq!(
+        source.stats_so_far(),
+        by_name("ocean").unwrap().generate(&cfg).stats()
+    );
+
+    let sim = ClusterSimulator::new(MachineConfig::PAPER, System::cc_numa().build());
+    let direct = sim.run(&by_name("ocean").unwrap().generate(&cfg));
+    let mut replay = ReplaySource::open(&path).expect("open recorded trace");
+    assert_eq!(replay.name(), "ocean");
+    let replayed = sim.run_source(&mut replay);
+    assert_eq!(direct, replayed, "replayed SimResult diverged");
+
+    // And through the experiment harness (fresh stream per job).
+    let set = || SystemSet {
+        experiment: "replay",
+        baseline: System::perfect_cc_numa().build(),
+        systems: vec![System::cc_numa().build()],
+    };
+    let from_file = Experiment::new(MachineConfig::PAPER)
+        .systems(set())
+        .replay(&path)
+        .run();
+    let from_generator = Experiment::new(MachineConfig::PAPER)
+        .systems(set())
+        .workloads(["ocean"])
+        .run();
+    assert_eq!(
+        from_file.per_workload[0].baseline,
+        from_generator.per_workload[0].baseline
+    );
+    assert_eq!(
+        from_file.per_workload[0].results,
+        from_generator.per_workload[0].results
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+/// `try_run` reports malformed traces as values; `run` stays the panicking
+/// shim over it.
+#[test]
+fn try_run_surfaces_trace_errors_as_values() {
+    let machine = MachineConfig::PAPER;
+    let sim = ClusterSimulator::new(machine, System::cc_numa().build());
+
+    let wrong_procs = TraceBuilder::new("tiny", Topology::new(1, 1)).build();
+    assert!(matches!(
+        sim.try_run(&wrong_procs),
+        Err(TraceError::ProcCountMismatch { .. })
+    ));
+
+    let mut b = TraceBuilder::new("unlock-only", machine.topology);
+    b.unlock(ProcId(5), 1);
+    let err = sim.try_run(&b.build()).unwrap_err();
+    assert!(matches!(err, TraceError::UnbalancedLock { .. }));
+    // The error is a real std error with a human-readable message.
+    let _: &dyn std::error::Error = &err;
+    assert!(err.to_string().contains("lock"));
+
+    let good = by_name("ocean")
+        .unwrap()
+        .generate(&WorkloadConfig::reduced());
+    assert_eq!(sim.try_run(&good).expect("valid trace"), sim.run(&good));
+}
