@@ -187,14 +187,15 @@ impl Experiment {
         let threads = self.threads.min(jobs.len()).max(1);
 
         let machine = self.machine;
-        let results: Vec<Vec<Option<SimResult>>> = {
+        let results: Vec<Vec<Option<(SimResult, f64)>>> = {
             let table =
                 std::sync::Mutex::new(vec![vec![None; all_systems.len()]; workload_names.len()]);
             let next = std::sync::atomic::AtomicUsize::new(0);
             let source = &source;
-            let run_job = move |w: usize, s: usize| -> SimResult {
+            let run_job = move |w: usize, s: usize| -> (SimResult, f64) {
                 let sim = ClusterSimulator::new(machine, all_systems[s].clone());
-                match source {
+                let start = std::time::Instant::now();
+                let result = match source {
                     WorkloadSource::Named(names) => {
                         let workload = by_name(&names[w])
                             .unwrap_or_else(|| panic!("unknown workload {}", names[w]));
@@ -208,7 +209,8 @@ impl Experiment {
                         });
                         sim.run_source(&mut replay)
                     }
-                }
+                };
+                (result, start.elapsed().as_secs_f64())
             };
             std::thread::scope(|scope| {
                 for _ in 0..threads {
@@ -230,16 +232,19 @@ impl Experiment {
             .into_iter()
             .zip(workload_names)
             .map(|(mut row, workload)| {
-                let baseline = row[0].take().expect("baseline result missing");
-                let results = row
+                let (baseline, baseline_elapsed_seconds) =
+                    row[0].take().expect("baseline result missing");
+                let (results, elapsed_seconds) = row
                     .into_iter()
                     .skip(1)
                     .map(|r| r.expect("system result missing"))
-                    .collect();
+                    .unzip();
                 WorkloadResult {
                     workload,
                     baseline,
                     results,
+                    baseline_elapsed_seconds,
+                    elapsed_seconds,
                 }
             })
             .collect();

@@ -23,12 +23,14 @@
 
 pub mod cli;
 pub mod experiment;
+pub mod perf;
 pub mod presets;
 pub mod report;
 pub mod runner;
 
 pub use cli::{CliError, Options};
 pub use experiment::Experiment;
+pub use perf::{PerfJob, PerfReport};
 pub use presets::{ExperimentScale, SystemSet};
 pub use report::{format_normalized_table, format_table4, normalized_rows, to_json, write_json};
 #[allow(deprecated)]

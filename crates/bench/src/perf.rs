@@ -1,0 +1,333 @@
+//! The perf-benchmark subsystem: wall-clock throughput per (workload,
+//! system) job.
+//!
+//! Simulator throughput is the binding constraint on every scenario the
+//! harness adds — the paper's figures come from pushing millions of memory
+//! references through per-block directory and cache state — so this module
+//! gives the repo a measured perf trajectory instead of anecdotes:
+//!
+//! * [`measure`] runs each (workload, system) job through the streaming
+//!   pipeline, takes the best wall-clock of `repeats` runs (simulation is
+//!   deterministic, so the minimum is the least-noisy estimate), and
+//!   reports **events/sec** (simulated shared-memory accesses per second of
+//!   wall clock);
+//! * [`to_json`]/[`write_json`] render the report as the machine-readable
+//!   `BENCH_*.json` format the perf trajectory is tracked in;
+//! * [`regression_failures`] compares a fresh report against a committed
+//!   baseline JSON and flags every job whose throughput regressed beyond a
+//!   tolerance — the check behind the CI perf-smoke job.
+
+use std::io;
+use std::path::Path;
+use std::time::Instant;
+
+use crate::presets::ExperimentScale;
+use dsm_core::{ClusterSimulator, MachineConfig, SystemConfig};
+use splash_workloads::{by_name, WorkloadConfig};
+
+/// Throughput measurement of one (workload, system) job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfJob {
+    /// Workload name (Table 2 row).
+    pub workload: String,
+    /// System name ("CC-NUMA", "R-NUMA", ...).
+    pub system: String,
+    /// Best wall-clock over the report's repeats, in seconds.
+    pub elapsed_seconds: f64,
+    /// Shared-memory accesses simulated by one run of the job.
+    pub accesses: u64,
+    /// `accesses / elapsed_seconds` (0 if the job finished too fast for the
+    /// clock — the guard keeps degenerate timings from dividing by zero).
+    pub events_per_sec: f64,
+}
+
+/// A full perf measurement: every (workload, system) job at one scale.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfReport {
+    /// Parameter scale the jobs ran at ("paper" or "reduced").
+    pub scale: String,
+    /// Wall-clock repetitions per job (best is reported).
+    pub repeats: u32,
+    /// One entry per (workload, system) pair, workloads outermost.
+    pub jobs: Vec<PerfJob>,
+}
+
+impl PerfReport {
+    /// The job for `(workload, system)`, if measured.
+    pub fn job(&self, workload: &str, system: &str) -> Option<&PerfJob> {
+        self.jobs
+            .iter()
+            .find(|j| j.workload == workload && j.system == system)
+    }
+
+    /// Mean events/sec across all jobs (0 for an empty report).
+    pub fn mean_events_per_sec(&self) -> f64 {
+        if self.jobs.is_empty() {
+            return 0.0;
+        }
+        self.jobs.iter().map(|j| j.events_per_sec).sum::<f64>() / self.jobs.len() as f64
+    }
+}
+
+/// The systems a perf run covers by default: the Table 4 trio (CC-NUMA,
+/// CC-NUMA+MigRep, R-NUMA), which together exercise the block-cache,
+/// migration/replication and page-cache hot paths.
+pub fn default_systems(scale: ExperimentScale) -> Vec<SystemConfig> {
+    crate::presets::table4(scale).systems
+}
+
+/// Measure every (workload, system) job: stream the workload through the
+/// simulator `repeats` times and keep the best wall-clock.
+///
+/// # Panics
+/// Panics on an unknown workload name or a zero `repeats`.
+pub fn measure(
+    machine: MachineConfig,
+    systems: &[SystemConfig],
+    workloads: &[&str],
+    scale: ExperimentScale,
+    repeats: u32,
+) -> PerfReport {
+    assert!(repeats > 0, "perf measurement needs at least one repeat");
+    let cfg = WorkloadConfig::at_scale(scale.workload_scale());
+    let mut jobs = Vec::with_capacity(workloads.len() * systems.len());
+    for workload in workloads {
+        let wl = by_name(workload).unwrap_or_else(|| panic!("unknown workload {workload}"));
+        for system in systems {
+            let sim = ClusterSimulator::new(machine, system.clone());
+            let mut best = f64::INFINITY;
+            let mut accesses = 0;
+            for _ in 0..repeats {
+                let mut source =
+                    splash_workloads::stream(by_name(wl.name()).expect("catalog name"), cfg);
+                let start = Instant::now();
+                let result = sim.run_source(&mut source);
+                best = best.min(start.elapsed().as_secs_f64());
+                accesses = result.accesses;
+            }
+            jobs.push(PerfJob {
+                workload: workload.to_string(),
+                system: system.name.clone(),
+                elapsed_seconds: best,
+                accesses,
+                events_per_sec: if best > 0.0 {
+                    accesses as f64 / best
+                } else {
+                    0.0
+                },
+            });
+        }
+    }
+    PerfReport {
+        scale: match scale {
+            ExperimentScale::Paper => "paper".to_string(),
+            ExperimentScale::Reduced => "reduced".to_string(),
+        },
+        repeats,
+        jobs,
+    }
+}
+
+fn job_json(j: &PerfJob) -> String {
+    format!(
+        concat!(
+            "{{\"workload\":\"{}\",\"system\":\"{}\",\"elapsed_seconds\":{:.6},",
+            "\"accesses\":{},\"events_per_sec\":{:.1}}}"
+        ),
+        j.workload, j.system, j.elapsed_seconds, j.accesses, j.events_per_sec
+    )
+}
+
+/// Render a perf report as the `BENCH_*.json` object.
+pub fn to_json(report: &PerfReport) -> String {
+    let jobs = report
+        .jobs
+        .iter()
+        .map(job_json)
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        concat!(
+            "{{\"bench\":\"perf\",\"scale\":\"{}\",\"repeats\":{},",
+            "\"mean_events_per_sec\":{:.1},\"jobs\":[{}]}}"
+        ),
+        report.scale,
+        report.repeats,
+        report.mean_events_per_sec(),
+        jobs
+    )
+}
+
+/// Write a perf report as JSON to `path`.
+pub fn write_json(path: &Path, report: &PerfReport) -> io::Result<()> {
+    std::fs::write(path, to_json(report) + "\n")
+}
+
+/// Pull `(workload, system, events_per_sec)` triples out of a perf-report
+/// JSON (the format written by [`to_json`]).
+///
+/// The offline environment has no JSON parser (serde is a no-op shim), so
+/// this is a purpose-built scanner for the one format this module writes:
+/// it walks `"workload"` keys and reads the two sibling fields this check
+/// needs.  Unknown fields are skipped; malformed entries are dropped.
+pub fn parse_jobs(json: &str) -> Vec<(String, String, f64)> {
+    let mut out = Vec::new();
+    let mut rest = json;
+    while let Some(start) = rest.find("\"workload\":\"") {
+        rest = &rest[start + "\"workload\":\"".len()..];
+        let Some(wend) = rest.find('"') else { break };
+        let workload = rest[..wend].to_string();
+        rest = &rest[wend..];
+        let Some(sys_at) = rest.find("\"system\":\"") else {
+            break;
+        };
+        rest = &rest[sys_at + "\"system\":\"".len()..];
+        let Some(send) = rest.find('"') else { break };
+        let system = rest[..send].to_string();
+        rest = &rest[send..];
+        let Some(eps_at) = rest.find("\"events_per_sec\":") else {
+            break;
+        };
+        rest = &rest[eps_at + "\"events_per_sec\":".len()..];
+        let num_end = rest
+            .find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit())
+            .unwrap_or(rest.len());
+        if let Ok(eps) = rest[..num_end].parse::<f64>() {
+            out.push((workload, system, eps));
+        }
+        rest = &rest[num_end..];
+    }
+    out
+}
+
+/// Compare a fresh report against a committed baseline JSON: every baseline
+/// job also present in `current` must reach at least `(1 - tolerance)` of
+/// its baseline events/sec.  Returns one message per regressed job (empty =
+/// pass).  Baseline jobs the current report did not run are skipped, so a
+/// CI smoke run may cover a subset of the committed matrix.
+pub fn regression_failures(
+    current: &PerfReport,
+    baseline_json: &str,
+    tolerance: f64,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    for (workload, system, base_eps) in parse_jobs(baseline_json) {
+        let Some(job) = current.job(&workload, &system) else {
+            continue;
+        };
+        let floor = base_eps * (1.0 - tolerance);
+        if job.events_per_sec < floor {
+            failures.push(format!(
+                "{workload}/{system}: {:.0} events/sec is below {:.0} \
+                 ({:.0}% of the {:.0} baseline)",
+                job.events_per_sec,
+                floor,
+                (1.0 - tolerance) * 100.0,
+                base_eps,
+            ));
+        }
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_report() -> PerfReport {
+        PerfReport {
+            scale: "reduced".to_string(),
+            repeats: 2,
+            jobs: vec![
+                PerfJob {
+                    workload: "radix".into(),
+                    system: "CC-NUMA".into(),
+                    elapsed_seconds: 0.5,
+                    accesses: 1_000_000,
+                    events_per_sec: 2_000_000.0,
+                },
+                PerfJob {
+                    workload: "lu".into(),
+                    system: "R-NUMA".into(),
+                    elapsed_seconds: 0.25,
+                    accesses: 500_000,
+                    events_per_sec: 2_000_000.0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_round_trips_through_the_scanner() {
+        let report = toy_report();
+        let json = to_json(&report);
+        assert!(json.contains("\"bench\":\"perf\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        let jobs = parse_jobs(&json);
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(jobs[0].0, "radix");
+        assert_eq!(jobs[0].1, "CC-NUMA");
+        assert!((jobs[0].2 - 2_000_000.0).abs() < 1.0);
+        assert_eq!(jobs[1].0, "lu");
+    }
+
+    #[test]
+    fn regression_check_flags_only_real_regressions() {
+        let baseline = to_json(&toy_report());
+        let mut current = toy_report();
+        // Same numbers: no failures.
+        assert!(regression_failures(&current, &baseline, 0.3).is_empty());
+        // 20% slower is inside a 30% tolerance.
+        current.jobs[0].events_per_sec = 1_600_000.0;
+        assert!(regression_failures(&current, &baseline, 0.3).is_empty());
+        // 50% slower is a regression, and the message names the job.
+        current.jobs[0].events_per_sec = 1_000_000.0;
+        let failures = regression_failures(&current, &baseline, 0.3);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("radix/CC-NUMA"), "{}", failures[0]);
+    }
+
+    #[test]
+    fn baseline_jobs_missing_from_current_are_skipped() {
+        let baseline = to_json(&toy_report());
+        let mut current = toy_report();
+        current.jobs.remove(1);
+        assert!(regression_failures(&current, &baseline, 0.3).is_empty());
+    }
+
+    #[test]
+    fn malformed_baseline_yields_no_jobs_not_a_panic() {
+        assert!(parse_jobs("").is_empty());
+        assert!(parse_jobs("{\"workload\":\"x\"").is_empty());
+        assert!(parse_jobs("not json at all").is_empty());
+    }
+
+    #[test]
+    fn measure_reports_positive_throughput() {
+        // Smallest real job: one workload, one system, one repeat.
+        let report = measure(
+            MachineConfig::PAPER,
+            &[dsm_core::System::cc_numa().build()],
+            &["ocean"],
+            ExperimentScale::Reduced,
+            1,
+        );
+        assert_eq!(report.jobs.len(), 1);
+        let job = &report.jobs[0];
+        assert_eq!(job.workload, "ocean");
+        assert!(job.accesses > 0);
+        assert!(job.events_per_sec > 0.0);
+        assert!(report.mean_events_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn empty_report_means_zero_not_nan() {
+        let empty = PerfReport {
+            scale: "reduced".into(),
+            repeats: 1,
+            jobs: vec![],
+        };
+        assert_eq!(empty.mean_events_per_sec(), 0.0);
+        assert!(empty.job("radix", "CC-NUMA").is_none());
+    }
+}

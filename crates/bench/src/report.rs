@@ -222,7 +222,7 @@ fn json_escape(s: &str) -> String {
     out
 }
 
-fn sim_result_json(r: &SimResult, baseline: Option<&SimResult>) -> String {
+fn sim_result_json(r: &SimResult, baseline: Option<&SimResult>, elapsed_seconds: f64) -> String {
     let normalized = baseline
         .map(|b| format!(",\"normalized_time\":{:.6}", r.normalized_against(b)))
         .unwrap_or_default();
@@ -232,7 +232,8 @@ fn sim_result_json(r: &SimResult, baseline: Option<&SimResult>) -> String {
             "\"remote_misses\":{},\"remote_capacity_misses\":{},",
             "\"migrations_per_node\":{:.1},\"replications_per_node\":{:.1},",
             "\"relocations_per_node\":{:.1},\"page_cache_replacements\":{},",
-            "\"network_messages\":{},\"network_bytes\":{}{}}}"
+            "\"network_messages\":{},\"network_bytes\":{},",
+            "\"elapsed_seconds\":{:.6}{}}}"
         ),
         json_escape(&r.system),
         r.execution_time.raw(),
@@ -246,6 +247,7 @@ fn sim_result_json(r: &SimResult, baseline: Option<&SimResult>) -> String {
         r.total_page_cache_replacements(),
         r.traffic.total_messages(),
         r.traffic.total_bytes(),
+        elapsed_seconds,
         normalized,
     )
 }
@@ -266,13 +268,14 @@ pub fn to_json(result: &ExperimentResult) -> String {
             let rows = w
                 .results
                 .iter()
-                .map(|r| sim_result_json(r, Some(&w.baseline)))
+                .zip(&w.elapsed_seconds)
+                .map(|(r, elapsed)| sim_result_json(r, Some(&w.baseline), *elapsed))
                 .collect::<Vec<_>>()
                 .join(",");
             format!(
                 "{{\"workload\":\"{}\",\"baseline\":{},\"results\":[{}]}}",
                 json_escape(&w.workload),
-                sim_result_json(&w.baseline, None),
+                sim_result_json(&w.baseline, None, w.baseline_elapsed_seconds),
                 rows
             )
         })
@@ -348,6 +351,7 @@ mod tests {
         assert!(json.contains("\"system\":\"R-NUMA\""));
         assert!(json.contains("\"normalized_time\""));
         assert!(json.contains("\"execution_time\""));
+        assert!(json.contains("\"elapsed_seconds\""));
         // Balanced braces/brackets (cheap well-formedness check with no JSON
         // parser in the offline environment).
         assert_eq!(json.matches('{').count(), json.matches('}').count());

@@ -17,6 +17,11 @@ pub struct WorkloadResult {
     pub baseline: SimResult,
     /// Results of the compared systems, in `SystemSet::systems` order.
     pub results: Vec<SimResult>,
+    /// Wall-clock seconds the baseline job took (the perf trajectory's raw
+    /// material; simulation results never depend on it).
+    pub baseline_elapsed_seconds: f64,
+    /// Wall-clock seconds per compared system, in `results` order.
+    pub elapsed_seconds: Vec<f64>,
 }
 
 impl WorkloadResult {
@@ -120,6 +125,17 @@ mod tests {
         assert!(result.mean_normalized(0) >= 0.99);
         assert_eq!(result.system_index("CC-NUMA"), Some(0));
         assert_eq!(result.system_index("nope"), None);
+    }
+
+    #[test]
+    fn empty_experiment_result_means_zero_not_nan() {
+        let empty = ExperimentResult {
+            experiment: "empty".to_string(),
+            system_names: vec!["CC-NUMA".to_string()],
+            per_workload: vec![],
+        };
+        assert_eq!(empty.mean_normalized(0), 0.0);
+        assert_eq!(empty.system_index("CC-NUMA"), Some(0));
     }
 
     #[test]

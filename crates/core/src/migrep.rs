@@ -19,19 +19,19 @@
 use crate::config::MigRepConfig;
 use crate::cost::Thresholds;
 use crate::policy::{PolicyStats, RelocationPolicy};
-use mem_trace::{NodeId, PageId};
+use mem_trace::{NodeId, PageIdx, PageRef, Slab};
 use smp_node::page_table::PageMapping;
-use std::collections::HashMap;
 
 pub use crate::policy::PageOp;
 
 #[derive(Debug, Clone, Default)]
 struct PageCounters {
     /// Read misses per *remote* requesting node (the home node's cluster
-    /// device counts requests it receives from other nodes).
-    reads: HashMap<NodeId, u64>,
-    /// Write misses per *remote* requesting node.
-    writes: HashMap<NodeId, u64>,
+    /// device counts requests it receives from other nodes), indexed by
+    /// node; grown to the highest requester seen.
+    reads: Slab<u64>,
+    /// Write misses per *remote* requesting node, indexed like `reads`.
+    writes: Slab<u64>,
     /// Misses by the home node itself (observed on its own memory bus);
     /// used only for the migration comparison against remote requesters.
     home_misses: u64,
@@ -41,11 +41,12 @@ struct PageCounters {
 
 impl PageCounters {
     fn total_of(&self, node: NodeId) -> u64 {
-        self.reads.get(&node).copied().unwrap_or(0) + self.writes.get(&node).copied().unwrap_or(0)
+        self.reads.get(node.index()).copied().unwrap_or(0)
+            + self.writes.get(node.index()).copied().unwrap_or(0)
     }
 
     fn total_writes(&self) -> u64 {
-        self.writes.values().sum()
+        self.writes.iter().sum()
     }
 }
 
@@ -55,9 +56,10 @@ pub struct MigRepEngine {
     cfg: MigRepConfig,
     threshold: u64,
     reset_interval: u64,
-    counters: HashMap<PageId, PageCounters>,
-    /// Per-page bitmask of nodes holding read-only replicas.
-    replicas: HashMap<PageId, u64>,
+    counters: Slab<PageCounters>,
+    /// Per-page bitmask of nodes holding read-only replicas, indexed by
+    /// interned page.
+    replicas: Slab<u64>,
     /// Operations decided but not yet drained by the simulator.
     pending: Vec<PageOp>,
     migrations: u64,
@@ -72,8 +74,8 @@ impl MigRepEngine {
             cfg,
             threshold: thresholds.migrep_threshold,
             reset_interval: thresholds.migrep_reset_interval,
-            counters: HashMap::new(),
-            replicas: HashMap::new(),
+            counters: Slab::new(),
+            replicas: Slab::new(),
             pending: Vec::new(),
             migrations: 0,
             replications: 0,
@@ -88,27 +90,24 @@ impl MigRepEngine {
     /// [`MigRepEngine::note_replicated`]).
     pub fn record_miss(
         &mut self,
-        page: PageId,
+        page: PageRef,
         home: NodeId,
         requester: NodeId,
         is_write: bool,
     ) -> Option<PageOp> {
         let threshold = self.threshold;
         let reset_interval = self.reset_interval;
-        let already_replica = self
-            .replicas
-            .get(&page)
-            .map(|mask| mask & (1u64 << requester.index()) != 0)
-            .unwrap_or(false);
-        let page_replicated = self.replicas.get(&page).map(|m| *m != 0).unwrap_or(false);
-        let counters = self.counters.entry(page).or_default();
+        let mask = self.replicas.get(page.idx.index()).copied().unwrap_or(0);
+        let already_replica = mask & (1u64 << requester.index()) != 0;
+        let page_replicated = mask != 0;
+        let counters = self.counters.entry(page.idx.index());
         counters.since_reset += 1;
         if requester == home {
             counters.home_misses += 1;
         } else if is_write {
-            *counters.writes.entry(requester).or_insert(0) += 1;
+            *counters.writes.entry(requester.index()) += 1;
         } else {
-            *counters.reads.entry(requester).or_insert(0) += 1;
+            *counters.reads.entry(requester.index()) += 1;
         }
 
         let mut decision = None;
@@ -118,7 +117,7 @@ impl MigRepEngine {
                 && !is_write
                 && !already_replica
                 && counters.total_writes() == 0
-                && counters.reads.get(&requester).copied().unwrap_or(0) >= threshold
+                && counters.reads.get(requester.index()).copied().unwrap_or(0) >= threshold
             {
                 decision = Some(PageOp::Replicate {
                     page,
@@ -149,51 +148,50 @@ impl MigRepEngine {
     }
 
     /// `true` if `page` currently has at least one replica.
-    pub fn is_replicated(&self, page: PageId) -> bool {
-        self.replicas.get(&page).map(|m| *m != 0).unwrap_or(false)
+    pub fn is_replicated(&self, page: PageIdx) -> bool {
+        self.replicas.get(page.index()).copied().unwrap_or(0) != 0
     }
 
     /// `true` if `node` holds a replica of `page`.
-    pub fn holds_replica(&self, page: PageId, node: NodeId) -> bool {
-        self.replicas
-            .get(&page)
-            .map(|m| m & (1u64 << node.index()) != 0)
-            .unwrap_or(false)
+    pub fn holds_replica(&self, page: PageIdx, node: NodeId) -> bool {
+        self.replicas.get(page.index()).copied().unwrap_or(0) & (1u64 << node.index()) != 0
     }
 
     /// Nodes holding replicas of `page`.
-    pub fn replica_holders(&self, page: PageId) -> Vec<NodeId> {
-        match self.replicas.get(&page) {
-            Some(mask) => (0..64)
-                .filter(|i| mask & (1u64 << i) != 0)
-                .map(|i| NodeId(i as u16))
-                .collect(),
-            None => Vec::new(),
-        }
+    pub fn replica_holders(&self, page: PageIdx) -> Vec<NodeId> {
+        let mask = self.replicas.get(page.index()).copied().unwrap_or(0);
+        (0..64)
+            .filter(|i| mask & (1u64 << i) != 0)
+            .map(|i| NodeId(i as u16))
+            .collect()
     }
 
     /// Record that a replica of `page` was installed on `node`.
-    pub fn note_replicated(&mut self, page: PageId, node: NodeId) {
-        *self.replicas.entry(page).or_insert(0) |= 1u64 << node.index();
+    pub fn note_replicated(&mut self, page: PageIdx, node: NodeId) {
+        *self.replicas.entry(page.index()) |= 1u64 << node.index();
         self.replications += 1;
     }
 
     /// Record that `page` migrated; its counters restart from zero.
-    pub fn note_migrated(&mut self, page: PageId) {
-        self.counters.remove(&page);
+    pub fn note_migrated(&mut self, page: PageIdx) {
+        if let Some(c) = self.counters.get_mut(page.index()) {
+            *c = PageCounters::default();
+        }
         self.migrations += 1;
     }
 
     /// A write hit a replicated page: every replica must be invalidated and
     /// the page switched back to a single read-write copy.  Returns the
     /// nodes whose replicas were dropped.
-    pub fn switch_to_read_write(&mut self, page: PageId) -> Vec<NodeId> {
+    pub fn switch_to_read_write(&mut self, page: PageIdx) -> Vec<NodeId> {
         let holders = self.replica_holders(page);
         if !holders.is_empty() {
-            self.replicas.remove(&page);
+            *self.replicas.entry(page.index()) = 0;
             self.switches_to_rw += 1;
             // The sharing pattern changed; restart the page's counters.
-            self.counters.remove(&page);
+            if let Some(c) = self.counters.get_mut(page.index()) {
+                *c = PageCounters::default();
+            }
         }
         holders
     }
@@ -221,15 +219,15 @@ impl RelocationPolicy for MigRepEngine {
 
     /// Nodes holding a replica map faulting pages as replicas instead of
     /// remote CC-NUMA pages.
-    fn classify_page(&self, page: PageId, node: NodeId, home: NodeId) -> Option<PageMapping> {
-        if self.holds_replica(page, node) {
+    fn classify_page(&self, page: PageRef, node: NodeId, home: NodeId) -> Option<PageMapping> {
+        if self.holds_replica(page.idx, node) {
             Some(PageMapping::replica(home))
         } else {
             None
         }
     }
 
-    fn on_remote_miss(&mut self, page: PageId, home: NodeId, requester: NodeId, is_write: bool) {
+    fn on_remote_miss(&mut self, page: PageRef, home: NodeId, requester: NodeId, is_write: bool) {
         if let Some(op) = self.record_miss(page, home, requester, is_write) {
             self.pending.push(op);
         }
@@ -239,18 +237,18 @@ impl RelocationPolicy for MigRepEngine {
         std::mem::take(&mut self.pending)
     }
 
-    fn on_write_to_read_only(&mut self, page: PageId) -> Vec<NodeId> {
-        self.switch_to_read_write(page)
+    fn on_write_to_read_only(&mut self, page: PageRef) -> Vec<NodeId> {
+        self.switch_to_read_write(page.idx)
     }
 
-    fn page_is_replicated(&self, page: PageId) -> bool {
-        self.is_replicated(page)
+    fn page_is_replicated(&self, page: PageRef) -> bool {
+        self.is_replicated(page.idx)
     }
 
     fn note_op_performed(&mut self, op: &PageOp) {
         match *op {
-            PageOp::Replicate { page, to } => self.note_replicated(page, to),
-            PageOp::Migrate { page, .. } => self.note_migrated(page),
+            PageOp::Replicate { page, to } => self.note_replicated(page.idx, to),
+            PageOp::Migrate { page, .. } => self.note_migrated(page.idx),
             PageOp::Relocate { .. } => {}
         }
     }
@@ -278,7 +276,12 @@ mod tests {
         }
     }
 
-    const PAGE: PageId = PageId(7);
+    use mem_trace::PageId;
+
+    const PAGE: PageRef = PageRef {
+        id: PageId(7),
+        idx: PageIdx(7),
+    };
     const HOME: NodeId = NodeId(0);
     const REMOTE: NodeId = NodeId(3);
 
@@ -295,9 +298,9 @@ mod tests {
                 to: REMOTE
             })
         );
-        e.note_replicated(PAGE, REMOTE);
-        assert!(e.is_replicated(PAGE));
-        assert!(e.holds_replica(PAGE, REMOTE));
+        e.note_replicated(PAGE.idx, REMOTE);
+        assert!(e.is_replicated(PAGE.idx));
+        assert!(e.holds_replica(PAGE.idx, REMOTE));
         assert_eq!(e.counts(), (0, 1, 0));
         // Once replicated, further reads do not re-trigger replication.
         assert_eq!(e.record_miss(PAGE, HOME, REMOTE, false), None);
@@ -327,7 +330,7 @@ mod tests {
                 to: REMOTE
             })
         );
-        e.note_migrated(PAGE);
+        e.note_migrated(PAGE.idx);
         assert_eq!(e.counts().0, 1);
     }
 
@@ -369,14 +372,14 @@ mod tests {
     #[test]
     fn switch_to_read_write_drops_all_replicas() {
         let mut e = MigRepEngine::new(MigRepConfig::BOTH, thresholds(1, 1_000));
-        e.note_replicated(PAGE, NodeId(1));
-        e.note_replicated(PAGE, NodeId(4));
-        let dropped = e.switch_to_read_write(PAGE);
+        e.note_replicated(PAGE.idx, NodeId(1));
+        e.note_replicated(PAGE.idx, NodeId(4));
+        let dropped = e.switch_to_read_write(PAGE.idx);
         assert_eq!(dropped, vec![NodeId(1), NodeId(4)]);
-        assert!(!e.is_replicated(PAGE));
+        assert!(!e.is_replicated(PAGE.idx));
         assert_eq!(e.counts().2, 1);
         // Idempotent.
-        assert!(e.switch_to_read_write(PAGE).is_empty());
+        assert!(e.switch_to_read_write(PAGE.idx).is_empty());
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use crate::config::SystemConfig;
 use crate::stats::NodeStats;
 use dsm_protocol::{BlockCache, PageCache};
-use mem_trace::PageId;
+use mem_trace::PageIdx;
 use sim_engine::Cycles;
 use smp_node::{CacheConfig, DataCache, MemoryBus, MissClassifier, PageTable};
 
@@ -74,7 +74,7 @@ impl NodeState {
     }
 
     /// `true` if this node has relocated `page` into its page cache.
-    pub fn page_in_page_cache(&self, page: PageId) -> bool {
+    pub fn page_in_page_cache(&self, page: PageIdx) -> bool {
         self.page_cache
             .as_ref()
             .map(|pc| pc.contains_page(page))
@@ -98,7 +98,7 @@ mod tests {
         let rn = NodeState::new(0, &System::r_numa().build());
         assert!(rn.block_cache.is_none());
         assert!(rn.page_cache.is_some());
-        assert!(!rn.page_in_page_cache(PageId(0)));
+        assert!(!rn.page_in_page_cache(PageIdx(0)));
 
         let proc = ProcState::new(machine.l1);
         assert_eq!(proc.time, Cycles::ZERO);

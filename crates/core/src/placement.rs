@@ -5,14 +5,17 @@
 //! page becomes its home.  Page migration later *changes* the home; this
 //! module is the single source of truth for "where does page P live right
 //! now".
+//!
+//! Homes are a dense slab over interned [`PageIdx`]es — the home lookup on
+//! every miss is a single array access.
 
-use mem_trace::{NodeId, PageId};
-use std::collections::HashMap;
+use mem_trace::{NodeId, PageIdx, Slab};
 
 /// Tracks the home node of every shared page.
 #[derive(Debug, Clone, Default)]
 pub struct PagePlacement {
-    homes: HashMap<PageId, NodeId>,
+    homes: Slab<Option<NodeId>>,
+    placed: usize,
     first_touches: u64,
     migrations: u64,
 }
@@ -24,23 +27,26 @@ impl PagePlacement {
     }
 
     /// The home of `page`, if it has been placed.
-    pub fn home_of(&self, page: PageId) -> Option<NodeId> {
-        self.homes.get(&page).copied()
+    #[inline]
+    pub fn home_of(&self, page: PageIdx) -> Option<NodeId> {
+        self.homes.get(page.index()).copied().flatten()
     }
 
     /// `true` if `page` has been placed.
-    pub fn is_placed(&self, page: PageId) -> bool {
-        self.homes.contains_key(&page)
+    pub fn is_placed(&self, page: PageIdx) -> bool {
+        self.home_of(page).is_some()
     }
 
     /// Place `page` on first touch by `node`; returns the page's home (the
     /// toucher if this really was the first touch, the existing home
     /// otherwise).
-    pub fn first_touch(&mut self, page: PageId, node: NodeId) -> NodeId {
-        match self.homes.get(&page) {
+    pub fn first_touch(&mut self, page: PageIdx, node: NodeId) -> NodeId {
+        let slot = self.homes.entry(page.index());
+        match slot {
             Some(home) => *home,
             None => {
-                self.homes.insert(page, node);
+                *slot = Some(node);
+                self.placed += 1;
                 self.first_touches += 1;
                 node
             }
@@ -52,23 +58,26 @@ impl PagePlacement {
     /// # Panics
     /// Panics if the page has never been placed (migration of an untouched
     /// page is a policy bug).
-    pub fn migrate(&mut self, page: PageId, new_home: NodeId) -> NodeId {
-        let old = self
+    pub fn migrate(&mut self, page: PageIdx, new_home: NodeId) -> NodeId {
+        let slot = self
             .homes
-            .insert(page, new_home)
+            .get_mut(page.index())
+            .and_then(Option::as_mut)
             .expect("migrating a page that was never placed");
+        let old = *slot;
+        *slot = new_home;
         self.migrations += 1;
         old
     }
 
     /// Number of pages placed so far.
     pub fn pages_placed(&self) -> usize {
-        self.homes.len()
+        self.placed
     }
 
     /// Number of pages currently homed on `node`.
     pub fn pages_homed_on(&self, node: NodeId) -> usize {
-        self.homes.values().filter(|h| **h == node).count()
+        self.homes.iter().filter(|h| **h == Some(node)).count()
     }
 
     /// `(first touches, migrations)` performed so far.
@@ -77,8 +86,10 @@ impl PagePlacement {
     }
 
     /// Iterate over all placements.
-    pub fn iter(&self) -> impl Iterator<Item = (PageId, NodeId)> + '_ {
-        self.homes.iter().map(|(p, n)| (*p, *n))
+    pub fn iter(&self) -> impl Iterator<Item = (PageIdx, NodeId)> + '_ {
+        self.homes
+            .iter_enumerated()
+            .filter_map(|(i, h)| h.map(|n| (PageIdx(i as u32), n)))
     }
 }
 
@@ -89,36 +100,36 @@ mod tests {
     #[test]
     fn first_touch_assigns_home_once() {
         let mut p = PagePlacement::new();
-        assert!(!p.is_placed(PageId(1)));
-        assert_eq!(p.first_touch(PageId(1), NodeId(3)), NodeId(3));
+        assert!(!p.is_placed(PageIdx(1)));
+        assert_eq!(p.first_touch(PageIdx(1), NodeId(3)), NodeId(3));
         // Second toucher does not steal the page.
-        assert_eq!(p.first_touch(PageId(1), NodeId(5)), NodeId(3));
-        assert_eq!(p.home_of(PageId(1)), Some(NodeId(3)));
+        assert_eq!(p.first_touch(PageIdx(1), NodeId(5)), NodeId(3));
+        assert_eq!(p.home_of(PageIdx(1)), Some(NodeId(3)));
         assert_eq!(p.counters(), (1, 0));
     }
 
     #[test]
     fn migration_changes_home() {
         let mut p = PagePlacement::new();
-        p.first_touch(PageId(2), NodeId(0));
-        let old = p.migrate(PageId(2), NodeId(6));
+        p.first_touch(PageIdx(2), NodeId(0));
+        let old = p.migrate(PageIdx(2), NodeId(6));
         assert_eq!(old, NodeId(0));
-        assert_eq!(p.home_of(PageId(2)), Some(NodeId(6)));
+        assert_eq!(p.home_of(PageIdx(2)), Some(NodeId(6)));
         assert_eq!(p.counters(), (1, 1));
     }
 
     #[test]
     #[should_panic(expected = "never placed")]
     fn migrating_unplaced_page_panics() {
-        PagePlacement::new().migrate(PageId(9), NodeId(0));
+        PagePlacement::new().migrate(PageIdx(9), NodeId(0));
     }
 
     #[test]
     fn per_node_page_counts() {
         let mut p = PagePlacement::new();
-        p.first_touch(PageId(0), NodeId(0));
-        p.first_touch(PageId(1), NodeId(0));
-        p.first_touch(PageId(2), NodeId(1));
+        p.first_touch(PageIdx(0), NodeId(0));
+        p.first_touch(PageIdx(1), NodeId(0));
+        p.first_touch(PageIdx(2), NodeId(1));
         assert_eq!(p.pages_placed(), 3);
         assert_eq!(p.pages_homed_on(NodeId(0)), 2);
         assert_eq!(p.pages_homed_on(NodeId(1)), 1);

@@ -44,12 +44,14 @@
 //! ```
 //! use dsm_core::policy::{PageOp, PolicyStats, RelocationPolicy};
 //! use dsm_core::{ClusterSimulator, MachineConfig, System};
-//! use mem_trace::{NodeId, PageId};
+//! use mem_trace::{NodeId, PageRef};
 //!
 //! /// A toy policy: migrate every page to node 0 on its 64th home miss.
+//! /// Pages arrive as `PageRef`s, so the dense `page.idx` can key a flat
+//! /// per-page table — no hash map on the hot path.
 //! #[derive(Debug, Default)]
 //! struct DrainToNodeZero {
-//!     misses: std::collections::HashMap<PageId, u64>,
+//!     misses: Vec<u64>,
 //!     pending: Vec<PageOp>,
 //!     migrations: u64,
 //! }
@@ -59,8 +61,11 @@
 //!         "drain-to-node-0"
 //!     }
 //!
-//!     fn on_remote_miss(&mut self, page: PageId, home: NodeId, _req: NodeId, _w: bool) {
-//!         let count = self.misses.entry(page).or_insert(0);
+//!     fn on_remote_miss(&mut self, page: PageRef, home: NodeId, _req: NodeId, _w: bool) {
+//!         if page.idx.index() >= self.misses.len() {
+//!             self.misses.resize(page.idx.index() + 1, 0);
+//!         }
+//!         let count = &mut self.misses[page.idx.index()];
 //!         *count += 1;
 //!         if *count == 64 && home != NodeId(0) {
 //!             self.pending.push(PageOp::Migrate { page, to: NodeId(0) });
@@ -97,7 +102,7 @@
 use crate::config::SystemConfig;
 use crate::migrep::MigRepEngine;
 use crate::rnuma::RNumaEngine;
-use mem_trace::{NodeId, PageId};
+use mem_trace::{NodeId, PageRef};
 use smp_node::classify::MissClass;
 use smp_node::page_table::PageMapping;
 
@@ -106,19 +111,23 @@ use smp_node::page_table::PageMapping;
 /// The simulator carries these out (moving data, rewriting page tables,
 /// charging Table 3 latencies) and then reports completion back to every
 /// installed policy via [`RelocationPolicy::note_op_performed`].
+///
+/// Pages are named by [`PageRef`] — the dense index keys the policy's and
+/// simulator's state, the sparse id reconstructs the global addresses the
+/// operation moves.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PageOp {
     /// Replicate `page` read-only onto `to`.
     Replicate {
         /// Page to replicate.
-        page: PageId,
+        page: PageRef,
         /// Node receiving the replica.
         to: NodeId,
     },
     /// Migrate `page` from its current home to `to`.
     Migrate {
         /// Page to migrate.
-        page: PageId,
+        page: PageRef,
         /// The new home node.
         to: NodeId,
     },
@@ -126,7 +135,7 @@ pub enum PageOp {
     /// systems whose nodes have no page cache.
     Relocate {
         /// Page to relocate.
-        page: PageId,
+        page: PageRef,
         /// Node whose page cache receives the page.
         to: NodeId,
     },
@@ -165,26 +174,26 @@ pub trait RelocationPolicy: std::fmt::Debug + Send {
     /// mapping installed?  The first policy returning `Some` wins; `None`
     /// from every policy yields the plain CC-NUMA mapping (local-home or
     /// remote).
-    fn classify_page(&self, page: PageId, node: NodeId, home: NodeId) -> Option<PageMapping> {
+    fn classify_page(&self, page: PageRef, node: NodeId, home: NodeId) -> Option<PageMapping> {
         let _ = (page, node, home);
         None
     }
 
     /// Any processor-cache data miss to `page`, before it is serviced.
-    fn on_miss(&mut self, page: PageId) {
+    fn on_miss(&mut self, page: PageRef) {
         let _ = page;
     }
 
     /// A miss to `page` was counted by the home node's hardware: `requester`
     /// missed on a page homed on `home`.  `requester == home` for misses by
     /// the home node itself (observed on its own memory bus).
-    fn on_remote_miss(&mut self, page: PageId, home: NodeId, requester: NodeId, is_write: bool) {
+    fn on_remote_miss(&mut self, page: PageRef, home: NodeId, requester: NodeId, is_write: bool) {
         let _ = (page, home, requester, is_write);
     }
 
     /// `node` fetched a block of remote page `page` again after having
     /// evicted it (`class` is the miss classification of the refetch).
-    fn on_refetch(&mut self, node: NodeId, page: PageId, class: MissClass) {
+    fn on_refetch(&mut self, node: NodeId, page: PageRef, class: MissClass) {
         let _ = (node, page, class);
     }
 
@@ -198,14 +207,14 @@ pub trait RelocationPolicy: std::fmt::Debug + Send {
     /// A write hit a read-only page: the policy must drop whatever replica
     /// bookkeeping it holds for `page` and return the nodes whose replicas
     /// have to be invalidated and remapped.
-    fn on_write_to_read_only(&mut self, page: PageId) -> Vec<NodeId> {
+    fn on_write_to_read_only(&mut self, page: PageRef) -> Vec<NodeId> {
         let _ = page;
         Vec::new()
     }
 
     /// `true` if this policy currently holds read-only replicas of `page`
     /// (replicated pages are never migration candidates).
-    fn page_is_replicated(&self, page: PageId) -> bool {
+    fn page_is_replicated(&self, page: PageRef) -> bool {
         let _ = page;
         false
     }
@@ -313,16 +322,17 @@ mod tests {
                 "inert"
             }
         }
+        let page = PageRef::new(mem_trace::PageId(1), mem_trace::PageIdx(1));
         let mut p = Inert;
-        assert!(p.classify_page(PageId(1), NodeId(0), NodeId(1)).is_none());
-        p.on_miss(PageId(1));
-        p.on_remote_miss(PageId(1), NodeId(0), NodeId(1), false);
-        p.on_refetch(NodeId(1), PageId(1), MissClass::CapacityConflict);
+        assert!(p.classify_page(page, NodeId(0), NodeId(1)).is_none());
+        p.on_miss(page);
+        p.on_remote_miss(page, NodeId(0), NodeId(1), false);
+        p.on_refetch(NodeId(1), page, MissClass::CapacityConflict);
         assert!(p.drain_ops().is_empty());
-        assert!(p.on_write_to_read_only(PageId(1)).is_empty());
-        assert!(!p.page_is_replicated(PageId(1)));
+        assert!(p.on_write_to_read_only(page).is_empty());
+        assert!(!p.page_is_replicated(page));
         p.note_op_performed(&PageOp::Migrate {
-            page: PageId(1),
+            page,
             to: NodeId(0),
         });
         assert_eq!(p.stats(), PolicyStats::default());

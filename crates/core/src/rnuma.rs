@@ -14,19 +14,19 @@
 
 use crate::cost::Thresholds;
 use crate::policy::{PageOp, PolicyStats, RelocationPolicy};
-use mem_trace::{NodeId, PageId};
+use mem_trace::{NodeId, PageIdx, PageRef, Slab};
 use smp_node::classify::MissClass;
-use std::collections::HashMap;
 
 /// The per-node reactive relocation policy.
 #[derive(Debug, Clone)]
 pub struct RNumaEngine {
     threshold: u64,
     relocation_delay: u64,
-    /// Refetch counters per (node, page).
-    refetch: HashMap<(NodeId, PageId), u64>,
+    /// Refetch counters, indexed `[node][interned page]`; both dimensions
+    /// grow on demand.
+    refetch: Vec<Slab<u64>>,
     /// Total misses observed per page (all nodes), for the hybrid's delay.
-    page_misses: HashMap<PageId, u64>,
+    page_misses: Slab<u64>,
     /// Relocations decided but not yet drained by the simulator.
     pending: Vec<PageOp>,
     relocations: u64,
@@ -38,8 +38,8 @@ impl RNumaEngine {
         RNumaEngine {
             threshold: thresholds.rnuma_threshold,
             relocation_delay: thresholds.rnuma_relocation_delay,
-            refetch: HashMap::new(),
-            page_misses: HashMap::new(),
+            refetch: Vec::new(),
+            page_misses: Slab::new(),
             pending: Vec::new(),
             relocations: 0,
         }
@@ -47,23 +47,26 @@ impl RNumaEngine {
 
     /// Record any miss to `page` (used only to drive the hybrid's
     /// relocation-delay window).
-    pub fn record_page_miss(&mut self, page: PageId) {
+    pub fn record_page_miss(&mut self, page: PageIdx) {
         if self.relocation_delay > 0 {
-            *self.page_misses.entry(page).or_insert(0) += 1;
+            *self.page_misses.entry(page.index()) += 1;
         }
     }
 
     /// Record a capacity/conflict *refetch* of a block of `page` by `node`
     /// while the page is mapped CC-NUMA.  Returns `true` if the node should
     /// relocate the page into its page cache now.
-    pub fn record_refetch(&mut self, node: NodeId, page: PageId) -> bool {
-        let counter = self.refetch.entry((node, page)).or_insert(0);
+    pub fn record_refetch(&mut self, node: NodeId, page: PageIdx) -> bool {
+        if node.index() >= self.refetch.len() {
+            self.refetch.resize_with(node.index() + 1, Slab::new);
+        }
+        let counter = self.refetch[node.index()].entry(page.index());
         *counter += 1;
         if *counter < self.threshold {
             return false;
         }
         if self.relocation_delay > 0 {
-            let seen = self.page_misses.get(&page).copied().unwrap_or(0);
+            let seen = self.page_misses.get(page.index()).copied().unwrap_or(0);
             if seen < self.relocation_delay {
                 return false;
             }
@@ -72,14 +75,24 @@ impl RNumaEngine {
     }
 
     /// Record that `node` relocated `page`; its refetch counter restarts.
-    pub fn note_relocated(&mut self, node: NodeId, page: PageId) {
-        self.refetch.remove(&(node, page));
+    pub fn note_relocated(&mut self, node: NodeId, page: PageIdx) {
+        if let Some(counter) = self
+            .refetch
+            .get_mut(node.index())
+            .and_then(|s| s.get_mut(page.index()))
+        {
+            *counter = 0;
+        }
         self.relocations += 1;
     }
 
     /// Current refetch count of `(node, page)`.
-    pub fn refetch_count(&self, node: NodeId, page: PageId) -> u64 {
-        self.refetch.get(&(node, page)).copied().unwrap_or(0)
+    pub fn refetch_count(&self, node: NodeId, page: PageIdx) -> u64 {
+        self.refetch
+            .get(node.index())
+            .and_then(|s| s.get(page.index()))
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Total relocations performed.
@@ -99,15 +112,15 @@ impl RelocationPolicy for RNumaEngine {
     }
 
     /// Every data miss feeds the hybrid's relocation-delay window.
-    fn on_miss(&mut self, page: PageId) {
-        self.record_page_miss(page);
+    fn on_miss(&mut self, page: PageRef) {
+        self.record_page_miss(page.idx);
     }
 
     /// Capacity/conflict refetches drive the relocation decision; other
     /// miss classes are ignored (cold and coherence misses would recur in
     /// the page cache just the same).
-    fn on_refetch(&mut self, node: NodeId, page: PageId, class: MissClass) {
-        if class == MissClass::CapacityConflict && self.record_refetch(node, page) {
+    fn on_refetch(&mut self, node: NodeId, page: PageRef, class: MissClass) {
+        if class == MissClass::CapacityConflict && self.record_refetch(node, page.idx) {
             self.pending.push(PageOp::Relocate { page, to: node });
         }
     }
@@ -118,7 +131,7 @@ impl RelocationPolicy for RNumaEngine {
 
     fn note_op_performed(&mut self, op: &PageOp) {
         if let PageOp::Relocate { page, to } = *op {
-            self.note_relocated(to, page);
+            self.note_relocated(to, page.idx);
         }
     }
 
@@ -144,7 +157,7 @@ mod tests {
     }
 
     const NODE: NodeId = NodeId(2);
-    const PAGE: PageId = PageId(11);
+    const PAGE: PageIdx = PageIdx(11);
 
     #[test]
     fn relocation_fires_at_threshold() {
@@ -162,10 +175,10 @@ mod tests {
     fn counters_are_per_node_and_per_page() {
         let mut e = RNumaEngine::new(thresholds(3, 0));
         e.record_refetch(NODE, PAGE);
-        e.record_refetch(NODE, PageId(99));
+        e.record_refetch(NODE, PageIdx(99));
         e.record_refetch(NodeId(5), PAGE);
         assert_eq!(e.refetch_count(NODE, PAGE), 1);
-        assert_eq!(e.refetch_count(NODE, PageId(99)), 1);
+        assert_eq!(e.refetch_count(NODE, PageIdx(99)), 1);
         assert_eq!(e.refetch_count(NodeId(5), PAGE), 1);
     }
 

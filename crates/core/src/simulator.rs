@@ -17,17 +17,17 @@
 //! same run can instead be fed by a streaming generator or a recorded trace
 //! file with bounded memory ([`ClusterSimulator::run_source`]).
 
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeSet, VecDeque};
 
 use dsm_protocol::block_cache::BlockState;
 use dsm_protocol::directory::{DataSource, Directory, DirectoryState};
 use dsm_protocol::page_cache::AllocOutcome;
 use dsm_protocol::{Interconnect, MsgKind};
 use mem_trace::{
-    AccessKind, BlockId, MemRef, NodeId, PageId, ProcId, ProgramTrace, TraceError, TraceEvent,
-    TraceSource, BLOCKS_PER_PAGE,
+    AccessKind, BlockRef, MemRef, NodeId, PageInterner, PageRef, ProcId, ProgramTrace, Slab,
+    TraceError, TraceEvent, TraceSource, BLOCKS_PER_PAGE, MAX_LOCK_ID,
 };
-use sim_engine::{Cycles, EventQueue};
+use sim_engine::{Cycles, ProcScheduler};
 use smp_node::cache::{CacheOutcome, LineState, Victim};
 use smp_node::classify::MissClass;
 use smp_node::page_table::{PageMapping, PageMode, PageProtection};
@@ -115,7 +115,7 @@ impl ClusterSimulator {
     }
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 struct LockState {
     held_by: Option<u16>,
     waiters: VecDeque<u16>,
@@ -134,7 +134,14 @@ struct RunState<'a> {
     /// The simulator drives these through the [`RelocationPolicy`] hooks and
     /// never branches on which concrete policies are installed.
     policies: Vec<Box<dyn RelocationPolicy>>,
-    locks: HashMap<u32, LockState>,
+    /// The page-id interner: every address entering the simulator is
+    /// resolved to its dense `PageIdx`/`BlockIdx` exactly once, here; all
+    /// per-page and per-block state downstream is `Vec`-indexed.
+    interner: PageInterner,
+    /// Lock table, indexed directly by lock id (the generators number locks
+    /// densely from zero; ids above [`MAX_LOCK_ID`] are rejected as
+    /// malformed before touching the table).
+    locks: Slab<LockState>,
     barrier_waiting: Vec<u16>,
     accesses: u64,
     barriers_done: u64,
@@ -160,7 +167,8 @@ impl<'a> RunState<'a> {
                 system.costs.network_latency,
             ),
             policies: policies_for(system),
-            locks: HashMap::new(),
+            interner: PageInterner::new(),
+            locks: Slab::new(),
             barrier_waiting: Vec::new(),
             accesses: 0,
             barriers_done: 0,
@@ -177,7 +185,7 @@ impl<'a> RunState<'a> {
 
     fn execute(&mut self, source: &mut dyn TraceSource) -> Result<SimResult, TraceError> {
         let workload = source.name().to_string();
-        let mut queue: EventQueue<u16> = EventQueue::with_capacity(self.procs.len());
+        let mut queue = ProcScheduler::with_capacity(self.procs.len());
         for p in 0..self.procs.len() {
             if !source.exhausted(ProcId(p as u16)) {
                 queue.push(Cycles::ZERO, p as u16);
@@ -245,8 +253,14 @@ impl<'a> RunState<'a> {
                     }
                 }
                 TraceEvent::Lock(id) => {
+                    if id > MAX_LOCK_ID {
+                        return Err(TraceError::LockIdOutOfRange {
+                            proc: ProcId(p),
+                            lock: id,
+                        });
+                    }
                     let acquire_now = {
-                        let lock = self.locks.entry(id).or_default();
+                        let lock = self.locks.entry(id as usize);
                         if lock.held_by.is_none() {
                             lock.held_by = Some(p);
                             true
@@ -268,9 +282,15 @@ impl<'a> RunState<'a> {
                     }
                 }
                 TraceEvent::Unlock(id) => {
+                    if id > MAX_LOCK_ID {
+                        return Err(TraceError::LockIdOutOfRange {
+                            proc: ProcId(p),
+                            lock: id,
+                        });
+                    }
                     let release_time = self.procs[pid].time;
                     let next = {
-                        let lock = self.locks.entry(id).or_default();
+                        let lock = self.locks.entry(id as usize);
                         if lock.held_by != Some(p) {
                             return Err(TraceError::UnbalancedLock {
                                 proc: ProcId(p),
@@ -283,7 +303,7 @@ impl<'a> RunState<'a> {
                     if let Some(w) = next {
                         let wi = w as usize;
                         let cost = self.lock_cost();
-                        self.locks.get_mut(&id).expect("lock exists").held_by = Some(w);
+                        self.locks.entry(id as usize).held_by = Some(w);
                         self.procs[wi].time = self.procs[wi].time.max(release_time) + cost;
                         self.procs[wi].waiting = Waiting::None;
                         if !source.exhausted(ProcId(w)) {
@@ -314,12 +334,7 @@ impl<'a> RunState<'a> {
 
     /// Re-enqueue a runnable processor, or mark it finished once its trace
     /// is drained.
-    fn reschedule(
-        &mut self,
-        pid: usize,
-        queue: &mut EventQueue<u16>,
-        source: &mut dyn TraceSource,
-    ) {
+    fn reschedule(&mut self, pid: usize, queue: &mut ProcScheduler, source: &mut dyn TraceSource) {
         if self.procs[pid].waiting != Waiting::None {
             return;
         }
@@ -365,17 +380,19 @@ impl<'a> RunState<'a> {
         let proc_id = ProcId(pid as u16);
         let node_id = self.machine.topology.node_of(proc_id);
         let nidx = node_id.index();
-        let page = m.page();
-        let block = m.block();
+        // The one hash probe of the access path: everything below keys its
+        // state by the dense indices resolved here.
+        let page = self.interner.intern_ref(m.page());
+        let block = page.block(m.block());
         let is_write = m.kind.is_write();
         let costs = self.system.costs;
         let mut latency = Cycles::ZERO;
 
         // --- page mapping (soft page fault on first reference) ----------
-        let mut mapping = match self.nodes[nidx].page_table.lookup(page) {
+        let mut mapping = match self.nodes[nidx].page_table.lookup(page.idx) {
             Some(mp) => mp,
             None => {
-                let home = self.placement.first_touch(page, node_id);
+                let home = self.placement.first_touch(page.idx, node_id);
                 latency += costs.soft_trap;
                 // A policy may want a non-default mapping (e.g. MigRep maps
                 // pages this node holds replicas of as replicas); otherwise
@@ -391,7 +408,7 @@ impl<'a> RunState<'a> {
                             PageMapping::new(PageMode::RemoteCcNuma, home)
                         }
                     });
-                self.nodes[nidx].page_table.map(page, mp);
+                self.nodes[nidx].page_table.map(page.idx, mp);
                 mp
             }
         };
@@ -402,7 +419,7 @@ impl<'a> RunState<'a> {
             latency += self.switch_page_to_read_write(page, nidx, node_id, now + latency);
             mapping = self.nodes[nidx]
                 .page_table
-                .lookup(page)
+                .lookup(page.idx)
                 .expect("page remapped after switch to read-write");
         }
 
@@ -424,7 +441,7 @@ impl<'a> RunState<'a> {
                     self.procs[pid].cache.upgrade(block);
                 } else {
                     self.procs[pid].cache.fill(block, LineState::Modified);
-                    self.procs[pid].classifier.record_fill(block);
+                    self.procs[pid].classifier.record_fill(block.idx);
                 }
                 self.invalidate_block_in_sibling_procs(nidx, pid, block);
                 latency
@@ -433,7 +450,7 @@ impl<'a> RunState<'a> {
                 if let Some(v) = victim {
                     self.handle_l1_victim(pid, nidx, node_id, v, now);
                 }
-                let class = self.procs[pid].classifier.classify_miss(block);
+                let class = self.procs[pid].classifier.classify_miss(block.idx);
                 latency += self.service_data_miss(
                     nidx,
                     node_id,
@@ -450,7 +467,7 @@ impl<'a> RunState<'a> {
                     LineState::Shared
                 };
                 self.procs[pid].cache.fill(block, fill_state);
-                self.procs[pid].classifier.record_fill(block);
+                self.procs[pid].classifier.record_fill(block.idx);
                 if is_write {
                     self.invalidate_block_in_sibling_procs(nidx, pid, block);
                 }
@@ -464,14 +481,14 @@ impl<'a> RunState<'a> {
         &mut self,
         nidx: usize,
         node_id: NodeId,
-        page: PageId,
-        block: BlockId,
+        page: PageRef,
+        block: BlockRef,
         mapping: PageMapping,
         now: Cycles,
     ) -> Cycles {
         let costs = self.system.costs;
-        let home = self.placement.home_of(page).unwrap_or(node_id);
-        let reply = self.directory.handle_write(block, node_id);
+        let home = self.placement.home_of(page.idx).unwrap_or(node_id);
+        let reply = self.directory.handle_write(block.idx, node_id);
         let mut remote_invalidations = false;
         for victim_node in &reply.invalidate {
             if *victim_node != node_id {
@@ -525,7 +542,7 @@ impl<'a> RunState<'a> {
             }
             PageMode::SComa => {
                 if let Some(pc) = self.nodes[nidx].page_cache.as_mut() {
-                    pc.mark_dirty(block);
+                    pc.mark_dirty(block.idx);
                 }
             }
             _ => {}
@@ -540,8 +557,8 @@ impl<'a> RunState<'a> {
         &mut self,
         nidx: usize,
         node_id: NodeId,
-        page: PageId,
-        block: BlockId,
+        page: PageRef,
+        block: BlockRef,
         kind: AccessKind,
         class: MissClass,
         mapping: PageMapping,
@@ -549,7 +566,7 @@ impl<'a> RunState<'a> {
     ) -> Cycles {
         let costs = self.system.costs;
         let is_write = kind.is_write();
-        let home = self.placement.home_of(page).unwrap_or(node_id);
+        let home = self.placement.home_of(page.idx).unwrap_or(node_id);
         for policy in &mut self.policies {
             policy.on_miss(page);
         }
@@ -557,7 +574,7 @@ impl<'a> RunState<'a> {
         match mapping.mode {
             PageMode::LocalHome | PageMode::Replica => {
                 // Data lives in local memory unless a remote node owns it dirty.
-                let entry = self.directory.entry(block);
+                let entry = self.directory.entry(block.idx);
                 let remote_owner = match entry.state {
                     DirectoryState::Modified => entry
                         .sharer_nodes()
@@ -567,14 +584,14 @@ impl<'a> RunState<'a> {
                     _ => None,
                 };
                 if is_write {
-                    let reply = self.directory.handle_write(block, node_id);
+                    let reply = self.directory.handle_write(block.idx, node_id);
                     for victim in &reply.invalidate {
                         if *victim != node_id {
                             self.invalidate_block_on_node(victim.index(), block);
                         }
                     }
                 } else {
-                    self.directory.handle_read(block, node_id);
+                    self.directory.handle_read(block.idx, node_id);
                     if let Some(owner) = remote_owner {
                         self.downgrade_block_on_node(owner.index(), block);
                     }
@@ -621,10 +638,10 @@ impl<'a> RunState<'a> {
                     .page_cache
                     .as_mut()
                     .expect("S-COMA mapping without a page cache")
-                    .lookup_block(block);
+                    .lookup_block(block.idx);
                 if present {
                     if is_write {
-                        let reply = self.directory.handle_write(block, node_id);
+                        let reply = self.directory.handle_write(block.idx, node_id);
                         let mut remote_invalidations = false;
                         for victim in &reply.invalidate {
                             if *victim != node_id {
@@ -636,7 +653,7 @@ impl<'a> RunState<'a> {
                             .page_cache
                             .as_mut()
                             .expect("checked above")
-                            .mark_dirty(block);
+                            .mark_dirty(block.idx);
                         if remote_invalidations {
                             self.count_remote_miss(nidx, class);
                             costs.remote_miss
@@ -659,7 +676,7 @@ impl<'a> RunState<'a> {
                         .page_cache
                         .as_mut()
                         .expect("checked above")
-                        .install_block(block, is_write);
+                        .install_block(block.idx, is_write);
                     latency
                 }
             }
@@ -673,7 +690,7 @@ impl<'a> RunState<'a> {
 
                 if block_cache_hit {
                     if is_write {
-                        let reply = self.directory.handle_write(block, node_id);
+                        let reply = self.directory.handle_write(block.idx, node_id);
                         let mut remote_invalidations = false;
                         for victim in &reply.invalidate {
                             if *victim != node_id {
@@ -742,7 +759,7 @@ impl<'a> RunState<'a> {
         nidx: usize,
         node_id: NodeId,
         home: NodeId,
-        block: BlockId,
+        block: BlockRef,
         is_write: bool,
         class: MissClass,
         now: Cycles,
@@ -751,14 +768,14 @@ impl<'a> RunState<'a> {
         if home == node_id {
             // The page migrated here since it was mapped; the fetch is local.
             if is_write {
-                let reply = self.directory.handle_write(block, node_id);
+                let reply = self.directory.handle_write(block.idx, node_id);
                 for victim in &reply.invalidate {
                     if *victim != node_id {
                         self.invalidate_block_on_node(victim.index(), block);
                     }
                 }
             } else {
-                self.directory.handle_read(block, node_id);
+                self.directory.handle_read(block.idx, node_id);
             }
             let t = self.nodes[nidx].bus.issue(now, BusTransaction::BlockFill);
             self.nodes[nidx].stats.local_misses += 1;
@@ -767,7 +784,7 @@ impl<'a> RunState<'a> {
 
         let mut base = costs.remote_miss;
         if is_write {
-            let reply = self.directory.handle_write(block, node_id);
+            let reply = self.directory.handle_write(block.idx, node_id);
             if let DataSource::Owner(owner) = reply.source {
                 if owner != node_id && owner != home {
                     base = costs.dirty_remote_miss();
@@ -779,7 +796,7 @@ impl<'a> RunState<'a> {
                 }
             }
         } else {
-            let reply = self.directory.handle_read(block, node_id);
+            let reply = self.directory.handle_read(block.idx, node_id);
             if let DataSource::Owner(owner) = reply.source {
                 if owner != node_id {
                     if owner != home {
@@ -815,7 +832,7 @@ impl<'a> RunState<'a> {
     /// policy order, each charged at the time the previous one completed.
     fn policy_after_home_miss(
         &mut self,
-        page: PageId,
+        page: PageRef,
         home: NodeId,
         node_id: NodeId,
         is_write: bool,
@@ -839,7 +856,7 @@ impl<'a> RunState<'a> {
     /// collect the page operations they want performed in response.
     fn record_home_miss(
         &mut self,
-        page: PageId,
+        page: PageRef,
         home: NodeId,
         requester: NodeId,
         is_write: bool,
@@ -871,9 +888,9 @@ impl<'a> RunState<'a> {
     // Page operations
     // ------------------------------------------------------------------
 
-    fn replicate_page(&mut self, page: PageId, to: NodeId, now: Cycles) -> Cycles {
+    fn replicate_page(&mut self, page: PageRef, to: NodeId, now: Cycles) -> Cycles {
         let costs = self.system.costs;
-        let home = match self.placement.home_of(page) {
+        let home = match self.placement.home_of(page.idx) {
             Some(h) if h != to => h,
             _ => return Cycles::ZERO,
         };
@@ -888,20 +905,20 @@ impl<'a> RunState<'a> {
         let to_idx = to.index();
         self.nodes[to_idx]
             .page_table
-            .map(page, PageMapping::replica(home));
+            .map(page.idx, PageMapping::replica(home));
         self.nodes[to_idx].stats.replications += 1;
         self.nodes[to_idx].stats.page_op_cycles += latency;
         latency
     }
 
-    fn migrate_page(&mut self, page: PageId, to: NodeId, now: Cycles) -> Cycles {
+    fn migrate_page(&mut self, page: PageRef, to: NodeId, now: Cycles) -> Cycles {
         let costs = self.system.costs;
         if self.policies.iter().any(|p| p.page_is_replicated(page)) {
             // Replicated pages are read-shared; migrating them would be a
             // policy error (the paper's engines prefer replication).
             return Cycles::ZERO;
         }
-        let old_home = match self.placement.home_of(page) {
+        let old_home = match self.placement.home_of(page.idx) {
             Some(h) if h != to => h,
             _ => return Cycles::ZERO,
         };
@@ -910,14 +927,15 @@ impl<'a> RunState<'a> {
         // `nodes_touched` is ordered so the control messages below go out in
         // a deterministic node order (a HashSet here made MigRep runs differ
         // run-to-run through network-interface queueing).
-        let flushed = self.directory.purge_page(page);
+        let flushed = self.directory.purge_page(page.idx);
         let mut blocks_cached = 0u32;
         let mut nodes_touched: BTreeSet<usize> = BTreeSet::new();
-        for (block, holders) in &flushed {
+        for (block_idx, holders) in &flushed {
             blocks_cached += 1;
+            let block = page.block_at(block_idx.index_in_page());
             for holder in holders {
                 nodes_touched.insert(holder.index());
-                self.invalidate_block_on_node(holder.index(), *block);
+                self.invalidate_block_on_node(holder.index(), block);
             }
         }
 
@@ -938,29 +956,29 @@ impl<'a> RunState<'a> {
         let shootdowns = costs.tlb_shootdown * (nodes_touched.len() as u64 + 1);
         let latency = (costs.soft_trap + gather + copy + shootdowns).max(t - now);
 
-        self.placement.migrate(page, to);
+        self.placement.migrate(page.idx, to);
         self.notify_op_performed(&PageOp::Migrate { page, to });
 
         // Update every node's view of the page.
         for (idx, node) in self.nodes.iter_mut().enumerate() {
             let here = NodeId(idx as u16);
-            if let Some(mp) = node.page_table.lookup(page) {
-                node.page_table.set_home(page, to);
+            if let Some(mp) = node.page_table.lookup(page.idx) {
+                node.page_table.set_home(page.idx, to);
                 if here == to {
                     if mp.mode == PageMode::SComa {
                         if let Some(pc) = node.page_cache.as_mut() {
-                            pc.deallocate(page);
+                            pc.deallocate(page.idx);
                         }
                     }
-                    node.page_table.set_mode(page, PageMode::LocalHome);
+                    node.page_table.set_mode(page.idx, PageMode::LocalHome);
                     node.page_table
-                        .set_protection(page, PageProtection::ReadWrite);
+                        .set_protection(page.idx, PageProtection::ReadWrite);
                 } else if mp.mode == PageMode::LocalHome {
-                    node.page_table.set_mode(page, PageMode::RemoteCcNuma);
+                    node.page_table.set_mode(page.idx, PageMode::RemoteCcNuma);
                 }
             } else if here == to {
                 node.page_table
-                    .map(page, PageMapping::new(PageMode::LocalHome, to));
+                    .map(page.idx, PageMapping::new(PageMode::LocalHome, to));
             }
         }
 
@@ -972,13 +990,13 @@ impl<'a> RunState<'a> {
 
     fn switch_page_to_read_write(
         &mut self,
-        page: PageId,
+        page: PageRef,
         writer_nidx: usize,
         writer_node: NodeId,
         now: Cycles,
     ) -> Cycles {
         let costs = self.system.costs;
-        let home = self.placement.home_of(page).unwrap_or(writer_node);
+        let home = self.placement.home_of(page.idx).unwrap_or(writer_node);
         let holders: Vec<NodeId> = self
             .policies
             .iter_mut()
@@ -999,7 +1017,7 @@ impl<'a> RunState<'a> {
             };
             self.nodes[holder.index()]
                 .page_table
-                .map(page, PageMapping::new(mode, home));
+                .map(page.idx, PageMapping::new(mode, home));
         }
         // The writer's own mapping reverts to a normal read-write mapping
         // even if (defensively) it was not registered as a replica holder.
@@ -1010,7 +1028,7 @@ impl<'a> RunState<'a> {
         };
         self.nodes[writer_nidx]
             .page_table
-            .map(page, PageMapping::new(writer_mode, home));
+            .map(page.idx, PageMapping::new(writer_mode, home));
 
         let latency = (costs.page_gather_cost(flushed_blocks)
             + costs.tlb_shootdown * (holders.len() as u64).max(1))
@@ -1020,7 +1038,7 @@ impl<'a> RunState<'a> {
         latency
     }
 
-    fn relocate_page(&mut self, page: PageId, node_id: NodeId, now: Cycles) -> Cycles {
+    fn relocate_page(&mut self, page: PageRef, node_id: NodeId, now: Cycles) -> Cycles {
         let costs = self.system.costs;
         let nidx = node_id.index();
         // Flush the node's cached blocks of the page; they will be refetched
@@ -1033,7 +1051,7 @@ impl<'a> RunState<'a> {
         }
         // on demand into the page cache.
         let flushed = self.flush_page_on_node(nidx, page);
-        for block in page.blocks() {
+        for block in page.idx.blocks() {
             self.directory.handle_eviction(block, node_id);
         }
 
@@ -1049,7 +1067,7 @@ impl<'a> RunState<'a> {
             victim_dirty,
         } = outcome
         {
-            let victim_home = self.placement.home_of(victim).unwrap_or(node_id);
+            let victim_home = self.placement.home_of(victim.idx).unwrap_or(node_id);
             let victim_mode = if victim_home == node_id {
                 PageMode::LocalHome
             } else {
@@ -1057,7 +1075,7 @@ impl<'a> RunState<'a> {
             };
             self.nodes[nidx]
                 .page_table
-                .map(victim, PageMapping::new(victim_mode, victim_home));
+                .map(victim.idx, PageMapping::new(victim_mode, victim_home));
             let victim_l1 = self.flush_page_on_node(nidx, victim);
             let mut t = now;
             for _ in 0..victim_dirty {
@@ -1065,7 +1083,7 @@ impl<'a> RunState<'a> {
                     .network
                     .send(node_id, victim_home, t, MsgKind::WriteBack);
             }
-            for block in victim.blocks() {
+            for block in victim.idx.blocks() {
                 self.directory.handle_eviction(block, node_id);
             }
             extra += costs
@@ -1074,10 +1092,10 @@ impl<'a> RunState<'a> {
             self.nodes[nidx].stats.page_cache_replacements += 1;
         }
 
-        let home = self.placement.home_of(page).unwrap_or(node_id);
+        let home = self.placement.home_of(page.idx).unwrap_or(node_id);
         self.nodes[nidx]
             .page_table
-            .map(page, PageMapping::new(PageMode::SComa, home));
+            .map(page.idx, PageMapping::new(PageMode::SComa, home));
         self.notify_op_performed(&PageOp::Relocate { page, to: node_id });
 
         let latency =
@@ -1093,24 +1111,24 @@ impl<'a> RunState<'a> {
 
     /// Invalidate `block` everywhere on a node (processor caches, block
     /// cache, page cache).
-    fn invalidate_block_on_node(&mut self, nidx: usize, block: BlockId) {
+    fn invalidate_block_on_node(&mut self, nidx: usize, block: BlockRef) {
         let topo = self.machine.topology;
         for proc in topo.procs_of(NodeId(nidx as u16)) {
             let p = &mut self.procs[proc.index()];
             if p.cache.invalidate(block).is_valid() {
-                p.classifier.record_invalidation(block);
+                p.classifier.record_invalidation(block.idx);
             }
         }
         if let Some(bc) = self.nodes[nidx].block_cache.as_mut() {
             bc.invalidate(block);
         }
         if let Some(pc) = self.nodes[nidx].page_cache.as_mut() {
-            pc.invalidate_block(block);
+            pc.invalidate_block(block.idx);
         }
     }
 
     /// Downgrade `block` to a shared state everywhere on a node.
-    fn downgrade_block_on_node(&mut self, nidx: usize, block: BlockId) {
+    fn downgrade_block_on_node(&mut self, nidx: usize, block: BlockRef) {
         let topo = self.machine.topology;
         for proc in topo.procs_of(NodeId(nidx as u16)) {
             self.procs[proc.index()].cache.downgrade(block);
@@ -1123,7 +1141,7 @@ impl<'a> RunState<'a> {
         &mut self,
         nidx: usize,
         writer_pid: usize,
-        block: BlockId,
+        block: BlockRef,
     ) {
         let topo = self.machine.topology;
         for proc in topo.procs_of(NodeId(nidx as u16)) {
@@ -1132,7 +1150,7 @@ impl<'a> RunState<'a> {
             }
             let p = &mut self.procs[proc.index()];
             if p.cache.invalidate(block).is_valid() {
-                p.classifier.record_invalidation(block);
+                p.classifier.record_invalidation(block.idx);
             }
         }
     }
@@ -1140,20 +1158,20 @@ impl<'a> RunState<'a> {
     /// Drop every cached block of `page` on a node (page flush).  Departures
     /// are recorded as evictions so the subsequent refetches are classified
     /// capacity/conflict, as the paper does for relocation-induced refetches.
-    fn flush_page_on_node(&mut self, nidx: usize, page: PageId) -> u32 {
+    fn flush_page_on_node(&mut self, nidx: usize, page: PageRef) -> u32 {
         let topo = self.machine.topology;
         let mut flushed = 0u32;
         for proc in topo.procs_of(NodeId(nidx as u16)) {
             let p = &mut self.procs[proc.index()];
-            let resident: Vec<BlockId> = p
+            let resident: Vec<BlockRef> = p
                 .cache
                 .resident_blocks()
-                .filter(|(b, _)| b.page() == page)
+                .filter(|(b, _)| b.idx.page() == page.idx)
                 .map(|(b, _)| b)
                 .collect();
             for block in resident {
                 p.cache.invalidate(block);
-                p.classifier.record_eviction(block);
+                p.classifier.record_eviction(block.idx);
                 flushed += 1;
             }
         }
@@ -1171,12 +1189,12 @@ impl<'a> RunState<'a> {
         victim: Victim,
         now: Cycles,
     ) {
-        self.procs[pid].classifier.record_eviction(victim.block);
+        self.procs[pid].classifier.record_eviction(victim.block.idx);
         if !victim.state.is_dirty() {
             return;
         }
         self.nodes[nidx].bus.issue(now, BusTransaction::WriteBack);
-        let vpage = victim.block.page();
+        let vpage = victim.block.idx.page();
         let mode = self.nodes[nidx].page_table.lookup(vpage).map(|m| m.mode);
         match mode {
             Some(PageMode::RemoteCcNuma) => {
@@ -1190,12 +1208,12 @@ impl<'a> RunState<'a> {
                     // straight back to its home.
                     let home = self.placement.home_of(vpage).unwrap_or(node_id);
                     self.network.send(node_id, home, now, MsgKind::WriteBack);
-                    self.directory.handle_eviction(victim.block, node_id);
+                    self.directory.handle_eviction(victim.block.idx, node_id);
                 }
             }
             Some(PageMode::SComa) => {
                 if let Some(pc) = self.nodes[nidx].page_cache.as_mut() {
-                    pc.mark_dirty(victim.block);
+                    pc.mark_dirty(victim.block.idx);
                 }
             }
             _ => {}
@@ -1206,7 +1224,7 @@ impl<'a> RunState<'a> {
         &mut self,
         nidx: usize,
         node_id: NodeId,
-        victim_block: BlockId,
+        victim_block: BlockRef,
         victim_state: BlockState,
         now: Cycles,
     ) {
@@ -1216,15 +1234,15 @@ impl<'a> RunState<'a> {
         for proc in topo.procs_of(NodeId(nidx as u16)) {
             let p = &mut self.procs[proc.index()];
             if p.cache.invalidate(victim_block).is_valid() {
-                p.classifier.record_eviction(victim_block);
+                p.classifier.record_eviction(victim_block.idx);
             }
         }
-        let vpage = victim_block.page();
+        let vpage = victim_block.idx.page();
         let home = self.placement.home_of(vpage).unwrap_or(node_id);
         if victim_state == BlockState::Dirty {
             self.network.send(node_id, home, now, MsgKind::WriteBack);
         }
-        self.directory.handle_eviction(victim_block, node_id);
+        self.directory.handle_eviction(victim_block.idx, node_id);
     }
 }
 
@@ -1542,6 +1560,22 @@ mod tests {
         assert_eq!(a, c, "migration path must be bit-deterministic");
     }
 
+    /// An empty trace drives every zero-denominator edge through the real
+    /// simulator: zero accesses, zero execution time, empty per-node
+    /// counters — all ratio helpers must stay finite.
+    #[test]
+    fn empty_trace_yields_safe_zero_denominator_results() {
+        let machine = MachineConfig::tiny();
+        let trace = TraceBuilder::new("empty", machine.topology).build();
+        let r = ClusterSimulator::new(machine, System::cc_numa().build()).run(&trace);
+        assert_eq!(r.accesses, 0);
+        assert!(r.execution_time.is_zero());
+        assert_eq!(r.normalized_against(&r), 1.0);
+        assert_eq!(r.local_hit_fraction(), 0.0);
+        assert_eq!(r.per_node_remote_misses(), 0.0);
+        assert_eq!(r.total_page_operations(), 0);
+    }
+
     #[test]
     fn accesses_and_stats_are_accounted() {
         let machine = MachineConfig::tiny();
@@ -1562,7 +1596,10 @@ mod tests {
     fn third_party_policy_drives_page_ops() {
         #[derive(Debug, Default)]
         struct MigrateToRequester {
-            counts: std::collections::HashMap<(PageId, NodeId), u64>,
+            // A third-party policy can key per-page state by the dense
+            // `page.idx` it receives; a map keyed by the sparse id works
+            // too, as here.
+            counts: std::collections::HashMap<(mem_trace::PageId, NodeId), u64>,
             pending: Vec<PageOp>,
         }
         impl RelocationPolicy for MigrateToRequester {
@@ -1571,7 +1608,7 @@ mod tests {
             }
             fn on_remote_miss(
                 &mut self,
-                page: PageId,
+                page: PageRef,
                 home: NodeId,
                 requester: NodeId,
                 _is_write: bool,
@@ -1579,7 +1616,7 @@ mod tests {
                 if requester == home {
                     return;
                 }
-                let c = self.counts.entry((page, requester)).or_insert(0);
+                let c = self.counts.entry((page.id, requester)).or_insert(0);
                 *c += 1;
                 if *c == 20 {
                     self.pending.push(PageOp::Migrate {
@@ -1623,7 +1660,7 @@ mod tests {
             }
             fn on_remote_miss(
                 &mut self,
-                page: PageId,
+                page: PageRef,
                 _home: NodeId,
                 requester: NodeId,
                 _is_write: bool,
@@ -1679,6 +1716,24 @@ mod tests {
                 proc: ProcId(0),
                 lock: 3
             })
+        ));
+
+        // Lock id past the dense-table bound: rejected up front (validate)
+        // and mid-stream (a corrupt replay file could smuggle one past
+        // validation), never allocated.
+        let mut b = TraceBuilder::new("huge-lock", machine.topology);
+        b.lock(ProcId(0), u32::MAX);
+        let trace = b.build();
+        assert!(matches!(
+            sim.try_run(&trace),
+            Err(TraceError::LockIdOutOfRange {
+                proc: ProcId(0),
+                lock: u32::MAX
+            })
+        ));
+        assert!(matches!(
+            sim.try_run_source(&mut trace.source()),
+            Err(TraceError::LockIdOutOfRange { .. })
         ));
 
         // A well-formed trace still runs and matches the panicking shim.

@@ -242,4 +242,26 @@ mod tests {
         assert_eq!(r.per_node_remote_misses(), 0.0);
         assert_eq!(r.local_hit_fraction(), 0.0);
     }
+
+    /// Every ratio helper on the all-zero edge (empty trace, no nodes):
+    /// nothing may divide by zero or go NaN.
+    #[test]
+    fn zero_denominators_never_produce_nan() {
+        let zero = result_with(0, vec![]);
+        assert_eq!(zero.normalized_against(&zero), 1.0, "0/0 normalizes to 1");
+        assert_eq!(zero.per_node_remote_misses(), 0.0);
+        assert_eq!(zero.per_node_remote_capacity_misses(), 0.0);
+        assert_eq!(zero.per_node_migrations(), 0.0);
+        assert_eq!(zero.per_node_replications(), 0.0);
+        assert_eq!(zero.per_node_relocations(), 0.0);
+        assert_eq!(zero.local_hit_fraction(), 0.0);
+        assert_eq!(zero.total_page_operations(), 0);
+
+        // Zero-valued nodes (the zero-node-counter edge, not just the
+        // zero-node-count edge).
+        let quiet = result_with(0, vec![NodeStats::default(), NodeStats::default()]);
+        assert_eq!(quiet.per_node_remote_misses(), 0.0);
+        assert_eq!(quiet.local_hit_fraction(), 0.0);
+        assert!(quiet.normalized_against(&quiet).is_finite());
+    }
 }

@@ -5,9 +5,14 @@
 //! processor caches (4 x 16 KB = 64 KB) so that it can maintain inclusion
 //! with them, and evaluates a *perfect* CC-NUMA with an infinite block cache
 //! as the normalization baseline.  Both variants are provided here.
+//!
+//! Blocks are addressed by [`BlockRef`]: the sparse id picks the
+//! direct-mapped set (so conflict behaviour is a function of real
+//! addresses), while the dense index keys the infinite variant's flat slab —
+//! making the perfect cache's lookups array accesses and its page flushes
+//! 64-slot scans instead of whole-table walks.
 
-use mem_trace::{BlockId, PageId};
-use std::collections::HashMap;
+use mem_trace::{BlockRef, PageRef, Slab};
 
 /// State of a block held in the block cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -49,11 +54,13 @@ impl BlockCacheConfig {
 
 enum Storage {
     Finite {
-        tags: Vec<Option<BlockId>>,
+        tags: Vec<Option<BlockRef>>,
         states: Vec<BlockState>,
     },
     Infinite {
-        blocks: HashMap<BlockId, BlockState>,
+        /// Dense per-block-index slots; `resident` counts the `Some`s.
+        blocks: Slab<Option<BlockState>>,
+        resident: usize,
     },
 }
 
@@ -82,7 +89,8 @@ impl BlockCache {
                 }
             }
             BlockCacheConfig::Infinite => Storage::Infinite {
-                blocks: HashMap::new(),
+                blocks: Slab::new(),
+                resident: 0,
             },
         };
         BlockCache {
@@ -100,27 +108,28 @@ impl BlockCache {
     }
 
     /// `true` if `block` is present.
-    pub fn contains(&self, block: BlockId) -> bool {
+    pub fn contains(&self, block: BlockRef) -> bool {
         self.state_of(block).is_some()
     }
 
     /// Present state of `block`, if cached.
-    pub fn state_of(&self, block: BlockId) -> Option<BlockState> {
+    #[inline]
+    pub fn state_of(&self, block: BlockRef) -> Option<BlockState> {
         match &self.storage {
             Storage::Finite { tags, states } => {
-                let idx = (block.0 % tags.len() as u64) as usize;
+                let idx = (block.id.0 % tags.len() as u64) as usize;
                 if tags[idx] == Some(block) {
                     Some(states[idx])
                 } else {
                     None
                 }
             }
-            Storage::Infinite { blocks } => blocks.get(&block).copied(),
+            Storage::Infinite { blocks, .. } => blocks.get(block.idx.index()).copied().flatten(),
         }
     }
 
     /// Look up `block`, recording a hit or miss.
-    pub fn lookup(&mut self, block: BlockId) -> Option<BlockState> {
+    pub fn lookup(&mut self, block: BlockRef) -> Option<BlockState> {
         let state = self.state_of(block);
         if state.is_some() {
             self.hits += 1;
@@ -132,10 +141,10 @@ impl BlockCache {
 
     /// Install `block`; returns the displaced victim `(block, state)` if the
     /// line was occupied by a different block.
-    pub fn fill(&mut self, block: BlockId, state: BlockState) -> Option<(BlockId, BlockState)> {
+    pub fn fill(&mut self, block: BlockRef, state: BlockState) -> Option<(BlockRef, BlockState)> {
         match &mut self.storage {
             Storage::Finite { tags, states } => {
-                let idx = (block.0 % tags.len() as u64) as usize;
+                let idx = (block.id.0 % tags.len() as u64) as usize;
                 let victim = match tags[idx] {
                     Some(old) if old != block => {
                         self.evictions += 1;
@@ -147,8 +156,12 @@ impl BlockCache {
                 states[idx] = state;
                 victim
             }
-            Storage::Infinite { blocks } => {
-                blocks.insert(block, state);
+            Storage::Infinite { blocks, resident } => {
+                let slot = blocks.entry(block.idx.index());
+                if slot.is_none() {
+                    *resident += 1;
+                }
+                *slot = Some(state);
                 None
             }
         }
@@ -156,10 +169,10 @@ impl BlockCache {
 
     /// Mark a resident block dirty (a processor on this node wrote it).
     /// Returns `false` if the block is not resident.
-    pub fn mark_dirty(&mut self, block: BlockId) -> bool {
+    pub fn mark_dirty(&mut self, block: BlockRef) -> bool {
         match &mut self.storage {
             Storage::Finite { tags, states } => {
-                let idx = (block.0 % tags.len() as u64) as usize;
+                let idx = (block.id.0 % tags.len() as u64) as usize;
                 if tags[idx] == Some(block) {
                     states[idx] = BlockState::Dirty;
                     true
@@ -167,21 +180,23 @@ impl BlockCache {
                     false
                 }
             }
-            Storage::Infinite { blocks } => match blocks.get_mut(&block) {
-                Some(s) => {
-                    *s = BlockState::Dirty;
-                    true
+            Storage::Infinite { blocks, .. } => {
+                match blocks.get_mut(block.idx.index()).and_then(Option::as_mut) {
+                    Some(s) => {
+                        *s = BlockState::Dirty;
+                        true
+                    }
+                    None => false,
                 }
-                None => false,
-            },
+            }
         }
     }
 
     /// Remove `block` (remote invalidation); returns its state if present.
-    pub fn invalidate(&mut self, block: BlockId) -> Option<BlockState> {
+    pub fn invalidate(&mut self, block: BlockRef) -> Option<BlockState> {
         match &mut self.storage {
             Storage::Finite { tags, states } => {
-                let idx = (block.0 % tags.len() as u64) as usize;
+                let idx = (block.id.0 % tags.len() as u64) as usize;
                 if tags[idx] == Some(block) {
                     tags[idx] = None;
                     Some(states[idx])
@@ -189,34 +204,41 @@ impl BlockCache {
                     None
                 }
             }
-            Storage::Infinite { blocks } => blocks.remove(&block),
+            Storage::Infinite { blocks, resident } => {
+                match blocks.get_mut(block.idx.index()).map(Option::take) {
+                    Some(Some(s)) => {
+                        *resident -= 1;
+                        Some(s)
+                    }
+                    _ => None,
+                }
+            }
         }
     }
 
     /// Remove every resident block belonging to `page` (page flush), and
     /// return them with their states.
-    pub fn flush_page(&mut self, page: PageId) -> Vec<(BlockId, BlockState)> {
+    pub fn flush_page(&mut self, page: PageRef) -> Vec<(BlockRef, BlockState)> {
         let mut flushed = Vec::new();
         match &mut self.storage {
             Storage::Finite { tags, states } => {
                 for idx in 0..tags.len() {
                     if let Some(b) = tags[idx] {
-                        if b.page() == page {
+                        if b.idx.page() == page.idx {
                             flushed.push((b, states[idx]));
                             tags[idx] = None;
                         }
                     }
                 }
             }
-            Storage::Infinite { blocks } => {
-                let victims: Vec<BlockId> = blocks
-                    .keys()
-                    .copied()
-                    .filter(|b| b.page() == page)
-                    .collect();
-                for b in victims {
-                    let s = blocks.remove(&b).expect("just enumerated");
-                    flushed.push((b, s));
+            Storage::Infinite { blocks, resident } => {
+                // The page's blocks sit in 64 contiguous slots.
+                for offset in 0..mem_trace::BLOCKS_PER_PAGE {
+                    let block = page.block_at(offset);
+                    if let Some(Some(s)) = blocks.get_mut(block.idx.index()).map(Option::take) {
+                        *resident -= 1;
+                        flushed.push((block, s));
+                    }
                 }
             }
         }
@@ -227,7 +249,7 @@ impl BlockCache {
     pub fn resident(&self) -> usize {
         match &self.storage {
             Storage::Finite { tags, .. } => tags.iter().filter(|t| t.is_some()).count(),
-            Storage::Infinite { blocks } => blocks.len(),
+            Storage::Infinite { resident, .. } => *resident,
         }
     }
 
@@ -240,7 +262,17 @@ impl BlockCache {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mem_trace::BLOCKS_PER_PAGE;
+    use mem_trace::{BlockId, BlockIdx, PageId, PageIdx, BLOCKS_PER_PAGE};
+
+    /// Identity interning: block id n ↔ index n (a valid assignment when
+    /// page ids are dense from zero, as in these tests).
+    fn b(n: u64) -> BlockRef {
+        BlockRef::new(BlockId(n), BlockIdx(n as u32))
+    }
+
+    fn p(n: u64) -> PageRef {
+        PageRef::new(PageId(n), PageIdx(n as u32))
+    }
 
     fn tiny() -> BlockCache {
         BlockCache::new(BlockCacheConfig::Finite {
@@ -251,61 +283,65 @@ mod tests {
     #[test]
     fn miss_then_fill_then_hit() {
         let mut c = tiny();
-        assert_eq!(c.lookup(BlockId(1)), None);
-        c.fill(BlockId(1), BlockState::Clean);
-        assert_eq!(c.lookup(BlockId(1)), Some(BlockState::Clean));
+        assert_eq!(c.lookup(b(1)), None);
+        c.fill(b(1), BlockState::Clean);
+        assert_eq!(c.lookup(b(1)), Some(BlockState::Clean));
         assert_eq!(c.counters(), (1, 1, 0));
     }
 
     #[test]
     fn conflict_evicts_previous_block() {
         let mut c = tiny(); // 4 lines: blocks 1 and 5 conflict
-        c.fill(BlockId(1), BlockState::Dirty);
-        let victim = c.fill(BlockId(5), BlockState::Clean);
-        assert_eq!(victim, Some((BlockId(1), BlockState::Dirty)));
-        assert!(!c.contains(BlockId(1)));
-        assert!(c.contains(BlockId(5)));
+        c.fill(b(1), BlockState::Dirty);
+        let victim = c.fill(b(5), BlockState::Clean);
+        assert_eq!(victim, Some((b(1), BlockState::Dirty)));
+        assert!(!c.contains(b(1)));
+        assert!(c.contains(b(5)));
         assert_eq!(c.counters().2, 1);
     }
 
     #[test]
     fn refill_of_same_block_is_not_an_eviction() {
         let mut c = tiny();
-        c.fill(BlockId(2), BlockState::Clean);
-        assert_eq!(c.fill(BlockId(2), BlockState::Dirty), None);
-        assert_eq!(c.state_of(BlockId(2)), Some(BlockState::Dirty));
+        c.fill(b(2), BlockState::Clean);
+        assert_eq!(c.fill(b(2), BlockState::Dirty), None);
+        assert_eq!(c.state_of(b(2)), Some(BlockState::Dirty));
     }
 
     #[test]
     fn mark_dirty_and_invalidate() {
         let mut c = tiny();
-        c.fill(BlockId(3), BlockState::Clean);
-        assert!(c.mark_dirty(BlockId(3)));
-        assert_eq!(c.invalidate(BlockId(3)), Some(BlockState::Dirty));
-        assert_eq!(c.invalidate(BlockId(3)), None);
-        assert!(!c.mark_dirty(BlockId(3)));
+        c.fill(b(3), BlockState::Clean);
+        assert!(c.mark_dirty(b(3)));
+        assert_eq!(c.invalidate(b(3)), Some(BlockState::Dirty));
+        assert_eq!(c.invalidate(b(3)), None);
+        assert!(!c.mark_dirty(b(3)));
     }
 
     #[test]
     fn infinite_cache_never_evicts() {
         let mut c = BlockCache::new(BlockCacheConfig::Infinite);
         for i in 0..10_000u64 {
-            assert_eq!(c.fill(BlockId(i), BlockState::Clean), None);
+            assert_eq!(c.fill(b(i), BlockState::Clean), None);
         }
         assert_eq!(c.resident(), 10_000);
-        assert!(c.contains(BlockId(0)));
-        assert!(c.contains(BlockId(9_999)));
+        assert!(c.contains(b(0)));
+        assert!(c.contains(b(9_999)));
         assert_eq!(c.counters().2, 0);
+        assert!(c.mark_dirty(b(17)));
+        assert!(!c.mark_dirty(b(20_000)));
+        assert_eq!(c.invalidate(b(17)), Some(BlockState::Dirty));
+        assert_eq!(c.resident(), 9_999);
     }
 
     #[test]
     fn flush_page_removes_only_that_page() {
         let mut c = BlockCache::new(BlockCacheConfig::Infinite);
-        let page = PageId(2);
-        for b in page.blocks() {
-            c.fill(b, BlockState::Clean);
+        let page = p(2);
+        for offset in 0..BLOCKS_PER_PAGE {
+            c.fill(page.block_at(offset), BlockState::Clean);
         }
-        let other = PageId(3).first_block();
+        let other = p(3).block_at(0);
         c.fill(other, BlockState::Dirty);
         let flushed = c.flush_page(page);
         assert_eq!(flushed.len(), BLOCKS_PER_PAGE as usize);
@@ -316,9 +352,9 @@ mod tests {
     #[test]
     fn flush_page_on_finite_cache() {
         let mut c = BlockCache::new(BlockCacheConfig::PAPER);
-        let page = PageId(0);
-        c.fill(page.first_block(), BlockState::Dirty);
-        c.fill(BlockId(page.first_block().0 + 1), BlockState::Clean);
+        let page = p(0);
+        c.fill(page.block_at(0), BlockState::Dirty);
+        c.fill(page.block_at(1), BlockState::Clean);
         let flushed = c.flush_page(page);
         assert_eq!(flushed.len(), 2);
         assert_eq!(c.resident(), 0);

@@ -6,14 +6,19 @@
 //! nodes, or modified (owned) by exactly one node.  Within a node the
 //! snoopy MOESI protocol keeps the four processor caches consistent; the
 //! directory only sees *nodes*.
+//!
+//! Directory state is keyed by the dense [`BlockIdx`] the trace layer
+//! interns (see [`mem_trace::intern`]): entries live in a flat slab indexed
+//! by block index, so the per-miss directory transition is an array access,
+//! and a page purge touches exactly the page's 64 contiguous slots.
 
-use mem_trace::{BlockId, NodeId, PageId};
-use std::collections::HashMap;
+use mem_trace::{BlockIdx, NodeId, PageIdx, Slab};
 
 /// Directory state of a block.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum DirectoryState {
     /// No node caches the block; memory at the home is up to date.
+    #[default]
     Uncached,
     /// One or more nodes hold read-only copies; memory is up to date.
     Shared,
@@ -22,7 +27,7 @@ pub enum DirectoryState {
 }
 
 /// A directory entry: state plus sharer bit-vector.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct DirectoryEntry {
     /// Coherence state.
     pub state: DirectoryState,
@@ -89,11 +94,12 @@ pub struct WriteReply {
 
 /// Full-map directory covering every block of shared memory.
 ///
-/// Entries are materialized lazily: blocks never referenced remotely stay in
-/// the implicit `Uncached` state and consume no memory.
+/// Entries are a dense slab over interned block indices: blocks never
+/// referenced remotely stay in the implicit `Uncached` state (a
+/// default-valued slot, or no slot at all).
 #[derive(Debug, Clone, Default)]
 pub struct Directory {
-    entries: HashMap<BlockId, DirectoryEntry>,
+    entries: Slab<DirectoryEntry>,
     read_requests: u64,
     write_requests: u64,
     invalidations_sent: u64,
@@ -107,20 +113,18 @@ impl Directory {
     }
 
     /// Current entry for `block` (implicitly `Uncached`).
-    pub fn entry(&self, block: BlockId) -> DirectoryEntry {
+    #[inline]
+    pub fn entry(&self, block: BlockIdx) -> DirectoryEntry {
         self.entries
-            .get(&block)
+            .get(block.index())
             .copied()
             .unwrap_or(DirectoryEntry::uncached())
     }
 
     /// Handle a read request for `block` by `requester`.
-    pub fn handle_read(&mut self, block: BlockId, requester: NodeId) -> ReadReply {
+    pub fn handle_read(&mut self, block: BlockIdx, requester: NodeId) -> ReadReply {
         self.read_requests += 1;
-        let entry = self
-            .entries
-            .entry(block)
-            .or_insert(DirectoryEntry::uncached());
+        let entry = self.entries.entry(block.index());
         let already_sharer = entry.sharers & (1u64 << requester.index()) != 0;
         let reply = match entry.state {
             DirectoryState::Uncached | DirectoryState::Shared => ReadReply {
@@ -158,12 +162,9 @@ impl Directory {
     }
 
     /// Handle a write (read-exclusive) request for `block` by `requester`.
-    pub fn handle_write(&mut self, block: BlockId, requester: NodeId) -> WriteReply {
+    pub fn handle_write(&mut self, block: BlockIdx, requester: NodeId) -> WriteReply {
         self.write_requests += 1;
-        let entry = self
-            .entries
-            .entry(block)
-            .or_insert(DirectoryEntry::uncached());
+        let entry = self.entries.entry(block.index());
         let requester_bit = 1u64 << requester.index();
         let reply = match entry.state {
             DirectoryState::Uncached => WriteReply {
@@ -205,8 +206,8 @@ impl Directory {
 
     /// A node silently dropped (evicted) its copy of `block`; if it held the
     /// block modified the caller is responsible for the write-back traffic.
-    pub fn handle_eviction(&mut self, block: BlockId, node: NodeId) {
-        if let Some(entry) = self.entries.get_mut(&block) {
+    pub fn handle_eviction(&mut self, block: BlockIdx, node: NodeId) {
+        if let Some(entry) = self.entries.get_mut(block.index()) {
             entry.sharers &= !(1u64 << node.index());
             if entry.sharers == 0 {
                 entry.state = DirectoryState::Uncached;
@@ -221,10 +222,13 @@ impl Directory {
     /// Invalidate every cached copy of every block of `page` (page flush for
     /// migration/replication-related operations).  Returns, per block, the
     /// list of nodes that held a copy.
-    pub fn purge_page(&mut self, page: PageId) -> Vec<(BlockId, Vec<NodeId>)> {
+    ///
+    /// Thanks to the contiguous block-index layout this touches exactly the
+    /// page's 64 slots, never the rest of the table.
+    pub fn purge_page(&mut self, page: PageIdx) -> Vec<(BlockIdx, Vec<NodeId>)> {
         let mut flushed = Vec::new();
         for block in page.blocks() {
-            if let Some(entry) = self.entries.get_mut(&block) {
+            if let Some(entry) = self.entries.get_mut(block.index()) {
                 if entry.sharers != 0 {
                     flushed.push((block, entry.sharer_nodes()));
                 }
@@ -234,9 +238,12 @@ impl Directory {
         flushed
     }
 
-    /// Number of blocks with a materialized (ever-referenced) entry.
+    /// Number of blocks currently cached somewhere (non-`Uncached` entries).
     pub fn tracked_blocks(&self) -> usize {
-        self.entries.len()
+        self.entries
+            .iter()
+            .filter(|e| e.state != DirectoryState::Uncached)
+            .count()
     }
 
     /// `(read requests, write requests, invalidations sent, forwards)`.
@@ -253,8 +260,9 @@ impl Directory {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mem_trace::BLOCKS_PER_PAGE;
 
-    const B: BlockId = BlockId(42);
+    const B: BlockIdx = BlockIdx(42);
 
     #[test]
     fn read_of_uncached_block_comes_from_memory() {
@@ -355,19 +363,24 @@ mod tests {
     #[test]
     fn purge_page_clears_every_block_of_that_page() {
         let mut dir = Directory::new();
-        let page = PageId(3);
-        let blocks: Vec<BlockId> = page.blocks().collect();
+        // Interned layout: page 0's blocks occupy indices 0..64, page 1's
+        // occupy 64..128 (the per-page contiguity purge_page exploits).
+        let page = PageIdx(0);
+        let blocks: Vec<BlockIdx> = page.blocks().collect();
         dir.handle_read(blocks[0], NodeId(1));
         dir.handle_write(blocks[5], NodeId(2));
         // A block of a different page must be untouched.
-        let other = PageId(4).first_block();
+        let other = PageIdx(1).blocks().next().unwrap();
         dir.handle_read(other, NodeId(6));
 
         let flushed = dir.purge_page(page);
         assert_eq!(flushed.len(), 2);
+        assert_eq!(flushed[0].0, blocks[0]);
+        assert_eq!(flushed[1].0, blocks[5]);
         assert_eq!(dir.entry(blocks[0]).state, DirectoryState::Uncached);
         assert_eq!(dir.entry(blocks[5]).state, DirectoryState::Uncached);
         assert_eq!(dir.entry(other).state, DirectoryState::Shared);
+        assert_eq!(dir.tracked_blocks(), 1);
     }
 
     #[test]
@@ -380,5 +393,13 @@ mod tests {
         assert_eq!(reads, 2);
         assert_eq!(writes, 1);
         assert_eq!(invals, 2);
+    }
+
+    #[test]
+    fn block_index_geometry_matches_pages() {
+        // The directory's layout assumption: BLOCKS_PER_PAGE consecutive
+        // indices per page.
+        assert_eq!(PageIdx(2).blocks().count(), BLOCKS_PER_PAGE as usize);
+        assert_eq!(PageIdx(1).block(0), BlockIdx(BLOCKS_PER_PAGE as u32));
     }
 }

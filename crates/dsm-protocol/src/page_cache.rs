@@ -12,9 +12,13 @@
 //! This module models the frames, fine-grain tags, LRU replacement and the
 //! occupancy counters.  The relocation *policy* (refetch counters and
 //! thresholds) lives in `dsm-core`.
+//!
+//! Frames are a dense slab over interned [`PageIdx`]es — the per-block
+//! lookup on the simulator's hot path is two array accesses and a bit test —
+//! with a side list of allocated frames so the (rare) LRU victim scan walks
+//! only the cache's occupancy, not the whole footprint.
 
-use mem_trace::{BlockId, PageId, BLOCKS_PER_PAGE, PAGE_SIZE};
-use std::collections::HashMap;
+use mem_trace::{BlockIdx, PageId, PageIdx, PageRef, Slab, BLOCKS_PER_PAGE, PAGE_SIZE};
 
 /// Page-cache sizing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,11 +53,27 @@ impl PageCacheConfig {
 }
 
 /// One allocated page frame: which blocks are present and which are dirty.
-#[derive(Debug, Clone)]
+/// The slab slot also remembers the sparse page id so replacement victims
+/// can be reported as full [`PageRef`]s without consulting the interner.
+#[derive(Debug, Clone, Copy)]
 struct Frame {
+    allocated: bool,
+    id: PageId,
     present: u64,
     dirty: u64,
     last_use: u64,
+}
+
+impl Default for Frame {
+    fn default() -> Self {
+        Frame {
+            allocated: false,
+            id: PageId(0),
+            present: 0,
+            dirty: 0,
+            last_use: 0,
+        }
+    }
 }
 
 /// Result of asking for a frame for a page.
@@ -68,7 +88,7 @@ pub enum AllocOutcome {
     /// returned so the caller can charge the flush traffic.
     Replaced {
         /// The evicted page.
-        victim: PageId,
+        victim: PageRef,
         /// How many blocks of the victim were present.
         victim_blocks: u32,
         /// How many of those blocks were dirty (must be written back home).
@@ -80,7 +100,9 @@ pub enum AllocOutcome {
 #[derive(Debug, Clone)]
 pub struct PageCache {
     config: PageCacheConfig,
-    frames: HashMap<PageId, Frame>,
+    frames: Slab<Frame>,
+    /// Indices of currently allocated frames (the LRU scan set).
+    allocated: Vec<u32>,
     clock: u64,
     allocations: u64,
     replacements: u64,
@@ -100,7 +122,8 @@ impl PageCache {
         }
         PageCache {
             config,
-            frames: HashMap::new(),
+            frames: Slab::new(),
+            allocated: Vec::new(),
             clock: 0,
             allocations: 0,
             replacements: 0,
@@ -117,7 +140,7 @@ impl PageCache {
 
     /// Number of frames currently allocated.
     pub fn allocated_frames(&self) -> usize {
-        self.frames.len()
+        self.allocated.len()
     }
 
     /// Capacity in frames (`None` if infinite).
@@ -126,74 +149,105 @@ impl PageCache {
     }
 
     /// `true` if `page` has a frame.
-    pub fn contains_page(&self, page: PageId) -> bool {
-        self.frames.contains_key(&page)
+    pub fn contains_page(&self, page: PageIdx) -> bool {
+        self.frames
+            .get(page.index())
+            .map(|f| f.allocated)
+            .unwrap_or(false)
     }
 
     /// `true` if `block` is present in its page's frame.
-    pub fn block_present(&self, block: BlockId) -> bool {
+    pub fn block_present(&self, block: BlockIdx) -> bool {
         self.frames
-            .get(&block.page())
-            .map(|f| f.present & (1u64 << block.index_in_page()) != 0)
+            .get(block.page().index())
+            .map(|f| f.allocated && f.present & (1u64 << block.index_in_page()) != 0)
             .unwrap_or(false)
     }
 
     /// Allocate a frame for `page`, replacing the LRU page if necessary.
-    pub fn allocate(&mut self, page: PageId) -> AllocOutcome {
+    pub fn allocate(&mut self, page: PageRef) -> AllocOutcome {
         self.clock += 1;
-        if let Some(frame) = self.frames.get_mut(&page) {
-            frame.last_use = self.clock;
+        let clock = self.clock;
+        let slot = self.frames.entry(page.idx.index());
+        if slot.allocated {
+            slot.last_use = clock;
             return AllocOutcome::AlreadyPresent;
         }
         let outcome = match self.capacity_frames() {
-            Some(cap) if self.frames.len() >= cap => {
-                let victim = self
-                    .frames
+            Some(cap) if self.allocated.len() >= cap => {
+                // LRU victim; ties (impossible with the monotonic clock, but
+                // kept for robustness) break toward the smaller page id, as
+                // the map-keyed implementation did.
+                let (pos, victim_idx) = self
+                    .allocated
                     .iter()
-                    .min_by_key(|(p, f)| (f.last_use, p.0))
-                    .map(|(p, _)| *p)
+                    .enumerate()
+                    .min_by_key(|(_, idx)| {
+                        let f = self.frames.get(**idx as usize).expect("allocated frame");
+                        (f.last_use, f.id.0)
+                    })
+                    .map(|(pos, idx)| (pos, *idx))
                     .expect("cache is full, so non-empty");
-                let frame = self.frames.remove(&victim).expect("victim present");
+                self.allocated.swap_remove(pos);
+                let frame = self
+                    .frames
+                    .get_mut(victim_idx as usize)
+                    .expect("allocated frame");
+                let victim = PageRef::new(frame.id, PageIdx(victim_idx));
+                let victim_blocks = frame.present.count_ones();
+                let victim_dirty = frame.dirty.count_ones();
+                *frame = Frame::default();
                 self.replacements += 1;
                 AllocOutcome::Replaced {
                     victim,
-                    victim_blocks: frame.present.count_ones(),
-                    victim_dirty: frame.dirty.count_ones(),
+                    victim_blocks,
+                    victim_dirty,
                 }
             }
             _ => AllocOutcome::Allocated,
         };
         self.allocations += 1;
-        self.frames.insert(
-            page,
-            Frame {
-                present: 0,
-                dirty: 0,
-                last_use: self.clock,
-            },
-        );
+        self.allocated.push(page.idx.0);
+        *self.frames.entry(page.idx.index()) = Frame {
+            allocated: true,
+            id: page.id,
+            present: 0,
+            dirty: 0,
+            last_use: clock,
+        };
         outcome
     }
 
     /// Explicitly deallocate `page` (e.g. migration of a relocated page).
     /// Returns `(blocks present, dirty blocks)` if it was allocated.
-    pub fn deallocate(&mut self, page: PageId) -> Option<(u32, u32)> {
-        self.frames
-            .remove(&page)
-            .map(|f| (f.present.count_ones(), f.dirty.count_ones()))
+    pub fn deallocate(&mut self, page: PageIdx) -> Option<(u32, u32)> {
+        let frame = self.frames.get_mut(page.index())?;
+        if !frame.allocated {
+            return None;
+        }
+        let counts = (frame.present.count_ones(), frame.dirty.count_ones());
+        *frame = Frame::default();
+        let pos = self
+            .allocated
+            .iter()
+            .position(|idx| *idx == page.0)
+            .expect("allocated list tracks every frame");
+        self.allocated.swap_remove(pos);
+        Some(counts)
     }
 
     /// Look up `block`; records a hit or a (fine-grain) miss.  A miss means
     /// the enclosing page has a frame but this block has not been fetched
     /// yet, or the page has no frame at all.
-    pub fn lookup_block(&mut self, block: BlockId) -> bool {
+    #[inline]
+    pub fn lookup_block(&mut self, block: BlockIdx) -> bool {
         self.clock += 1;
-        let hit = match self.frames.get_mut(&block.page()) {
-            Some(frame) => {
+        let hit = match self.frames.get_mut(block.page().index()) {
+            Some(frame) if frame.allocated => {
                 frame.last_use = self.clock;
                 frame.present & (1u64 << block.index_in_page()) != 0
             }
-            None => false,
+            _ => false,
         };
         if hit {
             self.block_hits += 1;
@@ -205,9 +259,9 @@ impl PageCache {
 
     /// Install a fetched block into its page's frame.  Returns `false` (and
     /// does nothing) if the page has no frame.
-    pub fn install_block(&mut self, block: BlockId, dirty: bool) -> bool {
-        match self.frames.get_mut(&block.page()) {
-            Some(frame) => {
+    pub fn install_block(&mut self, block: BlockIdx, dirty: bool) -> bool {
+        match self.frames.get_mut(block.page().index()) {
+            Some(frame) if frame.allocated => {
                 frame.present |= 1u64 << block.index_in_page();
                 if dirty {
                     frame.dirty |= 1u64 << block.index_in_page();
@@ -215,15 +269,17 @@ impl PageCache {
                 self.blocks_installed += 1;
                 true
             }
-            None => false,
+            _ => false,
         }
     }
 
     /// Mark a present block dirty (a local processor wrote it). Returns
     /// `false` if the block is not present.
-    pub fn mark_dirty(&mut self, block: BlockId) -> bool {
-        match self.frames.get_mut(&block.page()) {
-            Some(frame) if frame.present & (1u64 << block.index_in_page()) != 0 => {
+    pub fn mark_dirty(&mut self, block: BlockIdx) -> bool {
+        match self.frames.get_mut(block.page().index()) {
+            Some(frame)
+                if frame.allocated && frame.present & (1u64 << block.index_in_page()) != 0 =>
+            {
                 frame.dirty |= 1u64 << block.index_in_page();
                 true
             }
@@ -232,23 +288,24 @@ impl PageCache {
     }
 
     /// Invalidate a block (remote write). Returns `true` if it was present.
-    pub fn invalidate_block(&mut self, block: BlockId) -> bool {
-        match self.frames.get_mut(&block.page()) {
-            Some(frame) => {
+    pub fn invalidate_block(&mut self, block: BlockIdx) -> bool {
+        match self.frames.get_mut(block.page().index()) {
+            Some(frame) if frame.allocated => {
                 let bit = 1u64 << block.index_in_page();
                 let was_present = frame.present & bit != 0;
                 frame.present &= !bit;
                 frame.dirty &= !bit;
                 was_present
             }
-            None => false,
+            _ => false,
         }
     }
 
     /// Number of blocks present in `page`'s frame (0 if not allocated).
-    pub fn blocks_present(&self, page: PageId) -> u32 {
+    pub fn blocks_present(&self, page: PageIdx) -> u32 {
         self.frames
-            .get(&page)
+            .get(page.index())
+            .filter(|f| f.allocated)
             .map(|f| f.present.count_ones())
             .unwrap_or(0)
     }
@@ -256,9 +313,10 @@ impl PageCache {
     /// Fragmentation of an allocated page frame: fraction of the frame's
     /// blocks that are *absent* (0.0 = fully populated). Returns `None` if
     /// the page has no frame.
-    pub fn fragmentation(&self, page: PageId) -> Option<f64> {
+    pub fn fragmentation(&self, page: PageIdx) -> Option<f64> {
         self.frames
-            .get(&page)
+            .get(page.index())
+            .filter(|f| f.allocated)
             .map(|f| 1.0 - f.present.count_ones() as f64 / BLOCKS_PER_PAGE as f64)
     }
 
@@ -278,6 +336,11 @@ impl PageCache {
 mod tests {
     use super::*;
 
+    /// Identity interning: page id n ↔ index n.
+    fn p(n: u64) -> PageRef {
+        PageRef::new(PageId(n), PageIdx(n as u32))
+    }
+
     fn two_frame_cache() -> PageCache {
         PageCache::new(PageCacheConfig::Finite {
             size_bytes: 2 * PAGE_SIZE,
@@ -294,57 +357,57 @@ mod tests {
     #[test]
     fn allocate_and_install_blocks() {
         let mut pc = two_frame_cache();
-        let page = PageId(7);
+        let page = p(7);
         assert_eq!(pc.allocate(page), AllocOutcome::Allocated);
         assert_eq!(pc.allocate(page), AllocOutcome::AlreadyPresent);
-        let b = page.first_block();
+        let b = page.block_at(0).idx;
         assert!(!pc.lookup_block(b));
         assert!(pc.install_block(b, false));
         assert!(pc.lookup_block(b));
-        assert_eq!(pc.blocks_present(page), 1);
+        assert_eq!(pc.blocks_present(page.idx), 1);
         assert!(pc.block_present(b));
     }
 
     #[test]
     fn install_into_unallocated_page_fails() {
         let mut pc = two_frame_cache();
-        assert!(!pc.install_block(PageId(3).first_block(), false));
+        assert!(!pc.install_block(p(3).block_at(0).idx, false));
     }
 
     #[test]
     fn lru_replacement_when_full() {
         let mut pc = two_frame_cache();
-        pc.allocate(PageId(1));
-        pc.allocate(PageId(2));
+        pc.allocate(p(1));
+        pc.allocate(p(2));
         // Touch page 1 so page 2 becomes LRU.
-        pc.lookup_block(PageId(1).first_block());
-        match pc.allocate(PageId(3)) {
-            AllocOutcome::Replaced { victim, .. } => assert_eq!(victim, PageId(2)),
+        pc.lookup_block(p(1).block_at(0).idx);
+        match pc.allocate(p(3)) {
+            AllocOutcome::Replaced { victim, .. } => assert_eq!(victim, p(2)),
             other => panic!("expected replacement, got {other:?}"),
         }
-        assert!(pc.contains_page(PageId(1)));
-        assert!(pc.contains_page(PageId(3)));
-        assert!(!pc.contains_page(PageId(2)));
+        assert!(pc.contains_page(p(1).idx));
+        assert!(pc.contains_page(p(3).idx));
+        assert!(!pc.contains_page(p(2).idx));
         assert_eq!(pc.counters().1, 1);
     }
 
     #[test]
     fn replacement_reports_victim_contents() {
         let mut pc = two_frame_cache();
-        pc.allocate(PageId(1));
-        let b0 = PageId(1).first_block();
-        let b1 = BlockId(b0.0 + 1);
+        pc.allocate(p(1));
+        let b0 = p(1).block_at(0).idx;
+        let b1 = p(1).block_at(1).idx;
         pc.install_block(b0, true);
         pc.install_block(b1, false);
-        pc.allocate(PageId(2));
+        pc.allocate(p(2));
         // Make page 1 LRU (page 2 was touched more recently by allocation).
-        match pc.allocate(PageId(9)) {
+        match pc.allocate(p(9)) {
             AllocOutcome::Replaced {
                 victim,
                 victim_blocks,
                 victim_dirty,
             } => {
-                assert_eq!(victim, PageId(1));
+                assert_eq!(victim, p(1));
                 assert_eq!(victim_blocks, 2);
                 assert_eq!(victim_dirty, 1);
             }
@@ -357,9 +420,9 @@ mod tests {
         let mut pc = PageCache::new(PageCacheConfig::Infinite);
         for i in 0..5_000 {
             assert_ne!(
-                std::mem::discriminant(&pc.allocate(PageId(i))),
+                std::mem::discriminant(&pc.allocate(p(i))),
                 std::mem::discriminant(&AllocOutcome::Replaced {
-                    victim: PageId(0),
+                    victim: p(0),
                     victim_blocks: 0,
                     victim_dirty: 0
                 })
@@ -372,8 +435,8 @@ mod tests {
     #[test]
     fn dirty_tracking_and_invalidation() {
         let mut pc = two_frame_cache();
-        let page = PageId(4);
-        let b = page.first_block();
+        let page = p(4);
+        let b = page.block_at(0).idx;
         pc.allocate(page);
         pc.install_block(b, false);
         assert!(pc.mark_dirty(b));
@@ -386,26 +449,25 @@ mod tests {
     #[test]
     fn deallocate_returns_contents() {
         let mut pc = two_frame_cache();
-        let page = PageId(5);
+        let page = p(5);
         pc.allocate(page);
-        pc.install_block(page.first_block(), true);
-        assert_eq!(pc.deallocate(page), Some((1, 1)));
-        assert_eq!(pc.deallocate(page), None);
+        pc.install_block(page.block_at(0).idx, true);
+        assert_eq!(pc.deallocate(page.idx), Some((1, 1)));
+        assert_eq!(pc.deallocate(page.idx), None);
+        assert_eq!(pc.allocated_frames(), 0);
     }
 
     #[test]
     fn fragmentation_measures_absent_blocks() {
         let mut pc = PageCache::new(PageCacheConfig::Infinite);
-        let page = PageId(6);
-        assert_eq!(pc.fragmentation(page), None);
+        let page = p(6);
+        assert_eq!(pc.fragmentation(page.idx), None);
         pc.allocate(page);
-        assert_eq!(pc.fragmentation(page), Some(1.0));
-        for (i, b) in page.blocks().enumerate() {
-            if i < 32 {
-                pc.install_block(b, false);
-            }
+        assert_eq!(pc.fragmentation(page.idx), Some(1.0));
+        for offset in 0..32 {
+            pc.install_block(page.block_at(offset).idx, false);
         }
-        let frag = pc.fragmentation(page).unwrap();
+        let frag = pc.fragmentation(page.idx).unwrap();
         assert!((frag - 0.5).abs() < 1e-9);
     }
 }

@@ -11,6 +11,9 @@
 //!
 //! * the address vocabulary ([`GlobalAddr`], [`BlockId`], [`PageId`]) and the
 //!   cluster topology ([`Topology`], [`NodeId`], [`ProcId`]),
+//! * the dense-index vocabulary ([`intern::PageInterner`],
+//!   [`intern::PageIdx`], [`intern::BlockIdx`]) that flattens sparse page and
+//!   block ids into contiguous array indices for the simulator's hot path,
 //! * the trace representation ([`TraceEvent`], [`ProgramTrace`]) and its
 //!   validation / summary statistics,
 //! * the pull-based [`source::TraceSource`] abstraction the simulator
@@ -25,6 +28,7 @@
 pub mod access;
 pub mod addr;
 pub mod builder;
+pub mod intern;
 pub mod layout;
 pub mod replay;
 pub mod source;
@@ -35,7 +39,8 @@ pub use addr::{
     BlockId, GlobalAddr, NodeId, PageId, ProcId, Topology, BLOCKS_PER_PAGE, BLOCK_SIZE, PAGE_SIZE,
 };
 pub use builder::{EventSink, TraceBuilder, TraceWriter};
+pub use intern::{BlockIdx, BlockRef, PageIdx, PageInterner, PageRef, Slab};
 pub use layout::{AddressSpace, Segment};
 pub use replay::{record, record_to_file, ReplaySource};
 pub use source::{ThreadedSource, TraceCursor, TraceSource};
-pub use trace::{ProgramTrace, StatsAccumulator, TraceError, TraceStats};
+pub use trace::{ProgramTrace, StatsAccumulator, TraceError, TraceStats, MAX_LOCK_ID};

@@ -1,9 +1,17 @@
 //! Whole-program traces and their validation.
 
 use crate::access::{AccessKind, TraceEvent};
-use crate::addr::{PageId, ProcId, Topology};
+use crate::addr::{ProcId, Topology};
+use crate::intern::{PageInterner, Slab};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, BTreeSet};
+
+/// Largest lock id a well-formed trace may use.  The simulator keys its
+/// lock table directly by id (a dense slab), so ids must be small; the
+/// generators number locks densely from zero and stay far below this.
+/// Oversized ids — a corrupt replay file, a hand-built trace — are reported
+/// as [`TraceError::LockIdOutOfRange`] instead of forcing a giant
+/// allocation.
+pub const MAX_LOCK_ID: u32 = u16::MAX as u32;
 
 /// The complete set of per-processor traces for one workload run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -43,6 +51,13 @@ pub enum TraceError {
         /// The lock id involved.
         lock: u32,
     },
+    /// A lock id above [`MAX_LOCK_ID`] (dense lock tables cannot key it).
+    LockIdOutOfRange {
+        /// The offending processor.
+        proc: ProcId,
+        /// The lock id involved.
+        lock: u32,
+    },
     /// The trace ended with processors still blocked on a barrier or lock
     /// (only detectable mid-run when the trace is streamed: some processor's
     /// stream ran dry while others were waiting on it).
@@ -66,6 +81,10 @@ impl std::fmt::Display for TraceError {
             TraceError::UnbalancedLock { proc, lock } => write!(
                 f,
                 "processor {proc} releases lock {lock} without holding it"
+            ),
+            TraceError::LockIdOutOfRange { proc, lock } => write!(
+                f,
+                "processor {proc} uses lock id {lock}, above the supported maximum {MAX_LOCK_ID}"
             ),
             TraceError::Deadlock { blocked } => write!(
                 f,
@@ -173,6 +192,14 @@ impl ProgramTrace {
         for (i, events) in self.per_proc.iter().enumerate() {
             let mut held: Vec<u32> = Vec::new();
             for e in events {
+                if let TraceEvent::Lock(id) | TraceEvent::Unlock(id) = e {
+                    if *id > MAX_LOCK_ID {
+                        return Err(TraceError::LockIdOutOfRange {
+                            proc: ProcId(i as u16),
+                            lock: *id,
+                        });
+                    }
+                }
                 match e {
                     TraceEvent::Lock(id) => held.push(*id),
                     TraceEvent::Unlock(id) => match held.iter().rposition(|h| h == id) {
@@ -218,10 +245,18 @@ impl ProgramTrace {
 pub struct StatsAccumulator {
     topology: Topology,
     stats: TraceStats,
-    pages: BTreeSet<PageId>,
-    written: BTreeSet<PageId>,
-    /// page -> set of nodes that touched it, encoded as a small bitmask.
-    page_nodes: BTreeMap<PageId, u64>,
+    /// Interned touched pages: the interner's population *is* the footprint.
+    pages: PageInterner,
+    /// Per interned page: bitmask of touching nodes plus a written flag.
+    /// Indexed by `PageIdx`; the accumulator sits on the streaming hot path,
+    /// so this is a dense slab, not a map.
+    page_meta: Slab<PageMeta>,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct PageMeta {
+    nodes: u64,
+    written: bool,
 }
 
 impl StatsAccumulator {
@@ -230,9 +265,8 @@ impl StatsAccumulator {
         StatsAccumulator {
             topology,
             stats: TraceStats::default(),
-            pages: BTreeSet::new(),
-            written: BTreeSet::new(),
-            page_nodes: BTreeMap::new(),
+            pages: PageInterner::new(),
+            page_meta: Slab::new(),
         }
     }
 
@@ -245,16 +279,17 @@ impl StatsAccumulator {
         match ev {
             TraceEvent::Access(m) => {
                 self.stats.accesses += 1;
+                let idx = self.pages.intern(m.page()).index();
+                let meta = self.page_meta.entry(idx);
                 match m.kind {
                     AccessKind::Read => self.stats.reads += 1,
                     AccessKind::Write => {
                         self.stats.writes += 1;
-                        self.written.insert(m.page());
+                        meta.written = true;
                     }
                 }
-                self.pages.insert(m.page());
                 let node = self.topology.node_of(proc);
-                *self.page_nodes.entry(m.page()).or_insert(0) |= 1u64 << node.index().min(63);
+                meta.nodes |= 1u64 << node.index().min(63);
             }
             TraceEvent::Compute(c) => self.stats.compute_cycles += u64::from(*c),
             TraceEvent::Barrier(_) if proc.index() == 0 => self.stats.barriers += 1,
@@ -266,11 +301,11 @@ impl StatsAccumulator {
     pub fn snapshot(&self) -> TraceStats {
         let mut stats = self.stats.clone();
         stats.footprint_pages = self.pages.len() as u64;
-        stats.written_pages = self.written.len() as u64;
+        stats.written_pages = self.page_meta.iter().filter(|m| m.written).count() as u64;
         stats.node_shared_pages = self
-            .page_nodes
-            .values()
-            .filter(|mask| mask.count_ones() > 1)
+            .page_meta
+            .iter()
+            .filter(|m| m.nodes.count_ones() > 1)
             .count() as u64;
         stats
     }

@@ -11,8 +11,11 @@
 //!   paper's Table 3.
 //! * [`Resource`] — a FIFO-served shared resource (memory bus, network
 //!   interface) that adds queueing delay when contended.
-//! * [`EventQueue`] — a stable min-heap used by the cluster simulator to
-//!   interleave per-processor traces in global time order.
+//! * [`EventQueue`] — a stable min-heap for general timestamped payloads
+//!   (ties break by insertion order).
+//! * [`ProcScheduler`] — the cluster simulator's O(log P) processor
+//!   scheduler: a min-heap over `(clock, proc id)` with a deterministic
+//!   proc-id tie-break.
 //! * [`rng::SplitMix64`] / [`rng::Xoshiro256`] — small deterministic PRNGs
 //!   so that every simulation is exactly reproducible from a seed.
 //! * [`stats`] — online summary statistics and histograms used by the
@@ -22,10 +25,12 @@ pub mod cycles;
 pub mod event;
 pub mod resource;
 pub mod rng;
+pub mod sched;
 pub mod stats;
 
 pub use cycles::Cycles;
 pub use event::EventQueue;
 pub use resource::{Resource, ResourceStats};
 pub use rng::{SplitMix64, Xoshiro256};
+pub use sched::ProcScheduler;
 pub use stats::{Histogram, OnlineStats};

@@ -7,8 +7,14 @@
 //! state.  The snoopy MOESI protocol inside the node is expressed through
 //! the state transitions the enclosing simulator requests
 //! ([`DataCache::invalidate`], [`DataCache::downgrade`]).
+//!
+//! Blocks are addressed by [`BlockRef`]: the *sparse id* selects the
+//! direct-mapped set (conflict behaviour must be a function of real
+//! addresses), while the tag stores the full ref so that victims and
+//! resident-block enumerations hand their dense index straight to the
+//! classifier and directory without a lookup.
 
-use mem_trace::{AccessKind, BlockId};
+use mem_trace::{AccessKind, BlockRef};
 
 /// MOESI coherence states of a cache line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -69,7 +75,7 @@ impl CacheConfig {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Victim {
     /// The evicted block.
-    pub block: BlockId,
+    pub block: BlockRef,
     /// Its state at eviction time (dirty victims must be written back).
     pub state: LineState,
 }
@@ -95,7 +101,7 @@ pub enum CacheOutcome {
 #[derive(Debug, Clone)]
 pub struct DataCache {
     config: CacheConfig,
-    tags: Vec<Option<BlockId>>,
+    tags: Vec<Option<BlockRef>>,
     states: Vec<LineState>,
     /// Monotonic counters for reporting.
     hits: u64,
@@ -137,12 +143,13 @@ impl DataCache {
     }
 
     #[inline]
-    fn index_of(&self, block: BlockId) -> usize {
-        (block.0 % self.tags.len() as u64) as usize
+    fn index_of(&self, block: BlockRef) -> usize {
+        (block.id.0 % self.tags.len() as u64) as usize
     }
 
     /// Current state of `block` (Invalid if not resident).
-    pub fn state_of(&self, block: BlockId) -> LineState {
+    #[inline]
+    pub fn state_of(&self, block: BlockRef) -> LineState {
         let idx = self.index_of(block);
         if self.tags[idx] == Some(block) {
             self.states[idx]
@@ -152,13 +159,14 @@ impl DataCache {
     }
 
     /// `true` if `block` is resident in any valid state.
-    pub fn contains(&self, block: BlockId) -> bool {
+    pub fn contains(&self, block: BlockRef) -> bool {
         self.state_of(block).is_valid()
     }
 
     /// Probe the cache with an access *without* changing its contents.
     /// Returns what [`DataCache::access`] would report.
-    pub fn probe(&self, block: BlockId, kind: AccessKind) -> CacheOutcome {
+    #[inline]
+    pub fn probe(&self, block: BlockRef, kind: AccessKind) -> CacheOutcome {
         let idx = self.index_of(block);
         let resident = self.tags[idx] == Some(block);
         if resident {
@@ -187,7 +195,7 @@ impl DataCache {
     /// the cache contents are *not* changed; the caller performs the bus /
     /// DSM transaction and then calls [`DataCache::fill`] (or
     /// [`DataCache::upgrade`]) with the resulting state.
-    pub fn access(&mut self, block: BlockId, kind: AccessKind) -> CacheOutcome {
+    pub fn access(&mut self, block: BlockRef, kind: AccessKind) -> CacheOutcome {
         let outcome = self.probe(block, kind);
         match outcome {
             CacheOutcome::Hit => {
@@ -209,7 +217,7 @@ impl DataCache {
 
     /// Install `block` in state `state`, evicting whatever occupied its line.
     /// Returns the victim, if one was displaced.
-    pub fn fill(&mut self, block: BlockId, state: LineState) -> Option<Victim> {
+    pub fn fill(&mut self, block: BlockRef, state: LineState) -> Option<Victim> {
         assert!(state.is_valid(), "cannot fill a line into Invalid state");
         let idx = self.index_of(block);
         let victim = match self.tags[idx] {
@@ -228,7 +236,7 @@ impl DataCache {
     }
 
     /// Complete a write-upgrade of a resident `Shared`/`Owned` line.
-    pub fn upgrade(&mut self, block: BlockId) {
+    pub fn upgrade(&mut self, block: BlockRef) {
         let idx = self.index_of(block);
         debug_assert_eq!(
             self.tags[idx],
@@ -240,7 +248,7 @@ impl DataCache {
 
     /// Invalidate `block` if resident (remote write or page flush).  Returns
     /// the state it held.
-    pub fn invalidate(&mut self, block: BlockId) -> LineState {
+    pub fn invalidate(&mut self, block: BlockRef) -> LineState {
         let idx = self.index_of(block);
         if self.tags[idx] == Some(block) && self.states[idx].is_valid() {
             let old = self.states[idx];
@@ -255,7 +263,7 @@ impl DataCache {
 
     /// Downgrade `block` to `Shared`/`Owned` in response to a remote read.
     /// Returns the previous state.
-    pub fn downgrade(&mut self, block: BlockId) -> LineState {
+    pub fn downgrade(&mut self, block: BlockRef) -> LineState {
         let idx = self.index_of(block);
         if self.tags[idx] == Some(block) && self.states[idx].is_valid() {
             let old = self.states[idx];
@@ -270,7 +278,7 @@ impl DataCache {
     }
 
     /// Iterate over resident blocks (used for page flushes).
-    pub fn resident_blocks(&self) -> impl Iterator<Item = (BlockId, LineState)> + '_ {
+    pub fn resident_blocks(&self) -> impl Iterator<Item = (BlockRef, LineState)> + '_ {
         self.tags
             .iter()
             .zip(self.states.iter())
@@ -295,6 +303,12 @@ impl DataCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mem_trace::{BlockId, BlockIdx};
+
+    /// Identity interning: block id n ↔ index n.
+    fn b(n: u64) -> BlockRef {
+        BlockRef::new(BlockId(n), BlockIdx(n as u32))
+    }
 
     fn small_cache() -> DataCache {
         // 4 lines of 64 bytes.
@@ -307,43 +321,40 @@ mod tests {
     #[test]
     fn cold_miss_then_hit() {
         let mut c = small_cache();
-        let b = BlockId(10);
         assert_eq!(
-            c.access(b, AccessKind::Read),
+            c.access(b(10), AccessKind::Read),
             CacheOutcome::Miss { victim: None }
         );
-        c.fill(b, LineState::Shared);
-        assert_eq!(c.access(b, AccessKind::Read), CacheOutcome::Hit);
-        assert_eq!(c.state_of(b), LineState::Shared);
+        c.fill(b(10), LineState::Shared);
+        assert_eq!(c.access(b(10), AccessKind::Read), CacheOutcome::Hit);
+        assert_eq!(c.state_of(b(10)), LineState::Shared);
     }
 
     #[test]
     fn write_hit_on_exclusive_silently_becomes_modified() {
         let mut c = small_cache();
-        let b = BlockId(3);
-        c.fill(b, LineState::Exclusive);
-        assert_eq!(c.access(b, AccessKind::Write), CacheOutcome::Hit);
-        assert_eq!(c.state_of(b), LineState::Modified);
+        c.fill(b(3), LineState::Exclusive);
+        assert_eq!(c.access(b(3), AccessKind::Write), CacheOutcome::Hit);
+        assert_eq!(c.state_of(b(3)), LineState::Modified);
     }
 
     #[test]
     fn write_to_shared_requires_upgrade() {
         let mut c = small_cache();
-        let b = BlockId(3);
-        c.fill(b, LineState::Shared);
-        assert_eq!(c.access(b, AccessKind::Write), CacheOutcome::UpgradeMiss);
-        c.upgrade(b);
-        assert_eq!(c.state_of(b), LineState::Modified);
-        assert_eq!(c.access(b, AccessKind::Write), CacheOutcome::Hit);
+        c.fill(b(3), LineState::Shared);
+        assert_eq!(c.access(b(3), AccessKind::Write), CacheOutcome::UpgradeMiss);
+        c.upgrade(b(3));
+        assert_eq!(c.state_of(b(3)), LineState::Modified);
+        assert_eq!(c.access(b(3), AccessKind::Write), CacheOutcome::Hit);
     }
 
     #[test]
     fn conflicting_blocks_evict_each_other() {
         let mut c = small_cache(); // 4 lines => blocks 0 and 4 conflict
-        let a = BlockId(0);
-        let b = BlockId(4);
+        let a = b(0);
+        let bb = b(4);
         c.fill(a, LineState::Modified);
-        match c.access(b, AccessKind::Read) {
+        match c.access(bb, AccessKind::Read) {
             CacheOutcome::Miss { victim: Some(v) } => {
                 assert_eq!(v.block, a);
                 assert_eq!(v.state, LineState::Modified);
@@ -351,54 +362,53 @@ mod tests {
             }
             other => panic!("expected conflict miss with victim, got {other:?}"),
         }
-        let victim = c.fill(b, LineState::Shared).expect("fill displaces victim");
+        let victim = c
+            .fill(bb, LineState::Shared)
+            .expect("fill displaces victim");
         assert_eq!(victim.block, a);
         assert!(!c.contains(a));
-        assert!(c.contains(b));
+        assert!(c.contains(bb));
     }
 
     #[test]
     fn invalidate_and_downgrade() {
         let mut c = small_cache();
-        let b = BlockId(7);
-        c.fill(b, LineState::Modified);
-        assert_eq!(c.downgrade(b), LineState::Modified);
-        assert_eq!(c.state_of(b), LineState::Owned);
-        assert_eq!(c.invalidate(b), LineState::Owned);
-        assert_eq!(c.state_of(b), LineState::Invalid);
+        c.fill(b(7), LineState::Modified);
+        assert_eq!(c.downgrade(b(7)), LineState::Modified);
+        assert_eq!(c.state_of(b(7)), LineState::Owned);
+        assert_eq!(c.invalidate(b(7)), LineState::Owned);
+        assert_eq!(c.state_of(b(7)), LineState::Invalid);
         // Invalidating again is a no-op.
-        assert_eq!(c.invalidate(b), LineState::Invalid);
+        assert_eq!(c.invalidate(b(7)), LineState::Invalid);
     }
 
     #[test]
     fn downgrade_of_exclusive_gives_shared() {
         let mut c = small_cache();
-        let b = BlockId(9);
-        c.fill(b, LineState::Exclusive);
-        assert_eq!(c.downgrade(b), LineState::Exclusive);
-        assert_eq!(c.state_of(b), LineState::Shared);
+        c.fill(b(9), LineState::Exclusive);
+        assert_eq!(c.downgrade(b(9)), LineState::Exclusive);
+        assert_eq!(c.state_of(b(9)), LineState::Shared);
     }
 
     #[test]
     fn resident_blocks_lists_valid_lines_only() {
         let mut c = small_cache();
-        c.fill(BlockId(0), LineState::Shared);
-        c.fill(BlockId(1), LineState::Modified);
-        c.invalidate(BlockId(0));
+        c.fill(b(0), LineState::Shared);
+        c.fill(b(1), LineState::Modified);
+        c.invalidate(b(0));
         let resident: Vec<_> = c.resident_blocks().collect();
-        assert_eq!(resident, vec![(BlockId(1), LineState::Modified)]);
+        assert_eq!(resident, vec![(b(1), LineState::Modified)]);
     }
 
     #[test]
     fn counters_track_activity() {
         let mut c = small_cache();
-        let b = BlockId(2);
-        c.access(b, AccessKind::Read); // miss
-        c.fill(b, LineState::Shared);
-        c.access(b, AccessKind::Read); // hit
-        c.access(b, AccessKind::Write); // upgrade
-        c.upgrade(b);
-        c.invalidate(b);
+        c.access(b(2), AccessKind::Read); // miss
+        c.fill(b(2), LineState::Shared);
+        c.access(b(2), AccessKind::Read); // hit
+        c.access(b(2), AccessKind::Write); // upgrade
+        c.upgrade(b(2));
+        c.invalidate(b(2));
         let (hits, misses, upgrades, _evictions, invals) = c.counters();
         assert_eq!((hits, misses, upgrades, invals), (1, 1, 1, 1));
     }
@@ -406,15 +416,14 @@ mod tests {
     #[test]
     fn probe_does_not_modify() {
         let mut c = small_cache();
-        let b = BlockId(5);
         assert_eq!(
-            c.probe(b, AccessKind::Read),
+            c.probe(b(5), AccessKind::Read),
             CacheOutcome::Miss { victim: None }
         );
         assert_eq!(c.counters().1, 0, "probe must not count as a miss");
-        c.fill(b, LineState::Shared);
-        assert_eq!(c.probe(b, AccessKind::Write), CacheOutcome::UpgradeMiss);
-        assert_eq!(c.state_of(b), LineState::Shared);
+        c.fill(b(5), LineState::Shared);
+        assert_eq!(c.probe(b(5), AccessKind::Write), CacheOutcome::UpgradeMiss);
+        assert_eq!(c.state_of(b(5)), LineState::Shared);
     }
 
     #[test]

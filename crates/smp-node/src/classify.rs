@@ -15,8 +15,7 @@
 //! re-fetches, so the classifier is also the source of the signal that
 //! drives relocation decisions.
 
-use mem_trace::BlockId;
-use std::collections::HashMap;
+use mem_trace::{BlockIdx, Slab};
 
 /// Classification of a processor-cache miss.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -30,9 +29,15 @@ pub enum MissClass {
     CapacityConflict,
 }
 
-/// Why a block left the cache.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Departure {
+/// What the classifier remembers about a block: whether this processor ever
+/// cached it and, if it left the cache, why.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum History {
+    /// Never cached by this processor (the slab's default).
+    #[default]
+    Untouched,
+    /// Currently believed resident.
+    Resident,
     /// Displaced by a fill to the same cache line, or flushed by a page
     /// operation.
     Evicted,
@@ -41,11 +46,13 @@ enum Departure {
 }
 
 /// Tracks, per processor, the history needed to classify misses.
+///
+/// The history is a dense slab over interned block indices — one byte per
+/// block the *cluster* touched — so the per-miss classification and the
+/// per-fill/eviction/invalidation bookkeeping are single array accesses.
 #[derive(Debug, Clone, Default)]
 pub struct MissClassifier {
-    /// Blocks this processor has cached at least once, with the reason the
-    /// block most recently left the cache (absent entry while resident).
-    history: HashMap<BlockId, Option<Departure>>,
+    history: Slab<History>,
     cold: u64,
     coherence: u64,
     capacity_conflict: u64,
@@ -59,18 +66,18 @@ impl MissClassifier {
 
     /// Classify (and record) a miss on `block`.  Call exactly once per
     /// processor-cache miss, before recording the subsequent fill.
-    pub fn classify_miss(&mut self, block: BlockId) -> MissClass {
-        let class = match self.history.get(&block) {
-            None => MissClass::Cold,
-            Some(None) => {
+    pub fn classify_miss(&mut self, block: BlockIdx) -> MissClass {
+        let class = match self.history.get(block.index()).copied().unwrap_or_default() {
+            History::Untouched => MissClass::Cold,
+            History::Resident => {
                 // Block believed resident yet we missed: this happens when a
                 // page flush dropped the line without notifying the
                 // classifier; treat as capacity/conflict, matching the
                 // paper's accounting of relocation-induced refetches.
                 MissClass::CapacityConflict
             }
-            Some(Some(Departure::Evicted)) => MissClass::CapacityConflict,
-            Some(Some(Departure::Invalidated)) => MissClass::Coherence,
+            History::Evicted => MissClass::CapacityConflict,
+            History::Invalidated => MissClass::Coherence,
         };
         match class {
             MissClass::Cold => self.cold += 1,
@@ -81,18 +88,18 @@ impl MissClassifier {
     }
 
     /// Record that `block` is now resident in this processor's cache.
-    pub fn record_fill(&mut self, block: BlockId) {
-        self.history.insert(block, None);
+    pub fn record_fill(&mut self, block: BlockIdx) {
+        *self.history.entry(block.index()) = History::Resident;
     }
 
     /// Record that `block` was evicted (capacity/conflict departure).
-    pub fn record_eviction(&mut self, block: BlockId) {
-        self.history.insert(block, Some(Departure::Evicted));
+    pub fn record_eviction(&mut self, block: BlockIdx) {
+        *self.history.entry(block.index()) = History::Evicted;
     }
 
     /// Record that `block` was invalidated by the coherence protocol.
-    pub fn record_invalidation(&mut self, block: BlockId) {
-        self.history.insert(block, Some(Departure::Invalidated));
+    pub fn record_invalidation(&mut self, block: BlockIdx) {
+        *self.history.entry(block.index()) = History::Invalidated;
     }
 
     /// `(cold, coherence, capacity_conflict)` counts so far.
@@ -113,27 +120,27 @@ mod tests {
     #[test]
     fn first_miss_is_cold() {
         let mut c = MissClassifier::new();
-        assert_eq!(c.classify_miss(BlockId(1)), MissClass::Cold);
+        assert_eq!(c.classify_miss(BlockIdx(1)), MissClass::Cold);
         assert_eq!(c.counts(), (1, 0, 0));
     }
 
     #[test]
     fn refetch_after_eviction_is_capacity_conflict() {
         let mut c = MissClassifier::new();
-        c.classify_miss(BlockId(1));
-        c.record_fill(BlockId(1));
-        c.record_eviction(BlockId(1));
-        assert_eq!(c.classify_miss(BlockId(1)), MissClass::CapacityConflict);
+        c.classify_miss(BlockIdx(1));
+        c.record_fill(BlockIdx(1));
+        c.record_eviction(BlockIdx(1));
+        assert_eq!(c.classify_miss(BlockIdx(1)), MissClass::CapacityConflict);
         assert_eq!(c.counts(), (1, 0, 1));
     }
 
     #[test]
     fn refetch_after_invalidation_is_coherence() {
         let mut c = MissClassifier::new();
-        c.classify_miss(BlockId(2));
-        c.record_fill(BlockId(2));
-        c.record_invalidation(BlockId(2));
-        assert_eq!(c.classify_miss(BlockId(2)), MissClass::Coherence);
+        c.classify_miss(BlockIdx(2));
+        c.record_fill(BlockIdx(2));
+        c.record_invalidation(BlockIdx(2));
+        assert_eq!(c.classify_miss(BlockIdx(2)), MissClass::Coherence);
         assert_eq!(c.counts(), (1, 1, 0));
     }
 
@@ -141,30 +148,30 @@ mod tests {
     fn miss_while_marked_resident_counts_as_capacity_conflict() {
         // A page flush can drop lines without an explicit eviction record.
         let mut c = MissClassifier::new();
-        c.classify_miss(BlockId(3));
-        c.record_fill(BlockId(3));
-        assert_eq!(c.classify_miss(BlockId(3)), MissClass::CapacityConflict);
+        c.classify_miss(BlockIdx(3));
+        c.record_fill(BlockIdx(3));
+        assert_eq!(c.classify_miss(BlockIdx(3)), MissClass::CapacityConflict);
     }
 
     #[test]
     fn departure_reason_is_most_recent_one() {
         let mut c = MissClassifier::new();
-        c.classify_miss(BlockId(4));
-        c.record_fill(BlockId(4));
-        c.record_eviction(BlockId(4));
-        c.record_fill(BlockId(4));
-        c.record_invalidation(BlockId(4));
-        assert_eq!(c.classify_miss(BlockId(4)), MissClass::Coherence);
+        c.classify_miss(BlockIdx(4));
+        c.record_fill(BlockIdx(4));
+        c.record_eviction(BlockIdx(4));
+        c.record_fill(BlockIdx(4));
+        c.record_invalidation(BlockIdx(4));
+        assert_eq!(c.classify_miss(BlockIdx(4)), MissClass::Coherence);
         assert_eq!(c.total(), 2);
     }
 
     #[test]
     fn distinct_blocks_have_independent_histories() {
         let mut c = MissClassifier::new();
-        c.classify_miss(BlockId(1));
-        c.record_fill(BlockId(1));
-        c.record_eviction(BlockId(1));
-        assert_eq!(c.classify_miss(BlockId(2)), MissClass::Cold);
-        assert_eq!(c.classify_miss(BlockId(1)), MissClass::CapacityConflict);
+        c.classify_miss(BlockIdx(1));
+        c.record_fill(BlockIdx(1));
+        c.record_eviction(BlockIdx(1));
+        assert_eq!(c.classify_miss(BlockIdx(2)), MissClass::Cold);
+        assert_eq!(c.classify_miss(BlockIdx(1)), MissClass::CapacityConflict);
     }
 }

@@ -19,9 +19,11 @@
 //! All page-mode transitions (first-touch, migration, replication, R-NUMA
 //! relocation, replica invalidation) go through this table, so it is also
 //! the natural place to count mapping operations and TLB shootdowns.
+//!
+//! Entries are keyed by the dense [`PageIdx`] the trace layer interns: the
+//! mapping lookup on every memory reference is a single array access.
 
-use mem_trace::{NodeId, PageId};
-use std::collections::HashMap;
+use mem_trace::{NodeId, PageIdx, Slab};
 
 /// How a page is currently mapped on a node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -76,10 +78,12 @@ impl PageMapping {
     }
 }
 
-/// Per-node page table.
+/// Per-node page table: a dense slab of mapping slots over interned page
+/// indices.
 #[derive(Debug, Clone, Default)]
 pub struct PageTable {
-    entries: HashMap<PageId, PageMapping>,
+    entries: Slab<Option<PageMapping>>,
+    mapped: usize,
     map_operations: u64,
     unmap_operations: u64,
     tlb_shootdowns: u64,
@@ -92,26 +96,32 @@ impl PageTable {
     }
 
     /// Current mapping of `page`, if mapped.
-    pub fn lookup(&self, page: PageId) -> Option<PageMapping> {
-        self.entries.get(&page).copied()
+    #[inline]
+    pub fn lookup(&self, page: PageIdx) -> Option<PageMapping> {
+        self.entries.get(page.index()).copied().flatten()
     }
 
     /// `true` if `page` is mapped.
-    pub fn is_mapped(&self, page: PageId) -> bool {
-        self.entries.contains_key(&page)
+    pub fn is_mapped(&self, page: PageIdx) -> bool {
+        self.lookup(page).is_some()
     }
 
     /// Install (or replace) the mapping of `page`.
-    pub fn map(&mut self, page: PageId, mapping: PageMapping) {
+    pub fn map(&mut self, page: PageIdx, mapping: PageMapping) {
         self.map_operations += 1;
-        self.entries.insert(page, mapping);
+        let slot = self.entries.entry(page.index());
+        if slot.is_none() {
+            self.mapped += 1;
+        }
+        *slot = Some(mapping);
     }
 
     /// Remove the mapping of `page`; returns the old mapping.  Counts a TLB
     /// shootdown on this node.
-    pub fn unmap(&mut self, page: PageId) -> Option<PageMapping> {
-        let old = self.entries.remove(&page);
+    pub fn unmap(&mut self, page: PageIdx) -> Option<PageMapping> {
+        let old = self.entries.get_mut(page.index()).and_then(Option::take);
         if old.is_some() {
+            self.mapped -= 1;
             self.unmap_operations += 1;
             self.tlb_shootdowns += 1;
         }
@@ -120,8 +130,8 @@ impl PageTable {
 
     /// Change only the mode of an existing mapping; returns `false` if the
     /// page was not mapped.
-    pub fn set_mode(&mut self, page: PageId, mode: PageMode) -> bool {
-        match self.entries.get_mut(&page) {
+    pub fn set_mode(&mut self, page: PageIdx, mode: PageMode) -> bool {
+        match self.entries.get_mut(page.index()).and_then(Option::as_mut) {
             Some(m) => {
                 m.mode = mode;
                 true
@@ -132,8 +142,8 @@ impl PageTable {
 
     /// Change only the protection of an existing mapping; returns `false` if
     /// the page was not mapped.
-    pub fn set_protection(&mut self, page: PageId, protection: PageProtection) -> bool {
-        match self.entries.get_mut(&page) {
+    pub fn set_protection(&mut self, page: PageIdx, protection: PageProtection) -> bool {
+        match self.entries.get_mut(page.index()).and_then(Option::as_mut) {
             Some(m) => {
                 m.protection = protection;
                 true
@@ -144,8 +154,8 @@ impl PageTable {
 
     /// Update the recorded home node of `page` (after a migration elsewhere
     /// in the cluster); returns `false` if the page was not mapped here.
-    pub fn set_home(&mut self, page: PageId, home: NodeId) -> bool {
-        match self.entries.get_mut(&page) {
+    pub fn set_home(&mut self, page: PageIdx, home: NodeId) -> bool {
+        match self.entries.get_mut(page.index()).and_then(Option::as_mut) {
             Some(m) => {
                 m.home = home;
                 true
@@ -156,22 +166,27 @@ impl PageTable {
 
     /// Number of pages currently mapped in `mode`.
     pub fn count_in_mode(&self, mode: PageMode) -> usize {
-        self.entries.values().filter(|m| m.mode == mode).count()
+        self.entries
+            .iter()
+            .filter(|m| m.map(|m| m.mode == mode).unwrap_or(false))
+            .count()
     }
 
     /// Iterate over all mapped pages.
-    pub fn iter(&self) -> impl Iterator<Item = (PageId, PageMapping)> + '_ {
-        self.entries.iter().map(|(p, m)| (*p, *m))
+    pub fn iter(&self) -> impl Iterator<Item = (PageIdx, PageMapping)> + '_ {
+        self.entries
+            .iter_enumerated()
+            .filter_map(|(i, m)| m.map(|m| (PageIdx(i as u32), m)))
     }
 
     /// Number of mapped pages.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.mapped
     }
 
     /// `true` if no pages are mapped.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.mapped == 0
     }
 
     /// `(map operations, unmap operations, TLB shootdowns)` counters.
@@ -191,7 +206,7 @@ mod tests {
     #[test]
     fn map_lookup_unmap() {
         let mut pt = PageTable::new();
-        let p = PageId(5);
+        let p = PageIdx(5);
         assert!(!pt.is_mapped(p));
         pt.map(p, PageMapping::new(PageMode::RemoteCcNuma, NodeId(3)));
         let m = pt.lookup(p).unwrap();
@@ -207,7 +222,7 @@ mod tests {
     #[test]
     fn unmap_of_unmapped_page_is_noop() {
         let mut pt = PageTable::new();
-        assert!(pt.unmap(PageId(1)).is_none());
+        assert!(pt.unmap(PageIdx(1)).is_none());
         assert_eq!(pt.counters(), (0, 0, 0));
     }
 
@@ -221,7 +236,7 @@ mod tests {
     #[test]
     fn mode_and_protection_transitions() {
         let mut pt = PageTable::new();
-        let p = PageId(9);
+        let p = PageIdx(9);
         pt.map(p, PageMapping::new(PageMode::RemoteCcNuma, NodeId(1)));
         assert!(pt.set_mode(p, PageMode::SComa));
         assert_eq!(pt.lookup(p).unwrap().mode, PageMode::SComa);
@@ -229,18 +244,18 @@ mod tests {
         assert_eq!(pt.lookup(p).unwrap().protection, PageProtection::ReadOnly);
         assert!(pt.set_home(p, NodeId(7)));
         assert_eq!(pt.lookup(p).unwrap().home, NodeId(7));
-        assert!(!pt.set_mode(PageId(1000), PageMode::SComa));
-        assert!(!pt.set_protection(PageId(1000), PageProtection::ReadOnly));
-        assert!(!pt.set_home(PageId(1000), NodeId(0)));
+        assert!(!pt.set_mode(PageIdx(1000), PageMode::SComa));
+        assert!(!pt.set_protection(PageIdx(1000), PageProtection::ReadOnly));
+        assert!(!pt.set_home(PageIdx(1000), NodeId(0)));
     }
 
     #[test]
     fn count_in_mode_and_iteration() {
         let mut pt = PageTable::new();
-        pt.map(PageId(0), PageMapping::new(PageMode::LocalHome, NodeId(0)));
-        pt.map(PageId(1), PageMapping::new(PageMode::SComa, NodeId(2)));
-        pt.map(PageId(2), PageMapping::new(PageMode::SComa, NodeId(3)));
-        pt.map(PageId(3), PageMapping::replica(NodeId(1)));
+        pt.map(PageIdx(0), PageMapping::new(PageMode::LocalHome, NodeId(0)));
+        pt.map(PageIdx(1), PageMapping::new(PageMode::SComa, NodeId(2)));
+        pt.map(PageIdx(2), PageMapping::new(PageMode::SComa, NodeId(3)));
+        pt.map(PageIdx(3), PageMapping::replica(NodeId(1)));
         assert_eq!(pt.count_in_mode(PageMode::SComa), 2);
         assert_eq!(pt.count_in_mode(PageMode::LocalHome), 1);
         assert_eq!(pt.count_in_mode(PageMode::Replica), 1);
@@ -253,11 +268,24 @@ mod tests {
     #[test]
     fn remapping_replaces_previous_entry() {
         let mut pt = PageTable::new();
-        let p = PageId(4);
+        let p = PageIdx(4);
         pt.map(p, PageMapping::new(PageMode::RemoteCcNuma, NodeId(1)));
         pt.map(p, PageMapping::new(PageMode::SComa, NodeId(1)));
         assert_eq!(pt.len(), 1);
         assert_eq!(pt.lookup(p).unwrap().mode, PageMode::SComa);
         assert_eq!(pt.counters().0, 2);
+    }
+
+    #[test]
+    fn sparse_indices_leave_holes_unmapped() {
+        let mut pt = PageTable::new();
+        pt.map(
+            PageIdx(10),
+            PageMapping::new(PageMode::LocalHome, NodeId(0)),
+        );
+        assert_eq!(pt.len(), 1);
+        assert!(!pt.is_mapped(PageIdx(4)));
+        assert_eq!(pt.iter().count(), 1);
+        assert_eq!(pt.iter().next().unwrap().0, PageIdx(10));
     }
 }

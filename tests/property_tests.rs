@@ -12,10 +12,23 @@ use dsm_repro::protocol::{
     BlockCache, BlockCacheConfig, BlockState, Directory, DirectoryState, PageCache, PageCacheConfig,
 };
 use dsm_repro::sim::SplitMix64;
-use mem_trace::{BlockId, GlobalAddr, NodeId, PageId, BLOCK_SIZE, PAGE_SIZE};
+use mem_trace::{
+    BlockId, BlockIdx, BlockRef, GlobalAddr, NodeId, PageId, PageIdx, PageRef, BLOCK_SIZE,
+    PAGE_SIZE,
+};
 use smp_node::{CacheConfig, DataCache, LineState};
 
 const CASES: u64 = 64;
+
+/// Identity interning for the protocol-structure tests: block id n ↔ index
+/// n (a valid assignment when page ids are dense from zero, as here).
+fn bref(n: u64) -> BlockRef {
+    BlockRef::new(BlockId(n), BlockIdx(n as u32))
+}
+
+fn pref(n: u64) -> PageRef {
+    PageRef::new(PageId(n), PageIdx(n as u32))
+}
 
 /// A fresh generator per (test, case) pair so tests stay order-independent.
 fn rng_for(test: &str, case: u64) -> SplitMix64 {
@@ -61,7 +74,7 @@ fn data_cache_fill_makes_resident() {
             block_bytes: 64,
         });
         for &b in &blocks {
-            let block = BlockId(b);
+            let block = bref(b);
             cache.fill(block, LineState::Shared);
             assert!(cache.contains(block));
         }
@@ -83,13 +96,13 @@ fn block_cache_respects_capacity() {
         let mut bc = BlockCache::new(cfg);
         let lines = cfg.lines().unwrap();
         for &b in &blocks {
-            bc.fill(BlockId(b), BlockState::Clean);
+            bc.fill(bref(b), BlockState::Clean);
             assert!(bc.resident() <= lines);
         }
-        let page = PageId(3);
+        let page = pref(3);
         let flushed = bc.flush_page(page);
         for (block, _) in &flushed {
-            assert_eq!(block.page(), page);
+            assert_eq!(block.id.page(), page.id);
             assert!(!bc.contains(*block));
         }
     }
@@ -107,7 +120,7 @@ fn page_cache_never_exceeds_capacity() {
             size_bytes: frames as u64 * PAGE_SIZE,
         });
         for &p in &pages {
-            pc.allocate(PageId(p));
+            pc.allocate(pref(p));
             assert!(pc.allocated_frames() <= frames);
         }
     }
@@ -124,7 +137,7 @@ fn directory_sharer_counts_match_state() {
         let mut dir = Directory::new();
         for _ in 0..ops {
             let op = rng.next_below(3);
-            let block = BlockId(rng.next_below(32));
+            let block = BlockIdx(rng.next_below(32) as u32);
             let node = NodeId(rng.next_below(8) as u16);
             match op {
                 0 => {
@@ -195,5 +208,70 @@ fn workload_generation_is_seed_deterministic() {
         let b = workload.generate(&cfg);
         assert!(a.validate().is_ok());
         assert_eq!(a.stats(), b.stats());
+    }
+}
+
+/// Interning round-trips: every distinct page gets a dense index in
+/// first-touch order, `PageId -> PageIdx -> PageId` is the identity, and an
+/// interner replaying the same reference stream (the record/replay
+/// scenario) assigns bit-identical indices.
+#[test]
+fn page_interning_round_trips_and_replays_stably() {
+    use dsm_repro::trace::PageInterner;
+    for case in 0..CASES {
+        let mut rng = rng_for("interner", case);
+        // Sparse, repetitive page-id stream, like a real trace's.
+        let ids: Vec<u64> = random_vec(&mut rng, 400, 1 << 40);
+        let mut record = PageInterner::new();
+        let mut firsts: Vec<u64> = Vec::new();
+        for &id in &ids {
+            let r = record.intern_ref(PageId(id));
+            assert_eq!(r.id, PageId(id));
+            if !firsts.contains(&id) {
+                // First touch: the next dense index.
+                assert_eq!(r.idx.index(), firsts.len());
+                firsts.push(id);
+            }
+            // Round trips, both directions.
+            assert_eq!(record.page(r.idx), r.id);
+            assert_eq!(record.get(r.id), Some(r.idx));
+            // Block indices stay inside the page's 64-slot band.
+            let block = r.block_at(rng.next_below(64));
+            assert_eq!(block.idx.page(), r.idx);
+            assert_eq!(record.block_id(block.idx), block.id);
+        }
+        assert_eq!(record.len(), firsts.len());
+
+        // Replay: a fresh interner fed the same stream assigns the same
+        // indices (what makes interning invisible across record/replay).
+        let mut replay = PageInterner::new();
+        for &id in &ids {
+            assert_eq!(replay.intern(PageId(id)), record.get(PageId(id)).unwrap());
+        }
+    }
+}
+
+/// Scheduler invariant: whatever the push order, pops come out sorted by
+/// `(clock, proc id)` — equal clocks break toward the smaller proc id.
+#[test]
+fn scheduler_pops_sorted_by_clock_then_proc_id() {
+    use dsm_repro::sim::{Cycles, ProcScheduler};
+    for case in 0..CASES {
+        let mut rng = rng_for("scheduler", case);
+        let n = 1 + rng.next_below(100);
+        // Few distinct clock values, so ties are common.
+        let entries: Vec<(u64, u16)> = (0..n)
+            .map(|_| (rng.next_below(8), rng.next_below(32) as u16))
+            .collect();
+        let mut sched = ProcScheduler::new();
+        for &(t, p) in &entries {
+            sched.push(Cycles::new(t), p);
+        }
+        let popped: Vec<(u64, u16)> = std::iter::from_fn(|| sched.pop())
+            .map(|(t, p)| (t.raw(), p))
+            .collect();
+        let mut expected = entries.clone();
+        expected.sort();
+        assert_eq!(popped, expected, "case {case}");
     }
 }
