@@ -1,0 +1,52 @@
+//! `trend` — tabulate the measured perf trajectory: mean events/sec from
+//! every committed `BENCH_*.json`, ordered by PR number, with per-PR
+//! speedups (the ROADMAP's trend renderer).
+//!
+//! ```text
+//! trend [DIR]
+//! ```
+//!
+//! `DIR` defaults to the current directory (the repo root holds the
+//! `BENCH_*.json` trajectory).
+
+use dsm_bench::perf;
+use std::path::PathBuf;
+
+const USAGE: &str = "\
+usage: trend [DIR]
+
+Tabulates mean events/sec across all BENCH_*.json files in DIR (default:
+the current directory), ordered by PR number.";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "-h" || a == "--help") {
+        println!("{USAGE}");
+        return;
+    }
+    if let Some(flag) = args.iter().find(|a| a.starts_with('-')) {
+        eprintln!("error: unknown flag `{flag}`\n{USAGE}");
+        std::process::exit(2);
+    }
+    if args.len() > 1 {
+        eprintln!("error: at most one DIR argument\n{USAGE}");
+        std::process::exit(2);
+    }
+    let dir = args
+        .first()
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."));
+
+    let entries = match perf::collect_trend(&dir) {
+        Ok(entries) => entries,
+        Err(e) => {
+            eprintln!("error: scanning {}: {e}", dir.display());
+            std::process::exit(2);
+        }
+    };
+    if entries.is_empty() {
+        eprintln!("no BENCH_*.json files found in {}", dir.display());
+        std::process::exit(1);
+    }
+    print!("{}", perf::format_trend(&entries));
+}

@@ -34,9 +34,10 @@ use std::path::PathBuf;
 use crate::cli::Options;
 use crate::presets::{ExperimentScale, SystemSet};
 use crate::runner::{default_threads, ExperimentResult, WorkloadResult};
-use dsm_core::{ClusterSimulator, MachineConfig, SimResult, SystemConfig};
-use mem_trace::{ProgramTrace, ReplaySource};
-use splash_workloads::{by_name, WorkloadConfig};
+use crate::sweep::Sweep;
+use dsm_core::MachineConfig;
+use mem_trace::ProgramTrace;
+use splash_workloads::by_name;
 
 /// Where an experiment's traces come from.
 #[derive(Debug, Clone)]
@@ -144,6 +145,8 @@ impl Experiment {
 
     /// Run every (workload, system) pair and collect the results.
     ///
+    /// The experiment is a thin single-point [`Sweep`]: one machine, no
+    /// swept axes, the `SystemSet`'s baseline as the normalization system.
     /// Each job instantiates its own fresh trace source — a streaming
     /// generator for named workloads, a cursor for caller-supplied traces, a
     /// re-opened file for replays — so simulations proceed independently and
@@ -157,101 +160,47 @@ impl Experiment {
         let set = self
             .systems
             .expect("Experiment::systems(..) must be called before run()");
-        let source = self.source;
-        let cfg = WorkloadConfig::at_scale(self.scale.workload_scale());
-        // Workload display names, resolved up front (for replays this reads
-        // just the file header).
-        let workload_names: Vec<String> = match &source {
-            WorkloadSource::Named(names) => names.clone(),
-            WorkloadSource::Traces(traces) => traces.iter().map(|t| t.name.clone()).collect(),
-            WorkloadSource::Replay(paths) => paths
-                .iter()
-                .map(|p| {
-                    use mem_trace::TraceSource;
-                    ReplaySource::open(p)
-                        .unwrap_or_else(|e| panic!("cannot open replay file {p:?}: {e}"))
-                        .name()
-                        .to_string()
-                })
-                .collect(),
+        let system_count = set.systems.len();
+        let experiment = set.experiment.to_string();
+        let system_names: Vec<String> = set.systems.iter().map(|s| s.name.clone()).collect();
+
+        let mut sweep = Sweep::new(experiment.clone())
+            .machine(self.machine)
+            .system_set(set)
+            .scale(self.scale)
+            .threads(self.threads);
+        sweep = match self.source {
+            WorkloadSource::Named(names) => sweep.workloads(names),
+            WorkloadSource::Traces(traces) => sweep.traces(traces),
+            WorkloadSource::Replay(paths) => {
+                paths.into_iter().fold(sweep, |sweep, p| sweep.replay(p))
+            }
         };
+        let swept = sweep.run();
 
-        // The full job list; system index 0 is the baseline.
-        let mut all_systems: Vec<SystemConfig> = Vec::with_capacity(set.systems.len() + 1);
-        all_systems.push(set.baseline.clone());
-        all_systems.extend(set.systems.iter().cloned());
-        let jobs: Vec<(usize, usize)> = (0..workload_names.len())
-            .flat_map(|w| (0..all_systems.len()).map(move |s| (w, s)))
-            .collect();
-        // More workers than jobs would only spawn idle threads.
-        let threads = self.threads.min(jobs.len()).max(1);
-
-        let machine = self.machine;
-        let results: Vec<Vec<Option<(SimResult, f64)>>> = {
-            let table =
-                std::sync::Mutex::new(vec![vec![None; all_systems.len()]; workload_names.len()]);
-            let next = std::sync::atomic::AtomicUsize::new(0);
-            let source = &source;
-            let run_job = move |w: usize, s: usize| -> (SimResult, f64) {
-                let sim = ClusterSimulator::new(machine, all_systems[s].clone());
-                let start = std::time::Instant::now();
-                let result = match source {
-                    WorkloadSource::Named(names) => {
-                        let workload = by_name(&names[w])
-                            .unwrap_or_else(|| panic!("unknown workload {}", names[w]));
-                        let mut stream = splash_workloads::stream(workload, cfg);
-                        sim.run_source(&mut stream)
-                    }
-                    WorkloadSource::Traces(traces) => sim.run(&traces[w]),
-                    WorkloadSource::Replay(paths) => {
-                        let mut replay = ReplaySource::open(&paths[w]).unwrap_or_else(|e| {
-                            panic!("cannot open replay file {:?}: {e}", paths[w])
-                        });
-                        sim.run_source(&mut replay)
-                    }
-                };
-                (result, start.elapsed().as_secs_f64())
-            };
-            std::thread::scope(|scope| {
-                for _ in 0..threads {
-                    scope.spawn(|| loop {
-                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        if i >= jobs.len() {
-                            break;
-                        }
-                        let (w, s) = jobs[i];
-                        let result = run_job(w, s);
-                        table.lock().expect("result table poisoned")[w][s] = Some(result);
-                    });
-                }
-            });
-            table.into_inner().expect("result table poisoned")
-        };
-
-        let per_workload = results
+        // A one-point sweep enumerates workloads outermost and systems
+        // innermost: baselines are per workload, points are [workload x
+        // system] in `SystemSet` order.
+        debug_assert_eq!(swept.points.len(), swept.baselines.len() * system_count);
+        let per_workload = swept
+            .baselines
             .into_iter()
-            .zip(workload_names)
-            .map(|(mut row, workload)| {
-                let (baseline, baseline_elapsed_seconds) =
-                    row[0].take().expect("baseline result missing");
-                let (results, elapsed_seconds) = row
-                    .into_iter()
-                    .skip(1)
-                    .map(|r| r.expect("system result missing"))
-                    .unzip();
+            .enumerate()
+            .map(|(w, baseline)| {
+                let row = &swept.points[w * system_count..(w + 1) * system_count];
                 WorkloadResult {
-                    workload,
-                    baseline,
-                    results,
-                    baseline_elapsed_seconds,
-                    elapsed_seconds,
+                    workload: baseline.axes.workload.clone(),
+                    baseline: baseline.result,
+                    baseline_elapsed_seconds: baseline.elapsed_seconds,
+                    results: row.iter().map(|p| p.result.clone()).collect(),
+                    elapsed_seconds: row.iter().map(|p| p.elapsed_seconds).collect(),
                 }
             })
             .collect();
 
         ExperimentResult {
-            experiment: set.experiment.to_string(),
-            system_names: set.systems.iter().map(|s| s.name.clone()).collect(),
+            experiment,
+            system_names,
             per_workload,
         }
     }
@@ -263,6 +212,7 @@ mod tests {
     use crate::presets;
     use dsm_core::{System, Thresholds};
     use mem_trace::{GlobalAddr, ProcId, TraceBuilder};
+    use splash_workloads::WorkloadConfig;
 
     #[test]
     fn runs_a_named_workload_experiment() {

@@ -8,7 +8,8 @@
 //! thresholds scaled by the same factor as the working sets so that the
 //! capacity relationships of the paper are preserved.
 //!
-//! Programmatic use goes through the [`Experiment`] builder:
+//! Programmatic use goes through the [`Experiment`] builder for one-machine
+//! figure reproductions:
 //!
 //! ```no_run
 //! use dsm_bench::{presets, Experiment, ExperimentScale};
@@ -20,6 +21,11 @@
 //!     .run();
 //! print!("{}", dsm_bench::report::format_normalized_table(&result));
 //! ```
+//!
+//! …and through the [`Sweep`] builder for parameter-space grids over
+//! machine axes (cluster nodes, processors per node, page size, block
+//! size), system axes (templates, cost models, thresholds, relocation
+//! delays) and workloads — see the [`sweep`] module docs.
 
 pub mod cli;
 pub mod experiment;
@@ -27,12 +33,15 @@ pub mod perf;
 pub mod presets;
 pub mod report;
 pub mod runner;
+pub mod sweep;
 
 pub use cli::{CliError, Options};
 pub use experiment::Experiment;
 pub use perf::{PerfJob, PerfReport};
 pub use presets::{ExperimentScale, SystemSet};
 pub use report::{format_normalized_table, format_table4, normalized_rows, to_json, write_json};
-#[allow(deprecated)]
-pub use runner::run_experiment;
 pub use runner::{ExperimentResult, WorkloadResult};
+pub use sweep::{
+    Axis, AxisValues, BaselinePoint, Metric, MetricSet, ParamPoint, ParamSpace, PointResult, Sweep,
+    SweepResult,
+};

@@ -230,6 +230,125 @@ pub fn regression_failures(
     failures
 }
 
+// ---------------------------------------------------------------------
+// The perf trend across PRs (`trend` binary)
+// ---------------------------------------------------------------------
+
+/// One `BENCH_*.json` file's contribution to the perf trend.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrendEntry {
+    /// File name the entry came from.
+    pub file: String,
+    /// PR number (the JSON's `"pr"` field, else parsed from the
+    /// `BENCH_<n>.json` name).
+    pub pr: Option<u64>,
+    /// Parameter scale of the measurement.
+    pub scale: String,
+    /// Mean events/sec.  Trajectory files with pre/post sections report the
+    /// *last* (post-change) measurement: the state the PR left the repo in.
+    pub mean_events_per_sec: f64,
+}
+
+/// Scan one `BENCH_*.json` body for its trend entry.  Handles both the
+/// plain [`to_json`] report shape and the pre/post trajectory wrapper of
+/// `BENCH_3.json` (where the last `mean_events_per_sec` is the post-change
+/// state).
+pub fn parse_trend_entry(file: &str, json: &str) -> Option<TrendEntry> {
+    let mean = json
+        .rmatch_indices("\"mean_events_per_sec\":")
+        .next()
+        .and_then(|(at, key)| scan_number(&json[at + key.len()..]))?;
+    let scale = json
+        .rmatch_indices("\"scale\":")
+        .next()
+        .and_then(|(at, key)| {
+            // Tolerate pretty-printed JSON: whitespace before the value.
+            let rest = json[at + key.len()..].trim_start();
+            let rest = rest.strip_prefix('"')?;
+            rest.find('"').map(|end| rest[..end].to_string())
+        })
+        .unwrap_or_else(|| "unknown".to_string());
+    let pr = json
+        .find("\"pr\":")
+        .and_then(|at| scan_number(&json[at + "\"pr\":".len()..]))
+        .map(|n| n as u64)
+        .or_else(|| {
+            file.strip_prefix("BENCH_")?
+                .strip_suffix(".json")?
+                .parse()
+                .ok()
+        });
+    Some(TrendEntry {
+        file: file.to_string(),
+        pr,
+        scale,
+        mean_events_per_sec: mean,
+    })
+}
+
+fn scan_number(rest: &str) -> Option<f64> {
+    let rest = rest.trim_start();
+    let end = rest
+        .find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Collect every `BENCH_*.json` under `dir` into trend entries, ordered by
+/// PR number (unnumbered files last, by name).
+pub fn collect_trend(dir: &Path) -> io::Result<Vec<TrendEntry>> {
+    let mut entries = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name().to_string_lossy().to_string();
+        if !name.starts_with("BENCH_") || !name.ends_with(".json") {
+            continue;
+        }
+        let body = std::fs::read_to_string(entry.path())?;
+        if let Some(t) = parse_trend_entry(&name, &body) {
+            entries.push(t);
+        }
+    }
+    entries.sort_by(|a, b| match (a.pr, b.pr) {
+        (Some(x), Some(y)) => x.cmp(&y),
+        (Some(_), None) => std::cmp::Ordering::Less,
+        (None, Some(_)) => std::cmp::Ordering::Greater,
+        (None, None) => a.file.cmp(&b.file),
+    });
+    Ok(entries)
+}
+
+/// Tabulate the trend: one row per `BENCH_*.json`, with each row's speedup
+/// against the previous PR's mean.  A ratio is only printed when the two
+/// rows were measured at the same scale — a reduced-vs-paper quotient would
+/// read as a huge regression (or win) that is really just the scale change.
+pub fn format_trend(entries: &[TrendEntry]) -> String {
+    let mut out = String::from("# perf trend: mean events/sec per PR (from BENCH_*.json)\n");
+    out.push_str(&format!(
+        "{:<16} {:>4} {:>9} {:>20} {:>10}\n",
+        "file", "pr", "scale", "mean_events_per_sec", "vs_prev"
+    ));
+    let mut prev: Option<&TrendEntry> = None;
+    for e in entries {
+        let vs_prev = match prev {
+            Some(p) if p.mean_events_per_sec > 0.0 && p.scale == e.scale => {
+                format!("{:.2}x", e.mean_events_per_sec / p.mean_events_per_sec)
+            }
+            _ => "-".to_string(),
+        };
+        out.push_str(&format!(
+            "{:<16} {:>4} {:>9} {:>20.1} {:>10}\n",
+            e.file,
+            e.pr.map_or_else(|| "-".to_string(), |p| p.to_string()),
+            e.scale,
+            e.mean_events_per_sec,
+            vs_prev
+        ));
+        prev = Some(e);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -318,6 +437,96 @@ mod tests {
         assert!(job.accesses > 0);
         assert!(job.events_per_sec > 0.0);
         assert!(report.mean_events_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn trend_entry_reads_plain_reports_and_trajectory_wrappers() {
+        // Plain report: pr comes from the file name.
+        let plain = to_json(&toy_report());
+        let t = parse_trend_entry("BENCH_4.json", &plain).unwrap();
+        assert_eq!(t.pr, Some(4));
+        assert_eq!(t.scale, "reduced");
+        assert!((t.mean_events_per_sec - 2_000_000.0).abs() < 1.0);
+
+        // Trajectory wrapper: explicit pr, and the *last* mean wins (the
+        // post-change state).
+        let wrapper = format!(
+            "{{\"bench\":\"perf-trajectory\",\"pr\":3,\"pre_refactor\":{},\"post_refactor\":{}}}",
+            to_json(&toy_report()),
+            to_json(&PerfReport {
+                jobs: vec![PerfJob {
+                    events_per_sec: 6_000_000.0,
+                    ..toy_report().jobs[0].clone()
+                }],
+                ..toy_report()
+            })
+        );
+        let t = parse_trend_entry("BENCH_3.json", &wrapper).unwrap();
+        assert_eq!(t.pr, Some(3));
+        assert!((t.mean_events_per_sec - 6_000_000.0).abs() < 1.0);
+
+        // Pretty-printed JSON (the BENCH_3.json style, spaces after
+        // colons) parses too.
+        let pretty = "{\n \"pr\": 6,\n \"scale\": \"paper\",\n \
+                      \"mean_events_per_sec\": 1234.5\n}";
+        let t = parse_trend_entry("BENCH_6.json", pretty).unwrap();
+        assert_eq!(t.pr, Some(6));
+        assert_eq!(t.scale, "paper");
+        assert!((t.mean_events_per_sec - 1234.5).abs() < 0.01);
+
+        // Garbage yields no entry.
+        assert!(parse_trend_entry("BENCH_9.json", "not json").is_none());
+    }
+
+    #[test]
+    fn trend_table_orders_by_pr_and_reports_speedups() {
+        let entries = vec![
+            TrendEntry {
+                file: "BENCH_3.json".into(),
+                pr: Some(3),
+                scale: "paper".into(),
+                mean_events_per_sec: 2_000_000.0,
+            },
+            TrendEntry {
+                file: "BENCH_4.json".into(),
+                pr: Some(4),
+                scale: "paper".into(),
+                mean_events_per_sec: 3_000_000.0,
+            },
+        ];
+        let table = format_trend(&entries);
+        assert!(table.contains("BENCH_3.json"));
+        assert!(table.contains("BENCH_4.json"));
+        assert!(table.contains("1.50x"), "{table}");
+        assert_eq!(table.lines().count(), 2 + entries.len());
+
+        // A scale change between adjacent rows suppresses the ratio: a
+        // reduced-vs-paper quotient is not a speedup.
+        let mixed = vec![
+            TrendEntry {
+                file: "BENCH_2.json".into(),
+                pr: Some(2),
+                scale: "reduced".into(),
+                mean_events_per_sec: 5_000_000.0,
+            },
+            entries[0].clone(),
+        ];
+        let table = format_trend(&mixed);
+        assert!(!table.contains('x'), "cross-scale ratio printed: {table}");
+    }
+
+    #[test]
+    fn collect_trend_scans_a_directory() {
+        let dir = std::env::temp_dir().join("dsm-repro-trend-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("BENCH_7.json"), to_json(&toy_report())).unwrap();
+        std::fs::write(dir.join("BENCH_5.json"), to_json(&toy_report())).unwrap();
+        std::fs::write(dir.join("unrelated.json"), "{}").unwrap();
+        let entries = collect_trend(&dir).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].pr, Some(5), "sorted by PR number");
+        assert_eq!(entries[1].pr, Some(7));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

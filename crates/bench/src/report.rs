@@ -1,8 +1,11 @@
 //! Text rendering of experiment results in the shape of the paper's
-//! figures and tables, plus machine-readable JSON for the perf trajectory
-//! (`--out FILE`, conventionally `BENCH_*.json`).
+//! figures and tables, machine-readable JSON for the perf trajectory
+//! (`--out FILE`, conventionally `BENCH_*.json`), and the sweep renderers
+//! (JSON, CSV, and axis-by-axis markdown tables over a
+//! [`SweepResult`]).
 
 use crate::runner::ExperimentResult;
+use crate::sweep::{Axis, Metric, SweepResult};
 use dsm_core::SimResult;
 use std::io;
 use std::path::Path;
@@ -309,12 +312,207 @@ pub fn write_json_all(path: &Path, results: &[ExperimentResult]) -> io::Result<(
     std::fs::write(path, format!("[{body}]\n"))
 }
 
+// ---------------------------------------------------------------------
+// Sweep renderers
+// ---------------------------------------------------------------------
+
+/// Quote a CSV field if it contains a delimiter, quote or newline
+/// (user-supplied axis labels and system names are free-form).
+fn csv_field(value: &str) -> String {
+    if value.contains([',', '"', '\n']) {
+        format!("\"{}\"", value.replace('"', "\"\""))
+    } else {
+        value.to_string()
+    }
+}
+
+/// Render a sweep as CSV: one row per point, every axis as a column, the
+/// scalar metrics, and the per-kind traffic breakdown.
+pub fn sweep_to_csv(result: &SweepResult) -> String {
+    let mut out = String::new();
+    for axis in Axis::ALL {
+        out.push_str(axis.name());
+        out.push(',');
+    }
+    out.push_str(
+        "normalized_time,execution_time,accesses,remote_misses_per_node,\
+         migrations_per_node,replications_per_node,relocations_per_node,\
+         network_messages,network_bytes,bytes_per_access\n",
+    );
+    for p in &result.points {
+        let m = p.metrics();
+        for axis in Axis::ALL {
+            out.push_str(&csv_field(&p.axes.value(axis)));
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{:.4},{},{},{:.1},{:.1},{:.1},{:.1},{},{},{:.2}\n",
+            m.normalized_time,
+            m.execution_time,
+            m.accesses,
+            m.remote_misses_per_node,
+            m.migrations_per_node,
+            m.replications_per_node,
+            m.relocations_per_node,
+            m.network_messages,
+            m.network_bytes,
+            m.get(Metric::BytesPerAccess),
+        ));
+    }
+    out
+}
+
+/// Render a sweep as a column-aligned markdown table: one row per `rows`
+/// axis value, one column per `cols` axis value, each cell the mean of
+/// `metric` over the points in that (row, col) group.
+pub fn format_sweep_table(result: &SweepResult, rows: Axis, cols: Axis, metric: Metric) -> String {
+    let row_values = result.axis_values(rows);
+    let col_values = result.axis_values(cols);
+    // One pass over the points, accumulating (sum, n) per cell — not a
+    // rescan (with a fresh MetricSet) per (row, col) pair.
+    let mut cells: std::collections::HashMap<(String, String), (f64, u64)> =
+        std::collections::HashMap::new();
+    for p in &result.points {
+        let slot = cells
+            .entry((p.axes.value(rows), p.axes.value(cols)))
+            .or_insert((0.0, 0));
+        slot.0 += p.metrics().get(metric);
+        slot.1 += 1;
+    }
+    let cell = |rv: &str, cv: &str| -> String {
+        match cells.get(&(rv.to_string(), cv.to_string())) {
+            Some((sum, n)) if *n > 0 => format!("{:.2}", sum / *n as f64),
+            _ => "-".to_string(),
+        }
+    };
+
+    let header: Vec<String> = std::iter::once(format!("{}\\{}", rows.name(), cols.name()))
+        .chain(col_values.iter().cloned())
+        .collect();
+    let mut table: Vec<Vec<String>> = vec![header];
+    for rv in &row_values {
+        table.push(
+            std::iter::once(rv.clone())
+                .chain(col_values.iter().map(|cv| cell(rv, cv)))
+                .collect(),
+        );
+    }
+    // Column-aligned markdown.
+    let widths: Vec<usize> = (0..table[0].len())
+        .map(|c| table.iter().map(|row| row[c].len()).max().unwrap_or(1))
+        .collect();
+    let mut out = format!(
+        "# {} — {} by {} x {} (baseline: {})\n",
+        result.name,
+        metric.name(),
+        rows.name(),
+        cols.name(),
+        result.baseline_system
+    );
+    for (i, row) in table.iter().enumerate() {
+        out.push('|');
+        for (c, cellv) in row.iter().enumerate() {
+            out.push_str(&format!(" {:>w$} |", cellv, w = widths[c]));
+        }
+        out.push('\n');
+        if i == 0 {
+            out.push('|');
+            for w in &widths {
+                out.push_str(&format!("{}|", "-".repeat(w + 2)));
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Render a sweep as one JSON object: the axes, every point with its
+/// metric set and traffic breakdown, and the baseline runs.
+pub fn sweep_to_json(result: &SweepResult) -> String {
+    let point_json =
+        |axes: &crate::sweep::AxisValues, r: &SimResult, normalized: Option<f64>, elapsed: f64| {
+            let axes_fields = Axis::ALL
+                .iter()
+                .map(|a| format!("\"{}\":\"{}\"", a.name(), json_escape(&axes.value(*a))))
+                .collect::<Vec<_>>()
+                .join(",");
+            let m = crate::sweep::MetricSet::of(r, normalized.unwrap_or(1.0));
+            let traffic = m
+                .traffic
+                .iter()
+                .map(|(kind, msgs, bytes)| {
+                    format!("{{\"kind\":\"{kind}\",\"messages\":{msgs},\"bytes\":{bytes}}}")
+                })
+                .collect::<Vec<_>>()
+                .join(",");
+            let normalized = normalized
+                .map(|n| format!("\"normalized_time\":{n:.6},"))
+                .unwrap_or_default();
+            format!(
+                concat!(
+                    "{{{axes},{norm}\"execution_time\":{},\"accesses\":{},",
+                    "\"remote_misses_per_node\":{:.1},\"migrations_per_node\":{:.1},",
+                    "\"replications_per_node\":{:.1},\"relocations_per_node\":{:.1},",
+                    "\"network_messages\":{},\"network_bytes\":{},",
+                    "\"elapsed_seconds\":{:.6},\"traffic\":[{traffic}]}}"
+                ),
+                m.execution_time,
+                m.accesses,
+                m.remote_misses_per_node,
+                m.migrations_per_node,
+                m.replications_per_node,
+                m.relocations_per_node,
+                m.network_messages,
+                m.network_bytes,
+                elapsed,
+                axes = axes_fields,
+                norm = normalized,
+                traffic = traffic,
+            )
+        };
+    let points = result
+        .points
+        .iter()
+        .map(|p| {
+            point_json(
+                &p.axes,
+                &p.result,
+                Some(p.normalized_time),
+                p.elapsed_seconds,
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    let baselines = result
+        .baselines
+        .iter()
+        .map(|b| point_json(&b.axes, &b.result, None, b.elapsed_seconds))
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        concat!(
+            "{{\"sweep\":\"{}\",\"baseline_system\":\"{}\",",
+            "\"points\":[{}],\"baselines\":[{}]}}"
+        ),
+        json_escape(&result.name),
+        json_escape(&result.baseline_system),
+        points,
+        baselines
+    )
+}
+
+/// Write a sweep result as JSON to `path`.
+pub fn write_sweep_json(path: &Path, result: &SweepResult) -> io::Result<()> {
+    std::fs::write(path, sweep_to_json(result) + "\n")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::experiment::Experiment;
     use crate::presets::{table4, ExperimentScale};
-    use dsm_core::MachineConfig;
+    use crate::sweep::Sweep;
+    use dsm_core::{MachineConfig, System};
 
     fn small_result() -> ExperimentResult {
         Experiment::new(MachineConfig::PAPER)
@@ -372,5 +570,91 @@ mod tests {
         let rows = normalized_rows(&result);
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].1.len(), result.system_names.len());
+    }
+
+    fn small_sweep() -> SweepResult {
+        Sweep::new("report sweep")
+            .page_bytes([2048, 4096])
+            .block_bytes([64, 128])
+            .system(System::cc_numa().build())
+            .workloads(["ocean"])
+            .threads(8)
+            .run()
+    }
+
+    #[test]
+    fn sweep_csv_has_axis_columns_and_one_row_per_point() {
+        let result = small_sweep();
+        let csv = sweep_to_csv(&result);
+        assert_eq!(csv.lines().count(), 1 + result.points.len());
+        let header = csv.lines().next().unwrap();
+        for axis in Axis::ALL {
+            assert!(header.contains(axis.name()), "missing column {axis:?}");
+        }
+        assert!(header.contains("bytes_per_access"));
+    }
+
+    #[test]
+    fn csv_fields_with_delimiters_are_quoted() {
+        assert_eq!(csv_field("plain"), "plain");
+        assert_eq!(csv_field("slow, far"), "\"slow, far\"");
+        assert_eq!(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+        // A sweep whose cost label contains a comma keeps its column count.
+        let result = Sweep::new("escape")
+            .cost("base, v2", dsm_core::CostModel::base())
+            .system(System::cc_numa().build())
+            .workloads(["ocean"])
+            .threads(2)
+            .run();
+        let csv = sweep_to_csv(&result);
+        let header_cols = csv.lines().next().unwrap().split(',').count();
+        let row = csv.lines().nth(1).unwrap();
+        assert!(row.contains("\"base, v2\""), "{row}");
+        // Naive splitting sees one extra comma — inside quotes — so the
+        // quoted field is the only divergence from the header count.
+        assert_eq!(row.split(',').count(), header_cols + 1);
+    }
+
+    #[test]
+    fn sweep_table_pivots_rows_by_cols() {
+        let result = small_sweep();
+        let table = format_sweep_table(
+            &result,
+            Axis::PageBytes,
+            Axis::BlockBytes,
+            Metric::NormalizedTime,
+        );
+        // Header row + separator + one row per page size.
+        assert_eq!(table.lines().count(), 1 + 2 + 2, "{table}");
+        assert!(table.contains("2048"));
+        assert!(table.contains("4096"));
+        assert!(table.contains("64"));
+        assert!(table.contains("128"));
+        // Every data line has the full column count.
+        for line in table.lines().skip(1) {
+            assert_eq!(line.matches('|').count(), 4, "{line}");
+        }
+    }
+
+    #[test]
+    fn sweep_json_is_balanced_and_covers_every_point() {
+        let result = small_sweep();
+        let json = sweep_to_json(&result);
+        assert!(json.contains("\"sweep\":\"report sweep\""));
+        assert!(json.contains("\"baseline_system\""));
+        assert!(json.contains("\"page_bytes\":\"2048\""));
+        assert!(json.contains("\"traffic\""));
+        assert!(json.contains("\"page_data_block\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert_eq!(
+            json.matches("\"normalized_time\"").count(),
+            result.points.len()
+        );
+
+        let path = std::env::temp_dir().join("dsm-repro-sweep-report-test.json");
+        write_sweep_json(&path, &result).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap().trim(), json);
+        std::fs::remove_file(&path).ok();
     }
 }

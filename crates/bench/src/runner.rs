@@ -1,12 +1,12 @@
-//! Experiment result types and the legacy free-function runner.
+//! Experiment result types.
 //!
-//! The scheduling logic lives in [`crate::experiment::Experiment`];
-//! [`run_experiment`] survives as a deprecated shim so old callers (and the
-//! old-vs-new parity tests) keep working.
+//! The scheduling logic lives in the sweep engine
+//! ([`crate::sweep::Sweep`]); [`crate::experiment::Experiment`] is its
+//! single-machine-point shape and produces the [`ExperimentResult`]s the
+//! report formatters consume.  (The legacy `run_experiment` free function
+//! is gone; its behaviour is pinned by the golden-snapshot parity tests.)
 
-use crate::experiment::Experiment;
-use crate::presets::{ExperimentScale, SystemSet};
-use dsm_core::{MachineConfig, SimResult};
+use dsm_core::SimResult;
 
 /// All results for one workload within an experiment.
 #[derive(Debug, Clone)]
@@ -61,31 +61,12 @@ impl ExperimentResult {
     }
 }
 
-/// Run one experiment on the paper's machine: every system of `set` (plus
-/// its baseline) on every workload in `workloads`.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `Experiment::new(machine).systems(set).workloads(..).scale(..).threads(n).run()`"
-)]
-pub fn run_experiment(
-    set: &SystemSet,
-    workloads: &[&str],
-    scale: ExperimentScale,
-    threads: usize,
-) -> ExperimentResult {
-    Experiment::new(MachineConfig::PAPER)
-        .systems(set.clone())
-        .workloads(workloads.iter().copied())
-        .scale(scale)
-        .threads(threads)
-        .run()
-}
-
 /// Number of worker threads to use by default: one per CPU.
 ///
-/// No hard cap: [`Experiment::run`] clamps the worker count to the
-/// experiment's actual job count, so large machines use every core a figure
-/// can keep busy instead of idling past an arbitrary ceiling.
+/// No hard cap: [`Experiment::run`](crate::experiment::Experiment::run)
+/// clamps the worker count to the experiment's actual job count, so large
+/// machines use every core a figure can keep busy instead of idling past an
+/// arbitrary ceiling.
 pub fn default_threads() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
@@ -95,6 +76,7 @@ pub fn default_threads() -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::experiment::Experiment;
     use crate::presets;
     use crate::presets::ExperimentScale;
     use dsm_core::MachineConfig;
@@ -136,24 +118,5 @@ mod tests {
         };
         assert_eq!(empty.mean_normalized(0), 0.0);
         assert_eq!(empty.system_index("CC-NUMA"), Some(0));
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn legacy_run_experiment_matches_the_builder() {
-        let set = presets::table4(ExperimentScale::Reduced);
-        let old = run_experiment(&set, &["ocean"], ExperimentScale::Reduced, 4);
-        let new = Experiment::new(MachineConfig::PAPER)
-            .systems(set)
-            .workloads(["ocean"])
-            .scale(ExperimentScale::Reduced)
-            .threads(4)
-            .run();
-        assert_eq!(old.system_names, new.system_names);
-        assert_eq!(old.per_workload.len(), new.per_workload.len());
-        for (a, b) in old.per_workload.iter().zip(&new.per_workload) {
-            assert_eq!(a.baseline, b.baseline);
-            assert_eq!(a.results, b.results);
-        }
     }
 }

@@ -1,0 +1,1025 @@
+//! The sweep-first experiment API: typed parameter-space grids.
+//!
+//! The paper's core result is a comparison *across a parameter space* —
+//! traffic of CC-NUMA vs MigRep vs R-NUMA variants, normalized to perfect
+//! CC-NUMA, under varying cost models and cache sizes.  [`Sweep`] makes
+//! that space first-class: machine axes (cluster nodes, processors per
+//! node, page size, block size), system axes (templates, cost models,
+//! thresholds, relocation delays) and workload axes compose into a
+//! cartesian [`ParamSpace`] of jobs.  Each job materializes its own
+//! [`MachineConfig`] and streams its own deterministic trace, so a sweep
+//! point is exactly the simulation a standalone [`ClusterSimulator`] run
+//! of that configuration would be — the single-machine
+//! [`Experiment`](crate::Experiment) builder is now a thin one-point sweep
+//! over this engine.
+//!
+//! ```no_run
+//! use dsm_bench::{Axis, ExperimentScale, Metric, Sweep};
+//! use dsm_core::{MigRep, System};
+//!
+//! let result = Sweep::new("page/block grid")
+//!     .cluster_nodes([8, 16, 96])
+//!     .page_bytes([1024, 4096, 16384])
+//!     .block_bytes([32, 64, 128])
+//!     .system(System::cc_numa().with(MigRep::both()).build())
+//!     .system(System::r_numa().build())
+//!     .workloads(["radix"])
+//!     .scale(ExperimentScale::Reduced)
+//!     .run();
+//! println!(
+//!     "{}",
+//!     dsm_bench::report::format_sweep_table(
+//!         &result,
+//!         Axis::PageBytes,
+//!         Axis::BlockBytes,
+//!         Metric::NormalizedTime
+//!     )
+//! );
+//! ```
+//!
+//! Every execution time is normalized against a designated baseline system
+//! (perfect CC-NUMA by default) simulated at the *same* machine point, cost
+//! model and workload — the paper's normalization discipline, held pointwise
+//! across the grid.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::presets::{ExperimentScale, SystemSet};
+use crate::runner::default_threads;
+use dsm_core::{ClusterSimulator, CostModel, MachineConfig, SimResult, SystemConfig, Thresholds};
+use dsm_protocol::MsgKind;
+use mem_trace::{Geometry, ProgramTrace, ReplaySource, Topology, TraceSource};
+use sim_engine::Cycles;
+use splash_workloads::{by_name, WorkloadConfig};
+
+/// The axes a sweep point is addressed by (see [`AxisValues::value`] and
+/// [`SweepResult::group_by`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Axis {
+    /// Cluster nodes.
+    Nodes,
+    /// Processors per node.
+    ProcsPerNode,
+    /// Page size in bytes.
+    PageBytes,
+    /// Cache-block size in bytes.
+    BlockBytes,
+    /// Cost-model label.
+    Cost,
+    /// Thresholds label.
+    Thresholds,
+    /// R-NUMA relocation delay.
+    RelocationDelay,
+    /// System display name.
+    System,
+    /// Workload name.
+    Workload,
+}
+
+impl Axis {
+    /// Every axis, in report-column order.
+    pub const ALL: [Axis; 9] = [
+        Axis::Nodes,
+        Axis::ProcsPerNode,
+        Axis::PageBytes,
+        Axis::BlockBytes,
+        Axis::Cost,
+        Axis::Thresholds,
+        Axis::RelocationDelay,
+        Axis::System,
+        Axis::Workload,
+    ];
+
+    /// Short lowercase name used in CSV/JSON columns.
+    pub fn name(self) -> &'static str {
+        match self {
+            Axis::Nodes => "nodes",
+            Axis::ProcsPerNode => "procs_per_node",
+            Axis::PageBytes => "page_bytes",
+            Axis::BlockBytes => "block_bytes",
+            Axis::Cost => "cost",
+            Axis::Thresholds => "thresholds",
+            Axis::RelocationDelay => "relocation_delay",
+            Axis::System => "system",
+            Axis::Workload => "workload",
+        }
+    }
+}
+
+/// Where one sweep point sits on every axis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AxisValues {
+    /// Cluster nodes.
+    pub nodes: u16,
+    /// Processors per node.
+    pub procs_per_node: u16,
+    /// Page size in bytes.
+    pub page_bytes: u64,
+    /// Cache-block size in bytes.
+    pub block_bytes: u64,
+    /// Cost-model axis label (`"default"` when the axis is not swept).
+    pub cost: String,
+    /// Thresholds axis label (`"default"` when the axis is not swept).
+    pub thresholds: String,
+    /// Relocation-delay axis value (`None` when the axis is not swept).
+    pub relocation_delay: Option<u64>,
+    /// System display name.
+    pub system: String,
+    /// Workload name.
+    pub workload: String,
+}
+
+impl AxisValues {
+    /// This point's value on `axis`, rendered for grouping and reports.
+    pub fn value(&self, axis: Axis) -> String {
+        match axis {
+            Axis::Nodes => self.nodes.to_string(),
+            Axis::ProcsPerNode => self.procs_per_node.to_string(),
+            Axis::PageBytes => self.page_bytes.to_string(),
+            Axis::BlockBytes => self.block_bytes.to_string(),
+            Axis::Cost => self.cost.clone(),
+            Axis::Thresholds => self.thresholds.clone(),
+            Axis::RelocationDelay => self
+                .relocation_delay
+                .map_or_else(|| "default".to_string(), |d| d.to_string()),
+            Axis::System => self.system.clone(),
+            Axis::Workload => self.workload.clone(),
+        }
+    }
+}
+
+/// Where a sweep's traces come from.
+#[derive(Debug, Clone)]
+enum WorkloadSpec {
+    /// A named Table 2 workload, stream-generated per job at the job
+    /// machine's topology.
+    Named(String),
+    /// A pre-built trace supplied by the caller (fixed topology: the sweep
+    /// must not sweep machine axes across it).
+    Trace(ProgramTrace),
+    /// A recorded trace file, re-opened and streamed per job.
+    Replay(PathBuf),
+}
+
+impl WorkloadSpec {
+    fn display_name(&self) -> String {
+        match self {
+            WorkloadSpec::Named(n) => n.clone(),
+            WorkloadSpec::Trace(t) => t.name.clone(),
+            WorkloadSpec::Replay(p) => ReplaySource::open(p)
+                .unwrap_or_else(|e| panic!("cannot open replay file {p:?}: {e}"))
+                .name()
+                .to_string(),
+        }
+    }
+}
+
+/// One materialized job of a sweep: the machine, the system and the
+/// workload it will simulate, plus its axis address.
+#[derive(Debug, Clone)]
+pub struct ParamPoint {
+    /// The materialized machine (topology + geometry + L1).
+    pub machine: MachineConfig,
+    /// The materialized system configuration.
+    pub system: SystemConfig,
+    /// Axis address of this point.
+    pub axes: AxisValues,
+    /// Index into the sweep's workload list.
+    workload_index: usize,
+}
+
+/// The cartesian product a sweep will run: baseline jobs (one per
+/// machine-point x cost x workload) plus every compared point.
+#[derive(Debug, Clone)]
+pub struct ParamSpace {
+    /// Baseline jobs, in enumeration order.
+    pub baselines: Vec<ParamPoint>,
+    /// Compared-system jobs, in enumeration order (machine axes outermost,
+    /// then cost, workload, thresholds, relocation delay, system).
+    pub points: Vec<ParamPoint>,
+}
+
+impl ParamSpace {
+    /// Total simulations the sweep will run.
+    pub fn len(&self) -> usize {
+        self.baselines.len() + self.points.len()
+    }
+
+    /// `true` if the space is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Builder for a parameter-space sweep.  See the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct Sweep {
+    name: String,
+    base: MachineConfig,
+    nodes: Vec<u16>,
+    procs_per_node: Vec<u16>,
+    page_bytes: Vec<u64>,
+    block_bytes: Vec<u64>,
+    costs: Vec<(String, CostModel)>,
+    thresholds: Vec<(String, Thresholds)>,
+    relocation_delays: Vec<u64>,
+    systems: Vec<SystemConfig>,
+    baseline: SystemConfig,
+    workloads: Vec<WorkloadSpec>,
+    scale: ExperimentScale,
+    threads: usize,
+}
+
+impl Sweep {
+    /// Start a sweep named `name` on the paper's base machine, normalized
+    /// against perfect CC-NUMA, over all seven Table 2 workloads at reduced
+    /// scale.
+    pub fn new(name: impl Into<String>) -> Self {
+        Sweep {
+            name: name.into(),
+            base: MachineConfig::PAPER,
+            nodes: Vec::new(),
+            procs_per_node: Vec::new(),
+            page_bytes: Vec::new(),
+            block_bytes: Vec::new(),
+            costs: Vec::new(),
+            thresholds: Vec::new(),
+            relocation_delays: Vec::new(),
+            systems: Vec::new(),
+            baseline: dsm_core::System::perfect_cc_numa().build(),
+            workloads: splash_workloads::names()
+                .into_iter()
+                .map(|n| WorkloadSpec::Named(n.to_string()))
+                .collect(),
+            scale: ExperimentScale::Reduced,
+            threads: default_threads(),
+        }
+    }
+
+    /// The base machine axes default to (its L1 sizing also rides along).
+    pub fn machine(mut self, base: MachineConfig) -> Self {
+        self.base = base;
+        self
+    }
+
+    /// Sweep the cluster-node count.
+    pub fn cluster_nodes(mut self, nodes: impl IntoIterator<Item = u16>) -> Self {
+        self.nodes = nodes.into_iter().collect();
+        self
+    }
+
+    /// Sweep the processors-per-node count.
+    pub fn procs_per_node(mut self, procs: impl IntoIterator<Item = u16>) -> Self {
+        self.procs_per_node = procs.into_iter().collect();
+        self
+    }
+
+    /// Sweep the page size (bytes, powers of two).
+    pub fn page_bytes(mut self, sizes: impl IntoIterator<Item = u64>) -> Self {
+        self.page_bytes = sizes.into_iter().collect();
+        self
+    }
+
+    /// Sweep the cache-block size (bytes, powers of two).
+    pub fn block_bytes(mut self, sizes: impl IntoIterator<Item = u64>) -> Self {
+        self.block_bytes = sizes.into_iter().collect();
+        self
+    }
+
+    /// Add a labeled cost-model axis value.  The cost axis applies to the
+    /// baseline too, so each point normalizes against a baseline with the
+    /// same costs (the paper's Figure 7 discipline).
+    pub fn cost(mut self, label: impl Into<String>, costs: CostModel) -> Self {
+        self.costs.push((label.into(), costs));
+        self
+    }
+
+    /// Add a labeled thresholds axis value (applies to compared systems
+    /// only; the baseline has no policies).
+    pub fn thresholds(mut self, label: impl Into<String>, thresholds: Thresholds) -> Self {
+        self.thresholds.push((label.into(), thresholds));
+        self
+    }
+
+    /// Sweep the R-NUMA relocation delay (applies to compared systems only).
+    pub fn relocation_delays(mut self, delays: impl IntoIterator<Item = u64>) -> Self {
+        self.relocation_delays = delays.into_iter().collect();
+        self
+    }
+
+    /// Add a compared system template.  Axis values (cost, thresholds,
+    /// delay) are folded onto a clone of the template per point.
+    pub fn system(mut self, system: SystemConfig) -> Self {
+        self.systems.push(system);
+        self
+    }
+
+    /// Add every system of a preset [`SystemSet`] (and adopt its baseline).
+    pub fn system_set(mut self, set: SystemSet) -> Self {
+        self.baseline = set.baseline;
+        self.systems.extend(set.systems);
+        self
+    }
+
+    /// Replace the normalization baseline system (default: perfect
+    /// CC-NUMA).
+    pub fn baseline(mut self, baseline: SystemConfig) -> Self {
+        self.baseline = baseline;
+        self
+    }
+
+    /// Restrict to the given Table 2 workloads.
+    ///
+    /// # Panics
+    /// Panics on a name not in the catalog.
+    pub fn workloads<I, S>(mut self, workloads: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.workloads = workloads
+            .into_iter()
+            .map(|w| {
+                let name = w.into();
+                assert!(by_name(&name).is_some(), "unknown workload {name}");
+                WorkloadSpec::Named(name)
+            })
+            .collect();
+        self
+    }
+
+    /// Run on pre-built traces instead of named workloads.  Traces carry a
+    /// fixed topology, so the sweep must not also sweep machine axes.
+    pub fn traces(mut self, traces: Vec<ProgramTrace>) -> Self {
+        self.workloads = traces.into_iter().map(WorkloadSpec::Trace).collect();
+        self
+    }
+
+    /// Add a recorded trace file as a workload (re-opened and streamed per
+    /// job; see [`mem_trace::replay`]).  Call repeatedly for several files.
+    /// The first call replaces any named-workload selection.
+    pub fn replay(mut self, path: impl Into<PathBuf>) -> Self {
+        if !matches!(self.workloads.first(), Some(WorkloadSpec::Replay(_))) {
+            self.workloads.clear();
+        }
+        self.workloads.push(WorkloadSpec::Replay(path.into()));
+        self
+    }
+
+    /// Problem/parameter scale for named workloads.
+    pub fn scale(mut self, scale: ExperimentScale) -> Self {
+        self.scale = scale;
+        self
+    }
+
+    /// Number of simulation worker threads (at least 1).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Materialize the cartesian parameter space without running it.
+    ///
+    /// # Panics
+    /// Panics if no compared system was added, or if machine axes are swept
+    /// over fixed-topology (pre-built trace) workloads.
+    pub fn space(&self) -> ParamSpace {
+        assert!(
+            !self.systems.is_empty(),
+            "Sweep::system(..) must add at least one compared system"
+        );
+        let nodes = non_empty(&self.nodes, self.base.topology.nodes);
+        let procs = non_empty(&self.procs_per_node, self.base.topology.procs_per_node);
+        let pages = non_empty(&self.page_bytes, self.base.geometry.page_bytes);
+        let blocks = non_empty(&self.block_bytes, self.base.geometry.block_bytes);
+        let machine_points = nodes.len() * procs.len() * pages.len() * blocks.len();
+        if machine_points > 1 {
+            assert!(
+                self.workloads
+                    .iter()
+                    .all(|w| !matches!(w, WorkloadSpec::Trace(_))),
+                "machine axes cannot be swept over pre-built traces \
+                 (their topology is fixed); use named workloads"
+            );
+        }
+        // Option-shaped axes: `None` = inherit from the system template.
+        let costs: Vec<Option<&(String, CostModel)>> = option_axis(&self.costs);
+        let thresholds: Vec<Option<&(String, Thresholds)>> = option_axis(&self.thresholds);
+        let delays: Vec<Option<u64>> = if self.relocation_delays.is_empty() {
+            vec![None]
+        } else {
+            self.relocation_delays.iter().copied().map(Some).collect()
+        };
+
+        let workload_names: Vec<String> = self
+            .workloads
+            .iter()
+            .map(WorkloadSpec::display_name)
+            .collect();
+
+        let mut space = ParamSpace {
+            baselines: Vec::new(),
+            points: Vec::new(),
+        };
+        for &n in &nodes {
+            for &ppn in &procs {
+                for &page in &pages {
+                    for &block in &blocks {
+                        let machine = self
+                            .base
+                            .with_topology(Topology::new(n, ppn))
+                            .with_geometry(Geometry::new(page, block));
+                        for cost in &costs {
+                            for (w, workload) in workload_names.iter().enumerate() {
+                                let axes =
+                                    |system: &SystemConfig, thr: &str, delay: Option<u64>| {
+                                        AxisValues {
+                                            nodes: n,
+                                            procs_per_node: ppn,
+                                            page_bytes: page,
+                                            block_bytes: block,
+                                            cost: cost.map_or_else(
+                                                || "default".to_string(),
+                                                |c| c.0.clone(),
+                                            ),
+                                            thresholds: thr.to_string(),
+                                            relocation_delay: delay,
+                                            system: system.name.clone(),
+                                            workload: workload.clone(),
+                                        }
+                                    };
+                                let mut baseline = self.baseline.clone();
+                                if let Some((_, c)) = cost {
+                                    baseline = baseline.with_costs(*c);
+                                }
+                                space.baselines.push(ParamPoint {
+                                    machine,
+                                    axes: axes(&baseline, "default", None),
+                                    system: baseline,
+                                    workload_index: w,
+                                });
+                                for thr in &thresholds {
+                                    for &delay in &delays {
+                                        for template in &self.systems {
+                                            let mut system = template.clone();
+                                            if let Some((_, c)) = cost {
+                                                system = system.with_costs(*c);
+                                            }
+                                            if let Some((_, t)) = thr {
+                                                system = system.with_thresholds(*t);
+                                            }
+                                            if let Some(d) = delay {
+                                                system.thresholds =
+                                                    system.thresholds.with_relocation_delay(d);
+                                            }
+                                            space.points.push(ParamPoint {
+                                                machine,
+                                                axes: axes(
+                                                    &system,
+                                                    thr.map_or("default", |t| t.0.as_str()),
+                                                    delay,
+                                                ),
+                                                system,
+                                                workload_index: w,
+                                            });
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        space
+    }
+
+    /// Run every job of [`Sweep::space`] (in parallel across worker
+    /// threads; each job streams its own deterministic trace) and collect a
+    /// [`SweepResult`] with every point normalized against its baseline.
+    ///
+    /// # Panics
+    /// Panics on an invalid space (see [`Sweep::space`]), a worker-thread
+    /// panic, an unreadable replay file, or a trace/machine topology
+    /// mismatch.
+    pub fn run(self) -> SweepResult {
+        let space = self.space();
+        let scale = self.scale;
+        let workloads = &self.workloads;
+
+        let run_job = |point: &ParamPoint| -> (SimResult, f64) {
+            let sim = ClusterSimulator::new(point.machine, point.system.clone());
+            let start = std::time::Instant::now();
+            let result = match &workloads[point.workload_index] {
+                WorkloadSpec::Named(name) => {
+                    let workload =
+                        by_name(name).unwrap_or_else(|| panic!("unknown workload {name}"));
+                    let cfg = WorkloadConfig::at_scale(scale.workload_scale())
+                        .with_topology(point.machine.topology);
+                    let mut stream = splash_workloads::stream(workload, cfg);
+                    sim.run_source(&mut stream)
+                }
+                WorkloadSpec::Trace(trace) => sim.run(trace),
+                WorkloadSpec::Replay(path) => {
+                    let mut replay = ReplaySource::open(path)
+                        .unwrap_or_else(|e| panic!("cannot open replay file {path:?}: {e}"));
+                    sim.run_source(&mut replay)
+                }
+            };
+            (result, start.elapsed().as_secs_f64())
+        };
+
+        // One flat job list over both tables; each worker claims the next
+        // unclaimed job.  Placement is by index, so the result order is
+        // deterministic regardless of thread interleaving.
+        let n_base = space.baselines.len();
+        let n_jobs = n_base + space.points.len();
+        let threads = self.threads.min(n_jobs).max(1);
+        let table: Mutex<Vec<Option<(SimResult, f64)>>> = Mutex::new(vec![None; n_jobs]);
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n_jobs {
+                        break;
+                    }
+                    let point = if i < n_base {
+                        &space.baselines[i]
+                    } else {
+                        &space.points[i - n_base]
+                    };
+                    let outcome = run_job(point);
+                    table.lock().expect("result table poisoned")[i] = Some(outcome);
+                });
+            }
+        });
+        let mut outcomes = table.into_inner().expect("result table poisoned");
+
+        let baselines: Vec<BaselinePoint> = space
+            .baselines
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let (result, elapsed_seconds) =
+                    outcomes[i].take().expect("baseline job result missing");
+                BaselinePoint {
+                    axes: p.axes.clone(),
+                    result,
+                    elapsed_seconds,
+                }
+            })
+            .collect();
+        let points = space
+            .points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let (result, elapsed_seconds) = outcomes[n_base + i]
+                    .take()
+                    .expect("point job result missing");
+                // Pair against the space's baseline ParamPoints, which carry
+                // the workload *index* — display names may collide (two
+                // replay files recorded from the same generator), and axes
+                // alone would then pick the wrong baseline.
+                let baseline_at = space
+                    .baselines
+                    .iter()
+                    .position(|b| shares_baseline_point(b, p))
+                    .expect("every point has a baseline at its machine/cost/workload");
+                let baseline = &baselines[baseline_at];
+                let normalized_time = result.normalized_against(&baseline.result);
+                PointResult {
+                    axes: p.axes.clone(),
+                    normalized_time,
+                    baseline_time: baseline.result.execution_time,
+                    result,
+                    elapsed_seconds,
+                }
+            })
+            .collect();
+
+        SweepResult {
+            name: self.name,
+            baseline_system: self.baseline.name,
+            baselines,
+            points,
+        }
+    }
+}
+
+/// `true` if `point` normalizes against `baseline`: same machine point,
+/// cost label, and the same workload *by index* (display names may
+/// collide).
+fn shares_baseline_point(baseline: &ParamPoint, point: &ParamPoint) -> bool {
+    baseline.workload_index == point.workload_index
+        && baseline.axes.nodes == point.axes.nodes
+        && baseline.axes.procs_per_node == point.axes.procs_per_node
+        && baseline.axes.page_bytes == point.axes.page_bytes
+        && baseline.axes.block_bytes == point.axes.block_bytes
+        && baseline.axes.cost == point.axes.cost
+}
+
+fn non_empty<T: Copy>(axis: &[T], default: T) -> Vec<T> {
+    if axis.is_empty() {
+        vec![default]
+    } else {
+        axis.to_vec()
+    }
+}
+
+fn option_axis<T>(axis: &[T]) -> Vec<Option<&T>> {
+    if axis.is_empty() {
+        vec![None]
+    } else {
+        axis.iter().map(Some).collect()
+    }
+}
+
+/// One simulated sweep point with its normalization.
+#[derive(Debug, Clone)]
+pub struct PointResult {
+    /// Axis address.
+    pub axes: AxisValues,
+    /// The full simulation result (per-node counters, traffic matrix).
+    pub result: SimResult,
+    /// Execution time of the matching baseline job.
+    pub baseline_time: Cycles,
+    /// `result.execution_time / baseline_time` — the paper's normalized
+    /// execution time at this point.
+    pub normalized_time: f64,
+    /// Wall-clock seconds the job took (perf trajectory; never feeds
+    /// simulation results).
+    pub elapsed_seconds: f64,
+}
+
+impl PointResult {
+    /// The point's metric bundle (see [`MetricSet`]).
+    pub fn metrics(&self) -> MetricSet {
+        MetricSet::of(&self.result, self.normalized_time)
+    }
+}
+
+/// One simulated baseline job.
+#[derive(Debug, Clone)]
+pub struct BaselinePoint {
+    /// Axis address (system = the baseline system; thresholds/delay axes
+    /// are `"default"`/`None`, as the baseline has no policies).
+    pub axes: AxisValues,
+    /// The full simulation result.
+    pub result: SimResult,
+    /// Wall-clock seconds the job took.
+    pub elapsed_seconds: f64,
+}
+
+/// The complete outcome of a sweep.
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    /// Sweep name.
+    pub name: String,
+    /// Display name of the normalization baseline system.
+    pub baseline_system: String,
+    /// Baseline jobs, one per (machine point x cost x workload).
+    pub baselines: Vec<BaselinePoint>,
+    /// Every compared point, in [`ParamSpace`] enumeration order.
+    pub points: Vec<PointResult>,
+}
+
+impl SweepResult {
+    /// Group the points by their value on `axis`, preserving first-seen
+    /// order of the values and point order within each group.
+    pub fn group_by(&self, axis: Axis) -> Vec<(String, Vec<&PointResult>)> {
+        let mut groups: Vec<(String, Vec<&PointResult>)> = Vec::new();
+        for p in &self.points {
+            let v = p.axes.value(axis);
+            match groups.iter_mut().find(|(g, _)| *g == v) {
+                Some((_, members)) => members.push(p),
+                None => groups.push((v, vec![p])),
+            }
+        }
+        groups
+    }
+
+    /// The distinct values of `axis` across the points, first-seen order.
+    pub fn axis_values(&self, axis: Axis) -> Vec<String> {
+        self.group_by(axis).into_iter().map(|(v, _)| v).collect()
+    }
+
+    /// Mean of `metric` over all points (0 for an empty sweep).
+    pub fn mean_metric(&self, metric: Metric) -> f64 {
+        mean(self.points.iter().map(|p| p.metrics().get(metric)))
+    }
+}
+
+fn mean(values: impl Iterator<Item = f64>) -> f64 {
+    let (mut sum, mut n) = (0.0, 0u64);
+    for v in values {
+        sum += v;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+/// Scalar metrics a report can pull out of a point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// Execution time normalized against the point's baseline.
+    NormalizedTime,
+    /// Execution time in cycles.
+    ExecutionTime,
+    /// Remote misses per node.
+    RemoteMissesPerNode,
+    /// Capacity/conflict remote misses per node.
+    RemoteCapacityMissesPerNode,
+    /// Page migrations per node.
+    MigrationsPerNode,
+    /// Page replications per node.
+    ReplicationsPerNode,
+    /// R-NUMA relocations per node.
+    RelocationsPerNode,
+    /// Total interconnect messages.
+    NetworkMessages,
+    /// Total interconnect bytes.
+    NetworkBytes,
+    /// Interconnect bytes per simulated access (the paper's traffic
+    /// currency, comparable across problem scales).
+    BytesPerAccess,
+}
+
+impl Metric {
+    /// Short lowercase name used in CSV/JSON columns.
+    pub fn name(self) -> &'static str {
+        match self {
+            Metric::NormalizedTime => "normalized_time",
+            Metric::ExecutionTime => "execution_time",
+            Metric::RemoteMissesPerNode => "remote_misses_per_node",
+            Metric::RemoteCapacityMissesPerNode => "remote_capacity_misses_per_node",
+            Metric::MigrationsPerNode => "migrations_per_node",
+            Metric::ReplicationsPerNode => "replications_per_node",
+            Metric::RelocationsPerNode => "relocations_per_node",
+            Metric::NetworkMessages => "network_messages",
+            Metric::NetworkBytes => "network_bytes",
+            Metric::BytesPerAccess => "bytes_per_access",
+        }
+    }
+}
+
+/// A point's metric bundle: the scalar metrics plus the per-kind traffic
+/// breakdown (the paper's comparison is fundamentally about traffic).
+#[derive(Debug, Clone)]
+pub struct MetricSet {
+    /// Normalized execution time.
+    pub normalized_time: f64,
+    /// Execution time in cycles.
+    pub execution_time: u64,
+    /// Simulated shared-memory accesses.
+    pub accesses: u64,
+    /// Remote misses per node.
+    pub remote_misses_per_node: f64,
+    /// Capacity/conflict remote misses per node.
+    pub remote_capacity_misses_per_node: f64,
+    /// Page migrations per node.
+    pub migrations_per_node: f64,
+    /// Page replications per node.
+    pub replications_per_node: f64,
+    /// R-NUMA relocations per node.
+    pub relocations_per_node: f64,
+    /// Total interconnect messages.
+    pub network_messages: u64,
+    /// Total interconnect bytes.
+    pub network_bytes: u64,
+    /// Per-kind traffic breakdown: `(kind, messages, bytes)`.
+    pub traffic: Vec<(&'static str, u64, u64)>,
+}
+
+impl MetricSet {
+    /// Extract the bundle from a result.
+    pub fn of(result: &SimResult, normalized_time: f64) -> Self {
+        const KIND_NAMES: [&str; 10] = [
+            "read_request",
+            "read_reply",
+            "write_request",
+            "write_reply",
+            "invalidation",
+            "invalidation_ack",
+            "write_back",
+            "owner_forward",
+            "page_control",
+            "page_data_block",
+        ];
+        MetricSet {
+            normalized_time,
+            execution_time: result.execution_time.raw(),
+            accesses: result.accesses,
+            remote_misses_per_node: result.per_node_remote_misses(),
+            remote_capacity_misses_per_node: result.per_node_remote_capacity_misses(),
+            migrations_per_node: result.per_node_migrations(),
+            replications_per_node: result.per_node_replications(),
+            relocations_per_node: result.per_node_relocations(),
+            network_messages: result.traffic.total_messages(),
+            network_bytes: result.traffic.total_bytes(),
+            traffic: MsgKind::ALL
+                .iter()
+                .zip(KIND_NAMES)
+                .map(|(k, name)| {
+                    (
+                        name,
+                        result.traffic.messages_of(*k),
+                        result.traffic.bytes_of(*k),
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// The value of a scalar [`Metric`].
+    pub fn get(&self, metric: Metric) -> f64 {
+        match metric {
+            Metric::NormalizedTime => self.normalized_time,
+            Metric::ExecutionTime => self.execution_time as f64,
+            Metric::RemoteMissesPerNode => self.remote_misses_per_node,
+            Metric::RemoteCapacityMissesPerNode => self.remote_capacity_misses_per_node,
+            Metric::MigrationsPerNode => self.migrations_per_node,
+            Metric::ReplicationsPerNode => self.replications_per_node,
+            Metric::RelocationsPerNode => self.relocations_per_node,
+            Metric::NetworkMessages => self.network_messages as f64,
+            Metric::NetworkBytes => self.network_bytes as f64,
+            Metric::BytesPerAccess => {
+                if self.accesses == 0 {
+                    0.0
+                } else {
+                    self.network_bytes as f64 / self.accesses as f64
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsm_core::{MigRep, System};
+
+    fn small_thresholds() -> Thresholds {
+        Thresholds {
+            migrep_threshold: 250,
+            migrep_reset_interval: 8_000,
+            rnuma_threshold: 8,
+            rnuma_relocation_delay: 0,
+        }
+    }
+
+    #[test]
+    fn space_enumerates_the_cartesian_product() {
+        let sweep = Sweep::new("space")
+            .cluster_nodes([2, 4])
+            .page_bytes([2048, 4096])
+            .block_bytes([64, 128])
+            .cost("base", CostModel::base())
+            .cost("slow", CostModel::slow())
+            .system(System::cc_numa().build())
+            .system(System::r_numa().build())
+            .workloads(["lu"]);
+        let space = sweep.space();
+        // machine points: 2 nodes x 2 pages x 2 blocks = 8; costs 2;
+        // workloads 1 -> 16 baselines; x 2 systems -> 32 points.
+        assert_eq!(space.baselines.len(), 16);
+        assert_eq!(space.points.len(), 32);
+        assert_eq!(space.len(), 48);
+        assert!(!space.is_empty());
+        // Geometry actually materializes per point.
+        let geometries: std::collections::BTreeSet<(u64, u64)> = space
+            .points
+            .iter()
+            .map(|p| {
+                (
+                    p.machine.geometry.page_bytes,
+                    p.machine.geometry.block_bytes,
+                )
+            })
+            .collect();
+        assert_eq!(geometries.len(), 4);
+        // The L1 line size follows the block-size axis.
+        for p in &space.points {
+            assert_eq!(p.machine.l1.block_bytes, p.axes.block_bytes);
+        }
+    }
+
+    #[test]
+    fn single_point_sweep_matches_a_direct_simulation() {
+        let t = small_thresholds();
+        let system = System::cc_numa().with(MigRep::both()).with(t).build();
+        let result = Sweep::new("single")
+            .system(system.clone())
+            .workloads(["ocean"])
+            .threads(2)
+            .run();
+        assert_eq!(result.points.len(), 1);
+        assert_eq!(result.baselines.len(), 1);
+        let trace = by_name("ocean")
+            .unwrap()
+            .generate(&WorkloadConfig::reduced());
+        let direct = ClusterSimulator::new(MachineConfig::PAPER, system).run(&trace);
+        assert_eq!(result.points[0].result, direct);
+        assert!(result.points[0].normalized_time >= 0.99);
+        assert_eq!(result.baseline_system, "Perfect-CC-NUMA");
+    }
+
+    #[test]
+    fn group_by_covers_every_axis() {
+        let result = Sweep::new("grid")
+            .cluster_nodes([2, 4])
+            .block_bytes([64, 128])
+            .system(System::cc_numa().build())
+            .workloads(["ocean"])
+            .threads(8)
+            .run();
+        assert_eq!(result.points.len(), 4);
+        assert_eq!(result.axis_values(Axis::Nodes), vec!["2", "4"]);
+        assert_eq!(result.axis_values(Axis::BlockBytes), vec!["64", "128"]);
+        assert_eq!(result.axis_values(Axis::Workload), vec!["ocean"]);
+        for (value, members) in result.group_by(Axis::Nodes) {
+            assert_eq!(members.len(), 2, "nodes={value}");
+            for p in members {
+                assert_eq!(p.axes.value(Axis::Nodes), value);
+                assert_eq!(p.result.per_node.len(), p.axes.nodes as usize);
+            }
+        }
+        assert!(result.mean_metric(Metric::NormalizedTime) > 0.0);
+        // Block size scales per-message data bytes: the 128-byte points
+        // move at least as many bytes per message as the 64-byte points.
+        let by_block = result.group_by(Axis::BlockBytes);
+        let bytes_of = |points: &Vec<&PointResult>| {
+            mean(
+                points
+                    .iter()
+                    .map(|p| p.metrics().get(Metric::BytesPerAccess)),
+            )
+        };
+        assert!(bytes_of(&by_block[1].1) > 0.0);
+        assert!(bytes_of(&by_block[0].1) > 0.0);
+    }
+
+    #[test]
+    fn cost_axis_renormalizes_the_baseline() {
+        let result = Sweep::new("costs")
+            .cost("base", CostModel::base())
+            .cost("far", CostModel::base().with_remote_latency_factor(4))
+            .system(System::cc_numa().build())
+            .workloads(["ocean"])
+            .threads(4)
+            .run();
+        assert_eq!(result.baselines.len(), 2, "one baseline per cost point");
+        assert_eq!(result.points.len(), 2);
+        for p in &result.points {
+            assert!(p.normalized_time >= 0.99, "{:?}", p.axes);
+        }
+        // The two points normalize against *different* baselines.
+        assert_ne!(
+            result.points[0].baseline_time,
+            result.points[1].baseline_time
+        );
+    }
+
+    #[test]
+    fn metric_set_carries_the_traffic_breakdown() {
+        let result = Sweep::new("metrics")
+            .system(System::cc_numa().build())
+            .workloads(["ocean"])
+            .threads(2)
+            .run();
+        let m = result.points[0].metrics();
+        assert_eq!(m.traffic.len(), 10);
+        let total: u64 = m.traffic.iter().map(|(_, msgs, _)| msgs).sum();
+        assert_eq!(total, m.network_messages);
+        let bytes: u64 = m.traffic.iter().map(|(_, _, b)| b).sum();
+        assert_eq!(bytes, m.network_bytes);
+        assert!(m.get(Metric::BytesPerAccess) > 0.0);
+        assert!(m.get(Metric::NetworkMessages) > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one compared system")]
+    fn sweep_without_systems_panics() {
+        let _ = Sweep::new("empty").workloads(["ocean"]).space();
+    }
+
+    #[test]
+    #[should_panic(expected = "machine axes cannot be swept over pre-built traces")]
+    fn machine_axes_over_fixed_traces_are_rejected() {
+        use mem_trace::{GlobalAddr, ProcId, TraceBuilder};
+        let mut b = TraceBuilder::new("fixed", Topology::PAPER);
+        b.read(ProcId(0), GlobalAddr(0));
+        let _ = Sweep::new("bad")
+            .cluster_nodes([8, 16])
+            .system(System::cc_numa().build())
+            .traces(vec![b.build()])
+            .space();
+    }
+}

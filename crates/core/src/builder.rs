@@ -31,8 +31,8 @@
 //! paper's name for the composition ("CC-NUMA", "Rep", "Mig", "MigRep",
 //! "R-NUMA", "R-NUMA-Inf", "R-NUMA-1/2", "R-NUMA-1/2+MigRep", ...).
 //!
-//! Third-party [`RelocationPolicy`](crate::policy::RelocationPolicy)
-//! implementations are attached with [`SystemBuilder::policy`]; see the
+//! Third-party [`RelocationPolicy`] implementations are attached with
+//! [`SystemBuilder::policy`]; see the
 //! [`policy`](crate::policy) module documentation for a worked example.
 
 use crate::config::{MigRepConfig, SystemConfig};

@@ -7,11 +7,10 @@
 //! migration and/or replication, R-NUMA with a finite or infinite page
 //! cache, or the R-NUMA+MigRep hybrid of Section 6.4.
 
-use crate::builder::{MigRep, PageCaching, System};
 use crate::cost::{CostModel, Thresholds};
 use crate::policy::PolicyFactory;
 use dsm_protocol::{BlockCacheConfig, PageCacheConfig};
-use mem_trace::Topology;
+use mem_trace::{Geometry, Topology};
 use smp_node::CacheConfig;
 
 /// Hardware common to every system in a comparison.
@@ -19,14 +18,19 @@ use smp_node::CacheConfig;
 pub struct MachineConfig {
     /// Cluster topology (nodes x processors per node).
     pub topology: Topology,
+    /// Address-space geometry (page and cache-block sizes).  Traces carry
+    /// byte addresses, so the same trace sweeps across geometries.
+    pub geometry: Geometry,
     /// Per-processor data cache.
     pub l1: CacheConfig,
 }
 
 impl MachineConfig {
-    /// The paper's machine: 8 nodes x 4 processors, 16-KB direct-mapped L1s.
+    /// The paper's machine: 8 nodes x 4 processors, 4-KB pages, 64-byte
+    /// blocks, 16-KB direct-mapped L1s.
     pub const PAPER: MachineConfig = MachineConfig {
         topology: Topology::PAPER,
+        geometry: Geometry::PAPER,
         l1: CacheConfig::PAPER_L1,
     };
 
@@ -34,11 +38,27 @@ impl MachineConfig {
     pub fn tiny() -> Self {
         MachineConfig {
             topology: Topology::new(2, 2),
+            geometry: Geometry::PAPER,
             l1: CacheConfig {
                 size_bytes: 4 * 1024,
                 block_bytes: mem_trace::BLOCK_SIZE,
             },
         }
+    }
+
+    /// Replace the cluster topology.
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    /// Replace the address-space geometry.  The L1's line size follows the
+    /// geometry's block size (coherence and cache lines are the same unit in
+    /// this model).
+    pub fn with_geometry(mut self, geometry: Geometry) -> Self {
+        self.geometry = geometry;
+        self.l1.block_bytes = geometry.block_bytes;
+        self
     }
 }
 
@@ -77,9 +97,11 @@ impl MigRepConfig {
 
 /// A complete system configuration.
 ///
-/// Built with the [`System`] / [`SystemBuilder`](crate::SystemBuilder)
-/// API; the inherent constructors below are deprecated shims kept so that
-/// old-vs-new parity can be proven test-for-test.
+/// Built with the [`System`](crate::System) /
+/// [`SystemBuilder`](crate::SystemBuilder) API.  (The deprecated
+/// `SystemConfig::*` constructors are gone; the behaviour they pinned is
+/// now guarded by the golden-snapshot parity tests in
+/// `tests/api_parity.rs`.)
 #[derive(Debug, Clone, PartialEq)]
 pub struct SystemConfig {
     /// Display name used in reports ("CC-NUMA", "R-NUMA", ...).
@@ -103,98 +125,6 @@ pub struct SystemConfig {
 }
 
 impl SystemConfig {
-    /// Base CC-NUMA with the paper's 64-KB block cache.
-    #[deprecated(since = "0.1.0", note = "use `System::cc_numa().build()`")]
-    pub fn cc_numa() -> Self {
-        System::cc_numa().build()
-    }
-
-    /// Perfect CC-NUMA: an infinite block cache.  Every figure in the paper
-    /// is normalized against this system.
-    #[deprecated(since = "0.1.0", note = "use `System::perfect_cc_numa().build()`")]
-    pub fn perfect_cc_numa() -> Self {
-        System::perfect_cc_numa().build()
-    }
-
-    /// CC-NUMA with page replication only ("Rep").
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `System::cc_numa().with(MigRep::replication_only()).build()`"
-    )]
-    pub fn cc_numa_rep() -> Self {
-        System::cc_numa().with(MigRep::replication_only()).build()
-    }
-
-    /// CC-NUMA with page migration only ("Mig").
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `System::cc_numa().with(MigRep::migration_only()).build()`"
-    )]
-    pub fn cc_numa_mig() -> Self {
-        System::cc_numa().with(MigRep::migration_only()).build()
-    }
-
-    /// CC-NUMA with both page migration and replication ("MigRep").
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `System::cc_numa().with(MigRep::both()).build()`"
-    )]
-    pub fn cc_numa_migrep() -> Self {
-        System::cc_numa().with(MigRep::both()).build()
-    }
-
-    /// R-NUMA with the given page cache (no block cache).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `System::r_numa().with(PageCaching::config(..)).build()`"
-    )]
-    pub fn r_numa_with(page_cache: PageCacheConfig) -> Self {
-        System::r_numa()
-            .with(PageCaching::config(page_cache))
-            .named("R-NUMA")
-            .build()
-    }
-
-    /// R-NUMA with the paper's base 2.4-MB page cache.
-    #[deprecated(since = "0.1.0", note = "use `System::r_numa().build()`")]
-    pub fn r_numa() -> Self {
-        System::r_numa().build()
-    }
-
-    /// R-NUMA with an infinite page cache ("R-NUMA-Inf").
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `System::r_numa().with(PageCaching::infinite()).build()`"
-    )]
-    pub fn r_numa_inf() -> Self {
-        System::r_numa().with(PageCaching::infinite()).build()
-    }
-
-    /// R-NUMA with half the base page cache ("R-NUMA-1/2", Section 6.4).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `System::r_numa().with(PageCaching::half()).build()`"
-    )]
-    pub fn r_numa_half() -> Self {
-        System::r_numa().with(PageCaching::half()).build()
-    }
-
-    /// The R-NUMA+MigRep hybrid of Section 6.4: R-NUMA with half the page
-    /// cache, page migration/replication enabled, and relocation delayed
-    /// until a page has seen `relocation_delay` misses.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `System::r_numa().with(PageCaching::half()).with(MigRep::both()).relocation_delay(..).build()`"
-    )]
-    pub fn r_numa_migrep(page_cache: PageCacheConfig, relocation_delay: u64) -> Self {
-        System::r_numa()
-            .with(PageCaching::config(page_cache))
-            .with(MigRep::both())
-            .relocation_delay(relocation_delay)
-            .named("R-NUMA-1/2+MigRep")
-            .build()
-    }
-
     /// Replace the cost model (e.g. [`CostModel::slow`]).
     pub fn with_costs(mut self, costs: CostModel) -> Self {
         self.costs = costs;
@@ -226,105 +156,66 @@ impl SystemConfig {
 }
 
 #[cfg(test)]
-// The deprecated constructors are exercised deliberately: they are the
-// compatibility shims whose behaviour the builder must reproduce.
-#[allow(deprecated)]
 mod tests {
     use super::*;
-    use crate::builder::PageCaching;
-
-    #[test]
-    fn shims_reproduce_the_builder_output() {
-        assert_eq!(SystemConfig::cc_numa(), System::cc_numa().build());
-        assert_eq!(
-            SystemConfig::perfect_cc_numa(),
-            System::perfect_cc_numa().build()
-        );
-        assert_eq!(
-            SystemConfig::cc_numa_migrep(),
-            System::cc_numa().with(MigRep::both()).build()
-        );
-        assert_eq!(SystemConfig::r_numa(), System::r_numa().build());
-        assert_eq!(
-            SystemConfig::r_numa_half(),
-            System::r_numa().with(PageCaching::half()).build()
-        );
-        assert_eq!(
-            SystemConfig::r_numa_migrep(PageCacheConfig::PAPER_HALF, 32_000),
-            System::r_numa()
-                .with(PageCaching::half())
-                .with(MigRep::both())
-                .relocation_delay(32_000)
-                .build()
-        );
-    }
+    use crate::builder::{MigRep, PageCaching, System};
 
     #[test]
     fn cc_numa_variants_share_the_block_cache() {
         for cfg in [
-            SystemConfig::cc_numa(),
-            SystemConfig::cc_numa_rep(),
-            SystemConfig::cc_numa_mig(),
-            SystemConfig::cc_numa_migrep(),
+            System::cc_numa().build(),
+            System::cc_numa().with(MigRep::replication_only()).build(),
+            System::cc_numa().with(MigRep::migration_only()).build(),
+            System::cc_numa().with(MigRep::both()).build(),
         ] {
             assert_eq!(cfg.block_cache, Some(BlockCacheConfig::PAPER));
             assert!(cfg.page_cache.is_none());
             assert!(!cfg.is_rnuma());
         }
-        assert!(!SystemConfig::cc_numa().has_migrep());
-        assert!(SystemConfig::cc_numa_migrep().has_migrep());
+        assert!(!System::cc_numa().build().has_migrep());
+        assert!(System::cc_numa().with(MigRep::both()).build().has_migrep());
         assert_eq!(
-            SystemConfig::cc_numa_rep().migrep,
+            System::cc_numa()
+                .with(MigRep::replication_only())
+                .build()
+                .migrep,
             Some(MigRepConfig::REPLICATION_ONLY)
         );
         assert_eq!(
-            SystemConfig::cc_numa_mig().migrep,
+            System::cc_numa()
+                .with(MigRep::migration_only())
+                .build()
+                .migrep,
             Some(MigRepConfig::MIGRATION_ONLY)
         );
     }
 
     #[test]
-    fn perfect_cc_numa_has_infinite_block_cache() {
-        let cfg = SystemConfig::perfect_cc_numa();
-        assert_eq!(cfg.block_cache, Some(BlockCacheConfig::Infinite));
-    }
-
-    #[test]
     fn r_numa_variants_have_no_block_cache() {
         for cfg in [
-            SystemConfig::r_numa(),
-            SystemConfig::r_numa_inf(),
-            SystemConfig::r_numa_half(),
+            System::r_numa().build(),
+            System::r_numa().with(PageCaching::infinite()).build(),
+            System::r_numa().with(PageCaching::half()).build(),
         ] {
             assert!(cfg.block_cache.is_none());
             assert!(cfg.is_rnuma());
             assert!(!cfg.has_migrep());
         }
         assert_eq!(
-            SystemConfig::r_numa().page_cache,
+            System::r_numa().build().page_cache,
             Some(PageCacheConfig::PAPER)
         );
         assert_eq!(
-            SystemConfig::r_numa_half().page_cache,
-            Some(PageCacheConfig::PAPER_HALF)
+            System::perfect_cc_numa().build().block_cache,
+            Some(BlockCacheConfig::Infinite)
         );
-        assert_eq!(
-            SystemConfig::r_numa_inf().page_cache,
-            Some(PageCacheConfig::Infinite)
-        );
-    }
-
-    #[test]
-    fn hybrid_has_both_mechanisms_and_a_delay() {
-        let cfg = SystemConfig::r_numa_migrep(PageCacheConfig::PAPER_HALF, 32_000);
-        assert!(cfg.is_rnuma());
-        assert!(cfg.has_migrep());
-        assert_eq!(cfg.thresholds.rnuma_relocation_delay, 32_000);
     }
 
     #[test]
     fn builders_compose() {
-        let cfg = SystemConfig::cc_numa_migrep()
+        let cfg = System::cc_numa()
+            .with(MigRep::both())
+            .build()
             .with_costs(CostModel::slow())
             .with_thresholds(Thresholds::paper_slow())
             .named("MigRep-Slow");
@@ -337,7 +228,21 @@ mod tests {
     fn machine_configs() {
         assert_eq!(MachineConfig::PAPER.topology.total_procs(), 32);
         assert_eq!(MachineConfig::PAPER.l1.size_bytes, 16 * 1024);
+        assert_eq!(MachineConfig::PAPER.geometry, Geometry::PAPER);
         let tiny = MachineConfig::tiny();
         assert_eq!(tiny.topology.total_procs(), 4);
+    }
+
+    #[test]
+    fn machine_axes_compose() {
+        let m = MachineConfig::PAPER
+            .with_topology(Topology::new(96, 1))
+            .with_geometry(Geometry::new(8192, 128));
+        assert_eq!(m.topology.total_procs(), 96);
+        assert_eq!(m.geometry.blocks_per_page(), 64);
+        assert_eq!(
+            m.l1.block_bytes, 128,
+            "the L1 line size follows the geometry's block size"
+        );
     }
 }

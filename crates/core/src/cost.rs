@@ -91,27 +91,61 @@ impl CostModel {
 
     /// Interpolate a per-page operation cost between `min` and `max`
     /// according to how many of the page's blocks are involved.
-    fn scaled(min: Cycles, max: Cycles, blocks: u32) -> Cycles {
-        let blocks = u64::from(blocks).min(BLOCKS_PER_PAGE);
+    fn scaled(min: Cycles, max: Cycles, blocks: u32, blocks_per_page: u64) -> Cycles {
+        let blocks = u64::from(blocks).min(blocks_per_page);
         let span = max.raw().saturating_sub(min.raw());
-        Cycles::new(min.raw() + span * blocks / BLOCKS_PER_PAGE)
+        Cycles::new(min.raw() + span * blocks / blocks_per_page)
     }
 
     /// Cost of a page allocation, replacement, or R-NUMA relocation that
-    /// flushes `blocks_flushed` blocks.
+    /// flushes `blocks_flushed` blocks, at the paper's 64-blocks-per-page
+    /// geometry.
     pub fn page_alloc_cost(&self, blocks_flushed: u32) -> Cycles {
-        Self::scaled(self.page_alloc_min, self.page_alloc_max, blocks_flushed)
+        self.page_alloc_cost_at(blocks_flushed, BLOCKS_PER_PAGE)
+    }
+
+    /// [`CostModel::page_alloc_cost`] for a page of `blocks_per_page`
+    /// blocks (the interpolation endpoint moves with the swept geometry).
+    pub fn page_alloc_cost_at(&self, blocks_flushed: u32, blocks_per_page: u64) -> Cycles {
+        Self::scaled(
+            self.page_alloc_min,
+            self.page_alloc_max,
+            blocks_flushed,
+            blocks_per_page,
+        )
     }
 
     /// Cost of page invalidation and data gathering when `blocks_cached`
-    /// blocks are cached somewhere in the cluster.
+    /// blocks are cached somewhere in the cluster (paper geometry).
     pub fn page_gather_cost(&self, blocks_cached: u32) -> Cycles {
-        Self::scaled(self.page_gather_min, self.page_gather_max, blocks_cached)
+        self.page_gather_cost_at(blocks_cached, BLOCKS_PER_PAGE)
     }
 
-    /// Cost of copying a page of which `blocks_valid` blocks hold data.
+    /// [`CostModel::page_gather_cost`] for a page of `blocks_per_page`
+    /// blocks.
+    pub fn page_gather_cost_at(&self, blocks_cached: u32, blocks_per_page: u64) -> Cycles {
+        Self::scaled(
+            self.page_gather_min,
+            self.page_gather_max,
+            blocks_cached,
+            blocks_per_page,
+        )
+    }
+
+    /// Cost of copying a page of which `blocks_valid` blocks hold data
+    /// (paper geometry).
     pub fn page_copy_cost(&self, blocks_valid: u32) -> Cycles {
-        Self::scaled(self.page_copy_min, self.page_copy_max, blocks_valid)
+        self.page_copy_cost_at(blocks_valid, BLOCKS_PER_PAGE)
+    }
+
+    /// [`CostModel::page_copy_cost`] for a page of `blocks_per_page` blocks.
+    pub fn page_copy_cost_at(&self, blocks_valid: u32, blocks_per_page: u64) -> Cycles {
+        Self::scaled(
+            self.page_copy_min,
+            self.page_copy_max,
+            blocks_valid,
+            blocks_per_page,
+        )
     }
 
     /// Latency of a remote miss that must be forwarded to a dirty third-node

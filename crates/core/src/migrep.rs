@@ -19,7 +19,7 @@
 use crate::config::MigRepConfig;
 use crate::cost::Thresholds;
 use crate::policy::{PolicyStats, RelocationPolicy};
-use mem_trace::{NodeId, PageIdx, PageRef, Slab};
+use mem_trace::{NodeId, PageIdx, PageRef, SharerSet, Slab};
 use smp_node::page_table::PageMapping;
 
 pub use crate::policy::PageOp;
@@ -57,9 +57,10 @@ pub struct MigRepEngine {
     threshold: u64,
     reset_interval: u64,
     counters: Slab<PageCounters>,
-    /// Per-page bitmask of nodes holding read-only replicas, indexed by
-    /// interned page.
-    replicas: Slab<u64>,
+    /// Per-page set of nodes holding read-only replicas, indexed by
+    /// interned page ([`SharerSet`]: inline word for clusters of up to 64
+    /// nodes, boxed bitset beyond).
+    replicas: Slab<SharerSet>,
     /// Operations decided but not yet drained by the simulator.
     pending: Vec<PageOp>,
     migrations: u64,
@@ -97,9 +98,10 @@ impl MigRepEngine {
     ) -> Option<PageOp> {
         let threshold = self.threshold;
         let reset_interval = self.reset_interval;
-        let mask = self.replicas.get(page.idx.index()).copied().unwrap_or(0);
-        let already_replica = mask & (1u64 << requester.index()) != 0;
-        let page_replicated = mask != 0;
+        let (already_replica, page_replicated) = match self.replicas.get(page.idx.index()) {
+            Some(holders) => (holders.contains(requester.index()), !holders.is_empty()),
+            None => (false, false),
+        };
         let counters = self.counters.entry(page.idx.index());
         counters.since_reset += 1;
         if requester == home {
@@ -149,26 +151,29 @@ impl MigRepEngine {
 
     /// `true` if `page` currently has at least one replica.
     pub fn is_replicated(&self, page: PageIdx) -> bool {
-        self.replicas.get(page.index()).copied().unwrap_or(0) != 0
+        self.replicas
+            .get(page.index())
+            .is_some_and(|h| !h.is_empty())
     }
 
     /// `true` if `node` holds a replica of `page`.
     pub fn holds_replica(&self, page: PageIdx, node: NodeId) -> bool {
-        self.replicas.get(page.index()).copied().unwrap_or(0) & (1u64 << node.index()) != 0
+        self.replicas
+            .get(page.index())
+            .is_some_and(|h| h.contains(node.index()))
     }
 
-    /// Nodes holding replicas of `page`.
+    /// Nodes holding replicas of `page`, ascending.
     pub fn replica_holders(&self, page: PageIdx) -> Vec<NodeId> {
-        let mask = self.replicas.get(page.index()).copied().unwrap_or(0);
-        (0..64)
-            .filter(|i| mask & (1u64 << i) != 0)
-            .map(|i| NodeId(i as u16))
-            .collect()
+        self.replicas
+            .get(page.index())
+            .map(SharerSet::nodes)
+            .unwrap_or_default()
     }
 
     /// Record that a replica of `page` was installed on `node`.
     pub fn note_replicated(&mut self, page: PageIdx, node: NodeId) {
-        *self.replicas.entry(page.index()) |= 1u64 << node.index();
+        self.replicas.entry(page.index()).insert(node.index());
         self.replications += 1;
     }
 
@@ -186,7 +191,7 @@ impl MigRepEngine {
     pub fn switch_to_read_write(&mut self, page: PageIdx) -> Vec<NodeId> {
         let holders = self.replica_holders(page);
         if !holders.is_empty() {
-            *self.replicas.entry(page.index()) = 0;
+            self.replicas.entry(page.index()).clear();
             self.switches_to_rw += 1;
             // The sharing pattern changed; restart the page's counters.
             if let Some(c) = self.counters.get_mut(page.index()) {

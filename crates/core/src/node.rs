@@ -3,7 +3,7 @@
 use crate::config::SystemConfig;
 use crate::stats::NodeStats;
 use dsm_protocol::{BlockCache, PageCache};
-use mem_trace::PageIdx;
+use mem_trace::{Geometry, PageIdx};
 use sim_engine::Cycles;
 use smp_node::{CacheConfig, DataCache, MemoryBus, MissClassifier, PageTable};
 
@@ -62,11 +62,16 @@ pub struct NodeState {
 }
 
 impl NodeState {
-    /// Build the per-node hardware prescribed by `system`.
-    pub fn new(node_index: usize, system: &SystemConfig) -> Self {
+    /// Build the per-node hardware prescribed by `system` at the machine's
+    /// address-space `geometry`.
+    pub fn new(node_index: usize, system: &SystemConfig, geometry: Geometry) -> Self {
         NodeState {
-            block_cache: system.block_cache.map(BlockCache::new),
-            page_cache: system.page_cache.map(PageCache::new),
+            block_cache: system
+                .block_cache
+                .map(|c| BlockCache::with_geometry(c, geometry)),
+            page_cache: system
+                .page_cache
+                .map(|c| PageCache::with_geometry(c, geometry)),
             page_table: PageTable::new(),
             bus: MemoryBus::new(node_index),
             stats: NodeStats::default(),
@@ -91,11 +96,11 @@ mod tests {
     #[test]
     fn node_state_builds_hardware_per_system() {
         let machine = MachineConfig::tiny();
-        let cc = NodeState::new(0, &System::cc_numa().build());
+        let cc = NodeState::new(0, &System::cc_numa().build(), machine.geometry);
         assert!(cc.block_cache.is_some());
         assert!(cc.page_cache.is_none());
 
-        let rn = NodeState::new(0, &System::r_numa().build());
+        let rn = NodeState::new(0, &System::r_numa().build(), machine.geometry);
         assert!(rn.block_cache.is_none());
         assert!(rn.page_cache.is_some());
         assert!(!rn.page_in_page_cache(PageIdx(0)));

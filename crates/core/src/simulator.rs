@@ -20,12 +20,12 @@
 use std::collections::{BTreeSet, VecDeque};
 
 use dsm_protocol::block_cache::BlockState;
-use dsm_protocol::directory::{DataSource, Directory, DirectoryState};
+use dsm_protocol::directory::{DataSource, Directory};
 use dsm_protocol::page_cache::AllocOutcome;
 use dsm_protocol::{Interconnect, MsgKind};
 use mem_trace::{
-    AccessKind, BlockRef, MemRef, NodeId, PageInterner, PageRef, ProcId, ProgramTrace, Slab,
-    TraceError, TraceEvent, TraceSource, BLOCKS_PER_PAGE, MAX_LOCK_ID,
+    AccessKind, BlockRef, Geometry, MemRef, NodeId, PageInterner, PageRef, ProcId, ProgramTrace,
+    Slab, TraceError, TraceEvent, TraceSource, MAX_LOCK_ID,
 };
 use sim_engine::{Cycles, ProcScheduler};
 use smp_node::cache::{CacheOutcome, LineState, Victim};
@@ -124,6 +124,10 @@ struct LockState {
 struct RunState<'a> {
     machine: &'a MachineConfig,
     system: &'a SystemConfig,
+    /// The machine's address-space geometry: every page/block decomposition
+    /// and dense-index derivation below goes through this (the paper's
+    /// 4-KB/64-B values reproduce the historical constants exactly).
+    geometry: Geometry,
     procs: Vec<ProcState>,
     nodes: Vec<NodeState>,
     placement: PagePlacement,
@@ -150,24 +154,36 @@ struct RunState<'a> {
 impl<'a> RunState<'a> {
     fn new(machine: &'a MachineConfig, system: &'a SystemConfig) -> Self {
         let total_procs = machine.topology.total_procs();
+        let geometry = machine.geometry;
+        // A hard assert, not debug-only: MachineConfig's fields are public,
+        // and an L1 line size diverging from the coherence unit would yield
+        // internally inconsistent miss/traffic numbers with no other signal.
+        // (One check per run; nowhere near the hot path.)
+        assert_eq!(
+            machine.l1.block_bytes, geometry.block_bytes,
+            "L1 line size must match the machine geometry's block size \
+             (use MachineConfig::with_geometry, which keeps them in sync)"
+        );
         let nodes = (0..machine.topology.nodes as usize)
-            .map(|i| NodeState::new(i, system))
+            .map(|i| NodeState::new(i, system, geometry))
             .collect();
         RunState {
             machine,
             system,
+            geometry,
             procs: (0..total_procs)
                 .map(|_| ProcState::new(machine.l1))
                 .collect(),
             nodes,
             placement: PagePlacement::new(),
-            directory: Directory::new(),
+            directory: Directory::with_geometry(geometry),
             network: Interconnect::new(
                 machine.topology.nodes as usize,
                 system.costs.network_latency,
-            ),
+            )
+            .with_block_bytes(geometry.block_bytes),
             policies: policies_for(system),
-            interner: PageInterner::new(),
+            interner: PageInterner::with_geometry(geometry),
             locks: Slab::new(),
             barrier_waiting: Vec::new(),
             accesses: 0,
@@ -381,9 +397,10 @@ impl<'a> RunState<'a> {
         let node_id = self.machine.topology.node_of(proc_id);
         let nidx = node_id.index();
         // The one hash probe of the access path: everything below keys its
-        // state by the dense indices resolved here.
-        let page = self.interner.intern_ref(m.page());
-        let block = page.block(m.block());
+        // state by the dense indices resolved here, decomposed at the
+        // machine's geometry.
+        let page = self.interner.intern_ref(self.geometry.page_of(m.addr));
+        let block = self.geometry.block_ref_of(page, m.addr);
         let is_write = m.kind.is_write();
         let costs = self.system.costs;
         let mut latency = Cycles::ZERO;
@@ -574,15 +591,7 @@ impl<'a> RunState<'a> {
         match mapping.mode {
             PageMode::LocalHome | PageMode::Replica => {
                 // Data lives in local memory unless a remote node owns it dirty.
-                let entry = self.directory.entry(block.idx);
-                let remote_owner = match entry.state {
-                    DirectoryState::Modified => entry
-                        .sharer_nodes()
-                        .first()
-                        .copied()
-                        .filter(|o| *o != node_id),
-                    _ => None,
-                };
+                let remote_owner = self.directory.owner_of(block.idx).filter(|o| *o != node_id);
                 if is_write {
                     let reply = self.directory.handle_write(block.idx, node_id);
                     for victim in &reply.invalidate {
@@ -895,11 +904,12 @@ impl<'a> RunState<'a> {
             _ => return Cycles::ZERO,
         };
         // Request + full page of data from the home.
+        let bpp = self.geometry.blocks_per_page();
         let mut t = self.network.send(to, home, now, MsgKind::PageControl);
-        for _ in 0..BLOCKS_PER_PAGE {
+        for _ in 0..bpp {
             t = self.network.send(home, to, t, MsgKind::PageDataBlock);
         }
-        let latency = (costs.soft_trap + costs.page_copy_cost(BLOCKS_PER_PAGE as u32)).max(t - now);
+        let latency = (costs.soft_trap + costs.page_copy_cost_at(bpp as u32, bpp)).max(t - now);
 
         self.notify_op_performed(&PageOp::Replicate { page, to });
         let to_idx = to.index();
@@ -932,7 +942,9 @@ impl<'a> RunState<'a> {
         let mut nodes_touched: BTreeSet<usize> = BTreeSet::new();
         for (block_idx, holders) in &flushed {
             blocks_cached += 1;
-            let block = page.block_at(block_idx.index_in_page());
+            let block = self
+                .geometry
+                .block_ref_at(page, self.geometry.index_in_page_idx(*block_idx));
             for holder in holders {
                 nodes_touched.insert(holder.index());
                 self.invalidate_block_on_node(holder.index(), block);
@@ -941,18 +953,19 @@ impl<'a> RunState<'a> {
 
         // Control messages to every cacher, then the page moves to its new
         // home.
+        let bpp = self.geometry.blocks_per_page();
         let mut t = now;
         for n in &nodes_touched {
             t = self
                 .network
                 .send(old_home, NodeId(*n as u16), t, MsgKind::PageControl);
         }
-        for _ in 0..BLOCKS_PER_PAGE {
+        for _ in 0..bpp {
             t = self.network.send(old_home, to, t, MsgKind::PageDataBlock);
         }
 
-        let gather = costs.page_gather_cost(blocks_cached);
-        let copy = costs.page_copy_cost(BLOCKS_PER_PAGE as u32);
+        let gather = costs.page_gather_cost_at(blocks_cached, bpp);
+        let copy = costs.page_copy_cost_at(bpp as u32, bpp);
         let shootdowns = costs.tlb_shootdown * (nodes_touched.len() as u64 + 1);
         let latency = (costs.soft_trap + gather + copy + shootdowns).max(t - now);
 
@@ -1030,7 +1043,7 @@ impl<'a> RunState<'a> {
             .page_table
             .map(page.idx, PageMapping::new(writer_mode, home));
 
-        let latency = (costs.page_gather_cost(flushed_blocks)
+        let latency = (costs.page_gather_cost_at(flushed_blocks, self.geometry.blocks_per_page())
             + costs.tlb_shootdown * (holders.len() as u64).max(1))
         .max(t - now);
         self.nodes[writer_nidx].stats.switches_to_rw += 1;
@@ -1051,7 +1064,7 @@ impl<'a> RunState<'a> {
         }
         // on demand into the page cache.
         let flushed = self.flush_page_on_node(nidx, page);
-        for block in page.idx.blocks() {
+        for block in self.geometry.block_indices(page.idx) {
             self.directory.handle_eviction(block, node_id);
         }
 
@@ -1083,11 +1096,11 @@ impl<'a> RunState<'a> {
                     .network
                     .send(node_id, victim_home, t, MsgKind::WriteBack);
             }
-            for block in victim.idx.blocks() {
+            for block in self.geometry.block_indices(victim.idx) {
                 self.directory.handle_eviction(block, node_id);
             }
             extra += costs
-                .page_alloc_cost(victim_blocks + victim_l1)
+                .page_alloc_cost_at(victim_blocks + victim_l1, self.geometry.blocks_per_page())
                 .max(t - now);
             self.nodes[nidx].stats.page_cache_replacements += 1;
         }
@@ -1098,8 +1111,10 @@ impl<'a> RunState<'a> {
             .map(page.idx, PageMapping::new(PageMode::SComa, home));
         self.notify_op_performed(&PageOp::Relocate { page, to: node_id });
 
-        let latency =
-            costs.soft_trap + costs.tlb_shootdown + costs.page_alloc_cost(flushed) + extra;
+        let latency = costs.soft_trap
+            + costs.tlb_shootdown
+            + costs.page_alloc_cost_at(flushed, self.geometry.blocks_per_page())
+            + extra;
         self.nodes[nidx].stats.relocations += 1;
         self.nodes[nidx].stats.page_op_cycles += latency;
         latency
@@ -1160,13 +1175,14 @@ impl<'a> RunState<'a> {
     /// capacity/conflict, as the paper does for relocation-induced refetches.
     fn flush_page_on_node(&mut self, nidx: usize, page: PageRef) -> u32 {
         let topo = self.machine.topology;
+        let geometry = self.geometry;
         let mut flushed = 0u32;
         for proc in topo.procs_of(NodeId(nidx as u16)) {
             let p = &mut self.procs[proc.index()];
             let resident: Vec<BlockRef> = p
                 .cache
                 .resident_blocks()
-                .filter(|(b, _)| b.idx.page() == page.idx)
+                .filter(|(b, _)| geometry.page_of_block_idx(b.idx) == page.idx)
                 .map(|(b, _)| b)
                 .collect();
             for block in resident {
@@ -1194,7 +1210,7 @@ impl<'a> RunState<'a> {
             return;
         }
         self.nodes[nidx].bus.issue(now, BusTransaction::WriteBack);
-        let vpage = victim.block.idx.page();
+        let vpage = self.geometry.page_of_block_idx(victim.block.idx);
         let mode = self.nodes[nidx].page_table.lookup(vpage).map(|m| m.mode);
         match mode {
             Some(PageMode::RemoteCcNuma) => {
@@ -1237,7 +1253,7 @@ impl<'a> RunState<'a> {
                 p.classifier.record_eviction(victim_block.idx);
             }
         }
-        let vpage = victim_block.idx.page();
+        let vpage = self.geometry.page_of_block_idx(victim_block.idx);
         let home = self.placement.home_of(vpage).unwrap_or(node_id);
         if victim_state == BlockState::Dirty {
             self.network.send(node_id, home, now, MsgKind::WriteBack);

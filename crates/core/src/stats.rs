@@ -161,6 +161,54 @@ impl SimResult {
             local as f64 / total as f64
         }
     }
+
+    /// A stable 64-bit FNV-1a digest of the *complete* result: execution
+    /// time, every per-node counter, the full per-kind traffic matrix, and
+    /// the access/barrier totals.  Two results compare `==` iff their
+    /// fingerprints match (modulo the vanishing hash-collision probability),
+    /// so committed fingerprints pin bit-identical simulator behaviour
+    /// across refactors without committing whole `SimResult`s (the
+    /// golden-snapshot parity tests rely on this).
+    ///
+    /// The field enumeration below is the fingerprint *format*: changing it
+    /// (or the meaning of any field feeding it) invalidates every committed
+    /// golden, which is exactly the alarm it exists to raise.
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut feed = |v: u64| {
+            for byte in v.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        feed(self.execution_time.raw());
+        feed(self.accesses);
+        feed(self.barriers);
+        feed(self.per_node.len() as u64);
+        for n in &self.per_node {
+            feed(n.l1_hits);
+            feed(n.local_misses);
+            feed(n.remote_misses);
+            feed(n.remote_capacity_misses);
+            feed(n.cold_misses);
+            feed(n.coherence_misses);
+            feed(n.capacity_conflict_misses);
+            feed(n.migrations);
+            feed(n.replications);
+            feed(n.relocations);
+            feed(n.page_cache_replacements);
+            feed(n.switches_to_rw);
+            feed(n.page_op_cycles.raw());
+            feed(n.memory_stall_cycles.raw());
+        }
+        for kind in dsm_protocol::MsgKind::ALL {
+            feed(self.traffic.messages_of(kind));
+            feed(self.traffic.bytes_of(kind));
+        }
+        h
+    }
 }
 
 #[cfg(test)]

@@ -12,7 +12,7 @@
 //! making the perfect cache's lookups array accesses and its page flushes
 //! 64-slot scans instead of whole-table walks.
 
-use mem_trace::{BlockRef, PageRef, Slab};
+use mem_trace::{BlockRef, Geometry, PageRef, Slab};
 
 /// State of a block held in the block cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -41,12 +41,18 @@ impl BlockCacheConfig {
         size_bytes: 64 * 1024,
     };
 
-    /// Number of lines for a finite configuration.
+    /// Number of lines for a finite configuration at the paper's 64-byte
+    /// block size.
     pub fn lines(&self) -> Option<usize> {
+        self.lines_at(mem_trace::BLOCK_SIZE)
+    }
+
+    /// Number of lines for a finite configuration with `block_bytes` lines
+    /// (the byte budget is fixed; a block-size sweep changes how many lines
+    /// it buys).
+    pub fn lines_at(&self, block_bytes: u64) -> Option<usize> {
         match self {
-            BlockCacheConfig::Finite { size_bytes } => {
-                Some((size_bytes / mem_trace::BLOCK_SIZE) as usize)
-            }
+            BlockCacheConfig::Finite { size_bytes } => Some((size_bytes / block_bytes) as usize),
             BlockCacheConfig::Infinite => None,
         }
     }
@@ -67,6 +73,7 @@ enum Storage {
 /// A per-node block cache for remote data.
 pub struct BlockCache {
     config: BlockCacheConfig,
+    geometry: Geometry,
     storage: Storage,
     hits: u64,
     misses: u64,
@@ -74,27 +81,36 @@ pub struct BlockCache {
 }
 
 impl BlockCache {
-    /// Create an empty block cache.
+    /// Create an empty block cache at the paper's geometry.
     ///
     /// # Panics
     /// Panics if a finite configuration has zero lines.
     pub fn new(config: BlockCacheConfig) -> Self {
-        let storage = match config {
-            BlockCacheConfig::Finite { size_bytes } => {
-                let lines = (size_bytes / mem_trace::BLOCK_SIZE) as usize;
+        Self::with_geometry(config, Geometry::PAPER)
+    }
+
+    /// Create an empty block cache holding `geometry.block_bytes`-sized
+    /// lines.
+    ///
+    /// # Panics
+    /// Panics if a finite configuration has zero lines.
+    pub fn with_geometry(config: BlockCacheConfig, geometry: Geometry) -> Self {
+        let storage = match config.lines_at(geometry.block_bytes) {
+            Some(lines) => {
                 assert!(lines > 0, "block cache must have at least one line");
                 Storage::Finite {
                     tags: vec![None; lines],
                     states: vec![BlockState::Clean; lines],
                 }
             }
-            BlockCacheConfig::Infinite => Storage::Infinite {
+            None => Storage::Infinite {
                 blocks: Slab::new(),
                 resident: 0,
             },
         };
         BlockCache {
             config,
+            geometry,
             storage,
             hits: 0,
             misses: 0,
@@ -220,11 +236,12 @@ impl BlockCache {
     /// return them with their states.
     pub fn flush_page(&mut self, page: PageRef) -> Vec<(BlockRef, BlockState)> {
         let mut flushed = Vec::new();
+        let geometry = self.geometry;
         match &mut self.storage {
             Storage::Finite { tags, states } => {
                 for idx in 0..tags.len() {
                     if let Some(b) = tags[idx] {
-                        if b.idx.page() == page.idx {
+                        if geometry.page_of_block_idx(b.idx) == page.idx {
                             flushed.push((b, states[idx]));
                             tags[idx] = None;
                         }
@@ -232,9 +249,10 @@ impl BlockCache {
                 }
             }
             Storage::Infinite { blocks, resident } => {
-                // The page's blocks sit in 64 contiguous slots.
-                for offset in 0..mem_trace::BLOCKS_PER_PAGE {
-                    let block = page.block_at(offset);
+                // The page's blocks sit in `blocks_per_page` contiguous
+                // slots.
+                for offset in 0..geometry.blocks_per_page() {
+                    let block = geometry.block_ref_at(page, offset);
                     if let Some(Some(s)) = blocks.get_mut(block.idx.index()).map(Option::take) {
                         *resident -= 1;
                         flushed.push((block, s));

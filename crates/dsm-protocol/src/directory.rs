@@ -10,9 +10,14 @@
 //! Directory state is keyed by the dense [`BlockIdx`] the trace layer
 //! interns (see [`mem_trace::intern`]): entries live in a flat slab indexed
 //! by block index, so the per-miss directory transition is an array access,
-//! and a page purge touches exactly the page's 64 contiguous slots.
+//! and a page purge touches exactly the page's contiguous block slots.
+//!
+//! Sharer tracking is a [`SharerSet`]: one inline word for clusters of up
+//! to 64 nodes (the exact bitmask semantics the directory always had,
+//! allocation-free) and a boxed bitset beyond, so cluster size is a real
+//! sweep axis instead of a hard cap.
 
-use mem_trace::{BlockIdx, NodeId, PageIdx, Slab};
+use mem_trace::{BlockIdx, Geometry, NodeId, PageIdx, SharerSet, Slab};
 
 /// Directory state of a block.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -26,39 +31,33 @@ pub enum DirectoryState {
     Modified,
 }
 
-/// A directory entry: state plus sharer bit-vector.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+/// A directory entry: state plus sharer set.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct DirectoryEntry {
     /// Coherence state.
     pub state: DirectoryState,
-    /// Bit-vector of nodes holding a copy (bit `n` = node `n`).
-    pub sharers: u64,
+    /// Nodes holding a copy.
+    pub sharers: SharerSet,
 }
 
 impl DirectoryEntry {
-    const fn uncached() -> Self {
-        DirectoryEntry {
-            state: DirectoryState::Uncached,
-            sharers: 0,
-        }
+    fn uncached() -> Self {
+        DirectoryEntry::default()
     }
 
-    /// Nodes currently holding a copy.
+    /// Nodes currently holding a copy, ascending.
     pub fn sharer_nodes(&self) -> Vec<NodeId> {
-        (0..64)
-            .filter(|i| self.sharers & (1u64 << i) != 0)
-            .map(|i| NodeId(i as u16))
-            .collect()
+        self.sharers.nodes()
     }
 
     /// Number of nodes currently holding a copy.
     pub fn sharer_count(&self) -> u32 {
-        self.sharers.count_ones()
+        self.sharers.count()
     }
 
     /// `true` if `node` holds a copy.
     pub fn is_sharer(&self, node: NodeId) -> bool {
-        self.sharers & (1u64 << node.index()) != 0
+        self.sharers.contains(node.index())
     }
 }
 
@@ -97,19 +96,39 @@ pub struct WriteReply {
 /// Entries are a dense slab over interned block indices: blocks never
 /// referenced remotely stay in the implicit `Uncached` state (a
 /// default-valued slot, or no slot at all).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Directory {
     entries: Slab<DirectoryEntry>,
+    geometry: Geometry,
     read_requests: u64,
     write_requests: u64,
     invalidations_sent: u64,
     forwards: u64,
 }
 
+impl Default for Directory {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl Directory {
-    /// An empty directory (all blocks uncached).
+    /// An empty directory (all blocks uncached) at the paper's geometry.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_geometry(Geometry::PAPER)
+    }
+
+    /// An empty directory whose page purges walk `geometry.blocks_per_page()`
+    /// contiguous slots.
+    pub fn with_geometry(geometry: Geometry) -> Self {
+        Directory {
+            entries: Slab::new(),
+            geometry,
+            read_requests: 0,
+            write_requests: 0,
+            invalidations_sent: 0,
+            forwards: 0,
+        }
     }
 
     /// Current entry for `block` (implicitly `Uncached`).
@@ -117,23 +136,33 @@ impl Directory {
     pub fn entry(&self, block: BlockIdx) -> DirectoryEntry {
         self.entries
             .get(block.index())
-            .copied()
-            .unwrap_or(DirectoryEntry::uncached())
+            .cloned()
+            .unwrap_or_else(DirectoryEntry::uncached)
+    }
+
+    /// The node holding `block` modified, if any — without cloning the
+    /// sharer set (the simulator's hot-path query).
+    #[inline]
+    pub fn owner_of(&self, block: BlockIdx) -> Option<NodeId> {
+        self.entries
+            .get(block.index())
+            .filter(|e| e.state == DirectoryState::Modified)
+            .and_then(|e| e.sharers.first())
+            .map(|i| NodeId(i as u16))
     }
 
     /// Handle a read request for `block` by `requester`.
     pub fn handle_read(&mut self, block: BlockIdx, requester: NodeId) -> ReadReply {
         self.read_requests += 1;
         let entry = self.entries.entry(block.index());
-        let already_sharer = entry.sharers & (1u64 << requester.index()) != 0;
+        let already_sharer = entry.sharers.contains(requester.index());
         let reply = match entry.state {
             DirectoryState::Uncached | DirectoryState::Shared => ReadReply {
                 source: DataSource::HomeMemory,
                 already_sharer,
             },
             DirectoryState::Modified => {
-                let owner_bit = entry.sharers;
-                let owner = NodeId(owner_bit.trailing_zeros() as u16);
+                let owner = NodeId(entry.sharers.first().expect("modified implies owner") as u16);
                 if owner == requester {
                     // Requester already owns it (e.g. re-registration after a
                     // block-cache refresh); no transition needed.
@@ -152,12 +181,8 @@ impl Directory {
         };
         // After a read the block is shared by the previous holders plus the
         // requester, and memory is (or will be) up to date.
-        entry.sharers |= 1u64 << requester.index();
-        entry.state = if entry.sharers.count_ones() >= 1 {
-            DirectoryState::Shared
-        } else {
-            DirectoryState::Uncached
-        };
+        entry.sharers.insert(requester.index());
+        entry.state = DirectoryState::Shared;
         reply
     }
 
@@ -165,15 +190,16 @@ impl Directory {
     pub fn handle_write(&mut self, block: BlockIdx, requester: NodeId) -> WriteReply {
         self.write_requests += 1;
         let entry = self.entries.entry(block.index());
-        let requester_bit = 1u64 << requester.index();
         let reply = match entry.state {
             DirectoryState::Uncached => WriteReply {
                 source: DataSource::HomeMemory,
                 invalidate: Vec::new(),
             },
             DirectoryState::Shared => {
-                let others: Vec<NodeId> = (0..64)
-                    .filter(|i| entry.sharers & (1u64 << i) != 0 && *i != requester.index())
+                let others: Vec<NodeId> = entry
+                    .sharers
+                    .iter()
+                    .filter(|i| *i != requester.index())
                     .map(|i| NodeId(i as u16))
                     .collect();
                 self.invalidations_sent += others.len() as u64;
@@ -183,7 +209,7 @@ impl Directory {
                 }
             }
             DirectoryState::Modified => {
-                let owner = NodeId(entry.sharers.trailing_zeros() as u16);
+                let owner = NodeId(entry.sharers.first().expect("modified implies owner") as u16);
                 if owner == requester {
                     WriteReply {
                         source: DataSource::HomeMemory,
@@ -200,7 +226,8 @@ impl Directory {
             }
         };
         entry.state = DirectoryState::Modified;
-        entry.sharers = requester_bit;
+        entry.sharers.clear();
+        entry.sharers.insert(requester.index());
         reply
     }
 
@@ -208,8 +235,8 @@ impl Directory {
     /// block modified the caller is responsible for the write-back traffic.
     pub fn handle_eviction(&mut self, block: BlockIdx, node: NodeId) {
         if let Some(entry) = self.entries.get_mut(block.index()) {
-            entry.sharers &= !(1u64 << node.index());
-            if entry.sharers == 0 {
+            entry.sharers.remove(node.index());
+            if entry.sharers.is_empty() {
                 entry.state = DirectoryState::Uncached;
             } else if entry.state == DirectoryState::Modified {
                 // The owner evicted; remaining copies (if any) are clean
@@ -224,12 +251,12 @@ impl Directory {
     /// list of nodes that held a copy.
     ///
     /// Thanks to the contiguous block-index layout this touches exactly the
-    /// page's 64 slots, never the rest of the table.
+    /// page's `blocks_per_page` slots, never the rest of the table.
     pub fn purge_page(&mut self, page: PageIdx) -> Vec<(BlockIdx, Vec<NodeId>)> {
         let mut flushed = Vec::new();
-        for block in page.blocks() {
+        for block in self.geometry.block_indices(page) {
             if let Some(entry) = self.entries.get_mut(block.index()) {
-                if entry.sharers != 0 {
+                if !entry.sharers.is_empty() {
                     flushed.push((block, entry.sharer_nodes()));
                 }
                 *entry = DirectoryEntry::uncached();

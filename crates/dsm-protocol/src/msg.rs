@@ -39,13 +39,21 @@ pub enum MsgKind {
 pub const MSG_HEADER_BYTES: u64 = 16;
 
 impl MsgKind {
-    /// Payload bytes carried by a message of this kind (excluding header).
+    /// Payload bytes carried by a message of this kind at the paper's
+    /// 64-byte block size (excluding header).
     pub fn payload_bytes(self) -> u64 {
+        self.payload_bytes_at(BLOCK_SIZE)
+    }
+
+    /// Payload bytes for `block_bytes`-sized cache blocks: data-carrying
+    /// messages move exactly one block, so the traffic a figure reports
+    /// scales with the swept block size.
+    pub fn payload_bytes_at(self, block_bytes: u64) -> u64 {
         match self {
             MsgKind::ReadReply
             | MsgKind::WriteReply
             | MsgKind::WriteBack
-            | MsgKind::PageDataBlock => BLOCK_SIZE,
+            | MsgKind::PageDataBlock => block_bytes,
             MsgKind::ReadRequest
             | MsgKind::WriteRequest
             | MsgKind::Invalidation
@@ -55,9 +63,14 @@ impl MsgKind {
         }
     }
 
-    /// Total bytes on the wire.
+    /// Total bytes on the wire at the paper's block size.
     pub fn total_bytes(self) -> u64 {
         MSG_HEADER_BYTES + self.payload_bytes()
+    }
+
+    /// Total bytes on the wire for `block_bytes`-sized blocks.
+    pub fn total_bytes_at(self, block_bytes: u64) -> u64 {
+        MSG_HEADER_BYTES + self.payload_bytes_at(block_bytes)
     }
 
     /// `true` if the message carries a data block.
@@ -100,11 +113,17 @@ impl TrafficStats {
         Self::default()
     }
 
-    /// Record one message of `kind`.
+    /// Record one message of `kind` at the paper's block size.
     pub fn record(&mut self, kind: MsgKind) {
+        self.record_at(kind, BLOCK_SIZE);
+    }
+
+    /// Record one message of `kind` carrying `block_bytes`-sized data
+    /// payloads.
+    pub fn record_at(&mut self, kind: MsgKind, block_bytes: u64) {
         let i = kind.index();
         self.messages[i] += 1;
-        self.bytes[i] += kind.total_bytes();
+        self.bytes[i] += kind.total_bytes_at(block_bytes);
     }
 
     /// Messages of a given kind.

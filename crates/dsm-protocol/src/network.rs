@@ -1,7 +1,7 @@
 //! Point-to-point interconnect with per-node network-interface contention.
 //!
 //! The paper assumes "a point-to-point network with a constant latency of 80
-//! cycles but model[s] contention at the network interfaces accurately".  We
+//! cycles but model\[s\] contention at the network interfaces accurately".  We
 //! do the same: every message pays the constant wire latency, plus occupancy
 //! at the sender's and receiver's network interfaces (NIs), which are FIFO
 //! resources.  Intra-node transfers bypass the network entirely.
@@ -19,6 +19,9 @@ const NI_DATA_OCCUPANCY: u64 = 8;
 #[derive(Debug, Clone)]
 pub struct Interconnect {
     latency: Cycles,
+    /// Cache-block payload size for byte accounting (a machine-geometry
+    /// property; the paper's is 64 bytes).
+    block_bytes: u64,
     send_ni: Vec<Resource>,
     recv_ni: Vec<Resource>,
     traffic: TrafficStats,
@@ -29,11 +32,12 @@ impl Interconnect {
     pub const PAPER_LATENCY: Cycles = Cycles(80);
 
     /// Create an interconnect for `nodes` nodes with the given one-way wire
-    /// latency.
+    /// latency, accounting data payloads at the paper's 64-byte block size.
     pub fn new(nodes: usize, latency: Cycles) -> Self {
         assert!(nodes > 0, "interconnect needs at least one node");
         Interconnect {
             latency,
+            block_bytes: mem_trace::BLOCK_SIZE,
             send_ni: (0..nodes)
                 .map(|i| Resource::new(format!("ni-tx[{i}]")))
                 .collect(),
@@ -42,6 +46,12 @@ impl Interconnect {
                 .collect(),
             traffic: TrafficStats::new(),
         }
+    }
+
+    /// Account data payloads at `block_bytes` per block (block-size sweeps).
+    pub fn with_block_bytes(mut self, block_bytes: u64) -> Self {
+        self.block_bytes = block_bytes;
+        self
     }
 
     /// The configured one-way latency.
@@ -71,7 +81,7 @@ impl Interconnect {
         if src == dst {
             return now;
         }
-        self.traffic.record(kind);
+        self.traffic.record_at(kind, self.block_bytes);
         let occupancy = Self::occupancy(kind);
         let injected = self.send_ni[src.index()].acquire(now, occupancy).finish;
         let arrived_at_ni = injected + self.latency;

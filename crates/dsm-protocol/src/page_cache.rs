@@ -18,7 +18,7 @@
 //! with a side list of allocated frames so the (rare) LRU victim scan walks
 //! only the cache's occupancy, not the whole footprint.
 
-use mem_trace::{BlockIdx, PageId, PageIdx, PageRef, Slab, BLOCKS_PER_PAGE, PAGE_SIZE};
+use mem_trace::{BlockIdx, Geometry, PageId, PageIdx, PageRef, SharerSet, Slab, PAGE_SIZE};
 
 /// Page-cache sizing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,24 +43,34 @@ impl PageCacheConfig {
         size_bytes: 1_228_800,
     };
 
-    /// Capacity in page frames (`None` for infinite).
+    /// Capacity in page frames at the paper's 4-KB page size (`None` for
+    /// infinite).
     pub fn frames(&self) -> Option<usize> {
+        self.frames_at(PAGE_SIZE)
+    }
+
+    /// Capacity in page frames for pages of `page_bytes` (`None` for
+    /// infinite).  The byte budget is what the paper fixes; a page-size
+    /// sweep changes how many frames it buys.
+    pub fn frames_at(&self, page_bytes: u64) -> Option<usize> {
         match self {
-            PageCacheConfig::Finite { size_bytes } => Some((size_bytes / PAGE_SIZE) as usize),
+            PageCacheConfig::Finite { size_bytes } => Some((size_bytes / page_bytes) as usize),
             PageCacheConfig::Infinite => None,
         }
     }
 }
 
-/// One allocated page frame: which blocks are present and which are dirty.
-/// The slab slot also remembers the sparse page id so replacement victims
-/// can be reported as full [`PageRef`]s without consulting the interner.
-#[derive(Debug, Clone, Copy)]
+/// One allocated page frame: which blocks are present and which are dirty
+/// (fine-grain tags, a [`SharerSet`] each so pages of more than 64 blocks
+/// are representable).  The slab slot also remembers the sparse page id so
+/// replacement victims can be reported as full [`PageRef`]s without
+/// consulting the interner.
+#[derive(Debug, Clone)]
 struct Frame {
     allocated: bool,
     id: PageId,
-    present: u64,
-    dirty: u64,
+    present: SharerSet,
+    dirty: SharerSet,
     last_use: u64,
 }
 
@@ -69,8 +79,8 @@ impl Default for Frame {
         Frame {
             allocated: false,
             id: PageId(0),
-            present: 0,
-            dirty: 0,
+            present: SharerSet::new(),
+            dirty: SharerSet::new(),
             last_use: 0,
         }
     }
@@ -100,6 +110,7 @@ pub enum AllocOutcome {
 #[derive(Debug, Clone)]
 pub struct PageCache {
     config: PageCacheConfig,
+    geometry: Geometry,
     frames: Slab<Frame>,
     /// Indices of currently allocated frames (the LRU scan set).
     allocated: Vec<u32>,
@@ -112,16 +123,26 @@ pub struct PageCache {
 }
 
 impl PageCache {
-    /// Create an empty page cache.
+    /// Create an empty page cache at the paper's geometry.
     ///
     /// # Panics
     /// Panics if a finite configuration holds zero frames.
     pub fn new(config: PageCacheConfig) -> Self {
-        if let Some(frames) = config.frames() {
+        Self::with_geometry(config, Geometry::PAPER)
+    }
+
+    /// Create an empty page cache whose frames hold `geometry.page_bytes`
+    /// pages of `geometry.blocks_per_page()` fine-grain tags each.
+    ///
+    /// # Panics
+    /// Panics if a finite configuration holds zero frames.
+    pub fn with_geometry(config: PageCacheConfig, geometry: Geometry) -> Self {
+        if let Some(frames) = config.frames_at(geometry.page_bytes) {
             assert!(frames > 0, "page cache must hold at least one frame");
         }
         PageCache {
             config,
+            geometry,
             frames: Slab::new(),
             allocated: Vec::new(),
             clock: 0,
@@ -145,7 +166,19 @@ impl PageCache {
 
     /// Capacity in frames (`None` if infinite).
     pub fn capacity_frames(&self) -> Option<usize> {
-        self.config.frames()
+        self.config.frames_at(self.geometry.page_bytes)
+    }
+
+    /// Dense index of the page containing `block`, at this cache's geometry.
+    #[inline]
+    fn page_of(&self, block: BlockIdx) -> PageIdx {
+        self.geometry.page_of_block_idx(block)
+    }
+
+    /// Index of `block` within its page, at this cache's geometry.
+    #[inline]
+    fn offset_of(&self, block: BlockIdx) -> usize {
+        self.geometry.index_in_page_idx(block) as usize
     }
 
     /// `true` if `page` has a frame.
@@ -159,8 +192,8 @@ impl PageCache {
     /// `true` if `block` is present in its page's frame.
     pub fn block_present(&self, block: BlockIdx) -> bool {
         self.frames
-            .get(block.page().index())
-            .map(|f| f.allocated && f.present & (1u64 << block.index_in_page()) != 0)
+            .get(self.page_of(block).index())
+            .map(|f| f.allocated && f.present.contains(self.offset_of(block)))
             .unwrap_or(false)
     }
 
@@ -194,8 +227,8 @@ impl PageCache {
                     .get_mut(victim_idx as usize)
                     .expect("allocated frame");
                 let victim = PageRef::new(frame.id, PageIdx(victim_idx));
-                let victim_blocks = frame.present.count_ones();
-                let victim_dirty = frame.dirty.count_ones();
+                let victim_blocks = frame.present.count();
+                let victim_dirty = frame.dirty.count();
                 *frame = Frame::default();
                 self.replacements += 1;
                 AllocOutcome::Replaced {
@@ -211,8 +244,8 @@ impl PageCache {
         *self.frames.entry(page.idx.index()) = Frame {
             allocated: true,
             id: page.id,
-            present: 0,
-            dirty: 0,
+            present: SharerSet::new(),
+            dirty: SharerSet::new(),
             last_use: clock,
         };
         outcome
@@ -225,7 +258,7 @@ impl PageCache {
         if !frame.allocated {
             return None;
         }
-        let counts = (frame.present.count_ones(), frame.dirty.count_ones());
+        let counts = (frame.present.count(), frame.dirty.count());
         *frame = Frame::default();
         let pos = self
             .allocated
@@ -242,10 +275,12 @@ impl PageCache {
     #[inline]
     pub fn lookup_block(&mut self, block: BlockIdx) -> bool {
         self.clock += 1;
-        let hit = match self.frames.get_mut(block.page().index()) {
+        let page = self.page_of(block).index();
+        let offset = self.offset_of(block);
+        let hit = match self.frames.get_mut(page) {
             Some(frame) if frame.allocated => {
                 frame.last_use = self.clock;
-                frame.present & (1u64 << block.index_in_page()) != 0
+                frame.present.contains(offset)
             }
             _ => false,
         };
@@ -260,11 +295,13 @@ impl PageCache {
     /// Install a fetched block into its page's frame.  Returns `false` (and
     /// does nothing) if the page has no frame.
     pub fn install_block(&mut self, block: BlockIdx, dirty: bool) -> bool {
-        match self.frames.get_mut(block.page().index()) {
+        let page = self.page_of(block).index();
+        let offset = self.offset_of(block);
+        match self.frames.get_mut(page) {
             Some(frame) if frame.allocated => {
-                frame.present |= 1u64 << block.index_in_page();
+                frame.present.insert(offset);
                 if dirty {
-                    frame.dirty |= 1u64 << block.index_in_page();
+                    frame.dirty.insert(offset);
                 }
                 self.blocks_installed += 1;
                 true
@@ -276,11 +313,11 @@ impl PageCache {
     /// Mark a present block dirty (a local processor wrote it). Returns
     /// `false` if the block is not present.
     pub fn mark_dirty(&mut self, block: BlockIdx) -> bool {
-        match self.frames.get_mut(block.page().index()) {
-            Some(frame)
-                if frame.allocated && frame.present & (1u64 << block.index_in_page()) != 0 =>
-            {
-                frame.dirty |= 1u64 << block.index_in_page();
+        let page = self.page_of(block).index();
+        let offset = self.offset_of(block);
+        match self.frames.get_mut(page) {
+            Some(frame) if frame.allocated && frame.present.contains(offset) => {
+                frame.dirty.insert(offset);
                 true
             }
             _ => false,
@@ -289,12 +326,12 @@ impl PageCache {
 
     /// Invalidate a block (remote write). Returns `true` if it was present.
     pub fn invalidate_block(&mut self, block: BlockIdx) -> bool {
-        match self.frames.get_mut(block.page().index()) {
+        let page = self.page_of(block).index();
+        let offset = self.offset_of(block);
+        match self.frames.get_mut(page) {
             Some(frame) if frame.allocated => {
-                let bit = 1u64 << block.index_in_page();
-                let was_present = frame.present & bit != 0;
-                frame.present &= !bit;
-                frame.dirty &= !bit;
+                let was_present = frame.present.remove(offset);
+                frame.dirty.remove(offset);
                 was_present
             }
             _ => false,
@@ -306,7 +343,7 @@ impl PageCache {
         self.frames
             .get(page.index())
             .filter(|f| f.allocated)
-            .map(|f| f.present.count_ones())
+            .map(|f| f.present.count())
             .unwrap_or(0)
     }
 
@@ -317,7 +354,7 @@ impl PageCache {
         self.frames
             .get(page.index())
             .filter(|f| f.allocated)
-            .map(|f| 1.0 - f.present.count_ones() as f64 / BLOCKS_PER_PAGE as f64)
+            .map(|f| 1.0 - f.present.count() as f64 / self.geometry.blocks_per_page() as f64)
     }
 
     /// `(allocations, replacements, blocks installed, block hits, block misses)`.

@@ -9,12 +9,103 @@
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
-/// Cache block (coherence unit) size in bytes.
+/// Cache block (coherence unit) size in bytes — the *paper's* geometry.
+/// Machinery that supports page/block-size sweeps takes a [`Geometry`]
+/// instead of reading this constant.
 pub const BLOCK_SIZE: u64 = 64;
-/// Virtual-memory page size in bytes.
+/// Virtual-memory page size in bytes (the paper's geometry; see
+/// [`Geometry`]).
 pub const PAGE_SIZE: u64 = 4096;
-/// Number of cache blocks per page.
+/// Number of cache blocks per page at the paper's geometry.
 pub const BLOCKS_PER_PAGE: u64 = PAGE_SIZE / BLOCK_SIZE;
+
+/// Address-space geometry: the page and cache-block sizes a machine is
+/// simulated with.
+///
+/// Traces are streams of *byte* addresses, so geometry is purely a property
+/// of the machine interpreting them: the same deterministic trace can be
+/// swept across page and block sizes.  The inherent
+/// [`GlobalAddr::page`]/[`GlobalAddr::block`] decompositions assume the
+/// paper's 4-KB/64-B geometry; sweep-capable layers decompose through a
+/// `Geometry` carried by their machine configuration instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Geometry {
+    /// Virtual-memory page size in bytes (power of two).
+    pub page_bytes: u64,
+    /// Cache block (coherence unit) size in bytes (power of two, divides
+    /// `page_bytes`).
+    pub block_bytes: u64,
+}
+
+impl Geometry {
+    /// The paper's geometry: 4-KByte pages, 64-byte blocks.
+    pub const PAPER: Geometry = Geometry {
+        page_bytes: PAGE_SIZE,
+        block_bytes: BLOCK_SIZE,
+    };
+
+    /// Construct a geometry.
+    ///
+    /// # Panics
+    /// Panics unless both sizes are powers of two with
+    /// `block_bytes <= page_bytes`.
+    pub fn new(page_bytes: u64, block_bytes: u64) -> Self {
+        assert!(
+            page_bytes.is_power_of_two() && block_bytes.is_power_of_two(),
+            "page and block sizes must be powers of two"
+        );
+        assert!(
+            block_bytes <= page_bytes,
+            "block size must not exceed the page size"
+        );
+        Geometry {
+            page_bytes,
+            block_bytes,
+        }
+    }
+
+    /// Number of cache blocks per page.
+    #[inline]
+    pub fn blocks_per_page(self) -> u64 {
+        self.page_bytes / self.block_bytes
+    }
+
+    /// The page containing `addr`.
+    #[inline]
+    pub fn page_of(self, addr: GlobalAddr) -> PageId {
+        PageId(addr.0 / self.page_bytes)
+    }
+
+    /// The block containing `addr`.
+    #[inline]
+    pub fn block_of(self, addr: GlobalAddr) -> BlockId {
+        BlockId(addr.0 / self.block_bytes)
+    }
+
+    /// The page containing `block`.
+    #[inline]
+    pub fn page_of_block(self, block: BlockId) -> PageId {
+        PageId(block.0 / self.blocks_per_page())
+    }
+
+    /// Index of `block` within its page (`0 .. blocks_per_page`).
+    #[inline]
+    pub fn index_in_page(self, block: BlockId) -> u64 {
+        block.0 % self.blocks_per_page()
+    }
+
+    /// The first block of `page`.
+    #[inline]
+    pub fn first_block(self, page: PageId) -> BlockId {
+        BlockId(page.0 * self.blocks_per_page())
+    }
+}
+
+impl Default for Geometry {
+    fn default() -> Self {
+        Self::PAPER
+    }
+}
 
 /// A byte address in the global shared physical address space.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]

@@ -26,7 +26,7 @@
 //! than a `std::collections::HashMap`: the interner sits on the per-access
 //! hot path, where SipHash costs more than the rest of the lookup.
 
-use crate::addr::{BlockId, PageId, BLOCKS_PER_PAGE};
+use crate::addr::{BlockId, Geometry, GlobalAddr, PageId, BLOCKS_PER_PAGE};
 use std::fmt;
 
 /// Dense index of an interned page (`0 ..` in first-touch order).
@@ -142,6 +142,64 @@ impl BlockRef {
     }
 }
 
+/// Geometry-aware dense-index derivation.  The inherent
+/// [`PageIdx::block`]/[`BlockIdx::page`] methods assume the paper's
+/// 64-blocks-per-page stride; layers that support page/block-size sweeps
+/// derive indices through the machine's [`Geometry`] instead.  At
+/// [`Geometry::PAPER`] both compute identical indices.
+impl Geometry {
+    /// The dense index of `page`'s `offset`-th block.
+    #[inline]
+    pub fn block_idx(self, page: PageIdx, offset: u64) -> BlockIdx {
+        debug_assert!(offset < self.blocks_per_page());
+        BlockIdx(page.0 * self.blocks_per_page() as u32 + offset as u32)
+    }
+
+    /// The dense index of the page containing dense block `block`.
+    #[inline]
+    pub fn page_of_block_idx(self, block: BlockIdx) -> PageIdx {
+        PageIdx(block.0 / self.blocks_per_page() as u32)
+    }
+
+    /// Index of dense block `block` within its page.
+    #[inline]
+    pub fn index_in_page_idx(self, block: BlockIdx) -> u64 {
+        u64::from(block.0) % self.blocks_per_page()
+    }
+
+    /// Iterate over the dense indices of every block of `page`.
+    pub fn block_indices(self, page: PageIdx) -> impl Iterator<Item = BlockIdx> {
+        let first = page.0 * self.blocks_per_page() as u32;
+        (first..first + self.blocks_per_page() as u32).map(BlockIdx)
+    }
+
+    /// The [`BlockRef`] of `page`'s `offset`-th block.
+    #[inline]
+    pub fn block_ref_at(self, page: PageRef, offset: u64) -> BlockRef {
+        BlockRef {
+            id: BlockId(self.first_block(page.id).0 + offset),
+            idx: self.block_idx(page.idx, offset),
+        }
+    }
+
+    /// Decompose `addr` into the [`BlockRef`] within its (already interned)
+    /// page — the one derivation on the simulator's access path.
+    #[inline]
+    pub fn block_ref_of(self, page: PageRef, addr: GlobalAddr) -> BlockRef {
+        let block = self.block_of(addr);
+        BlockRef {
+            id: block,
+            idx: self.block_idx(page.idx, self.index_in_page(block)),
+        }
+    }
+
+    /// Pages an interner can hold at this geometry: dense block indices must
+    /// fit `u32`.
+    pub fn max_interned_pages(self) -> usize {
+        (u32::MAX / self.blocks_per_page() as u32) as usize
+    }
+}
+
 impl fmt::Debug for PageIdx {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "p#{}", self.0)
@@ -177,6 +235,9 @@ pub struct PageInterner {
     vals: Vec<u32>,
     /// Reverse map: `pages[idx]` is the id interned as `PageIdx(idx)`.
     pages: Vec<PageId>,
+    /// Most pages this interner may hand out (geometry-dependent: dense
+    /// block indices must fit `u32`).
+    limit: usize,
 }
 
 impl Default for PageInterner {
@@ -198,6 +259,16 @@ impl PageInterner {
             keys: vec![0; slots],
             vals: vec![0; slots],
             pages: Vec::with_capacity(pages),
+            limit: MAX_INTERNED_PAGES,
+        }
+    }
+
+    /// An empty interner whose page cap matches `geometry` (larger
+    /// blocks-per-page ratios leave fewer dense block indices per `u32`).
+    pub fn with_geometry(geometry: Geometry) -> Self {
+        PageInterner {
+            limit: geometry.max_interned_pages(),
+            ..Self::new()
         }
     }
 
@@ -230,7 +301,7 @@ impl PageInterner {
             }
             if k == 0 {
                 let idx = self.pages.len();
-                assert!(idx < MAX_INTERNED_PAGES, "page footprint overflows u32");
+                assert!(idx < self.limit, "page footprint overflows u32");
                 self.pages.push(page);
                 self.keys[slot] = key;
                 self.vals[slot] = idx as u32;

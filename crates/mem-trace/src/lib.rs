@@ -31,16 +31,19 @@ pub mod builder;
 pub mod intern;
 pub mod layout;
 pub mod replay;
+pub mod sharers;
 pub mod source;
 pub mod trace;
 
 pub use access::{AccessKind, MemRef, TraceEvent};
 pub use addr::{
-    BlockId, GlobalAddr, NodeId, PageId, ProcId, Topology, BLOCKS_PER_PAGE, BLOCK_SIZE, PAGE_SIZE,
+    BlockId, Geometry, GlobalAddr, NodeId, PageId, ProcId, Topology, BLOCKS_PER_PAGE, BLOCK_SIZE,
+    PAGE_SIZE,
 };
 pub use builder::{EventSink, TraceBuilder, TraceWriter};
 pub use intern::{BlockIdx, BlockRef, PageIdx, PageInterner, PageRef, Slab};
 pub use layout::{AddressSpace, Segment};
 pub use replay::{record, record_to_file, ReplaySource};
+pub use sharers::SharerSet;
 pub use source::{ThreadedSource, TraceCursor, TraceSource};
 pub use trace::{ProgramTrace, StatsAccumulator, TraceError, TraceStats, MAX_LOCK_ID};

@@ -1,0 +1,308 @@
+//! [`SharerSet`]: a scalable set of small indices (sharer nodes, replica
+//! holders, blocks present in a page frame).
+//!
+//! The directory's sharer vector, the MigRep engine's replica masks and the
+//! page cache's fine-grain presence tags were all `u64` bitmasks, which
+//! hard-capped the simulated cluster at 64 nodes (and a page at 64 blocks).
+//! `SharerSet` removes the cap without giving up the hot path: sets whose
+//! members all fit below 64 live in one inline word — no allocation, and
+//! bit-for-bit the operations the masks performed — while inserting any
+//! larger member promotes the set to a boxed multi-word bitset.
+//!
+//! Iteration order is always ascending, matching the `(0..64).filter(...)`
+//! scans the masks used; replacing them is invisible in any simulation
+//! result.
+
+use crate::addr::NodeId;
+use std::fmt;
+
+/// Set representation: one inline word for members `< 64`, a boxed word
+/// vector beyond.  A set never demotes back to inline (removal leaves the
+/// boxed words in place) — promotion is rare and one-way keeps `insert`
+/// branch-predictable.
+#[derive(Clone)]
+enum Repr {
+    Inline(u64),
+    Boxed(Box<[u64]>),
+}
+
+/// A set of small unsigned indices: allocation-free up to 64 members'
+/// worth of index space, a boxed bitset beyond.
+#[derive(Clone)]
+pub struct SharerSet {
+    repr: Repr,
+}
+
+impl PartialEq for SharerSet {
+    /// Logical equality: a boxed set whose members all dropped below 64
+    /// equals the inline set with the same members.
+    fn eq(&self, other: &Self) -> bool {
+        let (a, b) = (self.words(), other.words());
+        let common = a.len().min(b.len());
+        a[..common] == b[..common]
+            && a[common..].iter().all(|w| *w == 0)
+            && b[common..].iter().all(|w| *w == 0)
+    }
+}
+
+impl Eq for SharerSet {}
+
+impl Default for SharerSet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SharerSet {
+    /// The empty set.
+    #[inline]
+    pub const fn new() -> Self {
+        SharerSet {
+            repr: Repr::Inline(0),
+        }
+    }
+
+    /// A set containing exactly `index`.
+    #[inline]
+    pub fn single(index: usize) -> Self {
+        let mut s = Self::new();
+        s.insert(index);
+        s
+    }
+
+    /// Number of members.
+    #[inline]
+    pub fn count(&self) -> u32 {
+        match &self.repr {
+            Repr::Inline(w) => w.count_ones(),
+            Repr::Boxed(words) => words.iter().map(|w| w.count_ones()).sum(),
+        }
+    }
+
+    /// `true` if the set has no members.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        match &self.repr {
+            Repr::Inline(w) => *w == 0,
+            Repr::Boxed(words) => words.iter().all(|w| *w == 0),
+        }
+    }
+
+    /// `true` if `index` is a member.
+    #[inline]
+    pub fn contains(&self, index: usize) -> bool {
+        match &self.repr {
+            Repr::Inline(w) => index < 64 && w & (1u64 << index) != 0,
+            Repr::Boxed(words) => words
+                .get(index / 64)
+                .is_some_and(|w| w & (1u64 << (index % 64)) != 0),
+        }
+    }
+
+    /// Insert `index`; returns `true` if it was newly added.
+    #[inline]
+    pub fn insert(&mut self, index: usize) -> bool {
+        if let Repr::Inline(w) = &mut self.repr {
+            if index < 64 {
+                let bit = 1u64 << index;
+                let fresh = *w & bit == 0;
+                *w |= bit;
+                return fresh;
+            }
+            self.promote(index / 64 + 1);
+        }
+        let Repr::Boxed(words) = &mut self.repr else {
+            unreachable!("promoted above")
+        };
+        let word = index / 64;
+        if word >= words.len() {
+            let mut grown = vec![0u64; (word + 1).next_power_of_two()];
+            grown[..words.len()].copy_from_slice(words);
+            *words = grown.into_boxed_slice();
+        }
+        let bit = 1u64 << (index % 64);
+        let fresh = words[word] & bit == 0;
+        words[word] |= bit;
+        fresh
+    }
+
+    /// Remove `index`; returns `true` if it was a member.
+    #[inline]
+    pub fn remove(&mut self, index: usize) -> bool {
+        match &mut self.repr {
+            Repr::Inline(w) => {
+                if index >= 64 {
+                    return false;
+                }
+                let bit = 1u64 << index;
+                let had = *w & bit != 0;
+                *w &= !bit;
+                had
+            }
+            Repr::Boxed(words) => {
+                let Some(w) = words.get_mut(index / 64) else {
+                    return false;
+                };
+                let bit = 1u64 << (index % 64);
+                let had = *w & bit != 0;
+                *w &= !bit;
+                had
+            }
+        }
+    }
+
+    /// Remove every member.
+    #[inline]
+    pub fn clear(&mut self) {
+        match &mut self.repr {
+            Repr::Inline(w) => *w = 0,
+            Repr::Boxed(words) => words.iter_mut().for_each(|w| *w = 0),
+        }
+    }
+
+    /// The smallest member, if any (the masks' `trailing_zeros` idiom).
+    #[inline]
+    pub fn first(&self) -> Option<usize> {
+        match &self.repr {
+            Repr::Inline(w) => (*w != 0).then(|| w.trailing_zeros() as usize),
+            Repr::Boxed(words) => words
+                .iter()
+                .enumerate()
+                .find(|(_, w)| **w != 0)
+                .map(|(i, w)| i * 64 + w.trailing_zeros() as usize),
+        }
+    }
+
+    /// The backing words, low to high.
+    #[inline]
+    fn words(&self) -> &[u64] {
+        match &self.repr {
+            Repr::Inline(w) => std::slice::from_ref(w),
+            Repr::Boxed(words) => words,
+        }
+    }
+
+    /// Iterate over the members in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        let words: &[u64] = self.words();
+        words.iter().enumerate().flat_map(|(i, w)| {
+            let mut w = *w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    return None;
+                }
+                let bit = w.trailing_zeros() as usize;
+                w &= w - 1;
+                Some(i * 64 + bit)
+            })
+        })
+    }
+
+    /// The members as [`NodeId`]s, ascending (the directory/report shape).
+    pub fn nodes(&self) -> Vec<NodeId> {
+        self.iter().map(|i| NodeId(i as u16)).collect()
+    }
+
+    #[cold]
+    fn promote(&mut self, min_words: usize) {
+        let Repr::Inline(w) = self.repr else {
+            return;
+        };
+        let mut words = vec![0u64; min_words.max(2).next_power_of_two()];
+        words[0] = w;
+        self.repr = Repr::Boxed(words.into_boxed_slice());
+    }
+}
+
+impl fmt::Debug for SharerSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<usize> for SharerSet {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let mut s = SharerSet::new();
+        for i in iter {
+            s.insert(i);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inline_set_behaves_like_a_u64_mask() {
+        let mut s = SharerSet::new();
+        assert!(s.is_empty());
+        assert_eq!(s.first(), None);
+        assert!(s.insert(3));
+        assert!(s.insert(63));
+        assert!(!s.insert(3), "re-insert is not fresh");
+        assert_eq!(s.count(), 2);
+        assert!(s.contains(3) && s.contains(63) && !s.contains(4));
+        assert_eq!(s.first(), Some(3));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![3, 63]);
+        assert_eq!(s.nodes(), vec![NodeId(3), NodeId(63)]);
+        assert!(s.remove(3));
+        assert!(!s.remove(3));
+        assert_eq!(s.count(), 1);
+        s.clear();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn promotion_preserves_members_and_order() {
+        let mut s = SharerSet::new();
+        s.insert(5);
+        s.insert(63);
+        s.insert(64); // promotes
+        s.insert(200);
+        assert_eq!(s.count(), 4);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![5, 63, 64, 200]);
+        assert_eq!(s.first(), Some(5));
+        assert!(s.contains(200) && !s.contains(199));
+        assert!(s.remove(64));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![5, 63, 200]);
+        // Contains/remove past the boxed extent are safe no-ops.
+        assert!(!s.contains(10_000));
+        assert!(!s.remove(10_000));
+    }
+
+    #[test]
+    fn single_and_from_iterator() {
+        assert_eq!(SharerSet::single(7).iter().collect::<Vec<_>>(), vec![7]);
+        assert_eq!(SharerSet::single(100).first(), Some(100));
+        let s: SharerSet = [9, 1, 1, 65].into_iter().collect();
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![1, 9, 65]);
+    }
+
+    #[test]
+    fn equality_is_logical_across_representations() {
+        let mut a = SharerSet::new();
+        let mut b = SharerSet::new();
+        a.insert(12);
+        b.insert(12);
+        assert_eq!(a, b);
+        b.insert(13);
+        assert_ne!(a, b);
+        // A boxed set whose high members were removed equals the inline set.
+        let mut boxed = SharerSet::new();
+        boxed.insert(12);
+        boxed.insert(100);
+        boxed.remove(100);
+        assert_eq!(boxed, a);
+        assert_eq!(a, boxed);
+    }
+
+    #[test]
+    fn debug_lists_members() {
+        let mut s = SharerSet::new();
+        s.insert(2);
+        s.insert(70);
+        assert_eq!(format!("{s:?}"), "{2, 70}");
+    }
+}

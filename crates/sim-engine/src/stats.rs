@@ -176,7 +176,7 @@ impl Histogram {
     }
 
     /// Approximate quantile: the upper edge of the bucket containing the
-    /// `q`-quantile (q in [0,1]). Returns `None` if empty.
+    /// `q`-quantile (q in \[0,1\]). Returns `None` if empty.
     pub fn quantile(&self, q: f64) -> Option<u64> {
         if self.total == 0 {
             return None;

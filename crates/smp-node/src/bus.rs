@@ -5,7 +5,7 @@
 //! device.  With a 6:1 clock ratio, every bus cycle costs six processor
 //! cycles.  Contention is modeled by treating the bus as a FIFO resource:
 //! each transaction occupies the bus for its occupancy window and later
-//! requests queue behind it (the paper "model[s] data caches and their
+//! requests queue behind it (the paper "model\[s\] data caches and their
 //! contention at the memory bus accurately").
 
 use sim_engine::{Cycles, Resource};

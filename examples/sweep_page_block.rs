@@ -1,0 +1,97 @@
+//! Parameter-space sweep: page size x block size x cluster size on radix.
+//!
+//! The paper fixes 4-KB pages and 64-byte blocks on an 8-node cluster; this
+//! example sweeps all three machine axes with the [`Sweep`] API and reports
+//! normalized execution time and interconnect traffic for CC-NUMA+MigRep
+//! and R-NUMA.  Every point is normalized against perfect CC-NUMA *at the
+//! same machine point*, so the grid shows how each technique's advantage
+//! moves as pages grow (page operations get heavier, replication coarser)
+//! and blocks grow (fewer, fatter messages).
+//!
+//! The cluster-size axis includes a point beyond 64 nodes — past the old
+//! `u64` sharer-mask cap that `SharerSet` removed.
+//!
+//! Run with (a few minutes in release mode — the 96-node points dominate;
+//! add `--tiny` for a CI-sized grid that finishes in under a minute):
+//!
+//! ```text
+//! cargo run --release --example sweep_page_block
+//! ```
+
+use dsm_repro::bench::{report, Axis, ExperimentScale, Metric, Sweep};
+use dsm_repro::prelude::*;
+
+fn main() {
+    let tiny = std::env::args().any(|a| a == "--tiny");
+    let thresholds = Thresholds {
+        migrep_threshold: 250,
+        migrep_reset_interval: 8_000,
+        rnuma_threshold: 8,
+        rnuma_relocation_delay: 0,
+    };
+
+    let mut sweep = Sweep::new("radix: page x block x cluster grid")
+        .system(
+            System::cc_numa()
+                .with(MigRep::both())
+                .with(thresholds)
+                .build(),
+        )
+        .system(System::r_numa().with(thresholds).build())
+        .workloads(["radix"])
+        .scale(ExperimentScale::Reduced);
+    sweep = if tiny {
+        // CI smoke grid: still 3 axes, one >64-node point, a handful of
+        // simulations.
+        sweep
+            .cluster_nodes([8, 96])
+            .page_bytes([4096, 8192])
+            .block_bytes([64])
+    } else {
+        sweep
+            .cluster_nodes([8, 32, 96])
+            .page_bytes([1024, 4096, 16384])
+            .block_bytes([32, 64, 128])
+    };
+    let result = sweep.run();
+
+    // The paper-style pivot: normalized time, page size by block size
+    // (meaned over the cluster-size axis).
+    print!(
+        "{}",
+        report::format_sweep_table(
+            &result,
+            Axis::PageBytes,
+            Axis::BlockBytes,
+            Metric::NormalizedTime
+        )
+    );
+    println!();
+    // Traffic view: bytes per access as the cluster grows.
+    print!(
+        "{}",
+        report::format_sweep_table(&result, Axis::Nodes, Axis::System, Metric::BytesPerAccess)
+    );
+    println!();
+
+    // Axis-by-axis summary lines, grouped over the full grid.
+    for axis in [Axis::Nodes, Axis::PageBytes, Axis::BlockBytes] {
+        for (value, points) in result.group_by(axis) {
+            let mean_norm: f64 =
+                points.iter().map(|p| p.normalized_time).sum::<f64>() / points.len() as f64;
+            println!(
+                "{:>12} = {:<6} mean normalized time {:.2} over {} points",
+                format!("{axis:?}"),
+                value,
+                mean_norm,
+                points.len()
+            );
+        }
+    }
+
+    // Machine-readable dump for plotting.
+    let out = std::env::temp_dir().join("sweep_page_block.json");
+    if report::write_sweep_json(&out, &result).is_ok() {
+        println!("\nfull grid written to {}", out.display());
+    }
+}

@@ -19,8 +19,9 @@
 //!   they implement, the [`System`](core::System) builder that composes
 //!   them, and the cluster simulator;
 //! * [`workloads`] — the seven SPLASH-2-like workload generators (Table 2);
-//! * [`bench`] — the [`Experiment`](bench::Experiment) harness and the
-//!   presets/report formatters behind every figure and table.
+//! * [`mod@bench`] — the [`Sweep`](bench::Sweep) parameter grids, the
+//!   [`Experiment`](bench::Experiment) harness and the presets/report
+//!   formatters behind every figure and table.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
@@ -34,15 +35,17 @@ pub use splash_workloads as workloads;
 
 /// Convenience re-exports of the types most programs need.
 pub mod prelude {
-    pub use dsm_bench::{Experiment, ExperimentScale, SystemSet};
+    pub use dsm_bench::{
+        Axis, Experiment, ExperimentScale, Metric, MetricSet, Sweep, SweepResult, SystemSet,
+    };
     pub use dsm_core::{
         BlockCaching, ClusterSimulator, CostModel, MachineConfig, MigRep, MigRepConfig,
         PageCaching, PageOp, PolicyStats, RelocationPolicy, SimResult, System, SystemBuilder,
         SystemConfig, SystemFeature, Thresholds,
     };
     pub use mem_trace::{
-        GlobalAddr, ProcId, ProgramTrace, ReplaySource, ThreadedSource, Topology, TraceBuilder,
-        TraceError, TraceSource,
+        Geometry, GlobalAddr, ProcId, ProgramTrace, ReplaySource, SharerSet, ThreadedSource,
+        Topology, TraceBuilder, TraceError, TraceSource, BLOCK_SIZE, PAGE_SIZE,
     };
     pub use splash_workloads::{by_name, catalog, stream, Scale, Workload, WorkloadConfig};
 }

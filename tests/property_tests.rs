@@ -251,6 +251,130 @@ fn page_interning_round_trips_and_replays_stably() {
     }
 }
 
+/// `SharerSet` on members below 64 is bit-for-bit the `u64` mask it
+/// replaced: same membership, same count, same ascending iteration, same
+/// first-member (`trailing_zeros`) answer, after any operation sequence.
+#[test]
+fn sharer_set_is_u64_mask_equivalent_below_64() {
+    use mem_trace::SharerSet;
+    for case in 0..CASES {
+        let mut rng = rng_for("sharer-small", case);
+        let ops = 1 + rng.next_below(200);
+        let mut set = SharerSet::new();
+        let mut mask: u64 = 0;
+        for _ in 0..ops {
+            let i = rng.next_below(64) as usize;
+            match rng.next_below(3) {
+                0 => {
+                    let fresh = set.insert(i);
+                    assert_eq!(fresh, mask & (1 << i) == 0);
+                    mask |= 1 << i;
+                }
+                1 => {
+                    let had = set.remove(i);
+                    assert_eq!(had, mask & (1 << i) != 0);
+                    mask &= !(1 << i);
+                }
+                _ => assert_eq!(set.contains(i), mask & (1 << i) != 0),
+            }
+            assert_eq!(set.count(), mask.count_ones());
+            assert_eq!(set.is_empty(), mask == 0);
+            assert_eq!(
+                set.first(),
+                (mask != 0).then(|| mask.trailing_zeros() as usize)
+            );
+            let members: Vec<usize> = set.iter().collect();
+            let expected: Vec<usize> = (0..64).filter(|i| mask & (1 << i) != 0).collect();
+            assert_eq!(members, expected);
+        }
+    }
+}
+
+/// `SharerSet` beyond 64 members' worth of index space (random 65–512-node
+/// sets): insert/remove/count/contains/iterate agree with a reference
+/// `BTreeSet`, across promotions.
+#[test]
+fn sharer_set_tracks_random_large_node_sets() {
+    use mem_trace::SharerSet;
+    use std::collections::BTreeSet;
+    for case in 0..CASES {
+        let mut rng = rng_for("sharer-large", case);
+        let universe = 65 + rng.next_below(448); // 65..=512 node indices
+        let ops = 1 + rng.next_below(300);
+        let mut set = SharerSet::new();
+        let mut reference: BTreeSet<usize> = BTreeSet::new();
+        for _ in 0..ops {
+            let i = rng.next_below(universe) as usize;
+            match rng.next_below(3) {
+                0 => assert_eq!(set.insert(i), reference.insert(i)),
+                1 => assert_eq!(set.remove(i), reference.remove(&i)),
+                _ => assert_eq!(set.contains(i), reference.contains(&i)),
+            }
+            assert_eq!(set.count() as usize, reference.len());
+            assert_eq!(set.first(), reference.first().copied());
+        }
+        let members: Vec<usize> = set.iter().collect();
+        let expected: Vec<usize> = reference.into_iter().collect();
+        assert_eq!(members, expected, "universe {universe}");
+        assert_eq!(
+            set.nodes().len(),
+            members.len(),
+            "NodeId view matches membership"
+        );
+    }
+}
+
+/// End-to-end determinism past the old 64-node cap: a 96-node cluster
+/// running CC-NUMA+MigRep (directory sharer sets *and* replica sets reach
+/// node indices above 64) produces bit-identical `SimResult`s across runs.
+#[test]
+fn simulation_beyond_64_nodes_is_run_twice_bit_identical() {
+    let nodes: u16 = 96;
+    let machine = MachineConfig::PAPER.with_topology(Topology::new(nodes, 1));
+    let mut b = TraceBuilder::new("wide-cluster", machine.topology);
+    // Node 0 writes two pages; every node then reads them repeatedly
+    // (sharer sets span all 96 nodes and replication triggers on high
+    // node indices), then a late writer forces the switch back.
+    b.write(ProcId(0), GlobalAddr(0));
+    b.write(ProcId(0), GlobalAddr(PAGE_SIZE));
+    b.barrier_all();
+    for round in 0..12u64 {
+        for p in machine.topology.proc_ids().skip(1) {
+            // A fresh block of the page each round, so every read is a miss
+            // that reaches the home node's policy counters.
+            b.read(p, GlobalAddr(round % 2 * PAGE_SIZE + round * BLOCK_SIZE));
+        }
+    }
+    b.barrier_all();
+    b.write(ProcId(95), GlobalAddr(0));
+    b.barrier_all();
+    let trace = b.build();
+
+    let sys = || {
+        System::cc_numa()
+            .with(MigRep::both())
+            .with(Thresholds {
+                migrep_threshold: 4,
+                migrep_reset_interval: 1_000,
+                rnuma_threshold: 8,
+                rnuma_relocation_delay: 0,
+            })
+            .build()
+    };
+    let a = ClusterSimulator::new(machine, sys()).run(&trace);
+    let c = ClusterSimulator::new(machine, sys()).run(&trace);
+    assert_eq!(a, c, ">64-node run must be bit-identical across runs");
+    assert_eq!(a.per_node.len(), nodes as usize);
+    let replications: u64 = a.per_node.iter().map(|n| n.replications).sum();
+    assert!(replications > 0, "replica sets never engaged");
+    assert!(
+        a.per_node[90].replications > 0 || a.per_node[90].remote_misses > 0,
+        "nodes above index 64 never participated"
+    );
+    let switches: u64 = a.per_node.iter().map(|n| n.switches_to_rw).sum();
+    assert!(switches > 0, "the late write never tore down the replicas");
+}
+
 /// Scheduler invariant: whatever the push order, pops come out sorted by
 /// `(clock, proc id)` — equal clocks break toward the smaller proc id.
 #[test]
