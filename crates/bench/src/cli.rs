@@ -3,6 +3,7 @@
 //! Every binary accepts:
 //!
 //! * `--paper`            — run the paper's Table 2 problem sizes (slow);
+//! * `--custom N[/D]`     — run N/D times the Table 2 problem sizes;
 //! * `--workloads a,b,c`  — restrict to a subset of the seven workloads;
 //! * `--threads N`        — number of simulation worker threads;
 //! * `--csv`              — also print results as CSV for plotting;
@@ -23,6 +24,9 @@ usage: <binary> [OPTIONS]
 options:
   --paper              run the paper's Table 2 problem sizes (much slower);
                        the default is the reduced scale
+  --custom N[/D]       run N/D times the Table 2 problem sizes (e.g.
+                       `--custom 2` doubles them, `--custom 1/16` is a
+                       quick smoke); page cache and thresholds scale along
   --workloads a,b,c    restrict to a comma-separated subset of the seven
                        workloads (barnes, cholesky, fmm, lu, ocean, radix,
                        raytrace)
@@ -85,6 +89,19 @@ pub struct Options {
     pub replay: Option<PathBuf>,
 }
 
+/// Parse a `--custom` value: `"N"` or `"N/D"` with nonzero terms.
+fn parse_custom_scale(v: &str) -> Result<splash_workloads::CustomScale, CliError> {
+    let bad = || CliError::BadValue(format!("bad value `{v}` for `--custom` (want N or N/D)"));
+    let (numer, denom) = match v.split_once('/') {
+        Some((n, d)) => (n.parse::<u32>().ok(), d.parse::<u32>().ok()),
+        None => (v.parse::<u32>().ok(), Some(1)),
+    };
+    match (numer, denom) {
+        (Some(n), Some(d)) if n > 0 && d > 0 => Ok(splash_workloads::CustomScale::new(n, d)),
+        _ => Err(bad()),
+    }
+}
+
 impl Options {
     /// Parse from an iterator of arguments (excluding the program name).
     pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Options, CliError> {
@@ -113,6 +130,10 @@ impl Options {
         while let Some(arg) = iter.next() {
             match arg.as_str() {
                 "--paper" => opts.scale = ExperimentScale::Paper,
+                "--custom" => {
+                    let v = value_of(&mut iter, "--custom")?;
+                    opts.scale = ExperimentScale::Custom(parse_custom_scale(&v)?);
+                }
                 "--csv" => opts.csv = true,
                 "--threads" => {
                     let v = value_of(&mut iter, "--threads")?;
@@ -302,6 +323,29 @@ mod tests {
             }
             other => panic!("expected UnknownFlag, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn custom_scale_flag_parses_rationals() {
+        use splash_workloads::{CustomScale, Scale};
+        let o = parse(&["--custom", "2"]).unwrap();
+        assert_eq!(
+            o.scale,
+            ExperimentScale::Custom(CustomScale::new(2, 1)),
+            "whole multiplier"
+        );
+        let o = parse(&["--custom", "1/16"]).unwrap();
+        assert_eq!(
+            o.scale.workload_scale(),
+            Scale::Custom(CustomScale::new(1, 16))
+        );
+        for bad in ["0", "1/0", "x", "2/", "/3", "-1"] {
+            assert!(
+                parse(&["--custom", bad]).is_err(),
+                "`--custom {bad}` should be rejected"
+            );
+        }
+        assert!(parse(&["--custom"]).is_err());
     }
 
     #[test]

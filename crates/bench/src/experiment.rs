@@ -19,10 +19,14 @@
 //! ```
 //!
 //! Named workloads are **streamed**: every (workload, system) job
-//! instantiates a fresh deterministic [`mem_trace::TraceSource`] whose
-//! generator runs on its own thread and is consumed as the simulation
-//! advances, so peak memory is bounded by the pipeline's channel — not by
-//! the trace size, and not by how many workloads the experiment covers.
+//! instantiates a fresh deterministic [`mem_trace::TraceSource`] consumed
+//! as the simulation advances — the generator runs *inside* the
+//! simulator's pull loop when the worker threads saturate the cores
+//! (fused; no thread, no channel), or on its own thread when spare cores
+//! can overlap generation with simulation (see
+//! [`crate::sweep::SourceMode`]).  Either way peak memory is bounded by
+//! the demultiplexing window — not by the trace size, and not by how many
+//! workloads the experiment covers.
 //!
 //! Custom traces (instead of named Table 2 workloads) are supplied with
 //! [`Experiment::traces`], which makes the harness usable for ad-hoc

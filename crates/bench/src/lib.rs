@@ -42,6 +42,6 @@ pub use presets::{ExperimentScale, SystemSet};
 pub use report::{format_normalized_table, format_table4, normalized_rows, to_json, write_json};
 pub use runner::{ExperimentResult, WorkloadResult};
 pub use sweep::{
-    Axis, AxisValues, BaselinePoint, Metric, MetricSet, ParamPoint, ParamSpace, PointResult, Sweep,
-    SweepResult,
+    Axis, AxisValues, BaselinePoint, Metric, MetricSet, ParamPoint, ParamSpace, PointResult,
+    SourceMode, Sweep, SweepResult,
 };

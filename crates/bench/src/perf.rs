@@ -44,7 +44,8 @@ pub struct PerfJob {
 /// A full perf measurement: every (workload, system) job at one scale.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PerfReport {
-    /// Parameter scale the jobs ran at ("paper" or "reduced").
+    /// Parameter scale the jobs ran at ("paper", "reduced", or a custom
+    /// label like "x2").
     pub scale: String,
     /// Wall-clock repetitions per job (best is reported).
     pub repeats: u32,
@@ -76,8 +77,11 @@ pub fn default_systems(scale: ExperimentScale) -> Vec<SystemConfig> {
     crate::presets::table4(scale).systems
 }
 
-/// Measure every (workload, system) job: stream the workload through the
-/// simulator `repeats` times and keep the best wall-clock.
+/// Measure every (workload, system) job: run the workload through the
+/// *fused* streaming pipeline (generation inside the simulator's pull loop
+/// — the configuration a saturated experiment run uses, and the one whose
+/// wall-clock is generation + simulation with no channel in between)
+/// `repeats` times and keep the best wall-clock.
 ///
 /// # Panics
 /// Panics on an unknown workload name or a zero `repeats`.
@@ -98,8 +102,7 @@ pub fn measure(
             let mut best = f64::INFINITY;
             let mut accesses = 0;
             for _ in 0..repeats {
-                let mut source =
-                    splash_workloads::stream(by_name(wl.name()).expect("catalog name"), cfg);
+                let mut source = splash_workloads::fused(wl.as_ref(), &cfg);
                 let start = Instant::now();
                 let result = sim.run_source(&mut source);
                 best = best.min(start.elapsed().as_secs_f64());
@@ -119,10 +122,7 @@ pub fn measure(
         }
     }
     PerfReport {
-        scale: match scale {
-            ExperimentScale::Paper => "paper".to_string(),
-            ExperimentScale::Reduced => "reduced".to_string(),
-        },
+        scale: scale.label(),
         repeats,
         jobs,
     }

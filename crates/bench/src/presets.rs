@@ -11,7 +11,7 @@
 
 use dsm_core::{CostModel, MigRep, PageCaching, System, SystemConfig, Thresholds};
 use dsm_protocol::PageCacheConfig;
-use splash_workloads::Scale;
+use splash_workloads::{CustomScale, Scale};
 
 /// Scale factor between the paper's data sets and the reduced ones.
 ///
@@ -20,6 +20,10 @@ use splash_workloads::Scale;
 /// are scaled by the same factor.
 const REDUCED_FACTOR: u64 = 4;
 
+/// Smallest page cache a custom scale may shrink to (frames get useless
+/// below this; the paper's is 600 frames).
+const MIN_PAGE_CACHE_BYTES: u64 = 8 * 4096;
+
 /// Which parameter scale an experiment runs at.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ExperimentScale {
@@ -27,6 +31,11 @@ pub enum ExperimentScale {
     Reduced,
     /// The paper's exact parameters.
     Paper,
+    /// A custom multiple of the paper's data sets, with the page cache and
+    /// thresholds interpolated by the same factor — the ratios the paper's
+    /// conclusions rest on (working set vs page cache, misses per hot page
+    /// vs threshold) carry to bigger-than-paper problems.
+    Custom(CustomScale),
 }
 
 impl ExperimentScale {
@@ -44,7 +53,13 @@ impl ExperimentScale {
         match self {
             ExperimentScale::Reduced => Scale::Reduced,
             ExperimentScale::Paper => Scale::Paper,
+            ExperimentScale::Custom(c) => Scale::Custom(c),
         }
+    }
+
+    /// Short label used on sweep axes and in reports.
+    pub fn label(self) -> String {
+        self.workload_scale().label()
     }
 
     /// Policy thresholds for the fast systems at this scale.
@@ -62,6 +77,7 @@ impl ExperimentScale {
                 rnuma_relocation_delay: 0,
             },
             ExperimentScale::Paper => Thresholds::paper_fast(),
+            ExperimentScale::Custom(c) => scale_thresholds(Thresholds::paper_fast(), c),
         }
     }
 
@@ -75,6 +91,7 @@ impl ExperimentScale {
                 rnuma_relocation_delay: 0,
             },
             ExperimentScale::Paper => Thresholds::paper_slow(),
+            ExperimentScale::Custom(c) => scale_thresholds(Thresholds::paper_slow(), c),
         }
     }
 
@@ -85,6 +102,9 @@ impl ExperimentScale {
                 size_bytes: 2_457_600 / 2,
             },
             ExperimentScale::Paper => PageCacheConfig::PAPER,
+            ExperimentScale::Custom(c) => PageCacheConfig::Finite {
+                size_bytes: c.of(2_457_600).max(MIN_PAGE_CACHE_BYTES),
+            },
         }
     }
 
@@ -95,6 +115,9 @@ impl ExperimentScale {
                 size_bytes: 1_228_800 / 2,
             },
             ExperimentScale::Paper => PageCacheConfig::PAPER_HALF,
+            ExperimentScale::Custom(c) => PageCacheConfig::Finite {
+                size_bytes: c.of(1_228_800).max(MIN_PAGE_CACHE_BYTES / 2),
+            },
         }
     }
 
@@ -103,7 +126,20 @@ impl ExperimentScale {
         match self {
             ExperimentScale::Reduced => 32_000 / REDUCED_FACTOR,
             ExperimentScale::Paper => 32_000,
+            ExperimentScale::Custom(c) => c.of(32_000),
         }
+    }
+}
+
+/// Interpolate the paper's per-page thresholds by a custom scale factor:
+/// data sets `c` times larger see roughly `c` times the misses per hot
+/// page, so thresholds scale with `c` (floored so they never vanish).
+fn scale_thresholds(paper: Thresholds, c: CustomScale) -> Thresholds {
+    Thresholds {
+        migrep_threshold: c.of(paper.migrep_threshold),
+        migrep_reset_interval: c.of(paper.migrep_reset_interval),
+        rnuma_threshold: c.of(paper.rnuma_threshold).max(2),
+        rnuma_relocation_delay: paper.rnuma_relocation_delay,
     }
 }
 
@@ -257,6 +293,34 @@ mod tests {
         );
         assert_eq!(ExperimentScale::Paper.workload_scale(), Scale::Paper);
         assert_eq!(ExperimentScale::Reduced.workload_scale(), Scale::Reduced);
+        let c = CustomScale::new(2, 1);
+        assert_eq!(
+            ExperimentScale::Custom(c).workload_scale(),
+            Scale::Custom(c)
+        );
+        assert_eq!(ExperimentScale::Custom(c).label(), "x2");
+    }
+
+    #[test]
+    fn custom_scale_interpolates_the_paper_parameters() {
+        let double = ExperimentScale::Custom(CustomScale::new(2, 1));
+        let pf = Thresholds::paper_fast();
+        let t = double.thresholds_fast();
+        assert_eq!(t.migrep_threshold, 2 * pf.migrep_threshold);
+        assert_eq!(t.rnuma_threshold, 2 * pf.rnuma_threshold);
+        assert_eq!(
+            double.page_cache().frames().unwrap(),
+            2 * PageCacheConfig::PAPER.frames().unwrap()
+        );
+        assert_eq!(double.relocation_delay(), 64_000);
+
+        // Slivers floor instead of vanishing.
+        let sliver = ExperimentScale::Custom(CustomScale::new(1, 1024));
+        assert!(sliver.thresholds_fast().rnuma_threshold >= 2);
+        assert!(sliver.page_cache().frames().unwrap() >= 4);
+        assert!(
+            sliver.page_cache_half().frames().unwrap() <= sliver.page_cache().frames().unwrap()
+        );
     }
 
     #[test]

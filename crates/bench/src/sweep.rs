@@ -5,11 +5,15 @@
 //! CC-NUMA, under varying cost models and cache sizes.  [`Sweep`] makes
 //! that space first-class: machine axes (cluster nodes, processors per
 //! node, page size, block size), system axes (templates, cost models,
-//! thresholds, relocation delays) and workload axes compose into a
-//! cartesian [`ParamSpace`] of jobs.  Each job materializes its own
-//! [`MachineConfig`] and streams its own deterministic trace, so a sweep
-//! point is exactly the simulation a standalone [`ClusterSimulator`] run
-//! of that configuration would be — the single-machine
+//! thresholds, relocation delays), the problem-scale axis
+//! ([`Sweep::scales`] — reduced, paper, and custom multiples of the Table 2
+//! data sets) and workload axes compose into a cartesian [`ParamSpace`] of
+//! jobs.  Each job materializes its own [`MachineConfig`] and streams its
+//! own deterministic trace — fused into the simulator's pull loop when the
+//! workers saturate the cores, through a generator thread when spare cores
+//! can overlap generation ([`SourceMode`]) — so a sweep point is exactly
+//! the simulation a standalone [`ClusterSimulator`] run of that
+//! configuration would be; the single-machine
 //! [`Experiment`](crate::Experiment) builder is now a thin one-point sweep
 //! over this engine.
 //!
@@ -72,6 +76,8 @@ pub enum Axis {
     Thresholds,
     /// R-NUMA relocation delay.
     RelocationDelay,
+    /// Problem scale (reduced / paper / custom multiples of Table 2).
+    Scale,
     /// System display name.
     System,
     /// Workload name.
@@ -80,7 +86,7 @@ pub enum Axis {
 
 impl Axis {
     /// Every axis, in report-column order.
-    pub const ALL: [Axis; 9] = [
+    pub const ALL: [Axis; 10] = [
         Axis::Nodes,
         Axis::ProcsPerNode,
         Axis::PageBytes,
@@ -88,6 +94,7 @@ impl Axis {
         Axis::Cost,
         Axis::Thresholds,
         Axis::RelocationDelay,
+        Axis::Scale,
         Axis::System,
         Axis::Workload,
     ];
@@ -102,6 +109,7 @@ impl Axis {
             Axis::Cost => "cost",
             Axis::Thresholds => "thresholds",
             Axis::RelocationDelay => "relocation_delay",
+            Axis::Scale => "scale",
             Axis::System => "system",
             Axis::Workload => "workload",
         }
@@ -125,6 +133,8 @@ pub struct AxisValues {
     pub thresholds: String,
     /// Relocation-delay axis value (`None` when the axis is not swept).
     pub relocation_delay: Option<u64>,
+    /// Problem-scale label (`"reduced"`, `"paper"`, `"x2"`, ...).
+    pub scale: String,
     /// System display name.
     pub system: String,
     /// Workload name.
@@ -144,6 +154,7 @@ impl AxisValues {
             Axis::RelocationDelay => self
                 .relocation_delay
                 .map_or_else(|| "default".to_string(), |d| d.to_string()),
+            Axis::Scale => self.scale.clone(),
             Axis::System => self.system.clone(),
             Axis::Workload => self.workload.clone(),
         }
@@ -184,6 +195,8 @@ pub struct ParamPoint {
     pub machine: MachineConfig,
     /// The materialized system configuration.
     pub system: SystemConfig,
+    /// The problem scale named workloads generate at.
+    pub scale: ExperimentScale,
     /// Axis address of this point.
     pub axes: AxisValues,
     /// Index into the sweep's workload list.
@@ -213,6 +226,36 @@ impl ParamSpace {
     }
 }
 
+/// How a sweep job's named workloads are streamed into the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SourceMode {
+    /// Decide per run: fused when the worker threads already saturate the
+    /// machine's cores (every core runs a simulation, so a generator
+    /// thread would only contend), threaded when spare cores can overlap
+    /// generation with simulation.  Either choice is bit-identical in
+    /// results.
+    #[default]
+    Auto,
+    /// Always run the generator inside the simulator's pull loop.
+    Fused,
+    /// Always run the generator on its own thread behind a channel.
+    Threaded,
+}
+
+impl SourceMode {
+    /// Resolve `Auto` against the worker-thread count actually running.
+    fn use_fused(self, worker_threads: usize) -> bool {
+        match self {
+            SourceMode::Fused => true,
+            SourceMode::Threaded => false,
+            SourceMode::Auto => {
+                let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+                worker_threads >= cores
+            }
+        }
+    }
+}
+
 /// Builder for a parameter-space sweep.  See the [module docs](self).
 #[derive(Debug, Clone)]
 pub struct Sweep {
@@ -228,7 +271,8 @@ pub struct Sweep {
     systems: Vec<SystemConfig>,
     baseline: SystemConfig,
     workloads: Vec<WorkloadSpec>,
-    scale: ExperimentScale,
+    scales: Vec<ExperimentScale>,
+    source_mode: SourceMode,
     threads: usize,
 }
 
@@ -253,7 +297,8 @@ impl Sweep {
                 .into_iter()
                 .map(|n| WorkloadSpec::Named(n.to_string()))
                 .collect(),
-            scale: ExperimentScale::Reduced,
+            scales: vec![ExperimentScale::Reduced],
+            source_mode: SourceMode::Auto,
             threads: default_threads(),
         }
     }
@@ -368,9 +413,28 @@ impl Sweep {
         self
     }
 
-    /// Problem/parameter scale for named workloads.
+    /// Problem/parameter scale for named workloads (a single value; use
+    /// [`Sweep::scales`] to sweep the axis).
     pub fn scale(mut self, scale: ExperimentScale) -> Self {
-        self.scale = scale;
+        self.scales = vec![scale];
+        self
+    }
+
+    /// Sweep the problem scale itself: each value generates its own traces
+    /// (and normalizes against a baseline at the same scale), so reduced,
+    /// paper and bigger-than-paper problems sit on one grid.
+    pub fn scales(mut self, scales: impl IntoIterator<Item = ExperimentScale>) -> Self {
+        self.scales = scales.into_iter().collect();
+        assert!(
+            !self.scales.is_empty(),
+            "Sweep::scales needs at least one scale"
+        );
+        self
+    }
+
+    /// How named workloads are streamed (default [`SourceMode::Auto`]).
+    pub fn source_mode(mut self, mode: SourceMode) -> Self {
+        self.source_mode = mode;
         self
     }
 
@@ -432,58 +496,63 @@ impl Sweep {
                             .with_topology(Topology::new(n, ppn))
                             .with_geometry(Geometry::new(page, block));
                         for cost in &costs {
-                            for (w, workload) in workload_names.iter().enumerate() {
-                                let axes =
-                                    |system: &SystemConfig, thr: &str, delay: Option<u64>| {
-                                        AxisValues {
-                                            nodes: n,
-                                            procs_per_node: ppn,
-                                            page_bytes: page,
-                                            block_bytes: block,
-                                            cost: cost.map_or_else(
-                                                || "default".to_string(),
-                                                |c| c.0.clone(),
-                                            ),
-                                            thresholds: thr.to_string(),
-                                            relocation_delay: delay,
-                                            system: system.name.clone(),
-                                            workload: workload.clone(),
-                                        }
-                                    };
-                                let mut baseline = self.baseline.clone();
-                                if let Some((_, c)) = cost {
-                                    baseline = baseline.with_costs(*c);
-                                }
-                                space.baselines.push(ParamPoint {
-                                    machine,
-                                    axes: axes(&baseline, "default", None),
-                                    system: baseline,
-                                    workload_index: w,
-                                });
-                                for thr in &thresholds {
-                                    for &delay in &delays {
-                                        for template in &self.systems {
-                                            let mut system = template.clone();
-                                            if let Some((_, c)) = cost {
-                                                system = system.with_costs(*c);
-                                            }
-                                            if let Some((_, t)) = thr {
-                                                system = system.with_thresholds(*t);
-                                            }
-                                            if let Some(d) = delay {
-                                                system.thresholds =
-                                                    system.thresholds.with_relocation_delay(d);
-                                            }
-                                            space.points.push(ParamPoint {
-                                                machine,
-                                                axes: axes(
-                                                    &system,
-                                                    thr.map_or("default", |t| t.0.as_str()),
-                                                    delay,
+                            for &scale in &self.scales {
+                                for (w, workload) in workload_names.iter().enumerate() {
+                                    let axes =
+                                        |system: &SystemConfig, thr: &str, delay: Option<u64>| {
+                                            AxisValues {
+                                                nodes: n,
+                                                procs_per_node: ppn,
+                                                page_bytes: page,
+                                                block_bytes: block,
+                                                cost: cost.map_or_else(
+                                                    || "default".to_string(),
+                                                    |c| c.0.clone(),
                                                 ),
-                                                system,
-                                                workload_index: w,
-                                            });
+                                                thresholds: thr.to_string(),
+                                                relocation_delay: delay,
+                                                scale: scale.label(),
+                                                system: system.name.clone(),
+                                                workload: workload.clone(),
+                                            }
+                                        };
+                                    let mut baseline = self.baseline.clone();
+                                    if let Some((_, c)) = cost {
+                                        baseline = baseline.with_costs(*c);
+                                    }
+                                    space.baselines.push(ParamPoint {
+                                        machine,
+                                        axes: axes(&baseline, "default", None),
+                                        system: baseline,
+                                        scale,
+                                        workload_index: w,
+                                    });
+                                    for thr in &thresholds {
+                                        for &delay in &delays {
+                                            for template in &self.systems {
+                                                let mut system = template.clone();
+                                                if let Some((_, c)) = cost {
+                                                    system = system.with_costs(*c);
+                                                }
+                                                if let Some((_, t)) = thr {
+                                                    system = system.with_thresholds(*t);
+                                                }
+                                                if let Some(d) = delay {
+                                                    system.thresholds =
+                                                        system.thresholds.with_relocation_delay(d);
+                                                }
+                                                space.points.push(ParamPoint {
+                                                    machine,
+                                                    axes: axes(
+                                                        &system,
+                                                        thr.map_or("default", |t| t.0.as_str()),
+                                                        delay,
+                                                    ),
+                                                    system,
+                                                    scale,
+                                                    workload_index: w,
+                                                });
+                                            }
                                         }
                                     }
                                 }
@@ -506,8 +575,19 @@ impl Sweep {
     /// mismatch.
     pub fn run(self) -> SweepResult {
         let space = self.space();
-        let scale = self.scale;
         let workloads = &self.workloads;
+
+        // One flat job list over both tables; each worker claims the next
+        // unclaimed job.  Placement is by index, so the result order is
+        // deterministic regardless of thread interleaving.
+        let n_base = space.baselines.len();
+        let n_jobs = n_base + space.points.len();
+        let threads = self.threads.min(n_jobs).max(1);
+        // Fused (generator inside the pull loop) when the workers already
+        // saturate the cores; threaded (generator on its own thread) when
+        // spare cores can overlap generation with simulation.  The results
+        // are bit-identical either way — only wall-clock differs.
+        let fused = self.source_mode.use_fused(threads);
 
         let run_job = |point: &ParamPoint| -> (SimResult, f64) {
             let sim = ClusterSimulator::new(point.machine, point.system.clone());
@@ -516,10 +596,15 @@ impl Sweep {
                 WorkloadSpec::Named(name) => {
                     let workload =
                         by_name(name).unwrap_or_else(|| panic!("unknown workload {name}"));
-                    let cfg = WorkloadConfig::at_scale(scale.workload_scale())
+                    let cfg = WorkloadConfig::at_scale(point.scale.workload_scale())
                         .with_topology(point.machine.topology);
-                    let mut stream = splash_workloads::stream(workload, cfg);
-                    sim.run_source(&mut stream)
+                    if fused {
+                        let mut source = splash_workloads::fused(workload.as_ref(), &cfg);
+                        sim.run_source(&mut source)
+                    } else {
+                        let mut source = splash_workloads::stream_threaded(workload, cfg);
+                        sim.run_source(&mut source)
+                    }
                 }
                 WorkloadSpec::Trace(trace) => sim.run(trace),
                 WorkloadSpec::Replay(path) => {
@@ -530,13 +615,6 @@ impl Sweep {
             };
             (result, start.elapsed().as_secs_f64())
         };
-
-        // One flat job list over both tables; each worker claims the next
-        // unclaimed job.  Placement is by index, so the result order is
-        // deterministic regardless of thread interleaving.
-        let n_base = space.baselines.len();
-        let n_jobs = n_base + space.points.len();
-        let threads = self.threads.min(n_jobs).max(1);
         let table: Mutex<Vec<Option<(SimResult, f64)>>> = Mutex::new(vec![None; n_jobs]);
         let next = AtomicUsize::new(0);
         std::thread::scope(|scope| {
@@ -611,8 +689,8 @@ impl Sweep {
 }
 
 /// `true` if `point` normalizes against `baseline`: same machine point,
-/// cost label, and the same workload *by index* (display names may
-/// collide).
+/// cost label, problem scale, and the same workload *by index* (display
+/// names may collide).
 fn shares_baseline_point(baseline: &ParamPoint, point: &ParamPoint) -> bool {
     baseline.workload_index == point.workload_index
         && baseline.axes.nodes == point.axes.nodes
@@ -620,6 +698,7 @@ fn shares_baseline_point(baseline: &ParamPoint, point: &ParamPoint) -> bool {
         && baseline.axes.page_bytes == point.axes.page_bytes
         && baseline.axes.block_bytes == point.axes.block_bytes
         && baseline.axes.cost == point.axes.cost
+        && baseline.axes.scale == point.axes.scale
 }
 
 fn non_empty<T: Copy>(axis: &[T], default: T) -> Vec<T> {
@@ -964,6 +1043,52 @@ mod tests {
         };
         assert!(bytes_of(&by_block[1].1) > 0.0);
         assert!(bytes_of(&by_block[0].1) > 0.0);
+    }
+
+    #[test]
+    fn scale_axis_generates_distinct_problem_sizes() {
+        use splash_workloads::CustomScale;
+        let result = Sweep::new("scales")
+            .system(System::cc_numa().build())
+            .workloads(["radix"])
+            .scales([
+                ExperimentScale::Custom(CustomScale::new(1, 32)),
+                ExperimentScale::Custom(CustomScale::new(1, 16)),
+            ])
+            .threads(4)
+            .run();
+        assert_eq!(result.baselines.len(), 2, "one baseline per scale point");
+        assert_eq!(result.points.len(), 2);
+        assert_eq!(result.axis_values(Axis::Scale), vec!["x1/32", "x1/16"]);
+        // Bigger scale, bigger trace — the axis is live.
+        assert!(result.points[1].result.accesses > result.points[0].result.accesses);
+        // Each point normalizes against the baseline at its own scale.
+        for p in &result.points {
+            assert!(p.normalized_time >= 0.99, "{:?}", p.axes);
+        }
+        assert_ne!(
+            result.points[0].baseline_time,
+            result.points[1].baseline_time
+        );
+    }
+
+    #[test]
+    fn explicit_source_modes_are_bit_identical() {
+        let run = |mode: SourceMode| {
+            Sweep::new("mode parity")
+                .system(System::cc_numa().build())
+                .workloads(["ocean"])
+                .source_mode(mode)
+                .threads(2)
+                .run()
+        };
+        let fused = run(SourceMode::Fused);
+        let threaded = run(SourceMode::Threaded);
+        assert_eq!(fused.points[0].result, threaded.points[0].result);
+        assert_eq!(
+            fused.baselines[0].result.fingerprint(),
+            threaded.baselines[0].result.fingerprint()
+        );
     }
 
     #[test]

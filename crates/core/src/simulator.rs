@@ -210,127 +210,159 @@ impl<'a> RunState<'a> {
             }
         }
 
-        while let Some((_, p)) = queue.pop() {
+        'sched: while let Some((_, p)) = queue.pop() {
             let pid = p as usize;
-            let Some(ev) = source.next_event(ProcId(p)) else {
-                self.procs[pid].done = true;
-                continue;
-            };
-            match ev {
-                TraceEvent::Compute(c) => {
-                    self.procs[pid].time += Cycles::new(u64::from(c));
-                    self.reschedule(pid, &mut queue, source);
-                }
-                TraceEvent::Access(m) => {
-                    let now = self.procs[pid].time;
-                    let latency = self.service_access(pid, m, now);
-                    self.procs[pid].time += latency;
-                    self.accesses += 1;
-                    let nidx = self.machine.topology.node_of(ProcId(pid as u16)).index();
-                    self.nodes[nidx].stats.memory_stall_cycles += latency;
-                    self.reschedule(pid, &mut queue, source);
-                }
-                TraceEvent::Barrier(id) => {
-                    self.procs[pid].waiting = Waiting::Barrier(id);
-                    self.barrier_waiting.push(p);
-                    if self.barrier_waiting.len() == self.procs.len() {
-                        // Every arrival must name the same barrier: a stream
-                        // cannot be checked up front, so check the episode
-                        // (all arrivals, not just the ones after the first).
-                        if let Some(&other) = self
-                            .barrier_waiting
-                            .iter()
-                            .find(|&&q| self.procs[q as usize].waiting != Waiting::Barrier(id))
-                        {
-                            return Err(TraceError::BarrierMismatch {
-                                proc_a: ProcId(p),
-                                proc_b: ProcId(other),
-                            });
-                        }
-                        let release = self
-                            .barrier_waiting
-                            .iter()
-                            .map(|&q| self.procs[q as usize].time)
-                            .max()
-                            .unwrap_or(Cycles::ZERO)
-                            + self.barrier_cost();
-                        let waiting = std::mem::take(&mut self.barrier_waiting);
-                        for q in waiting {
-                            let qi = q as usize;
-                            self.procs[qi].time = release;
-                            self.procs[qi].waiting = Waiting::None;
-                            if !source.exhausted(ProcId(q)) {
-                                queue.push(release, q);
-                            } else {
-                                self.procs[qi].done = true;
+            // Run `p` for as long as it remains the schedule's minimum.
+            // After each event the advanced clock is compared against the
+            // heap's head in the scheduler's own `(clock, proc id)` order:
+            // when popping would hand `p` straight back, the push/pop round
+            // trip is skipped.  The interleaving is bit-identical to the
+            // push-always loop — only the heap traffic is gone.
+            loop {
+                let Some(ev) = source.next_event(ProcId(p)) else {
+                    // A stream that ends early because the source gave up
+                    // (window cap exceeded) is an error, not an exhausted
+                    // processor.
+                    if let Some(e) = source.take_error() {
+                        return Err(e);
+                    }
+                    self.procs[pid].done = true;
+                    continue 'sched;
+                };
+                match ev {
+                    TraceEvent::Compute(c) => {
+                        self.procs[pid].time += Cycles::new(u64::from(c));
+                    }
+                    TraceEvent::Access(m) => {
+                        let now = self.procs[pid].time;
+                        let latency = self.service_access(pid, m, now);
+                        self.procs[pid].time += latency;
+                        self.accesses += 1;
+                        let nidx = self.machine.topology.node_of(ProcId(pid as u16)).index();
+                        self.nodes[nidx].stats.memory_stall_cycles += latency;
+                    }
+                    TraceEvent::Barrier(id) => {
+                        self.procs[pid].waiting = Waiting::Barrier(id);
+                        self.barrier_waiting.push(p);
+                        if self.barrier_waiting.len() == self.procs.len() {
+                            // Every arrival must name the same barrier: a
+                            // stream cannot be checked up front, so check
+                            // the episode (all arrivals, not just the ones
+                            // after the first).
+                            if let Some(&other) = self
+                                .barrier_waiting
+                                .iter()
+                                .find(|&&q| self.procs[q as usize].waiting != Waiting::Barrier(id))
+                            {
+                                return Err(TraceError::BarrierMismatch {
+                                    proc_a: ProcId(p),
+                                    proc_b: ProcId(other),
+                                });
                             }
+                            let release = self
+                                .barrier_waiting
+                                .iter()
+                                .map(|&q| self.procs[q as usize].time)
+                                .max()
+                                .unwrap_or(Cycles::ZERO)
+                                + self.barrier_cost();
+                            let waiting = std::mem::take(&mut self.barrier_waiting);
+                            for q in waiting {
+                                let qi = q as usize;
+                                self.procs[qi].time = release;
+                                self.procs[qi].waiting = Waiting::None;
+                                if !source.exhausted(ProcId(q)) {
+                                    queue.push(release, q);
+                                } else {
+                                    self.procs[qi].done = true;
+                                }
+                            }
+                            self.barriers_done += 1;
                         }
-                        self.barriers_done += 1;
+                        continue 'sched;
                     }
-                }
-                TraceEvent::Lock(id) => {
-                    if id > MAX_LOCK_ID {
-                        return Err(TraceError::LockIdOutOfRange {
-                            proc: ProcId(p),
-                            lock: id,
-                        });
-                    }
-                    let acquire_now = {
-                        let lock = self.locks.entry(id as usize);
-                        if lock.held_by.is_none() {
-                            lock.held_by = Some(p);
-                            true
-                        } else {
-                            lock.waiters.push_back(p);
-                            false
-                        }
-                    };
-                    if acquire_now {
-                        let cost = self.lock_cost();
-                        self.procs[pid].time += cost;
-                        if !source.exhausted(ProcId(p)) {
-                            queue.push(self.procs[pid].time, p);
-                        } else {
-                            self.procs[pid].done = true;
-                        }
-                    } else {
-                        self.procs[pid].waiting = Waiting::Lock(id);
-                    }
-                }
-                TraceEvent::Unlock(id) => {
-                    if id > MAX_LOCK_ID {
-                        return Err(TraceError::LockIdOutOfRange {
-                            proc: ProcId(p),
-                            lock: id,
-                        });
-                    }
-                    let release_time = self.procs[pid].time;
-                    let next = {
-                        let lock = self.locks.entry(id as usize);
-                        if lock.held_by != Some(p) {
-                            return Err(TraceError::UnbalancedLock {
+                    TraceEvent::Lock(id) => {
+                        if id > MAX_LOCK_ID {
+                            return Err(TraceError::LockIdOutOfRange {
                                 proc: ProcId(p),
                                 lock: id,
                             });
                         }
-                        lock.held_by = None;
-                        lock.waiters.pop_front()
-                    };
-                    if let Some(w) = next {
-                        let wi = w as usize;
-                        let cost = self.lock_cost();
-                        self.locks.entry(id as usize).held_by = Some(w);
-                        self.procs[wi].time = self.procs[wi].time.max(release_time) + cost;
-                        self.procs[wi].waiting = Waiting::None;
-                        if !source.exhausted(ProcId(w)) {
-                            queue.push(self.procs[wi].time, w);
+                        let acquire_now = {
+                            let lock = self.locks.entry(id as usize);
+                            if lock.held_by.is_none() {
+                                lock.held_by = Some(p);
+                                true
+                            } else {
+                                lock.waiters.push_back(p);
+                                false
+                            }
+                        };
+                        if acquire_now {
+                            let cost = self.lock_cost();
+                            self.procs[pid].time += cost;
                         } else {
-                            self.procs[wi].done = true;
+                            self.procs[pid].waiting = Waiting::Lock(id);
+                            continue 'sched;
                         }
                     }
-                    self.reschedule(pid, &mut queue, source);
+                    TraceEvent::Unlock(id) => {
+                        if id > MAX_LOCK_ID {
+                            return Err(TraceError::LockIdOutOfRange {
+                                proc: ProcId(p),
+                                lock: id,
+                            });
+                        }
+                        let release_time = self.procs[pid].time;
+                        let next = {
+                            let lock = self.locks.entry(id as usize);
+                            if lock.held_by != Some(p) {
+                                return Err(TraceError::UnbalancedLock {
+                                    proc: ProcId(p),
+                                    lock: id,
+                                });
+                            }
+                            lock.held_by = None;
+                            lock.waiters.pop_front()
+                        };
+                        if let Some(w) = next {
+                            let wi = w as usize;
+                            let cost = self.lock_cost();
+                            self.locks.entry(id as usize).held_by = Some(w);
+                            self.procs[wi].time = self.procs[wi].time.max(release_time) + cost;
+                            self.procs[wi].waiting = Waiting::None;
+                            if !source.exhausted(ProcId(w)) {
+                                queue.push(self.procs[wi].time, w);
+                            } else {
+                                self.procs[wi].done = true;
+                            }
+                        }
+                    }
                 }
+                // `p` is still runnable (compute, access, immediate lock
+                // acquire, or unlock).  Keep running it while it beats the
+                // schedule's head; otherwise re-enqueue it.
+                if source.exhausted(ProcId(p)) {
+                    self.procs[pid].done = true;
+                    continue 'sched;
+                }
+                let time = self.procs[pid].time;
+                if let Some(head) = queue.peek() {
+                    if (time, p) >= head {
+                        queue.push(time, p);
+                        continue 'sched;
+                    }
+                }
+                // Heap empty, or (time, p) orders before its head: `p` is
+                // exactly what `pop` would return.  Go around again.
             }
+        }
+
+        // The queue ran dry.  If the source poisoned itself mid-run (the
+        // demultiplexing window cap tripped inside an `exhausted` probe),
+        // that error outranks any blocked-processor diagnosis below.
+        if let Some(e) = source.take_error() {
+            return Err(e);
         }
 
         // The queue ran dry: every processor must have drained its stream.
@@ -346,19 +378,6 @@ impl<'a> RunState<'a> {
         }
 
         Ok(self.finish(&workload))
-    }
-
-    /// Re-enqueue a runnable processor, or mark it finished once its trace
-    /// is drained.
-    fn reschedule(&mut self, pid: usize, queue: &mut ProcScheduler, source: &mut dyn TraceSource) {
-        if self.procs[pid].waiting != Waiting::None {
-            return;
-        }
-        if !source.exhausted(ProcId(pid as u16)) {
-            queue.push(self.procs[pid].time, pid as u16);
-        } else {
-            self.procs[pid].done = true;
-        }
     }
 
     fn finish(&mut self, workload: &str) -> SimResult {

@@ -17,9 +17,10 @@
 //! * the trace representation ([`TraceEvent`], [`ProgramTrace`]) and its
 //!   validation / summary statistics,
 //! * the pull-based [`source::TraceSource`] abstraction the simulator
-//!   drives, with materialized ([`source::TraceCursor`]), streamed
-//!   ([`source::ThreadedSource`]) and file-replayed
-//!   ([`replay::ReplaySource`]) implementations,
+//!   drives, with materialized ([`source::TraceCursor`]), fused
+//!   ([`source::FusedSource`], running a resumable [`source::StepGenerator`]
+//!   inside the consumer's pull loop), threaded ([`source::ThreadedSource`])
+//!   and file-replayed ([`replay::ReplaySource`]) implementations,
 //! * a seekless binary record/replay format ([`replay`]),
 //! * a shared-segment allocator ([`layout::AddressSpace`]) and a per-processor
 //!   [`builder::TraceBuilder`] / [`builder::TraceWriter`] that workloads use
@@ -40,10 +41,13 @@ pub use addr::{
     BlockId, Geometry, GlobalAddr, NodeId, PageId, ProcId, Topology, BLOCKS_PER_PAGE, BLOCK_SIZE,
     PAGE_SIZE,
 };
-pub use builder::{EventSink, TraceBuilder, TraceWriter};
+pub use builder::{EventSink, StepWriter, TraceBuilder, TraceWriter};
 pub use intern::{BlockIdx, BlockRef, PageIdx, PageInterner, PageRef, Slab};
 pub use layout::{AddressSpace, Segment};
 pub use replay::{record, record_to_file, ReplaySource};
 pub use sharers::SharerSet;
-pub use source::{ThreadedSource, TraceCursor, TraceSource};
+pub use source::{
+    default_window_cap, FusedSource, StepGenerator, ThreadedSource, TraceCursor, TraceSource,
+    DEFAULT_WINDOW_CAP, WINDOW_CAP_PER_PROC,
+};
 pub use trace::{ProgramTrace, StatsAccumulator, TraceError, TraceStats, MAX_LOCK_ID};

@@ -34,7 +34,7 @@ use std::path::Path;
 use crate::access::{MemRef, TraceEvent};
 use crate::addr::{GlobalAddr, ProcId, Topology};
 use crate::source::{Demux, TraceSource};
-use crate::trace::TraceStats;
+use crate::trace::{TraceError, TraceStats};
 
 /// File magic: format name + version.
 pub const TRACE_MAGIC: &[u8; 8] = b"DSMTRC01";
@@ -191,6 +191,13 @@ impl<R: Read> ReplaySource<R> {
         })
     }
 
+    /// Replace the parked-event window cap (default
+    /// [`crate::source::default_window_cap`] for the trace's topology).
+    pub fn with_window_cap(mut self, cap: usize) -> Self {
+        self.demux.set_window_cap(cap);
+        self
+    }
+
     /// Read one record.
     fn read_record(reader: &mut R) -> io::Result<Record> {
         let mut head = [0u8; 3];
@@ -245,6 +252,10 @@ impl<R: Read> ReplaySource<R> {
         match Self::read_record(reader) {
             Ok(Record::Event(p, ev)) if (p as usize) < procs => {
                 self.demux.push(ProcId(p), ev);
+                if self.demux.is_poisoned() {
+                    self.reader = None;
+                    return false;
+                }
                 true
             }
             Ok(Record::EndOfStream(p)) if (p as usize) < procs => {
@@ -297,6 +308,14 @@ impl<R: Read> TraceSource for ReplaySource<R> {
 
     fn stats_so_far(&self) -> TraceStats {
         self.demux.stats()
+    }
+
+    fn buffered_events(&self) -> usize {
+        self.demux.buffered_events()
+    }
+
+    fn take_error(&mut self) -> Option<TraceError> {
+        self.demux.take_error()
     }
 }
 
@@ -380,11 +399,13 @@ mod tests {
         assert!(replay.next_event(ProcId(1)).is_some());
         assert!(replay.next_event(ProcId(1)).is_none());
         assert!(replay.exhausted(ProcId(1)));
-        // Only the handful of records up to proc 1's end marker were read.
+        // Only the handful of records up to proc 1's end marker were read
+        // (stats count *pulled* events, so the parked window is what proves
+        // nothing was read ahead).
         assert!(
-            replay.stats_so_far().accesses < 10,
-            "exhaustion query dragged the whole file through the demux: {:?}",
-            replay.stats_so_far().accesses
+            replay.buffered_events() < 10,
+            "exhaustion query dragged the whole file through the demux: {} parked",
+            replay.buffered_events()
         );
         // The rest still replays intact.
         let mut got0 = 0usize;

@@ -3,23 +3,44 @@
 //! The simulator is trace-driven, but nothing about it requires the whole
 //! trace to exist in memory: it only ever asks "what is processor `p`'s next
 //! event?".  `TraceSource` captures exactly that contract — per-processor
-//! pull cursors over a workload's event streams — so that the three ways a
+//! pull cursors over a workload's event streams — so that the four ways a
 //! trace can exist are interchangeable:
 //!
 //! * **materialized** — [`TraceCursor`], a cursor over a [`ProgramTrace`]
 //!   (the classic in-memory representation, still used by tests and
 //!   custom-trace callers);
+//! * **fused** — [`FusedSource`], which runs a resumable step-function
+//!   generator ([`StepGenerator`]) directly inside the consumer's pull
+//!   loop: no thread, no channel, no batch copies.  This is the default
+//!   when producer and consumer share a core (the common experiment case
+//!   where every worker thread runs one simulation);
 //! * **streamed** — [`ThreadedSource`], which runs a generator on its own
 //!   thread and hands events to the consumer through a small bounded
-//!   channel, so peak memory is bounded by the channel plus the skew between
-//!   the generator's emission order and the simulator's consumption order
-//!   instead of by the whole trace;
+//!   channel, overlapping generation with simulation when a spare core is
+//!   available;
 //! * **replayed** — [`crate::replay::ReplaySource`], which demultiplexes a
 //!   recorded trace file without seeking.
 //!
 //! Every source also accumulates incremental [`TraceStats`] over the events
-//! pulled so far ([`TraceSource::stats_so_far`]); once a source is drained
+//! *pulled* so far ([`TraceSource::stats_so_far`]); once a source is drained
 //! these equal what [`ProgramTrace::stats`] would report for the same trace.
+//!
+//! # The exhaustion window, and why it is bounded
+//!
+//! A demultiplexing source (fused, threaded, replayed) learns that a
+//! processor's stream ended either from an explicit per-processor
+//! end-of-stream marker ([`crate::builder::EventSink::end_of_stream`],
+//! which the workload generators emit for every processor at their final
+//! barrier) or from the end of the whole underlying stream.  Between a
+//! processor going quiet and its end marker arriving, `exhausted`/
+//! `next_event` queries for it must read (and park) other processors'
+//! events.  Two mechanisms keep that window from silently reintroducing
+//! O(trace) memory: the end markers bound it to nothing for well-formed
+//! generators, and a hard cap ([`DEFAULT_WINDOW_CAP`], adjustable per
+//! source with `with_window_cap`) turns a genuinely unbounded window — an
+//! adversarial pull order against a stream whose processors do not end
+//! together — into [`TraceError::StreamWindowExceeded`], reported through
+//! [`TraceSource::take_error`], instead of unbounded queue growth.
 
 use std::collections::VecDeque;
 use std::sync::mpsc;
@@ -27,7 +48,7 @@ use std::sync::mpsc;
 use crate::access::TraceEvent;
 use crate::addr::{ProcId, Topology};
 use crate::builder::EventSink;
-use crate::trace::{ProgramTrace, StatsAccumulator, TraceStats};
+use crate::trace::{ProgramTrace, StatsAccumulator, TraceError, TraceStats};
 
 /// A per-processor pull cursor over a workload's event streams.
 ///
@@ -41,7 +62,10 @@ use crate::trace::{ProgramTrace, StatsAccumulator, TraceStats};
 ///   never skips events of another;
 /// * the per-processor sequences are deterministic for a given source
 ///   construction, so two drains of equally constructed sources observe
-///   bit-identical streams.
+///   bit-identical streams;
+/// * a source that had to give up mid-stream (buffering cap exceeded)
+///   reports exhaustion everywhere and surfaces the reason through
+///   [`take_error`](TraceSource::take_error).
 pub trait TraceSource {
     /// Workload name (Table 2 row, e.g. `"lu"`).
     fn name(&self) -> &str;
@@ -55,9 +79,48 @@ pub trait TraceSource {
     /// `true` once `proc`'s stream has no further events.  Does not consume.
     fn exhausted(&mut self, proc: ProcId) -> bool;
 
-    /// Statistics over the events pulled (or internally buffered) so far.
-    /// After every stream is drained this equals the whole-trace statistics.
+    /// Statistics over the events pulled so far.  After every stream is
+    /// drained this equals the whole-trace statistics.
     fn stats_so_far(&self) -> TraceStats;
+
+    /// Events read from the underlying stream but not yet pulled by the
+    /// consumer (the demultiplexing window).  0 for sources that never
+    /// park events.
+    fn buffered_events(&self) -> usize {
+        0
+    }
+
+    /// The error that cut this stream short, if any (taking it resets the
+    /// slot).  A poisoned source answers `next_event`/`exhausted` as if
+    /// every stream ended; consumers that care — the simulator — check this
+    /// before trusting the early end.
+    fn take_error(&mut self) -> Option<TraceError> {
+        None
+    }
+}
+
+impl<S: TraceSource + ?Sized> TraceSource for Box<S> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+    fn topology(&self) -> Topology {
+        (**self).topology()
+    }
+    fn next_event(&mut self, proc: ProcId) -> Option<TraceEvent> {
+        (**self).next_event(proc)
+    }
+    fn exhausted(&mut self, proc: ProcId) -> bool {
+        (**self).exhausted(proc)
+    }
+    fn stats_so_far(&self) -> TraceStats {
+        (**self).stats_so_far()
+    }
+    fn buffered_events(&self) -> usize {
+        (**self).buffered_events()
+    }
+    fn take_error(&mut self) -> Option<TraceError> {
+        (**self).take_error()
+    }
 }
 
 impl<S: TraceSource + ?Sized> TraceSource for &mut S {
@@ -76,14 +139,37 @@ impl<S: TraceSource + ?Sized> TraceSource for &mut S {
     fn stats_so_far(&self) -> TraceStats {
         (**self).stats_so_far()
     }
+    fn buffered_events(&self) -> usize {
+        (**self).buffered_events()
+    }
+    fn take_error(&mut self) -> Option<TraceError> {
+        (**self).take_error()
+    }
 }
 
 /// The materialized [`TraceSource`]: per-processor cursors over a
 /// [`ProgramTrace`] held in memory.
+///
+/// Statistics are *caught up lazily*: the hot per-event path stays a bare
+/// index increment, and each [`TraceSource::stats_so_far`] call feeds the
+/// accumulator only the events pulled since the previous call.  A caller
+/// polling stats in a loop therefore pays O(events) total — not
+/// O(events²) as the old recount-the-prefix implementation did — while a
+/// caller that never asks pays nothing per event.
 #[derive(Debug, Clone)]
 pub struct TraceCursor<'a> {
     trace: &'a ProgramTrace,
     pos: Vec<usize>,
+    /// Interior mutability: catching up is observationally pure, and
+    /// `stats_so_far` takes `&self` across every source implementation.
+    stats: std::cell::RefCell<LazyCursorStats>,
+}
+
+/// The accumulator plus the per-processor positions it has observed up to.
+#[derive(Debug, Clone)]
+struct LazyCursorStats {
+    acc: StatsAccumulator,
+    seen: Vec<usize>,
 }
 
 impl<'a> TraceCursor<'a> {
@@ -92,6 +178,10 @@ impl<'a> TraceCursor<'a> {
         TraceCursor {
             trace,
             pos: vec![0; trace.per_proc.len()],
+            stats: std::cell::RefCell::new(LazyCursorStats {
+                acc: StatsAccumulator::new(trace.topology),
+                seen: vec![0; trace.per_proc.len()],
+            }),
         }
     }
 }
@@ -124,34 +214,64 @@ impl TraceSource for TraceCursor<'_> {
         self.pos[p] >= self.trace.per_proc[p].len()
     }
 
-    /// Computed lazily from the consumed prefixes: the trace is all in
-    /// memory anyway, so the hot per-event path stays a bare index
-    /// increment and only callers that actually want statistics pay for
-    /// them.
+    /// Pulled-event statistics, identical in mid-stream meaning to what the
+    /// demultiplexing sources report: exactly the events the consumer has
+    /// seen, no matter which source implementation is behind the trait.
     fn stats_so_far(&self) -> TraceStats {
-        let mut acc = StatsAccumulator::new(self.trace.topology);
-        for (p, events) in self.trace.per_proc.iter().enumerate() {
-            for ev in &events[..self.pos[p]] {
+        let mut lazy = self.stats.borrow_mut();
+        let LazyCursorStats { acc, seen } = &mut *lazy;
+        for (p, seen_pos) in seen.iter_mut().enumerate() {
+            for ev in &self.trace.per_proc[p][*seen_pos..self.pos[p]] {
                 acc.observe(ProcId(p as u16), ev);
             }
+            *seen_pos = self.pos[p];
         }
-        acc.snapshot()
+        lazy.acc.snapshot()
     }
 }
 
-/// Shared demultiplexing state for sources that read one interleaved event
-/// stream (channel batches, trace-file records) and serve per-processor pull
-/// cursors: small per-processor queues, per-processor end-of-stream flags,
-/// and the incremental statistics every buffered event flows through.
+/// Floor of the default cap on a demultiplexing source's parked-event
+/// window (see [`default_window_cap`]).
+pub const DEFAULT_WINDOW_CAP: usize = 4 << 20;
+
+/// Per-processor allowance folded into the default window cap.
 ///
-/// Both [`ThreadedSource`] and [`crate::replay::ReplaySource`] drive their
-/// `next_event`/`exhausted` loops off this one struct, so the demux
-/// semantics cannot drift between them.
+/// The legitimate window is a fraction of one phase, and phases grow with
+/// the machine — radix's global-rank phase is O(procs²) events (every
+/// processor reads every processor's histogram), so a flat cap that is
+/// generous at 32 processors would false-positive on a 384-processor
+/// sweep point.  256K events per processor covers the widest phase of
+/// every Table 2 generator up to ~2000 processors.
+pub const WINDOW_CAP_PER_PROC: usize = 256 << 10;
+
+/// The default parked-event window cap for a machine: the flat
+/// [`DEFAULT_WINDOW_CAP`] floor or [`WINDOW_CAP_PER_PROC`] per processor,
+/// whichever is larger.  Far above any legitimate phase window at that
+/// machine size, far below a whole trace, so it trips on a genuine
+/// buffering blow-up (an adversarial pull order against a stream without
+/// early end markers) long before the process feels it.
+pub fn default_window_cap(topology: Topology) -> usize {
+    DEFAULT_WINDOW_CAP.max(topology.total_procs() * WINDOW_CAP_PER_PROC)
+}
+
+/// Shared demultiplexing state for sources that read one interleaved event
+/// stream (a step generator's emission, channel batches, trace-file
+/// records) and serve per-processor pull cursors: small per-processor
+/// queues, per-processor end-of-stream flags, the incremental statistics
+/// every *pulled* event flows through, and the hard window cap.
+///
+/// [`FusedSource`], [`ThreadedSource`] and [`crate::replay::ReplaySource`]
+/// drive their `next_event`/`exhausted` loops off this one struct, so the
+/// demux semantics cannot drift between them.
 #[derive(Debug)]
 pub(crate) struct Demux {
     buffers: Vec<VecDeque<TraceEvent>>,
     ended: Vec<bool>,
     stats: StatsAccumulator,
+    /// Total parked events across all buffers.
+    buffered: usize,
+    window_cap: usize,
+    poisoned: Option<TraceError>,
 }
 
 impl Demux {
@@ -160,12 +280,36 @@ impl Demux {
             buffers: vec![VecDeque::new(); topology.total_procs()],
             ended: vec![false; topology.total_procs()],
             stats: StatsAccumulator::new(topology),
+            buffered: 0,
+            window_cap: default_window_cap(topology),
+            poisoned: None,
         }
     }
 
-    /// Park one demultiplexed event for `proc`.
+    pub(crate) fn set_window_cap(&mut self, cap: usize) {
+        self.window_cap = cap.max(1);
+    }
+
+    /// Park one demultiplexed event for `proc`.  On window overflow the
+    /// demux poisons itself: the backlog is dropped, every stream reports
+    /// ended, and the error waits in [`Demux::take_error`].
     pub(crate) fn push(&mut self, proc: ProcId, ev: TraceEvent) {
-        self.stats.observe(proc, &ev);
+        if self.poisoned.is_some() {
+            return;
+        }
+        if self.buffered >= self.window_cap {
+            self.poisoned = Some(TraceError::StreamWindowExceeded {
+                buffered: self.buffered,
+                cap: self.window_cap,
+            });
+            for buf in &mut self.buffers {
+                buf.clear();
+            }
+            self.buffered = 0;
+            self.ended.fill(true);
+            return;
+        }
+        self.buffered += 1;
         self.buffers[proc.index()].push_back(ev);
     }
 
@@ -181,7 +325,10 @@ impl Demux {
     }
 
     pub(crate) fn pop(&mut self, proc: ProcId) -> Option<TraceEvent> {
-        self.buffers[proc.index()].pop_front()
+        let ev = self.buffers[proc.index()].pop_front()?;
+        self.buffered -= 1;
+        self.stats.observe(proc, &ev);
+        Some(ev)
     }
 
     pub(crate) fn has_buffered(&self, proc: ProcId) -> bool {
@@ -192,8 +339,167 @@ impl Demux {
         self.ended[proc.index()]
     }
 
+    pub(crate) fn is_poisoned(&self) -> bool {
+        self.poisoned.is_some()
+    }
+
+    pub(crate) fn take_error(&mut self) -> Option<TraceError> {
+        self.poisoned.take()
+    }
+
+    pub(crate) fn buffered_events(&self) -> usize {
+        self.buffered
+    }
+
     pub(crate) fn stats(&self) -> TraceStats {
         self.stats.snapshot()
+    }
+}
+
+/// The demux viewed as an [`EventSink`]: what a [`FusedSource`] hands its
+/// step generator each pump.
+struct DemuxSink<'a>(&'a mut Demux);
+
+impl EventSink for DemuxSink<'_> {
+    fn event(&mut self, proc: ProcId, ev: TraceEvent) {
+        self.0.push(proc, ev);
+    }
+    fn end_of_stream(&mut self, proc: ProcId) {
+        self.0.end(proc);
+    }
+}
+
+/// A resumable trace generator: the producer half of [`FusedSource`].
+///
+/// Each [`step`](StepGenerator::step) call emits a bounded batch of events
+/// (typically one processor's slice of one phase) into the sink it is
+/// handed and returns `true` while more remain.  The generator owns all of
+/// its state — loop counters, RNG, a [`crate::builder::StepWriter`] — so
+/// the consumer can interleave steps with event pulls on one thread.
+///
+/// Implementations must emit per-processor end-of-stream markers
+/// ([`crate::builder::StepWriter::finish`]) when done, and must emit the
+/// same event sequences regardless of how the calls are interleaved with
+/// other work: two equally constructed generators stepped to completion
+/// produce bit-identical streams.
+pub trait StepGenerator: Send {
+    /// Emit the next bounded batch into `sink`; `false` once the trace is
+    /// complete (the final call emits the end-of-stream markers).  Not
+    /// called again after returning `false`.
+    fn step(&mut self, sink: &mut dyn EventSink) -> bool;
+}
+
+/// A [`TraceSource`] that runs its generator *inside* the consumer's pull
+/// loop.
+///
+/// When the pulled processor's queue is empty, the source steps the
+/// generator until that processor has an event (or its end marker).  No
+/// thread, no channel, no batch copies: events go straight from the
+/// generator's emission into the per-processor queues the consumer pops.
+/// Peak memory is the skew between emission order and consumption order —
+/// for the phase-structured SPLASH generators, a fraction of one phase —
+/// guarded by the same window cap as every demultiplexing source.
+///
+/// This is the right source when producer and consumer share a core (every
+/// experiment worker thread runs one simulation); [`ThreadedSource`]
+/// remains for overlapping generation with simulation on a spare core and
+/// for feeding recorders.
+pub struct FusedSource {
+    name: String,
+    topology: Topology,
+    generator: Option<Box<dyn StepGenerator>>,
+    demux: Demux,
+}
+
+impl std::fmt::Debug for FusedSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FusedSource")
+            .field("name", &self.name)
+            .field("topology", &self.topology)
+            .finish_non_exhaustive()
+    }
+}
+
+impl FusedSource {
+    /// Wrap a step generator as a pull source for `topology`.
+    pub fn new(
+        name: impl Into<String>,
+        topology: Topology,
+        generator: Box<dyn StepGenerator>,
+    ) -> Self {
+        FusedSource {
+            name: name.into(),
+            topology,
+            generator: Some(generator),
+            demux: Demux::new(topology),
+        }
+    }
+
+    /// Replace the parked-event window cap (default
+    /// [`default_window_cap`] for the source's topology).
+    pub fn with_window_cap(mut self, cap: usize) -> Self {
+        self.demux.set_window_cap(cap);
+        self
+    }
+
+    /// Run the generator for one step.  Returns `false` once it (or the
+    /// window cap) ended the stream.
+    fn pump(&mut self) -> bool {
+        let Some(generator) = &mut self.generator else {
+            return false;
+        };
+        let more = generator.step(&mut DemuxSink(&mut self.demux));
+        if !more {
+            self.generator = None;
+            self.demux.end_all();
+        } else if self.demux.is_poisoned() {
+            self.generator = None;
+        }
+        more && !self.demux.is_poisoned()
+    }
+}
+
+impl TraceSource for FusedSource {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn topology(&self) -> Topology {
+        self.topology
+    }
+
+    fn next_event(&mut self, proc: ProcId) -> Option<TraceEvent> {
+        loop {
+            if let Some(ev) = self.demux.pop(proc) {
+                return Some(ev);
+            }
+            if self.demux.is_ended(proc) || !self.pump() {
+                return None;
+            }
+        }
+    }
+
+    fn exhausted(&mut self, proc: ProcId) -> bool {
+        loop {
+            if self.demux.has_buffered(proc) {
+                return false;
+            }
+            if self.demux.is_ended(proc) || !self.pump() {
+                return true;
+            }
+        }
+    }
+
+    fn stats_so_far(&self) -> TraceStats {
+        self.demux.stats()
+    }
+
+    fn buffered_events(&self) -> usize {
+        self.demux.buffered_events()
+    }
+
+    fn take_error(&mut self) -> Option<TraceError> {
+        self.demux.take_error()
     }
 }
 
@@ -203,13 +509,22 @@ const BATCH_EVENTS: usize = 1024;
 /// Batches the channel buffers before the producer blocks.  Bounded memory:
 /// the producer can run at most `BATCH_BUFFER * BATCH_EVENTS` events ahead
 /// of the consumer (plus whatever the consumer demultiplexes while waiting
-/// for a specific processor's next event).
+/// for a specific processor's next event — itself bounded by the window
+/// cap).
 const BATCH_BUFFER: usize = 32;
+
+/// What flows through a [`ThreadedSource`]'s channel: event batches,
+/// interleaved with per-processor end-of-stream markers at the positions
+/// the generator emitted them.
+enum Chunk {
+    Events(Vec<(u16, TraceEvent)>),
+    EndOfStream(u16),
+}
 
 /// The producer half of [`ThreadedSource`]: an [`EventSink`] that ships
 /// events to the consumer in bounded batches.
 struct ChannelSink {
-    tx: mpsc::SyncSender<Vec<(u16, TraceEvent)>>,
+    tx: mpsc::SyncSender<Chunk>,
     buf: Vec<(u16, TraceEvent)>,
     /// Set once the consumer hung up; subsequent events are discarded so the
     /// generator can run to completion (cheap) instead of unwinding.
@@ -217,7 +532,7 @@ struct ChannelSink {
 }
 
 impl ChannelSink {
-    fn new(tx: mpsc::SyncSender<Vec<(u16, TraceEvent)>>) -> Self {
+    fn new(tx: mpsc::SyncSender<Chunk>) -> Self {
         ChannelSink {
             tx,
             buf: Vec::with_capacity(BATCH_EVENTS),
@@ -230,7 +545,7 @@ impl ChannelSink {
             return;
         }
         let batch = std::mem::replace(&mut self.buf, Vec::with_capacity(BATCH_EVENTS));
-        if self.tx.send(batch).is_err() {
+        if self.tx.send(Chunk::Events(batch)).is_err() {
             self.dead = true;
         }
     }
@@ -246,6 +561,15 @@ impl EventSink for ChannelSink {
             self.flush();
         }
     }
+
+    fn end_of_stream(&mut self, proc: ProcId) {
+        // Order matters: the marker must arrive after every event the
+        // processor emitted, so flush the pending batch first.
+        self.flush();
+        if !self.dead && self.tx.send(Chunk::EndOfStream(proc.0)).is_err() {
+            self.dead = true;
+        }
+    }
 }
 
 /// A [`TraceSource`] produced by a generator running on its own thread.
@@ -256,18 +580,16 @@ impl EventSink for ChannelSink {
 /// emission order and consumption order (for the phase-structured SPLASH-2
 /// generators: a fraction of one phase), *not* the trace size.
 ///
-/// One caveat follows from the generator having no per-processor completion
-/// signal: a processor's exhaustion only becomes observable at the end of
-/// the whole stream, so `exhausted`/`next_event` on a processor that went
-/// quiet long before generation ends will read (and buffer) the intervening
-/// events.  The SPLASH generators end every processor together at a final
-/// barrier, keeping that window one phase wide; recorded trace files avoid
-/// it entirely via explicit per-processor end markers
-/// ([`crate::replay`]).
+/// Per-processor end-of-stream markers flow through the channel at the
+/// position the generator emitted them, so a processor's exhaustion is
+/// observable as soon as its stream actually ends — the window between a
+/// processor going quiet and the consumer learning it is gone for
+/// well-formed generators, and hard-capped
+/// ([`TraceError::StreamWindowExceeded`]) for everything else.
 pub struct ThreadedSource {
     name: String,
     topology: Topology,
-    rx: Option<mpsc::Receiver<Vec<(u16, TraceEvent)>>>,
+    rx: Option<mpsc::Receiver<Chunk>>,
     handle: Option<std::thread::JoinHandle<()>>,
     demux: Demux,
 }
@@ -312,14 +634,33 @@ impl ThreadedSource {
         }
     }
 
-    /// Receive one batch and demultiplex it.  Returns `false` at end of
-    /// stream.  Propagates a generator panic to the consumer.
+    /// Replace the parked-event window cap (default
+    /// [`default_window_cap`] for the source's topology).
+    pub fn with_window_cap(mut self, cap: usize) -> Self {
+        self.demux.set_window_cap(cap);
+        self
+    }
+
+    /// Receive one chunk and demultiplex it.  Returns `false` at end of
+    /// stream (or once the window cap poisoned the demux — the channel is
+    /// then dropped so the producer winds down on its own).  Propagates a
+    /// generator panic to the consumer.
     fn pump(&mut self) -> bool {
         let Some(rx) = &self.rx else { return false };
         match rx.recv() {
-            Ok(batch) => {
-                for (p, ev) in batch {
-                    self.demux.push(ProcId(p), ev);
+            Ok(chunk) => {
+                match chunk {
+                    Chunk::Events(batch) => {
+                        for (p, ev) in batch {
+                            self.demux.push(ProcId(p), ev);
+                        }
+                    }
+                    Chunk::EndOfStream(p) => self.demux.end(ProcId(p)),
+                }
+                if self.demux.is_poisoned() {
+                    // Hang up; the generator discards the rest and exits.
+                    self.rx = None;
+                    return false;
                 }
                 true
             }
@@ -371,13 +712,21 @@ impl TraceSource for ThreadedSource {
     fn stats_so_far(&self) -> TraceStats {
         self.demux.stats()
     }
+
+    fn buffered_events(&self) -> usize {
+        self.demux.buffered_events()
+    }
+
+    fn take_error(&mut self) -> Option<TraceError> {
+        self.demux.take_error()
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::addr::GlobalAddr;
-    use crate::builder::{TraceBuilder, TraceWriter};
+    use crate::builder::{StepWriter, TraceBuilder, TraceWriter};
 
     fn toy_trace() -> ProgramTrace {
         let topo = Topology::new(2, 1);
@@ -388,6 +737,44 @@ mod tests {
         b.lock(ProcId(1), 7);
         b.unlock(ProcId(1), 7);
         b.build()
+    }
+
+    /// A step generator replaying the toy trace: one event per step, fair
+    /// round-robin, end markers when each processor drains.
+    struct ToySteps {
+        trace: ProgramTrace,
+        pos: Vec<usize>,
+        next: usize,
+    }
+
+    impl ToySteps {
+        fn new(trace: ProgramTrace) -> Self {
+            let procs = trace.per_proc.len();
+            ToySteps {
+                trace,
+                pos: vec![0; procs],
+                next: 0,
+            }
+        }
+    }
+
+    impl StepGenerator for ToySteps {
+        fn step(&mut self, sink: &mut dyn EventSink) -> bool {
+            let procs = self.pos.len();
+            for _ in 0..procs {
+                let p = self.next;
+                self.next = (self.next + 1) % procs;
+                if let Some(ev) = self.trace.per_proc[p].get(self.pos[p]) {
+                    sink.event(ProcId(p as u16), *ev);
+                    self.pos[p] += 1;
+                    if self.pos[p] == self.trace.per_proc[p].len() {
+                        sink.end_of_stream(ProcId(p as u16));
+                    }
+                    return true;
+                }
+            }
+            false
+        }
     }
 
     #[test]
@@ -405,6 +792,8 @@ mod tests {
             assert!(src.exhausted(p));
         }
         assert_eq!(src.stats_so_far(), trace.stats());
+        assert_eq!(src.buffered_events(), 0);
+        assert!(src.take_error().is_none());
     }
 
     #[test]
@@ -418,6 +807,72 @@ mod tests {
     }
 
     #[test]
+    fn cursor_stats_track_the_pulled_prefix_incrementally() {
+        let trace = toy_trace();
+        let mut src = trace.source();
+        assert_eq!(src.stats_so_far(), TraceStats::default());
+        src.next_event(ProcId(0)); // think
+        src.next_event(ProcId(0)); // read
+        let mid = src.stats_so_far();
+        assert_eq!(mid.accesses, 1);
+        assert_eq!(mid.reads, 1);
+        assert_eq!(mid.compute_cycles, 2);
+        for p in trace.topology.proc_ids() {
+            while src.next_event(p).is_some() {}
+        }
+        assert_eq!(src.stats_so_far(), trace.stats());
+    }
+
+    #[test]
+    fn fused_source_matches_materialized_trace() {
+        let trace = toy_trace();
+        let topo = trace.topology;
+        let mut src = FusedSource::new("toy", topo, Box::new(ToySteps::new(trace.clone())));
+        // Pull in an adversarial order: proc 1 fully first.
+        let mut p1 = Vec::new();
+        while let Some(ev) = src.next_event(ProcId(1)) {
+            p1.push(ev);
+        }
+        let mut p0 = Vec::new();
+        while let Some(ev) = src.next_event(ProcId(0)) {
+            p0.push(ev);
+        }
+        assert_eq!(p0, trace.per_proc[0]);
+        assert_eq!(p1, trace.per_proc[1]);
+        assert!(src.exhausted(ProcId(0)) && src.exhausted(ProcId(1)));
+        assert_eq!(src.stats_so_far(), trace.stats());
+        assert!(src.take_error().is_none());
+    }
+
+    #[test]
+    fn fused_source_window_cap_poisons_instead_of_growing() {
+        // A generator whose proc 0 emits forever while proc 1 stays silent:
+        // pulling proc 1 must hit the cap and surface the error, not OOM.
+        struct Endless(u64);
+        impl StepGenerator for Endless {
+            fn step(&mut self, sink: &mut dyn EventSink) -> bool {
+                sink.event(ProcId(0), TraceEvent::read(GlobalAddr(self.0 * 64)));
+                self.0 += 1;
+                true
+            }
+        }
+        let topo = Topology::new(2, 1);
+        let mut src =
+            FusedSource::new("endless", topo, Box::new(Endless(0))).with_window_cap(1_000);
+        assert!(src.next_event(ProcId(1)).is_none());
+        assert!(src.buffered_events() <= 1_000);
+        match src.take_error() {
+            Some(TraceError::StreamWindowExceeded { buffered, cap }) => {
+                assert_eq!(cap, 1_000);
+                assert!(buffered >= 1_000);
+            }
+            other => panic!("expected StreamWindowExceeded, got {other:?}"),
+        }
+        // Poisoned: everything reports exhausted.
+        assert!(src.exhausted(ProcId(0)));
+    }
+
+    #[test]
     fn threaded_source_matches_materialized_trace() {
         let trace = toy_trace();
         let topo = trace.topology;
@@ -428,6 +883,7 @@ mod tests {
             w.write(ProcId(1), GlobalAddr(4096));
             w.lock(ProcId(1), 7);
             w.unlock(ProcId(1), 7);
+            w.finish();
         });
         // Pull in an adversarial order: proc 1 fully first.
         let mut p1 = Vec::new();
@@ -442,6 +898,75 @@ mod tests {
         assert_eq!(p1, trace.per_proc[1]);
         assert!(src.exhausted(ProcId(0)) && src.exhausted(ProcId(1)));
         assert_eq!(src.stats_so_far(), trace.stats());
+    }
+
+    #[test]
+    fn threaded_end_markers_bound_the_exhaustion_window() {
+        // Proc 1 emits one event and ends; proc 0 keeps going for 100k
+        // events.  With the marker flowing through the channel, draining
+        // proc 1 and asking about its exhaustion must not pull proc 0's
+        // stream through the demux.
+        let topo = Topology::new(2, 1);
+        let mut src = ThreadedSource::spawn("uneven", topo, move |sink| {
+            let mut w = StepWriter::new(topo);
+            w.read(sink, ProcId(1), GlobalAddr(0));
+            sink.end_of_stream(ProcId(1));
+            for i in 0..100_000u64 {
+                w.read(sink, ProcId(0), GlobalAddr(i * 64));
+            }
+            sink.end_of_stream(ProcId(0));
+        });
+        assert!(src.next_event(ProcId(1)).is_some());
+        assert!(src.next_event(ProcId(1)).is_none());
+        assert!(src.exhausted(ProcId(1)));
+        assert!(
+            src.buffered_events() <= 2 * BATCH_EVENTS,
+            "exhaustion query dragged {} events through the demux",
+            src.buffered_events()
+        );
+        // The rest still streams intact.
+        let mut got0 = 0usize;
+        while src.next_event(ProcId(0)).is_some() {
+            got0 += 1;
+        }
+        assert_eq!(got0, 100_000);
+    }
+
+    #[test]
+    fn threaded_window_cap_poisons_instead_of_growing() {
+        // No end marker for the quiet proc 1: the adversarial pull order
+        // that used to buffer the whole stream now trips the cap.
+        let topo = Topology::new(2, 1);
+        let mut src = ThreadedSource::spawn("runaway", topo, move |sink| {
+            let mut w = StepWriter::new(topo);
+            for i in 0..1_000_000u64 {
+                w.read(sink, ProcId(0), GlobalAddr(i * 64));
+            }
+        })
+        .with_window_cap(10_000);
+        assert!(src.next_event(ProcId(1)).is_none());
+        assert!(src.buffered_events() <= 10_000);
+        assert!(matches!(
+            src.take_error(),
+            Some(TraceError::StreamWindowExceeded { cap: 10_000, .. })
+        ));
+        assert!(src.exhausted(ProcId(0)));
+    }
+
+    #[test]
+    fn default_window_cap_scales_with_the_machine() {
+        // Flat floor for small machines…
+        assert_eq!(default_window_cap(Topology::new(2, 1)), DEFAULT_WINDOW_CAP);
+        assert_eq!(
+            default_window_cap(Topology::new(8, 4)),
+            32 * WINDOW_CAP_PER_PROC
+        );
+        // …per-processor allowance for wide ones: radix's global-rank phase
+        // is O(procs²) events, so a 384-processor sweep point legitimately
+        // parks more than the flat floor.
+        let wide = default_window_cap(Topology::new(96, 4));
+        assert_eq!(wide, 384 * WINDOW_CAP_PER_PROC);
+        assert!(wide > DEFAULT_WINDOW_CAP);
     }
 
     #[test]

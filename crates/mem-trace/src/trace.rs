@@ -65,6 +65,19 @@ pub enum TraceError {
         /// Number of processors left blocked.
         blocked: usize,
     },
+    /// A streaming source's demultiplexing window grew past its cap: the
+    /// consumer kept asking for one processor's events while the underlying
+    /// stream produced only other processors', so the parked backlog would
+    /// otherwise grow without bound (an adversarial pull order, or a
+    /// workload whose processors do not end together).  Raise the cap with
+    /// the source's `with_window_cap` if the workload legitimately needs a
+    /// wider window.
+    StreamWindowExceeded {
+        /// Events parked when the cap tripped.
+        buffered: usize,
+        /// The configured cap.
+        cap: usize,
+    },
 }
 
 impl std::fmt::Display for TraceError {
@@ -89,6 +102,11 @@ impl std::fmt::Display for TraceError {
             TraceError::Deadlock { blocked } => write!(
                 f,
                 "trace ended with {blocked} processor(s) still blocked on a barrier or lock"
+            ),
+            TraceError::StreamWindowExceeded { buffered, cap } => write!(
+                f,
+                "streaming source buffered {buffered} events for processors nobody is pulling, \
+                 past the {cap}-event window cap"
             ),
         }
     }

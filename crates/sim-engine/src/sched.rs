@@ -56,6 +56,18 @@ impl ProcScheduler {
         self.heap.peek().map(|Reverse((t, _))| *t)
     }
 
+    /// The earliest pending `(time, proc)` wakeup without removing it —
+    /// exactly what [`ProcScheduler::pop`] would return.  O(1).
+    ///
+    /// This is what makes the simulator's run-while-minimum fast path
+    /// possible: a processor whose advanced clock still orders before this
+    /// pair would be popped straight back, so the push/pop round trip can
+    /// be skipped without perturbing the interleaving.
+    #[inline]
+    pub fn peek(&self) -> Option<(Cycles, u16)> {
+        self.heap.peek().map(|Reverse((t, p))| (*t, *p))
+    }
+
     /// Remove and return the earliest `(time, proc)` wakeup; ties pop the
     /// smallest proc id first.  O(log P).
     #[inline]

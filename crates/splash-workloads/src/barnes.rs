@@ -10,9 +10,9 @@
 //! hurt by migrating read-mostly pages back and forth.
 
 use crate::config::{Scale, WorkloadConfig};
-use crate::util::owned_range;
+use crate::util::{advance_proc_phase, owned_range};
 use crate::Workload;
-use mem_trace::{AddressSpace, EventSink, ProcId, TraceWriter};
+use mem_trace::{AddressSpace, EventSink, ProcId, Segment, StepGenerator, StepWriter, Topology};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -47,7 +47,170 @@ impl BarnesParams {
                 cells_per_walk: 16,
                 neighbors_per_body: 8,
             },
+            // Bodies (and the tree over them) carry the factor; walk depth
+            // and timesteps are the paper's.
+            Scale::Custom(c) => BarnesParams {
+                bodies: c.of(16 * 1024).max(64),
+                timesteps: 4,
+                cells: c.of(8 * 1024).max(32),
+                cells_per_walk: 16,
+                neighbors_per_body: 8,
+            },
         }
+    }
+}
+
+enum BarnesState {
+    Init { p: usize },
+    Build { step: u64, p: usize },
+    Force { step: u64, p: usize },
+    Update { step: u64, p: usize },
+    Finish,
+}
+
+struct BarnesGen {
+    params: BarnesParams,
+    topology: Topology,
+    procs: usize,
+    bodies: Segment,
+    cells: Segment,
+    w: StepWriter,
+    rng: SmallRng,
+    state: BarnesState,
+}
+
+impl BarnesGen {
+    fn new(cfg: &WorkloadConfig) -> Self {
+        let params = BarnesParams::for_scale(cfg.scale);
+        let mut space = AddressSpace::new();
+        // One body per cache line (positions, velocities, mass).
+        let bodies = space.alloc("bodies", params.bodies, 64);
+        // Tree cells are two cache lines (children pointers + multipole).
+        let cells = space.alloc("cells", params.cells, 128);
+        BarnesGen {
+            params,
+            topology: cfg.topology,
+            procs: cfg.topology.total_procs(),
+            bodies,
+            cells,
+            w: StepWriter::new(cfg.topology).with_think_cycles(cfg.think_cycles),
+            rng: SmallRng::seed_from_u64(cfg.seed ^ 0xba53),
+            state: BarnesState::Init { p: 0 },
+        }
+    }
+}
+
+impl StepGenerator for BarnesGen {
+    fn step(&mut self, sink: &mut dyn EventSink) -> bool {
+        let params = &self.params;
+        match self.state {
+            // Initialization: owners write their own bodies.
+            BarnesState::Init { p } => {
+                let proc = ProcId(p as u16);
+                for i in owned_range(params.bodies as usize, self.topology, proc) {
+                    self.w.write(sink, proc, self.bodies.elem(i as u64));
+                }
+                self.state = advance_proc_phase(
+                    &mut self.w,
+                    sink,
+                    p,
+                    self.procs,
+                    |p| BarnesState::Init { p },
+                    || BarnesState::Build { step: 0, p: 0 },
+                );
+            }
+            // Phase 1: tree build.  Every processor inserts its bodies,
+            // writing a root-to-leaf path of cells under a per-subtree lock.
+            // The upper cells (small indices) are touched by everyone.
+            BarnesState::Build { step, p } => {
+                let proc = ProcId(p as u16);
+                let range = owned_range(params.bodies as usize, self.topology, proc);
+                for i in range.step_by(8) {
+                    let lock_id = (i as u32 % 8) + 1;
+                    self.w.lock(sink, proc, lock_id);
+                    // Path from the root: geometrically distributed indices.
+                    let mut idx = 0u64;
+                    for depth in 0..4u64 {
+                        self.w.read(sink, proc, self.cells.elem(idx));
+                        self.w.write(sink, proc, self.cells.elem(idx));
+                        let fanout = 1 + self.rng.gen_range(0..4u64);
+                        idx = (idx * 4 + fanout + depth) % params.cells;
+                    }
+                    self.w.unlock(sink, proc, lock_id);
+                }
+                self.state = advance_proc_phase(
+                    &mut self.w,
+                    sink,
+                    p,
+                    self.procs,
+                    |p| BarnesState::Build { step, p },
+                    || BarnesState::Force { step, p: 0 },
+                );
+            }
+            // Phase 2: force computation.  Each body's owner walks the upper
+            // tree (read-shared cells) and reads a sample of other bodies,
+            // then writes its own body's accelerations.
+            BarnesState::Force { step, p } => {
+                let proc = ProcId(p as u16);
+                for i in owned_range(params.bodies as usize, self.topology, proc) {
+                    for walk in 0..params.cells_per_walk {
+                        // Walks are heavily biased towards the top of the
+                        // tree, which is what makes those pages read-shared
+                        // by all nodes.
+                        let cell = if walk < 4 {
+                            walk
+                        } else {
+                            self.rng.gen_range(0..params.cells)
+                        };
+                        self.w.read(sink, proc, self.cells.elem(cell));
+                    }
+                    for _ in 0..params.neighbors_per_body {
+                        let other = self.rng.gen_range(0..params.bodies);
+                        self.w.read(sink, proc, self.bodies.elem(other));
+                    }
+                    self.w.write(sink, proc, self.bodies.elem(i as u64));
+                }
+                self.state = advance_proc_phase(
+                    &mut self.w,
+                    sink,
+                    p,
+                    self.procs,
+                    |p| BarnesState::Force { step, p },
+                    || BarnesState::Update { step, p: 0 },
+                );
+            }
+            // Phase 3: position update — private to each owner.
+            BarnesState::Update { step, p } => {
+                let proc = ProcId(p as u16);
+                for i in owned_range(params.bodies as usize, self.topology, proc) {
+                    self.w.read(sink, proc, self.bodies.elem(i as u64));
+                    self.w.write(sink, proc, self.bodies.elem(i as u64));
+                }
+                let timesteps = params.timesteps;
+                self.state = advance_proc_phase(
+                    &mut self.w,
+                    sink,
+                    p,
+                    self.procs,
+                    |p| BarnesState::Update { step, p },
+                    || {
+                        if step + 1 < timesteps {
+                            BarnesState::Build {
+                                step: step + 1,
+                                p: 0,
+                            }
+                        } else {
+                            BarnesState::Finish
+                        }
+                    },
+                );
+            }
+            BarnesState::Finish => {
+                self.w.finish(sink);
+                return false;
+            }
+        }
+        true
     }
 }
 
@@ -69,86 +232,11 @@ impl Workload for Barnes {
     }
 
     fn emit(&self, cfg: &WorkloadConfig, sink: &mut dyn EventSink) {
-        let params = BarnesParams::for_scale(cfg.scale);
-        let procs = cfg.topology.total_procs();
+        crate::run_stepper(self.stepper(cfg), sink);
+    }
 
-        let mut space = AddressSpace::new();
-        // One body per cache line (positions, velocities, mass).
-        let bodies = space.alloc("bodies", params.bodies, 64);
-        // Tree cells are two cache lines (children pointers + multipole).
-        let cells = space.alloc("cells", params.cells, 128);
-
-        let mut b = TraceWriter::new(cfg.topology, sink).with_think_cycles(cfg.think_cycles);
-        let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0xba53);
-
-        // Initialization: owners write their own bodies.
-        for p in 0..procs {
-            let proc = ProcId(p as u16);
-            for i in owned_range(params.bodies as usize, cfg.topology, proc) {
-                b.write(proc, bodies.elem(i as u64));
-            }
-        }
-        b.barrier_all();
-
-        for _step in 0..params.timesteps {
-            // Phase 1: tree build.  Every processor inserts its bodies,
-            // writing a root-to-leaf path of cells under a per-subtree lock.
-            // The upper cells (small indices) are touched by everyone.
-            for p in 0..procs {
-                let proc = ProcId(p as u16);
-                let range = owned_range(params.bodies as usize, cfg.topology, proc);
-                for i in range.step_by(8) {
-                    let lock_id = (i as u32 % 8) + 1;
-                    b.lock(proc, lock_id);
-                    // Path from the root: geometrically distributed indices.
-                    let mut idx = 0u64;
-                    for depth in 0..4u64 {
-                        b.read(proc, cells.elem(idx));
-                        b.write(proc, cells.elem(idx));
-                        let fanout = 1 + rng.gen_range(0..4u64);
-                        idx = (idx * 4 + fanout + depth) % params.cells;
-                    }
-                    b.unlock(proc, lock_id);
-                }
-            }
-            b.barrier_all();
-
-            // Phase 2: force computation.  Each body's owner walks the upper
-            // tree (read-shared cells) and reads a sample of other bodies,
-            // then writes its own body's accelerations.
-            for p in 0..procs {
-                let proc = ProcId(p as u16);
-                for i in owned_range(params.bodies as usize, cfg.topology, proc) {
-                    for w in 0..params.cells_per_walk {
-                        // Walks are heavily biased towards the top of the
-                        // tree, which is what makes those pages read-shared
-                        // by all nodes.
-                        let cell = if w < 4 {
-                            w
-                        } else {
-                            rng.gen_range(0..params.cells)
-                        };
-                        b.read(proc, cells.elem(cell));
-                    }
-                    for _ in 0..params.neighbors_per_body {
-                        let other = rng.gen_range(0..params.bodies);
-                        b.read(proc, bodies.elem(other));
-                    }
-                    b.write(proc, bodies.elem(i as u64));
-                }
-            }
-            b.barrier_all();
-
-            // Phase 3: position update — private to each owner.
-            for p in 0..procs {
-                let proc = ProcId(p as u16);
-                for i in owned_range(params.bodies as usize, cfg.topology, proc) {
-                    b.read(proc, bodies.elem(i as u64));
-                    b.write(proc, bodies.elem(i as u64));
-                }
-            }
-            b.barrier_all();
-        }
+    fn stepper(&self, cfg: &WorkloadConfig) -> Box<dyn StepGenerator> {
+        Box::new(BarnesGen::new(cfg))
     }
 }
 
@@ -185,5 +273,14 @@ mod tests {
                 .any(|e| matches!(e, mem_trace::TraceEvent::Lock(_)))
         });
         assert!(has_locks);
+    }
+
+    #[test]
+    fn custom_scale_grows_bodies_and_cells() {
+        use crate::config::CustomScale;
+        let double = BarnesParams::for_scale(Scale::Custom(CustomScale::new(2, 1)));
+        assert_eq!(double.bodies, 32 * 1024);
+        assert_eq!(double.cells, 16 * 1024);
+        assert_eq!(double.timesteps, 4, "timesteps are the paper's");
     }
 }

@@ -17,7 +17,7 @@
 
 use crate::config::{Scale, WorkloadConfig};
 use crate::Workload;
-use mem_trace::{AddressSpace, EventSink, ProcId, TraceWriter};
+use mem_trace::{AddressSpace, EventSink, ProcId, Segment, StepGenerator, StepWriter};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -50,7 +50,133 @@ impl CholeskyParams {
                 updates_per_supernode: 8,
                 lines_per_update: 24,
             },
+            // The elimination tree carries the factor; per-supernode
+            // structure is the paper's.
+            Scale::Custom(c) => CholeskyParams {
+                supernodes: c.of(2048).max(64),
+                lines_per_supernode: 64,
+                updates_per_supernode: 8,
+                lines_per_update: 24,
+            },
         }
+    }
+}
+
+/// Supernode panels initialised per load step (bounds each step's
+/// emission).
+const LOAD_CHUNK: u64 = 32;
+
+enum CholeskyState {
+    Load { from: u64 },
+    Factor { sn: u64 },
+    Finish,
+}
+
+struct CholeskyGen {
+    params: CholeskyParams,
+    procs: u64,
+    panels: Segment,
+    queue: Segment,
+    w: StepWriter,
+    rng: SmallRng,
+    state: CholeskyState,
+}
+
+impl CholeskyGen {
+    fn new(cfg: &WorkloadConfig) -> Self {
+        let params = CholeskyParams::for_scale(cfg.scale);
+        let mut space = AddressSpace::new();
+        let panels = space.alloc("panels", params.supernodes * params.lines_per_supernode, 64);
+        let queue = space.alloc("task_queue", 64, 64);
+        CholeskyGen {
+            params,
+            procs: cfg.topology.total_procs() as u64,
+            panels,
+            queue,
+            w: StepWriter::new(cfg.topology).with_think_cycles(cfg.think_cycles),
+            rng: SmallRng::seed_from_u64(cfg.seed ^ 0xc401),
+            state: CholeskyState::Load { from: 0 },
+        }
+    }
+
+    fn panel_line(&self, sn: u64, line: u64) -> mem_trace::GlobalAddr {
+        self.panels
+            .elem(sn * self.params.lines_per_supernode + line)
+    }
+}
+
+impl StepGenerator for CholeskyGen {
+    fn step(&mut self, sink: &mut dyn EventSink) -> bool {
+        match self.state {
+            // Processor 0 loads the sparse matrix: every panel page is
+            // homed on node 0 by first-touch.
+            CholeskyState::Load { from } => {
+                let to = (from + LOAD_CHUNK).min(self.params.supernodes);
+                for sn in from..to {
+                    for line in 0..self.params.lines_per_supernode {
+                        let addr = self.panel_line(sn, line);
+                        self.w.write(sink, ProcId(0), addr);
+                    }
+                }
+                if to < self.params.supernodes {
+                    self.state = CholeskyState::Load { from: to };
+                } else {
+                    self.w.barrier_all(sink);
+                    self.state = CholeskyState::Factor { sn: 0 };
+                }
+            }
+            // Task-queue driven factorization.  Tasks are dealt round-robin
+            // to emulate self-scheduling; each dequeue goes through the
+            // queue lock.
+            CholeskyState::Factor { sn } => {
+                let supernodes = self.params.supernodes;
+                let p = ProcId((sn % self.procs) as u16);
+                // Dequeue.
+                self.w.lock(sink, p, 0);
+                let q0 = self.queue.elem(0);
+                self.w.read(sink, p, q0);
+                self.w.write(sink, p, q0);
+                self.w.unlock(sink, p, 0);
+
+                // Factor the supernode panel: read-modify-write every line
+                // once (streaming, no reuse).
+                for line in 0..self.params.lines_per_supernode {
+                    let addr = self.panel_line(sn, line);
+                    self.w.read(sink, p, addr);
+                    self.w.write(sink, p, addr);
+                }
+
+                // Update later columns selected by the (synthetic) sparsity
+                // pattern: reads of this panel, scattered writes into later
+                // panels.
+                for _ in 0..self.params.updates_per_supernode {
+                    if sn + 1 >= supernodes {
+                        break;
+                    }
+                    let target = sn + 1 + self.rng.gen_range(0..(supernodes - sn - 1)).min(64);
+                    for line in 0..self.params.lines_per_update {
+                        let src = self.rng.gen_range(0..self.params.lines_per_supernode);
+                        let src_addr = self.panel_line(sn, src);
+                        let tgt_addr = self.panel_line(target, line);
+                        self.w.read(sink, p, src_addr);
+                        self.w.read(sink, p, tgt_addr);
+                        self.w.write(sink, p, tgt_addr);
+                    }
+                }
+
+                if sn + 1 < supernodes {
+                    self.state = CholeskyState::Factor { sn: sn + 1 };
+                } else {
+                    self.w.barrier_all(sink);
+                    self.state = CholeskyState::Finish;
+                }
+            }
+            CholeskyState::Finish => {
+                self.w.finish(sink);
+                return false;
+            }
+        }
+        true
     }
 }
 
@@ -72,61 +198,11 @@ impl Workload for Cholesky {
     }
 
     fn emit(&self, cfg: &WorkloadConfig, sink: &mut dyn EventSink) {
-        let params = CholeskyParams::for_scale(cfg.scale);
-        let procs = cfg.topology.total_procs();
+        crate::run_stepper(self.stepper(cfg), sink);
+    }
 
-        let mut space = AddressSpace::new();
-        let panels = space.alloc("panels", params.supernodes * params.lines_per_supernode, 64);
-        let queue = space.alloc("task_queue", 64, 64);
-
-        let mut b = TraceWriter::new(cfg.topology, sink).with_think_cycles(cfg.think_cycles);
-        let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0xc401);
-
-        let panel_line = |sn: u64, line: u64| panels.elem(sn * params.lines_per_supernode + line);
-
-        // Processor 0 loads the sparse matrix: every panel page is homed on
-        // node 0 by first-touch.
-        for sn in 0..params.supernodes {
-            for line in 0..params.lines_per_supernode {
-                b.write(ProcId(0), panel_line(sn, line));
-            }
-        }
-        b.barrier_all();
-
-        // Task-queue driven factorization.  Tasks are dealt round-robin to
-        // emulate self-scheduling; each dequeue goes through the queue lock.
-        for sn in 0..params.supernodes {
-            let p = ProcId((sn % procs as u64) as u16);
-            // Dequeue.
-            b.lock(p, 0);
-            b.read(p, queue.elem(0));
-            b.write(p, queue.elem(0));
-            b.unlock(p, 0);
-
-            // Factor the supernode panel: read-modify-write every line once
-            // (streaming, no reuse).
-            for line in 0..params.lines_per_supernode {
-                b.read(p, panel_line(sn, line));
-                b.write(p, panel_line(sn, line));
-            }
-
-            // Update later columns selected by the (synthetic) sparsity
-            // pattern: reads of this panel, scattered writes into later
-            // panels.
-            for _ in 0..params.updates_per_supernode {
-                if sn + 1 >= params.supernodes {
-                    break;
-                }
-                let target = sn + 1 + rng.gen_range(0..(params.supernodes - sn - 1)).min(64);
-                for line in 0..params.lines_per_update {
-                    let src = rng.gen_range(0..params.lines_per_supernode);
-                    b.read(p, panel_line(sn, src));
-                    b.read(p, panel_line(target, line));
-                    b.write(p, panel_line(target, line));
-                }
-            }
-        }
-        b.barrier_all();
+    fn stepper(&self, cfg: &WorkloadConfig) -> Box<dyn StepGenerator> {
+        Box::new(CholeskyGen::new(cfg))
     }
 }
 
@@ -158,5 +234,13 @@ mod tests {
     fn writes_are_substantial() {
         let stats = Cholesky.generate(&WorkloadConfig::reduced()).stats();
         assert!(stats.write_fraction() > 0.3);
+    }
+
+    #[test]
+    fn custom_scale_grows_the_elimination_tree() {
+        use crate::config::CustomScale;
+        let double = CholeskyParams::for_scale(Scale::Custom(CustomScale::new(2, 1)));
+        assert_eq!(double.supernodes, 4096);
+        assert_eq!(double.lines_per_supernode, 64, "panel shape is the paper's");
     }
 }

@@ -2,6 +2,63 @@
 
 use mem_trace::Topology;
 
+/// A user-chosen problem magnitude, expressed as a rational multiplier on
+/// the paper's Table 2 data-set sizes.
+///
+/// `CustomScale::new(2, 1)` doubles every workload's data set past the
+/// paper's inputs (the ROADMAP's "bigger-than-paper" axis);
+/// `CustomScale::new(1, 32)` shrinks them to a unit-test sliver.  Each
+/// generator applies the multiplier to the parameters that define its data
+/// set — element counts scale linearly ([`CustomScale::of`]), the side of a
+/// square grid/matrix scales with the square root
+/// ([`CustomScale::dim`]) so the *data set* (not its side) carries the
+/// factor — while structural constants (radix, block size, passes) keep
+/// their Table 2 values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CustomScale {
+    numer: u32,
+    denom: u32,
+}
+
+impl CustomScale {
+    /// A `numer/denom` multiplier on the Table 2 data-set sizes.
+    ///
+    /// # Panics
+    /// Panics if either term is zero.
+    pub const fn new(numer: u32, denom: u32) -> Self {
+        assert!(numer > 0 && denom > 0, "scale factor terms must be nonzero");
+        CustomScale { numer, denom }
+    }
+
+    /// Scale a linear count (keys, bodies, boxes): `paper * numer / denom`,
+    /// floored at 1.
+    pub fn of(self, paper: u64) -> u64 {
+        (paper * self.numer as u64 / self.denom as u64).max(1)
+    }
+
+    /// Scale the side of a square data set so its *area* carries the
+    /// factor: `sqrt(paper_dim^2 * numer / denom)`, floored at 1.
+    pub fn dim(self, paper_dim: u64) -> u64 {
+        (paper_dim * paper_dim * self.numer as u64 / self.denom as u64)
+            .isqrt()
+            .max(1)
+    }
+
+    /// The multiplier as a float (reports, threshold interpolation).
+    pub fn factor(self) -> f64 {
+        self.numer as f64 / self.denom as f64
+    }
+
+    /// Short label used on sweep axes and in reports (`"x3"`, `"x1/32"`).
+    pub fn label(self) -> String {
+        if self.denom == 1 {
+            format!("x{}", self.numer)
+        } else {
+            format!("x{}/{}", self.numer, self.denom)
+        }
+    }
+}
+
 /// Problem-size scale.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Scale {
@@ -11,6 +68,20 @@ pub enum Scale {
     /// The paper's Table 2 inputs.  Trace generation and simulation take
     /// substantially longer.
     Paper,
+    /// A custom multiple of the Table 2 inputs — smaller than `Reduced` for
+    /// unit tests, larger than `Paper` for bigger-than-paper studies.
+    Custom(CustomScale),
+}
+
+impl Scale {
+    /// Short label used on sweep axes and in reports.
+    pub fn label(&self) -> String {
+        match self {
+            Scale::Reduced => "reduced".to_string(),
+            Scale::Paper => "paper".to_string(),
+            Scale::Custom(c) => c.label(),
+        }
+    }
 }
 
 /// Parameters common to every workload generator.
@@ -26,6 +97,10 @@ pub struct WorkloadConfig {
     /// private-data and ALU work between shared references.
     pub think_cycles: u32,
 }
+
+/// The custom scale behind [`WorkloadConfig::reduced_for_tests`]: 1/32 of
+/// the Table 2 data sets, several times smaller again than `Reduced`.
+pub const TEST_SCALE: CustomScale = CustomScale::new(1, 32);
 
 impl WorkloadConfig {
     /// Reduced-scale configuration on the paper's 8x4 cluster.
@@ -46,10 +121,14 @@ impl WorkloadConfig {
         }
     }
 
-    /// A very small configuration for unit tests: reduced scale, fewer
-    /// emitted accesses, still the full 8x4 cluster.
+    /// A very small configuration for unit tests: [`TEST_SCALE`] problem
+    /// sizes (well under `Reduced`, so every generator emits fewer
+    /// accesses), still the full 8x4 cluster.
     pub fn reduced_for_tests() -> Self {
-        Self::reduced()
+        WorkloadConfig {
+            scale: Scale::Custom(TEST_SCALE),
+            ..Self::reduced()
+        }
     }
 
     /// Replace the topology.
@@ -64,11 +143,11 @@ impl WorkloadConfig {
         self
     }
 
-    /// Pick `reduced` or `paper` by flag.
+    /// The default configuration at `scale` (any scale, including custom).
     pub fn at_scale(scale: Scale) -> Self {
-        match scale {
-            Scale::Reduced => Self::reduced(),
-            Scale::Paper => Self::paper(),
+        WorkloadConfig {
+            scale,
+            ..Self::reduced()
         }
     }
 }
@@ -104,5 +183,42 @@ mod tests {
             WorkloadConfig::at_scale(Scale::Reduced).scale,
             Scale::Reduced
         );
+        let custom = Scale::Custom(CustomScale::new(3, 2));
+        assert_eq!(WorkloadConfig::at_scale(custom).scale, custom);
+    }
+
+    #[test]
+    fn test_config_is_genuinely_smaller_than_reduced() {
+        // `reduced_for_tests` used to claim "fewer emitted accesses" while
+        // returning plain `reduced()`; it now really shrinks the problem.
+        let cfg = WorkloadConfig::reduced_for_tests();
+        assert_eq!(cfg.scale, Scale::Custom(TEST_SCALE));
+        assert_ne!(cfg, WorkloadConfig::reduced());
+        assert!(TEST_SCALE.factor() < 1.0 / 8.0, "well under Reduced (~1/8)");
+    }
+
+    #[test]
+    fn custom_scale_arithmetic() {
+        let double = CustomScale::new(2, 1);
+        assert_eq!(double.of(1024), 2048);
+        assert_eq!(double.dim(512), 724); // sqrt(2) * 512, truncated
+        assert_eq!(double.label(), "x2");
+        assert!((double.factor() - 2.0).abs() < 1e-12);
+
+        let sliver = CustomScale::new(1, 32);
+        assert_eq!(sliver.of(1 << 20), 1 << 15);
+        assert_eq!(sliver.of(1), 1, "floored at 1");
+        assert_eq!(sliver.dim(512), 90);
+        assert_eq!(sliver.label(), "x1/32");
+
+        assert_eq!(Scale::Custom(sliver).label(), "x1/32");
+        assert_eq!(Scale::Reduced.label(), "reduced");
+        assert_eq!(Scale::Paper.label(), "paper");
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_scale_terms_are_rejected() {
+        let _ = CustomScale::new(0, 4);
     }
 }

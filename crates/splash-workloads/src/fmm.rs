@@ -12,9 +12,9 @@
 //! replications per node for fmm).
 
 use crate::config::{Scale, WorkloadConfig};
-use crate::util::owned_range;
+use crate::util::{advance_proc_phase, owned_range};
 use crate::Workload;
-use mem_trace::{AddressSpace, EventSink, ProcId, TraceWriter};
+use mem_trace::{AddressSpace, EventSink, ProcId, Segment, StepGenerator, StepWriter, Topology};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -47,7 +47,134 @@ impl FmmParams {
                 timesteps: 5,
                 interactions: 27,
             },
+            // The box decomposition carries the factor; per-box structure
+            // and timesteps are the paper's.
+            Scale::Custom(c) => FmmParams {
+                boxes: c.of(4096).max(64),
+                lines_per_box: 20,
+                timesteps: 5,
+                interactions: 27,
+            },
         }
+    }
+}
+
+/// Boxes initialised per setup step (keeps each step's emission bounded).
+const SETUP_CHUNK: u64 = 256;
+
+enum FmmState {
+    Setup { from: u64 },
+    Compute { step: u64, p: usize },
+    Finish,
+}
+
+struct FmmGen {
+    params: FmmParams,
+    topology: Topology,
+    procs: usize,
+    boxes: Segment,
+    w: StepWriter,
+    rng: SmallRng,
+    state: FmmState,
+}
+
+impl FmmGen {
+    fn new(cfg: &WorkloadConfig) -> Self {
+        let params = FmmParams::for_scale(cfg.scale);
+        let mut space = AddressSpace::new();
+        let boxes = space.alloc("boxes", params.boxes * params.lines_per_box, 64);
+        FmmGen {
+            params,
+            topology: cfg.topology,
+            procs: cfg.topology.total_procs(),
+            boxes,
+            w: StepWriter::new(cfg.topology).with_think_cycles(cfg.think_cycles),
+            rng: SmallRng::seed_from_u64(cfg.seed ^ 0xf33),
+            state: FmmState::Setup { from: 0 },
+        }
+    }
+
+    fn line_of(&self, box_id: u64, line: u64) -> mem_trace::GlobalAddr {
+        self.boxes.elem(box_id * self.params.lines_per_box + line)
+    }
+}
+
+impl StepGenerator for FmmGen {
+    fn step(&mut self, sink: &mut dyn EventSink) -> bool {
+        match self.state {
+            // Sequential setup: processor 0 initialises every box, so every
+            // box page is first-touch homed on node 0.
+            FmmState::Setup { from } => {
+                let to = (from + SETUP_CHUNK).min(self.params.boxes);
+                for box_id in from..to {
+                    for line in 0..self.params.lines_per_box {
+                        let addr = self.line_of(box_id, line);
+                        self.w.write(sink, ProcId(0), addr);
+                    }
+                }
+                if to < self.params.boxes {
+                    self.state = FmmState::Setup { from: to };
+                } else {
+                    self.w.barrier_all(sink);
+                    self.state = FmmState::Compute { step: 0, p: 0 };
+                }
+            }
+            // Upward + interaction + downward passes, collapsed into one
+            // phase per box: read the interaction list (spatial neighbours,
+            // i.e. mostly boxes of the same owner), update own expansions.
+            FmmState::Compute { step, p } => {
+                let params_boxes = self.params.boxes;
+                let interactions = self.params.interactions;
+                let lines_per_box = self.params.lines_per_box;
+                let proc = ProcId(p as u16);
+                let owned = owned_range(params_boxes as usize, self.topology, proc);
+                let owned_len = owned.len() as u64;
+                for box_id in owned.clone() {
+                    let box_id = box_id as u64;
+                    for i in 0..interactions {
+                        // 80% of the interaction list stays within the
+                        // processor's own spatial region, the rest spills to
+                        // the neighbouring region.
+                        let neighbor = if self.rng.gen_range(0..10) < 8 || owned_len == 0 {
+                            owned.start as u64 + self.rng.gen_range(0..owned_len.max(1))
+                        } else {
+                            (box_id + params_boxes + i - interactions / 2) % params_boxes
+                        };
+                        let line = self.rng.gen_range(0..lines_per_box);
+                        let addr = self.line_of(neighbor, line);
+                        self.w.read(sink, proc, addr);
+                    }
+                    for line in 0..lines_per_box / 2 {
+                        let addr = self.line_of(box_id, line);
+                        self.w.read(sink, proc, addr);
+                        self.w.write(sink, proc, addr);
+                    }
+                }
+                let timesteps = self.params.timesteps;
+                self.state = advance_proc_phase(
+                    &mut self.w,
+                    sink,
+                    p,
+                    self.procs,
+                    |p| FmmState::Compute { step, p },
+                    || {
+                        if step + 1 < timesteps {
+                            FmmState::Compute {
+                                step: step + 1,
+                                p: 0,
+                            }
+                        } else {
+                            FmmState::Finish
+                        }
+                    },
+                );
+            }
+            FmmState::Finish => {
+                self.w.finish(sink);
+                return false;
+            }
+        }
+        true
     }
 }
 
@@ -69,58 +196,11 @@ impl Workload for Fmm {
     }
 
     fn emit(&self, cfg: &WorkloadConfig, sink: &mut dyn EventSink) {
-        let params = FmmParams::for_scale(cfg.scale);
-        let procs = cfg.topology.total_procs();
+        crate::run_stepper(self.stepper(cfg), sink);
+    }
 
-        let mut space = AddressSpace::new();
-        let boxes = space.alloc("boxes", params.boxes * params.lines_per_box, 64);
-
-        let mut b = TraceWriter::new(cfg.topology, sink).with_think_cycles(cfg.think_cycles);
-        let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0xf33);
-
-        let line_of = |box_id: u64, line: u64| boxes.elem(box_id * params.lines_per_box + line);
-
-        // Sequential setup: processor 0 initialises every box, so every box
-        // page is first-touch homed on node 0.
-        for box_id in 0..params.boxes {
-            for line in 0..params.lines_per_box {
-                b.write(ProcId(0), line_of(box_id, line));
-            }
-        }
-        b.barrier_all();
-
-        for _step in 0..params.timesteps {
-            // Upward + interaction + downward passes, collapsed into one
-            // phase per box: read the interaction list (spatial neighbours,
-            // i.e. mostly boxes of the same owner), update own expansions.
-            for p in 0..procs {
-                let proc = ProcId(p as u16);
-                let owned = owned_range(params.boxes as usize, cfg.topology, proc);
-                let owned_len = owned.len() as u64;
-                for box_id in owned.clone() {
-                    let box_id = box_id as u64;
-                    for i in 0..params.interactions {
-                        // 80% of the interaction list stays within the
-                        // processor's own spatial region, the rest spills to
-                        // the neighbouring region.
-                        let neighbor = if rng.gen_range(0..10) < 8 || owned_len == 0 {
-                            owned.start as u64 + rng.gen_range(0..owned_len.max(1))
-                        } else {
-                            (box_id + params.boxes + i - params.interactions / 2) % params.boxes
-                        };
-                        b.read(
-                            proc,
-                            line_of(neighbor, rng.gen_range(0..params.lines_per_box)),
-                        );
-                    }
-                    for line in 0..params.lines_per_box / 2 {
-                        b.read(proc, line_of(box_id, line));
-                        b.write(proc, line_of(box_id, line));
-                    }
-                }
-            }
-            b.barrier_all();
-        }
+    fn stepper(&self, cfg: &WorkloadConfig) -> Box<dyn StepGenerator> {
+        Box::new(FmmGen::new(cfg))
     }
 }
 
@@ -174,5 +254,14 @@ mod tests {
             dominated * 10 >= total * 6,
             "only {dominated}/{total} pages are dominated by one user"
         );
+    }
+
+    #[test]
+    fn custom_scale_grows_the_box_decomposition() {
+        use crate::config::CustomScale;
+        let double = FmmParams::for_scale(Scale::Custom(CustomScale::new(2, 1)));
+        assert_eq!(double.boxes, 8192);
+        assert_eq!(double.lines_per_box, 20);
+        assert_eq!(double.timesteps, 5);
     }
 }

@@ -20,7 +20,7 @@
 
 use crate::config::{Scale, WorkloadConfig};
 use crate::Workload;
-use mem_trace::{AddressSpace, EventSink, ProcId, Segment, TraceWriter, BLOCK_SIZE};
+use mem_trace::{AddressSpace, EventSink, ProcId, Segment, StepGenerator, StepWriter, BLOCK_SIZE};
 
 /// Blocked dense LU factorization.
 pub struct Lu;
@@ -40,11 +40,161 @@ impl LuParams {
         match scale {
             Scale::Reduced => LuParams { n: 192, block: 16 },
             Scale::Paper => LuParams { n: 512, block: 16 },
+            // The matrix *area* carries the factor; the dimension is
+            // rounded down to whole 16x16 blocks (at least two per side so
+            // every phase exists).
+            Scale::Custom(c) => LuParams {
+                n: (c.dim(512) / 16 * 16).max(32),
+                block: 16,
+            },
         }
     }
 
     fn blocks_per_dim(&self) -> u64 {
         self.n / self.block
+    }
+}
+
+enum LuState {
+    Init { bi: u64 },
+    Diag { k: u64 },
+    Perim { k: u64, i: u64 },
+    Interior { k: u64, i: u64 },
+    Finish,
+}
+
+struct LuGen {
+    params: LuParams,
+    nb: u64,
+    total_procs: u64,
+    matrix: Segment,
+    w: StepWriter,
+    state: LuState,
+}
+
+impl LuGen {
+    fn new(cfg: &WorkloadConfig) -> Self {
+        let params = LuParams::for_scale(cfg.scale);
+        let nb = params.blocks_per_dim();
+        let mut space = AddressSpace::new();
+        let matrix = space.alloc("matrix", params.n * params.n, 8);
+        LuGen {
+            params,
+            nb,
+            total_procs: cfg.topology.total_procs() as u64,
+            matrix,
+            w: StepWriter::new(cfg.topology).with_think_cycles(cfg.think_cycles),
+            state: LuState::Init { bi: 0 },
+        }
+    }
+
+    /// 2-D scatter assignment of blocks to processors (SPLASH-2 LU).
+    fn owner(&self, bi: u64, bj: u64) -> ProcId {
+        ProcId(((bi * self.nb + bj) % self.total_procs) as u16)
+    }
+
+    /// Visit the first address of every cache line of block `(bi, bj)` of
+    /// the row-major `n x n` matrix.
+    fn for_each_line<F: FnMut(&mut StepWriter, mem_trace::GlobalAddr)>(
+        &mut self,
+        bi: u64,
+        bj: u64,
+        mut f: F,
+    ) {
+        let row0 = bi * self.params.block;
+        let col0 = bj * self.params.block;
+        for r in 0..self.params.block {
+            let mut c = 0;
+            while c < self.params.block {
+                let addr = self.matrix.elem2(row0 + r, col0 + c, self.params.n);
+                f(&mut self.w, addr);
+                c += DOUBLES_PER_LINE;
+            }
+        }
+    }
+
+    /// Read every cache line of block `(bi, bj)`.
+    fn read_block(&mut self, sink: &mut dyn EventSink, p: ProcId, bi: u64, bj: u64) {
+        self.for_each_line(bi, bj, |w, addr| w.read(sink, p, addr));
+    }
+
+    /// Read-modify-write every cache line of block `(bi, bj)`.
+    fn touch_block(&mut self, sink: &mut dyn EventSink, p: ProcId, bi: u64, bj: u64) {
+        self.for_each_line(bi, bj, |w, addr| {
+            w.read(sink, p, addr);
+            w.write(sink, p, addr);
+        });
+    }
+}
+
+impl StepGenerator for LuGen {
+    fn step(&mut self, sink: &mut dyn EventSink) -> bool {
+        let nb = self.nb;
+        match self.state {
+            // Initialization: every owner touches (writes) its own blocks
+            // so the first-touch policy places pages at their owners.
+            LuState::Init { bi } => {
+                for bj in 0..nb {
+                    let p = self.owner(bi, bj);
+                    self.touch_block(sink, p, bi, bj);
+                }
+                if bi + 1 < nb {
+                    self.state = LuState::Init { bi: bi + 1 };
+                } else {
+                    self.w.barrier_all(sink);
+                    self.state = LuState::Diag { k: 0 };
+                }
+            }
+            // Phase 1: factor the diagonal block.
+            LuState::Diag { k } => {
+                let p = self.owner(k, k);
+                self.touch_block(sink, p, k, k);
+                self.w.barrier_all(sink);
+                self.state = LuState::Perim { k, i: k + 1 };
+            }
+            // Phase 2: perimeter blocks read the diagonal block and update
+            // themselves.
+            LuState::Perim { k, i } => {
+                if i < nb {
+                    let p = self.owner(i, k);
+                    self.read_block(sink, p, k, k);
+                    self.touch_block(sink, p, i, k);
+
+                    let q = self.owner(k, i);
+                    self.read_block(sink, q, k, k);
+                    self.touch_block(sink, q, k, i);
+                    self.state = LuState::Perim { k, i: i + 1 };
+                } else {
+                    self.w.barrier_all(sink);
+                    self.state = LuState::Interior { k, i: k + 1 };
+                }
+            }
+            // Phase 3: interior blocks read the two perimeter blocks — the
+            // read-shared phase — and update themselves.
+            LuState::Interior { k, i } => {
+                if i < nb {
+                    for j in (k + 1)..nb {
+                        let p = self.owner(i, j);
+                        self.read_block(sink, p, i, k);
+                        self.read_block(sink, p, k, j);
+                        self.touch_block(sink, p, i, j);
+                    }
+                    self.state = LuState::Interior { k, i: i + 1 };
+                } else {
+                    self.w.barrier_all(sink);
+                    self.state = if k + 1 < nb {
+                        LuState::Diag { k: k + 1 }
+                    } else {
+                        LuState::Finish
+                    };
+                }
+            }
+            LuState::Finish => {
+                self.w.finish(sink);
+                return false;
+            }
+        }
+        true
     }
 }
 
@@ -66,110 +216,11 @@ impl Workload for Lu {
     }
 
     fn emit(&self, cfg: &WorkloadConfig, sink: &mut dyn EventSink) {
-        let params = LuParams::for_scale(cfg.scale);
-        let nb = params.blocks_per_dim();
-        let total_procs = cfg.topology.total_procs() as u64;
-
-        let mut space = AddressSpace::new();
-        let matrix = space.alloc("matrix", params.n * params.n, 8);
-
-        let mut b = TraceWriter::new(cfg.topology, sink).with_think_cycles(cfg.think_cycles);
-
-        // 2-D scatter assignment of blocks to processors (SPLASH-2 LU).
-        let owner = |bi: u64, bj: u64| -> ProcId { ProcId(((bi * nb + bj) % total_procs) as u16) };
-
-        // Initialization: every owner touches (writes) its own blocks so the
-        // first-touch policy places pages at their owners.
-        for bi in 0..nb {
-            for bj in 0..nb {
-                let p = owner(bi, bj);
-                touch_block(&mut b, p, &matrix, &params, bi, bj, true);
-            }
-        }
-        b.barrier_all();
-
-        for k in 0..nb {
-            // Phase 1: factor the diagonal block.
-            let diag_owner = owner(k, k);
-            touch_block(&mut b, diag_owner, &matrix, &params, k, k, true);
-            b.barrier_all();
-
-            // Phase 2: perimeter blocks read the diagonal block and update
-            // themselves.
-            for i in (k + 1)..nb {
-                let p = owner(i, k);
-                read_block(&mut b, p, &matrix, &params, k, k);
-                touch_block(&mut b, p, &matrix, &params, i, k, true);
-
-                let q = owner(k, i);
-                read_block(&mut b, q, &matrix, &params, k, k);
-                touch_block(&mut b, q, &matrix, &params, k, i, true);
-            }
-            b.barrier_all();
-
-            // Phase 3: interior blocks read the two perimeter blocks — the
-            // read-shared phase — and update themselves.
-            for i in (k + 1)..nb {
-                for j in (k + 1)..nb {
-                    let p = owner(i, j);
-                    read_block(&mut b, p, &matrix, &params, i, k);
-                    read_block(&mut b, p, &matrix, &params, k, j);
-                    touch_block(&mut b, p, &matrix, &params, i, j, true);
-                }
-            }
-            b.barrier_all();
-        }
+        crate::run_stepper(self.stepper(cfg), sink);
     }
-}
 
-/// Read every cache line of block `(bi, bj)`.
-fn read_block(
-    b: &mut TraceWriter<&mut dyn EventSink>,
-    p: ProcId,
-    matrix: &Segment,
-    params: &LuParams,
-    bi: u64,
-    bj: u64,
-) {
-    for_each_line(matrix, params, bi, bj, |addr| b.read(p, addr));
-}
-
-/// Read-modify-write every cache line of block `(bi, bj)` (`write` selects
-/// whether the writes are emitted; reads always are).
-fn touch_block(
-    b: &mut TraceWriter<&mut dyn EventSink>,
-    p: ProcId,
-    matrix: &Segment,
-    params: &LuParams,
-    bi: u64,
-    bj: u64,
-    write: bool,
-) {
-    for_each_line(matrix, params, bi, bj, |addr| {
-        b.read(p, addr);
-        if write {
-            b.write(p, addr);
-        }
-    });
-}
-
-/// Visit the first address of every cache line of block `(bi, bj)` of the
-/// row-major `n x n` matrix.
-fn for_each_line<F: FnMut(mem_trace::GlobalAddr)>(
-    matrix: &Segment,
-    params: &LuParams,
-    bi: u64,
-    bj: u64,
-    mut f: F,
-) {
-    let row0 = bi * params.block;
-    let col0 = bj * params.block;
-    for r in 0..params.block {
-        let mut c = 0;
-        while c < params.block {
-            f(matrix.elem2(row0 + r, col0 + c, params.n));
-            c += DOUBLES_PER_LINE;
-        }
+    fn stepper(&self, cfg: &WorkloadConfig) -> Box<dyn StepGenerator> {
+        Box::new(LuGen::new(cfg))
     }
 }
 
@@ -213,5 +264,16 @@ mod tests {
             let accesses = events.iter().filter(|e| e.is_access()).count();
             assert!(accesses > 0, "processor {i} issues no accesses");
         }
+    }
+
+    #[test]
+    fn custom_scale_grows_the_matrix_in_whole_blocks() {
+        use crate::config::CustomScale;
+        let quad = LuParams::for_scale(Scale::Custom(CustomScale::new(4, 1)));
+        assert_eq!(quad.n, 1024, "4x area = 2x side, already block-aligned");
+        assert_eq!(quad.block, 16);
+        let odd = LuParams::for_scale(Scale::Custom(CustomScale::new(1, 3)));
+        assert_eq!(odd.n % 16, 0, "rounded to whole blocks");
+        assert!(odd.n >= 32);
     }
 }

@@ -12,9 +12,9 @@
 //! absorb the capacity misses on each node's own (large) band.
 
 use crate::config::{Scale, WorkloadConfig};
-use crate::util::chunk_ranges;
+use crate::util::{advance_proc_phase, owned_range};
 use crate::Workload;
-use mem_trace::{AddressSpace, EventSink, ProcId, TraceWriter};
+use mem_trace::{AddressSpace, EventSink, ProcId, Segment, StepGenerator, StepWriter, Topology};
 
 /// Ocean simulation (stencil relaxation kernel).
 pub struct Ocean;
@@ -33,7 +33,130 @@ impl OceanParams {
             // the reduced preset only trims the number of relaxation sweeps.
             Scale::Reduced => OceanParams { n: 130, sweeps: 8 },
             Scale::Paper => OceanParams { n: 130, sweeps: 12 },
+            // The grid *area* carries the factor (so footprint scales
+            // linearly with it); the sweep count is the paper's.  The floor
+            // keeps a band and a stencil column per processor on the paper
+            // cluster even at unit-test slivers.
+            Scale::Custom(c) => OceanParams {
+                n: c.dim(130).max(34),
+                sweeps: 12,
+            },
         }
+    }
+}
+
+enum OceanState {
+    Init { p: usize },
+    Sweep { sweep: u64, p: usize },
+    Finish,
+}
+
+struct OceanGen {
+    params: OceanParams,
+    topology: Topology,
+    procs: usize,
+    grid: Segment,
+    rhs: Segment,
+    w: StepWriter,
+    state: OceanState,
+}
+
+impl OceanGen {
+    fn new(cfg: &WorkloadConfig) -> Self {
+        let params = OceanParams::for_scale(cfg.scale);
+        let n = params.n;
+        let mut space = AddressSpace::new();
+        // Two grids: the solution grid (read/written in place) and the
+        // right-hand side (read-only after initialization), mirroring the
+        // multigrid arrays of the original program.
+        let grid = space.alloc("grid", n * n, 8);
+        let rhs = space.alloc("rhs", n * n, 8);
+        OceanGen {
+            params,
+            topology: cfg.topology,
+            procs: cfg.topology.total_procs(),
+            grid,
+            rhs,
+            w: StepWriter::new(cfg.topology).with_think_cycles(cfg.think_cycles),
+            state: OceanState::Init { p: 0 },
+        }
+    }
+}
+
+impl StepGenerator for OceanGen {
+    fn step(&mut self, sink: &mut dyn EventSink) -> bool {
+        let n = self.params.n;
+        match self.state {
+            // Initialization: every processor writes its own band of both
+            // grids so first-touch places the pages on the owner's node.
+            OceanState::Init { p } => {
+                let proc = ProcId(p as u16);
+                let band = owned_range(n as usize, self.topology, proc);
+                for row in band {
+                    let mut col = 0u64;
+                    while col < n {
+                        self.w
+                            .write(sink, proc, self.grid.elem2(row as u64, col, n));
+                        self.w.write(sink, proc, self.rhs.elem2(row as u64, col, n));
+                        col += 8; // one cache line of doubles
+                    }
+                }
+                self.state = advance_proc_phase(
+                    &mut self.w,
+                    sink,
+                    p,
+                    self.procs,
+                    |p| OceanState::Init { p },
+                    || OceanState::Sweep { sweep: 0, p: 0 },
+                );
+            }
+            OceanState::Sweep { sweep, p } => {
+                let proc = ProcId(p as u16);
+                let band = owned_range(n as usize, self.topology, proc);
+                for row in band {
+                    let row = row as u64;
+                    if row == 0 || row == n - 1 {
+                        continue; // fixed boundary
+                    }
+                    let mut col = 8u64;
+                    while col < n - 1 {
+                        // Five-point stencil at line granularity: the north
+                        // and south neighbours live in adjacent rows (the
+                        // first/last rows of a band are remote), east/west
+                        // are in the same cache line.
+                        self.w.read(sink, proc, self.grid.elem2(row - 1, col, n));
+                        self.w.read(sink, proc, self.grid.elem2(row + 1, col, n));
+                        self.w.read(sink, proc, self.grid.elem2(row, col, n));
+                        self.w.read(sink, proc, self.rhs.elem2(row, col, n));
+                        self.w.write(sink, proc, self.grid.elem2(row, col, n));
+                        col += 8;
+                    }
+                }
+                let sweeps = self.params.sweeps;
+                self.state = advance_proc_phase(
+                    &mut self.w,
+                    sink,
+                    p,
+                    self.procs,
+                    |p| OceanState::Sweep { sweep, p },
+                    || {
+                        if sweep + 1 < sweeps {
+                            OceanState::Sweep {
+                                sweep: sweep + 1,
+                                p: 0,
+                            }
+                        } else {
+                            OceanState::Finish
+                        }
+                    },
+                );
+            }
+            OceanState::Finish => {
+                self.w.finish(sink);
+                return false;
+            }
+        }
+        true
     }
 }
 
@@ -55,60 +178,11 @@ impl Workload for Ocean {
     }
 
     fn emit(&self, cfg: &WorkloadConfig, sink: &mut dyn EventSink) {
-        let params = OceanParams::for_scale(cfg.scale);
-        let n = params.n;
-        let procs = cfg.topology.total_procs();
+        crate::run_stepper(self.stepper(cfg), sink);
+    }
 
-        let mut space = AddressSpace::new();
-        // Two grids: the solution grid (read/written in place) and the
-        // right-hand side (read-only after initialization), mirroring the
-        // multigrid arrays of the original program.
-        let grid = space.alloc("grid", n * n, 8);
-        let rhs = space.alloc("rhs", n * n, 8);
-
-        let mut b = TraceWriter::new(cfg.topology, sink).with_think_cycles(cfg.think_cycles);
-        let bands = chunk_ranges(n as usize, procs);
-
-        // Initialization: every processor writes its own band of both grids
-        // so first-touch places the pages on the owner's node.
-        for (p, band) in bands.iter().enumerate() {
-            let proc = ProcId(p as u16);
-            for row in band.clone() {
-                let mut col = 0u64;
-                while col < n {
-                    b.write(proc, grid.elem2(row as u64, col, n));
-                    b.write(proc, rhs.elem2(row as u64, col, n));
-                    col += 8; // one cache line of doubles
-                }
-            }
-        }
-        b.barrier_all();
-
-        for _sweep in 0..params.sweeps {
-            for (p, band) in bands.iter().enumerate() {
-                let proc = ProcId(p as u16);
-                for row in band.clone() {
-                    let row = row as u64;
-                    if row == 0 || row == n - 1 {
-                        continue; // fixed boundary
-                    }
-                    let mut col = 8u64;
-                    while col < n - 1 {
-                        // Five-point stencil at line granularity: the north
-                        // and south neighbours live in adjacent rows (the
-                        // first/last rows of a band are remote), east/west
-                        // are in the same cache line.
-                        b.read(proc, grid.elem2(row - 1, col, n));
-                        b.read(proc, grid.elem2(row + 1, col, n));
-                        b.read(proc, grid.elem2(row, col, n));
-                        b.read(proc, rhs.elem2(row, col, n));
-                        b.write(proc, grid.elem2(row, col, n));
-                        col += 8;
-                    }
-                }
-            }
-            b.barrier_all();
-        }
+    fn stepper(&self, cfg: &WorkloadConfig) -> Box<dyn StepGenerator> {
+        Box::new(OceanGen::new(cfg))
     }
 }
 
@@ -146,5 +220,15 @@ mod tests {
         let stats = Ocean.generate(&WorkloadConfig::reduced()).stats();
         let wf = stats.write_fraction();
         assert!(wf > 0.15 && wf < 0.5, "write fraction {wf}");
+    }
+
+    #[test]
+    fn custom_scale_grows_the_grid_area() {
+        use crate::config::CustomScale;
+        let quad = OceanParams::for_scale(Scale::Custom(CustomScale::new(4, 1)));
+        assert_eq!(quad.n, 260, "4x area = 2x side");
+        assert_eq!(quad.sweeps, 12, "sweep count is the paper's");
+        let sliver = OceanParams::for_scale(Scale::Custom(CustomScale::new(1, 32)));
+        assert_eq!(sliver.n, 34, "floored to keep every band populated");
     }
 }

@@ -13,9 +13,9 @@
 //! destination keys exceeds it.
 
 use crate::config::{Scale, WorkloadConfig};
-use crate::util::owned_range;
+use crate::util::{advance_proc_phase, owned_range};
 use crate::Workload;
-use mem_trace::{AddressSpace, EventSink, ProcId, TraceWriter};
+use mem_trace::{AddressSpace, EventSink, ProcId, Segment, StepGenerator, StepWriter, Topology};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -44,12 +44,179 @@ impl RadixParams {
                 passes: 2,
                 radix: 1024,
             },
+            // The key array carries the factor; the digit structure is
+            // Table 2's.
+            Scale::Custom(c) => RadixParams {
+                keys: c.of(1024 * 1024),
+                passes: 2,
+                radix: 1024,
+            },
         }
     }
 }
 
 /// Keys per cache line (4-byte integers).
 const KEYS_PER_LINE: u64 = 16;
+
+/// Where the resumable generator is in the radix phase structure.  Each
+/// step emits one processor's slice of one phase; the step that completes a
+/// phase also emits its barrier, so the global emission order is exactly
+/// the straight-line generator's.
+enum RadixState {
+    Init { p: usize },
+    Hist { pass: u64, p: usize },
+    Rank { pass: u64, p: usize },
+    Perm { pass: u64, p: usize },
+    Finish,
+}
+
+struct RadixGen {
+    params: RadixParams,
+    topology: Topology,
+    procs: usize,
+    src: Segment,
+    dst: Segment,
+    histograms: Segment,
+    w: StepWriter,
+    rng: SmallRng,
+    state: RadixState,
+}
+
+impl RadixGen {
+    fn new(cfg: &WorkloadConfig) -> Self {
+        let params = RadixParams::for_scale(cfg.scale);
+        let procs = cfg.topology.total_procs();
+
+        let mut space = AddressSpace::new();
+        let src = space.alloc("keys_src", params.keys, 4);
+        let dst = space.alloc("keys_dst", params.keys, 4);
+        let histograms = space.alloc("histograms", params.radix * procs as u64, 4);
+
+        RadixGen {
+            params,
+            topology: cfg.topology,
+            procs,
+            src,
+            dst,
+            histograms,
+            w: StepWriter::new(cfg.topology).with_think_cycles(cfg.think_cycles),
+            rng: SmallRng::seed_from_u64(cfg.seed ^ 0x5ad1),
+            state: RadixState::Init { p: 0 },
+        }
+    }
+}
+
+impl StepGenerator for RadixGen {
+    fn step(&mut self, sink: &mut dyn EventSink) -> bool {
+        let params = &self.params;
+        match self.state {
+            // Initialization: each processor writes its own chunk of the
+            // source array (first-touch places it locally).
+            RadixState::Init { p } => {
+                let proc = ProcId(p as u16);
+                let range = owned_range(params.keys as usize, self.topology, proc);
+                let mut k = range.start as u64;
+                while k < range.end as u64 {
+                    self.w.write(sink, proc, self.src.elem(k));
+                    k += KEYS_PER_LINE;
+                }
+                self.state = advance_proc_phase(
+                    &mut self.w,
+                    sink,
+                    p,
+                    self.procs,
+                    |p| RadixState::Init { p },
+                    || RadixState::Hist { pass: 0, p: 0 },
+                );
+            }
+            // Phase 1: local histogram — stream through the owned chunk of
+            // the (current) source array and update the processor's own
+            // histogram bins.
+            RadixState::Hist { pass, p } => {
+                let proc = ProcId(p as u16);
+                let range = owned_range(params.keys as usize, self.topology, proc);
+                let hist_base = params.radix * p as u64;
+                let mut k = range.start as u64;
+                while k < range.end as u64 {
+                    self.w.read(sink, proc, self.src.elem(k));
+                    let bin = self.rng.gen_range(0..params.radix);
+                    self.w
+                        .write(sink, proc, self.histograms.elem(hist_base + bin));
+                    k += KEYS_PER_LINE;
+                }
+                self.state = advance_proc_phase(
+                    &mut self.w,
+                    sink,
+                    p,
+                    self.procs,
+                    |p| RadixState::Hist { pass, p },
+                    || RadixState::Rank { pass, p: 0 },
+                );
+            }
+            // Phase 2: global rank computation — every processor reads every
+            // other processor's histogram (small, read-shared).
+            RadixState::Rank { pass, p } => {
+                let proc = ProcId(p as u16);
+                for other in 0..self.procs {
+                    let base = params.radix * other as u64;
+                    let mut bin = 0u64;
+                    while bin < params.radix {
+                        self.w.read(sink, proc, self.histograms.elem(base + bin));
+                        bin += KEYS_PER_LINE;
+                    }
+                }
+                self.state = advance_proc_phase(
+                    &mut self.w,
+                    sink,
+                    p,
+                    self.procs,
+                    |p| RadixState::Rank { pass, p },
+                    || RadixState::Perm { pass, p: 0 },
+                );
+            }
+            // Phase 3: permutation — read own keys, write them to scattered
+            // positions of the destination array (all-to-all traffic).
+            RadixState::Perm { pass, p } => {
+                let proc = ProcId(p as u16);
+                let range = owned_range(params.keys as usize, self.topology, proc);
+                let mut k = range.start as u64;
+                while k < range.end as u64 {
+                    self.w.read(sink, proc, self.src.elem(k));
+                    // One permuted write per key in this line; destinations
+                    // are uniformly scattered, as radix-sort ranks are.
+                    for _ in 0..4 {
+                        let dest = self.rng.gen_range(0..params.keys);
+                        self.w.write(sink, proc, self.dst.elem(dest));
+                    }
+                    k += KEYS_PER_LINE;
+                }
+                let passes = params.passes;
+                self.state = advance_proc_phase(
+                    &mut self.w,
+                    sink,
+                    p,
+                    self.procs,
+                    |p| RadixState::Perm { pass, p },
+                    || {
+                        if pass + 1 < passes {
+                            RadixState::Hist {
+                                pass: pass + 1,
+                                p: 0,
+                            }
+                        } else {
+                            RadixState::Finish
+                        }
+                    },
+                );
+            }
+            RadixState::Finish => {
+                self.w.finish(sink);
+                return false;
+            }
+        }
+        true
+    }
+}
 
 impl Workload for Radix {
     fn name(&self) -> &'static str {
@@ -69,83 +236,11 @@ impl Workload for Radix {
     }
 
     fn emit(&self, cfg: &WorkloadConfig, sink: &mut dyn EventSink) {
-        let params = RadixParams::for_scale(cfg.scale);
-        let procs = cfg.topology.total_procs();
+        crate::run_stepper(self.stepper(cfg), sink);
+    }
 
-        let mut space = AddressSpace::new();
-        let src = space.alloc("keys_src", params.keys, 4);
-        let dst = space.alloc("keys_dst", params.keys, 4);
-        let histograms = space.alloc("histograms", params.radix * procs as u64, 4);
-
-        let mut b = TraceWriter::new(cfg.topology, sink).with_think_cycles(cfg.think_cycles);
-        let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x5ad1);
-
-        // Initialization: each processor writes its own chunk of the source
-        // array (first-touch places it locally).
-        for p in 0..procs {
-            let proc = ProcId(p as u16);
-            let range = owned_range(params.keys as usize, cfg.topology, proc);
-            let mut k = range.start as u64;
-            while k < range.end as u64 {
-                b.write(proc, src.elem(k));
-                k += KEYS_PER_LINE;
-            }
-        }
-        b.barrier_all();
-
-        for pass in 0..params.passes {
-            // Phase 1: local histogram — stream through the owned chunk of
-            // the (current) source array and update the processor's own
-            // histogram bins.
-            for p in 0..procs {
-                let proc = ProcId(p as u16);
-                let range = owned_range(params.keys as usize, cfg.topology, proc);
-                let hist_base = params.radix * p as u64;
-                let mut k = range.start as u64;
-                while k < range.end as u64 {
-                    b.read(proc, src.elem(k));
-                    let bin = rng.gen_range(0..params.radix);
-                    b.write(proc, histograms.elem(hist_base + bin));
-                    k += KEYS_PER_LINE;
-                }
-            }
-            b.barrier_all();
-
-            // Phase 2: global rank computation — every processor reads every
-            // other processor's histogram (small, read-shared).
-            for p in 0..procs {
-                let proc = ProcId(p as u16);
-                for other in 0..procs {
-                    let base = params.radix * other as u64;
-                    let mut bin = 0u64;
-                    while bin < params.radix {
-                        b.read(proc, histograms.elem(base + bin));
-                        bin += KEYS_PER_LINE;
-                    }
-                }
-            }
-            b.barrier_all();
-
-            // Phase 3: permutation — read own keys, write them to scattered
-            // positions of the destination array (all-to-all traffic).
-            for p in 0..procs {
-                let proc = ProcId(p as u16);
-                let range = owned_range(params.keys as usize, cfg.topology, proc);
-                let mut k = range.start as u64;
-                while k < range.end as u64 {
-                    b.read(proc, src.elem(k));
-                    // One permuted write per key in this line; destinations
-                    // are uniformly scattered, as radix-sort ranks are.
-                    for _ in 0..4 {
-                        let dest = rng.gen_range(0..params.keys);
-                        b.write(proc, dst.elem(dest));
-                    }
-                    k += KEYS_PER_LINE;
-                }
-            }
-            b.barrier_all();
-            let _ = pass;
-        }
+    fn stepper(&self, cfg: &WorkloadConfig) -> Box<dyn StepGenerator> {
+        Box::new(RadixGen::new(cfg))
     }
 }
 
@@ -184,5 +279,15 @@ mod tests {
         // Source + destination arrays: 2 * 128K * 4 bytes = 1 MB = 256 pages,
         // plus histograms.
         assert!(stats.footprint_pages >= 256);
+    }
+
+    #[test]
+    fn custom_scale_grows_the_key_array() {
+        use crate::config::CustomScale;
+        let double = RadixParams::for_scale(Scale::Custom(CustomScale::new(2, 1)));
+        assert_eq!(double.keys, 2 * 1024 * 1024, "past Table 2");
+        assert_eq!(double.radix, 1024, "digit structure is Table 2's");
+        let sliver = RadixParams::for_scale(Scale::Custom(CustomScale::new(1, 32)));
+        assert_eq!(sliver.keys, 32 * 1024);
     }
 }

@@ -12,9 +12,9 @@
 //! path because rays are independent and plentiful.
 
 use crate::config::{Scale, WorkloadConfig};
-use crate::util::owned_range;
+use crate::util::{advance_proc_phase, owned_range};
 use crate::Workload;
-use mem_trace::{AddressSpace, EventSink, ProcId, TraceWriter};
+use mem_trace::{AddressSpace, EventSink, ProcId, Segment, StepGenerator, StepWriter, Topology};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -47,7 +47,128 @@ impl RaytraceParams {
                 rays: 64 * 1024,
                 reads_per_ray: 28,
             },
+            // Scene and ray counts carry the factor; the hot top levels of
+            // the acceleration structure stay the paper's size (clamped
+            // into the scene at slivers), as a deeper grid would not grow
+            // its root.
+            Scale::Custom(c) => {
+                let scene_lines = c.of(64 * 1024).max(1024);
+                RaytraceParams {
+                    scene_lines,
+                    hot_lines: 512.min(scene_lines / 4).max(1),
+                    rays: c.of(64 * 1024).max(1024),
+                    reads_per_ray: 28,
+                }
+            }
         }
+    }
+}
+
+/// Scene lines built per setup step (bounds each step's emission).
+const SCENE_CHUNK: u64 = 4096;
+
+enum RaytraceState {
+    Scene { from: u64 },
+    Trace { p: usize },
+    Finish,
+}
+
+struct RaytraceGen {
+    params: RaytraceParams,
+    topology: Topology,
+    procs: usize,
+    scene: Segment,
+    framebuffer: Segment,
+    queue: Segment,
+    w: StepWriter,
+    rng: SmallRng,
+    state: RaytraceState,
+}
+
+impl RaytraceGen {
+    fn new(cfg: &WorkloadConfig) -> Self {
+        let params = RaytraceParams::for_scale(cfg.scale);
+        let mut space = AddressSpace::new();
+        let scene = space.alloc("scene", params.scene_lines, 64);
+        let framebuffer = space.alloc("framebuffer", params.rays, 4);
+        let queue = space.alloc("ray_queue", 16, 64);
+        RaytraceGen {
+            params,
+            topology: cfg.topology,
+            procs: cfg.topology.total_procs(),
+            scene,
+            framebuffer,
+            queue,
+            w: StepWriter::new(cfg.topology).with_think_cycles(cfg.think_cycles),
+            rng: SmallRng::seed_from_u64(cfg.seed ^ 0x4a11),
+            state: RaytraceState::Scene { from: 0 },
+        }
+    }
+}
+
+impl StepGenerator for RaytraceGen {
+    fn step(&mut self, sink: &mut dyn EventSink) -> bool {
+        match self.state {
+            // Processor 0 builds the scene database; its pages are homed on
+            // node 0 and never written again.
+            RaytraceState::Scene { from } => {
+                let to = (from + SCENE_CHUNK).min(self.params.scene_lines);
+                for line in from..to {
+                    let addr = self.scene.elem(line);
+                    self.w.write(sink, ProcId(0), addr);
+                }
+                if to < self.params.scene_lines {
+                    self.state = RaytraceState::Scene { from: to };
+                } else {
+                    self.w.barrier_all(sink);
+                    self.state = RaytraceState::Trace { p: 0 };
+                }
+            }
+            // Each processor traces an equal share of rays, dequeuing
+            // bundles of rays from the shared work queue.
+            RaytraceState::Trace { p } => {
+                let rays_per_bundle = 32u64;
+                let proc = ProcId(p as u16);
+                let range = owned_range(self.params.rays as usize, self.topology, proc);
+                for (count, ray) in range.enumerate() {
+                    if (count as u64).is_multiple_of(rays_per_bundle) {
+                        self.w.lock(sink, proc, 0);
+                        let q0 = self.queue.elem(0);
+                        self.w.read(sink, proc, q0);
+                        self.w.write(sink, proc, q0);
+                        self.w.unlock(sink, proc, 0);
+                    }
+                    // Walk the acceleration structure: the first few reads
+                    // hit the hot top levels, the rest sample the scene
+                    // irregularly.
+                    for step in 0..self.params.reads_per_ray {
+                        let line = if step < 6 {
+                            self.rng.gen_range(0..self.params.hot_lines)
+                        } else {
+                            self.rng.gen_range(0..self.params.scene_lines)
+                        };
+                        let addr = self.scene.elem(line);
+                        self.w.read(sink, proc, addr);
+                    }
+                    // Write the pixel (private to this processor's band).
+                    let pixel = self.framebuffer.elem(ray as u64);
+                    self.w.write(sink, proc, pixel);
+                }
+                self.state = advance_proc_phase(
+                    &mut self.w,
+                    sink,
+                    p,
+                    self.procs,
+                    |p| RaytraceState::Trace { p },
+                    || RaytraceState::Finish,
+                );
+            }
+            RaytraceState::Finish => {
+                self.w.finish(sink);
+                return false;
+            }
+        }
+        true
     }
 }
 
@@ -69,52 +190,11 @@ impl Workload for Raytrace {
     }
 
     fn emit(&self, cfg: &WorkloadConfig, sink: &mut dyn EventSink) {
-        let params = RaytraceParams::for_scale(cfg.scale);
-        let procs = cfg.topology.total_procs();
+        crate::run_stepper(self.stepper(cfg), sink);
+    }
 
-        let mut space = AddressSpace::new();
-        let scene = space.alloc("scene", params.scene_lines, 64);
-        let framebuffer = space.alloc("framebuffer", params.rays, 4);
-        let queue = space.alloc("ray_queue", 16, 64);
-
-        let mut b = TraceWriter::new(cfg.topology, sink).with_think_cycles(cfg.think_cycles);
-        let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x4a11);
-
-        // Processor 0 builds the scene database; its pages are homed on
-        // node 0 and never written again.
-        for line in 0..params.scene_lines {
-            b.write(ProcId(0), scene.elem(line));
-        }
-        b.barrier_all();
-
-        // Each processor traces an equal share of rays, dequeuing bundles of
-        // rays from the shared work queue.
-        let rays_per_bundle = 32u64;
-        for p in 0..procs {
-            let proc = ProcId(p as u16);
-            let range = owned_range(params.rays as usize, cfg.topology, proc);
-            for (count, ray) in range.clone().enumerate() {
-                if (count as u64).is_multiple_of(rays_per_bundle) {
-                    b.lock(proc, 0);
-                    b.read(proc, queue.elem(0));
-                    b.write(proc, queue.elem(0));
-                    b.unlock(proc, 0);
-                }
-                // Walk the acceleration structure: the first few reads hit
-                // the hot top levels, the rest sample the scene irregularly.
-                for step in 0..params.reads_per_ray {
-                    let line = if step < 6 {
-                        rng.gen_range(0..params.hot_lines)
-                    } else {
-                        rng.gen_range(0..params.scene_lines)
-                    };
-                    b.read(proc, scene.elem(line));
-                }
-                // Write the pixel (private to this processor's band).
-                b.write(proc, framebuffer.elem(ray as u64));
-            }
-        }
-        b.barrier_all();
+    fn stepper(&self, cfg: &WorkloadConfig) -> Box<dyn StepGenerator> {
+        Box::new(RaytraceGen::new(cfg))
     }
 }
 
@@ -166,5 +246,16 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn custom_scale_grows_scene_and_rays() {
+        use crate::config::CustomScale;
+        let double = RaytraceParams::for_scale(Scale::Custom(CustomScale::new(2, 1)));
+        assert_eq!(double.scene_lines, 128 * 1024);
+        assert_eq!(double.rays, 128 * 1024);
+        assert_eq!(double.hot_lines, 512, "grid root stays the paper's size");
+        let sliver = RaytraceParams::for_scale(Scale::Custom(CustomScale::new(1, 32)));
+        assert!(sliver.hot_lines <= sliver.scene_lines);
     }
 }

@@ -1,26 +1,57 @@
 //! Shared helpers for the workload generators.
 
-use mem_trace::{ProcId, Topology};
+use mem_trace::{EventSink, ProcId, StepWriter, Topology};
+
+/// Advance a step generator past one processor's slice of a phase: either
+/// to the next processor of the same phase, or — emitting the phase
+/// barrier — to the next phase.  Every per-processor-phased generator
+/// (radix, ocean, barnes, fmm, raytrace) routes its state transitions
+/// through this one helper so the barrier-at-phase-end rule cannot diverge
+/// between them.
+pub(crate) fn advance_proc_phase<S>(
+    w: &mut StepWriter,
+    sink: &mut dyn EventSink,
+    p: usize,
+    procs: usize,
+    same_phase: impl FnOnce(usize) -> S,
+    next_phase: impl FnOnce() -> S,
+) -> S {
+    if p + 1 < procs {
+        same_phase(p + 1)
+    } else {
+        w.barrier_all(sink);
+        next_phase()
+    }
+}
 
 /// Split `0..n` into `parts` contiguous ranges, as evenly as possible.
+/// (The generators' hot paths use [`owned_range`]; this whole-partition
+/// view remains as the reference the tests check it against.)
+#[cfg(test)]
 pub fn chunk_ranges(n: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
     assert!(parts > 0);
+    (0..parts).map(|i| nth_chunk(n, parts, i)).collect()
+}
+
+/// The `i`-th of `parts` contiguous ranges splitting `0..n` — computed
+/// arithmetically, no vector of all ranges.  The first `n % parts` chunks
+/// are one longer, exactly as [`chunk_ranges`] lays them out.
+fn nth_chunk(n: usize, parts: usize, i: usize) -> std::ops::Range<usize> {
     let base = n / parts;
     let extra = n % parts;
-    let mut ranges = Vec::with_capacity(parts);
-    let mut start = 0;
-    for i in 0..parts {
-        let len = base + usize::from(i < extra);
-        ranges.push(start..start + len);
-        start += len;
-    }
-    ranges
+    let start = i * base + i.min(extra);
+    let len = base + usize::from(i < extra);
+    start..start + len
 }
 
 /// The range of items owned by `proc` when `n` items are block-distributed
 /// over all processors.
+///
+/// This sits inside every generator's per-phase loops, so it computes the
+/// single processor's range directly instead of materializing (and then
+/// cloning one element of) the whole partition.
 pub fn owned_range(n: usize, topology: Topology, proc: ProcId) -> std::ops::Range<usize> {
-    chunk_ranges(n, topology.total_procs())[proc.index()].clone()
+    nth_chunk(n, topology.total_procs(), proc.index())
 }
 
 #[cfg(test)]
@@ -55,5 +86,21 @@ mod tests {
         let topo = Topology::new(2, 2);
         assert_eq!(owned_range(8, topo, ProcId(0)), 0..2);
         assert_eq!(owned_range(8, topo, ProcId(3)), 6..8);
+    }
+
+    #[test]
+    fn owned_range_agrees_with_chunk_ranges_everywhere() {
+        for (n, topo) in [
+            (0, Topology::new(2, 2)),
+            (7, Topology::new(2, 2)),
+            (130, Topology::new(8, 4)),
+            (1 << 17, Topology::new(8, 4)),
+            (31, Topology::new(16, 2)),
+        ] {
+            let all = chunk_ranges(n, topo.total_procs());
+            for p in topo.proc_ids() {
+                assert_eq!(owned_range(n, topo, p), all[p.index()], "n={n} proc={p:?}");
+            }
+        }
     }
 }

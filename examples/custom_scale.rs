@@ -1,0 +1,86 @@
+//! Custom problem scales: sweep the problem-size axis itself.
+//!
+//! The paper fixes its workloads at the Table 2 data sets; this example
+//! treats the data-set size as a real [`Sweep`] axis via
+//! [`Scale::Custom`] — each scale point regenerates every trace at a
+//! rational multiple of the Table 2 sizes and normalizes against a
+//! perfect-CC-NUMA baseline *at the same scale*.  The systems under test
+//! are deliberately **fixed** across the axis (a sweep's system templates
+//! are scale-independent), so what the grid shows is how a given page
+//! cache and threshold setting fares as the problem grows past it — R-NUMA
+//! degrading as the working set outgrows its fixed cache is the expected
+//! shape.  To instead hold the paper's *ratios* while scaling, build each
+//! point's systems from `ExperimentScale::Custom(..)` presets (as the
+//! experiment binaries' `--custom N/D` flag does, interpolating the page
+//! cache and thresholds by the same factor) and run one sweep per scale.
+//!
+//! The default grid stays sub-paper so it finishes quickly; `--big` adds a
+//! bigger-than-Table-2 point (several minutes).  `--tiny` is the CI smoke
+//! grid: one custom sweep point end to end.
+//!
+//! ```text
+//! cargo run --release --example custom_scale [--big|--tiny]
+//! ```
+
+use dsm_repro::bench::{report, Axis, ExperimentScale, Metric, Sweep};
+use dsm_repro::prelude::*;
+
+fn main() {
+    let big = std::env::args().any(|a| a == "--big");
+    let tiny = std::env::args().any(|a| a == "--tiny");
+
+    let mut scales = if tiny {
+        // CI smoke: a single custom point, end to end through the sweep
+        // engine, reports and the fused pipeline.
+        vec![ExperimentScale::Custom(CustomScale::new(1, 8))]
+    } else {
+        vec![
+            ExperimentScale::Custom(CustomScale::new(1, 8)),
+            ExperimentScale::Custom(CustomScale::new(1, 2)),
+            ExperimentScale::Paper,
+        ]
+    };
+    if big {
+        scales.push(ExperimentScale::Custom(CustomScale::new(2, 1)));
+    }
+
+    let thresholds = Thresholds {
+        migrep_threshold: 250,
+        migrep_reset_interval: 8_000,
+        rnuma_threshold: 8,
+        rnuma_relocation_delay: 0,
+    };
+    let result = Sweep::new("problem-scale axis on radix + lu")
+        .system(
+            System::cc_numa()
+                .with(MigRep::both())
+                .with(thresholds)
+                .build(),
+        )
+        .system(System::r_numa().with(thresholds).build())
+        .workloads(["radix", "lu"])
+        .scales(scales)
+        .run();
+
+    print!(
+        "{}",
+        report::format_sweep_table(&result, Axis::Scale, Axis::System, Metric::NormalizedTime)
+    );
+    println!();
+    print!(
+        "{}",
+        report::format_sweep_table(&result, Axis::Scale, Axis::System, Metric::BytesPerAccess)
+    );
+
+    // The smoke contract CI checks: every point simulated something and
+    // normalized against a baseline at its own scale.
+    for p in &result.points {
+        assert!(p.result.accesses > 0, "empty point {:?}", p.axes);
+        assert!(p.normalized_time >= 0.99, "sub-baseline point {:?}", p.axes);
+    }
+    println!(
+        "\nok: {} points across scales {:?}",
+        result.points.len(),
+        result.axis_values(Axis::Scale)
+    );
+}

@@ -1,19 +1,38 @@
-//! Bounded-memory smoke binary: runs one workload simulation either through
-//! the streaming trace pipeline or by materializing the whole trace first.
+//! Bounded-memory smoke binary: runs one workload simulation through the
+//! fused or threaded streaming trace pipeline, or by materializing the
+//! whole trace first.
 //!
 //! The CI bounded-memory job (and `tests/streaming.rs`) runs this under a
-//! `ulimit -v` address-space ceiling sized so that the streamed path
-//! completes while the materialized path aborts on allocation — the
+//! `ulimit -v` address-space ceiling sized so that the streamed paths
+//! complete while the materialized path aborts on allocation — the
 //! executable proof that streaming keeps peak memory flat at paper scale.
 //!
+//! `--adversarial` is the quiet-processor regression mode: it drives a
+//! ThreadedSource over a synthetic stream whose processor 1 goes quiet
+//! immediately (no end marker until the very end) and pulls processor 1
+//! first — the pull order that used to buffer the entire remaining trace.
+//! With the window cap the drain now stops at the cap and reports
+//! `TraceError::StreamWindowExceeded`, so the run fits the same ceiling
+//! under which the old unbounded demux would abort.
+//!
 //! ```text
-//! memsmoke [--materialize] [--paper] [--workload NAME] [--system cc-numa|r-numa]
+//! memsmoke [--materialize|--stream|--fused|--threaded|--adversarial]
+//!          [--paper] [--workload NAME] [--system cc-numa|r-numa]
 //! ```
 
 use dsm_repro::prelude::*;
 
+enum Mode {
+    Materialize,
+    /// Automatic fused-vs-threaded pick (whatever `stream()` chooses).
+    Auto,
+    Fused,
+    Threaded,
+    Adversarial,
+}
+
 fn main() {
-    let mut materialize = false;
+    let mut mode = Mode::Auto;
     let mut scale = Scale::Paper;
     let mut workload = String::from("radix");
     let mut system = String::from("cc-numa");
@@ -21,8 +40,11 @@ fn main() {
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--materialize" => materialize = true,
-            "--stream" => materialize = false,
+            "--materialize" => mode = Mode::Materialize,
+            "--stream" => mode = Mode::Auto,
+            "--fused" => mode = Mode::Fused,
+            "--threaded" => mode = Mode::Threaded,
+            "--adversarial" => mode = Mode::Adversarial,
             "--paper" => scale = Scale::Paper,
             "--reduced" => scale = Scale::Reduced,
             "--workload" => {
@@ -37,13 +59,18 @@ fn main() {
             }
             "-h" | "--help" => {
                 println!(
-                    "usage: memsmoke [--materialize|--stream] [--paper|--reduced] \
-                     [--workload NAME] [--system cc-numa|r-numa]"
+                    "usage: memsmoke [--materialize|--stream|--fused|--threaded|--adversarial] \
+                     [--paper|--reduced] [--workload NAME] [--system cc-numa|r-numa]"
                 );
                 return;
             }
             other => usage(&format!("unknown flag `{other}`")),
         }
+    }
+
+    if let Mode::Adversarial = mode {
+        adversarial_quiet_processor_pull();
+        return;
     }
 
     let wl = by_name(&workload).unwrap_or_else(|| usage(&format!("unknown workload {workload}")));
@@ -55,26 +82,78 @@ fn main() {
     };
     let sim = ClusterSimulator::new(MachineConfig::PAPER, sys);
 
-    let result = if materialize {
-        let trace = wl.generate(&cfg);
-        sim.run(&trace)
-    } else {
-        let mut source = stream(wl, cfg);
-        sim.run_source(&mut source)
+    let (mode_name, result) = match mode {
+        Mode::Materialize => {
+            let trace = wl.generate(&cfg);
+            ("materialized", sim.run(&trace))
+        }
+        Mode::Auto => {
+            let mut source = stream(wl, cfg);
+            ("streamed", sim.run_source(&mut source))
+        }
+        Mode::Fused => {
+            let mut source = fused(wl.as_ref(), &cfg);
+            ("fused", sim.run_source(&mut source))
+        }
+        Mode::Threaded => {
+            let mut source = stream_threaded(wl, cfg);
+            ("threaded", sim.run_source(&mut source))
+        }
+        Mode::Adversarial => unreachable!("handled above"),
     };
     println!(
         "mode={} workload={} system={} accesses={} barriers={} execution_time={}",
-        if materialize {
-            "materialized"
-        } else {
-            "streamed"
-        },
+        mode_name,
         result.workload,
         result.system,
         result.accesses,
         result.barriers,
         result.execution_time.raw()
     );
+}
+
+/// The quiet-processor blow-up, contained: pull an (endless-ish) stream in
+/// the adversarial order and prove the demux gives up at its cap instead
+/// of buffering the trace.  Exits 0 when the cap fired as designed.
+fn adversarial_quiet_processor_pull() {
+    use dsm_repro::trace::{StepWriter, TraceEvent};
+
+    const EVENTS: u64 = 40_000_000; // ~640 MB if the demux parked them all
+    const CAP: usize = 1 << 20;
+
+    let topo = Topology::new(2, 1);
+    let mut source = ThreadedSource::spawn("quiet-proc", topo, move |sink| {
+        let mut w = StepWriter::new(topo);
+        for i in 0..EVENTS {
+            w.read(sink, ProcId(0), GlobalAddr((i % 1_000_000) * 64));
+        }
+        sink.end_of_stream(ProcId(0));
+        // Proc 1's end marker only lands here, after the whole stream:
+        // exactly the shape that used to reintroduce O(trace) memory.
+        sink.event(ProcId(1), TraceEvent::Compute(1));
+        sink.end_of_stream(ProcId(1));
+    })
+    .with_window_cap(CAP);
+
+    // The adversarial order: ask for the quiet processor first.
+    let got = source.next_event(ProcId(1));
+    let parked = source.buffered_events();
+    match source.take_error() {
+        Some(TraceError::StreamWindowExceeded { buffered, cap }) => {
+            assert!(got.is_none(), "poisoned source must not yield events");
+            assert!(parked <= cap, "demux kept {parked} events past its cap");
+            println!(
+                "mode=adversarial outcome=capped buffered={buffered} cap={cap} parked={parked}"
+            );
+        }
+        other => {
+            eprintln!(
+                "error: adversarial pull was expected to trip the window cap, got {other:?} \
+                 (event: {got:?})"
+            );
+            std::process::exit(1);
+        }
+    }
 }
 
 fn usage(msg: &str) -> ! {

@@ -36,7 +36,8 @@ pub use splash_workloads as workloads;
 /// Convenience re-exports of the types most programs need.
 pub mod prelude {
     pub use dsm_bench::{
-        Axis, Experiment, ExperimentScale, Metric, MetricSet, Sweep, SweepResult, SystemSet,
+        Axis, Experiment, ExperimentScale, Metric, MetricSet, SourceMode, Sweep, SweepResult,
+        SystemSet,
     };
     pub use dsm_core::{
         BlockCaching, ClusterSimulator, CostModel, MachineConfig, MigRep, MigRepConfig,
@@ -44,10 +45,14 @@ pub mod prelude {
         SystemConfig, SystemFeature, Thresholds,
     };
     pub use mem_trace::{
-        Geometry, GlobalAddr, ProcId, ProgramTrace, ReplaySource, SharerSet, ThreadedSource,
-        Topology, TraceBuilder, TraceError, TraceSource, BLOCK_SIZE, PAGE_SIZE,
+        FusedSource, Geometry, GlobalAddr, ProcId, ProgramTrace, ReplaySource, SharerSet,
+        StepGenerator, ThreadedSource, Topology, TraceBuilder, TraceError, TraceSource, BLOCK_SIZE,
+        PAGE_SIZE,
     };
-    pub use splash_workloads::{by_name, catalog, stream, Scale, Workload, WorkloadConfig};
+    pub use splash_workloads::{
+        by_name, catalog, fused, stream, stream_threaded, CustomScale, Scale, Workload,
+        WorkloadConfig,
+    };
 }
 
 #[cfg(test)]

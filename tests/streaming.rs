@@ -1,6 +1,7 @@
 //! Streaming trace pipeline integration: incremental statistics, the
 //! record/replay format end-to-end through the simulator and the experiment
-//! harness, and the fallible `try_run` surface.
+//! harness, fused/threaded/materialized fingerprint parity, the repaired
+//! quiet-processor exhaustion window, and the fallible `try_run` surface.
 
 use dsm_repro::bench::{Experiment, SystemSet};
 use dsm_repro::prelude::*;
@@ -23,6 +24,155 @@ fn streamed_stats_equal_batch_stats_for_all_workloads() {
             "incremental stats diverged from batch stats for {}",
             w.name()
         );
+    }
+}
+
+/// All three source implementations report *identical* statistics
+/// mid-stream: exactly the events the consumer has pulled, no matter
+/// whether the source is a materialized cursor, a fused generator or a
+/// generator thread.
+#[test]
+fn all_sources_report_identical_stats_mid_stream() {
+    let cfg = WorkloadConfig::reduced_for_tests();
+    let w = by_name("lu").unwrap();
+    let trace = w.generate(&cfg);
+    let mut cursor = trace.source();
+    let mut fused_src = fused(w.as_ref(), &cfg);
+    let mut threaded_src = stream_threaded(by_name("lu").unwrap(), cfg);
+
+    // Pull an uneven prefix: 500 events of proc 0, 100 of proc 5.
+    let pulls = [(ProcId(0), 500usize), (ProcId(5), 100)];
+    for (p, n) in pulls {
+        for _ in 0..n {
+            let a = cursor.next_event(p);
+            let b = fused_src.next_event(p);
+            let c = threaded_src.next_event(p);
+            assert_eq!(a, b);
+            assert_eq!(a, c);
+        }
+    }
+    let reference = cursor.stats_so_far();
+    assert!(reference.accesses > 0);
+    assert_eq!(
+        fused_src.stats_so_far(),
+        reference,
+        "fused mid-stream stats"
+    );
+    assert_eq!(
+        threaded_src.stats_so_far(),
+        reference,
+        "threaded mid-stream stats"
+    );
+}
+
+/// The tentpole parity requirement: fused, threaded and materialized
+/// deliveries of every workload produce bit-identical `SimResult`
+/// fingerprints — at reduced scale and at a custom (non-Table-2) scale.
+#[test]
+fn fused_threaded_and_materialized_runs_are_fingerprint_identical() {
+    let sim = ClusterSimulator::new(MachineConfig::PAPER, System::cc_numa().build());
+    for cfg in [
+        WorkloadConfig::reduced_for_tests(),
+        WorkloadConfig::at_scale(Scale::Custom(CustomScale::new(1, 16))),
+    ] {
+        for w in catalog() {
+            let materialized = sim.run(&w.generate(&cfg));
+            let fused_run = sim.run_source(&mut fused(w.as_ref(), &cfg));
+            let threaded_run =
+                sim.run_source(&mut stream_threaded(by_name(w.name()).unwrap(), cfg));
+            assert_eq!(
+                materialized.fingerprint(),
+                fused_run.fingerprint(),
+                "{} fused diverged at {:?}",
+                w.name(),
+                cfg.scale
+            );
+            assert_eq!(
+                materialized.fingerprint(),
+                threaded_run.fingerprint(),
+                "{} threaded diverged at {:?}",
+                w.name(),
+                cfg.scale
+            );
+            assert_eq!(materialized, fused_run);
+            assert_eq!(materialized, threaded_run);
+        }
+    }
+}
+
+/// The quiet-processor regression (memsmoke-style, in-process): pulling a
+/// ThreadedSource in the adversarial order — the quiet processor first —
+/// against a stream with no early end marker must stop at the window cap
+/// with `TraceError::StreamWindowExceeded` instead of buffering the whole
+/// trace (the pre-repair behaviour, which this test's tight cap stands in
+/// for a memory ceiling).
+#[test]
+fn adversarial_quiet_processor_pull_is_capped() {
+    use dsm_repro::trace::StepWriter;
+
+    const CAP: usize = 50_000;
+    let topo = Topology::new(2, 1);
+    let build = || {
+        ThreadedSource::spawn("quiet", topo, move |sink| {
+            let mut w = StepWriter::new(topo);
+            for i in 0..2_000_000u64 {
+                w.read(sink, ProcId(0), GlobalAddr((i % 100_000) * 64));
+            }
+            // No per-processor end markers until the very end: the
+            // adversarial shape.
+        })
+        .with_window_cap(CAP)
+    };
+
+    // Direct pull of the quiet processor.
+    let mut src = build();
+    assert!(src.next_event(ProcId(1)).is_none());
+    assert!(
+        src.buffered_events() <= CAP,
+        "demux parked {} events past the cap",
+        src.buffered_events()
+    );
+    assert!(matches!(
+        src.take_error(),
+        Some(TraceError::StreamWindowExceeded { cap: CAP, .. })
+    ));
+
+    // And through the simulator: the error surfaces as a `TraceError`
+    // value from `try_run_source`, not a panic or a silent wrong result.
+    let sim = ClusterSimulator::new(
+        MachineConfig::PAPER.with_topology(topo),
+        System::cc_numa().build(),
+    );
+    let mut src = build();
+    match sim.try_run_source(&mut src) {
+        Err(TraceError::StreamWindowExceeded { cap, buffered }) => {
+            assert_eq!(cap, CAP);
+            assert!(buffered >= CAP);
+        }
+        other => panic!("expected StreamWindowExceeded from the simulator, got {other:?}"),
+    }
+}
+
+/// Well-formed generators never trip the cap: end markers ride the stream,
+/// so even fully draining one processor before touching the others stays
+/// inside a phase-sized window.
+#[test]
+fn workload_streams_survive_adversarial_pull_orders_within_the_window() {
+    let cfg = WorkloadConfig::reduced_for_tests();
+    for w in catalog() {
+        let mut src = fused(w.as_ref(), &cfg);
+        // Drain processors in reverse order, each to exhaustion.
+        let mut procs: Vec<ProcId> = cfg.topology.proc_ids().collect();
+        procs.reverse();
+        for p in procs {
+            while src.next_event(p).is_some() {}
+        }
+        assert!(
+            src.take_error().is_none(),
+            "{}: reverse-order drain tripped the window cap",
+            w.name()
+        );
+        assert_eq!(src.buffered_events(), 0, "{}: events left behind", w.name());
     }
 }
 
