@@ -2,8 +2,7 @@
 //! prints each report in sequence.  This is the binary EXPERIMENTS.md's
 //! measured numbers are generated from.
 
-use dsm_bench::{presets, report, Experiment, Options};
-use dsm_core::MachineConfig;
+use dsm_bench::{presets, report, Options};
 
 fn main() {
     let opts = Options::from_env();
@@ -24,26 +23,15 @@ fn main() {
         ("Figure 8", presets::figure8(opts.scale)),
     ] {
         println!("\n== {label} ==");
-        let result = Experiment::new(MachineConfig::PAPER)
-            .systems(set)
-            .options(&opts)
-            .run();
+        let result = opts.run_preset(set);
         print!("{}", report::format_normalized_table(&result));
-        if opts.csv {
-            print!("{}", report::to_csv(&result));
-        }
         all_results.push(result);
     }
 
     println!("\n== Table 4 ==");
-    let result = Experiment::new(MachineConfig::PAPER)
-        .systems(presets::table4(opts.scale))
-        .options(&opts)
-        .run();
+    let result = opts.run_preset(presets::table4(opts.scale));
     print!("{}", report::format_table4(&result));
     all_results.push(result);
 
-    if let Some(path) = &opts.out {
-        report::write_json_all(path, &all_results).expect("write --out JSON");
-    }
+    opts.emit_artifacts_all(&all_results);
 }

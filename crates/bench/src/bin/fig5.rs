@@ -1,22 +1,13 @@
 //! Regenerates Figure 5: base performance comparison of CC-NUMA, Rep, Mig,
 //! MigRep, R-NUMA and R-NUMA-Inf, normalized against perfect CC-NUMA.
-use dsm_bench::{presets, report, Experiment, Options};
-use dsm_core::MachineConfig;
+use dsm_bench::{presets, report, Options};
 
 fn main() {
     let opts = Options::from_env();
     if opts.handle_record() {
         return;
     }
-    let result = Experiment::new(MachineConfig::PAPER)
-        .systems(presets::figure5(opts.scale))
-        .options(&opts)
-        .run();
+    let result = opts.run_preset(presets::figure5(opts.scale));
     print!("{}", report::format_normalized_table(&result));
-    if opts.csv {
-        print!("{}", report::to_csv(&result));
-    }
-    if let Some(path) = &opts.out {
-        report::write_json(path, &result).expect("write --out JSON");
-    }
+    opts.emit_artifacts(&result);
 }

@@ -1,22 +1,13 @@
 //! Regenerates Figure 7: sensitivity to network latency (remote path
 //! stretched 4x).
-use dsm_bench::{presets, report, Experiment, Options};
-use dsm_core::MachineConfig;
+use dsm_bench::{presets, report, Options};
 
 fn main() {
     let opts = Options::from_env();
     if opts.handle_record() {
         return;
     }
-    let result = Experiment::new(MachineConfig::PAPER)
-        .systems(presets::figure7(opts.scale))
-        .options(&opts)
-        .run();
+    let result = opts.run_preset(presets::figure7(opts.scale));
     print!("{}", report::format_normalized_table(&result));
-    if opts.csv {
-        print!("{}", report::to_csv(&result));
-    }
-    if let Some(path) = &opts.out {
-        report::write_json(path, &result).expect("write --out JSON");
-    }
+    opts.emit_artifacts(&result);
 }

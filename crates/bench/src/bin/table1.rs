@@ -3,7 +3,7 @@
 //! operation counts from a reduced-scale run of two representative
 //! workloads (lu: replication-friendly; ocean: neither).
 
-use dsm_bench::{presets, report, Experiment, Options};
+use dsm_bench::{presets, Experiment, Options};
 use dsm_core::MachineConfig;
 
 fn main() {
@@ -51,7 +51,5 @@ fn main() {
             w.results[rnuma].per_node_relocations()
         );
     }
-    if let Some(path) = &opts.out {
-        report::write_json(path, &result).expect("write --out JSON");
-    }
+    opts.emit_artifacts(&result);
 }

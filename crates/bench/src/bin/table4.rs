@@ -1,23 +1,14 @@
 //! Regenerates Table 4: per-node page operations (migrations, replications,
 //! R-NUMA relocations) and remote-miss breakdowns for CC-NUMA,
 //! CC-NUMA+MigRep and R-NUMA.
-use dsm_bench::{presets, report, Experiment, Options};
-use dsm_core::MachineConfig;
+use dsm_bench::{presets, report, Options};
 
 fn main() {
     let opts = Options::from_env();
     if opts.handle_record() {
         return;
     }
-    let result = Experiment::new(MachineConfig::PAPER)
-        .systems(presets::table4(opts.scale))
-        .options(&opts)
-        .run();
+    let result = opts.run_preset(presets::table4(opts.scale));
     print!("{}", report::format_table4(&result));
-    if opts.csv {
-        print!("{}", report::to_csv(&result));
-    }
-    if let Some(path) = &opts.out {
-        report::write_json(path, &result).expect("write --out JSON");
-    }
+    opts.emit_artifacts(&result);
 }

@@ -14,8 +14,10 @@
 
 use std::path::PathBuf;
 
-use crate::presets::ExperimentScale;
-use crate::runner::default_threads;
+use crate::presets::{ExperimentScale, SystemSet};
+use crate::runner::{default_threads, ExperimentResult};
+use crate::{report, Experiment};
+use dsm_core::MachineConfig;
 
 /// Usage text printed by `--help` and appended to flag errors.
 pub const USAGE: &str = "\
@@ -201,6 +203,49 @@ impl Options {
     /// Workload names as `&str` slices.
     pub fn workload_names(&self) -> Vec<&str> {
         self.workloads.iter().map(String::as_str).collect()
+    }
+
+    /// Run one preset experiment on the paper machine under these options
+    /// (scale, workloads/replay, threads) and return the result — the body
+    /// every figure/table binary shares.
+    pub fn run_preset(&self, set: SystemSet) -> ExperimentResult {
+        Experiment::new(MachineConfig::PAPER)
+            .systems(set)
+            .options(self)
+            .run()
+    }
+
+    /// Emit the optional artifacts of a finished experiment: CSV to stdout
+    /// under `--csv`, JSON to the `--out` file.
+    ///
+    /// Exits with status 2 if the `--out` file cannot be written.
+    pub fn emit_artifacts(&self, result: &ExperimentResult) {
+        if self.csv {
+            print!("{}", report::to_csv(result));
+        }
+        if let Some(path) = &self.out {
+            if let Err(e) = report::write_json(path, result) {
+                eprintln!("error: writing {}: {e}", path.display());
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Like [`emit_artifacts`](Options::emit_artifacts) for binaries that
+    /// produce several experiment results (`allexps`): CSV per result under
+    /// `--csv`, one JSON array to the `--out` file.
+    pub fn emit_artifacts_all(&self, results: &[ExperimentResult]) {
+        if self.csv {
+            for result in results {
+                print!("{}", report::to_csv(result));
+            }
+        }
+        if let Some(path) = &self.out {
+            if let Err(e) = report::write_json_all(path, results) {
+                eprintln!("error: writing {}: {e}", path.display());
+                std::process::exit(2);
+            }
+        }
     }
 
     /// Handle `--record FILE` if present: stream the selected workload's

@@ -27,6 +27,7 @@
 //! size), system axes (templates, cost models, thresholds, relocation
 //! delays) and workloads — see the [`sweep`] module docs.
 
+pub mod cache_key;
 pub mod cli;
 pub mod experiment;
 pub mod perf;
@@ -35,13 +36,17 @@ pub mod report;
 pub mod runner;
 pub mod sweep;
 
+pub use cache_key::{point_key, CacheKey, KeyHasher, KEY_FORMAT_VERSION};
 pub use cli::{CliError, Options};
 pub use experiment::Experiment;
 pub use perf::{PerfJob, PerfReport};
 pub use presets::{ExperimentScale, SystemSet};
-pub use report::{format_normalized_table, format_table4, normalized_rows, to_json, write_json};
+pub use report::{
+    format_normalized_table, format_sweep_points, format_table4, normalized_rows, to_json,
+    write_json,
+};
 pub use runner::{ExperimentResult, WorkloadResult};
 pub use sweep::{
     Axis, AxisValues, BaselinePoint, Metric, MetricSet, ParamPoint, ParamSpace, PointResult,
-    SourceMode, Sweep, SweepResult,
+    SourceMode, Sweep, SweepEvent, SweepResult,
 };

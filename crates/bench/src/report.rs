@@ -327,7 +327,9 @@ fn csv_field(value: &str) -> String {
 }
 
 /// Render a sweep as CSV: one row per point, every axis as a column, the
-/// scalar metrics, and the per-kind traffic breakdown.
+/// scalar metrics, the per-kind traffic breakdown, and the point's content
+/// address + result fingerprint (joinable with the sweep service's cache
+/// file and `cache-stats` output).
 pub fn sweep_to_csv(result: &SweepResult) -> String {
     let mut out = String::new();
     for axis in Axis::ALL {
@@ -337,7 +339,7 @@ pub fn sweep_to_csv(result: &SweepResult) -> String {
     out.push_str(
         "normalized_time,execution_time,accesses,remote_misses_per_node,\
          migrations_per_node,replications_per_node,relocations_per_node,\
-         network_messages,network_bytes,bytes_per_access\n",
+         network_messages,network_bytes,bytes_per_access,cache_key,fingerprint\n",
     );
     for p in &result.points {
         let m = p.metrics();
@@ -346,7 +348,7 @@ pub fn sweep_to_csv(result: &SweepResult) -> String {
             out.push(',');
         }
         out.push_str(&format!(
-            "{:.4},{},{},{:.1},{:.1},{:.1},{:.1},{},{},{:.2}\n",
+            "{:.4},{},{},{:.1},{:.1},{:.1},{:.1},{},{},{:.2},{},{:#018x}\n",
             m.normalized_time,
             m.execution_time,
             m.accesses,
@@ -357,6 +359,46 @@ pub fn sweep_to_csv(result: &SweepResult) -> String {
             m.network_messages,
             m.network_bytes,
             m.get(Metric::BytesPerAccess),
+            p.cache_key,
+            p.result.fingerprint(),
+        ));
+    }
+    out
+}
+
+/// Render a sweep as a per-point listing: one row per point with its full
+/// axis address, normalized time, content address and result fingerprint —
+/// the human-readable companion of [`sweep_to_csv`] for joining offline
+/// runs against a sweep server's cache.
+pub fn format_sweep_points(result: &SweepResult) -> String {
+    let mut out = format!(
+        "# {} — per-point cache keys (baseline: {})\n{:<44} {:>10} {:>6} {:>32} {:>18}\n",
+        result.name,
+        result.baseline_system,
+        "point",
+        "norm.time",
+        "cached",
+        "cache_key",
+        "fingerprint"
+    );
+    for p in &result.points {
+        let address = format!(
+            "{}/{} n{}x{} pg{} bl{} {}",
+            p.axes.workload,
+            p.axes.system,
+            p.axes.nodes,
+            p.axes.procs_per_node,
+            p.axes.page_bytes,
+            p.axes.block_bytes,
+            p.axes.scale,
+        );
+        out.push_str(&format!(
+            "{:<44} {:>10.2} {:>6} {:>32} {:#018x}\n",
+            address,
+            p.normalized_time,
+            if p.cached { "yes" } else { "no" },
+            p.cache_key,
+            p.result.fingerprint(),
         ));
     }
     out
@@ -427,49 +469,59 @@ pub fn format_sweep_table(result: &SweepResult, rows: Axis, cols: Axis, metric: 
 }
 
 /// Render a sweep as one JSON object: the axes, every point with its
-/// metric set and traffic breakdown, and the baseline runs.
+/// metric set, traffic breakdown, content address and result fingerprint,
+/// and the baseline runs.
 pub fn sweep_to_json(result: &SweepResult) -> String {
-    let point_json =
-        |axes: &crate::sweep::AxisValues, r: &SimResult, normalized: Option<f64>, elapsed: f64| {
-            let axes_fields = Axis::ALL
-                .iter()
-                .map(|a| format!("\"{}\":\"{}\"", a.name(), json_escape(&axes.value(*a))))
-                .collect::<Vec<_>>()
-                .join(",");
-            let m = crate::sweep::MetricSet::of(r, normalized.unwrap_or(1.0));
-            let traffic = m
-                .traffic
-                .iter()
-                .map(|(kind, msgs, bytes)| {
-                    format!("{{\"kind\":\"{kind}\",\"messages\":{msgs},\"bytes\":{bytes}}}")
-                })
-                .collect::<Vec<_>>()
-                .join(",");
-            let normalized = normalized
-                .map(|n| format!("\"normalized_time\":{n:.6},"))
-                .unwrap_or_default();
-            format!(
-                concat!(
-                    "{{{axes},{norm}\"execution_time\":{},\"accesses\":{},",
-                    "\"remote_misses_per_node\":{:.1},\"migrations_per_node\":{:.1},",
-                    "\"replications_per_node\":{:.1},\"relocations_per_node\":{:.1},",
-                    "\"network_messages\":{},\"network_bytes\":{},",
-                    "\"elapsed_seconds\":{:.6},\"traffic\":[{traffic}]}}"
-                ),
-                m.execution_time,
-                m.accesses,
-                m.remote_misses_per_node,
-                m.migrations_per_node,
-                m.replications_per_node,
-                m.relocations_per_node,
-                m.network_messages,
-                m.network_bytes,
-                elapsed,
-                axes = axes_fields,
-                norm = normalized,
-                traffic = traffic,
-            )
-        };
+    let point_json = |axes: &crate::sweep::AxisValues,
+                      r: &SimResult,
+                      normalized: Option<f64>,
+                      elapsed: f64,
+                      cache_key: crate::cache_key::CacheKey,
+                      cached: bool| {
+        let axes_fields = Axis::ALL
+            .iter()
+            .map(|a| format!("\"{}\":\"{}\"", a.name(), json_escape(&axes.value(*a))))
+            .collect::<Vec<_>>()
+            .join(",");
+        let m = crate::sweep::MetricSet::of(r, normalized.unwrap_or(1.0));
+        let traffic = m
+            .traffic
+            .iter()
+            .map(|(kind, msgs, bytes)| {
+                format!("{{\"kind\":\"{kind}\",\"messages\":{msgs},\"bytes\":{bytes}}}")
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        let normalized = normalized
+            .map(|n| format!("\"normalized_time\":{n:.6},"))
+            .unwrap_or_default();
+        format!(
+            concat!(
+                "{{{axes},{norm}\"execution_time\":{},\"accesses\":{},",
+                "\"remote_misses_per_node\":{:.1},\"migrations_per_node\":{:.1},",
+                "\"replications_per_node\":{:.1},\"relocations_per_node\":{:.1},",
+                "\"network_messages\":{},\"network_bytes\":{},",
+                "\"elapsed_seconds\":{:.6},",
+                "\"cache_key\":\"{key}\",\"fingerprint\":\"{fp:#018x}\",",
+                "\"cached\":{cached},\"traffic\":[{traffic}]}}"
+            ),
+            m.execution_time,
+            m.accesses,
+            m.remote_misses_per_node,
+            m.migrations_per_node,
+            m.replications_per_node,
+            m.relocations_per_node,
+            m.network_messages,
+            m.network_bytes,
+            elapsed,
+            axes = axes_fields,
+            norm = normalized,
+            key = cache_key,
+            fp = r.fingerprint(),
+            cached = cached,
+            traffic = traffic,
+        )
+    };
     let points = result
         .points
         .iter()
@@ -479,6 +531,8 @@ pub fn sweep_to_json(result: &SweepResult) -> String {
                 &p.result,
                 Some(p.normalized_time),
                 p.elapsed_seconds,
+                p.cache_key,
+                p.cached,
             )
         })
         .collect::<Vec<_>>()
@@ -486,7 +540,16 @@ pub fn sweep_to_json(result: &SweepResult) -> String {
     let baselines = result
         .baselines
         .iter()
-        .map(|b| point_json(&b.axes, &b.result, None, b.elapsed_seconds))
+        .map(|b| {
+            point_json(
+                &b.axes,
+                &b.result,
+                None,
+                b.elapsed_seconds,
+                b.cache_key,
+                b.cached,
+            )
+        })
         .collect::<Vec<_>>()
         .join(",");
     format!(
@@ -634,6 +697,39 @@ mod tests {
         for line in table.lines().skip(1) {
             assert_eq!(line.matches('|').count(), 4, "{line}");
         }
+    }
+
+    #[test]
+    fn sweep_reports_carry_cache_keys_and_fingerprints() {
+        let result = small_sweep();
+        let key = result.points[0].cache_key.to_hex();
+        let fp = format!("{:#018x}", result.points[0].result.fingerprint());
+
+        let csv = sweep_to_csv(&result);
+        let header = csv.lines().next().unwrap();
+        assert!(header.ends_with("cache_key,fingerprint"), "{header}");
+        let row = csv.lines().nth(1).unwrap();
+        assert!(row.contains(&key), "{row}");
+        assert!(row.contains(&fp), "{row}");
+
+        let json = sweep_to_json(&result);
+        assert!(json.contains(&format!("\"cache_key\":\"{key}\"")));
+        assert!(json.contains(&format!("\"fingerprint\":\"{fp}\"")));
+        assert!(json.contains("\"cached\":false"));
+        // Baselines carry their keys too.
+        assert_eq!(
+            json.matches("\"cache_key\"").count(),
+            result.points.len() + result.baselines.len()
+        );
+
+        let listing = format_sweep_points(&result);
+        assert!(listing.contains(&key));
+        assert!(listing.contains(&fp));
+        assert_eq!(listing.lines().count(), 2 + result.points.len());
+        // Distinct configurations, distinct addresses.
+        let keys: std::collections::BTreeSet<_> =
+            result.points.iter().map(|p| p.cache_key).collect();
+        assert_eq!(keys.len(), result.points.len());
     }
 
     #[test]

@@ -50,6 +50,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use crate::cache_key::{point_key, CacheKey};
 use crate::presets::{ExperimentScale, SystemSet};
 use crate::runner::default_threads;
 use dsm_core::{ClusterSimulator, CostModel, MachineConfig, SimResult, SystemConfig, Thresholds};
@@ -201,6 +202,16 @@ pub struct ParamPoint {
     pub axes: AxisValues,
     /// Index into the sweep's workload list.
     workload_index: usize,
+}
+
+impl ParamPoint {
+    /// The content address of this point: a stable digest of
+    /// (workload + scale, machine, system) — see [`crate::cache_key`].
+    /// Equal keys mean bit-identical simulation results, so a cache keyed
+    /// by this value can substitute a stored [`SimResult`] for a run.
+    pub fn cache_key(&self) -> CacheKey {
+        point_key(&self.machine, &self.system, self.scale, &self.axes.workload)
+    }
 }
 
 /// The cartesian product a sweep will run: baseline jobs (one per
@@ -574,24 +585,60 @@ impl Sweep {
     /// panic, an unreadable replay file, or a trace/machine topology
     /// mismatch.
     pub fn run(self) -> SweepResult {
+        self.run_streaming(|_, _| None, |_| {})
+    }
+
+    /// [`Sweep::run`] with a result cache and incremental delivery — the
+    /// engine behind the `sweep-service` crate.
+    ///
+    /// Before simulating a job, `lookup` is consulted with the job's
+    /// [`ParamPoint`] and [`CacheKey`]; returning `Some(result)` substitutes
+    /// the stored result for the simulation (the caller guarantees the
+    /// result belongs to the key — the key construction guarantees it is
+    /// then bit-identical to a fresh run).  As each job completes, `on_event`
+    /// receives a [`SweepEvent`] carrying the result, its key, whether it
+    /// was served from cache, and — for compared points — its normalization.
+    /// Jobs run in two phases (all baselines, then all points, each phase
+    /// parallel across worker threads) so every point event can carry its
+    /// normalized time the moment the point completes; events within a phase
+    /// fire in completion order, serialized through a lock around the sink.
+    ///
+    /// Cache lookups apply only to *named* workloads: pre-built traces and
+    /// replay files contribute trace content the key does not capture, so
+    /// their jobs always simulate.
+    ///
+    /// # Panics
+    /// As [`Sweep::run`].
+    pub fn run_streaming<L, F>(self, lookup: L, on_event: F) -> SweepResult
+    where
+        L: Fn(&ParamPoint, CacheKey) -> Option<SimResult> + Sync,
+        F: FnMut(SweepEvent<'_>) + Send,
+    {
         let space = self.space();
         let workloads = &self.workloads;
 
-        // One flat job list over both tables; each worker claims the next
-        // unclaimed job.  Placement is by index, so the result order is
-        // deterministic regardless of thread interleaving.
-        let n_base = space.baselines.len();
-        let n_jobs = n_base + space.points.len();
-        let threads = self.threads.min(n_jobs).max(1);
         // Fused (generator inside the pull loop) when the workers already
         // saturate the cores; threaded (generator on its own thread) when
         // spare cores can overlap generation with simulation.  The results
         // are bit-identical either way — only wall-clock differs.
-        let fused = self.source_mode.use_fused(threads);
+        let threads = self.threads.max(1);
+        let fused = self.source_mode.use_fused(threads.min(space.len().max(1)));
 
-        let run_job = |point: &ParamPoint| -> (SimResult, f64) {
-            let sim = ClusterSimulator::new(point.machine, point.system.clone());
+        let run_job = |point: &ParamPoint| -> Outcome {
+            let cache_key = point.cache_key();
+            let cacheable = matches!(&workloads[point.workload_index], WorkloadSpec::Named(_));
             let start = std::time::Instant::now();
+            if cacheable {
+                if let Some(result) = lookup(point, cache_key) {
+                    return Outcome {
+                        result,
+                        elapsed_seconds: start.elapsed().as_secs_f64(),
+                        cache_key,
+                        cached: true,
+                    };
+                }
+            }
+            let sim = ClusterSimulator::new(point.machine, point.system.clone());
             let result = match &workloads[point.workload_index] {
                 WorkloadSpec::Named(name) => {
                     let workload =
@@ -613,68 +660,103 @@ impl Sweep {
                     sim.run_source(&mut replay)
                 }
             };
-            (result, start.elapsed().as_secs_f64())
-        };
-        let table: Mutex<Vec<Option<(SimResult, f64)>>> = Mutex::new(vec![None; n_jobs]);
-        let next = AtomicUsize::new(0);
-        std::thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n_jobs {
-                        break;
-                    }
-                    let point = if i < n_base {
-                        &space.baselines[i]
-                    } else {
-                        &space.points[i - n_base]
-                    };
-                    let outcome = run_job(point);
-                    table.lock().expect("result table poisoned")[i] = Some(outcome);
-                });
+            Outcome {
+                result,
+                elapsed_seconds: start.elapsed().as_secs_f64(),
+                cache_key,
+                cached: false,
             }
-        });
-        let mut outcomes = table.into_inner().expect("result table poisoned");
+        };
 
+        // One scheduling pass per phase: each worker claims the next
+        // unclaimed job, placement is by index, so result order is
+        // deterministic regardless of thread interleaving.  Events fire as
+        // jobs complete, serialized through the sink lock.
+        let sink = Mutex::new(on_event);
+        let run_phase = |jobs: &[ParamPoint], emit: &NormalizeFn<'_>| -> Vec<Outcome> {
+            let table: Mutex<Vec<Option<Outcome>>> = Mutex::new(vec![None; jobs.len()]);
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..threads.min(jobs.len()).max(1) {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= jobs.len() {
+                            break;
+                        }
+                        let outcome = run_job(&jobs[i]);
+                        let normalization = emit(i, &jobs[i], &outcome);
+                        {
+                            let mut on_event = sink.lock().expect("event sink poisoned");
+                            (*on_event)(SweepEvent::new(i, &jobs[i], &outcome, normalization));
+                        }
+                        table.lock().expect("result table poisoned")[i] = Some(outcome);
+                    });
+                }
+            });
+            table
+                .into_inner()
+                .expect("result table poisoned")
+                .into_iter()
+                .map(|o| o.expect("job result missing"))
+                .collect()
+        };
+
+        // Phase 1: every baseline.
+        let baseline_outcomes = run_phase(&space.baselines, &|_, _, _| None);
         let baselines: Vec<BaselinePoint> = space
             .baselines
             .iter()
-            .enumerate()
-            .map(|(i, p)| {
-                let (result, elapsed_seconds) =
-                    outcomes[i].take().expect("baseline job result missing");
-                BaselinePoint {
-                    axes: p.axes.clone(),
-                    result,
-                    elapsed_seconds,
-                }
+            .zip(&baseline_outcomes)
+            .map(|(p, o)| BaselinePoint {
+                axes: p.axes.clone(),
+                result: o.result.clone(),
+                elapsed_seconds: o.elapsed_seconds,
+                cache_key: o.cache_key,
+                cached: o.cached,
             })
             .collect();
-        let points = space
+
+        // Pair each point against the space's baseline ParamPoints, which
+        // carry the workload *index* — display names may collide (two
+        // replay files recorded from the same generator), and axes alone
+        // would then pick the wrong baseline.
+        let baseline_at: Vec<usize> = space
             .points
             .iter()
-            .enumerate()
-            .map(|(i, p)| {
-                let (result, elapsed_seconds) = outcomes[n_base + i]
-                    .take()
-                    .expect("point job result missing");
-                // Pair against the space's baseline ParamPoints, which carry
-                // the workload *index* — display names may collide (two
-                // replay files recorded from the same generator), and axes
-                // alone would then pick the wrong baseline.
-                let baseline_at = space
+            .map(|p| {
+                space
                     .baselines
                     .iter()
                     .position(|b| shares_baseline_point(b, p))
-                    .expect("every point has a baseline at its machine/cost/workload");
-                let baseline = &baselines[baseline_at];
-                let normalized_time = result.normalized_against(&baseline.result);
+                    .expect("every point has a baseline at its machine/cost/workload")
+            })
+            .collect();
+
+        // Phase 2: every compared point, normalized against its (now
+        // complete) baseline at event time.
+        let normalize = |i: usize, _p: &ParamPoint, o: &Outcome| -> Option<(Cycles, f64)> {
+            let baseline = &baseline_outcomes[baseline_at[i]].result;
+            Some((
+                baseline.execution_time,
+                o.result.normalized_against(baseline),
+            ))
+        };
+        let point_outcomes = run_phase(&space.points, &normalize);
+        let points = space
+            .points
+            .iter()
+            .zip(&point_outcomes)
+            .enumerate()
+            .map(|(i, (p, o))| {
+                let baseline = &baseline_outcomes[baseline_at[i]].result;
                 PointResult {
                     axes: p.axes.clone(),
-                    normalized_time,
-                    baseline_time: baseline.result.execution_time,
-                    result,
-                    elapsed_seconds,
+                    normalized_time: o.result.normalized_against(baseline),
+                    baseline_time: baseline.execution_time,
+                    result: o.result.clone(),
+                    elapsed_seconds: o.elapsed_seconds,
+                    cache_key: o.cache_key,
+                    cached: o.cached,
                 }
             })
             .collect();
@@ -684,6 +766,113 @@ impl Sweep {
             baseline_system: self.baseline.name,
             baselines,
             points,
+        }
+    }
+}
+
+/// Per-job normalization hook for `run_streaming`'s phases: yields the
+/// baseline (execution time, elapsed seconds) for compared points, `None`
+/// for baseline jobs.
+type NormalizeFn<'a> = dyn Fn(usize, &ParamPoint, &Outcome) -> Option<(Cycles, f64)> + Sync + 'a;
+
+/// What one job produced, however it was satisfied.
+#[derive(Debug, Clone)]
+struct Outcome {
+    result: SimResult,
+    elapsed_seconds: f64,
+    cache_key: CacheKey,
+    cached: bool,
+}
+
+/// One completed job, delivered incrementally by [`Sweep::run_streaming`].
+#[derive(Debug, Clone, Copy)]
+pub enum SweepEvent<'a> {
+    /// A baseline job completed.
+    Baseline {
+        /// Index into [`ParamSpace::baselines`] / [`SweepResult::baselines`].
+        index: usize,
+        /// The job that completed.
+        point: &'a ParamPoint,
+        /// The job's content address.
+        cache_key: CacheKey,
+        /// The simulation result.
+        result: &'a SimResult,
+        /// Wall-clock seconds the job took (near zero when cached).
+        elapsed_seconds: f64,
+        /// `true` if the result came from the cache lookup, not a run.
+        cached: bool,
+    },
+    /// A compared point completed (baselines all precede points, so its
+    /// normalization is final).
+    Point {
+        /// Index into [`ParamSpace::points`] / [`SweepResult::points`].
+        index: usize,
+        /// The job that completed.
+        point: &'a ParamPoint,
+        /// The job's content address.
+        cache_key: CacheKey,
+        /// The simulation result.
+        result: &'a SimResult,
+        /// Execution time of the matching baseline job.
+        baseline_time: Cycles,
+        /// `result.execution_time / baseline_time`.
+        normalized_time: f64,
+        /// Wall-clock seconds the job took (near zero when cached).
+        elapsed_seconds: f64,
+        /// `true` if the result came from the cache lookup, not a run.
+        cached: bool,
+    },
+}
+
+impl<'a> SweepEvent<'a> {
+    fn new(
+        index: usize,
+        point: &'a ParamPoint,
+        outcome: &'a Outcome,
+        normalization: Option<(Cycles, f64)>,
+    ) -> Self {
+        match normalization {
+            None => SweepEvent::Baseline {
+                index,
+                point,
+                cache_key: outcome.cache_key,
+                result: &outcome.result,
+                elapsed_seconds: outcome.elapsed_seconds,
+                cached: outcome.cached,
+            },
+            Some((baseline_time, normalized_time)) => SweepEvent::Point {
+                index,
+                point,
+                cache_key: outcome.cache_key,
+                result: &outcome.result,
+                baseline_time,
+                normalized_time,
+                elapsed_seconds: outcome.elapsed_seconds,
+                cached: outcome.cached,
+            },
+        }
+    }
+
+    /// The completed job's content address.
+    pub fn cache_key(&self) -> CacheKey {
+        match self {
+            SweepEvent::Baseline { cache_key, .. } | SweepEvent::Point { cache_key, .. } => {
+                *cache_key
+            }
+        }
+    }
+
+    /// The completed job's result.
+    pub fn result(&self) -> &'a SimResult {
+        match self {
+            SweepEvent::Baseline { result, .. } | SweepEvent::Point { result, .. } => result,
+        }
+    }
+
+    /// `true` if the job was served from cache.
+    pub fn cached(&self) -> bool {
+        match self {
+            SweepEvent::Baseline { cached, .. } | SweepEvent::Point { cached, .. } => *cached,
         }
     }
 }
@@ -732,6 +921,12 @@ pub struct PointResult {
     /// Wall-clock seconds the job took (perf trajectory; never feeds
     /// simulation results).
     pub elapsed_seconds: f64,
+    /// The point's content address (see [`ParamPoint::cache_key`]) —
+    /// joinable with the sweep service's cache and `cache-stats` output.
+    pub cache_key: CacheKey,
+    /// `true` if the result was served from a [`Sweep::run_streaming`]
+    /// cache lookup instead of a simulation.
+    pub cached: bool,
 }
 
 impl PointResult {
@@ -751,6 +946,10 @@ pub struct BaselinePoint {
     pub result: SimResult,
     /// Wall-clock seconds the job took.
     pub elapsed_seconds: f64,
+    /// The baseline job's content address.
+    pub cache_key: CacheKey,
+    /// `true` if the result was served from a cache lookup.
+    pub cached: bool,
 }
 
 /// The complete outcome of a sweep.

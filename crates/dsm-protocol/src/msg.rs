@@ -113,6 +113,14 @@ impl TrafficStats {
         Self::default()
     }
 
+    /// Rebuild counters from per-kind arrays in [`MsgKind::ALL`] order —
+    /// the inverse of reading [`TrafficStats::messages_of`] /
+    /// [`TrafficStats::bytes_of`] per kind, for deserializing stored
+    /// results (e.g. the sweep service's on-disk cache).
+    pub fn from_counts(messages: [u64; 10], bytes: [u64; 10]) -> Self {
+        TrafficStats { messages, bytes }
+    }
+
     /// Record one message of `kind` at the paper's block size.
     pub fn record(&mut self, kind: MsgKind) {
         self.record_at(kind, BLOCK_SIZE);
@@ -213,6 +221,16 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.messages_of(MsgKind::WriteBack), 2);
         assert_eq!(a.messages_of(MsgKind::Invalidation), 1);
+    }
+
+    #[test]
+    fn from_counts_round_trips() {
+        let mut t = TrafficStats::new();
+        t.record(MsgKind::ReadReply);
+        t.record(MsgKind::PageControl);
+        let messages = MsgKind::ALL.map(|k| t.messages_of(k));
+        let bytes = MsgKind::ALL.map(|k| t.bytes_of(k));
+        assert_eq!(TrafficStats::from_counts(messages, bytes), t);
     }
 
     #[test]

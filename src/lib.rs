@@ -21,7 +21,10 @@
 //! * [`workloads`] — the seven SPLASH-2-like workload generators (Table 2);
 //! * [`mod@bench`] — the [`Sweep`](bench::Sweep) parameter grids, the
 //!   [`Experiment`](bench::Experiment) harness and the presets/report
-//!   formatters behind every figure and table.
+//!   formatters behind every figure and table;
+//! * [`service`] — the long-running sweep server (`serve` binary): a
+//!   JSON-lines protocol over stdio/Unix sockets backed by a
+//!   content-addressed result cache.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
@@ -32,6 +35,7 @@ pub use mem_trace as trace;
 pub use sim_engine as sim;
 pub use smp_node as node;
 pub use splash_workloads as workloads;
+pub use sweep_service as service;
 
 /// Convenience re-exports of the types most programs need.
 pub mod prelude {
