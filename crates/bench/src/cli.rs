@@ -33,6 +33,10 @@ options:
                        workloads (barnes, cholesky, fmm, lu, ocean, radix,
                        raytrace)
   --threads N          number of simulation worker threads
+  --workers N|auto     shard each simulation across N worker threads
+                       (auto = available cores; the default 1 is the
+                       exact serial path — results are bit-identical
+                       either way)
   --csv                also print results as CSV for plotting
   --out FILE           also write results as JSON to FILE
   --record FILE        stream the selected workload's trace to FILE and
@@ -79,8 +83,10 @@ pub struct Options {
     pub scale: ExperimentScale,
     /// Workloads to run.
     pub workloads: Vec<String>,
-    /// Worker threads.
+    /// Worker threads (jobs run concurrently).
     pub threads: usize,
+    /// Workers sharding each simulation (`0` = auto, `1` = serial).
+    pub workers: usize,
     /// Emit CSV in addition to the formatted table.
     pub csv: bool,
     /// Also write results as JSON to this file.
@@ -104,6 +110,20 @@ fn parse_custom_scale(v: &str) -> Result<splash_workloads::CustomScale, CliError
     }
 }
 
+/// Parse a `--workers` value: a positive count or `auto` (encoded as `0`,
+/// resolved to the available cores where the simulation is built).
+pub fn parse_workers(v: &str) -> Result<usize, CliError> {
+    if v.eq_ignore_ascii_case("auto") {
+        return Ok(0);
+    }
+    match v.parse::<usize>() {
+        Ok(n) if n > 0 => Ok(n),
+        _ => Err(CliError::BadValue(format!(
+            "bad value `{v}` for `--workers` (want a positive count or `auto`)"
+        ))),
+    }
+}
+
 impl Options {
     /// Parse from an iterator of arguments (excluding the program name).
     pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Options, CliError> {
@@ -114,6 +134,7 @@ impl Options {
                 .map(str::to_string)
                 .collect(),
             threads: default_threads(),
+            workers: 1,
             csv: false,
             out: None,
             record: None,
@@ -142,6 +163,10 @@ impl Options {
                     opts.threads = v.parse().map_err(|_| {
                         CliError::BadValue(format!("bad value `{v}` for `--threads`"))
                     })?;
+                }
+                "--workers" => {
+                    let v = value_of(&mut iter, "--workers")?;
+                    opts.workers = parse_workers(&v)?;
                 }
                 "--workloads" => {
                     workloads_selected = true;
@@ -368,6 +393,22 @@ mod tests {
             }
             other => panic!("expected UnknownFlag, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn workers_flag_parses_counts_and_auto() {
+        assert_eq!(parse(&[]).unwrap().workers, 1, "default is exact serial");
+        assert_eq!(parse(&["--workers", "4"]).unwrap().workers, 4);
+        assert_eq!(parse(&["--workers", "auto"]).unwrap().workers, 0);
+        assert_eq!(parse(&["--workers", "AUTO"]).unwrap().workers, 0);
+        for bad in ["0", "-2", "x", ""] {
+            assert!(
+                parse(&["--workers", bad]).is_err(),
+                "`--workers {bad}` should be rejected"
+            );
+        }
+        assert!(parse(&["--workers"]).is_err());
+        assert!(parse(&["--workers", "--csv"]).is_err());
     }
 
     #[test]

@@ -62,6 +62,7 @@ pub struct Experiment {
     source: WorkloadSource,
     scale: ExperimentScale,
     threads: usize,
+    workers: usize,
 }
 
 impl Experiment {
@@ -79,6 +80,7 @@ impl Experiment {
             ),
             scale: ExperimentScale::Reduced,
             threads: default_threads(),
+            workers: 1,
         }
     }
 
@@ -137,14 +139,24 @@ impl Experiment {
         self
     }
 
+    /// Shard each simulation across `workers` worker threads (`0` = auto,
+    /// one per available core; the default `1` is the exact serial path).
+    /// Results are bit-identical at any worker count.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
     /// Apply parsed command-line options: workloads (or a replay file),
-    /// scale and threads.
+    /// scale, threads and per-simulation workers.
     pub fn options(self, opts: &Options) -> Self {
         let exp = match &opts.replay {
             Some(path) => self.replay(path.clone()),
             None => self.workloads(opts.workload_names()),
         };
-        exp.scale(opts.scale).threads(opts.threads)
+        exp.scale(opts.scale)
+            .threads(opts.threads)
+            .workers(opts.workers)
     }
 
     /// Run every (workload, system) pair and collect the results.
@@ -172,7 +184,8 @@ impl Experiment {
             .machine(self.machine)
             .system_set(set)
             .scale(self.scale)
-            .threads(self.threads);
+            .threads(self.threads)
+            .workers(self.workers);
         sweep = match self.source {
             WorkloadSource::Named(names) => sweep.workloads(names),
             WorkloadSource::Traces(traces) => sweep.traces(traces),
@@ -205,6 +218,7 @@ impl Experiment {
         ExperimentResult {
             experiment,
             system_names,
+            workers: self.workers,
             per_workload,
         }
     }

@@ -290,11 +290,12 @@ pub fn to_json(result: &ExperimentResult) -> String {
         .join(",");
     format!(
         concat!(
-            "{{\"experiment\":\"{}\",\"systems\":[{}],",
+            "{{\"experiment\":\"{}\",\"systems\":[{}],\"workers\":{},",
             "\"mean_normalized_time\":[{}],\"workloads\":[{}]}}"
         ),
         json_escape(&result.experiment),
         systems,
+        result.workers,
         means,
         workloads
     )
@@ -554,11 +555,12 @@ pub fn sweep_to_json(result: &SweepResult) -> String {
         .join(",");
     format!(
         concat!(
-            "{{\"sweep\":\"{}\",\"baseline_system\":\"{}\",",
+            "{{\"sweep\":\"{}\",\"baseline_system\":\"{}\",\"workers\":{},",
             "\"points\":[{}],\"baselines\":[{}]}}"
         ),
         json_escape(&result.name),
         json_escape(&result.baseline_system),
+        result.workers,
         points,
         baselines
     )

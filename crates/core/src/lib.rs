@@ -58,7 +58,10 @@ pub mod migrep;
 pub mod node;
 pub mod placement;
 pub mod policy;
+#[cfg(feature = "profile-counters")]
+pub mod profile;
 pub mod rnuma;
+pub mod sharded;
 pub mod simulator;
 pub mod stats;
 
@@ -69,5 +72,6 @@ pub use migrep::MigRepEngine;
 pub use placement::PagePlacement;
 pub use policy::{PageOp, PolicyFactory, PolicyStats, RelocationPolicy};
 pub use rnuma::RNumaEngine;
+pub use sharded::{resolve_workers, ShardedSimulator};
 pub use simulator::ClusterSimulator;
 pub use stats::{NodeStats, SimResult};

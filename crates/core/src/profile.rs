@@ -1,0 +1,35 @@
+//! Feature-gated profiling counters (`--features profile-counters`) for
+//! the >64-node cost-cliff investigation.
+//!
+//! Two candidate explanations were on the table for a 96-node point
+//! costing ~10x a 64-node one: `SharerSet`s promoting off their inline
+//! word (counted by `mem_trace::sharers::profile`, re-exported here), and
+//! the simulator's O(nodes) gather loops — per-node work done on every
+//! page operation regardless of how many nodes are involved.  This module
+//! counts the latter so one instrumented run attributes the cliff.
+//! Compiled out entirely when the feature is off.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub use mem_trace::sharers::profile as sharers;
+
+/// Node-slots visited by `migrate_page`'s update-every-node's-view loop
+/// (O(nodes) per migration, touched or not).
+pub static GATHER_VISITS: AtomicU64 = AtomicU64::new(0);
+/// Migrations that ran that loop.
+pub static GATHERS: AtomicU64 = AtomicU64::new(0);
+
+/// `(gather-loop migrations, node visits)` since the last [`reset`].
+pub fn snapshot() -> (u64, u64) {
+    (
+        GATHERS.load(Ordering::Relaxed),
+        GATHER_VISITS.load(Ordering::Relaxed),
+    )
+}
+
+/// Zero this module's counters and the forwarded `SharerSet` ones.
+pub fn reset() {
+    GATHERS.store(0, Ordering::Relaxed);
+    GATHER_VISITS.store(0, Ordering::Relaxed);
+    sharers::reset();
+}

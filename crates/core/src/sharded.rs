@@ -1,0 +1,216 @@
+//! [`ShardedSimulator`]: one cluster simulation spread across worker
+//! threads, bit-identical to the serial [`ClusterSimulator`].
+//!
+//! # What is sharded, and what is not
+//!
+//! A shard is a contiguous set of home nodes (a [`ShardMap`] partition)
+//! together with everything keyed by them: the processors they host, the
+//! trace supply feeding those processors, and — inside the scheduler — the
+//! wakeups of those processors.  Two layers split along that boundary:
+//!
+//! * **Supply** runs on real worker threads: one filtered generator
+//!   replica per shard ([`mem_trace::ShardedSource`]) produces each
+//!   shard's event streams concurrently with the simulation consuming
+//!   them, so trace generation leaves the critical path entirely.
+//! * **Scheduling** runs through a [`sim_engine::ShardedScheduler`]: one
+//!   deterministic heap per shard, cross-shard wakeups routed through
+//!   per-shard-pair queues, popped in the same global `(clock, proc id)`
+//!   order as the serial scheduler — provably, not just empirically (see
+//!   `sim_engine::shard`'s module docs).
+//!
+//! The coherence state machine itself is **not** run speculatively in
+//! parallel: the protocol applies remote effects at the issuing
+//! processor's clock, so the conservative clock window between shards is
+//! zero-width and any speculative split would have to replicate the
+//! entire directory to stay bit-exact (the zero-lookahead finding in
+//! ROADMAP.md).  Determinism is the contract the whole harness stands on
+//! — golden fingerprints pin every committed result — so the sharded
+//! runner keeps the state machine serial and takes its parallelism where
+//! it is free: supply threads plus shard-partitioned scheduling.  The
+//! result is bit-identical to the serial path *at any worker count*, which
+//! the parity suite checks across the full golden matrix.
+
+use mem_trace::{ShardMap, ShardedSource, StepGenerator, TraceError, TraceSource};
+use sim_engine::{ProcScheduler, ShardedScheduler};
+
+use crate::config::{MachineConfig, SystemConfig};
+use crate::simulator::{ClusterSimulator, RunState};
+use crate::stats::SimResult;
+
+/// Resolve a worker-count request: `0` means auto (one worker per
+/// available core, clamped to the node count — a shard owns whole nodes).
+pub fn resolve_workers(workers: usize, machine: &MachineConfig) -> usize {
+    let nodes = machine.topology.nodes as usize;
+    if workers == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(nodes)
+    } else {
+        workers.min(nodes)
+    }
+}
+
+/// A [`ClusterSimulator`] that spreads one simulation across `workers`
+/// shards.  `workers == 1` is exactly the serial path; `workers == 0`
+/// means auto (available cores).  See the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct ShardedSimulator {
+    inner: ClusterSimulator,
+    workers: usize,
+}
+
+impl ShardedSimulator {
+    /// Create a sharded simulator.  `workers` as in
+    /// [`ShardedSimulator::workers`]: `0` = auto, `1` = serial.
+    pub fn new(machine: MachineConfig, system: SystemConfig, workers: usize) -> Self {
+        ShardedSimulator {
+            inner: ClusterSimulator::new(machine, system),
+            workers,
+        }
+    }
+
+    /// Wrap an existing simulator.
+    pub fn from_simulator(inner: ClusterSimulator, workers: usize) -> Self {
+        ShardedSimulator { inner, workers }
+    }
+
+    /// The serial simulator this wraps.
+    pub fn simulator(&self) -> &ClusterSimulator {
+        &self.inner
+    }
+
+    /// The requested worker count (`0` = auto).
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The effective worker count: the request resolved against available
+    /// cores and clamped to the machine's node count.
+    pub fn resolved_workers(&self) -> usize {
+        resolve_workers(self.workers, self.inner.machine())
+    }
+
+    /// The shard partition a run will use.
+    pub fn shard_map(&self) -> ShardMap {
+        ShardMap::new(self.inner.machine().topology, self.resolved_workers())
+    }
+
+    /// Run per-shard generator replicas to completion through the sharded
+    /// scheduler.  `replicas` must hold one equally constructed generator
+    /// per shard of [`ShardedSimulator::shard_map`] (each is filtered to
+    /// its shard's processors and runs on its own supply thread).
+    ///
+    /// # Panics
+    /// Panics if the stream is malformed.  Use
+    /// [`ShardedSimulator::try_run_replicas`] for the fallible equivalent.
+    pub fn run_replicas(&self, name: &str, replicas: Vec<Box<dyn StepGenerator>>) -> SimResult {
+        self.try_run_replicas(name, replicas)
+            .unwrap_or_else(|e| panic!("malformed trace {name}: {e:?}"))
+    }
+
+    /// Fallible [`ShardedSimulator::run_replicas`].
+    pub fn try_run_replicas(
+        &self,
+        name: &str,
+        replicas: Vec<Box<dyn StepGenerator>>,
+    ) -> Result<SimResult, TraceError> {
+        let map = self.shard_map();
+        let mut source = ShardedSource::spawn(name, map, replicas);
+        self.try_run_source(&mut source)
+    }
+
+    /// Run an already sharded (or any other) [`TraceSource`] through the
+    /// sharded scheduler.
+    ///
+    /// # Panics
+    /// Panics if the stream is malformed.
+    pub fn run_source(&self, source: &mut dyn TraceSource) -> SimResult {
+        let name = source.name().to_string();
+        self.try_run_source(source)
+            .unwrap_or_else(|e| panic!("malformed trace {name}: {e:?}"))
+    }
+
+    /// Fallible [`ShardedSimulator::run_source`].
+    pub fn try_run_source(&self, source: &mut dyn TraceSource) -> Result<SimResult, TraceError> {
+        let machine = self.inner.machine();
+        let streams = source.topology().total_procs();
+        let expected = machine.topology.total_procs();
+        if streams != expected {
+            return Err(TraceError::ProcCountMismatch { streams, expected });
+        }
+        let workers = self.resolved_workers();
+        let mut run = RunState::new(machine, self.inner.system());
+        if workers <= 1 {
+            // The exact serial path: one heap, no shard bookkeeping.
+            let mut queue = ProcScheduler::with_capacity(expected);
+            run.execute(source, &mut queue)
+        } else {
+            let map = ShardMap::new(machine.topology, workers);
+            let mut queue = ShardedScheduler::new(map.proc_table(), map.shards());
+            run.execute(source, &mut queue)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::System;
+    use mem_trace::{GlobalAddr, ProcId, Topology, TraceBuilder};
+
+    fn toy_trace() -> mem_trace::ProgramTrace {
+        let topo = Topology::new(4, 2);
+        let mut b = TraceBuilder::new("toy", topo).with_think_cycles(5);
+        for round in 0u64..8 {
+            for p in topo.proc_ids() {
+                b.read(p, GlobalAddr(round * 4096));
+                b.write(p, GlobalAddr(64 * p.0 as u64 + round * 8192));
+            }
+            b.barrier_all();
+        }
+        b.lock(ProcId(3), 0);
+        b.unlock(ProcId(3), 0);
+        b.build()
+    }
+
+    #[test]
+    fn sharded_scheduler_matches_serial_result_exactly() {
+        let trace = toy_trace();
+        let machine = MachineConfig::PAPER.with_topology(trace.topology);
+        let system = System::cc_numa().build();
+        let serial = ClusterSimulator::new(machine, system.clone()).run(&trace);
+        for workers in [1usize, 2, 3, 4, 9] {
+            let sim = ShardedSimulator::new(machine, system.clone(), workers);
+            let got = sim.run_source(&mut trace.source());
+            assert_eq!(got, serial, "{workers} workers diverged");
+        }
+    }
+
+    #[test]
+    fn worker_resolution_clamps_to_nodes() {
+        let machine = MachineConfig::PAPER.with_topology(Topology::new(4, 2));
+        assert_eq!(resolve_workers(1, &machine), 1);
+        assert_eq!(resolve_workers(3, &machine), 3);
+        assert_eq!(resolve_workers(64, &machine), 4);
+        let auto = resolve_workers(0, &machine);
+        assert!((1..=4).contains(&auto), "auto resolved to {auto}");
+        let sim = ShardedSimulator::new(machine, System::cc_numa().build(), 0);
+        assert_eq!(sim.workers(), 0);
+        assert_eq!(sim.resolved_workers(), auto);
+        assert_eq!(sim.shard_map().shards() as usize, auto);
+    }
+
+    #[test]
+    fn proc_count_mismatch_is_reported() {
+        let trace = toy_trace();
+        let machine = MachineConfig::PAPER.with_topology(Topology::new(2, 2));
+        let sim = ShardedSimulator::new(machine, System::cc_numa().build(), 2);
+        match sim.try_run_source(&mut trace.source()) {
+            Err(TraceError::ProcCountMismatch { streams, expected }) => {
+                assert_eq!((streams, expected), (8, 4));
+            }
+            other => panic!("expected ProcCountMismatch, got {other:?}"),
+        }
+    }
+}

@@ -27,7 +27,7 @@ use mem_trace::{
     AccessKind, BlockRef, Geometry, MemRef, NodeId, PageInterner, PageRef, ProcId, ProgramTrace,
     Slab, TraceError, TraceEvent, TraceSource, MAX_LOCK_ID,
 };
-use sim_engine::{Cycles, ProcScheduler};
+use sim_engine::{Cycles, ProcScheduler, Scheduler};
 use smp_node::cache::{CacheOutcome, LineState, Victim};
 use smp_node::classify::MissClass;
 use smp_node::page_table::{PageMapping, PageMode, PageProtection};
@@ -111,7 +111,8 @@ impl ClusterSimulator {
             return Err(TraceError::ProcCountMismatch { streams, expected });
         }
         let mut run = RunState::new(&self.machine, &self.system);
-        run.execute(source)
+        let mut queue = ProcScheduler::with_capacity(expected);
+        run.execute(source, &mut queue)
     }
 }
 
@@ -121,7 +122,7 @@ struct LockState {
     waiters: VecDeque<u16>,
 }
 
-struct RunState<'a> {
+pub(crate) struct RunState<'a> {
     machine: &'a MachineConfig,
     system: &'a SystemConfig,
     /// The machine's address-space geometry: every page/block decomposition
@@ -152,7 +153,7 @@ struct RunState<'a> {
 }
 
 impl<'a> RunState<'a> {
-    fn new(machine: &'a MachineConfig, system: &'a SystemConfig) -> Self {
+    pub(crate) fn new(machine: &'a MachineConfig, system: &'a SystemConfig) -> Self {
         let total_procs = machine.topology.total_procs();
         let geometry = machine.geometry;
         // A hard assert, not debug-only: MachineConfig's fields are public,
@@ -199,9 +200,18 @@ impl<'a> RunState<'a> {
         self.system.costs.remote_miss
     }
 
-    fn execute(&mut self, source: &mut dyn TraceSource) -> Result<SimResult, TraceError> {
+    /// Drive `source` to completion through `queue`.  Generic over the
+    /// [`Scheduler`] so the same loop runs serial (one [`ProcScheduler`])
+    /// and sharded (a `ShardedScheduler` routing cross-shard wakeups
+    /// through pair queues) — the interleaving, and therefore the result,
+    /// is bit-identical either way because both schedulers pop in the same
+    /// `(clock, proc id)` order.
+    pub(crate) fn execute<Q: Scheduler>(
+        &mut self,
+        source: &mut dyn TraceSource,
+        queue: &mut Q,
+    ) -> Result<SimResult, TraceError> {
         let workload = source.name().to_string();
-        let mut queue = ProcScheduler::with_capacity(self.procs.len());
         for p in 0..self.procs.len() {
             if !source.exhausted(ProcId(p as u16)) {
                 queue.push(Cycles::ZERO, p as u16);
@@ -991,7 +1001,15 @@ impl<'a> RunState<'a> {
         self.placement.migrate(page.idx, to);
         self.notify_op_performed(&PageOp::Migrate { page, to });
 
-        // Update every node's view of the page.
+        // Update every node's view of the page.  O(nodes) per migration
+        // whether or not a node ever saw the page — one of the two >64-node
+        // cost-cliff suspects the profile-counters feature counts.
+        #[cfg(feature = "profile-counters")]
+        {
+            use std::sync::atomic::Ordering;
+            crate::profile::GATHERS.fetch_add(1, Ordering::Relaxed);
+            crate::profile::GATHER_VISITS.fetch_add(self.nodes.len() as u64, Ordering::Relaxed);
+        }
         for (idx, node) in self.nodes.iter_mut().enumerate() {
             let here = NodeId(idx as u16);
             if let Some(mp) = node.page_table.lookup(page.idx) {

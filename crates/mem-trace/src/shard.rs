@@ -1,0 +1,158 @@
+//! Partitioning a cluster topology into shards.
+//!
+//! A *shard* is a contiguous range of home nodes — together with their
+//! processors, directories, page caches and policy tables — owned by one
+//! worker of a sharded simulation.  [`ShardMap`] is the single source of
+//! truth for that partition: the sharded trace source
+//! ([`crate::sharded::ShardedSource`]) uses it to split per-processor
+//! event supply across generator replicas, and the sharded simulator uses
+//! the same map to route scheduler wakeups through per-shard-pair queues.
+//! Both sides deriving their ownership from one map is what makes the
+//! split reproducible: a processor's events and its wakeups always live
+//! in the same shard.
+//!
+//! The partition is the standard balanced contiguous split: shard `s` of
+//! `S` owns nodes `[s*N/S, (s+1)*N/S)`, so shard sizes differ by at most
+//! one node and node order (and therefore proc-id order inside a shard)
+//! is preserved.  The map is pure arithmetic — cloning it is free and two
+//! maps constructed from the same `(topology, workers)` agree on every
+//! assignment, on every thread, in every process.
+
+use crate::addr::{NodeId, ProcId, Topology};
+
+/// A contiguous partition of a cluster's nodes into shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardMap {
+    topology: Topology,
+    shards: u16,
+}
+
+impl ShardMap {
+    /// Partition `topology` into at most `workers` shards.
+    ///
+    /// The shard count is clamped to `[1, topology.nodes]`: a shard owns
+    /// whole nodes (an SMP node's processors share caches and a bus, so
+    /// splitting one across workers would split state that is not
+    /// partitionable), and zero workers means "one shard" rather than an
+    /// error so `workers = 0` can safely encode "auto" upstream.
+    pub fn new(topology: Topology, workers: usize) -> Self {
+        let shards = workers.clamp(1, topology.nodes as usize) as u16;
+        ShardMap { topology, shards }
+    }
+
+    /// The partitioned topology.
+    pub fn topology(&self) -> Topology {
+        self.topology
+    }
+
+    /// Number of shards (at least 1, at most the node count).
+    pub fn shards(&self) -> u16 {
+        self.shards
+    }
+
+    /// The shard owning `node`.
+    #[inline]
+    pub fn shard_of_node(&self, node: NodeId) -> u16 {
+        // Exact inverse of `nodes_of`: node `n` lands in the shard whose
+        // `lo = floor(s*N/S)` range covers it, i.e. `floor((n*S+S-1)/N)`.
+        let n = self.topology.nodes as usize;
+        let s = self.shards as usize;
+        ((node.0 as usize * s + s - 1) / n) as u16
+    }
+
+    /// The shard owning `proc`'s home node.
+    #[inline]
+    pub fn shard_of_proc(&self, proc: ProcId) -> u16 {
+        self.shard_of_node(self.topology.node_of(proc))
+    }
+
+    /// The contiguous node range shard `shard` owns.
+    pub fn nodes_of(&self, shard: u16) -> std::ops::Range<u16> {
+        assert!(shard < self.shards, "shard {shard} of {}", self.shards);
+        let n = self.topology.nodes as usize;
+        let s = self.shards as usize;
+        let lo = (shard as usize * n) / s;
+        let hi = ((shard as usize + 1) * n) / s;
+        lo as u16..hi as u16
+    }
+
+    /// The processors shard `shard` owns, in proc-id order.
+    pub fn procs_of(&self, shard: u16) -> impl Iterator<Item = ProcId> {
+        let nodes = self.nodes_of(shard);
+        let ppn = self.topology.procs_per_node;
+        (nodes.start * ppn..nodes.end * ppn).map(ProcId)
+    }
+
+    /// The proc-indexed shard table (`table[proc.index()]` = owning
+    /// shard), the flat form the scheduler layer consumes.
+    pub fn proc_table(&self) -> Vec<u16> {
+        self.topology
+            .proc_ids()
+            .map(|p| self.shard_of_proc(p))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_is_contiguous_balanced_and_total() {
+        for nodes in [1u16, 2, 3, 8, 17, 96] {
+            for workers in [1usize, 2, 3, 4, 7, 8, 200] {
+                let map = ShardMap::new(Topology::new(nodes, 3), workers);
+                assert!(map.shards() >= 1 && map.shards() <= nodes);
+                // Ranges tile the node space in order.
+                let mut next = 0u16;
+                let (mut min_size, mut max_size) = (u16::MAX, 0u16);
+                for s in 0..map.shards() {
+                    let r = map.nodes_of(s);
+                    assert_eq!(r.start, next, "gap before shard {s}");
+                    assert!(r.end > r.start, "empty shard {s}");
+                    min_size = min_size.min(r.end - r.start);
+                    max_size = max_size.max(r.end - r.start);
+                    for n in r.clone() {
+                        assert_eq!(map.shard_of_node(NodeId(n)), s);
+                    }
+                    next = r.end;
+                }
+                assert_eq!(next, nodes, "shards do not cover all nodes");
+                assert!(max_size - min_size <= 1, "unbalanced partition");
+            }
+        }
+    }
+
+    #[test]
+    fn procs_follow_their_home_node() {
+        let map = ShardMap::new(Topology::new(8, 4), 3);
+        let topo = map.topology();
+        for p in topo.proc_ids() {
+            assert_eq!(map.shard_of_proc(p), map.shard_of_node(topo.node_of(p)));
+        }
+        // procs_of agrees with shard_of_proc, covers every proc exactly once.
+        let mut seen = vec![false; topo.total_procs()];
+        for s in 0..map.shards() {
+            for p in map.procs_of(s) {
+                assert_eq!(map.shard_of_proc(p), s);
+                assert!(!seen[p.index()], "proc {p} assigned twice");
+                seen[p.index()] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn proc_table_matches_the_map_and_workers_clamp() {
+        let topo = Topology::new(8, 4);
+        let map = ShardMap::new(topo, 5);
+        let table = map.proc_table();
+        assert_eq!(table.len(), topo.total_procs());
+        for p in topo.proc_ids() {
+            assert_eq!(table[p.index()], map.shard_of_proc(p));
+        }
+        // workers = 0 means one shard; workers > nodes clamps to nodes.
+        assert_eq!(ShardMap::new(topo, 0).shards(), 1);
+        assert_eq!(ShardMap::new(topo, 64).shards(), 8);
+    }
+}

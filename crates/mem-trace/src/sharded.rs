@@ -1,0 +1,562 @@
+//! Shard-parallel trace supply: [`ShardedSource`].
+//!
+//! A sharded simulation wants each shard's processors fed independently:
+//! with a single generator thread behind one channel
+//! ([`crate::source::ThreadedSource`]), pulling one shard's next event can
+//! drag arbitrarily many *other* shards' events through the shared demux
+//! window first, coupling the shards' progress through the supply layer.
+//! `ShardedSource` removes that coupling.  Each shard gets its own **lane**:
+//! a replica of the deterministic step generator whose emission is filtered
+//! down to the shard's processors (per the [`ShardMap`]), so a pull for
+//! shard `s` only ever demultiplexes shard `s`'s traffic.
+//!
+//! Per-processor streams are bit-identical to [`crate::source::FusedSource`]
+//! by construction: every replica of a deterministic [`StepGenerator`] emits
+//! the same global event sequence, filtering preserves each processor's
+//! subsequence, and a processor's events flow through exactly one lane (its
+//! home node's shard) in emission order.  Simulation results therefore
+//! cannot depend on the worker count or on thread scheduling — which the
+//! swappable backend makes *testable*, not just arguable:
+//!
+//! * [`ShardedSource::spawn`] runs one OS thread per lane (the production
+//!   backend — generation runs concurrently with the consumer);
+//! * [`ShardedSource::lockstep`] keeps every replica inline on the caller's
+//!   thread and *scripts* the interleaving of lane progress from a seed, so
+//!   a test can sweep many adversarial supply schedules deterministically —
+//!   a model-checking-style exploration no run-twice test can reach.
+//!
+//! The replicas are not free — `S` lanes each run the full generator — but
+//! trace generation is the cheap half of the pipeline (PR 5 measured ~13%
+//! of a paper-scale radix job), the replicas run concurrently on otherwise
+//! idle cores, and each lane ships only its `1/S` slice of the events.
+
+use std::collections::VecDeque;
+use std::sync::mpsc;
+
+use crate::access::TraceEvent;
+use crate::addr::{ProcId, Topology};
+use crate::builder::EventSink;
+use crate::shard::ShardMap;
+use crate::source::{
+    ChannelSink, Chunk, Demux, DemuxSink, StepGenerator, TraceSource, BATCH_BUFFER,
+};
+use crate::trace::{TraceError, TraceStats};
+
+/// An [`EventSink`] that forwards only one shard's processors.
+struct FilterSink<'a> {
+    map: ShardMap,
+    shard: u16,
+    inner: &'a mut dyn EventSink,
+}
+
+impl EventSink for FilterSink<'_> {
+    fn event(&mut self, proc: ProcId, ev: TraceEvent) {
+        if self.map.shard_of_proc(proc) == self.shard {
+            self.inner.event(proc, ev);
+        }
+    }
+    fn end_of_stream(&mut self, proc: ProcId) {
+        if self.map.shard_of_proc(proc) == self.shard {
+            self.inner.end_of_stream(proc);
+        }
+    }
+}
+
+/// One shard's supply: a channel from a generator-replica thread, or the
+/// replica itself held inline (the deterministic backend).
+enum Lane {
+    Thread {
+        rx: Option<mpsc::Receiver<Chunk>>,
+        handle: Option<std::thread::JoinHandle<()>>,
+    },
+    Lockstep {
+        generator: Option<Box<dyn StepGenerator>>,
+    },
+}
+
+/// Deterministic 64-bit mixer driving the scripted lockstep schedule
+/// (SplitMix64 — tiny, seedable, and good enough to scatter pump orders).
+struct Schedule(u64);
+
+impl Schedule {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// A [`TraceSource`] fed by one filtered generator replica per shard.
+/// See the [module docs](self) for the determinism argument and the two
+/// backends.
+pub struct ShardedSource {
+    name: String,
+    map: ShardMap,
+    lanes: Vec<Lane>,
+    demux: Demux,
+    /// `Some` on the lockstep backend: scripts extra lane pumps ahead of
+    /// each demanded one, deterministically from the seed.
+    schedule: Option<Schedule>,
+}
+
+impl std::fmt::Debug for ShardedSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedSource")
+            .field("name", &self.name)
+            .field("topology", &self.map.topology())
+            .field("shards", &self.map.shards())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ShardedSource {
+    /// The production backend: one generator-replica thread per shard,
+    /// each shipping its shard's filtered events over a bounded channel.
+    ///
+    /// `generators` must hold one *equally constructed* replica per shard
+    /// of `map` (the caller builds them from the same workload + config, so
+    /// they emit bit-identical global sequences).  Dropping the source
+    /// early is safe: lanes hang up and the replicas run out cheaply into
+    /// dead sinks, exactly like [`crate::source::ThreadedSource`].
+    ///
+    /// # Panics
+    /// Panics if `generators.len() != map.shards()`.
+    pub fn spawn(
+        name: impl Into<String>,
+        map: ShardMap,
+        generators: Vec<Box<dyn StepGenerator>>,
+    ) -> Self {
+        assert_eq!(
+            generators.len(),
+            map.shards() as usize,
+            "one generator replica per shard"
+        );
+        let lanes = generators
+            .into_iter()
+            .enumerate()
+            .map(|(shard, mut generator)| {
+                let (tx, rx) = mpsc::sync_channel(BATCH_BUFFER);
+                let handle = std::thread::Builder::new()
+                    .name(format!("trace-shard-{shard}"))
+                    .spawn(move || {
+                        let mut sink = ChannelSink::new(tx);
+                        let mut filtered = FilterSink {
+                            map,
+                            shard: shard as u16,
+                            inner: &mut sink,
+                        };
+                        while generator.step(&mut filtered) {}
+                        sink.flush();
+                    })
+                    .expect("spawn trace-shard thread");
+                Lane::Thread {
+                    rx: Some(rx),
+                    handle: Some(handle),
+                }
+            })
+            .collect();
+        ShardedSource {
+            name: name.into(),
+            lanes,
+            demux: Demux::new(map.topology()),
+            map,
+            schedule: None,
+        }
+    }
+
+    /// The deterministic backend: every replica stays inline on the
+    /// caller's thread, and lane progress is interleaved by a schedule
+    /// scripted from `seed` — each demanded pump is preceded by a
+    /// seed-chosen burst of *other* lanes' pumps.  Two sources built with
+    /// the same arguments replay the same interleaving; different seeds
+    /// explore different ones.  This is the backend the model-checking
+    /// tests drive: per-processor streams (and any simulation consuming
+    /// them) must be identical across every seed and to the threaded
+    /// backend.
+    ///
+    /// # Panics
+    /// Panics if `generators.len() != map.shards()`.
+    pub fn lockstep(
+        name: impl Into<String>,
+        map: ShardMap,
+        generators: Vec<Box<dyn StepGenerator>>,
+        seed: u64,
+    ) -> Self {
+        assert_eq!(
+            generators.len(),
+            map.shards() as usize,
+            "one generator replica per shard"
+        );
+        ShardedSource {
+            name: name.into(),
+            lanes: generators
+                .into_iter()
+                .map(|g| Lane::Lockstep { generator: Some(g) })
+                .collect(),
+            demux: Demux::new(map.topology()),
+            map,
+            schedule: Some(Schedule(seed)),
+        }
+    }
+
+    /// The shard partition feeding this source.
+    pub fn shard_map(&self) -> ShardMap {
+        self.map
+    }
+
+    /// Replace the parked-event window cap (default
+    /// [`crate::source::default_window_cap`] for the source's topology).
+    pub fn with_window_cap(mut self, cap: usize) -> Self {
+        self.demux.set_window_cap(cap);
+        self
+    }
+
+    /// Mark every processor of `shard` ended (its lane's underlying stream
+    /// is over).  A backstop — well-formed replicas already emitted every
+    /// per-processor end marker by then.
+    fn end_shard(demux: &mut Demux, map: &ShardMap, shard: u16) {
+        for p in map.procs_of(shard) {
+            demux.end(p);
+        }
+    }
+
+    /// Progress `shard`'s lane by one unit (one channel chunk or one
+    /// generator step).  Returns `false` once the lane is finished or the
+    /// demux poisoned itself.  Propagates a replica-thread panic.
+    fn pump_lane(&mut self, shard: u16) -> bool {
+        let s = shard as usize;
+        match &mut self.lanes[s] {
+            Lane::Thread { rx, handle } => {
+                let Some(receiver) = rx else { return false };
+                match receiver.recv() {
+                    Ok(chunk) => {
+                        match chunk {
+                            Chunk::Events(batch) => {
+                                for (p, ev) in batch {
+                                    self.demux.push(ProcId(p), ev);
+                                }
+                            }
+                            Chunk::EndOfStream(p) => self.demux.end(ProcId(p)),
+                        }
+                        if self.demux.is_poisoned() {
+                            // Hang up every lane; the replicas run out into
+                            // dead sinks.
+                            for lane in &mut self.lanes {
+                                if let Lane::Thread { rx, .. } = lane {
+                                    *rx = None;
+                                }
+                            }
+                            return false;
+                        }
+                        true
+                    }
+                    Err(_) => {
+                        *rx = None;
+                        Self::end_shard(&mut self.demux, &self.map, shard);
+                        if let Some(handle) = handle.take() {
+                            if let Err(panic) = handle.join() {
+                                std::panic::resume_unwind(panic);
+                            }
+                        }
+                        false
+                    }
+                }
+            }
+            Lane::Lockstep { generator } => {
+                let Some(g) = generator else { return false };
+                let mut sink = DemuxSink(&mut self.demux);
+                let more = g.step(&mut FilterSink {
+                    map: self.map,
+                    shard,
+                    inner: &mut sink,
+                });
+                if !more {
+                    *generator = None;
+                    Self::end_shard(&mut self.demux, &self.map, shard);
+                } else if self.demux.is_poisoned() {
+                    *generator = None;
+                }
+                more && !self.demux.is_poisoned()
+            }
+        }
+    }
+
+    /// Pump toward `shard` having something to say, running the scripted
+    /// interleaving first on the lockstep backend.
+    fn pump(&mut self, shard: u16) -> bool {
+        if let Some(mut schedule) = self.schedule.take() {
+            // Adversarially advance a seed-chosen burst of other lanes
+            // before the demanded one.  Determinism of the *consumer's*
+            // per-processor streams must survive any such schedule.
+            let shards = self.map.shards();
+            if shards > 1 {
+                let burst = (schedule.next() % (2 * shards as u64)) as u16;
+                for _ in 0..burst {
+                    let other = (schedule.next() % shards as u64) as u16;
+                    if other != shard {
+                        self.pump_lane(other);
+                    }
+                }
+            }
+            self.schedule = Some(schedule);
+        }
+        self.pump_lane(shard)
+    }
+}
+
+impl TraceSource for ShardedSource {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn topology(&self) -> Topology {
+        self.map.topology()
+    }
+
+    fn next_event(&mut self, proc: ProcId) -> Option<TraceEvent> {
+        let shard = self.map.shard_of_proc(proc);
+        loop {
+            if let Some(ev) = self.demux.pop(proc) {
+                return Some(ev);
+            }
+            if self.demux.is_ended(proc) || !self.pump(shard) {
+                return None;
+            }
+        }
+    }
+
+    fn exhausted(&mut self, proc: ProcId) -> bool {
+        let shard = self.map.shard_of_proc(proc);
+        loop {
+            if self.demux.has_buffered(proc) {
+                return false;
+            }
+            if self.demux.is_ended(proc) || !self.pump(shard) {
+                return true;
+            }
+        }
+    }
+
+    fn stats_so_far(&self) -> TraceStats {
+        self.demux.stats()
+    }
+
+    fn buffered_events(&self) -> usize {
+        self.demux.buffered_events()
+    }
+
+    fn take_error(&mut self) -> Option<TraceError> {
+        self.demux.take_error()
+    }
+}
+
+/// A [`StepGenerator`] replaying materialized per-processor streams in fair
+/// round-robin order — the replica shape tests use (mirrors the private
+/// fallback stepper in `splash-workloads`).
+#[doc(hidden)]
+pub struct ReplayStepper {
+    per_proc: Vec<VecDeque<TraceEvent>>,
+    next: usize,
+}
+
+impl ReplayStepper {
+    /// Wrap materialized streams (one per processor).
+    pub fn new(per_proc: Vec<Vec<TraceEvent>>) -> Self {
+        ReplayStepper {
+            per_proc: per_proc.into_iter().map(VecDeque::from).collect(),
+            next: 0,
+        }
+    }
+}
+
+impl StepGenerator for ReplayStepper {
+    fn step(&mut self, sink: &mut dyn EventSink) -> bool {
+        let procs = self.per_proc.len();
+        for _ in 0..procs {
+            let p = self.next;
+            self.next = (self.next + 1) % procs;
+            if let Some(ev) = self.per_proc[p].pop_front() {
+                sink.event(ProcId(p as u16), ev);
+                if self.per_proc[p].is_empty() {
+                    sink.end_of_stream(ProcId(p as u16));
+                }
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::GlobalAddr;
+    use crate::builder::TraceBuilder;
+    use crate::source::BATCH_EVENTS;
+    use crate::trace::ProgramTrace;
+
+    /// A 4-node / 2-proc trace with cross-node sharing, barriers and locks.
+    fn toy_trace() -> ProgramTrace {
+        let topo = Topology::new(4, 2);
+        let mut b = TraceBuilder::new("toy", topo).with_think_cycles(3);
+        for round in 0u64..5 {
+            for p in topo.proc_ids() {
+                b.read(p, GlobalAddr(round * 4096));
+                b.write(p, GlobalAddr(64 * p.0 as u64 + round * 8192));
+            }
+            b.barrier_all();
+        }
+        b.lock(ProcId(5), 1);
+        b.unlock(ProcId(5), 1);
+        b.build()
+    }
+
+    fn replicas(trace: &ProgramTrace, shards: u16) -> Vec<Box<dyn StepGenerator>> {
+        (0..shards)
+            .map(|_| Box::new(ReplayStepper::new(trace.per_proc.clone())) as Box<dyn StepGenerator>)
+            .collect()
+    }
+
+    fn drain_per_proc(src: &mut dyn TraceSource) -> Vec<Vec<TraceEvent>> {
+        let topo = src.topology();
+        topo.proc_ids()
+            .map(|p| {
+                let mut got = Vec::new();
+                while let Some(ev) = src.next_event(p) {
+                    got.push(ev);
+                }
+                got
+            })
+            .collect()
+    }
+
+    #[test]
+    fn threaded_lanes_reproduce_the_trace_at_any_shard_count() {
+        let trace = toy_trace();
+        for workers in [1usize, 2, 3, 4, 9] {
+            let map = ShardMap::new(trace.topology, workers);
+            let mut src = ShardedSource::spawn("toy", map, replicas(&trace, map.shards()));
+            assert_eq!(src.name(), "toy");
+            assert_eq!(src.topology(), trace.topology);
+            let got = drain_per_proc(&mut src);
+            assert_eq!(got, trace.per_proc, "{workers} workers");
+            for p in trace.topology.proc_ids() {
+                assert!(src.exhausted(p));
+            }
+            assert_eq!(src.stats_so_far(), trace.stats());
+            assert!(src.take_error().is_none());
+        }
+    }
+
+    #[test]
+    fn lockstep_streams_are_identical_across_seeds_and_pull_orders() {
+        let trace = toy_trace();
+        let map = ShardMap::new(trace.topology, 4);
+        let reference = {
+            let mut src = ShardedSource::lockstep("toy", map, replicas(&trace, 4), 0);
+            drain_per_proc(&mut src)
+        };
+        assert_eq!(reference, trace.per_proc);
+        for seed in 1..24u64 {
+            let mut src = ShardedSource::lockstep("toy", map, replicas(&trace, 4), seed);
+            // Adversarial pull order on odd seeds: highest proc first.
+            let got = if seed % 2 == 1 {
+                let mut per: Vec<Vec<TraceEvent>> = vec![Vec::new(); trace.topology.total_procs()];
+                for p in trace.topology.proc_ids().collect::<Vec<_>>().iter().rev() {
+                    while let Some(ev) = src.next_event(*p) {
+                        per[p.index()].push(ev);
+                    }
+                }
+                per
+            } else {
+                drain_per_proc(&mut src)
+            };
+            assert_eq!(got, reference, "seed {seed} perturbed a stream");
+            assert_eq!(src.stats_so_far(), trace.stats());
+        }
+    }
+
+    #[test]
+    fn pulling_one_shard_does_not_buffer_other_shards_events() {
+        // The decoupling property the per-shard lanes exist for: draining
+        // shard 0 completely must not park shard 1's whole stream (with one
+        // shared channel it would).
+        let topo = Topology::new(2, 1);
+        let mut per_proc = vec![Vec::new(), Vec::new()];
+        for i in 0..50_000u64 {
+            per_proc[0].push(TraceEvent::read(GlobalAddr(i * 64)));
+            per_proc[1].push(TraceEvent::read(GlobalAddr(i * 64 + 4096)));
+        }
+        let trace = ProgramTrace::new("wide", topo, per_proc);
+        let map = ShardMap::new(topo, 2);
+        let mut src = ShardedSource::spawn("wide", map, replicas(&trace, 2));
+        let mut got = 0usize;
+        while src.next_event(ProcId(0)).is_some() {
+            got += 1;
+        }
+        assert_eq!(got, 50_000);
+        assert!(
+            src.buffered_events() <= 2 * BATCH_EVENTS,
+            "draining shard 0 parked {} events of shard 1",
+            src.buffered_events()
+        );
+    }
+
+    #[test]
+    fn window_cap_poisons_instead_of_growing() {
+        struct Endless(u64);
+        impl StepGenerator for Endless {
+            fn step(&mut self, sink: &mut dyn EventSink) -> bool {
+                sink.event(ProcId(0), TraceEvent::read(GlobalAddr(self.0 * 64)));
+                self.0 += 1;
+                true
+            }
+        }
+        let topo = Topology::new(2, 1);
+        let map = ShardMap::new(topo, 2);
+        // Proc 1's lane never produces (its replica only emits proc 0,
+        // which the filter discards), so pulling proc 1 pumps forever...
+        // except lane 1 emits nothing at all, so next_event(1) blocks on an
+        // empty lane.  Pull proc 0 against a capped window instead: shard 0
+        // floods proc 0's buffer only when proc 0 is pulled, so cap-trip
+        // needs the single-shard shape.
+        let map1 = ShardMap::new(topo, 1);
+        let _ = map;
+        let gens: Vec<Box<dyn StepGenerator>> = vec![Box::new(Endless(0))];
+        let mut src = ShardedSource::spawn("endless", map1, gens).with_window_cap(1_000);
+        assert!(src.next_event(ProcId(1)).is_none());
+        assert!(src.buffered_events() <= 1_000);
+        match src.take_error() {
+            Some(TraceError::StreamWindowExceeded { cap, .. }) => assert_eq!(cap, 1_000),
+            other => panic!("expected StreamWindowExceeded, got {other:?}"),
+        }
+        assert!(src.exhausted(ProcId(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "replica exploded")]
+    fn replica_panic_propagates_to_the_consumer() {
+        struct Bomb;
+        impl StepGenerator for Bomb {
+            fn step(&mut self, sink: &mut dyn EventSink) -> bool {
+                sink.event(ProcId(0), TraceEvent::read(GlobalAddr(0)));
+                panic!("replica exploded");
+            }
+        }
+        let topo = Topology::new(1, 1);
+        let map = ShardMap::new(topo, 1);
+        let mut src = ShardedSource::spawn("bad", map, vec![Box::new(Bomb)]);
+        while src.next_event(ProcId(0)).is_some() {}
+    }
+
+    #[test]
+    fn early_drop_winds_lanes_down() {
+        let trace = toy_trace();
+        let map = ShardMap::new(trace.topology, 4);
+        let mut src = ShardedSource::spawn("toy", map, replicas(&trace, 4));
+        assert!(src.next_event(ProcId(0)).is_some());
+        drop(src);
+    }
+}

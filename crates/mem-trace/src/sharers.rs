@@ -16,6 +16,47 @@
 use crate::addr::NodeId;
 use std::fmt;
 
+/// Feature-gated profiling counters (`--features profile-counters`):
+/// process-wide tallies of how often sets promote to the boxed
+/// representation and how many membership operations run against boxed
+/// words.  Together with the core crate's gather-loop counters they
+/// attribute the >64-node cost cliff.  Compiled out entirely (zero cost)
+/// when the feature is off.
+#[cfg(feature = "profile-counters")]
+pub mod profile {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// Inline→boxed promotions (an allocation each).
+    pub static PROMOTIONS: AtomicU64 = AtomicU64::new(0);
+    /// `contains`/`insert`/`remove` calls served by the boxed repr.
+    pub static BOXED_OPS: AtomicU64 = AtomicU64::new(0);
+
+    /// `(promotions, boxed membership ops)` since the last [`reset`].
+    pub fn snapshot() -> (u64, u64) {
+        (
+            PROMOTIONS.load(Ordering::Relaxed),
+            BOXED_OPS.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Zero both counters.
+    pub fn reset() {
+        PROMOTIONS.store(0, Ordering::Relaxed);
+        BOXED_OPS.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(feature = "profile-counters")]
+macro_rules! count {
+    ($counter:ident) => {
+        profile::$counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    };
+}
+#[cfg(not(feature = "profile-counters"))]
+macro_rules! count {
+    ($counter:ident) => {};
+}
+
 /// Set representation: one inline word for members `< 64`, a boxed word
 /// vector beyond.  A set never demotes back to inline (removal leaves the
 /// boxed words in place) — promotion is rare and one-way keeps `insert`
@@ -93,9 +134,12 @@ impl SharerSet {
     pub fn contains(&self, index: usize) -> bool {
         match &self.repr {
             Repr::Inline(w) => index < 64 && w & (1u64 << index) != 0,
-            Repr::Boxed(words) => words
-                .get(index / 64)
-                .is_some_and(|w| w & (1u64 << (index % 64)) != 0),
+            Repr::Boxed(words) => {
+                count!(BOXED_OPS);
+                words
+                    .get(index / 64)
+                    .is_some_and(|w| w & (1u64 << (index % 64)) != 0)
+            }
         }
     }
 
@@ -114,6 +158,7 @@ impl SharerSet {
         let Repr::Boxed(words) = &mut self.repr else {
             unreachable!("promoted above")
         };
+        count!(BOXED_OPS);
         let word = index / 64;
         if word >= words.len() {
             let mut grown = vec![0u64; (word + 1).next_power_of_two()];
@@ -140,6 +185,7 @@ impl SharerSet {
                 had
             }
             Repr::Boxed(words) => {
+                count!(BOXED_OPS);
                 let Some(w) = words.get_mut(index / 64) else {
                     return false;
                 };
@@ -208,6 +254,7 @@ impl SharerSet {
         let Repr::Inline(w) = self.repr else {
             return;
         };
+        count!(PROMOTIONS);
         let mut words = vec![0u64; min_words.max(2).next_power_of_two()];
         words[0] = w;
         self.repr = Repr::Boxed(words.into_boxed_slice());

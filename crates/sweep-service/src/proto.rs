@@ -89,6 +89,10 @@ pub struct SweepSpec {
     pub relocation_delays: Vec<u64>,
     /// Worker threads (default: the server's configured count).
     pub threads: Option<usize>,
+    /// Per-simulation shard workers (`0` = auto; default: the server's
+    /// configured count).  Simulation results are bit-identical at any
+    /// worker count.
+    pub workers: Option<usize>,
 }
 
 impl Request {
@@ -166,6 +170,7 @@ impl SweepSpec {
             costs: v.get_str_list("costs")?.unwrap_or_default(),
             relocation_delays: v.get_u64_list("relocation_delays")?.unwrap_or_default(),
             threads: v.get_u64("threads").map(|n| n as usize),
+            workers: v.get_u64("workers").map(|n| n as usize),
         })
     }
 }
@@ -336,13 +341,14 @@ mod tests {
         assert_eq!(spec.baseline, None);
         assert!(spec.scales.is_empty());
         assert_eq!(spec.threads, None);
+        assert_eq!(spec.workers, None);
 
         let r = Request::parse(
             r#"{"kind":"sweep","id":"s2","name":"grid","workloads":["lu"],
                 "systems":["cc-numa"],"baseline":"perfect-cc-numa","scale":"x1/32",
                 "nodes":[2,4],"procs_per_node":[2],"page_bytes":[2048,4096],
                 "block_bytes":[64],"costs":["base","slow"],
-                "relocation_delays":[0,2000],"threads":4}"#,
+                "relocation_delays":[0,2000],"threads":4,"workers":2}"#,
         )
         .unwrap();
         let Request::Sweep { spec, .. } = r else {
@@ -356,6 +362,7 @@ mod tests {
         assert_eq!(spec.costs, vec!["base", "slow"]);
         assert_eq!(spec.relocation_delays, vec![0, 2000]);
         assert_eq!(spec.threads, Some(4));
+        assert_eq!(spec.workers, Some(2));
     }
 
     #[test]

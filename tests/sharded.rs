@@ -1,0 +1,191 @@
+//! Sharded-execution parity: the node-sharded parallel simulator
+//! ([`ShardedSimulator`] driving per-shard supply threads and the
+//! cross-shard scheduler) must reproduce the committed golden fingerprints
+//! (`tests/golden/api_parity.txt`) bit-for-bit at *any* worker count.
+//!
+//! The sharded split is deterministic by construction — each shard runs a
+//! full generator replica filtered to its own processors, and the
+//! cross-shard scheduler preserves the serial `(clock, proc)` wakeup
+//! order — so these tests pin the strongest possible claim: `SimResult`
+//! equality (not just fingerprints) between serial and sharded runs, run
+//! twice, at 1/2/4/8 workers, on >64-node machines, and under scripted
+//! adversarial supply interleavings (the lockstep backend's seed sweep).
+
+use std::collections::BTreeMap;
+
+use dsm_repro::bench::report;
+use dsm_repro::prelude::*;
+
+const GOLDEN: &str = include_str!("golden/api_parity.txt");
+
+/// Same thresholds as `tests/api_parity.rs`: small enough for the reduced
+/// traces to exercise migration, replication and relocation.
+fn thresholds() -> Thresholds {
+    Thresholds {
+        migrep_threshold: 250,
+        migrep_reset_interval: 8_000,
+        rnuma_threshold: 8,
+        rnuma_relocation_delay: 0,
+    }
+}
+
+/// The golden system matrix (keys are part of the golden-file format; see
+/// `tests/api_parity.rs`, which owns regeneration).
+fn golden_systems() -> Vec<(&'static str, SystemConfig)> {
+    let t = thresholds();
+    vec![
+        ("perfect", System::perfect_cc_numa().build()),
+        ("cc-numa", System::cc_numa().build()),
+        (
+            "migrep",
+            System::cc_numa().with(MigRep::both()).with(t).build(),
+        ),
+        ("r-numa", System::r_numa().with(t).build()),
+        (
+            "hybrid",
+            System::r_numa()
+                .with(PageCaching::half())
+                .with(MigRep::both())
+                .with(t)
+                .relocation_delay(2_000)
+                .named("R-NUMA-1/2+MigRep")
+                .build(),
+        ),
+    ]
+}
+
+fn parse_golden() -> BTreeMap<(String, String), u64> {
+    GOLDEN
+        .lines()
+        .filter(|l| !l.trim().is_empty() && !l.starts_with('#'))
+        .map(|l| {
+            let mut parts = l.split_whitespace();
+            let key = parts.next().expect("golden line has a key");
+            let fp = parts.next().expect("golden line has a fingerprint");
+            let (workload, system) = key.split_once('/').expect("key is workload/system");
+            (
+                (workload.to_string(), system.to_string()),
+                u64::from_str_radix(fp.trim_start_matches("0x"), 16).expect("hex fingerprint"),
+            )
+        })
+        .collect()
+}
+
+/// The headline acceptance check: multi-worker sharded runs reproduce every
+/// committed golden fingerprint across the full workload x system matrix.
+#[test]
+fn sharded_runs_match_committed_goldens_across_the_full_matrix() {
+    let golden = parse_golden();
+    let cfg = WorkloadConfig::reduced();
+    for w in catalog() {
+        for (key, system) in golden_systems() {
+            let sim = ShardedSimulator::new(MachineConfig::PAPER, system, 4);
+            let mut source = sharded(w.as_ref(), &cfg, 4);
+            let result = sim.run_source(&mut source);
+            let expected = golden
+                .get(&(w.name().to_string(), key.to_string()))
+                .unwrap_or_else(|| panic!("no golden fingerprint for {}/{key}", w.name()));
+            assert_eq!(
+                result.fingerprint(),
+                *expected,
+                "sharded run diverged from the committed golden for {}/{key}",
+                w.name()
+            );
+        }
+    }
+}
+
+/// Run-twice determinism at every interesting worker count, with full
+/// `SimResult` equality against the serial fused pipeline (8 workers on the
+/// 8-node paper machine is the one-node-per-shard extreme).
+#[test]
+fn sharded_runs_are_deterministic_and_bit_identical_to_serial_at_1_2_4_8_workers() {
+    let cfg = WorkloadConfig::reduced();
+    let w = by_name("ocean").expect("catalog workload");
+    let system = golden_systems().remove(4).1; // the Section 6.4 hybrid
+    let serial = ClusterSimulator::new(MachineConfig::PAPER, system.clone())
+        .run_source(&mut fused(w.as_ref(), &cfg));
+    for workers in [1usize, 2, 4, 8] {
+        let run = || {
+            ShardedSimulator::new(MachineConfig::PAPER, system.clone(), workers)
+                .run_source(&mut sharded(w.as_ref(), &cfg, workers))
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "run-twice divergence at {workers} workers");
+        assert_eq!(a, serial, "serial/sharded divergence at {workers} workers");
+    }
+}
+
+/// Beyond the paper machine: a 96-node sharded run (the cost-cliff regime
+/// where parallelism pays most) stays pinned to the serial result.
+#[test]
+fn a_96_node_sharded_run_is_pinned_to_the_serial_result() {
+    let topo = Topology::new(96, 4);
+    let machine = MachineConfig::PAPER.with_topology(topo);
+    let cfg = WorkloadConfig::reduced().with_topology(topo);
+    let w = by_name("lu").expect("catalog workload");
+    let system = golden_systems().remove(2).1; // CC-NUMA + MigRep
+    let serial =
+        ClusterSimulator::new(machine, system.clone()).run_source(&mut fused(w.as_ref(), &cfg));
+    assert!(serial.accesses > 0);
+    assert_eq!(serial.per_node.len(), 96);
+    for workers in [3usize, 8] {
+        let result = ShardedSimulator::new(machine, system.clone(), workers)
+            .run_source(&mut sharded(w.as_ref(), &cfg, workers));
+        assert_eq!(
+            result, serial,
+            "96-node sharded run diverged from serial at {workers} workers"
+        );
+    }
+}
+
+/// Model-checking-style interleaving sweep: the deterministic lockstep
+/// backend scripts a different supply-lane interleaving per seed; none of
+/// them may perturb a single bit of the result.
+#[test]
+fn scripted_supply_interleavings_cannot_perturb_the_result() {
+    let cfg = WorkloadConfig::reduced();
+    let w = by_name("radix").expect("catalog workload");
+    let system = golden_systems().remove(2).1; // CC-NUMA + MigRep
+    let expected = ClusterSimulator::new(MachineConfig::PAPER, system.clone())
+        .run_source(&mut fused(w.as_ref(), &cfg));
+    let sim = ShardedSimulator::new(MachineConfig::PAPER, system, 3);
+    for seed in 0..16u64 {
+        let mut source = sharded_lockstep(w.as_ref(), &cfg, 3, seed);
+        let result = sim.run_source(&mut source);
+        assert_eq!(
+            result, expected,
+            "lockstep seed {seed} perturbed the result"
+        );
+    }
+}
+
+/// The sweep engine's worker plumbing: a multi-worker `Sweep` still hits
+/// the committed golden on the default-geometry paper point, and the
+/// emitted JSON records what produced it.
+#[test]
+fn a_multi_worker_sweep_matches_the_goldens_and_records_its_worker_count() {
+    let golden = parse_golden();
+    let t = thresholds();
+    let result = Sweep::new("sharded parity")
+        .system(System::cc_numa().with(MigRep::both()).with(t).build())
+        .baseline(System::perfect_cc_numa().build())
+        .workloads(["lu"])
+        .scale(ExperimentScale::Reduced)
+        .threads(2)
+        .workers(4)
+        .run();
+    assert_eq!(result.workers, 4);
+    assert_eq!(result.points.len(), 1, "default geometry is a single point");
+    assert_eq!(
+        result.points[0].result.fingerprint(),
+        golden[&("lu".to_string(), "migrep".to_string())],
+        "multi-worker sweep diverged from the committed golden"
+    );
+    let json = report::sweep_to_json(&result);
+    assert!(
+        json.contains("\"workers\":4"),
+        "sweep JSON does not record the worker count: {json}"
+    );
+}
