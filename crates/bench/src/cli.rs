@@ -27,8 +27,9 @@ options:
   --paper              run the paper's Table 2 problem sizes (much slower);
                        the default is the reduced scale
   --custom N[/D]       run N/D times the Table 2 problem sizes (e.g.
-                       `--custom 2` doubles them, `--custom 1/16` is a
-                       quick smoke); page cache and thresholds scale along
+                       `--custom 1/16` is a quick smoke, `--custom 4` the
+                       committed golden-covered x4 preset); page cache and
+                       thresholds scale along
   --workloads a,b,c    restrict to a comma-separated subset of the seven
                        workloads (barnes, cholesky, fmm, lu, ocean, radix,
                        raytrace)

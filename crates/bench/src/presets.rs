@@ -131,6 +131,16 @@ impl ExperimentScale {
     }
 }
 
+impl ExperimentScale {
+    /// The committed larger-than-Table-2 preset: four times the paper's
+    /// data sets, with the page cache and every threshold interpolated by
+    /// the same factor.  Reachable as `--custom 4` on every experiment
+    /// binary and as `"x4"` through the sweep-service catalog; its
+    /// behaviour is pinned by the golden fingerprints in
+    /// `tests/golden/custom_scale.txt`.
+    pub const X4: ExperimentScale = ExperimentScale::Custom(CustomScale::new(4, 1));
+}
+
 /// Interpolate the paper's per-page thresholds by a custom scale factor:
 /// data sets `c` times larger see roughly `c` times the misses per hot
 /// page, so thresholds scale with `c` (floored so they never vanish).
@@ -320,6 +330,22 @@ mod tests {
         assert!(sliver.page_cache().frames().unwrap() >= 4);
         assert!(
             sliver.page_cache_half().frames().unwrap() <= sliver.page_cache().frames().unwrap()
+        );
+    }
+
+    #[test]
+    fn the_x4_preset_is_four_times_the_paper() {
+        let x4 = ExperimentScale::X4;
+        assert_eq!(x4, ExperimentScale::Custom(CustomScale::new(4, 1)));
+        assert_eq!(x4.label(), "x4");
+        let pf = Thresholds::paper_fast();
+        assert_eq!(
+            x4.thresholds_fast().migrep_threshold,
+            4 * pf.migrep_threshold
+        );
+        assert_eq!(
+            x4.page_cache().frames().unwrap(),
+            4 * PageCacheConfig::PAPER.frames().unwrap()
         );
     }
 

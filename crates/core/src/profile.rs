@@ -19,6 +19,39 @@ pub static GATHER_VISITS: AtomicU64 = AtomicU64::new(0);
 /// Migrations that ran that loop.
 pub static GATHERS: AtomicU64 = AtomicU64::new(0);
 
+/// Buckets in the burst-occupancy histogram (power-of-two widths).
+pub const BATCH_BUCKETS: usize = 8;
+
+/// Bursts pulled by the batched run loop (`RunState::execute` pulls
+/// consecutive same-processor events in one `next_burst` call).
+pub static BATCHES: AtomicU64 = AtomicU64::new(0);
+/// Events delivered through those bursts.
+pub static BATCH_EVENTS: AtomicU64 = AtomicU64::new(0);
+/// Burst-occupancy histogram: bucket `i` counts bursts whose length fell
+/// in `[2^i, 2^(i+1))`; the last bucket is open-ended.  A distribution
+/// piled into bucket 0 means the schedule forces single-event bursts and
+/// the batching is not paying; mass in the high buckets means the
+/// devirtualized burst pull is amortized well.
+pub static BATCH_OCCUPANCY: [AtomicU64; BATCH_BUCKETS] = [
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+];
+
+/// Record one burst of `len` events pulled by the run loop.
+#[inline]
+pub fn record_batch(len: usize) {
+    BATCHES.fetch_add(1, Ordering::Relaxed);
+    BATCH_EVENTS.fetch_add(len as u64, Ordering::Relaxed);
+    let bucket = (usize::BITS - 1 - len.max(1).leading_zeros()).min(BATCH_BUCKETS as u32 - 1);
+    BATCH_OCCUPANCY[bucket as usize].fetch_add(1, Ordering::Relaxed);
+}
+
 /// `(gather-loop migrations, node visits)` since the last [`reset`].
 pub fn snapshot() -> (u64, u64) {
     (
@@ -27,9 +60,27 @@ pub fn snapshot() -> (u64, u64) {
     )
 }
 
+/// `(bursts, events, occupancy histogram)` since the last [`reset`].
+pub fn batch_snapshot() -> (u64, u64, [u64; BATCH_BUCKETS]) {
+    let mut hist = [0u64; BATCH_BUCKETS];
+    for (slot, counter) in hist.iter_mut().zip(BATCH_OCCUPANCY.iter()) {
+        *slot = counter.load(Ordering::Relaxed);
+    }
+    (
+        BATCHES.load(Ordering::Relaxed),
+        BATCH_EVENTS.load(Ordering::Relaxed),
+        hist,
+    )
+}
+
 /// Zero this module's counters and the forwarded `SharerSet` ones.
 pub fn reset() {
     GATHERS.store(0, Ordering::Relaxed);
     GATHER_VISITS.store(0, Ordering::Relaxed);
+    BATCHES.store(0, Ordering::Relaxed);
+    BATCH_EVENTS.store(0, Ordering::Relaxed);
+    for counter in &BATCH_OCCUPANCY {
+        counter.store(0, Ordering::Relaxed);
+    }
     sharers::reset();
 }

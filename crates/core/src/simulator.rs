@@ -24,8 +24,8 @@ use dsm_protocol::directory::{DataSource, Directory};
 use dsm_protocol::page_cache::AllocOutcome;
 use dsm_protocol::{Interconnect, MsgKind};
 use mem_trace::{
-    AccessKind, BlockRef, Geometry, MemRef, NodeId, PageInterner, PageRef, ProcId, ProgramTrace,
-    Slab, TraceError, TraceEvent, TraceSource, MAX_LOCK_ID,
+    AccessKind, BlockRef, Geometry, GlobalAddr, MemRef, NodeId, PageInterner, PageRef, ProcId,
+    ProgramTrace, Slab, TraceError, TraceEvent, TraceSource, MAX_LOCK_ID,
 };
 use sim_engine::{Cycles, ProcScheduler, Scheduler};
 use smp_node::cache::{CacheOutcome, LineState, Victim};
@@ -122,6 +122,60 @@ struct LockState {
     waiters: VecDeque<u16>,
 }
 
+/// Upper bound on one burst pull from the trace source.  Large enough to
+/// amortize the per-burst virtual call over a long compute/access run,
+/// small enough that the per-processor staging buffers stay a rounding
+/// error next to the demux window (128 events × total procs).
+const BURST_EVENTS: usize = 128;
+
+/// Per-processor staging buffer between a [`TraceSource`] and the run
+/// loop: events arrive in bursts ([`TraceSource::next_burst`], one virtual
+/// call for up to [`BURST_EVENTS`] events) and are consumed one at a time
+/// against the scheduler horizon.  Batching the *supply* this way leaves
+/// the consumption order — and therefore every golden fingerprint —
+/// untouched: an event is still only executed when its processor is the
+/// schedule's `(clock, proc id)` minimum.
+struct EventFeed {
+    buf: Vec<TraceEvent>,
+    head: usize,
+}
+
+impl EventFeed {
+    fn new() -> Self {
+        EventFeed {
+            buf: Vec::with_capacity(BURST_EVENTS),
+            head: 0,
+        }
+    }
+
+    /// Events pulled from the source but not yet consumed.  A processor
+    /// with pending events is by definition not exhausted, so callers
+    /// check this before paying a `TraceSource::exhausted` probe.
+    #[inline]
+    fn has_pending(&self) -> bool {
+        self.head < self.buf.len()
+    }
+
+    /// The next event of `proc`'s stream, refilling from `source` when the
+    /// buffer runs dry.  `None` exactly when `source.next_event(proc)`
+    /// would have returned `None`.
+    #[inline]
+    fn next(&mut self, source: &mut dyn TraceSource, proc: ProcId) -> Option<TraceEvent> {
+        if self.head == self.buf.len() {
+            self.buf.clear();
+            self.head = 0;
+            if source.next_burst(proc, &mut self.buf, BURST_EVENTS) == 0 {
+                return None;
+            }
+            #[cfg(feature = "profile-counters")]
+            crate::profile::record_batch(self.buf.len());
+        }
+        let ev = self.buf[self.head];
+        self.head += 1;
+        Some(ev)
+    }
+}
+
 pub(crate) struct RunState<'a> {
     machine: &'a MachineConfig,
     system: &'a SystemConfig,
@@ -150,6 +204,15 @@ pub(crate) struct RunState<'a> {
     barrier_waiting: Vec<u16>,
     accesses: u64,
     barriers_done: u64,
+    /// Precomputed proc index → home node index (replaces the division in
+    /// `Topology::node_of` on the per-access path).
+    proc_node: Vec<u32>,
+    /// Single-entry intern memo: the last `(page id, page ref)` resolved.
+    /// Never invalidated — the interner is append-only, so a page's dense
+    /// index is stable for the life of the run.  Accesses show strong page
+    /// locality (consecutive same-proc references usually stay on one
+    /// page), so this skips the interner's hash probe for most of a burst.
+    page_memo: Option<PageRef>,
 }
 
 impl<'a> RunState<'a> {
@@ -189,7 +252,26 @@ impl<'a> RunState<'a> {
             barrier_waiting: Vec::new(),
             accesses: 0,
             barriers_done: 0,
+            proc_node: (0..total_procs)
+                .map(|p| machine.topology.node_of(ProcId(p as u16)).index() as u32)
+                .collect(),
+            page_memo: None,
         }
+    }
+
+    /// Resolve an address's page through the single-entry memo, falling
+    /// back to the interner's hash probe on a memo miss.
+    #[inline]
+    fn page_ref_of(&mut self, addr: GlobalAddr) -> PageRef {
+        let id = self.geometry.page_of(addr);
+        if let Some(memo) = self.page_memo {
+            if memo.id == id {
+                return memo;
+            }
+        }
+        let page = self.interner.intern_ref(id);
+        self.page_memo = Some(page);
+        page
     }
 
     fn barrier_cost(&self) -> Cycles {
@@ -212,6 +294,10 @@ impl<'a> RunState<'a> {
         queue: &mut Q,
     ) -> Result<SimResult, TraceError> {
         let workload = source.name().to_string();
+        // Per-processor burst buffers: the supply side of the batched
+        // pipeline.  A processor's pending buffered events always count
+        // toward its "not exhausted" status below.
+        let mut feeds: Vec<EventFeed> = (0..self.procs.len()).map(|_| EventFeed::new()).collect();
         for p in 0..self.procs.len() {
             if !source.exhausted(ProcId(p as u16)) {
                 queue.push(Cycles::ZERO, p as u16);
@@ -228,8 +314,15 @@ impl<'a> RunState<'a> {
             // when popping would hand `p` straight back, the push/pop round
             // trip is skipped.  The interleaving is bit-identical to the
             // push-always loop — only the heap traffic is gone.
+            //
+            // The head itself is read once per batch, not once per event:
+            // while `p` runs, nothing else pushes into the scheduler (see
+            // `Scheduler::peek`'s contract), so the horizon is invariant
+            // until this loop's one mid-batch push — an unlock handoff —
+            // refreshes it.
+            let mut horizon = queue.peek();
             loop {
-                let Some(ev) = source.next_event(ProcId(p)) else {
+                let Some(ev) = feeds[pid].next(source, ProcId(p)) else {
                     // A stream that ends early because the source gave up
                     // (window cap exceeded) is an error, not an exhausted
                     // processor.
@@ -248,7 +341,7 @@ impl<'a> RunState<'a> {
                         let latency = self.service_access(pid, m, now);
                         self.procs[pid].time += latency;
                         self.accesses += 1;
-                        let nidx = self.machine.topology.node_of(ProcId(pid as u16)).index();
+                        let nidx = self.proc_node[pid] as usize;
                         self.nodes[nidx].stats.memory_stall_cycles += latency;
                     }
                     TraceEvent::Barrier(id) => {
@@ -281,7 +374,7 @@ impl<'a> RunState<'a> {
                                 let qi = q as usize;
                                 self.procs[qi].time = release;
                                 self.procs[qi].waiting = Waiting::None;
-                                if !source.exhausted(ProcId(q)) {
+                                if feeds[qi].has_pending() || !source.exhausted(ProcId(q)) {
                                     queue.push(release, q);
                                 } else {
                                     self.procs[qi].done = true;
@@ -341,8 +434,11 @@ impl<'a> RunState<'a> {
                             self.locks.entry(id as usize).held_by = Some(w);
                             self.procs[wi].time = self.procs[wi].time.max(release_time) + cost;
                             self.procs[wi].waiting = Waiting::None;
-                            if !source.exhausted(ProcId(w)) {
+                            if feeds[wi].has_pending() || !source.exhausted(ProcId(w)) {
                                 queue.push(self.procs[wi].time, w);
+                                // The one push that happens while `p` keeps
+                                // running: the cached horizon is stale.
+                                horizon = queue.peek();
                             } else {
                                 self.procs[wi].done = true;
                             }
@@ -352,12 +448,12 @@ impl<'a> RunState<'a> {
                 // `p` is still runnable (compute, access, immediate lock
                 // acquire, or unlock).  Keep running it while it beats the
                 // schedule's head; otherwise re-enqueue it.
-                if source.exhausted(ProcId(p)) {
+                if !feeds[pid].has_pending() && source.exhausted(ProcId(p)) {
                     self.procs[pid].done = true;
                     continue 'sched;
                 }
                 let time = self.procs[pid].time;
-                if let Some(head) = queue.peek() {
+                if let Some(head) = horizon {
                     if (time, p) >= head {
                         queue.push(time, p);
                         continue 'sched;
@@ -422,13 +518,13 @@ impl<'a> RunState<'a> {
     // ------------------------------------------------------------------
 
     fn service_access(&mut self, pid: usize, m: MemRef, now: Cycles) -> Cycles {
-        let proc_id = ProcId(pid as u16);
-        let node_id = self.machine.topology.node_of(proc_id);
-        let nidx = node_id.index();
-        // The one hash probe of the access path: everything below keys its
+        let nidx = self.proc_node[pid] as usize;
+        let node_id = NodeId(nidx as u16);
+        // The one hash probe of the access path (memoized for the
+        // page-local runs a burst usually is): everything below keys its
         // state by the dense indices resolved here, decomposed at the
         // machine's geometry.
-        let page = self.interner.intern_ref(self.geometry.page_of(m.addr));
+        let page = self.page_ref_of(m.addr);
         let block = self.geometry.block_ref_of(page, m.addr);
         let is_write = m.kind.is_write();
         let costs = self.system.costs;

@@ -306,6 +306,21 @@ impl<R: Read> TraceSource for ReplaySource<R> {
         }
     }
 
+    /// Burst pull: read records only until `proc` has a first event, then
+    /// drain what the demux already parked for it (same contract as
+    /// [`crate::FusedSource::next_burst`], file-fed).
+    fn next_burst(&mut self, proc: ProcId, out: &mut Vec<TraceEvent>, max: usize) -> usize {
+        loop {
+            let n = self.demux.pop_burst(proc, out, max);
+            if n > 0 {
+                return n;
+            }
+            if self.demux.is_ended(proc) || !self.pump() {
+                return 0;
+            }
+        }
+    }
+
     fn stats_so_far(&self) -> TraceStats {
         self.demux.stats()
     }

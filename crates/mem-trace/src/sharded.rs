@@ -339,6 +339,23 @@ impl TraceSource for ShardedSource {
         }
     }
 
+    /// Burst pull: pump `proc`'s shard lane only until a first event is
+    /// available (the same lane-pump sequence one `next_event` performs —
+    /// including any scripted adversarial pumps of other lanes), then
+    /// drain what the demux already parked for `proc`.
+    fn next_burst(&mut self, proc: ProcId, out: &mut Vec<TraceEvent>, max: usize) -> usize {
+        let shard = self.map.shard_of_proc(proc);
+        loop {
+            let n = self.demux.pop_burst(proc, out, max);
+            if n > 0 {
+                return n;
+            }
+            if self.demux.is_ended(proc) || !self.pump(shard) {
+                return 0;
+            }
+        }
+    }
+
     fn stats_so_far(&self) -> TraceStats {
         self.demux.stats()
     }

@@ -79,6 +79,36 @@ pub trait TraceSource {
     /// `true` once `proc`'s stream has no further events.  Does not consume.
     fn exhausted(&mut self, proc: ProcId) -> bool;
 
+    /// Pull up to `max` consecutive events of `proc`'s stream, appending
+    /// them to `out` (which is not cleared).  Returns the number appended —
+    /// `0` exactly when [`next_event`](TraceSource::next_event) would have
+    /// returned `None`.
+    ///
+    /// Semantically identical to calling `next_event` up to `max` times and
+    /// stopping at the first `None`, and implementations must preserve
+    /// that equivalence *including side effects*: a demultiplexing source
+    /// may only pump its underlying stream as far as producing the first
+    /// event requires (exactly what one `next_event` call would pump) and
+    /// then take events that are already parked, so that window-cap
+    /// poisoning triggers at the same stream position under either API.
+    /// Returning fewer than `max` events while more are cheaply available
+    /// is allowed; returning `0` while the stream has events is not.
+    ///
+    /// The default body loops `next_event`, which monomorphizes to the
+    /// concrete source — a caller holding `&mut dyn TraceSource` pays one
+    /// virtual call per burst instead of one per event.
+    fn next_burst(&mut self, proc: ProcId, out: &mut Vec<TraceEvent>, max: usize) -> usize {
+        let mut n = 0;
+        while n < max {
+            let Some(ev) = self.next_event(proc) else {
+                break;
+            };
+            out.push(ev);
+            n += 1;
+        }
+        n
+    }
+
     /// Statistics over the events pulled so far.  After every stream is
     /// drained this equals the whole-trace statistics.
     fn stats_so_far(&self) -> TraceStats;
@@ -112,6 +142,9 @@ impl<S: TraceSource + ?Sized> TraceSource for Box<S> {
     fn exhausted(&mut self, proc: ProcId) -> bool {
         (**self).exhausted(proc)
     }
+    fn next_burst(&mut self, proc: ProcId, out: &mut Vec<TraceEvent>, max: usize) -> usize {
+        (**self).next_burst(proc, out, max)
+    }
     fn stats_so_far(&self) -> TraceStats {
         (**self).stats_so_far()
     }
@@ -135,6 +168,9 @@ impl<S: TraceSource + ?Sized> TraceSource for &mut S {
     }
     fn exhausted(&mut self, proc: ProcId) -> bool {
         (**self).exhausted(proc)
+    }
+    fn next_burst(&mut self, proc: ProcId, out: &mut Vec<TraceEvent>, max: usize) -> usize {
+        (**self).next_burst(proc, out, max)
     }
     fn stats_so_far(&self) -> TraceStats {
         (**self).stats_so_far()
@@ -212,6 +248,15 @@ impl TraceSource for TraceCursor<'_> {
     fn exhausted(&mut self, proc: ProcId) -> bool {
         let p = proc.index();
         self.pos[p] >= self.trace.per_proc[p].len()
+    }
+
+    fn next_burst(&mut self, proc: ProcId, out: &mut Vec<TraceEvent>, max: usize) -> usize {
+        let p = proc.index();
+        let events = &self.trace.per_proc[p];
+        let take = (events.len() - self.pos[p]).min(max);
+        out.extend_from_slice(&events[self.pos[p]..self.pos[p] + take]);
+        self.pos[p] += take;
+        take
     }
 
     /// Pulled-event statistics, identical in mid-stream meaning to what the
@@ -329,6 +374,27 @@ impl Demux {
         self.buffered -= 1;
         self.stats.observe(proc, &ev);
         Some(ev)
+    }
+
+    /// Pop up to `max` already-parked events for `proc` into `out`.
+    /// Deliberately does *not* trigger any upstream pumping — burst pulls
+    /// take only what the serial pump sequence has already produced, so
+    /// window-cap behavior is position-identical under either pull API.
+    pub(crate) fn pop_burst(
+        &mut self,
+        proc: ProcId,
+        out: &mut Vec<TraceEvent>,
+        max: usize,
+    ) -> usize {
+        let buf = &mut self.buffers[proc.index()];
+        let take = buf.len().min(max);
+        for _ in 0..take {
+            let ev = buf.pop_front().expect("length-checked pop");
+            self.stats.observe(proc, &ev);
+            out.push(ev);
+        }
+        self.buffered -= take;
+        take
     }
 
     pub(crate) fn has_buffered(&self, proc: ProcId) -> bool {
@@ -486,6 +552,21 @@ impl TraceSource for FusedSource {
             }
             if self.demux.is_ended(proc) || !self.pump() {
                 return true;
+            }
+        }
+    }
+
+    /// Burst pull: pump only until `proc` has *a* first event (the same
+    /// pump sequence one `next_event` performs), then take whatever the
+    /// demux has already parked for it, up to `max`.
+    fn next_burst(&mut self, proc: ProcId, out: &mut Vec<TraceEvent>, max: usize) -> usize {
+        loop {
+            let n = self.demux.pop_burst(proc, out, max);
+            if n > 0 {
+                return n;
+            }
+            if self.demux.is_ended(proc) || !self.pump() {
+                return 0;
             }
         }
     }
@@ -706,6 +787,21 @@ impl TraceSource for ThreadedSource {
             }
             if self.demux.is_ended(proc) || !self.pump() {
                 return true;
+            }
+        }
+    }
+
+    /// Burst pull: receive chunks only until `proc` has a first event,
+    /// then drain what the demux already parked for it (see
+    /// [`FusedSource::next_burst`] — same contract, channel-fed).
+    fn next_burst(&mut self, proc: ProcId, out: &mut Vec<TraceEvent>, max: usize) -> usize {
+        loop {
+            let n = self.demux.pop_burst(proc, out, max);
+            if n > 0 {
+                return n;
+            }
+            if self.demux.is_ended(proc) || !self.pump() {
+                return 0;
             }
         }
     }

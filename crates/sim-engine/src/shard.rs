@@ -48,6 +48,15 @@ pub trait Scheduler {
     /// smallest proc id first.
     fn pop(&mut self) -> Option<(Cycles, u16)>;
     /// What [`Scheduler::pop`] would return, without removing it.
+    ///
+    /// **Batch-horizon contract**: the returned head is invariant until
+    /// the next [`Scheduler::push`] — implementations have no external
+    /// input channel (a sharded scheduler's cross-shard queues are fed
+    /// only by its own `push`), so a run loop executing a batch of events
+    /// for one processor may cache this value as its wakeup horizon for
+    /// the whole batch, refreshing only after a push.  The batched
+    /// simulator loop depends on this to compare each event's advanced
+    /// clock against the horizon without a per-event peek.
     fn peek(&mut self) -> Option<(Cycles, u16)>;
     /// Number of pending wakeups.
     fn len(&self) -> usize;

@@ -233,6 +233,9 @@ mod tests {
         for bad in ["", "x", "x0", "x1/0", "huge", "x1/2/3", "x-1"] {
             assert!(parse_scale(bad).is_err(), "`{bad}` should not parse");
         }
+        // The committed above-x1 preset resolves to the same scale the
+        // experiment binaries reach via `--custom 4`.
+        assert_eq!(parse_scale("x4").unwrap(), ExperimentScale::X4);
     }
 
     #[test]

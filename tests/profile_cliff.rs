@@ -1,12 +1,15 @@
 //! Cost-cliff attribution harness (`--features profile-counters`).
 //!
 //! The sweep engine's >64-node points cost ~10x their 64-node neighbours.
-//! Two suspects: `SharerSet`s promoting off their inline 64-bit word (every
+//! Two suspects: `SharerSet`s promoting off their inline tiers (every
 //! membership op on a promoted set walks a boxed bitset), and the
 //! simulator's O(nodes) gather loop in `migrate_page` (every migration
 //! updates every node's view, touched or not).  This run counts both at 8
 //! vs 96 nodes and prints per-access rates so the dominant term is a fact,
-//! not a guess.  Findings are recorded in ROADMAP.md.
+//! not a guess.  It also prints the batched run loop's burst-occupancy
+//! histogram: mass piled into bucket 0 means the schedule forces
+//! single-event bursts and batching is not paying.  Findings are recorded
+//! in ROADMAP.md.
 //!
 //! Run deliberately (release, ignored, nocapture):
 //! `cargo test --release --features profile-counters --test profile_cliff
@@ -36,16 +39,27 @@ fn run_at(nodes: u16) {
             ClusterSimulator::new(machine, system.clone()).run_source(&mut fused(w.as_ref(), &cfg));
         let elapsed = start.elapsed().as_secs_f64();
         let (gathers, gather_visits) = profile::snapshot();
-        let (promotions, boxed_ops) = profile::sharers::snapshot();
+        let tiers = profile::sharers::snapshot();
+        let (batches, batch_events, occupancy) = profile::batch_snapshot();
         let per_access = |n: u64| n as f64 / result.accesses as f64;
+        let mean_burst = batch_events as f64 / batches.max(1) as f64;
         println!(
             "{nodes:>3} nodes {:<10} {elapsed:>7.3}s {:>11} accesses | \
              gathers {gathers:>9} visits {gather_visits:>12} ({:.4}/access) | \
-             sharer promotions {promotions:>9} boxed ops {boxed_ops:>12} ({:.4}/access)",
+             sharer promotions {:>7} ops u64 {:>12} u128 {:>12} hier {:>12} \
+             ({:.4} hier/access)",
             w.name(),
             result.accesses,
             per_access(gather_visits),
-            per_access(boxed_ops),
+            tiers.promotions,
+            tiers.inline64_ops,
+            tiers.inline128_ops,
+            tiers.hier_ops,
+            per_access(tiers.hier_ops),
+        );
+        println!(
+            "          burst occupancy: {batches} bursts, mean {mean_burst:.1} ev/burst, \
+             hist(2^i..2^(i+1)) {occupancy:?}"
         );
     }
 }

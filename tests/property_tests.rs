@@ -324,6 +324,55 @@ fn sharer_set_tracks_random_large_node_sets() {
     }
 }
 
+/// The tiered representation's promotion edges: operation sequences
+/// concentrated exactly where `SharerSet` switches tiers (index 64, the
+/// inline-u64 → inline-u128 edge; index 128, the inline-u128 →
+/// hierarchical edge) mirror a `BTreeSet` in every observable, up to the
+/// full 512-node cluster the sweep grids commit to.  Promotion order is
+/// randomized by construction: a set may jump straight from one word to
+/// the hierarchical tier or climb through both.
+#[test]
+fn sharer_set_matches_btreeset_at_tier_boundaries() {
+    use mem_trace::SharerSet;
+    use std::collections::BTreeSet;
+    const EDGES: [usize; 10] = [0, 1, 62, 63, 64, 65, 126, 127, 128, 129];
+    for case in 0..CASES {
+        let mut rng = rng_for("sharer-boundary", case);
+        let ops = 1 + rng.next_below(300);
+        let mut set = SharerSet::new();
+        let mut reference: BTreeSet<usize> = BTreeSet::new();
+        for _ in 0..ops {
+            // Half the indices sit exactly on a promotion edge, the rest
+            // anywhere in a 512-node cluster.
+            let i = if rng.next_below(2) == 0 {
+                EDGES[rng.next_below(EDGES.len() as u64) as usize]
+            } else {
+                rng.next_below(512) as usize
+            };
+            match rng.next_below(4) {
+                // Insert-biased so sets actually cross the edges.
+                0 | 3 => assert_eq!(set.insert(i), reference.insert(i)),
+                1 => assert_eq!(set.remove(i), reference.remove(&i)),
+                _ => assert_eq!(set.contains(i), reference.contains(&i)),
+            }
+            assert_eq!(set.count() as usize, reference.len());
+            assert_eq!(set.is_empty(), reference.is_empty());
+            assert_eq!(set.first(), reference.first().copied());
+        }
+        let members: Vec<usize> = set.iter().collect();
+        let expected: Vec<usize> = reference.iter().copied().collect();
+        assert_eq!(members, expected, "case {case}");
+        // Logical equality is representation-blind: a set rebuilt from the
+        // final membership (never promoted past what it needs) compares
+        // equal to the one that wandered across tiers to get here.
+        let mut rebuilt = SharerSet::new();
+        for &i in &expected {
+            rebuilt.insert(i);
+        }
+        assert_eq!(set, rebuilt, "case {case}");
+    }
+}
+
 /// End-to-end determinism past the old 64-node cap: a 96-node cluster
 /// running CC-NUMA+MigRep (directory sharer sets *and* replica sets reach
 /// node indices above 64) produces bit-identical `SimResult`s across runs.
