@@ -641,6 +641,7 @@ impl Sweep {
         let run_job = |point: &ParamPoint| -> Outcome {
             let cache_key = point.cache_key();
             let cacheable = matches!(&workloads[point.workload_index], WorkloadSpec::Named(_));
+            // dsm-lint: allow(wall-clock, per-job elapsed_seconds is harness reporting; simulated time comes from the cost model)
             let start = std::time::Instant::now();
             if cacheable {
                 if let Some(result) = lookup(point, cache_key) {

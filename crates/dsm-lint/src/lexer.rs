@@ -1,0 +1,503 @@
+//! A small hand-rolled Rust lexer.
+//!
+//! The rules in [`crate::rules`] work on token sequences, so the lexer's
+//! whole job is to split source text into identifiers, literals and
+//! punctuation *without* being fooled by the places rule patterns may appear
+//! spuriously: string literals, raw strings, char literals, and line/block
+//! comments.  Comments are kept (with their line numbers) because the
+//! suppression grammar — `// dsm-lint: allow(rule, reason)` — lives in them.
+//!
+//! This is not a full Rust lexer: it has no notion of keywords vs
+//! identifiers, it folds every numeric suffix into the literal text, and it
+//! treats any non-ASCII byte outside strings/comments as punctuation.  All
+//! of that is fine for pattern matching; what it does get exactly right is
+//! *where code stops and text begins* — nested block comments, raw strings
+//! with `#` fences, byte strings, char-vs-lifetime disambiguation — because
+//! a single mis-lexed string would let a rule fire on prose (or worse, let
+//! real code hide inside what the lexer thought was a string).
+
+/// What kind of token this is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`HashMap`, `for`, `r#raw`).
+    Ident,
+    /// A lifetime or loop label (`'a`, `'static`).
+    Lifetime,
+    /// An integer literal (`42`, `0xff_u64`).
+    Int,
+    /// A floating-point literal (`1.0`, `2e9`, `3f64`).
+    Float,
+    /// A string literal of any flavor (`"x"`, `r#"x"#`, `b"x"`).
+    Str,
+    /// A character or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// Punctuation, with the compound operators rules care about kept
+    /// together (`::`, `+=`, `->`, ...).
+    Punct,
+}
+
+/// One token, with the 1-based source line it starts on.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// The token's kind.
+    pub kind: TokKind,
+    /// The token's text.  For [`TokKind::Str`] this is the raw literal
+    /// including quotes; rules never look inside strings.
+    pub text: String,
+    /// 1-based line number of the token's first character.
+    pub line: u32,
+}
+
+/// One comment (line or block), with the 1-based line it starts on.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Comment text without the `//` / `/*` framing.
+    pub text: String,
+    /// 1-based line number of the comment's first character.
+    pub line: u32,
+}
+
+/// A lexed file: code tokens plus the comments (for allow parsing).
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub toks: Vec<Tok>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Compound operators the rules must see as single tokens, longest first so
+/// maximal munch is trivial.
+const PUNCTS: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=", "..",
+];
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+struct Lexer<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    out: Lexed,
+}
+
+/// Lex `source` into tokens and comments.  Total: malformed input (an
+/// unterminated string, a lone quote) never panics — the lexer consumes what
+/// it can and moves on, which is the right failure mode for a linter that
+/// runs over every file including ones mid-edit.
+pub fn lex(source: &str) -> Lexed {
+    let mut lx = Lexer {
+        bytes: source.as_bytes(),
+        pos: 0,
+        line: 1,
+        out: Lexed::default(),
+    };
+    lx.run();
+    lx.out
+}
+
+impl Lexer<'_> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek(0)?;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn push(&mut self, kind: TokKind, start: usize, line: u32) {
+        let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+        self.out.toks.push(Tok { kind, text, line });
+    }
+
+    fn run(&mut self) {
+        while let Some(b) = self.peek(0) {
+            let start = self.pos;
+            let line = self.line;
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'r' | b'b' if self.raw_or_byte_literal() => {}
+                b'"' => self.string(),
+                b'\'' => self.char_or_lifetime(),
+                _ if b.is_ascii_digit() => self.number(),
+                _ if is_ident_start(b) => {
+                    while self.peek(0).is_some_and(is_ident_continue) {
+                        self.bump();
+                    }
+                    self.push(TokKind::Ident, start, line);
+                }
+                _ => {
+                    let rest = &self.bytes[self.pos..];
+                    let compound = PUNCTS.iter().find(|p| rest.starts_with(p.as_bytes()));
+                    let len = compound.map_or(1, |p| p.len());
+                    for _ in 0..len {
+                        self.bump();
+                    }
+                    self.push(TokKind::Punct, start, line);
+                }
+            }
+        }
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        self.bump();
+        self.bump();
+        let start = self.pos;
+        while self.peek(0).is_some_and(|b| b != b'\n') {
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+        self.out.comments.push(Comment { text, line });
+    }
+
+    fn block_comment(&mut self) {
+        let line = self.line;
+        self.bump();
+        self.bump();
+        let start = self.pos;
+        let mut depth = 1usize;
+        let mut end = self.pos;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    depth -= 1;
+                    end = self.pos;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(_), _) => {
+                    end = self.pos + 1;
+                    self.bump();
+                }
+                (None, _) => break, // unterminated: take what we have
+            }
+        }
+        let text =
+            String::from_utf8_lossy(&self.bytes[start..end.min(self.bytes.len())]).into_owned();
+        self.out.comments.push(Comment { text, line });
+    }
+
+    /// Handle `r"…"`, `r#"…"#`, `br"…"`, `b"…"`, `b'…'`, and raw
+    /// identifiers (`r#match`).  Returns false when the `r`/`b` is just the
+    /// start of a plain identifier, leaving the position untouched.
+    fn raw_or_byte_literal(&mut self) -> bool {
+        let start = self.pos;
+        let line = self.line;
+        let mut ahead = 1; // past the r/b
+        if self.peek(0) == Some(b'b') && self.peek(1) == Some(b'r') {
+            ahead = 2;
+        }
+        let mut hashes = 0usize;
+        while self.peek(ahead + hashes) == Some(b'#') {
+            hashes += 1;
+        }
+        match self.peek(ahead + hashes) {
+            Some(b'"') if ahead == 1 && hashes == 0 && self.peek(0) == Some(b'b') => {
+                // b"…": a plain string with a byte prefix.
+                self.bump();
+                self.string();
+                true
+            }
+            Some(b'"') => {
+                // (b)r#*"…"#*: raw string; scan for `"` + matching hashes.
+                for _ in 0..ahead + hashes + 1 {
+                    self.bump();
+                }
+                loop {
+                    match self.bump() {
+                        None => break,
+                        Some(b'"') => {
+                            let mut closing = 0usize;
+                            while closing < hashes && self.peek(0) == Some(b'#') {
+                                self.bump();
+                                closing += 1;
+                            }
+                            if closing == hashes {
+                                break;
+                            }
+                        }
+                        Some(_) => {}
+                    }
+                }
+                self.push(TokKind::Str, start, line);
+                true
+            }
+            Some(b'\'') if ahead == 1 && hashes == 0 && self.peek(0) == Some(b'b') => {
+                // b'…': a byte literal.
+                self.bump();
+                self.char_literal_body(start, line);
+                true
+            }
+            Some(c) if hashes > 0 && is_ident_start(c) && self.peek(0) == Some(b'r') => {
+                // r#ident: a raw identifier.
+                for _ in 0..ahead + hashes {
+                    self.bump();
+                }
+                while self.peek(0).is_some_and(is_ident_continue) {
+                    self.bump();
+                }
+                self.push(TokKind::Ident, start, line);
+                true
+            }
+            _ => false, // an ordinary identifier starting with r/b
+        }
+    }
+
+    fn string(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        self.bump(); // opening quote
+        loop {
+            match self.bump() {
+                None | Some(b'"') => break,
+                Some(b'\\') => {
+                    self.bump();
+                }
+                Some(_) => {}
+            }
+        }
+        self.push(TokKind::Str, start, line);
+    }
+
+    /// At a `'`: a char literal (`'x'`, `'\n'`, `'('`) or a lifetime/label
+    /// (`'a`, `'static`).  A quote, then an identifier char, then anything
+    /// but a closing quote is a lifetime; everything else is a char.
+    fn char_or_lifetime(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        let next = self.peek(1);
+        let after = self.peek(2);
+        let is_lifetime =
+            next.is_some_and(is_ident_start) && after != Some(b'\'') && next != Some(b'\\');
+        if is_lifetime {
+            self.bump(); // '
+            while self.peek(0).is_some_and(is_ident_continue) {
+                self.bump();
+            }
+            self.push(TokKind::Lifetime, start, line);
+        } else {
+            self.char_literal_body(start, line);
+        }
+    }
+
+    fn char_literal_body(&mut self, start: usize, line: u32) {
+        self.bump(); // opening '
+        if self.bump() == Some(b'\\') {
+            self.bump(); // the escaped char; \x41 / \u{..} tails are
+                         // consumed by the closing-quote scan below
+        }
+        while self.peek(0).is_some_and(|b| b != b'\'' && b != b'\n') {
+            self.bump();
+        }
+        self.bump(); // closing '
+        self.push(TokKind::Char, start, line);
+    }
+
+    fn number(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        let mut float = false;
+        if self.peek(0) == Some(b'0')
+            && matches!(self.peek(1), Some(b'x' | b'o' | b'b' | b'X' | b'O' | b'B'))
+        {
+            self.bump();
+            self.bump();
+            while self
+                .peek(0)
+                .is_some_and(|b| b.is_ascii_hexdigit() || b == b'_')
+            {
+                self.bump();
+            }
+        } else {
+            while self
+                .peek(0)
+                .is_some_and(|b| b.is_ascii_digit() || b == b'_')
+            {
+                self.bump();
+            }
+            // A fractional part — but not a range (`1..2`), not a method
+            // call on the literal (`1.min(2)`), and not a field (`x.0` is
+            // lexed as punct + int anyway).
+            if self.peek(0) == Some(b'.')
+                && self.peek(1) != Some(b'.')
+                && !self.peek(1).is_some_and(is_ident_start)
+            {
+                float = true;
+                self.bump();
+                while self
+                    .peek(0)
+                    .is_some_and(|b| b.is_ascii_digit() || b == b'_')
+                {
+                    self.bump();
+                }
+            }
+            // An exponent: `1e9`, `1.5E-3`.
+            if matches!(self.peek(0), Some(b'e' | b'E')) {
+                let (sign, digit) = (self.peek(1), self.peek(2));
+                let has_exp = sign.is_some_and(|b| b.is_ascii_digit())
+                    || (matches!(sign, Some(b'+' | b'-'))
+                        && digit.is_some_and(|b| b.is_ascii_digit()));
+                if has_exp {
+                    float = true;
+                    self.bump();
+                    self.bump();
+                    while self
+                        .peek(0)
+                        .is_some_and(|b| b.is_ascii_digit() || b == b'_')
+                    {
+                        self.bump();
+                    }
+                }
+            }
+        }
+        // Type suffix (`u64`, `f32`, `usize`) folds into the literal.
+        if self.peek(0).is_some_and(is_ident_start) {
+            let suffix_start = self.pos;
+            while self.peek(0).is_some_and(is_ident_continue) {
+                self.bump();
+            }
+            let suffix = &self.bytes[suffix_start..self.pos];
+            if suffix.starts_with(b"f32") || suffix.starts_with(b"f64") {
+                float = true;
+            }
+        }
+        let kind = if float { TokKind::Float } else { TokKind::Int };
+        self.push(kind, start, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).toks.into_iter().map(|t| t.text).collect()
+    }
+
+    fn kinds(src: &str) -> Vec<TokKind> {
+        lex(src).toks.into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn comments_are_split_from_code() {
+        let lexed = lex("let x = 1; // trailing\n/* block\nspanning */ let y = 2;");
+        assert_eq!(lexed.comments.len(), 2);
+        assert_eq!(lexed.comments[0].text, " trailing");
+        assert_eq!(lexed.comments[0].line, 1);
+        assert_eq!(lexed.comments[1].text, " block\nspanning ");
+        assert_eq!(lexed.comments[1].line, 2);
+        let y = lexed.toks.iter().find(|t| t.text == "y").unwrap();
+        assert_eq!(y.line, 3, "lines advance through block comments");
+    }
+
+    #[test]
+    fn nested_block_comments_close_at_the_matching_terminator() {
+        let lexed = lex("/* a /* b */ c */ token");
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(texts("/* a /* b */ c */ token"), vec!["token"]);
+    }
+
+    #[test]
+    fn rule_patterns_inside_strings_do_not_tokenize_as_code() {
+        // The lint self-test embeds fixture code in string literals; the
+        // lexer must keep it opaque.
+        let src = r####"let s = "HashMap::new()"; let r = r#"Instant::now() "quoted""#; let b = b"SystemTime";"####;
+        let toks = texts(src);
+        assert!(!toks
+            .iter()
+            .any(|t| t == "HashMap" || t == "Instant" || t == "SystemTime"));
+        assert_eq!(kinds(src).iter().filter(|k| **k == TokKind::Str).count(), 3);
+    }
+
+    #[test]
+    fn lifetimes_chars_and_bytes_disambiguate() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; let p = '('; let b = b'q'; }";
+        let lexed = lex(src);
+        let lifetimes: Vec<_> = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifetimes, vec!["'a", "'a"]);
+        assert_eq!(
+            lexed
+                .toks
+                .iter()
+                .filter(|t| t.kind == TokKind::Char)
+                .count(),
+            4
+        );
+    }
+
+    #[test]
+    fn numbers_classify_ints_and_floats() {
+        let lexed = lex("1 1.5 2. 0x1f 1e9 1.5e-3 3f64 4u64 1..2 1.min(2) x.0");
+        let pairs: Vec<(TokKind, &str)> = lexed
+            .toks
+            .iter()
+            .map(|t| (t.kind, t.text.as_str()))
+            .collect();
+        assert!(pairs.contains(&(TokKind::Int, "1")));
+        assert!(pairs.contains(&(TokKind::Float, "1.5")));
+        assert!(pairs.contains(&(TokKind::Float, "2.")));
+        assert!(pairs.contains(&(TokKind::Int, "0x1f")));
+        assert!(pairs.contains(&(TokKind::Float, "1e9")));
+        assert!(pairs.contains(&(TokKind::Float, "1.5e-3")));
+        assert!(pairs.contains(&(TokKind::Float, "3f64")));
+        assert!(pairs.contains(&(TokKind::Int, "4u64")));
+        // Ranges and method calls on literals stay integral.
+        assert!(pairs.contains(&(TokKind::Punct, "..")));
+        assert!(pairs.contains(&(TokKind::Ident, "min")));
+        assert!(
+            !pairs.contains(&(TokKind::Float, "1.")) || pairs.contains(&(TokKind::Float, "2."))
+        );
+    }
+
+    #[test]
+    fn compound_punctuation_stays_whole() {
+        let toks = texts("a += b; c::d; e -> f; g..=h");
+        assert!(toks.contains(&"+=".to_string()));
+        assert!(toks.contains(&"::".to_string()));
+        assert!(toks.contains(&"->".to_string()));
+        assert!(toks.contains(&"..=".to_string()));
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_identifiers() {
+        let lexed = lex("let r#type = 1;");
+        assert!(lexed
+            .toks
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && t.text == "r#type"));
+    }
+
+    #[test]
+    fn unterminated_literals_do_not_panic() {
+        for src in ["\"open", "r#\"open", "'a", "/* open", "b\"open"] {
+            let _ = lex(src); // must terminate without panicking
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! `dsm-lint`: the repo-specific determinism/concurrency lint.
+//!
+//! Every result in this reproduction is pinned by golden fingerprints that
+//! assume bit-exact determinism, and the invariants behind that —
+//! no unordered-container iteration in the simulation crates, no wall-clock
+//! in the sim core, no panicking lock/channel unwraps in the service tier,
+//! no scheduling-dependent float accumulation — were historically enforced
+//! only by after-the-fact parity tests.  This crate checks them at the
+//! source level on every commit: a small hand-rolled Rust lexer
+//! ([`lexer`]), a rule pass over the token stream ([`rules`]), and a
+//! committed findings baseline ([`baseline`]) so CI fails on *new*
+//! violations while grandfathering documented old ones.
+//!
+//! The crate is deliberately dependency-free (its own JSON in [`json`], its
+//! own walker in [`workspace`]): the gate must build in seconds, before the
+//! simulator stack, and must never be taken down by the code it checks.
+//! The companion *dynamic* check — exhaustive lockstep interleaving
+//! exploration — lives in `mem-trace` (`ShardedSource::explore`), because it
+//! needs the simulator itself; see the README's "Static analysis" section
+//! for how the two fit together.
+
+pub mod baseline;
+pub mod json;
+pub mod lexer;
+pub mod rules;
+pub mod workspace;
+
+pub use baseline::{render_findings, Baseline};
+pub use rules::{allowlist, is_rule, scan_source, Finding, RuleInfo, RULES};
+
+use std::path::Path;
+
+/// Scan every `.rs` file under `root` and return all findings, sorted by
+/// `(file, line, rule)`.  IO errors name the file that failed.
+pub fn scan_workspace(root: &Path) -> Result<Vec<Finding>, String> {
+    let files =
+        workspace::workspace_files(root).map_err(|e| format!("walking {}: {e}", root.display()))?;
+    let mut findings = Vec::new();
+    for (rel, abs) in files {
+        let source =
+            std::fs::read_to_string(&abs).map_err(|e| format!("reading {}: {e}", abs.display()))?;
+        findings.extend(scan_source(&rel, &source));
+    }
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(findings)
+}

@@ -1,0 +1,155 @@
+//! `dsm-lint` CLI: scan the workspace, diff against the committed baseline.
+//!
+//! ```text
+//! dsm-lint [--root DIR] [--baseline FILE] [--json] [--fix-baseline] [--list-rules]
+//! ```
+//!
+//! Exit status: `0` when no finding escapes the baseline, `1` when new
+//! violations exist, `2` on usage or IO errors.  `--json` writes the full
+//! machine-readable report to stdout (human prose goes to stderr), which is
+//! what CI uploads as an artifact.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use dsm_lint::baseline::{render_findings, Baseline};
+use dsm_lint::{scan_workspace, RULES};
+
+const USAGE: &str = "\
+dsm-lint: repo-specific determinism/concurrency lint
+
+USAGE:
+    dsm-lint [OPTIONS]
+
+OPTIONS:
+    --root DIR        workspace root to scan (default: .)
+    --baseline FILE   baseline path (default: <root>/lint-baseline.json)
+    --json            write the JSON report to stdout (prose goes to stderr)
+    --fix-baseline    re-record the baseline from the current tree; new
+                      entries get an UNREVIEWED reason to replace by hand
+    --list-rules      print the rule set and exit
+    --help            this text
+
+Suppress one finding with `// dsm-lint: allow(rule, reason)` on the same
+line or the line above; the reason is mandatory.";
+
+struct Opts {
+    root: PathBuf,
+    baseline: PathBuf,
+    json: bool,
+    fix: bool,
+    list: bool,
+}
+
+fn parse_args() -> Result<Opts, String> {
+    let mut root = PathBuf::from(".");
+    let mut baseline = None;
+    let (mut json, mut fix, mut list) = (false, false, false);
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => root = PathBuf::from(args.next().ok_or("--root needs a value")?),
+            "--baseline" => {
+                baseline = Some(PathBuf::from(
+                    args.next().ok_or("--baseline needs a value")?,
+                ));
+            }
+            "--json" => json = true,
+            "--fix-baseline" => fix = true,
+            "--list-rules" => list = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    let baseline = baseline.unwrap_or_else(|| root.join("lint-baseline.json"));
+    Ok(Opts {
+        root,
+        baseline,
+        json,
+        fix,
+        list,
+    })
+}
+
+fn run() -> Result<bool, String> {
+    let opts = parse_args()?;
+    if opts.list {
+        for r in RULES {
+            println!("{:<12} {}", r.name, r.summary);
+        }
+        return Ok(true);
+    }
+
+    let findings = scan_workspace(&opts.root)?;
+    let baseline = match std::fs::read_to_string(&opts.baseline) {
+        Ok(text) => Baseline::parse(&text)?,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Baseline::default(),
+        Err(e) => return Err(format!("reading {}: {e}", opts.baseline.display())),
+    };
+
+    if opts.fix {
+        let rebuilt = Baseline::record(&findings, &baseline);
+        std::fs::write(&opts.baseline, rebuilt.render())
+            .map_err(|e| format!("writing {}: {e}", opts.baseline.display()))?;
+        eprintln!(
+            "dsm-lint: recorded {} entr{} ({} finding{}) to {}",
+            rebuilt.entries.len(),
+            if rebuilt.entries.len() == 1 {
+                "y"
+            } else {
+                "ies"
+            },
+            findings.len(),
+            if findings.len() == 1 { "" } else { "s" },
+            opts.baseline.display()
+        );
+        if rebuilt
+            .entries
+            .iter()
+            .any(|e| e.reason.starts_with("UNREVIEWED"))
+        {
+            eprintln!(
+                "dsm-lint: new entries carry UNREVIEWED reasons — replace them before committing"
+            );
+        }
+        return Ok(true);
+    }
+
+    let fresh = baseline.new_violations(&findings);
+    if opts.json {
+        print!("{}", render_findings(&findings, &fresh));
+    }
+    for f in &fresh {
+        eprintln!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.excerpt);
+    }
+    let stale = baseline.stale(&findings);
+    for e in &stale {
+        eprintln!(
+            "dsm-lint: stale baseline entry ({} in {}): no longer matches — run --fix-baseline",
+            e.rule, e.file
+        );
+    }
+    eprintln!(
+        "dsm-lint: {} finding{} total, {} above baseline, {} baseline entr{} stale",
+        findings.len(),
+        if findings.len() == 1 { "" } else { "s" },
+        fresh.len(),
+        stale.len(),
+        if stale.len() == 1 { "y" } else { "ies" },
+    );
+    Ok(fresh.is_empty())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(e) => {
+            eprintln!("dsm-lint: error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

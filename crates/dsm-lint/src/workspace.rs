@@ -1,0 +1,70 @@
+//! Workspace discovery: every `.rs` file the lint pass covers.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into: build output, VCS metadata, and
+/// anything hidden.
+fn skipped(name: &str) -> bool {
+    name == "target" || name.starts_with('.')
+}
+
+/// Collect every `.rs` file under `root`, returned as
+/// `(workspace-relative path with '/' separators, absolute path)` pairs in
+/// sorted order — the scan must be deterministic like everything else here.
+pub fn workspace_files(root: &Path) -> io::Result<Vec<(String, PathBuf)>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            let ty = entry.file_type()?;
+            if ty.is_dir() {
+                if !skipped(&name) {
+                    stack.push(path);
+                }
+            } else if ty.is_file() && name.ends_with(".rs") {
+                let rel = path
+                    .strip_prefix(root)
+                    .unwrap_or(&path)
+                    .components()
+                    .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                    .collect::<Vec<_>>()
+                    .join("/");
+                out.push((rel, path));
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_our_own_sources_and_skips_target() {
+        // CARGO_MANIFEST_DIR points at crates/dsm-lint; two levels up is the
+        // workspace root.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .unwrap()
+            .parent()
+            .unwrap()
+            .to_path_buf();
+        let files = workspace_files(&root).unwrap();
+        let rels: Vec<&str> = files.iter().map(|(r, _)| r.as_str()).collect();
+        assert!(rels.contains(&"crates/dsm-lint/src/lexer.rs"), "{rels:?}");
+        assert!(rels.contains(&"src/lib.rs"));
+        assert!(rels.iter().all(|r| !r.starts_with("target/")));
+        assert!(
+            rels.windows(2).all(|w| w[0] < w[1]),
+            "sorted, no duplicates"
+        );
+    }
+}

@@ -48,7 +48,7 @@ pub use intern::{BlockIdx, BlockRef, PageIdx, PageInterner, PageRef, Slab};
 pub use layout::{AddressSpace, Segment};
 pub use replay::{record, record_to_file, ReplaySource};
 pub use shard::ShardMap;
-pub use sharded::ShardedSource;
+pub use sharded::{PumpScript, ShardedSource};
 pub use sharers::SharerSet;
 pub use source::{
     default_window_cap, FusedSource, StepGenerator, ThreadedSource, TraceCursor, TraceSource,

@@ -23,7 +23,12 @@
 //! * [`ShardedSource::lockstep`] keeps every replica inline on the caller's
 //!   thread and *scripts* the interleaving of lane progress from a seed, so
 //!   a test can sweep many adversarial supply schedules deterministically —
-//!   a model-checking-style exploration no run-twice test can reach.
+//!   a model-checking-style exploration no run-twice test can reach;
+//! * [`ShardedSource::scripted`] replays one *explicit* interleaving (a
+//!   [`PumpScript`]), and [`ShardedSource::explore`] enumerates **all** of
+//!   them to a bounded depth — upgrading the seeded sweep from "16 sampled
+//!   schedules" to an exhaustive proof at small scale (see [`PumpScript`]
+//!   for the reduction argument that keeps the space finite).
 //!
 //! The replicas are not free — `S` lanes each run the full generator — but
 //! trace generation is the cheap half of the pipeline (PR 5 measured ~13%
@@ -88,6 +93,76 @@ impl Schedule {
     }
 }
 
+/// One explicit lane interleaving for the lockstep backend.
+///
+/// The script is consulted once per *demanded* pump: entry `k` for demand
+/// on lane `s` means "first advance lane `(s + k) % shards` by one step"
+/// (`k = 0` means no extra advance), after which the demanded pump runs as
+/// usual.  Once the script is spent, pumps proceed demand-only.
+///
+/// **Why this finite alphabet covers the race space (DPOR-lite).**  Lanes
+/// share exactly one piece of state: the demux, which every pump pushes
+/// into.  Whether the merged result can depend on thread scheduling is
+/// therefore the question of whether it can depend on the *relative order
+/// of pushes across lanes* — per-lane order is fixed (each replica is
+/// deterministic), so the only schedule freedom is, at each demand point,
+/// "which other lanes got ahead before this push?".  Pre-pumping the
+/// demanded lane itself commutes with the demanded pump (two steps of one
+/// sequential lane — a dependency-free pair in DPOR terms), so `k = 0`
+/// canonically represents that whole equivalence class, and the remaining
+/// `k ∈ 1..shards` inject each possible cross-lane overtaking at that
+/// point.  [`ShardedSource::explore`] enumerates all `shards^depth` scripts
+/// of a given length — every reachable cross-lane push ordering whose
+/// divergence from demand order is at most one overtake per demand for the
+/// first `depth` demands.  The seeded [`ShardedSource::lockstep`] sweep
+/// stays useful as a smoke tier at scales where exhaustion is unaffordable:
+/// its bursts reach *deeper* overtakes (many pumps per demand) that the
+/// bounded alphabet trades away for exhaustiveness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PumpScript {
+    offsets: Vec<u16>,
+}
+
+impl PumpScript {
+    /// A script from raw offsets (each must be `< shards` of the source it
+    /// feeds; checked at [`ShardedSource::scripted`] time).
+    pub fn new(offsets: Vec<u16>) -> Self {
+        PumpScript { offsets }
+    }
+
+    /// The empty script: pure demand order.
+    pub fn demand_order() -> Self {
+        PumpScript {
+            offsets: Vec::new(),
+        }
+    }
+
+    /// The raw offsets.
+    pub fn offsets(&self) -> &[u16] {
+        &self.offsets
+    }
+
+    /// Script length (number of demand points it perturbs).
+    pub fn len(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// True when the script is empty (pure demand order).
+    pub fn is_empty(&self) -> bool {
+        self.offsets.is_empty()
+    }
+}
+
+/// How a `ShardedSource` paces its lanes.
+enum Pacing {
+    /// Threaded backend: lanes are real threads, the OS schedules them.
+    Free,
+    /// Lockstep backend, seed-scripted adversarial bursts.
+    Seeded(Schedule),
+    /// Lockstep backend, one explicit [`PumpScript`] interleaving.
+    Scripted { offsets: Vec<u16>, pos: usize },
+}
+
 /// A [`TraceSource`] fed by one filtered generator replica per shard.
 /// See the [module docs](self) for the determinism argument and the two
 /// backends.
@@ -96,9 +171,9 @@ pub struct ShardedSource {
     map: ShardMap,
     lanes: Vec<Lane>,
     demux: Demux,
-    /// `Some` on the lockstep backend: scripts extra lane pumps ahead of
-    /// each demanded one, deterministically from the seed.
-    schedule: Option<Schedule>,
+    /// Lane pacing: free-running threads, a seeded burst schedule, or one
+    /// explicit script (see [`Pacing`]).
+    pacing: Pacing,
 }
 
 impl std::fmt::Debug for ShardedSource {
@@ -162,7 +237,7 @@ impl ShardedSource {
             lanes,
             demux: Demux::new(map.topology()),
             map,
-            schedule: None,
+            pacing: Pacing::Free,
         }
     }
 
@@ -197,8 +272,80 @@ impl ShardedSource {
                 .collect(),
             demux: Demux::new(map.topology()),
             map,
-            schedule: Some(Schedule(seed)),
+            pacing: Pacing::Seeded(Schedule(seed)),
         }
+    }
+
+    /// The exhaustive-exploration backend: like
+    /// [`ShardedSource::lockstep`], but the interleaving is one explicit
+    /// [`PumpScript`] instead of a seeded burst schedule, so a test can
+    /// enumerate *every* script at small depth ([`ShardedSource::explore`])
+    /// and prove the merged result identical across all of them.
+    ///
+    /// # Panics
+    /// Panics if `generators.len() != map.shards()` or a script offset is
+    /// `>= map.shards()`.
+    pub fn scripted(
+        name: impl Into<String>,
+        map: ShardMap,
+        generators: Vec<Box<dyn StepGenerator>>,
+        script: PumpScript,
+    ) -> Self {
+        assert_eq!(
+            generators.len(),
+            map.shards() as usize,
+            "one generator replica per shard"
+        );
+        assert!(
+            script.offsets.iter().all(|&k| k < map.shards()),
+            "script offsets must be < shard count"
+        );
+        ShardedSource {
+            name: name.into(),
+            lanes: generators
+                .into_iter()
+                .map(|g| Lane::Lockstep { generator: Some(g) })
+                .collect(),
+            demux: Demux::new(map.topology()),
+            map,
+            pacing: Pacing::Scripted {
+                offsets: script.offsets,
+                pos: 0,
+            },
+        }
+    }
+
+    /// Every [`PumpScript`] of length `depth` over `shards` lanes —
+    /// `shards^depth` scripts, covering each reachable cross-lane push
+    /// ordering at the first `depth` demand points (see [`PumpScript`] for
+    /// why offset `0` canonically absorbs the same-lane pre-pump class).
+    ///
+    /// # Panics
+    /// Panics if the space exceeds 1,048,576 scripts — exhaustion is a
+    /// small-depth proof technique; past that, use the seeded sweep.
+    pub fn explore(shards: u16, depth: usize) -> Vec<PumpScript> {
+        assert!(shards >= 1, "explore needs at least one shard");
+        let count = (shards as u64)
+            .checked_pow(depth as u32)
+            .filter(|&n| n <= 1 << 20)
+            .expect("interleaving space too large to exhaust; use the seeded lockstep sweep");
+        let mut scripts = Vec::with_capacity(count as usize);
+        let mut offsets = vec![0u16; depth];
+        loop {
+            scripts.push(PumpScript {
+                offsets: offsets.clone(),
+            });
+            // Odometer increment, least-significant position first.
+            let Some(i) = (0..depth).find(|&i| offsets[i] + 1 < shards) else {
+                break;
+            };
+            offsets[i] += 1;
+            for o in &mut offsets[..i] {
+                *o = 0;
+            }
+        }
+        debug_assert_eq!(scripts.len() as u64, count);
+        scripts
     }
 
     /// The shard partition feeding this source.
@@ -284,23 +431,44 @@ impl ShardedSource {
     }
 
     /// Pump toward `shard` having something to say, running the scripted
-    /// interleaving first on the lockstep backend.
+    /// interleaving first on the lockstep backends.
     fn pump(&mut self, shard: u16) -> bool {
-        if let Some(mut schedule) = self.schedule.take() {
-            // Adversarially advance a seed-chosen burst of other lanes
-            // before the demanded one.  Determinism of the *consumer's*
-            // per-processor streams must survive any such schedule.
-            let shards = self.map.shards();
-            if shards > 1 {
+        let shards = self.map.shards();
+        // Decide the scripted pre-pumps first (ends the pacing borrow),
+        // then run them.  `Vec::new` doesn't allocate, so the threaded
+        // production path stays free of any per-pump cost.
+        let pre: Vec<u16> = match &mut self.pacing {
+            Pacing::Free => Vec::new(),
+            Pacing::Seeded(schedule) if shards > 1 => {
+                // Adversarially advance a seed-chosen burst of other lanes
+                // before the demanded one.  Determinism of the *consumer's*
+                // per-processor streams must survive any such schedule.
                 let burst = (schedule.next() % (2 * shards as u64)) as u16;
-                for _ in 0..burst {
-                    let other = (schedule.next() % shards as u64) as u16;
-                    if other != shard {
-                        self.pump_lane(other);
+                (0..burst)
+                    .map(|_| (schedule.next() % shards as u64) as u16)
+                    .filter(|&other| other != shard)
+                    .collect()
+            }
+            Pacing::Seeded(_) => Vec::new(),
+            Pacing::Scripted { offsets, pos } => {
+                // One explicit overtake per demand point: offset k advances
+                // lane (shard + k) % shards first; k = 0 is demand order
+                // (the same-lane pre-pump commutes with the demand).
+                match offsets.get(*pos) {
+                    Some(&k) => {
+                        *pos += 1;
+                        if k != 0 {
+                            vec![(shard + k) % shards]
+                        } else {
+                            Vec::new()
+                        }
                     }
+                    None => Vec::new(),
                 }
             }
-            self.schedule = Some(schedule);
+        };
+        for other in pre {
+            self.pump_lane(other);
         }
         self.pump_lane(shard)
     }
@@ -493,6 +661,76 @@ mod tests {
             assert_eq!(got, reference, "seed {seed} perturbed a stream");
             assert_eq!(src.stats_so_far(), trace.stats());
         }
+    }
+
+    #[test]
+    fn explore_enumerates_the_full_script_space() {
+        assert_eq!(
+            ShardedSource::explore(1, 4).len(),
+            1,
+            "one lane: demand order only"
+        );
+        assert_eq!(
+            ShardedSource::explore(3, 0),
+            vec![PumpScript::demand_order()]
+        );
+        let scripts = ShardedSource::explore(3, 4);
+        assert_eq!(scripts.len(), 81);
+        // All distinct, all in-range, and the identity script is included.
+        for (i, a) in scripts.iter().enumerate() {
+            assert_eq!(a.len(), 4);
+            assert!(a.offsets().iter().all(|&k| k < 3));
+            assert!(scripts[i + 1..].iter().all(|b| b != a), "duplicate script");
+        }
+        assert!(scripts.contains(&PumpScript::new(vec![0; 4])));
+        assert!(scripts.contains(&PumpScript::new(vec![2, 2, 2, 2])));
+    }
+
+    #[test]
+    #[should_panic(expected = "too large to exhaust")]
+    fn explore_refuses_unexhaustible_spaces() {
+        let _ = ShardedSource::explore(8, 20);
+    }
+
+    #[test]
+    fn every_scripted_interleaving_reproduces_the_streams() {
+        // The exhaustive form of the seeded test above: all 4^3 = 64
+        // scripts at depth 3 over 4 lanes, each against both pull orders.
+        let trace = toy_trace();
+        let map = ShardMap::new(trace.topology, 4);
+        let procs_rev: Vec<ProcId> = {
+            let mut p: Vec<ProcId> = trace.topology.proc_ids().collect();
+            p.reverse();
+            p
+        };
+        for script in ShardedSource::explore(map.shards(), 3) {
+            let mut src = ShardedSource::scripted("toy", map, replicas(&trace, 4), script.clone());
+            let got = drain_per_proc(&mut src);
+            assert_eq!(got, trace.per_proc, "script {script:?} perturbed a stream");
+            assert_eq!(src.stats_so_far(), trace.stats());
+
+            let mut src = ShardedSource::scripted("toy", map, replicas(&trace, 4), script.clone());
+            let mut per: Vec<Vec<TraceEvent>> = vec![Vec::new(); trace.topology.total_procs()];
+            for &p in &procs_rev {
+                while let Some(ev) = src.next_event(p) {
+                    per[p.index()].push(ev);
+                }
+            }
+            assert_eq!(
+                per, trace.per_proc,
+                "script {script:?} under reversed pulls"
+            );
+        }
+    }
+
+    #[test]
+    fn scripted_offsets_are_validated() {
+        let trace = toy_trace();
+        let map = ShardMap::new(trace.topology, 2);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            ShardedSource::scripted("toy", map, replicas(&trace, 2), PumpScript::new(vec![2]))
+        }));
+        assert!(r.is_err(), "offset 2 with 2 shards must be rejected");
     }
 
     #[test]

@@ -35,6 +35,7 @@ impl OnlineStats {
         self.count += 1;
         self.sum += x;
         let delta = x - self.mean;
+        // dsm-lint: allow(float-order, Welford update on a single-owner accumulator; per-proc stats merge in fixed proc-id order)
         self.mean += delta / self.count as f64;
         self.m2 += delta * (x - self.mean);
         if x < self.min {

@@ -44,8 +44,8 @@ mod util;
 pub use config::{CustomScale, Scale, WorkloadConfig};
 
 use mem_trace::{
-    EventSink, FusedSource, ProcId, ProgramTrace, ShardMap, ShardedSource, StepGenerator,
-    ThreadedSource, TraceEvent, TraceSource,
+    EventSink, FusedSource, ProcId, ProgramTrace, PumpScript, ShardMap, ShardedSource,
+    StepGenerator, ThreadedSource, TraceEvent, TraceSource,
 };
 
 /// A workload that can generate a shared-memory reference trace.
@@ -209,6 +209,21 @@ pub fn sharded_lockstep(
 ) -> ShardedSource {
     let map = ShardMap::new(cfg.topology, workers);
     ShardedSource::lockstep(workload.name(), map, replicas(workload, cfg, map), seed)
+}
+
+/// [`sharded_lockstep`] with one *explicit* interleaving instead of a
+/// seeded one: replays `script` (see `ShardedSource::scripted`).  Built for
+/// the exhaustive explorer tests, which enumerate every script at small
+/// depth via `ShardedSource::explore` and assert the simulation result is
+/// bit-identical across all of them.
+pub fn sharded_scripted(
+    workload: &dyn Workload,
+    cfg: &WorkloadConfig,
+    workers: usize,
+    script: PumpScript,
+) -> ShardedSource {
+    let map = ShardMap::new(cfg.topology, workers);
+    ShardedSource::scripted(workload.name(), map, replicas(workload, cfg, map), script)
 }
 
 /// All seven workloads in Table 2 order.

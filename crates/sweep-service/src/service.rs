@@ -10,7 +10,7 @@
 //! the cache (and its backing file) before the next client could ask for
 //! it.
 
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 
 use crate::cache::{CacheStats, ResultCache};
@@ -67,9 +67,19 @@ impl SweepService {
         Self::new(ResultCache::in_memory(), 0)
     }
 
+    /// The cache, with poison recovery: a sweep worker that panicked can
+    /// only have poisoned the lock *between* whole-entry operations (lookup
+    /// and insert don't hold it across user code), so the map itself is
+    /// intact and — entries being content-addressed and append-only — at
+    /// worst missing one insert.  A long-running server must keep serving;
+    /// panicking here would turn one failed request into a dead process.
+    fn cache(&self) -> MutexGuard<'_, ResultCache> {
+        self.cache.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Current cache counters.
     pub fn cache_stats(&self) -> CacheStats {
-        self.cache.lock().expect("cache lock poisoned").stats()
+        self.cache().stats()
     }
 
     /// Handle one request line, emitting every response line (streamed
@@ -157,16 +167,14 @@ impl SweepService {
         emit: &mut (dyn FnMut(String) + Send),
     ) -> Result<(SweepResult, SweepCounts, f64), String> {
         let sweep = self.build_sweep(spec)?;
+        // dsm-lint: allow(wall-clock, reports request latency to the client; sim time comes from the cost model)
         let start = Instant::now();
         let mut counts = SweepCounts::default();
         let result = sweep.run_streaming(
-            |_, key| self.cache.lock().expect("cache lock poisoned").lookup(key),
+            |_, key| self.cache().lookup(key),
             |event| {
                 if !event.cached() {
-                    self.cache
-                        .lock()
-                        .expect("cache lock poisoned")
-                        .insert(event.cache_key(), event.result());
+                    self.cache().insert(event.cache_key(), event.result());
                 }
                 match event {
                     SweepEvent::Baseline { .. } => counts.baselines += 1,

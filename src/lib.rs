@@ -49,13 +49,13 @@ pub mod prelude {
         SimResult, System, SystemBuilder, SystemConfig, SystemFeature, Thresholds,
     };
     pub use mem_trace::{
-        FusedSource, Geometry, GlobalAddr, ProcId, ProgramTrace, ReplaySource, ShardMap,
-        ShardedSource, SharerSet, StepGenerator, ThreadedSource, Topology, TraceBuilder,
+        FusedSource, Geometry, GlobalAddr, ProcId, ProgramTrace, PumpScript, ReplaySource,
+        ShardMap, ShardedSource, SharerSet, StepGenerator, ThreadedSource, Topology, TraceBuilder,
         TraceError, TraceSource, BLOCK_SIZE, PAGE_SIZE,
     };
     pub use splash_workloads::{
-        by_name, catalog, fused, sharded, sharded_lockstep, stream, stream_threaded, CustomScale,
-        Scale, Workload, WorkloadConfig,
+        by_name, catalog, fused, sharded, sharded_lockstep, sharded_scripted, stream,
+        stream_threaded, CustomScale, Scale, Workload, WorkloadConfig,
     };
 }
 
