@@ -412,9 +412,11 @@ pub fn format_sweep_table(result: &SweepResult, rows: Axis, cols: Axis, metric: 
     let row_values = result.axis_values(rows);
     let col_values = result.axis_values(cols);
     // One pass over the points, accumulating (sum, n) per cell — not a
-    // rescan (with a fresh MetricSet) per (row, col) pair.
-    let mut cells: std::collections::HashMap<(String, String), (f64, u64)> =
-        std::collections::HashMap::new();
+    // rescan (with a fresh MetricSet) per (row, col) pair.  BTreeMap, not
+    // HashMap: this table flows into service responses, and the ordered
+    // map keeps the whole path free of iteration-order nondeterminism.
+    let mut cells: std::collections::BTreeMap<(String, String), (f64, u64)> =
+        std::collections::BTreeMap::new();
     for p in &result.points {
         let slot = cells
             .entry((p.axes.value(rows), p.axes.value(cols)))

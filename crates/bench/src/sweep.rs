@@ -48,7 +48,7 @@
 
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 use crate::cache_key::{point_key, CacheKey};
 use crate::presets::{ExperimentScale, SystemSet};
@@ -642,7 +642,7 @@ impl Sweep {
             let cache_key = point.cache_key();
             let cacheable = matches!(&workloads[point.workload_index], WorkloadSpec::Named(_));
             // dsm-lint: allow(wall-clock, per-job elapsed_seconds is harness reporting; simulated time comes from the cost model)
-            let start = std::time::Instant::now();
+            let start = std::time::Instant::now(); // dsm-lint: allow(det-taint, elapsed_seconds is harness telemetry on the outcome envelope; SimResult and its fingerprint are computed only from simulation state)
             if cacheable {
                 if let Some(result) = lookup(point, cache_key) {
                     return Outcome {
@@ -662,6 +662,7 @@ impl Sweep {
             let result = match &workloads[point.workload_index] {
                 WorkloadSpec::Named(name) => {
                     let workload =
+                        // dsm-lint: allow(panic-path, unreachable from the service: build_sweep validates workload names against the catalog before run_streaming)
                         by_name(name).unwrap_or_else(|| panic!("unknown workload {name}"));
                     let cfg = WorkloadConfig::at_scale(point.scale.workload_scale())
                         .with_topology(point.machine.topology);
@@ -686,6 +687,7 @@ impl Sweep {
                 },
                 WorkloadSpec::Replay(path) => {
                     let mut replay = ReplaySource::open(path)
+                        // dsm-lint: allow(panic-path, service requests cannot name Replay specs — build_sweep only accepts catalog workloads; replay paths are CLI operator input where fail-fast is wanted)
                         .unwrap_or_else(|e| panic!("cannot open replay file {path:?}: {e}"));
                     match sharded {
                         Some(w) => ShardedSimulator::new(point.machine, point.system.clone(), w)
@@ -720,18 +722,32 @@ impl Sweep {
                         }
                         let outcome = run_job(&jobs[i]);
                         let normalization = emit(i, &jobs[i], &outcome);
+                        // A poisoned lock means a sibling worker panicked
+                        // mid-event or mid-store.  Stop claiming jobs and
+                        // return: thread::scope re-raises the sibling's
+                        // panic at the join, which is the one we want to
+                        // see — not a second "poisoned" panic on top of it.
                         {
-                            let mut on_event = sink.lock().expect("event sink poisoned");
+                            let Ok(mut on_event) = sink.lock() else {
+                                return;
+                            };
                             (*on_event)(SweepEvent::new(i, &jobs[i], &outcome, normalization));
                         }
-                        table.lock().expect("result table poisoned")[i] = Some(outcome);
+                        match table.lock() {
+                            Ok(mut table) => table[i] = Some(outcome),
+                            Err(_) => return,
+                        }
                     });
                 }
             });
+            // Reaching here means every worker returned normally (a panic
+            // would have propagated out of thread::scope above), so the
+            // poison recovery is vacuous and every slot is filled.
             table
                 .into_inner()
-                .expect("result table poisoned")
+                .unwrap_or_else(PoisonError::into_inner)
                 .into_iter()
+                // dsm-lint: allow(panic-path, every index in 0..jobs.len() is claimed and stored exactly once; a worker panic would have re-raised out of thread::scope before this line)
                 .map(|o| o.expect("job result missing"))
                 .collect()
         };
@@ -763,6 +779,7 @@ impl Sweep {
                     .baselines
                     .iter()
                     .position(|b| shares_baseline_point(b, p))
+                    // dsm-lint: allow(panic-path, SweepSpace construction creates a baseline for every point's machine/cost/workload; a miss is a construction bug not request-dependent)
                     .expect("every point has a baseline at its machine/cost/workload")
             })
             .collect();

@@ -63,6 +63,7 @@ impl PagePlacement {
             .homes
             .get_mut(page.index())
             .and_then(Option::as_mut)
+            // dsm-lint: allow(panic-path, the relocation engine only migrates pages it has already placed — a touch precedes every migration decision; an unplaced page is a policy bug worth a loud stop)
             .expect("migrating a page that was never placed");
         let old = *slot;
         *slot = new_home;

@@ -128,6 +128,7 @@ impl ShardedSimulator {
     pub fn run_source(&self, source: &mut dyn TraceSource) -> SimResult {
         let name = source.name().to_string();
         self.try_run_source(source)
+            // dsm-lint: allow(panic-path, documented infallible wrapper; the sweep path feeds generator-built sharded sources that are well-formed by construction)
             .unwrap_or_else(|e| panic!("malformed trace {name}: {e:?}"))
     }
 

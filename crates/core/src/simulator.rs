@@ -75,6 +75,7 @@ impl ClusterSimulator {
             "trace generated for a different machine"
         );
         self.try_run(trace)
+            // dsm-lint: allow(panic-path, documented infallible wrapper: service-path traces come from catalog generators and are well-formed by construction; untrusted traces go through try_run)
             .unwrap_or_else(|e| panic!("malformed trace {}: {e:?}", trace.name))
     }
 
@@ -94,6 +95,7 @@ impl ClusterSimulator {
     pub fn run_source(&self, source: &mut dyn TraceSource) -> SimResult {
         let name = source.name().to_string();
         self.try_run_source(source)
+            // dsm-lint: allow(panic-path, documented infallible wrapper: service-path traces come from catalog generators and are well-formed by construction; untrusted traces go through try_run_source)
             .unwrap_or_else(|e| panic!("malformed trace {name}: {e:?}"))
     }
 
@@ -300,6 +302,7 @@ impl<'a> RunState<'a> {
         let mut feeds: Vec<EventFeed> = (0..self.procs.len()).map(|_| EventFeed::new()).collect();
         for p in 0..self.procs.len() {
             if !source.exhausted(ProcId(p as u16)) {
+                // dsm-lint: allow(cast-truncation, proc index is bounded by total_procs which fits u16 by construction)
                 queue.push(Cycles::ZERO, p as u16);
             } else {
                 self.procs[p].done = true;
@@ -562,6 +565,7 @@ impl<'a> RunState<'a> {
             mapping = self.nodes[nidx]
                 .page_table
                 .lookup(page.idx)
+                // dsm-lint: allow(panic-path, switch_page_to_read_write installs the mapping on this node before returning; a missing entry is a simulator state-machine bug)
                 .expect("page remapped after switch to read-write");
         }
 
@@ -771,6 +775,7 @@ impl<'a> RunState<'a> {
                 let present = self.nodes[nidx]
                     .page_cache
                     .as_mut()
+                    // dsm-lint: allow(panic-path, PageMode::SComa is only assigned on nodes constructed with a page cache; the pairing is a construction invariant)
                     .expect("S-COMA mapping without a page cache")
                     .lookup_block(block.idx);
                 if present {
@@ -786,6 +791,7 @@ impl<'a> RunState<'a> {
                         self.nodes[nidx]
                             .page_cache
                             .as_mut()
+                            // dsm-lint: allow(panic-path, same page-cache access re-taken after the presence check at the top of this match arm)
                             .expect("checked above")
                             .mark_dirty(block.idx);
                         if remote_invalidations {
@@ -809,6 +815,7 @@ impl<'a> RunState<'a> {
                     self.nodes[nidx]
                         .page_cache
                         .as_mut()
+                        // dsm-lint: allow(panic-path, same page-cache access re-taken after the presence check at the top of this match arm)
                         .expect("checked above")
                         .install_block(block.idx, is_write);
                     latency
@@ -1034,6 +1041,7 @@ impl<'a> RunState<'a> {
         for _ in 0..bpp {
             t = self.network.send(home, to, t, MsgKind::PageDataBlock);
         }
+        // dsm-lint: allow(cast-truncation, blocks_per_page = page_bytes/block_bytes is a small bounded ratio; fits u32 with room to spare)
         let latency = (costs.soft_trap + costs.page_copy_cost_at(bpp as u32, bpp)).max(t - now);
 
         self.notify_op_performed(&PageOp::Replicate { page, to });
@@ -1090,6 +1098,7 @@ impl<'a> RunState<'a> {
         }
 
         let gather = costs.page_gather_cost_at(blocks_cached, bpp);
+        // dsm-lint: allow(cast-truncation, blocks_per_page = page_bytes/block_bytes is a small bounded ratio; fits u32 with room to spare)
         let copy = costs.page_copy_cost_at(bpp as u32, bpp);
         let shootdowns = costs.tlb_shootdown * (nodes_touched.len() as u64 + 1);
         let latency = (costs.soft_trap + gather + copy + shootdowns).max(t - now);
@@ -1205,6 +1214,7 @@ impl<'a> RunState<'a> {
         let outcome = self.nodes[nidx]
             .page_cache
             .as_mut()
+            // dsm-lint: allow(panic-path, relocation only runs for systems whose nodes are constructed with page caches)
             .expect("relocation without a page cache")
             .allocate(page);
         if let AllocOutcome::Replaced {

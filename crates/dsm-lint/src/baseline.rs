@@ -15,8 +15,14 @@
 //! an empty reason fails to load at all.
 
 use crate::json::{self, Value};
-use crate::rules::Finding;
+use crate::rules::{Finding, RULES};
 use std::collections::BTreeMap;
+
+/// The baseline document schema.  v2 (this PR) adds a `rules` array naming
+/// the registry the baseline was recorded against, so `--self-check` can
+/// detect a baseline recorded by a different rule set; `lint.toml` pins
+/// the same number.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Reason stamped on entries `--fix-baseline` adds; committed baselines
 /// should replace it with the actual justification.
@@ -39,10 +45,22 @@ pub struct Entry {
 }
 
 /// The full baseline.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Baseline {
+    /// The rule names the baseline was recorded against, in registry
+    /// order.
+    pub rules: Vec<String>,
     /// All grandfathered sites.
     pub entries: Vec<Entry>,
+}
+
+impl Default for Baseline {
+    fn default() -> Self {
+        Baseline {
+            rules: RULES.iter().map(|r| r.name.to_string()).collect(),
+            entries: Vec::new(),
+        }
+    }
 }
 
 type Key = (String, String, String);
@@ -57,9 +75,25 @@ impl Baseline {
     pub fn parse(text: &str) -> Result<Baseline, String> {
         let doc = json::parse(text).map_err(|e| format!("baseline is not valid JSON: {e}"))?;
         match doc.get_u64("version") {
-            Some(1) => {}
-            other => return Err(format!("unsupported baseline version {other:?}")),
+            Some(SCHEMA_VERSION) => {}
+            other => {
+                return Err(format!(
+                    "unsupported baseline version {other:?} (this build supports {SCHEMA_VERSION})"
+                ));
+            }
         }
+        let rules = doc
+            .get("rules")
+            .and_then(Value::as_arr)
+            .ok_or("baseline has no `rules` array (schema v2)")?
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                r.as_str()
+                    .map(str::to_string)
+                    .ok_or(format!("rules[{i}]: not a string"))
+            })
+            .collect::<Result<Vec<String>, String>>()?;
         let entries = doc
             .get("entries")
             .and_then(Value::as_arr)
@@ -91,7 +125,16 @@ impl Baseline {
             }
             out.push(entry);
         }
-        Ok(Baseline { entries: out })
+        Ok(Baseline {
+            rules,
+            entries: out,
+        })
+    }
+
+    /// True iff this baseline's `rules` array matches the build's registry
+    /// exactly (names and order) — the `--self-check` contract.
+    pub fn rules_match_registry(&self) -> bool {
+        self.rules.len() == RULES.len() && self.rules.iter().zip(RULES).all(|(a, b)| a == b.name)
     }
 
     /// Render as pretty-printed JSON, sorted by `(file, rule, excerpt)` so
@@ -99,7 +142,15 @@ impl Baseline {
     pub fn render(&self) -> String {
         let mut entries = self.entries.clone();
         entries.sort_by(|a, b| (&a.file, &a.rule, &a.excerpt).cmp(&(&b.file, &b.rule, &b.excerpt)));
-        let mut out = String::from("{\n  \"version\": 1,\n  \"entries\": [");
+        let rules: Vec<String> = self
+            .rules
+            .iter()
+            .map(|r| format!("\"{}\"", json::escape(r)))
+            .collect();
+        let mut out = format!(
+            "{{\n  \"version\": {SCHEMA_VERSION},\n  \"rules\": [{}],\n  \"entries\": [",
+            rules.join(", ")
+        );
         for (i, e) in entries.iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -145,7 +196,10 @@ impl Baseline {
                 }
             })
             .collect();
-        Baseline { entries }
+        Baseline {
+            rules: Baseline::default().rules,
+            entries,
+        }
     }
 
     /// The findings not covered by this baseline: for each key, findings
@@ -188,14 +242,21 @@ impl Baseline {
 }
 
 /// Render findings as a JSON report (the `--json` output and CI artifact).
+/// Call-graph findings carry their evidence chain.
 pub fn render_findings(findings: &[Finding], new: &[&Finding]) -> String {
     let one = |f: &Finding| {
+        let chain: Vec<String> = f
+            .chain
+            .iter()
+            .map(|s| format!("\"{}\"", json::escape(s)))
+            .collect();
         format!(
-            "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"excerpt\":\"{}\"}}",
+            "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"excerpt\":\"{}\",\"chain\":[{}]}}",
             json::escape(f.rule),
             json::escape(&f.file),
             f.line,
-            json::escape(&f.excerpt)
+            json::escape(&f.excerpt),
+            chain.join(",")
         )
     };
     let all: Vec<String> = findings.iter().map(one).collect();
@@ -219,6 +280,7 @@ mod tests {
             file: file.to_string(),
             line,
             excerpt: excerpt.to_string(),
+            chain: Vec::new(),
         }
     }
 
@@ -253,6 +315,7 @@ mod tests {
     #[test]
     fn new_violations_respect_counts_and_keys() {
         let base = Baseline {
+            rules: Baseline::default().rules,
             entries: vec![Entry {
                 rule: "lock-unwrap".into(),
                 file: "a/src/x.rs".into(),
@@ -288,15 +351,35 @@ mod tests {
 
     #[test]
     fn reasons_are_mandatory() {
-        let doc = r#"{"version":1,"entries":[
+        let doc = r#"{"version":2,"rules":[],"entries":[
             {"rule":"hash-iter","file":"f.rs","excerpt":"x","count":1,"reason":"   "}]}"#;
         let err = Baseline::parse(doc).unwrap_err();
         assert!(err.contains("empty reason"), "{err}");
-        assert!(Baseline::parse(r#"{"version":2,"entries":[]}"#).is_err());
-        assert!(Baseline::parse(r#"{"version":1}"#).is_err());
+        assert!(
+            Baseline::parse(r#"{"version":1,"entries":[]}"#).is_err(),
+            "v1 baselines are rejected, not silently upgraded"
+        );
+        assert!(
+            Baseline::parse(r#"{"version":2,"entries":[]}"#).is_err(),
+            "v2 requires the rules array"
+        );
+        assert!(Baseline::parse(r#"{"version":2,"rules":[]}"#).is_err());
         assert!(Baseline::parse(
-            r#"{"version":1,"entries":[{"rule":"r","file":"f","excerpt":"x","count":0,"reason":"r"}]}"#
+            r#"{"version":2,"rules":[],"entries":[{"rule":"r","file":"f","excerpt":"x","count":0,"reason":"r"}]}"#
         )
         .is_err());
+    }
+
+    #[test]
+    fn registry_check_pins_names_and_order() {
+        let b = Baseline::default();
+        assert!(b.rules_match_registry());
+        assert!(Baseline::parse(&b.render()).unwrap().rules_match_registry());
+        let mut wrong = b.clone();
+        wrong.rules.pop();
+        assert!(!wrong.rules_match_registry());
+        let mut swapped = b.clone();
+        swapped.rules.swap(0, 1);
+        assert!(!swapped.rules_match_registry(), "order matters");
     }
 }

@@ -1,0 +1,932 @@
+//! The item layer: a lightweight parser from the token stream to a
+//! function tree, plus per-function fact extraction.
+//!
+//! The token rules in [`crate::rules`] see one token window at a time; the
+//! call-graph rules in [`crate::flow`] need to know *which function* a
+//! token belongs to and *which functions that function calls*.  This module
+//! recovers exactly that much structure — the module tree (`mod` nesting
+//! folded onto the file path), `fn` items inside `impl` and `trait` blocks
+//! (trait-default bodies included), each with its body's token span — and
+//! extracts from every body:
+//!
+//! * **calls** — bare calls, `path::to::fn(...)` calls, and `.method(...)`
+//!   calls, each with an argument count so the resolver in
+//!   [`crate::graph`] can use name+arity as its heuristic fallback;
+//! * **panic sites** — `panic!`/`unreachable!`/`todo!`/`unimplemented!`,
+//!   `.unwrap()`/`.expect(...)` (with enough context — receiver, trailing
+//!   `?` — for the graph layer to discount calls to a crate's *own*
+//!   `expect` method and `Result`-propagated parser helpers), and direct
+//!   `[...]` indexing on lock/channel results;
+//! * **taint sources** — wall-clock reads, `HashMap`/`HashSet` mentions,
+//!   pointer-to-int casts, thread IDs, unseeded RNG construction;
+//! * **sink sites** — constructions of the configured determinism carriers
+//!   (`SimResult { .. }`, `.fingerprint()`);
+//! * **cast sites** — narrowing `as` casts whose statement mentions a
+//!   clock/byte-accounting identifier.
+//!
+//! This is deliberately not a full Rust parser: nested `fn` items fold into
+//! their enclosing function (their calls are attributed outward, which is
+//! conservative for reachability), closure bodies belong to the function
+//! that wrote them, and macro arguments are scanned like ordinary code.
+//! What it gets right is attribution — every extracted fact lands on the
+//! function whose body physically contains it.
+
+use crate::config::Config;
+use crate::lexer::{lex, Tok, TokKind};
+use crate::rules::{test_region_mask, GUARDED_OPS};
+
+/// Panic macros treated as panic sites.
+pub const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Methods that panic when the value is `None`/`Err`.
+pub const PANIC_METHODS: &[&str] = &["unwrap", "expect"];
+
+/// Narrow integer types a truncating `as` cast can target.
+const NARROW_INTS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
+
+/// How a call site names its target.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CallTarget {
+    /// `foo(..)` — a bare name, resolved against the local module first.
+    Bare(String),
+    /// `a::b::foo(..)` — a path; the resolver uses the trailing segments.
+    Path(Vec<String>),
+    /// `recv.foo(..)` — a method call, resolved by name + arity.
+    Method(String),
+}
+
+/// One call expression inside a function body.
+#[derive(Debug, Clone)]
+pub struct Call {
+    /// What the call names.
+    pub target: CallTarget,
+    /// Number of arguments (excluding a method receiver).
+    pub arity: usize,
+    /// 1-based source line.
+    pub line: u32,
+    /// For method calls: the receiver is literally `self`.
+    pub recv_self: bool,
+}
+
+/// Why a token sequence counts as a panic site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PanicKind {
+    /// `panic!`, `unreachable!`, `todo!`, `unimplemented!`.
+    Macro,
+    /// `.unwrap()` / `.expect(..)`.
+    UnwrapExpect,
+    /// `[..]` indexing directly on a lock/channel result.
+    LockIndex,
+}
+
+/// One potential panic site.
+#[derive(Debug, Clone)]
+pub struct PanicSite {
+    /// What fired.
+    pub kind: PanicKind,
+    /// The macro or method name (`panic`, `unwrap`, `expect`, ...).
+    pub what: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// For `UnwrapExpect`: the receiver is literally `self` (the graph
+    /// layer discounts these when the owner type defines the method —
+    /// `self.expect(b'{')` in a parser is a call, not a panic).
+    pub recv_self: bool,
+    /// The call's result is propagated with `?` — not a panic path.
+    pub propagated: bool,
+}
+
+/// What kind of nondeterminism a taint source introduces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaintKind {
+    /// `Instant::now` / `SystemTime`.
+    WallClock,
+    /// `HashMap` / `HashSet` (iteration order).
+    HashIter,
+    /// A pointer observed as an integer.
+    PtrToInt,
+    /// `ThreadId` / `thread::current`.
+    ThreadId,
+    /// RNG seeded from the environment (`thread_rng`, `OsRng`, ...).
+    UnseededRng,
+}
+
+impl TaintKind {
+    /// Human label used in finding chains.
+    pub fn label(self) -> &'static str {
+        match self {
+            TaintKind::WallClock => "wall-clock read",
+            TaintKind::HashIter => "HashMap/HashSet iteration order",
+            TaintKind::PtrToInt => "pointer-to-int cast",
+            TaintKind::ThreadId => "thread id",
+            TaintKind::UnseededRng => "unseeded RNG",
+        }
+    }
+}
+
+/// A line-anchored fact inside a function body.
+#[derive(Debug, Clone)]
+pub struct Site {
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// One taint source.
+#[derive(Debug, Clone)]
+pub struct TaintSource {
+    /// What kind of nondeterminism.
+    pub kind: TaintKind,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// One function item (free fn, inherent/trait-impl method, or trait
+/// default body).
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// The bare function name.
+    pub name: String,
+    /// Fully qualified name: module path (derived from the file path plus
+    /// inline `mod` nesting), the `impl`/`trait` owner type if any, then
+    /// the name.
+    pub qname: String,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Parameter count excluding any `self` receiver.
+    pub arity: usize,
+    /// Declared with a `self` receiver.
+    pub has_self: bool,
+    /// The `impl`/`trait` type this fn belongs to, if any.
+    pub owner: Option<String>,
+    /// Inside a `#[test]` / `#[cfg(test)]` region (excluded from graph
+    /// analysis).
+    pub in_test: bool,
+    /// Has no body (trait method signature, extern decl).
+    pub has_body: bool,
+    /// Call expressions in the body.
+    pub calls: Vec<Call>,
+    /// Panic sites in the body.
+    pub panics: Vec<PanicSite>,
+    /// Taint sources in the body.
+    pub taints: Vec<TaintSource>,
+    /// Determinism-sink sites in the body (per [`Config::sinks`]).
+    pub sinks: Vec<Site>,
+    /// Narrowing casts in accounting context (per [`Config::contexts`]).
+    pub casts: Vec<Site>,
+}
+
+/// Parse one file into its function items.  `relpath` seeds the module
+/// path; `cfg` supplies the sink names and cast-context vocabulary.
+pub fn parse_file(relpath: &str, source: &str, cfg: &Config) -> Vec<FnItem> {
+    let lexed = lex(source);
+    let mask = test_region_mask(&lexed.toks);
+    let mut parser = ItemParser {
+        toks: &lexed.toks,
+        mask: &mask,
+        cfg,
+        file: relpath,
+        out: Vec::new(),
+    };
+    let module = module_path(relpath);
+    let end = lexed.toks.len();
+    parser.items(0, end, &module, None);
+    parser.out
+}
+
+/// Derive the module path from a workspace-relative file path:
+/// `crates/core/src/simulator.rs` → `core::simulator`,
+/// `src/bin/memsmoke.rs` → `bin::memsmoke`, `.../mod.rs` and `lib.rs`
+/// contribute nothing.  Dashes normalize to underscores so paths read as
+/// Rust identifiers.
+fn module_path(relpath: &str) -> String {
+    let mut segs: Vec<String> = Vec::new();
+    let trimmed = relpath.strip_suffix(".rs").unwrap_or(relpath);
+    for part in trimmed.split('/') {
+        match part {
+            "crates" | "src" | "lib" | "main" | "mod" => {}
+            p => segs.push(p.replace('-', "_")),
+        }
+    }
+    segs.join("::")
+}
+
+struct ItemParser<'a> {
+    toks: &'a [Tok],
+    mask: &'a [bool],
+    cfg: &'a Config,
+    file: &'a str,
+    out: Vec<FnItem>,
+}
+
+impl ItemParser<'_> {
+    fn text(&self, i: usize) -> &str {
+        self.toks.get(i).map_or("", |t| t.text.as_str())
+    }
+
+    fn is_ident(&self, i: usize) -> bool {
+        self.toks.get(i).is_some_and(|t| t.kind == TokKind::Ident)
+    }
+
+    /// Find the index of the matching close brace for the open brace at
+    /// `open` (which must be `{`), bounded by `end`.
+    fn match_brace(&self, open: usize, end: usize) -> usize {
+        let mut depth = 0usize;
+        let mut i = open;
+        while i < end {
+            match self.text(i) {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return i;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        end.saturating_sub(1)
+    }
+
+    /// Skip a `<...>` generics group starting at `i` (which must be `<`).
+    /// Returns the index just past the closing `>`.  `>>` closes two
+    /// levels (the lexer keeps it as one token).
+    fn skip_angles(&self, mut i: usize, end: usize) -> usize {
+        let mut depth = 0isize;
+        while i < end {
+            match self.text(i) {
+                "<" | "<<" => depth += if self.text(i) == "<<" { 2 } else { 1 },
+                ">" => depth -= 1,
+                ">>" => depth -= 2,
+                "->" | ";" | "{" => break, // malformed; bail conservatively
+                _ => {}
+            }
+            i += 1;
+            if depth <= 0 {
+                break;
+            }
+        }
+        i
+    }
+
+    /// The main scan: walk `[start, end)` collecting items, descending
+    /// into `mod`/`impl`/`trait` bodies and consuming `fn` items whole.
+    fn items(&mut self, start: usize, end: usize, module: &str, owner: Option<&str>) {
+        let mut i = start;
+        while i < end {
+            match self.text(i) {
+                "mod" if self.is_ident(i + 1) && self.text(i + 2) == "{" => {
+                    let close = self.match_brace(i + 2, end);
+                    let name = self.text(i + 1).to_string();
+                    let nested = if module.is_empty() {
+                        name
+                    } else {
+                        format!("{module}::{name}")
+                    };
+                    self.items(i + 3, close, &nested, owner);
+                    i = close + 1;
+                }
+                "impl" | "trait" => {
+                    let keyword = self.text(i);
+                    // Find the body brace, skipping generics/paths/where.
+                    let mut j = i + 1;
+                    let mut paren = 0isize;
+                    while j < end && !(paren == 0 && self.text(j) == "{") {
+                        match self.text(j) {
+                            "(" | "[" => paren += 1,
+                            ")" | "]" => paren -= 1,
+                            ";" if paren == 0 => break, // `trait X;`? bail
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    if self.text(j) != "{" {
+                        i = j + 1;
+                        continue;
+                    }
+                    let close = self.match_brace(j, end);
+                    let ty = if keyword == "impl" {
+                        impl_owner(self.toks, i + 1, j)
+                    } else {
+                        self.is_ident(i + 1).then(|| self.text(i + 1).to_string())
+                    };
+                    self.items(j + 1, close, module, ty.as_deref().or(owner));
+                    i = close + 1;
+                }
+                "fn" if self.is_ident(i + 1) => {
+                    i = self.fn_item(i, end, module, owner);
+                }
+                _ => i += 1,
+            }
+        }
+    }
+
+    /// Parse one `fn` item starting at the `fn` keyword; returns the index
+    /// just past the item.
+    fn fn_item(&mut self, at: usize, end: usize, module: &str, owner: Option<&str>) -> usize {
+        let name = self.text(at + 1).to_string();
+        let line = self.toks[at].line;
+        let mut i = at + 2;
+        if self.text(i) == "<" {
+            i = self.skip_angles(i, end);
+        }
+        if self.text(i) != "(" {
+            return at + 2; // `fn` in type position (`fn(u32) -> u32`)
+        }
+        let (arity, has_self, params_end) = self.params(i, end);
+        // Skip the return type / where clause to the body or `;`.
+        let mut j = params_end + 1;
+        let mut depth = 0isize;
+        while j < end {
+            match self.text(j) {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "{" | ";" if depth == 0 => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        let (has_body, body, past) = if self.text(j) == "{" {
+            let close = self.match_brace(j, end);
+            (true, (j + 1, close), close + 1)
+        } else {
+            (false, (j, j), j + 1)
+        };
+        let qname = match (module.is_empty(), owner) {
+            (true, None) => name.clone(),
+            (true, Some(o)) => format!("{o}::{name}"),
+            (false, None) => format!("{module}::{name}"),
+            (false, Some(o)) => format!("{module}::{o}::{name}"),
+        };
+        let mut item = FnItem {
+            name,
+            qname,
+            file: self.file.to_string(),
+            line,
+            arity,
+            has_self,
+            owner: owner.map(str::to_string),
+            in_test: self.mask.get(at).copied().unwrap_or(false),
+            has_body,
+            calls: Vec::new(),
+            panics: Vec::new(),
+            taints: Vec::new(),
+            sinks: Vec::new(),
+            casts: Vec::new(),
+        };
+        if has_body {
+            self.extract_calls(body.0, body.1, &mut item);
+            self.extract_sites(body.0, body.1, &mut item);
+        }
+        self.out.push(item);
+        past
+    }
+
+    /// Parse a parameter list starting at `(`: returns (arity excluding
+    /// self, has_self, index of the closing paren).
+    fn params(&self, open: usize, end: usize) -> (usize, bool, usize) {
+        let mut depth = 0isize;
+        let mut i = open;
+        let mut commas = 0usize;
+        let mut any_tokens = false;
+        let mut in_pipes = false;
+        while i < end {
+            match self.text(i) {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                "<" => i = self.skip_angles(i, end) - 1,
+                "|" if depth == 1 => in_pipes = !in_pipes,
+                "," if depth == 1 && !in_pipes => commas += 1,
+                _ if depth >= 1 => any_tokens = true,
+                _ => {}
+            }
+            i += 1;
+        }
+        // A `self` receiver: `self` / `&self` / `&mut self` / `mut self`
+        // as the first parameter (possibly behind a lifetime).
+        let mut k = open + 1;
+        while matches!(self.text(k), "&" | "mut")
+            || self
+                .toks
+                .get(k)
+                .is_some_and(|t| t.kind == TokKind::Lifetime)
+        {
+            k += 1;
+        }
+        let has_self = self.text(k) == "self";
+        // Segments = commas + 1 when non-empty; rustfmt's trailing comma
+        // adds a comma with no segment after it, which `any_after` corrects.
+        let mut arity = if any_tokens { commas + 1 } else { 0 };
+        if any_tokens && self.trailing_comma(open, i) {
+            arity -= 1;
+        }
+        if has_self {
+            arity = arity.saturating_sub(1);
+        }
+        (arity, has_self, i)
+    }
+
+    /// True when the token before the closing paren at `close` is a comma
+    /// (a rustfmt trailing comma, not an argument separator).
+    fn trailing_comma(&self, open: usize, close: usize) -> bool {
+        close > open + 1 && self.text(close - 1) == ","
+    }
+
+    /// Walk a body span extracting call expressions (and the unwrap/expect
+    /// panic sites that ride on method-call syntax).
+    fn extract_calls(&mut self, lo: usize, hi: usize, item: &mut FnItem) {
+        let mut k = lo;
+        while k < hi {
+            if !self.is_ident(k) {
+                k += 1;
+                continue;
+            }
+            let name = self.text(k).to_string();
+            // Macro invocation: record panic macros; scan args normally.
+            if self.text(k + 1) == "!" {
+                if PANIC_MACROS.contains(&name.as_str()) {
+                    item.panics.push(PanicSite {
+                        kind: PanicKind::Macro,
+                        what: name,
+                        line: self.toks[k].line,
+                        recv_self: false,
+                        propagated: false,
+                    });
+                }
+                k += 2;
+                continue;
+            }
+            // Collect a `::`-separated path.
+            let mut segs = vec![name];
+            let mut m = k + 1;
+            while self.text(m) == "::" && self.is_ident(m + 1) {
+                segs.push(self.text(m + 1).to_string());
+                m += 2;
+            }
+            // Turbofish before the parens: `collect::<Vec<_>>()`.
+            if self.text(m) == "::" && self.text(m + 1) == "<" {
+                m = self.skip_angles(m + 1, hi);
+            }
+            if self.text(m) != "(" {
+                k = m.max(k + 1);
+                continue;
+            }
+            let is_method = segs.len() == 1 && self.text(k.wrapping_sub(1)) == ".";
+            let recv_self = is_method
+                && k >= 2
+                && self.text(k - 2) == "self"
+                && self.text(k.wrapping_sub(3)) != ".";
+            let (arity, close) = self.call_args(m, hi);
+            let propagated = self.text(close + 1) == "?";
+            let last = segs.last().expect("segments are never empty").clone();
+            let line = self.toks[k].line;
+            if is_method && PANIC_METHODS.contains(&last.as_str()) {
+                item.panics.push(PanicSite {
+                    kind: PanicKind::UnwrapExpect,
+                    what: last.clone(),
+                    line,
+                    recv_self,
+                    propagated,
+                });
+            }
+            let target = if is_method {
+                CallTarget::Method(last)
+            } else if segs.len() > 1 {
+                CallTarget::Path(segs)
+            } else {
+                CallTarget::Bare(last)
+            };
+            item.calls.push(Call {
+                target,
+                arity,
+                line,
+                recv_self,
+            });
+            // Continue *inside* the argument list: nested calls count.
+            k = m + 1;
+        }
+    }
+
+    /// Count the arguments of a call whose open paren is at `open`;
+    /// returns (arity, index of the closing paren).  Commas inside closure
+    /// parameter pipes are not separators.
+    fn call_args(&self, open: usize, end: usize) -> (usize, usize) {
+        let mut depth = 0isize;
+        let mut i = open;
+        let mut commas = 0usize;
+        let mut any = false;
+        let mut in_pipes = false;
+        while i < end {
+            match self.text(i) {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                "|" if depth == 1 => in_pipes = !in_pipes,
+                "," if depth == 1 && !in_pipes => commas += 1,
+                _ if depth >= 1 => any = true,
+                _ => {}
+            }
+            i += 1;
+        }
+        let mut arity = if any { commas + 1 } else { 0 };
+        if any && self.trailing_comma(open, i) {
+            arity -= 1;
+        }
+        (arity, i)
+    }
+
+    /// Scan a body span for taint sources, sink sites, lock-result
+    /// indexing, and narrowing casts in accounting context.
+    fn extract_sites(&mut self, lo: usize, hi: usize, item: &mut FnItem) {
+        let toks = self.toks;
+        let text = |i: usize| toks.get(i).map_or("", |t| t.text.as_str());
+        let mut k = lo;
+        while k < hi {
+            let t = &toks[k];
+            if t.kind != TokKind::Ident {
+                k += 1;
+                continue;
+            }
+            let line = t.line;
+            let mut push_taint = |kind: TaintKind| {
+                item.taints.push(TaintSource { kind, line });
+            };
+            match t.text.as_str() {
+                "Instant" if text(k + 1) == "::" && text(k + 2) == "now" => {
+                    push_taint(TaintKind::WallClock);
+                }
+                "SystemTime" => push_taint(TaintKind::WallClock),
+                "HashMap" | "HashSet" => push_taint(TaintKind::HashIter),
+                "ThreadId" => push_taint(TaintKind::ThreadId),
+                "thread" if text(k + 1) == "::" && text(k + 2) == "current" => {
+                    push_taint(TaintKind::ThreadId);
+                }
+                "thread_rng" | "OsRng" | "from_entropy" => push_taint(TaintKind::UnseededRng),
+                "as_ptr" | "as_mut_ptr" => {
+                    // A pointer observed as an integer: `x.as_ptr() as usize`
+                    // within the same expression.
+                    let window = (k + 1)..(k + 16).min(hi);
+                    for w in window {
+                        if text(w) == ";" {
+                            break;
+                        }
+                        if text(w) == "as"
+                            && matches!(text(w + 1), "usize" | "u64" | "u128" | "isize" | "i64")
+                        {
+                            push_taint(TaintKind::PtrToInt);
+                            break;
+                        }
+                    }
+                }
+                "as" if NARROW_INTS.contains(&text(k + 1))
+                    && self.cast_in_accounting_context(k, lo, hi) =>
+                {
+                    item.casts.push(Site { line });
+                }
+                _ => {}
+            }
+            // Sink sites: `Name {`, `Name::`, `Name(`, `.name(`.
+            if self.cfg.sinks.iter().any(|s| s == &t.text)
+                && matches!(text(k + 1), "{" | "::" | "(")
+            {
+                item.sinks.push(Site { line });
+            }
+            // Direct indexing on a lock/channel result.
+            if GUARDED_OPS.contains(&t.text.as_str())
+                && text(k.wrapping_sub(1)) == "."
+                && text(k + 1) == "("
+            {
+                let (_, close) = self.call_args(k + 1, hi);
+                if text(close + 1) == "[" {
+                    item.panics.push(PanicSite {
+                        kind: PanicKind::LockIndex,
+                        what: t.text.clone(),
+                        line: toks.get(close + 1).map_or(line, |t| t.line),
+                        recv_self: false,
+                        propagated: false,
+                    });
+                }
+            }
+            k += 1;
+        }
+    }
+
+    /// True when the statement around the cast at `at` mentions an
+    /// accounting identifier from [`Config::contexts`].
+    fn cast_in_accounting_context(&self, at: usize, lo: usize, hi: usize) -> bool {
+        let stmt_bound = |t: &str| matches!(t, ";" | "{" | "}");
+        let mut idents: Vec<&str> = Vec::new();
+        let mut i = at;
+        while i > lo && !stmt_bound(self.text(i - 1)) && at - i < 48 {
+            i -= 1;
+            if self.is_ident(i) {
+                idents.push(self.text(i));
+            }
+        }
+        let mut j = at + 1;
+        while j < hi && !stmt_bound(self.text(j)) && j - at < 48 {
+            if self.is_ident(j) {
+                idents.push(self.text(j));
+            }
+            j += 1;
+        }
+        idents.iter().any(|id| {
+            // The std int-serialization methods contain "byte" but are
+            // encoding plumbing, not byte *accounting* — `len() as u32`
+            // before `.to_le_bytes()` is a wire format, not a counter.
+            if matches!(
+                *id,
+                "to_le_bytes" | "from_le_bytes" | "to_be_bytes" | "from_be_bytes" | "to_ne_bytes"
+            ) {
+                return false;
+            }
+            let lower = id.to_ascii_lowercase();
+            self.cfg.contexts.iter().any(|c| lower.contains(c.as_str()))
+        })
+    }
+}
+
+/// Extract the implemented type's name from an `impl` header span
+/// `[start, brace)`: the type after `for` when present (`impl Trait for
+/// Type`), else the first type path (`impl Type`).  Returns the last path
+/// segment before any generic arguments.
+fn impl_owner(toks: &[Tok], start: usize, brace: usize) -> Option<String> {
+    let text = |i: usize| toks.get(i).map_or("", |t| t.text.as_str());
+    let mut i = start;
+    // Skip `impl<...>` generics.
+    if text(i) == "<" {
+        let mut depth = 0isize;
+        while i < brace {
+            match text(i) {
+                "<" => depth += 1,
+                "<<" => depth += 2,
+                ">" => depth -= 1,
+                ">>" => depth -= 2,
+                _ => {}
+            }
+            i += 1;
+            if depth <= 0 {
+                break;
+            }
+        }
+    }
+    // Prefer the segment after a top-level `for`.
+    let mut angle = 0isize;
+    let mut for_at = None;
+    for j in i..brace {
+        match text(j) {
+            "<" => angle += 1,
+            "<<" => angle += 2,
+            ">" => angle -= 1,
+            ">>" => angle -= 2,
+            "for" if angle <= 0 => {
+                for_at = Some(j + 1);
+                break;
+            }
+            _ => {}
+        }
+    }
+    let mut k = for_at.unwrap_or(i);
+    // Strip reference/dyn prefixes, then take the last ident of the path
+    // before generics or the brace.
+    let mut last = None;
+    let mut angle = 0isize;
+    while k < brace {
+        match toks.get(k) {
+            Some(t) if t.kind == TokKind::Ident && angle == 0 => {
+                if !matches!(t.text.as_str(), "dyn" | "mut" | "where") {
+                    last = Some(t.text.clone());
+                }
+                // A path continues through `::`; anything else ends it.
+                if text(k + 1) != "::" {
+                    if text(k + 1) == "<" {
+                        break;
+                    }
+                    break;
+                }
+                k += 1;
+            }
+            Some(t) if t.text == "<" => angle += 1,
+            Some(t) if t.text == ">" => angle -= 1,
+            _ => {}
+        }
+        k += 1;
+    }
+    last
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> Vec<FnItem> {
+        parse_file("crates/core/src/fixture.rs", src, &Config::default())
+    }
+
+    fn by_name<'a>(items: &'a [FnItem], name: &str) -> &'a FnItem {
+        items
+            .iter()
+            .find(|f| f.name == name)
+            .unwrap_or_else(|| panic!("no fn {name} in {items:?}"))
+    }
+
+    #[test]
+    fn module_paths_fold_files_and_inline_mods() {
+        assert_eq!(
+            module_path("crates/core/src/simulator.rs"),
+            "core::simulator"
+        );
+        assert_eq!(module_path("crates/mem-trace/src/lib.rs"), "mem_trace");
+        assert_eq!(module_path("src/bin/memsmoke.rs"), "bin::memsmoke");
+        let items = parse("mod inner { pub fn deep() {} }\npub fn shallow() {}");
+        assert_eq!(by_name(&items, "deep").qname, "core::fixture::inner::deep");
+        assert_eq!(by_name(&items, "shallow").qname, "core::fixture::shallow");
+    }
+
+    #[test]
+    fn impl_and_trait_owners_qualify_methods() {
+        let src = "
+impl ClusterSimulator {
+    pub fn try_run(&self, trace: &Trace) -> Result<SimResult, E> { self.go(trace) }
+}
+impl<T: Clone> TraceSource for ReplaySource<T> {
+    fn next_event(&mut self, proc: ProcId) -> Option<TraceEvent> { None }
+}
+trait Relocate {
+    fn threshold(&self) -> u32 { 64 }
+    fn relocate(&mut self, page: PageRef);
+}
+";
+        let items = parse(src);
+        assert_eq!(
+            by_name(&items, "try_run").qname,
+            "core::fixture::ClusterSimulator::try_run"
+        );
+        assert_eq!(
+            by_name(&items, "next_event").owner.as_deref(),
+            Some("ReplaySource")
+        );
+        let threshold = by_name(&items, "threshold");
+        assert_eq!(threshold.owner.as_deref(), Some("Relocate"));
+        assert!(threshold.has_body, "trait default bodies are parsed");
+        assert!(!by_name(&items, "relocate").has_body);
+    }
+
+    #[test]
+    fn arity_and_self_receivers() {
+        let src = "
+fn zero() {}
+fn two(a: u32, b: (u32, u32)) {}
+fn trailing(
+    a: u32,
+    b: u32,
+) {}
+impl S {
+    fn method(&mut self, x: u32) {}
+    fn only_self(&self) {}
+}
+";
+        let items = parse(src);
+        assert_eq!(by_name(&items, "zero").arity, 0);
+        assert_eq!(by_name(&items, "two").arity, 2);
+        assert_eq!(by_name(&items, "trailing").arity, 2);
+        let m = by_name(&items, "method");
+        assert_eq!((m.arity, m.has_self), (1, true));
+        assert_eq!(by_name(&items, "only_self").arity, 0);
+    }
+
+    #[test]
+    fn calls_are_extracted_with_kind_and_arity() {
+        let src = "
+fn caller(&self) {
+    helper(1, 2);
+    crate::module::deep(x);
+    self.own_method(a);
+    recv.other_method(a, b);
+    items.iter().map(|a, b| a).collect::<Vec<_>>();
+}
+";
+        let items = parse(src);
+        let calls = &by_name(&items, "caller").calls;
+        let find = |n: &str| {
+            calls.iter().find(|c| match &c.target {
+                CallTarget::Bare(b) => b == n,
+                CallTarget::Path(p) => p.last().unwrap() == n,
+                CallTarget::Method(m) => m == n,
+            })
+        };
+        assert_eq!(find("helper").unwrap().arity, 2);
+        assert!(matches!(find("deep").unwrap().target, CallTarget::Path(_)));
+        let own = find("own_method").unwrap();
+        assert!(own.recv_self && matches!(own.target, CallTarget::Method(_)));
+        let other = find("other_method").unwrap();
+        assert!(!other.recv_self);
+        assert_eq!(other.arity, 2);
+        assert_eq!(
+            find("map").unwrap().arity,
+            1,
+            "closure-pipe commas are not argument separators"
+        );
+        assert!(find("collect").is_some(), "turbofish calls still extract");
+    }
+
+    #[test]
+    fn panic_sites_record_context() {
+        let src = r#"
+fn worried(&self) {
+    let a = x.unwrap();
+    let b = y.expect("gone");
+    let c = self.expect(b'{')?;
+    panic!("boom");
+    unreachable!();
+    let d = rx.recv()[0];
+    let e = table.lock().expect("poisoned")[i];
+}
+"#;
+        let items = parse(src);
+        let panics = &by_name(&items, "worried").panics;
+        let unwraps: Vec<_> = panics
+            .iter()
+            .filter(|p| p.kind == PanicKind::UnwrapExpect)
+            .collect();
+        // unwrap, expect, self.expect, and the lock().expect.
+        assert_eq!(unwraps.len(), 4, "{panics:?}");
+        let self_expect = unwraps.iter().find(|p| p.recv_self).unwrap();
+        assert!(self_expect.propagated, "the ? is recorded");
+        assert_eq!(
+            panics.iter().filter(|p| p.kind == PanicKind::Macro).count(),
+            2
+        );
+        assert_eq!(
+            panics
+                .iter()
+                .filter(|p| p.kind == PanicKind::LockIndex)
+                .count(),
+            1,
+            "direct indexing on the recv() result: {panics:?}"
+        );
+    }
+
+    #[test]
+    fn taint_sources_sinks_and_casts_extract() {
+        let src = "
+fn tainted(&self) -> SimResult {
+    let t = Instant::now();
+    let m = HashMap::new();
+    let p = buf.as_ptr() as usize;
+    let r = thread_rng();
+    SimResult { time: t }
+}
+fn costly(&self, cost: u64) -> u32 {
+    let page_cost = cost as u32;
+    let index = i as u32;
+    page_cost
+}
+fn fingerprinted(&self) -> u64 {
+    self.result.fingerprint()
+}
+";
+        let items = parse(src);
+        let tainted = by_name(&items, "tainted");
+        let kinds: Vec<TaintKind> = tainted.taints.iter().map(|t| t.kind).collect();
+        assert!(kinds.contains(&TaintKind::WallClock));
+        assert!(kinds.contains(&TaintKind::HashIter));
+        assert!(kinds.contains(&TaintKind::PtrToInt));
+        assert!(kinds.contains(&TaintKind::UnseededRng));
+        assert_eq!(tainted.sinks.len(), 1, "SimResult {{ .. }} is a sink");
+        let costly = by_name(&items, "costly");
+        assert_eq!(
+            costly.casts.len(),
+            1,
+            "only the accounting-context cast fires: {:?}",
+            costly.casts
+        );
+        assert_eq!(by_name(&items, "fingerprinted").sinks.len(), 1);
+    }
+
+    #[test]
+    fn test_gated_fns_are_marked() {
+        let src = "
+pub fn live() {}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn gated() { x.unwrap(); }
+}
+";
+        let items = parse(src);
+        assert!(!by_name(&items, "live").in_test);
+        assert!(by_name(&items, "gated").in_test);
+    }
+}

@@ -1,19 +1,22 @@
 //! `dsm-lint` CLI: scan the workspace, diff against the committed baseline.
 //!
 //! ```text
-//! dsm-lint [--root DIR] [--baseline FILE] [--json] [--fix-baseline] [--list-rules]
+//! dsm-lint [--root DIR] [--baseline FILE] [--format human|json|github]
+//!          [--emit-graph FILE] [--fix-baseline] [--self-check] [--list-rules]
 //! ```
 //!
 //! Exit status: `0` when no finding escapes the baseline, `1` when new
-//! violations exist, `2` on usage or IO errors.  `--json` writes the full
-//! machine-readable report to stdout (human prose goes to stderr), which is
-//! what CI uploads as an artifact.
+//! violations exist, `2` on usage or IO errors.  `--format json` writes the
+//! full machine-readable report to stdout (human prose goes to stderr),
+//! which is what CI uploads as an artifact; `--format github` writes
+//! GitHub Actions `::error` workflow commands so findings annotate the PR
+//! diff in place.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use dsm_lint::baseline::{render_findings, Baseline};
-use dsm_lint::{scan_workspace, RULES};
+use dsm_lint::baseline::{render_findings, Baseline, SCHEMA_VERSION};
+use dsm_lint::{scan_workspace, Config, Finding, RULES};
 
 const USAGE: &str = "\
 dsm-lint: repo-specific determinism/concurrency lint
@@ -22,29 +25,49 @@ USAGE:
     dsm-lint [OPTIONS]
 
 OPTIONS:
-    --root DIR        workspace root to scan (default: .)
-    --baseline FILE   baseline path (default: <root>/lint-baseline.json)
-    --json            write the JSON report to stdout (prose goes to stderr)
-    --fix-baseline    re-record the baseline from the current tree; new
-                      entries get an UNREVIEWED reason to replace by hand
-    --list-rules      print the rule set and exit
-    --help            this text
+    --root DIR         workspace root to scan (default: .)
+    --baseline FILE    baseline path (default: <root>/lint-baseline.json)
+    --format FORMAT    report format: human (default), json (full report on
+                       stdout, prose on stderr), github (::error workflow
+                       commands for PR annotations)
+    --json             shorthand for --format json
+    --emit-graph FILE  also write the workspace call graph (nodes, resolved
+                       edges, unresolved bucket) as JSON to FILE
+    --fix-baseline     re-record the baseline from the current tree; new
+                       entries get an UNREVIEWED reason to replace by hand
+    --self-check       verify the committed baseline parses, matches the
+                       built-in rule registry, and agrees with lint.toml's
+                       schema version; exits nonzero on drift
+    --list-rules       print the rule set and exit
+    --help             this text
 
 Suppress one finding with `// dsm-lint: allow(rule, reason)` on the same
-line or the line above; the reason is mandatory.";
+line or the line above; the reason is mandatory.  Entry points and sinks
+for the call-graph rules are configured in <root>/lint.toml.";
+
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Human,
+    Json,
+    Github,
+}
 
 struct Opts {
     root: PathBuf,
     baseline: PathBuf,
-    json: bool,
+    format: Format,
+    emit_graph: Option<PathBuf>,
     fix: bool,
+    self_check: bool,
     list: bool,
 }
 
 fn parse_args() -> Result<Opts, String> {
     let mut root = PathBuf::from(".");
     let mut baseline = None;
-    let (mut json, mut fix, mut list) = (false, false, false);
+    let mut format = Format::Human;
+    let mut emit_graph = None;
+    let (mut fix, mut self_check, mut list) = (false, false, false);
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -54,8 +77,24 @@ fn parse_args() -> Result<Opts, String> {
                     args.next().ok_or("--baseline needs a value")?,
                 ));
             }
-            "--json" => json = true,
+            "--format" => {
+                format = match args.next().as_deref() {
+                    Some("human") => Format::Human,
+                    Some("json") => Format::Json,
+                    Some("github") => Format::Github,
+                    other => {
+                        return Err(format!("--format expects human|json|github, got {other:?}"))
+                    }
+                };
+            }
+            "--json" => format = Format::Json,
+            "--emit-graph" => {
+                emit_graph = Some(PathBuf::from(
+                    args.next().ok_or("--emit-graph needs a value")?,
+                ));
+            }
             "--fix-baseline" => fix = true,
+            "--self-check" => self_check = true,
             "--list-rules" => list = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -68,22 +107,82 @@ fn parse_args() -> Result<Opts, String> {
     Ok(Opts {
         root,
         baseline,
-        json,
+        format,
+        emit_graph,
         fix,
+        self_check,
         list,
     })
+}
+
+/// One finding as a GitHub Actions annotation.  Newlines in workflow
+/// commands are URL-encoded per the Actions spec; the chain rides in the
+/// message so the annotation is self-contained evidence.
+fn github_annotation(f: &Finding) -> String {
+    let mut msg = format!("[{}] {}", f.rule, f.excerpt);
+    for step in &f.chain {
+        msg.push_str("%0A  ");
+        msg.push_str(step);
+    }
+    let msg = msg.replace('\r', "").replace('\n', "%0A");
+    format!("::error file={},line={}::{msg}", f.file, f.line)
+}
+
+/// `--self-check`: the committed baseline must parse under the current
+/// schema, name exactly the built-in rule registry, and `lint.toml` (when
+/// present) must carry the same schema version.  Run by CI so a rule-set
+/// change cannot land without re-recording the baseline.
+fn self_check(opts: &Opts) -> Result<bool, String> {
+    let text = std::fs::read_to_string(&opts.baseline)
+        .map_err(|e| format!("reading {}: {e}", opts.baseline.display()))?;
+    let baseline = Baseline::parse(&text)?;
+    if !baseline.rules_match_registry() {
+        eprintln!(
+            "dsm-lint: self-check FAILED: baseline rules {:?} do not match the registry {:?} — run --fix-baseline",
+            baseline.rules,
+            RULES.iter().map(|r| r.name).collect::<Vec<_>>()
+        );
+        return Ok(false);
+    }
+    // Config::load re-validates lint.toml's schema against SCHEMA_VERSION.
+    Config::load(&opts.root.join("lint.toml"))?;
+    eprintln!(
+        "dsm-lint: self-check ok: schema v{SCHEMA_VERSION}, {} rules, {} baseline entr{}",
+        RULES.len(),
+        baseline.entries.len(),
+        if baseline.entries.len() == 1 {
+            "y"
+        } else {
+            "ies"
+        },
+    );
+    Ok(true)
 }
 
 fn run() -> Result<bool, String> {
     let opts = parse_args()?;
     if opts.list {
         for r in RULES {
-            println!("{:<12} {}", r.name, r.summary);
+            println!("{:<16} {}", r.name, r.summary);
         }
         return Ok(true);
     }
+    if opts.self_check {
+        return self_check(&opts);
+    }
 
-    let findings = scan_workspace(&opts.root)?;
+    let scan = scan_workspace(&opts.root)?;
+    let findings = scan.findings;
+    if let Some(path) = &opts.emit_graph {
+        std::fs::write(path, scan.graph.to_json())
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        eprintln!(
+            "dsm-lint: wrote call graph ({} fns, {} unresolved calls) to {}",
+            scan.graph.fns.len(),
+            scan.graph.unresolved.len(),
+            path.display()
+        );
+    }
     let baseline = match std::fs::read_to_string(&opts.baseline) {
         Ok(text) => Baseline::parse(&text)?,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => Baseline::default(),
@@ -119,11 +218,20 @@ fn run() -> Result<bool, String> {
     }
 
     let fresh = baseline.new_violations(&findings);
-    if opts.json {
-        print!("{}", render_findings(&findings, &fresh));
+    match opts.format {
+        Format::Json => print!("{}", render_findings(&findings, &fresh)),
+        Format::Github => {
+            for f in &fresh {
+                println!("{}", github_annotation(f));
+            }
+        }
+        Format::Human => {}
     }
     for f in &fresh {
         eprintln!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.excerpt);
+        for step in &f.chain {
+            eprintln!("    {step}");
+        }
     }
     let stale = baseline.stale(&findings);
     for e in &stale {

@@ -77,6 +77,18 @@ pub const RULES: &[RuleInfo] = &[
         summary: "floating-point accumulation in a simulation crate without a documented ordering",
     },
     RuleInfo {
+        name: "panic-path",
+        summary: "panic site reachable from a declared entry point (lint.toml [panic-path])",
+    },
+    RuleInfo {
+        name: "det-taint",
+        summary: "nondeterminism source flowing into SimResult/fingerprint via the call graph",
+    },
+    RuleInfo {
+        name: "cast-truncation",
+        summary: "narrowing `as` cast in clock/byte accounting inside a simulation crate",
+    },
+    RuleInfo {
         name: "allow-syntax",
         summary: "malformed dsm-lint allow comment (unknown rule or missing reason)",
     },
@@ -89,7 +101,7 @@ pub fn is_rule(name: &str) -> bool {
 
 /// The simulation crates `hash-iter` and `float-order` police: the crates
 /// whose state evolution the golden fingerprints digest.
-const SIM_CRATES: &[&str] = &[
+pub(crate) const SIM_CRATES: &[&str] = &[
     "crates/core/src/",
     "crates/mem-trace/src/",
     "crates/sim-engine/src/",
@@ -112,6 +124,12 @@ pub fn allowlist() -> &'static [(&'static str, &'static str, &'static str)] {
             "crates/bench/src/bin/perf.rs",
             "CLI front-end of the perf benchmark; same wall-clock-by-design contract",
         ),
+        (
+            "det-taint",
+            "crates/bench/src/perf.rs",
+            "the perf harness times simulation runs by design; the timings are the benchmark's \
+             output and never feed back into SimResult or a fingerprint (which it only prints)",
+        ),
     ]
 }
 
@@ -127,13 +145,26 @@ pub struct Finding {
     /// The trimmed source line, used for display and as the stable
     /// baseline key (line numbers drift; line content rarely does).
     pub excerpt: String,
+    /// For the call-graph rules: the evidence chain (shortest call path
+    /// from entry to panic site, or source-to-sink taint path).  Empty for
+    /// token rules.
+    pub chain: Vec<String>,
 }
 
 /// A parsed `dsm-lint: allow(rule, reason)` comment.
 #[derive(Debug)]
-struct Allow {
-    line: u32,
-    rule: String,
+pub(crate) struct Allow {
+    pub(crate) line: u32,
+    pub(crate) rule: String,
+}
+
+/// Extract the valid allow comments from one file, for the cross-file
+/// rules in [`crate::flow`] (malformed allows are reported by
+/// [`scan_source`]; this helper ignores them).
+pub(crate) fn file_allows(relpath: &str, source: &str) -> Vec<Allow> {
+    let lexed = lex(source);
+    let (allows, _) = parse_allows(relpath, &lexed.comments, &|_| String::new());
+    allows
 }
 
 /// Scan one file's source.  `relpath` decides which rules are in scope
@@ -168,6 +199,7 @@ pub fn scan_source(relpath: &str, source: &str) -> Vec<Finding> {
             file: relpath.to_string(),
             line,
             excerpt: excerpt(line),
+            chain: Vec::new(),
         });
     };
 
@@ -216,7 +248,7 @@ pub fn scan_source(relpath: &str, source: &str) -> Vec<Finding> {
 
 /// Rules apply to library code only: files under a `src/` tree (crate
 /// sources and binaries), not `tests/`, `examples/` or `benches/`.
-fn is_lib_code(relpath: &str) -> bool {
+pub(crate) fn is_lib_code(relpath: &str) -> bool {
     relpath.starts_with("src/") || relpath.contains("/src/")
 }
 
@@ -243,7 +275,7 @@ fn is_ident(t: Option<&&Tok>, text: &str) -> bool {
 
 /// Lock/channel operations whose `Result` must not be unwrapped in library
 /// code.
-const GUARDED_OPS: &[&str] = &[
+pub(crate) const GUARDED_OPS: &[&str] = &[
     "lock",
     "try_lock",
     "recv",
@@ -355,6 +387,7 @@ fn parse_allows(
                 file: relpath.to_string(),
                 line: c.line,
                 excerpt: format!("{} ({why})", excerpt(c.line)),
+                chain: Vec::new(),
             });
         };
         let rest = c.text[at + "dsm-lint:".len()..].trim_start();
@@ -392,7 +425,7 @@ fn parse_allows(
 /// ident `test` (`#[test]`, `#[cfg(test)]`, `#[tokio::test]`) gates the item
 /// that follows, through its closing brace or semicolon.  `cfg(not(test))`
 /// stays live code.
-fn test_region_mask(toks: &[Tok]) -> Vec<bool> {
+pub(crate) fn test_region_mask(toks: &[Tok]) -> Vec<bool> {
     let mut mask = vec![false; toks.len()];
     let mut i = 0;
     while i < toks.len() {

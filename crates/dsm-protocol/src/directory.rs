@@ -162,6 +162,7 @@ impl Directory {
                 already_sharer,
             },
             DirectoryState::Modified => {
+                // dsm-lint: allow(panic-path, DirectoryState::Modified is entered only when exactly one sharer registers a write; the sharer list cannot be empty in that state)
                 let owner = NodeId(entry.sharers.first().expect("modified implies owner") as u16);
                 if owner == requester {
                     // Requester already owns it (e.g. re-registration after a
@@ -209,6 +210,7 @@ impl Directory {
                 }
             }
             DirectoryState::Modified => {
+                // dsm-lint: allow(panic-path, DirectoryState::Modified is entered only when exactly one sharer registers a write; the sharer list cannot be empty in that state)
                 let owner = NodeId(entry.sharers.first().expect("modified implies owner") as u16);
                 if owner == requester {
                     WriteReply {

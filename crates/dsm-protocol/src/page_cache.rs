@@ -216,15 +216,18 @@ impl PageCache {
                     .iter()
                     .enumerate()
                     .min_by_key(|(_, idx)| {
+                        // dsm-lint: allow(panic-path, the allocated list only holds indices handed out by the frame arena)
                         let f = self.frames.get(**idx as usize).expect("allocated frame");
                         (f.last_use, f.id.0)
                     })
                     .map(|(pos, idx)| (pos, *idx))
+                    // dsm-lint: allow(panic-path, this branch runs only when allocation found no free frame so the allocated list is non-empty)
                     .expect("cache is full, so non-empty");
                 self.allocated.swap_remove(pos);
                 let frame = self
                     .frames
                     .get_mut(victim_idx as usize)
+                    // dsm-lint: allow(panic-path, victim index came from the allocated list a few lines up)
                     .expect("allocated frame");
                 let victim = PageRef::new(frame.id, PageIdx(victim_idx));
                 let victim_blocks = frame.present.count();
@@ -264,6 +267,7 @@ impl PageCache {
             .allocated
             .iter()
             .position(|idx| *idx == page.0)
+            // dsm-lint: allow(panic-path, release is called only for pages the cache returned from allocate; the allocated list tracks every live frame)
             .expect("allocated list tracks every frame");
         self.allocated.swap_remove(pos);
         Some(counts)

@@ -263,6 +263,7 @@ impl<R: Read> ReplaySource<R> {
                 true
             }
             Ok(Record::Event(p, _)) | Ok(Record::EndOfStream(p)) => {
+                // dsm-lint: allow(panic-path, TraceSource::next_event has no error channel; corrupt replay files are CLI operator input — the service cannot construct Replay workloads — and fail fast by design)
                 panic!("corrupt trace file: record for processor {p} outside the topology");
             }
             Ok(Record::EndOfFile) => {
@@ -270,6 +271,7 @@ impl<R: Read> ReplaySource<R> {
                 self.demux.end_all();
                 false
             }
+            // dsm-lint: allow(panic-path, TraceSource::next_event has no error channel; corrupt replay files are CLI operator input — the service cannot construct Replay workloads — and fail fast by design)
             Err(e) => panic!("replaying trace {}: {e}", self.name),
         }
     }

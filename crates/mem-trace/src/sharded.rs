@@ -225,6 +225,7 @@ impl ShardedSource {
                         while generator.step(&mut filtered) {}
                         sink.flush();
                     })
+                    // dsm-lint: allow(panic-path, thread creation failure is an OS resource error not input-dependent; dying loudly beats simulating with missing shards)
                     .expect("spawn trace-shard thread");
                 Lane::Thread {
                     rx: Some(rx),

@@ -389,6 +389,7 @@ impl Demux {
         let buf = &mut self.buffers[proc.index()];
         let take = buf.len().min(max);
         for _ in 0..take {
+            // dsm-lint: allow(panic-path, take is min of len and max so exactly take pops succeed; length-checked in the line above)
             let ev = buf.pop_front().expect("length-checked pop");
             self.stats.observe(proc, &ev);
             out.push(ev);
@@ -706,6 +707,7 @@ impl ThreadedSource {
                 generate(&mut sink);
                 sink.flush();
             })
+            // dsm-lint: allow(panic-path, thread creation failure is an OS resource error not input-dependent; fail fast)
             .expect("spawn trace-generator thread");
         ThreadedSource {
             name: name.into(),

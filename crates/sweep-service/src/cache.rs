@@ -24,7 +24,7 @@
 //! format drift) is dropped, never served.  A file with an unknown header
 //! is left untouched and the cache starts empty against a fresh path.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fs::{File, OpenOptions};
 use std::io::{self, BufRead, BufReader, Write};
 use std::path::{Path, PathBuf};
@@ -40,7 +40,10 @@ pub const CACHE_HEADER: &str = "# dsm-sweep-cache v1";
 /// An in-memory result cache, optionally backed by an append-only file.
 #[derive(Debug)]
 pub struct ResultCache {
-    entries: HashMap<CacheKey, SimResult>,
+    // Ordered map: cache contents feed service responses, and an ordered
+    // container keeps every observable path free of iteration-order
+    // nondeterminism (the same policy the sim crates follow).
+    entries: BTreeMap<CacheKey, SimResult>,
     path: Option<PathBuf>,
     file: Option<File>,
     hits: u64,
@@ -64,7 +67,7 @@ impl ResultCache {
     /// A cache with no backing file (results live for the process only).
     pub fn in_memory() -> Self {
         ResultCache {
-            entries: HashMap::new(),
+            entries: BTreeMap::new(),
             path: None,
             file: None,
             hits: 0,
@@ -78,7 +81,7 @@ impl ResultCache {
     /// unclean shutdown.
     pub fn open(path: impl Into<PathBuf>) -> io::Result<Self> {
         let path = path.into();
-        let mut entries = HashMap::new();
+        let mut entries = BTreeMap::new();
         match File::open(&path) {
             Ok(f) => load_entries(BufReader::new(f), &mut entries)?,
             Err(e) if e.kind() == io::ErrorKind::NotFound => {}
@@ -155,7 +158,7 @@ impl ResultCache {
 
 fn load_entries(
     reader: impl BufRead,
-    entries: &mut HashMap<CacheKey, SimResult>,
+    entries: &mut BTreeMap<CacheKey, SimResult>,
 ) -> io::Result<()> {
     let mut lines = reader.lines();
     match lines.next() {
@@ -340,8 +343,8 @@ fn unescape_field(s: &str) -> Option<String> {
 
 /// Load and verify every entry of a cache file without opening it for
 /// appends (used by tests and tooling).
-pub fn read_cache_file(path: &Path) -> io::Result<HashMap<CacheKey, SimResult>> {
-    let mut entries = HashMap::new();
+pub fn read_cache_file(path: &Path) -> io::Result<BTreeMap<CacheKey, SimResult>> {
+    let mut entries = BTreeMap::new();
     load_entries(BufReader::new(File::open(path)?), &mut entries)?;
     Ok(entries)
 }

@@ -168,7 +168,7 @@ impl SweepService {
     ) -> Result<(SweepResult, SweepCounts, f64), String> {
         let sweep = self.build_sweep(spec)?;
         // dsm-lint: allow(wall-clock, reports request latency to the client; sim time comes from the cost model)
-        let start = Instant::now();
+        let start = Instant::now(); // dsm-lint: allow(det-taint, request latency reporting to the client; sim results and fingerprints never derive from it)
         let mut counts = SweepCounts::default();
         let result = sweep.run_streaming(
             |_, key| self.cache().lookup(key),
